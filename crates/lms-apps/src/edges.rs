@@ -1,0 +1,420 @@
+//! Edge topology: the edge → incident-triangle map and the diagonal-flip
+//! primitive that mesh swapping is built on.
+//!
+//! A [`TriMesh`] stores triangles only; swapping needs to answer "which two
+//! triangles share this edge?" and to rewire them in O(1). [`EdgeTopology`]
+//! owns a working copy of the triangle list plus a hash map from the
+//! undirected edge `(min, max)` to its (one or two) incident triangles, and
+//! keeps both consistent across [`EdgeTopology::flip`] calls.
+
+use lms_mesh::geometry::signed_area;
+use lms_mesh::{Point2, TriMesh};
+use std::collections::HashMap;
+
+/// Sentinel for "no second triangle" (boundary edges).
+const NONE: u32 = u32::MAX;
+
+/// Errors detected while building the topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// An edge is shared by more than two triangles — not a manifold
+    /// triangulation.
+    NonManifoldEdge { a: u32, b: u32 },
+    /// A triangle repeats a vertex.
+    DegenerateTriangle { tri: u32 },
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            TopologyError::NonManifoldEdge { a, b } => {
+                write!(f, "edge ({a}, {b}) has more than two incident triangles")
+            }
+            TopologyError::DegenerateTriangle { tri } => {
+                write!(f, "triangle {tri} repeats a vertex")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// Why a requested flip was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlipError {
+    /// The edge does not exist (any more).
+    NoSuchEdge { a: u32, b: u32 },
+    /// The edge lies on the boundary (only one incident triangle).
+    BoundaryEdge { a: u32, b: u32 },
+    /// The surrounding quad is not strictly convex, so flipping would
+    /// create an inverted or degenerate triangle.
+    NonConvexQuad,
+    /// The opposite diagonal already exists as a mesh edge (flipping would
+    /// create a duplicate edge — happens around degree-3 vertices).
+    DiagonalExists { c: u32, d: u32 },
+}
+
+impl std::fmt::Display for FlipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            FlipError::NoSuchEdge { a, b } => write!(f, "no edge ({a}, {b})"),
+            FlipError::BoundaryEdge { a, b } => write!(f, "edge ({a}, {b}) is on the boundary"),
+            FlipError::NonConvexQuad => write!(f, "surrounding quad is not strictly convex"),
+            FlipError::DiagonalExists { c, d } => {
+                write!(f, "diagonal ({c}, {d}) already exists")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlipError {}
+
+#[inline]
+fn key(a: u32, b: u32) -> (u32, u32) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Mutable edge-to-triangle topology of a triangulation.
+#[derive(Debug, Clone)]
+pub struct EdgeTopology {
+    tris: Vec<[u32; 3]>,
+    /// Undirected edge → its one or two incident triangle indices
+    /// (second slot [`NONE`] on the boundary).
+    edge_map: HashMap<(u32, u32), [u32; 2]>,
+}
+
+impl EdgeTopology {
+    /// Build the topology of `mesh`.
+    ///
+    /// Fails on non-manifold edges or degenerate (vertex-repeating)
+    /// triangles. The mesh's triangle orientation is taken as-is; callers
+    /// that rely on signed-area checks (flips do) should orient the mesh
+    /// counter-clockwise first ([`TriMesh::orient_ccw`]).
+    pub fn build(mesh: &TriMesh) -> Result<Self, TopologyError> {
+        Self::from_triangles(mesh.triangles().to_vec())
+    }
+
+    /// [`EdgeTopology::build`] from an owned triangle list.
+    pub fn from_triangles(tris: Vec<[u32; 3]>) -> Result<Self, TopologyError> {
+        let mut edge_map: HashMap<(u32, u32), [u32; 2]> =
+            HashMap::with_capacity(tris.len() * 3 / 2 + 1);
+        for (t, tri) in tris.iter().enumerate() {
+            let [a, b, c] = *tri;
+            if a == b || b == c || a == c {
+                return Err(TopologyError::DegenerateTriangle { tri: t as u32 });
+            }
+            for (u, v) in [(a, b), (b, c), (c, a)] {
+                let slot = edge_map.entry(key(u, v)).or_insert([NONE, NONE]);
+                if slot[0] == NONE {
+                    slot[0] = t as u32;
+                } else if slot[1] == NONE {
+                    slot[1] = t as u32;
+                } else {
+                    return Err(TopologyError::NonManifoldEdge { a: u, b: v });
+                }
+            }
+        }
+        Ok(EdgeTopology { tris, edge_map })
+    }
+
+    /// Current triangle list (kept consistent across flips).
+    pub fn triangles(&self) -> &[[u32; 3]] {
+        &self.tris
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.edge_map.len()
+    }
+
+    /// True when `(a, b)` is an edge with exactly one incident triangle.
+    pub fn is_boundary_edge(&self, a: u32, b: u32) -> bool {
+        matches!(self.edge_map.get(&key(a, b)), Some(&[_, second]) if second == NONE)
+    }
+
+    /// True when `(a, b)` is currently an edge of the triangulation.
+    pub fn has_edge(&self, a: u32, b: u32) -> bool {
+        self.edge_map.contains_key(&key(a, b))
+    }
+
+    /// All interior (two-triangle) edges, sorted for determinism.
+    pub fn interior_edges(&self) -> Vec<(u32, u32)> {
+        let mut edges: Vec<(u32, u32)> = self
+            .edge_map
+            .iter()
+            .filter(|(_, tris)| tris[1] != NONE)
+            .map(|(&e, _)| e)
+            .collect();
+        edges.sort_unstable();
+        edges
+    }
+
+    /// All boundary (one-triangle) edges, sorted for determinism.
+    pub fn boundary_edges(&self) -> Vec<(u32, u32)> {
+        let mut edges: Vec<(u32, u32)> = self
+            .edge_map
+            .iter()
+            .filter(|(_, tris)| tris[1] == NONE)
+            .map(|(&e, _)| e)
+            .collect();
+        edges.sort_unstable();
+        edges
+    }
+
+    /// The vertices opposite interior edge `(a, b)` — one per incident
+    /// triangle — or `None` if the edge is missing or on the boundary.
+    pub fn opposite_vertices(&self, a: u32, b: u32) -> Option<(u32, u32)> {
+        let &[t0, t1] = self.edge_map.get(&key(a, b))?;
+        if t1 == NONE {
+            return None;
+        }
+        Some((
+            third_vertex(self.tris[t0 as usize], a, b)?,
+            third_vertex(self.tris[t1 as usize], a, b)?,
+        ))
+    }
+
+    /// Flip interior edge `(a, b)`: retriangulate the surrounding quad with
+    /// the opposite diagonal `(c, d)`. Returns the new diagonal.
+    ///
+    /// The flip is refused (and the topology left untouched) when the edge
+    /// is missing/boundary, when the quad is not strictly convex under
+    /// `coords` (either new triangle would have non-positive signed area),
+    /// or when the opposite diagonal already exists elsewhere in the mesh.
+    pub fn flip(&mut self, a: u32, b: u32, coords: &[Point2]) -> Result<(u32, u32), FlipError> {
+        let &[t0, t1] = self
+            .edge_map
+            .get(&key(a, b))
+            .ok_or(FlipError::NoSuchEdge { a, b })?;
+        if t1 == NONE {
+            return Err(FlipError::BoundaryEdge { a, b });
+        }
+        let c = third_vertex(self.tris[t0 as usize], a, b).expect("t0 must contain edge");
+        let d = third_vertex(self.tris[t1 as usize], a, b).expect("t1 must contain edge");
+        if self.has_edge(c, d) {
+            return Err(FlipError::DiagonalExists { c, d });
+        }
+        // Orient the edge so that (a', b', c) is the positively-oriented
+        // reading of triangle t0, then the flipped pair is (c, a', d) and
+        // (d, b', c); both must be strictly positive for a valid flip.
+        let (a, b) = orient_edge(self.tris[t0 as usize], a, b);
+        let (pa, pb, pc, pd) = (
+            coords[a as usize],
+            coords[b as usize],
+            coords[c as usize],
+            coords[d as usize],
+        );
+        if signed_area(pc, pa, pd) <= 0.0 || signed_area(pd, pb, pc) <= 0.0 {
+            return Err(FlipError::NonConvexQuad);
+        }
+
+        // rewire triangles
+        self.tris[t0 as usize] = [c, a, d];
+        self.tris[t1 as usize] = [d, b, c];
+
+        // rewire the edge map: the diagonal changes, and the two quad edges
+        // that switched triangles must be re-pointed
+        self.edge_map.remove(&key(a, b));
+        self.edge_map.insert(key(c, d), [t0, t1]);
+        self.repoint(key(b, c), t0, t1); // (b,c) was in t0, now in t1
+        self.repoint(key(a, d), t1, t0); // (a,d) was in t1, now in t0
+        Ok((c, d))
+    }
+
+    /// Replace `from` with `to` in the edge record of `e`.
+    fn repoint(&mut self, e: (u32, u32), from: u32, to: u32) {
+        let slot = self.edge_map.get_mut(&e).expect("quad edge must exist");
+        if slot[0] == from {
+            slot[0] = to;
+        } else {
+            debug_assert_eq!(slot[1], from, "edge {e:?} not incident to tri {from}");
+            slot[1] = to;
+        }
+    }
+
+    /// Consume the topology and rebuild a [`TriMesh`] over `coords`.
+    pub fn into_mesh(self, coords: Vec<Point2>) -> TriMesh {
+        TriMesh::new_unchecked(coords, self.tris)
+    }
+}
+
+/// The vertex of `tri` that is neither `a` nor `b`.
+fn third_vertex(tri: [u32; 3], a: u32, b: u32) -> Option<u32> {
+    tri.into_iter().find(|&v| v != a && v != b)
+}
+
+/// Return `(a, b)` ordered so they appear consecutively (cyclically) in
+/// `tri`, i.e. so that `(a, b, third)` matches `tri`'s orientation.
+fn orient_edge(tri: [u32; 3], a: u32, b: u32) -> (u32, u32) {
+    let [x, y, z] = tri;
+    if (x, y) == (a, b) || (y, z) == (a, b) || (z, x) == (a, b) {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lms_mesh::generators;
+
+    /// Unit square split along the (0,2) diagonal, CCW.
+    fn square() -> TriMesh {
+        let coords = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(1.0, 1.0),
+            Point2::new(0.0, 1.0),
+        ];
+        TriMesh::new(coords, vec![[0, 1, 2], [0, 2, 3]]).unwrap()
+    }
+
+    #[test]
+    fn builds_edge_counts_of_a_square() {
+        let m = square();
+        let topo = EdgeTopology::build(&m).unwrap();
+        assert_eq!(topo.num_edges(), 5);
+        assert_eq!(topo.interior_edges(), vec![(0, 2)]);
+        assert_eq!(topo.boundary_edges().len(), 4);
+        assert!(topo.is_boundary_edge(0, 1));
+        assert!(!topo.is_boundary_edge(0, 2));
+        assert_eq!(topo.opposite_vertices(0, 2), Some((1, 3)));
+        assert_eq!(topo.opposite_vertices(0, 1), None);
+    }
+
+    #[test]
+    fn flip_swaps_the_square_diagonal() {
+        let m = square();
+        let mut topo = EdgeTopology::build(&m).unwrap();
+        let (c, d) = topo.flip(0, 2, m.coords()).unwrap();
+        assert_eq!(key(c, d), (1, 3));
+        assert!(topo.has_edge(1, 3));
+        assert!(!topo.has_edge(0, 2));
+        assert_eq!(topo.num_edges(), 5);
+        // both new triangles positively oriented
+        for tri in topo.triangles() {
+            let [a, b, c] = *tri;
+            assert!(
+                signed_area(
+                    m.coords()[a as usize],
+                    m.coords()[b as usize],
+                    m.coords()[c as usize]
+                ) > 0.0
+            );
+        }
+        // flipping back restores the original diagonal
+        let (c, d) = topo.flip(1, 3, m.coords()).unwrap();
+        assert_eq!(key(c, d), (0, 2));
+    }
+
+    #[test]
+    fn flip_refuses_boundary_and_missing_edges() {
+        let m = square();
+        let mut topo = EdgeTopology::build(&m).unwrap();
+        assert_eq!(
+            topo.flip(0, 1, m.coords()),
+            Err(FlipError::BoundaryEdge { a: 0, b: 1 })
+        );
+        assert_eq!(
+            topo.flip(1, 3, m.coords()),
+            Err(FlipError::NoSuchEdge { a: 1, b: 3 })
+        );
+    }
+
+    #[test]
+    fn flip_refuses_nonconvex_quads() {
+        // vertex 3 pulled inside triangle (0,1,2): quad 0-1-2-3 is not convex
+        let coords = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(2.0, 0.0),
+            Point2::new(1.0, 2.0),
+            Point2::new(1.0, 0.5), // interior of (0,1,2)
+        ];
+        let m = TriMesh::new(coords, vec![[0, 1, 3], [1, 2, 3]]).unwrap();
+        let mut topo = EdgeTopology::build(&m).unwrap();
+        assert_eq!(topo.flip(1, 3, m.coords()), Err(FlipError::NonConvexQuad));
+    }
+
+    #[test]
+    fn flip_refuses_existing_diagonal() {
+        // two triangles sharing edge (0,1) where both opposite vertices are
+        // joined through another pair of triangles — flipping (0,1) would
+        // duplicate edge (2,3)
+        let coords = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(1.0, 0.0),
+            Point2::new(0.5, 1.0),
+            Point2::new(0.5, -1.0),
+            Point2::new(2.0, 0.0),
+        ];
+        let m = TriMesh::new(
+            coords,
+            vec![[0, 1, 2], [1, 0, 3], [1, 4, 2], [4, 1, 3], [2, 4, 3]],
+        )
+        .unwrap();
+        let mut topo = EdgeTopology::build(&m).unwrap();
+        // tri (2,4,3) provides edge (2,3)... wait, it provides (2,4),(4,3),(3,2)
+        assert!(topo.has_edge(2, 3));
+        assert_eq!(
+            topo.flip(0, 1, m.coords()),
+            Err(FlipError::DiagonalExists { c: 2, d: 3 })
+        );
+    }
+
+    #[test]
+    fn rejects_nonmanifold_and_degenerate_input() {
+        assert_eq!(
+            EdgeTopology::from_triangles(vec![[0, 1, 2], [0, 1, 3], [1, 0, 4]]).unwrap_err(),
+            TopologyError::NonManifoldEdge { a: 1, b: 0 }
+        );
+        assert_eq!(
+            EdgeTopology::from_triangles(vec![[0, 0, 1]]).unwrap_err(),
+            TopologyError::DegenerateTriangle { tri: 0 }
+        );
+    }
+
+    #[test]
+    fn grid_topology_satisfies_euler_counts() {
+        let m = generators::perturbed_grid(9, 7, 0.2, 1);
+        let topo = EdgeTopology::build(&m).unwrap();
+        // Euler: V - E + F = 1 for a disc (F = triangles only)
+        let v = m.num_vertices() as i64;
+        let e = topo.num_edges() as i64;
+        let f = m.num_triangles() as i64;
+        assert_eq!(v - e + f, 1);
+        assert_eq!(topo.interior_edges().len() + topo.boundary_edges().len(), topo.num_edges());
+    }
+
+    #[test]
+    fn repeated_random_flips_keep_topology_consistent() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut m = generators::perturbed_grid(8, 8, 0.25, 7);
+        m.orient_ccw();
+        let mut topo = EdgeTopology::build(&m).unwrap();
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut flips = 0;
+        for _ in 0..500 {
+            let edges = topo.interior_edges();
+            let (a, b) = edges[rng.gen_range(0..edges.len())];
+            if topo.flip(a, b, m.coords()).is_ok() {
+                flips += 1;
+            }
+        }
+        assert!(flips > 50, "expected many successful flips, got {flips}");
+        // rebuilding from scratch must agree with the incrementally
+        // maintained map
+        let rebuilt = EdgeTopology::from_triangles(topo.triangles().to_vec()).unwrap();
+        assert_eq!(rebuilt.num_edges(), topo.num_edges());
+        let mut a: Vec<_> = topo.edge_map.keys().copied().collect();
+        let mut b: Vec<_> = rebuilt.edge_map.keys().copied().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+}

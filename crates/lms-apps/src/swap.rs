@@ -1,0 +1,343 @@
+//! Edge swapping (Freitag & Ollivier \[5\], 2D specialisation).
+//!
+//! The paper's conclusion (§6) conjectures that RDR-style orderings should
+//! also accelerate *mesh swapping*. This module implements the 2D swapping
+//! pass: visit interior edges and flip each diagonal when the flip improves
+//! a criterion — either the Delaunay in-circle test or a direct quality
+//! gain — repeating until a pass makes no flips.
+//!
+//! The visit order of the edges is derived from a vertex ordering (an edge
+//! is keyed by the earlier of its endpoints' layout positions), so the same
+//! ORI/BFS/RDR comparison the paper runs on smoothing can be run on
+//! swapping; the `apps` experiment does exactly that.
+
+use crate::edges::EdgeTopology;
+use lms_mesh::geometry::in_circle;
+use lms_mesh::quality::QualityMetric;
+use lms_mesh::{Point2, TriMesh};
+use lms_order::Permutation;
+
+/// When to flip an edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SwapCriterion {
+    /// Flip when the opposite vertex lies strictly inside the circumcircle
+    /// — converges to the Delaunay triangulation of the vertex set.
+    Delaunay,
+    /// Flip when the worse of the two new triangles beats the worse of the
+    /// two old ones by more than `min_gain` under `metric`.
+    Quality {
+        /// Quality metric to improve.
+        metric: QualityMetric,
+        /// Minimum improvement of `min(q)` for a flip to be worth it
+        /// (guards against flip/unflip cycling on near-ties).
+        min_gain: f64,
+    },
+}
+
+impl SwapCriterion {
+    /// Quality-criterion shorthand with the paper's metric and a small
+    /// anti-cycling gain.
+    pub fn quality() -> Self {
+        SwapCriterion::Quality {
+            metric: QualityMetric::EdgeLengthRatio,
+            min_gain: 1e-9,
+        }
+    }
+
+    /// Should edge `(a, b)` with opposite vertices `(c, d)` be flipped?
+    fn wants_flip(self, coords: &[Point2], a: u32, b: u32, c: u32, d: u32) -> bool {
+        let (pa, pb, pc, pd) = (
+            coords[a as usize],
+            coords[b as usize],
+            coords[c as usize],
+            coords[d as usize],
+        );
+        match self {
+            SwapCriterion::Delaunay => {
+                // in_circle is sign-sensitive to orientation; evaluate on a
+                // positively-oriented reading of triangle (a, b, c)
+                let (pa, pb) = if lms_mesh::geometry::signed_area(pa, pb, pc) > 0.0 {
+                    (pa, pb)
+                } else {
+                    (pb, pa)
+                };
+                // relative tolerance: the in-circle determinant scales as
+                // length⁴; near-cocircular quads count as Delaunay, so the
+                // flip pass and `is_delaunay` agree on the fixed point and
+                // marginal flips (whose convexity test can fail by the
+                // same hair) are never requested
+                let s = (pa.dist_sq(pd) + pb.dist_sq(pd) + pc.dist_sq(pd)) / 3.0;
+                in_circle(pa, pb, pc, pd) > 1e-9 * s * s
+            }
+            SwapCriterion::Quality { metric, min_gain } => {
+                let old = metric
+                    .triangle_quality(pa, pb, pc)
+                    .min(metric.triangle_quality(pa, pb, pd));
+                let new = metric
+                    .triangle_quality(pc, pd, pa)
+                    .min(metric.triangle_quality(pc, pd, pb));
+                new > old + min_gain
+            }
+        }
+    }
+}
+
+/// Knobs for [`swap_until_stable`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SwapOptions {
+    /// Flip criterion.
+    pub criterion: SwapCriterion,
+    /// Hard cap on full passes over the edge list.
+    pub max_passes: usize,
+}
+
+impl Default for SwapOptions {
+    fn default() -> Self {
+        SwapOptions {
+            criterion: SwapCriterion::Delaunay,
+            max_passes: 50,
+        }
+    }
+}
+
+/// Outcome of a swapping run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapReport {
+    /// Flips performed in each pass (last entry is 0 when converged).
+    pub flips_per_pass: Vec<usize>,
+    /// True when the run stopped because a pass made no flips
+    /// (false when it hit `max_passes`).
+    pub converged: bool,
+}
+
+impl SwapReport {
+    /// Total number of flips across all passes.
+    pub fn total_flips(&self) -> usize {
+        self.flips_per_pass.iter().sum()
+    }
+
+    /// Number of passes executed.
+    pub fn num_passes(&self) -> usize {
+        self.flips_per_pass.len()
+    }
+}
+
+/// Sort `edges` by the earlier endpoint position under `ordering` (ties by
+/// the later one), i.e. visit edges the way a sweep over reordered vertices
+/// would reach them. `None` keeps the deterministic `(min, max)` edge order.
+fn order_edges(edges: &mut [(u32, u32)], ordering: Option<&Permutation>) {
+    let Some(perm) = ordering else { return };
+    let pos = perm.old_to_new();
+    edges.sort_unstable_by_key(|&(a, b)| {
+        let (pa, pb) = (pos[a as usize], pos[b as usize]);
+        (pa.min(pb), pa.max(pb))
+    });
+}
+
+/// One swapping pass over all current interior edges; returns the number of
+/// flips performed.
+pub fn swap_pass(
+    topo: &mut EdgeTopology,
+    coords: &[Point2],
+    criterion: SwapCriterion,
+    ordering: Option<&Permutation>,
+) -> usize {
+    let mut edges = topo.interior_edges();
+    order_edges(&mut edges, ordering);
+    let mut flips = 0;
+    for (a, b) in edges {
+        // the edge may have been consumed by an earlier flip this pass
+        let Some((c, d)) = topo.opposite_vertices(a, b) else {
+            continue;
+        };
+        if criterion.wants_flip(coords, a, b, c, d) && topo.flip(a, b, coords).is_ok() {
+            flips += 1;
+        }
+    }
+    flips
+}
+
+/// Run swapping passes on `mesh` until stable (or `max_passes`), rewriting
+/// its triangle list in place. Returns the per-pass flip counts.
+///
+/// The mesh is oriented counter-clockwise first — flips rely on signed-area
+/// validity tests.
+pub fn swap_until_stable(
+    mesh: &mut TriMesh,
+    opts: SwapOptions,
+    ordering: Option<&Permutation>,
+) -> SwapReport {
+    mesh.orient_ccw();
+    let mut topo = EdgeTopology::build(mesh).expect("manifold triangulation required");
+    let mut flips_per_pass = Vec::new();
+    let mut converged = false;
+    for _ in 0..opts.max_passes {
+        let flips = swap_pass(&mut topo, mesh.coords(), opts.criterion, ordering);
+        flips_per_pass.push(flips);
+        if flips == 0 {
+            converged = true;
+            break;
+        }
+    }
+    let coords = mesh.coords().to_vec();
+    *mesh = topo.into_mesh(coords);
+    SwapReport {
+        flips_per_pass,
+        converged,
+    }
+}
+
+/// True when every interior edge of `mesh` satisfies the Delaunay
+/// in-circle criterion (within the relative tolerance the flip pass uses).
+///
+/// On a planar-embedded triangulation this is exactly "swapping has
+/// reached its fixed point". On a folded mesh (all-positive triangle
+/// areas but locally overlapping regions — reachable by recovering from a
+/// harsh tangle) some edges can fail the in-circle test while their flip
+/// is geometrically inapplicable, so `false` can persist; the swap pass
+/// still terminates because those flips are rejected.
+pub fn is_delaunay(mesh: &TriMesh) -> bool {
+    let topo = match EdgeTopology::build(mesh) {
+        Ok(t) => t,
+        Err(_) => return false,
+    };
+    let coords = mesh.coords();
+    topo.interior_edges().into_iter().all(|(a, b)| {
+        let Some((c, d)) = topo.opposite_vertices(a, b) else {
+            return true;
+        };
+        !SwapCriterion::Delaunay.wants_flip(coords, a, b, c, d)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lms_mesh::quality::{mesh_quality, QualityMetric};
+    use lms_mesh::{generators, Adjacency};
+    use lms_order::{compute_ordering, OrderingKind};
+
+    /// A flat kite triangulated with the long diagonal: two skinny
+    /// triangles whose shared edge fails the in-circle test (a rectangle
+    /// would not do — its four corners are cocircular, so either diagonal
+    /// is Delaunay).
+    fn skinny_kite() -> TriMesh {
+        let coords = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(4.0, 0.0),
+            Point2::new(2.0, 0.5),
+            Point2::new(2.0, -0.5),
+        ];
+        TriMesh::new(coords, vec![[0, 1, 2], [1, 0, 3]]).unwrap()
+    }
+
+    #[test]
+    fn delaunay_swap_fixes_the_skinny_kite() {
+        let mut m = skinny_kite();
+        assert!(!is_delaunay(&m));
+        let report = swap_until_stable(&mut m, SwapOptions::default(), None);
+        assert!(report.converged);
+        assert_eq!(report.total_flips(), 1);
+        assert!(is_delaunay(&m));
+    }
+
+    #[test]
+    fn delaunay_swap_converges_on_perturbed_grids() {
+        for seed in [1, 2, 3] {
+            let mut m = generators::perturbed_grid(14, 14, 0.35, seed);
+            let report = swap_until_stable(&mut m, SwapOptions::default(), None);
+            assert!(report.converged, "seed {seed} did not converge");
+            assert!(is_delaunay(&m), "seed {seed} not Delaunay after swapping");
+        }
+    }
+
+    #[test]
+    fn swapping_preserves_vertex_and_triangle_counts() {
+        let before = generators::perturbed_grid(12, 10, 0.3, 9);
+        let mut after = before.clone();
+        swap_until_stable(&mut after, SwapOptions::default(), None);
+        assert_eq!(before.num_vertices(), after.num_vertices());
+        assert_eq!(before.num_triangles(), after.num_triangles());
+        assert_eq!(before.coords(), after.coords());
+        // area is preserved: flips retriangulate the same region
+        assert!((before.total_area() - after.total_area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quality_swap_never_reduces_the_worst_triangle() {
+        // each flip replaces a triangle pair with one whose *minimum*
+        // quality is strictly better, so the global minimum can only go up
+        let min_q = |m: &TriMesh| {
+            lms_mesh::quality::triangle_qualities(m, QualityMetric::EdgeLengthRatio)
+                .into_iter()
+                .fold(f64::INFINITY, f64::min)
+        };
+        let mut m = generators::perturbed_grid(14, 14, 0.4, 5);
+        let before = min_q(&m);
+        let report = swap_until_stable(
+            &mut m,
+            SwapOptions {
+                criterion: SwapCriterion::quality(),
+                max_passes: 50,
+            },
+            None,
+        );
+        assert!(report.converged);
+        assert!(
+            min_q(&m) >= before - 1e-12,
+            "worst triangle regressed: {before} -> {}",
+            min_q(&m)
+        );
+        assert!(report.total_flips() > 0, "expected some flips on a jittered grid");
+    }
+
+    #[test]
+    fn quality_swap_typically_raises_mean_quality_too() {
+        let mut m = generators::perturbed_grid(16, 16, 0.4, 11);
+        let adj = Adjacency::build(&m);
+        let before = mesh_quality(&m, &adj, QualityMetric::EdgeLengthRatio);
+        swap_until_stable(
+            &mut m,
+            SwapOptions {
+                criterion: SwapCriterion::quality(),
+                max_passes: 50,
+            },
+            None,
+        );
+        let adj = Adjacency::build(&m);
+        let after = mesh_quality(&m, &adj, QualityMetric::EdgeLengthRatio);
+        assert!(after > before, "mean quality should improve: {before} -> {after}");
+    }
+
+    #[test]
+    fn visit_order_changes_the_flip_schedule_not_the_fixed_point() {
+        // Delaunay is unique (no four cocircular points on a jittered
+        // grid), so any visit order must reach the same triangulation.
+        let base = generators::perturbed_grid(12, 12, 0.35, 8);
+        let mut edge_sets = Vec::new();
+        for kind in [OrderingKind::Original, OrderingKind::Rdr, OrderingKind::Random { seed: 4 }] {
+            let mut m = base.clone();
+            let perm = compute_ordering(&m, kind);
+            swap_until_stable(&mut m, SwapOptions::default(), Some(&perm));
+            let mut edges = m.edges();
+            edges.sort_unstable();
+            edge_sets.push(edges);
+        }
+        assert_eq!(edge_sets[0], edge_sets[1]);
+        assert_eq!(edge_sets[0], edge_sets[2]);
+    }
+
+    #[test]
+    fn max_passes_caps_runaway_runs() {
+        let mut m = generators::perturbed_grid(10, 10, 0.4, 3);
+        let report = swap_until_stable(
+            &mut m,
+            SwapOptions {
+                criterion: SwapCriterion::Delaunay,
+                max_passes: 1,
+            },
+            None,
+        );
+        assert_eq!(report.num_passes(), 1);
+    }
+}

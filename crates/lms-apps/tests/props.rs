@@ -1,0 +1,146 @@
+//! Property-based tests for the mesh-improvement applications.
+
+use lms_apps::{
+    count_inverted, is_delaunay, swap_until_stable, tangle_vertices, untangle, EdgeTopology,
+    SwapCriterion, SwapOptions, UntangleOptions,
+};
+use lms_mesh::quality::{triangle_qualities, QualityMetric};
+use lms_mesh::{generators, Boundary, Point2, TriMesh};
+use lms_order::{compute_ordering, OrderingKind};
+use proptest::prelude::*;
+
+// jitter stays below 0.24: each vertex then remains inside a private
+// half-cell box, so the triangulation is a planar embedding (no folded
+// cells). Folded inputs make |area| sums non-invariant under flips and are
+// exercised separately by the tangle/untangle tests.
+fn arb_grid() -> impl Strategy<Value = TriMesh> {
+    (4usize..14, 4usize..14, 0.0f64..0.24, 0u64..1000).prop_map(|(nx, ny, jitter, seed)| {
+        let mut m = generators::perturbed_grid(nx, ny, jitter, seed);
+        m.orient_ccw();
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any grid builds a manifold edge topology with disc Euler count.
+    #[test]
+    fn topology_satisfies_euler(m in arb_grid()) {
+        let topo = EdgeTopology::build(&m).unwrap();
+        let v = m.num_vertices() as i64;
+        let e = topo.num_edges() as i64;
+        let f = m.num_triangles() as i64;
+        prop_assert_eq!(v - e + f, 1);
+        prop_assert_eq!(
+            topo.interior_edges().len() + topo.boundary_edges().len(),
+            topo.num_edges()
+        );
+    }
+
+    /// Random flip storms keep the edge and triangle counts invariant and
+    /// the incremental edge map consistent with a from-scratch rebuild.
+    #[test]
+    fn flips_preserve_counts(m in arb_grid(), picks in proptest::collection::vec((0usize..64, 0usize..64), 0..60)) {
+        let mut topo = EdgeTopology::build(&m).unwrap();
+        let edges0 = topo.num_edges();
+        let tris0 = topo.triangles().len();
+        for (i, _) in picks {
+            let interior = topo.interior_edges();
+            if interior.is_empty() { break; }
+            let (a, b) = interior[i % interior.len()];
+            let _ = topo.flip(a, b, m.coords());
+        }
+        prop_assert_eq!(topo.num_edges(), edges0);
+        prop_assert_eq!(topo.triangles().len(), tris0);
+        let rebuilt = EdgeTopology::from_triangles(topo.triangles().to_vec());
+        prop_assert!(rebuilt.is_ok());
+        prop_assert_eq!(rebuilt.unwrap().num_edges(), edges0);
+    }
+
+    /// Delaunay swapping always converges on valid grids and reaches the
+    /// Delaunay fixed point; geometry (vertex positions, total area) is
+    /// untouched.
+    #[test]
+    fn delaunay_swap_converges(m in arb_grid()) {
+        let mut work = m.clone();
+        let report = swap_until_stable(&mut work, SwapOptions::default(), None);
+        prop_assert!(report.converged);
+        prop_assert!(is_delaunay(&work));
+        prop_assert_eq!(work.coords(), m.coords());
+        // flips retile the same region; FP rounding differs per flip, so
+        // compare with a relative tolerance
+        prop_assert!(
+            (work.total_area() - m.total_area()).abs() < 1e-12 * m.num_triangles() as f64 + 1e-12
+        );
+        prop_assert_eq!(work.num_triangles(), m.num_triangles());
+    }
+
+    /// Quality swapping never lowers the worst triangle.
+    #[test]
+    fn quality_swap_raises_the_floor(m in arb_grid()) {
+        let floor = |mesh: &TriMesh| {
+            triangle_qualities(mesh, QualityMetric::EdgeLengthRatio)
+                .into_iter()
+                .fold(f64::INFINITY, f64::min)
+        };
+        let mut work = m.clone();
+        let before = floor(&work);
+        swap_until_stable(
+            &mut work,
+            SwapOptions { criterion: SwapCriterion::quality(), max_passes: 30 },
+            None,
+        );
+        prop_assert!(floor(&work) >= before - 1e-12);
+    }
+
+    /// Untangling reports consistently, never moves boundary vertices, and
+    /// never touches connectivity.
+    #[test]
+    fn untangle_reports_consistently(m in arb_grid(), stride in 5usize..40) {
+        let mut work = m.clone();
+        tangle_vertices(&mut work, stride);
+        let before = count_inverted(&work);
+        let tris0 = work.triangles().to_vec();
+        let report = untangle(&mut work, None, UntangleOptions::default());
+        prop_assert_eq!(report.inverted_before, before);
+        prop_assert_eq!(report.inverted_after, count_inverted(&work));
+        prop_assert_eq!(work.triangles(), &tris0[..]);
+        let boundary = Boundary::detect(&m);
+        for v in boundary.boundary_vertices() {
+            prop_assert_eq!(work.coords()[v as usize], m.coords()[v as usize]);
+        }
+        // the tangles of a (moderate-jitter) grid always resolve
+        if report.inverted_before > 0 {
+            prop_assert!(report.moves > 0 || report.inverted_after == report.inverted_before);
+        }
+    }
+
+    /// Swapping under any visit ordering reaches the same Delaunay edge
+    /// set (uniqueness of the Delaunay triangulation in general position).
+    #[test]
+    fn swap_fixed_point_is_visit_order_independent(m in arb_grid(), seed in 0u64..50) {
+        let edges_of = |kind: OrderingKind| {
+            let mut work = m.clone();
+            let perm = compute_ordering(&work, kind);
+            swap_until_stable(&mut work, SwapOptions::default(), Some(&perm));
+            let mut e = work.edges();
+            e.sort_unstable();
+            e
+        };
+        prop_assert_eq!(
+            edges_of(OrderingKind::Original),
+            edges_of(OrderingKind::Random { seed })
+        );
+    }
+
+    /// All coordinates stay finite through tangle → untangle → swap.
+    #[test]
+    fn coordinates_stay_finite(m in arb_grid(), stride in 8usize..30) {
+        let mut work = m.clone();
+        tangle_vertices(&mut work, stride);
+        untangle(&mut work, None, UntangleOptions { max_sweeps: 10, ascent_steps: 6 });
+        swap_until_stable(&mut work, SwapOptions::default(), None);
+        prop_assert!(work.coords().iter().all(|p: &Point2| p.is_finite()));
+    }
+}

@@ -1,0 +1,39 @@
+//! Throughput of the Westmere-EX cache simulator (Figure 9 machinery) and
+//! of the multicore simulation (Figure 10–13 machinery).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lms_bench::common::{first_sweep_trace, ordered_mesh, parallel_sweep_traces, scaled_westmere};
+use lms_cache::{multicore, MachineConfig, NodeLayout};
+use lms_mesh::suite;
+use lms_order::OrderingKind;
+
+fn cache_sim(c: &mut Criterion) {
+    let base = suite::generate(&suite::SUITE[0], 0.01);
+    let m = ordered_mesh(&base, OrderingKind::Original);
+    let trace = first_sweep_trace(&m);
+
+    let mut group = c.benchmark_group("cache_simulation");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(trace.len() as u64));
+    group.bench_with_input(BenchmarkId::new("hierarchy", "ori"), &trace, |b, t| {
+        b.iter(|| {
+            let mut h = scaled_westmere(0.01, NodeLayout::paper_66());
+            h.run_trace(t);
+            h.total_cycles()
+        })
+    });
+
+    for p in [4usize, 16] {
+        let traces = parallel_sweep_traces(&m, p);
+        group.bench_with_input(BenchmarkId::new("multicore", p), &traces, |b, ts| {
+            b.iter(|| {
+                let machine = MachineConfig::westmere_scaled(NodeLayout::paper_66(), 100);
+                multicore::simulate(&machine, ts).wall_cycles()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, cache_sim);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Throughput of the exact reuse-distance analyser (the Figure 1 / Table 2
+//! measurement machinery itself).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lms_bench::common::{first_sweep_trace, ordered_mesh};
+use lms_cache::ReuseDistanceAnalyzer;
+use lms_mesh::suite;
+use lms_order::OrderingKind;
+
+fn reuse_analysis(c: &mut Criterion) {
+    let base = suite::generate(&suite::SUITE[5], 0.01); // ocean
+    let mut group = c.benchmark_group("reuse_distance_analysis");
+    group.sample_size(10);
+    for kind in [OrderingKind::Original, OrderingKind::Rdr] {
+        let m = ordered_mesh(&base, kind);
+        let trace = first_sweep_trace(&m);
+        group.throughput(Throughput::Elements(trace.len() as u64));
+        group.bench_with_input(BenchmarkId::new("analyze", kind.name()), &trace, |b, t| {
+            b.iter(|| ReuseDistanceAnalyzer::analyze(t, base.num_vertices()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, reuse_analysis);
+criterion_main!(benches);

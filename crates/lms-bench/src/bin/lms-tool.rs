@@ -1,0 +1,476 @@
+//! `lms-tool` — the downstream-user CLI: generate, inspect, reorder,
+//! improve and render meshes without writing any Rust.
+//!
+//! ```text
+//! USAGE: lms-tool <command> [options]
+//!
+//! commands:
+//!   generate <suite-name|grid> [--scale f] [--nx n --ny n --jitter f --seed n]
+//!            --out <prefix>           write Triangle .node/.ele (or .off)
+//!   info     <prefix|file.off>        mesh statistics
+//!   order    <prefix|file.off> --ordering <name> --out <prefix>
+//!   improve  <prefix|file.off> [--ordering <name>] [--tangle n] --out <prefix>
+//!   render   <prefix|file.off> --out <file.svg>
+//!   generate3 <cube|slab|beam|grid> [--scale f] [--nx --ny --nz --jitter --seed]
+//!            --out <prefix>           write TetGen .node/.ele (3D)
+//!   info3    <prefix>                 tetrahedral mesh statistics
+//!   order3   <prefix> --ordering <name> --out <prefix>
+//!   render3  <prefix> --out <file.svg>   render the boundary surface
+//!
+//! mesh files: a `prefix` reads/writes Triangle `<prefix>.node` +
+//! `<prefix>.ele`; a path ending in `.off` reads/writes OFF.
+//! orderings (2D): ori random bfs bfsrev dfs rcm sloan hilbert morton rcb
+//! spectral qsort degsort rdr
+//! orderings (3D): ori random bfs bfsrev dfs rcm hilbert morton rdr
+//! ```
+
+use lms_apps::{tangle_vertices, Pipeline};
+use lms_mesh::quality::{mesh_quality, vertex_qualities, QualityMetric};
+use lms_mesh::{generators, io, suite, Adjacency, Boundary, TriMesh};
+use lms_mesh3d::generators as gen3;
+use lms_mesh3d::order::{
+    apply_permutation3, compute_ordering3, mean_neighbor_span3, OrderingKind3,
+};
+use lms_mesh3d::{io as io3, Adjacency3, Boundary3, TetMesh, TetQualityMetric};
+use lms_order::{compute_ordering, layout_stats, OrderingKind};
+use lms_viz::{render_mesh, render_tet_surface, Mesh3Style, MeshStyle};
+use std::path::Path;
+use std::process::ExitCode;
+
+struct Opts {
+    positional: Vec<String>,
+    scale: f64,
+    nx: usize,
+    ny: usize,
+    jitter: f64,
+    seed: u64,
+    ordering: OrderingKind,
+    ordering3: OrderingKind3,
+    nz: usize,
+    tangle: Option<usize>,
+    out: Option<String>,
+}
+
+fn parse(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        positional: Vec::new(),
+        scale: 0.02,
+        nx: 50,
+        ny: 50,
+        jitter: 0.35,
+        seed: 1,
+        ordering: OrderingKind::Rdr,
+        ordering3: OrderingKind3::Rdr,
+        nz: 12,
+        tangle: None,
+        out: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--scale" => o.scale = val("--scale")?.parse().map_err(|e| format!("bad --scale: {e}"))?,
+            "--nx" => o.nx = val("--nx")?.parse().map_err(|e| format!("bad --nx: {e}"))?,
+            "--ny" => o.ny = val("--ny")?.parse().map_err(|e| format!("bad --ny: {e}"))?,
+            "--jitter" => {
+                o.jitter = val("--jitter")?.parse().map_err(|e| format!("bad --jitter: {e}"))?
+            }
+            "--seed" => o.seed = val("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?,
+            "--tangle" => {
+                o.tangle = Some(val("--tangle")?.parse().map_err(|e| format!("bad --tangle: {e}"))?)
+            }
+            "--nz" => o.nz = val("--nz")?.parse().map_err(|e| format!("bad --nz: {e}"))?,
+            "--ordering" => {
+                let name = val("--ordering")?;
+                o.ordering = OrderingKind::parse(name)
+                    .ok_or_else(|| format!("unknown ordering {name:?}"))?;
+                if let Some(k3) = OrderingKind3::parse(name) {
+                    o.ordering3 = k3;
+                }
+            }
+            "--out" => o.out = Some(val("--out")?.clone()),
+            other if !other.starts_with('-') => o.positional.push(other.to_string()),
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(o)
+}
+
+fn load(path: &str) -> Result<TriMesh, String> {
+    if path.ends_with(".off") {
+        let file = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        io::read_off(file).map_err(|e| format!("{path}: {e}"))
+    } else {
+        io::load_triangle(path).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn save(mesh: &TriMesh, path: &str) -> Result<(), String> {
+    if path.ends_with(".off") {
+        let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        io::write_off(mesh, file).map_err(|e| format!("{path}: {e}"))
+    } else {
+        io::save_triangle(mesh, path).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn cmd_generate(o: &Opts) -> Result<String, String> {
+    let which = o.positional.first().ok_or("generate needs a mesh name or `grid`")?;
+    let mesh = if which == "grid" {
+        generators::perturbed_grid(o.nx, o.ny, o.jitter, o.seed)
+    } else {
+        let spec = suite::find_spec(which).ok_or_else(|| {
+            format!(
+                "unknown suite mesh {which:?}; names: {}",
+                suite::SUITE.iter().map(|s| s.name).collect::<Vec<_>>().join(" ")
+            )
+        })?;
+        suite::generate(spec, o.scale)
+    };
+    let out = o.out.as_deref().ok_or("generate needs --out")?;
+    save(&mesh, out)?;
+    Ok(format!(
+        "wrote {} ({} vertices, {} triangles)",
+        out,
+        mesh.num_vertices(),
+        mesh.num_triangles()
+    ))
+}
+
+fn cmd_info(o: &Opts) -> Result<String, String> {
+    let path = o.positional.first().ok_or("info needs a mesh path")?;
+    let mesh = load(path)?;
+    let adj = Adjacency::build(&mesh);
+    let boundary = Boundary::detect(&mesh);
+    let metric = QualityMetric::EdgeLengthRatio;
+    let vq = vertex_qualities(&mesh, &adj, metric);
+    let worst = vq.iter().copied().fold(f64::INFINITY, f64::min);
+    let stats = layout_stats(&mesh, &adj);
+    let mut out = String::new();
+    out.push_str(&format!("mesh:        {path}\n"));
+    out.push_str(&format!("vertices:    {}\n", mesh.num_vertices()));
+    out.push_str(&format!("triangles:   {}\n", mesh.num_triangles()));
+    out.push_str(&format!(
+        "boundary:    {} vertices ({} interior)\n",
+        boundary.num_boundary(),
+        boundary.num_interior()
+    ));
+    out.push_str(&format!("euler:       {}\n", mesh.euler_characteristic()));
+    out.push_str(&format!(
+        "degree:      mean {:.2}, max {}\n",
+        adj.mean_degree(),
+        adj.max_degree()
+    ));
+    out.push_str(&format!(
+        "quality:     mean {:.4}, worst vertex {:.4} ({})\n",
+        mesh_quality(&mesh, &adj, metric),
+        worst,
+        metric.name()
+    ));
+    out.push_str(&format!(
+        "layout:      mean neighbour span {:.1}, bandwidth {}\n",
+        stats.mean_span, stats.bandwidth
+    ));
+    Ok(out)
+}
+
+fn cmd_order(o: &Opts) -> Result<String, String> {
+    let path = o.positional.first().ok_or("order needs a mesh path")?;
+    let out = o.out.as_deref().ok_or("order needs --out")?;
+    let mesh = load(path)?;
+    let adj = Adjacency::build(&mesh);
+    let before = layout_stats(&mesh, &adj).mean_span;
+    let perm = compute_ordering(&mesh, o.ordering);
+    let mesh = perm.apply_to_mesh(&mesh);
+    let adj = Adjacency::build(&mesh);
+    let after = layout_stats(&mesh, &adj).mean_span;
+    save(&mesh, out)?;
+    Ok(format!(
+        "applied {}: mean neighbour span {before:.1} -> {after:.1}; wrote {out}",
+        o.ordering.name()
+    ))
+}
+
+fn cmd_improve(o: &Opts) -> Result<String, String> {
+    let path = o.positional.first().ok_or("improve needs a mesh path")?;
+    let out = o.out.as_deref().ok_or("improve needs --out")?;
+    let mut mesh = load(path)?;
+    mesh.orient_ccw();
+    if let Some(stride) = o.tangle {
+        let displaced = tangle_vertices(&mut mesh, stride);
+        eprintln!("tangled {displaced} vertices (--tangle {stride})");
+    }
+    let report = Pipeline::standard(o.ordering).run(&mut mesh);
+    save(&mesh, out)?;
+    let mut msg = String::new();
+    for s in &report.stages {
+        msg.push_str(&format!(
+            "{:<10} {:.4} -> {:.4} (work {})\n",
+            s.stage, s.quality_before, s.quality_after, s.work
+        ));
+    }
+    msg.push_str(&format!(
+        "quality {:.4} -> {:.4}; wrote {out}",
+        report.initial_quality, report.final_quality
+    ));
+    Ok(msg)
+}
+
+fn cmd_render(o: &Opts) -> Result<String, String> {
+    let path = o.positional.first().ok_or("render needs a mesh path")?;
+    let out = o.out.as_deref().ok_or("render needs --out (an .svg path)")?;
+    let mesh = load(path)?;
+    render_mesh(&mesh, &MeshStyle::default())
+        .write_to(Path::new(out))
+        .map_err(|e| format!("{out}: {e}"))?;
+    Ok(format!("rendered {} triangles to {out}", mesh.num_triangles()))
+}
+
+fn load3(prefix: &str) -> Result<TetMesh, String> {
+    io3::load_tetgen(prefix).map_err(|e| format!("{prefix}: {e}"))
+}
+
+fn cmd_generate3(o: &Opts) -> Result<String, String> {
+    let which = o.positional.first().ok_or("generate3 needs a mesh name or `grid`")?;
+    let mesh = if which == "grid" {
+        gen3::block_scramble(
+            gen3::perturbed_tet_grid(o.nx, o.ny, o.nz, o.jitter, o.seed),
+            gen3::ORI3_SCRAMBLE_BLOCK,
+            o.seed,
+        )
+    } else {
+        let spec = gen3::SUITE3
+            .iter()
+            .find(|s| s.name.eq_ignore_ascii_case(which) || s.label.eq_ignore_ascii_case(which))
+            .ok_or_else(|| {
+                format!(
+                    "unknown 3D suite mesh {which:?}; names: {}",
+                    gen3::SUITE3.iter().map(|s| s.name).collect::<Vec<_>>().join(" ")
+                )
+            })?;
+        gen3::generate3(spec, o.scale * 50.0)
+    };
+    let out = o.out.as_deref().ok_or("generate3 needs --out")?;
+    io3::save_tetgen(&mesh, out).map_err(|e| format!("{out}: {e}"))?;
+    Ok(format!("wrote {} ({} vertices, {} tets)", out, mesh.num_vertices(), mesh.num_tets()))
+}
+
+fn cmd_info3(o: &Opts) -> Result<String, String> {
+    let path = o.positional.first().ok_or("info3 needs a mesh prefix")?;
+    let mesh = load3(path)?;
+    let adj = Adjacency3::build(&mesh);
+    let boundary = Boundary3::detect(&mesh);
+    let metric = TetQualityMetric::EdgeLengthRatio;
+    let q = lms_mesh3d::quality::mesh_quality(&mesh, &adj, metric);
+    let mut out = String::new();
+    out.push_str(&format!("mesh:        {path} (tetrahedral)\n"));
+    out.push_str(&format!("vertices:    {}\n", mesh.num_vertices()));
+    out.push_str(&format!("tets:        {}\n", mesh.num_tets()));
+    out.push_str(&format!(
+        "boundary:    {} vertices ({} interior), {} surface faces\n",
+        boundary.num_boundary(),
+        boundary.num_interior(),
+        boundary.num_boundary_faces()
+    ));
+    out.push_str(&format!(
+        "degree:      mean {:.2}, max {}\n",
+        adj.mean_degree(),
+        adj.max_degree()
+    ));
+    out.push_str(&format!("quality:     mean {:.4} ({})\n", q, metric.name()));
+    out.push_str(&format!("layout:      mean neighbour span {:.1}\n", mean_neighbor_span3(&adj)));
+    Ok(out)
+}
+
+fn cmd_order3(o: &Opts) -> Result<String, String> {
+    let path = o.positional.first().ok_or("order3 needs a mesh prefix")?;
+    let out = o.out.as_deref().ok_or("order3 needs --out")?;
+    let mesh = load3(path)?;
+    let before = mean_neighbor_span3(&Adjacency3::build(&mesh));
+    let perm = compute_ordering3(&mesh, o.ordering3);
+    let mesh = apply_permutation3(&perm, &mesh);
+    let after = mean_neighbor_span3(&Adjacency3::build(&mesh));
+    io3::save_tetgen(&mesh, out).map_err(|e| format!("{out}: {e}"))?;
+    Ok(format!(
+        "applied {}: mean neighbour span {before:.1} -> {after:.1}; wrote {out}",
+        o.ordering3.name()
+    ))
+}
+
+fn cmd_render3(o: &Opts) -> Result<String, String> {
+    let path = o.positional.first().ok_or("render3 needs a mesh prefix")?;
+    let out = o.out.as_deref().ok_or("render3 needs --out (an .svg path)")?;
+    let mesh = load3(path)?;
+    render_tet_surface(&mesh, &Mesh3Style::default())
+        .write_to(Path::new(out))
+        .map_err(|e| format!("{out}: {e}"))?;
+    let b = Boundary3::detect(&mesh);
+    Ok(format!("rendered {} surface faces to {out}", b.num_boundary_faces()))
+}
+
+fn usage() -> &'static str {
+    "USAGE: lms-tool <generate|info|order|improve|render|generate3|info3|order3|render3> [options]\n\
+     run with a command and no arguments for its specific requirements;\n\
+     see the crate docs for the full synopsis"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&opts),
+        "info" => cmd_info(&opts),
+        "order" => cmd_order(&opts),
+        "improve" => cmd_improve(&opts),
+        "render" => cmd_render(&opts),
+        "generate3" => cmd_generate3(&opts),
+        "info3" => cmd_info3(&opts),
+        "order3" => cmd_order3(&opts),
+        "render3" => cmd_render3(&opts),
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    };
+    match result {
+        Ok(msg) => {
+            println!("{msg}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_accepts_known_flags() {
+        let o = parse(&args(&[
+            "grid", "--nx", "10", "--ny", "12", "--jitter", "0.2", "--seed", "9", "--ordering",
+            "sloan", "--out", "x",
+        ]))
+        .unwrap();
+        assert_eq!(o.positional, vec!["grid"]);
+        assert_eq!((o.nx, o.ny, o.seed), (10, 12, 9));
+        assert_eq!(o.ordering, OrderingKind::Sloan);
+        assert_eq!(o.out.as_deref(), Some("x"));
+    }
+
+    #[test]
+    fn parse_accepts_3d_flags() {
+        let o = parse(&args(&["cube", "--nz", "7", "--ordering", "rdr", "--out", "y"])).unwrap();
+        assert_eq!(o.nz, 7);
+        assert_eq!(o.ordering3, OrderingKind3::Rdr);
+        // a 3D-only name leaves the 2D ordering untouched but is accepted
+        assert!(parse(&args(&["cube", "--ordering", "bfs"])).is_ok());
+    }
+
+    #[test]
+    fn generate3_and_order3_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("lms_tool3_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("box");
+        let o = Opts {
+            positional: vec!["grid".into()],
+            scale: 0.02,
+            nx: 5,
+            ny: 5,
+            nz: 5,
+            jitter: 0.3,
+            seed: 1,
+            ordering: OrderingKind::Rdr,
+            ordering3: OrderingKind3::Rdr,
+            tangle: None,
+            out: Some(out.to_string_lossy().into_owned()),
+        };
+        let msg = cmd_generate3(&o).unwrap();
+        assert!(msg.contains("vertices"));
+        let info = cmd_info3(&Opts {
+            positional: vec![out.to_string_lossy().into_owned()],
+            out: None,
+            ..o
+        })
+        .unwrap();
+        assert!(info.contains("tetrahedral"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_rejects_unknown() {
+        assert!(parse(&args(&["--bogus"])).is_err());
+        assert!(parse(&args(&["--scale"])).is_err());
+        assert!(parse(&args(&["--ordering", "nope"])).is_err());
+    }
+
+    #[test]
+    fn generate_info_order_improve_render_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("lms_tool_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("m").to_string_lossy().to_string();
+
+        // generate a small grid
+        let o = parse(&args(&[
+            "grid", "--nx", "14", "--ny", "14", "--jitter", "0.3", "--out", &prefix,
+        ]))
+        .unwrap();
+        cmd_generate(&o).unwrap();
+        assert!(Path::new(&format!("{prefix}.node")).exists());
+
+        // info
+        let o = parse(&args(&[&prefix])).unwrap();
+        let info = cmd_info(&o).unwrap();
+        assert!(info.contains("vertices:    196"));
+
+        // order
+        let ordered = dir.join("o").to_string_lossy().to_string();
+        let o = parse(&args(&[&prefix, "--ordering", "rdr", "--out", &ordered])).unwrap();
+        cmd_order(&o).unwrap();
+
+        // improve (with tangling)
+        let improved = dir.join("i").to_string_lossy().to_string();
+        let o = parse(&args(&[&ordered, "--tangle", "20", "--out", &improved])).unwrap();
+        let msg = cmd_improve(&o).unwrap();
+        assert!(msg.contains("untangle"));
+
+        // render
+        let svg = dir.join("m.svg").to_string_lossy().to_string();
+        let o = parse(&args(&[&improved, "--out", &svg])).unwrap();
+        cmd_render(&o).unwrap();
+        assert!(std::fs::read_to_string(&svg).unwrap().contains("<svg"));
+
+        // OFF roundtrip
+        let off = dir.join("m.off").to_string_lossy().to_string();
+        let o = parse(&args(&["crake", "--scale", "0.002", "--out", &off])).unwrap();
+        cmd_generate(&o).unwrap();
+        let o = parse(&args(&[&off])).unwrap();
+        assert!(cmd_info(&o).unwrap().contains("triangles"));
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_files_report_errors() {
+        let o = parse(&args(&["/nonexistent/mesh"])).unwrap();
+        assert!(cmd_info(&o).is_err());
+        let o = parse(&args(&["/nonexistent/mesh.off"])).unwrap();
+        assert!(cmd_info(&o).is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! Tables 1, 2 and 3 of the paper.
+
+use crate::common::{first_sweep_trace, full_trace, ordered_mesh, ExpConfig};
+use crate::table::{k, Table};
+use lms_cache::{estimate_max_elements, quantile, ReuseDistanceAnalyzer, StackDistanceModel};
+use lms_order::OrderingKind;
+use std::fmt::Write as _;
+
+/// Table 1: the mesh inventory — paper counts vs generated counts at the
+/// configured scale.
+pub fn table1(cfg: &ExpConfig) -> String {
+    let mut table = Table::new(
+        format!("Table 1 — input mesh configuration (scale {})", cfg.scale),
+        &["label", "mesh", "paper vertices", "paper triangles", "gen vertices", "gen triangles"],
+    );
+    for named in cfg.meshes() {
+        table.row(vec![
+            named.spec.label.to_string(),
+            named.spec.name.to_string(),
+            named.spec.paper_vertices.to_string(),
+            named.spec.paper_triangles.to_string(),
+            named.mesh.num_vertices().to_string(),
+            named.mesh.num_triangles().to_string(),
+        ]);
+    }
+    if let Some(dir) = &cfg.csv_dir {
+        let _ = table.write_csv(dir, "table1_meshes");
+    }
+    table.render()
+}
+
+/// Table 2: reuse-distance quantiles (50/75/90/100%) of the first
+/// iteration, per mesh and ordering, plus the total access count of a full
+/// run.
+pub fn table2(cfg: &ExpConfig) -> String {
+    let mut table = Table::new(
+        "Table 2 — reuse-distance quantiles of the first iteration",
+        &["mesh", "ordering", "50%", "75%", "90%", "100%", "#accesses (full run)"],
+    );
+    for named in cfg.meshes() {
+        for kind in OrderingKind::PAPER_TRIO {
+            let m = ordered_mesh(&named.mesh, kind);
+            let trace = first_sweep_trace(&m);
+            let distances = ReuseDistanceAnalyzer::analyze(&trace, m.num_vertices());
+            let sink = full_trace(&m, cfg.max_iters);
+            let q = |p: f64| {
+                quantile(&distances, p).map(|v| v.to_string()).unwrap_or_else(|| "-".into())
+            };
+            table.row(vec![
+                named.spec.name.to_string(),
+                kind.name().to_string(),
+                q(0.5),
+                q(0.75),
+                q(0.9),
+                q(1.0),
+                sink.accesses.len().to_string(),
+            ]);
+        }
+    }
+    if let Some(dir) = &cfg.csv_dir {
+        let _ = table.write_csv(dir, "table2_quantiles");
+    }
+    let mut out = table.render();
+    let _ = writeln!(
+        out,
+        "\npaper shape: RDR's quantiles collapse to single digits (50%=1, 90%≤11) and its\nmaximum sits orders of magnitude below ORI/BFS (e.g. carabiner: 1,942 vs 1.9M)."
+    );
+    out
+}
+
+/// Table 3: per the §3.1 theoretical model — estimated number of misses per
+/// cache level (cold misses excluded, as the paper subtracts compulsory
+/// misses) and the estimated maximum number of elements each cache
+/// effectively held.
+pub fn table3(cfg: &ExpConfig) -> String {
+    let model = StackDistanceModel::from_hierarchy(&cfg.hierarchy());
+    let mut table = Table::new(
+        "Table 3 — estimated misses (x10^3) and max elements fitting each cache (x10^3)",
+        &["mesh", "ordering", "L1 miss", "L2 miss", "L3 miss", "L1 elems", "L2 elems", "L3 elems"],
+    );
+    for named in cfg.meshes() {
+        for kind in OrderingKind::PAPER_TRIO {
+            let m = ordered_mesh(&named.mesh, kind);
+            let trace = first_sweep_trace(&m);
+            let distances = ReuseDistanceAnalyzer::analyze(&trace, m.num_vertices());
+            let outcome = model.apply(&distances, false);
+            let elems: Vec<u64> = outcome
+                .misses
+                .iter()
+                .map(|&n| estimate_max_elements(&distances, n))
+                .collect();
+            table.row(vec![
+                named.spec.name.to_string(),
+                kind.name().to_string(),
+                k(outcome.misses[0]),
+                k(outcome.misses[1]),
+                k(outcome.misses[2]),
+                k(elems[0]),
+                k(elems[1]),
+                k(elems[2]),
+            ]);
+        }
+    }
+    if let Some(dir) = &cfg.csv_dir {
+        let _ = table.write_csv(dir, "table3_model");
+    }
+    let mut out = table.render();
+    let _ = writeln!(
+        out,
+        "\npaper shape: RDR has (near-)zero L3 misses, and its estimated max-elements are\nnearly identical across L1/L2/L3 — the quasi-optimality argument of §5.2.3."
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg() -> ExpConfig {
+        ExpConfig {
+            scale: 0.002,
+            mesh: Some("valve".into()),
+            max_iters: 3,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn table1_lists_paper_counts() {
+        let out = table1(&tiny_cfg());
+        assert!(out.contains("300985")); // valve's Table-1 vertex count
+    }
+
+    #[test]
+    fn table2_has_quantile_columns() {
+        let out = table2(&tiny_cfg());
+        assert!(out.contains("50%"));
+        assert!(out.contains("rdr"));
+    }
+
+    #[test]
+    fn table3_reports_model() {
+        let out = table3(&tiny_cfg());
+        assert!(out.contains("L3 elems"));
+    }
+}

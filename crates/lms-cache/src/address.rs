@@ -1,0 +1,156 @@
+//! Element-index → address mapping.
+//!
+//! The traced smoother emits *vertex storage indices*; the cache simulator
+//! needs byte addresses. A [`NodeLayout`] places vertex records
+//! contiguously, `bytes_per_node` apart — the paper's footnote 1 estimates
+//! a node at 66 bytes (2 doubles + ~6 long-int neighbour ids + 1 int flag)
+//! and notes the real size "can be many more times this".
+
+/// A secondary element region (e.g. the triangle-connectivity array that
+/// the quality update streams): element ids `>= first_id` live there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuxRegion {
+    /// First element id belonging to the auxiliary region.
+    pub first_id: u32,
+    /// Bytes per auxiliary record (a triangle is 3 × `u32` = 12 bytes).
+    pub bytes_per_elem: usize,
+}
+
+/// Contiguous array-of-structs layout for vertex records, with an optional
+/// auxiliary region laid out right after it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeLayout {
+    /// Bytes occupied by one vertex record.
+    pub bytes_per_node: usize,
+    /// Base address of the array (line-aligned by default).
+    pub base: u64,
+    /// Optional auxiliary region for ids `>= aux.first_id`.
+    pub aux: Option<AuxRegion>,
+}
+
+impl NodeLayout {
+    /// The paper's 66-byte estimate (footnote 1 of §5.2.3).
+    pub fn paper_66() -> Self {
+        NodeLayout { bytes_per_node: 66, base: 0, aux: None }
+    }
+
+    /// Coordinates only: two `f64`s per vertex.
+    pub fn coords_only() -> Self {
+        NodeLayout { bytes_per_node: 16, base: 0, aux: None }
+    }
+
+    /// This library's actual hot record: `Point2` coordinates plus the CSR
+    /// neighbour slice (assume the paper's mean degree 6 × 4-byte ids,
+    /// rounded up): 16 + 24 + 8 ≈ 48 bytes.
+    pub fn lms_actual() -> Self {
+        NodeLayout { bytes_per_node: 48, base: 0, aux: None }
+    }
+
+    /// Arbitrary record size.
+    pub fn with_bytes(bytes_per_node: usize) -> Self {
+        assert!(bytes_per_node > 0);
+        NodeLayout { bytes_per_node, base: 0, aux: None }
+    }
+
+    /// Add an auxiliary region: ids `>= first_id` are records of
+    /// `bytes_per_elem` bytes laid out after the vertex array (next line
+    /// boundary). Used for the triangle-connectivity accesses of the
+    /// quality update (ids `num_vertices + t`).
+    pub fn with_aux(mut self, first_id: u32, bytes_per_elem: usize) -> Self {
+        assert!(bytes_per_elem > 0);
+        self.aux = Some(AuxRegion { first_id, bytes_per_elem });
+        self
+    }
+
+    /// Base address of the auxiliary region (line-aligned, after the
+    /// vertex array).
+    fn aux_base(&self, aux: &AuxRegion) -> u64 {
+        let end = self.base + aux.first_id as u64 * self.bytes_per_node as u64;
+        end.div_ceil(64) * 64
+    }
+
+    /// Byte address range `(start, len)` of element `idx`.
+    #[inline]
+    pub fn addr_range(&self, idx: u32) -> (u64, usize) {
+        if let Some(aux) = self.aux {
+            if idx >= aux.first_id {
+                let off = (idx - aux.first_id) as u64 * aux.bytes_per_elem as u64;
+                return (self.aux_base(&aux) + off, aux.bytes_per_elem);
+            }
+        }
+        (self.base + idx as u64 * self.bytes_per_node as u64, self.bytes_per_node)
+    }
+
+    /// The cache lines (of `line_bytes`) touched by element `idx`.
+    pub fn lines_of(&self, idx: u32, line_bytes: usize) -> std::ops::RangeInclusive<u64> {
+        let (start, len) = self.addr_range(idx);
+        let first = start / line_bytes as u64;
+        let last = (start + len as u64 - 1) / line_bytes as u64;
+        first..=last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_ranges_are_contiguous() {
+        let l = NodeLayout::paper_66();
+        let (a0, s0) = l.addr_range(0);
+        let (a1, _) = l.addr_range(1);
+        assert_eq!(a0, 0);
+        assert_eq!(s0, 66);
+        assert_eq!(a1, 66);
+    }
+
+    #[test]
+    fn lines_of_small_record_within_one_line() {
+        let l = NodeLayout::coords_only();
+        // 16-byte records: records 0..3 share line 0 (64 B).
+        assert_eq!(l.lines_of(0, 64), 0..=0);
+        assert_eq!(l.lines_of(3, 64), 0..=0);
+        assert_eq!(l.lines_of(4, 64), 1..=1);
+    }
+
+    #[test]
+    fn lines_of_record_straddling_lines() {
+        let l = NodeLayout::paper_66();
+        // record 0: bytes 0..66 → lines 0 and 1.
+        assert_eq!(l.lines_of(0, 64), 0..=1);
+        // record 1: bytes 66..132 → lines 1 and 2.
+        assert_eq!(l.lines_of(1, 64), 1..=2);
+    }
+
+    #[test]
+    fn base_offsets_shift_lines() {
+        let l = NodeLayout { bytes_per_node: 64, base: 128, aux: None };
+        assert_eq!(l.lines_of(0, 64), 2..=2);
+    }
+
+    #[test]
+    fn aux_region_is_laid_out_after_vertices() {
+        // 4 vertices of 66 B (264 B, next line boundary at 320), then
+        // 12-byte triangle records.
+        let l = NodeLayout::paper_66().with_aux(4, 12);
+        let (a, s) = l.addr_range(4); // first triangle
+        assert_eq!(a, 320);
+        assert_eq!(s, 12);
+        let (b, _) = l.addr_range(5);
+        assert_eq!(b, 332);
+        // vertex addressing unchanged
+        assert_eq!(l.addr_range(1), (66, 66));
+        // 12-B records starting at 320: id 4 → 320..332 (line 5),
+        // id 9 → 380..392 (straddles lines 5 and 6)
+        assert_eq!(l.lines_of(4, 64), 5..=5);
+        assert_eq!(l.lines_of(9, 64), 5..=6);
+    }
+
+    #[test]
+    fn preset_sizes() {
+        assert_eq!(NodeLayout::paper_66().bytes_per_node, 66);
+        assert_eq!(NodeLayout::coords_only().bytes_per_node, 16);
+        assert_eq!(NodeLayout::lms_actual().bytes_per_node, 48);
+        assert_eq!(NodeLayout::with_bytes(100).bytes_per_node, 100);
+    }
+}

@@ -1,0 +1,117 @@
+//! Fenwick (binary indexed) tree over `i64` counts.
+//!
+//! Backbone of the exact reuse-distance analyser: one slot per trace
+//! position, holding 1 where a data element's most recent access sits.
+
+/// A Fenwick tree supporting point update and prefix sum in `O(log n)`.
+#[derive(Debug, Clone)]
+pub struct Fenwick {
+    tree: Vec<i64>,
+}
+
+impl Fenwick {
+    /// A tree over `n` slots, all zero.
+    pub fn new(n: usize) -> Self {
+        Fenwick { tree: vec![0; n + 1] }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.tree.len() - 1
+    }
+
+    /// True when the tree has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Add `delta` to slot `i` (0-based).
+    pub fn add(&mut self, i: usize, delta: i64) {
+        let mut i = i + 1;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of slots `0..=i` (0-based, inclusive).
+    pub fn prefix_sum(&self, i: usize) -> i64 {
+        let mut i = (i + 1).min(self.tree.len() - 1);
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Sum of slots in `lo..=hi` (0-based, inclusive); 0 for an empty range.
+    pub fn range_sum(&self, lo: usize, hi: usize) -> i64 {
+        if lo > hi {
+            return 0;
+        }
+        let below = if lo == 0 { 0 } else { self.prefix_sum(lo - 1) };
+        self.prefix_sum(hi) - below
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_tree() {
+        let f = Fenwick::new(0);
+        assert!(f.is_empty());
+        assert_eq!(f.len(), 0);
+    }
+
+    #[test]
+    fn point_updates_and_prefix_sums() {
+        let mut f = Fenwick::new(8);
+        f.add(0, 1);
+        f.add(3, 2);
+        f.add(7, 5);
+        assert_eq!(f.prefix_sum(0), 1);
+        assert_eq!(f.prefix_sum(2), 1);
+        assert_eq!(f.prefix_sum(3), 3);
+        assert_eq!(f.prefix_sum(7), 8);
+    }
+
+    #[test]
+    fn range_sums() {
+        let mut f = Fenwick::new(10);
+        for i in 0..10 {
+            f.add(i, i as i64);
+        }
+        assert_eq!(f.range_sum(0, 9), 45);
+        assert_eq!(f.range_sum(3, 5), 3 + 4 + 5);
+        assert_eq!(f.range_sum(5, 5), 5);
+        assert_eq!(f.range_sum(6, 3), 0); // empty range
+    }
+
+    #[test]
+    fn negative_deltas() {
+        let mut f = Fenwick::new(4);
+        f.add(2, 3);
+        f.add(2, -3);
+        assert_eq!(f.prefix_sum(3), 0);
+    }
+
+    #[test]
+    fn matches_naive_reference() {
+        let mut f = Fenwick::new(32);
+        let mut naive = vec![0i64; 32];
+        let mut state = 12345u64;
+        for _ in 0..200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let i = (state >> 33) as usize % 32;
+            let d = ((state >> 17) as i64 % 7) - 3;
+            f.add(i, d);
+            naive[i] += d;
+            let q = (state >> 5) as usize % 32;
+            let expect: i64 = naive[..=q].iter().sum();
+            assert_eq!(f.prefix_sum(q), expect);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! The paper's analytical models: the theoretical stack-distance miss model
+//! (§3.1), the Equation (2) cycle-cost model, and the Table 3 estimators.
+
+use crate::hierarchy::CacheHierarchy;
+use crate::reuse::COLD;
+
+/// Fully-associative LRU miss model over per-level capacities measured in
+/// *elements*: an access misses level `X` iff its reuse distance exceeds
+/// the capacity of `X` (cold accesses miss every level).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StackDistanceModel {
+    /// Capacity of each level in elements, innermost first.
+    pub capacities: Vec<u64>,
+}
+
+/// Per-level outcome of the stack-distance model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelOutcome {
+    /// Total accesses analysed.
+    pub accesses: u64,
+    /// Misses per level (including cold misses when requested).
+    pub misses: Vec<u64>,
+}
+
+impl ModelOutcome {
+    /// `misses[level] / accesses`.
+    pub fn miss_rates(&self) -> Vec<f64> {
+        self.misses
+            .iter()
+            .map(|&m| if self.accesses == 0 { 0.0 } else { m as f64 / self.accesses as f64 })
+            .collect()
+    }
+}
+
+impl StackDistanceModel {
+    /// Model with explicit per-level capacities.
+    pub fn new(capacities: Vec<u64>) -> Self {
+        assert!(!capacities.is_empty());
+        assert!(
+            capacities.windows(2).all(|w| w[0] <= w[1]),
+            "capacities must be non-decreasing outward"
+        );
+        StackDistanceModel { capacities }
+    }
+
+    /// Capacities derived from a simulated hierarchy's sizes and layout.
+    pub fn from_hierarchy(h: &CacheHierarchy) -> Self {
+        StackDistanceModel::new(h.capacities_in_elements())
+    }
+
+    /// Apply the model to a reuse-distance stream.
+    ///
+    /// `count_cold` controls whether first-ever accesses are charged as
+    /// misses at every level (true models a cold-start machine; the paper's
+    /// Table 3 subtracts compulsory misses, i.e. `false`).
+    pub fn apply(&self, distances: &[u64], count_cold: bool) -> ModelOutcome {
+        let mut misses = vec![0u64; self.capacities.len()];
+        for &d in distances {
+            if d == COLD {
+                if count_cold {
+                    for m in misses.iter_mut() {
+                        *m += 1;
+                    }
+                }
+                continue;
+            }
+            for (level, &cap) in self.capacities.iter().enumerate() {
+                if d > cap {
+                    misses[level] += 1;
+                }
+            }
+        }
+        ModelOutcome { accesses: distances.len() as u64, misses }
+    }
+}
+
+/// Cycle costs of the Equation (2) model: `c2`/`c3`/`cm` are the costs of
+/// an access served by L2, L3 and memory respectively.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Cost of an L2 access (paper: 10 cycles).
+    pub c2: u64,
+    /// Cost of an L3 access (paper: 38–170 cycles; midpoint default 100).
+    pub c3: u64,
+    /// Cost of a memory access (paper: 175–290 cycles; midpoint default 230).
+    pub cm: u64,
+}
+
+impl CostModel {
+    /// Westmere-EX costs from §5.1 (midpoints of reported ranges).
+    pub fn westmere_ex() -> Self {
+        CostModel { c2: 10, c3: 100, cm: 230 }
+    }
+
+    /// Equation (2) with miss *rates*:
+    /// `(m1·c2 + m1·m2·c3 + m1·m2·m3·cm) · accesses`.
+    pub fn extra_cycles_from_rates(&self, m1: f64, m2: f64, m3: f64, accesses: u64) -> f64 {
+        (m1 * self.c2 as f64 + m1 * m2 * self.c3 as f64 + m1 * m2 * m3 * self.cm as f64)
+            * accesses as f64
+    }
+
+    /// Equation (2) with absolute miss counts (`nX` = accesses missing LX):
+    /// `n1·c2 + n2·c3 + n3·cm`.
+    pub fn extra_cycles_from_misses(&self, n1: u64, n2: u64, n3: u64) -> u64 {
+        n1 * self.c2 + n2 * self.c3 + n3 * self.cm
+    }
+}
+
+/// Table 3's right half: assuming the `observed_misses` accesses with the
+/// **largest** reuse distances are the ones that missed, estimate the
+/// maximum number of elements the cache was effectively holding — the
+/// smallest distance that still missed, minus nothing: we return the
+/// largest distance that *fit* (the `(observed_misses+1)`-th largest).
+///
+/// Returns the maximum distance when nothing missed, and 0 when everything
+/// (or more) missed. Cold accesses are ignored.
+pub fn estimate_max_elements(distances: &[u64], observed_misses: u64) -> u64 {
+    let mut finite: Vec<u64> = distances.iter().copied().filter(|&d| d != COLD).collect();
+    if finite.is_empty() {
+        return 0;
+    }
+    finite.sort_unstable_by(|a, b| b.cmp(a)); // descending
+    let k = observed_misses as usize;
+    if k >= finite.len() {
+        0
+    } else {
+        finite[k]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::NodeLayout;
+
+    #[test]
+    fn model_thresholds_split_misses() {
+        let m = StackDistanceModel::new(vec![4, 16]);
+        let distances = vec![0, 3, 4, 5, 15, 16, 17, COLD];
+        let out = m.apply(&distances, false);
+        assert_eq!(out.accesses, 8);
+        assert_eq!(out.misses, vec![4, 1]); // {5,15,16,17} > 4; {17} > 16
+        let with_cold = m.apply(&distances, true);
+        assert_eq!(with_cold.misses, vec![5, 2]);
+    }
+
+    #[test]
+    fn miss_rates_normalise_by_accesses() {
+        let m = StackDistanceModel::new(vec![1]);
+        let out = m.apply(&[0, 2, 2, 0], false);
+        assert_eq!(out.miss_rates(), vec![0.5]);
+    }
+
+    #[test]
+    fn from_hierarchy_matches_capacities() {
+        let h = CacheHierarchy::westmere_ex(NodeLayout::paper_66());
+        let m = StackDistanceModel::from_hierarchy(&h);
+        assert_eq!(m.capacities, vec![496, 3971, 381_300]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn decreasing_capacities_rejected() {
+        StackDistanceModel::new(vec![10, 5]);
+    }
+
+    #[test]
+    fn eq2_rates_and_misses_agree() {
+        let c = CostModel::westmere_ex();
+        // 1000 accesses, rates 0.1 / 0.5 / 0.2 → n1=100, n2=50, n3=10.
+        let via_rates = c.extra_cycles_from_rates(0.1, 0.5, 0.2, 1000);
+        let via_misses = c.extra_cycles_from_misses(100, 50, 10) as f64;
+        assert!((via_rates - via_misses).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq2_zero_misses_cost_nothing() {
+        let c = CostModel::westmere_ex();
+        assert_eq!(c.extra_cycles_from_misses(0, 0, 0), 0);
+        assert_eq!(c.extra_cycles_from_rates(0.0, 0.0, 0.0, 1_000_000), 0.0);
+    }
+
+    #[test]
+    fn max_elements_estimation() {
+        let d = vec![10, 50, 3, 7, 100, COLD];
+        // 2 misses → the two largest (100, 50) missed; largest fitting is 10.
+        assert_eq!(estimate_max_elements(&d, 2), 10);
+        // 0 misses → everything fit; estimate is the max distance.
+        assert_eq!(estimate_max_elements(&d, 0), 100);
+        // ≥ all finite → nothing fit.
+        assert_eq!(estimate_max_elements(&d, 5), 0);
+        assert_eq!(estimate_max_elements(&[COLD], 1), 0);
+    }
+
+    #[test]
+    fn model_and_estimator_are_inverse_ish() {
+        // Apply the model, then re-estimate capacity from its miss count:
+        // the estimate must be ≤ the true capacity and ≥ the largest
+        // fitting distance.
+        let caps = vec![8u64];
+        let m = StackDistanceModel::new(caps.clone());
+        let d: Vec<u64> = vec![1, 2, 3, 9, 10, 4, 20, 8];
+        let out = m.apply(&d, false);
+        let est = estimate_max_elements(&d, out.misses[0]);
+        assert_eq!(est, 8);
+        assert!(est <= caps[0]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Miss-ratio curves (MRC) from exact reuse distances.
+//!
+//! Under the paper's §3.1 stack-distance model a fully-associative LRU
+//! cache of capacity `c` elements hits an access exactly when its reuse
+//! distance is below `c` ("below a reuse distance of 496 there should not
+//! be any L1 cache miss"). One pass over the exact distances therefore
+//! yields the *entire* miss ratio vs cache size curve — the standard
+//! Mattson-stack analysis. The MRC makes the paper's cache-size claims
+//! visual: RDR's curve drops to the compulsory floor at a tiny capacity,
+//! while ORI still misses at L3-scale capacities (the `mrc` experiment).
+
+use crate::reuse::COLD;
+
+/// A miss-ratio curve sampled at a set of capacities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MissRatioCurve {
+    /// Capacities (in elements or lines — whatever unit the distances were
+    /// measured in), strictly increasing.
+    pub capacities: Vec<u64>,
+    /// Miss count at each capacity (same length as `capacities`).
+    pub misses: Vec<u64>,
+    /// Total accesses.
+    pub total: u64,
+    /// Compulsory (cold) misses — the floor no capacity removes.
+    pub cold: u64,
+}
+
+impl MissRatioCurve {
+    /// Build from exact reuse distances (as produced by
+    /// [`crate::reuse::ReuseDistanceAnalyzer`]) at the given capacities.
+    ///
+    /// A capacity of 0 misses every access; capacities are sorted and
+    /// deduplicated.
+    pub fn from_distances(distances: &[u64], capacities: &[u64]) -> MissRatioCurve {
+        let mut caps: Vec<u64> = capacities.to_vec();
+        caps.sort_unstable();
+        caps.dedup();
+        let total = distances.len() as u64;
+        let cold = distances.iter().filter(|&&d| d == COLD).count() as u64;
+
+        // histogram of finite distances, then misses(c) = cold + #{d >= c}
+        // via a single sorted sweep
+        let mut finite: Vec<u64> =
+            distances.iter().copied().filter(|&d| d != COLD).collect();
+        finite.sort_unstable();
+        let misses = caps
+            .iter()
+            .map(|&c| {
+                // number of finite distances >= c
+                let below = finite.partition_point(|&d| d < c) as u64;
+                cold + (finite.len() as u64 - below)
+            })
+            .collect();
+        MissRatioCurve { capacities: caps, misses, total, cold }
+    }
+
+    /// Miss ratio at sample index `i` (0 when the trace is empty).
+    pub fn ratio(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.misses[i] as f64 / self.total as f64
+        }
+    }
+
+    /// `(capacity, miss ratio)` pairs.
+    pub fn points(&self) -> Vec<(u64, f64)> {
+        (0..self.capacities.len()).map(|i| (self.capacities[i], self.ratio(i))).collect()
+    }
+
+    /// Smallest sampled capacity whose miss ratio is at most `target`
+    /// (`None` if no sampled capacity reaches it — e.g. below the cold
+    /// floor).
+    pub fn capacity_for(&self, target: f64) -> Option<u64> {
+        (0..self.capacities.len()).find(|&i| self.ratio(i) <= target).map(|i| self.capacities[i])
+    }
+
+    /// The cold-miss floor as a ratio.
+    pub fn cold_ratio(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.cold as f64 / self.total as f64
+        }
+    }
+}
+
+/// Power-of-two capacities `1, 2, 4, … ≥ max` — the usual MRC x-axis.
+pub fn pow2_capacities(max: u64) -> Vec<u64> {
+    let mut caps = vec![0u64];
+    let mut c = 1u64;
+    while c < max {
+        caps.push(c);
+        c *= 2;
+    }
+    caps.push(c);
+    caps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reuse::ReuseDistanceAnalyzer;
+
+    #[test]
+    fn cyclic_scan_has_a_step_curve() {
+        // round-robin over 8 elements: all reuse distances are 7, so the
+        // curve steps from all-miss to cold-only exactly at capacity 8
+        let trace: Vec<u32> = (0..80).map(|i| i % 8).collect();
+        let d = ReuseDistanceAnalyzer::analyze(&trace, 8);
+        let mrc = MissRatioCurve::from_distances(&d, &[0, 1, 4, 7, 8, 16]);
+        assert_eq!(mrc.total, 80);
+        assert_eq!(mrc.cold, 8);
+        // capacity 7: distances are 7 → still misses
+        let at = |c: u64| {
+            let i = mrc.capacities.iter().position(|&x| x == c).unwrap();
+            mrc.misses[i]
+        };
+        assert_eq!(at(0), 80);
+        assert_eq!(at(7), 80);
+        assert_eq!(at(8), 8, "at capacity 8 only cold misses remain");
+        assert_eq!(at(16), 8);
+    }
+
+    #[test]
+    fn curve_is_monotone_nonincreasing() {
+        let trace: Vec<u32> = (0..500).map(|i| (i * i) as u32 % 97).collect();
+        let d = ReuseDistanceAnalyzer::analyze(&trace, 97);
+        let mrc = MissRatioCurve::from_distances(&d, &pow2_capacities(256));
+        for w in mrc.misses.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+        assert_eq!(*mrc.misses.last().unwrap(), mrc.cold);
+        assert!((mrc.ratio(mrc.capacities.len() - 1) - mrc.cold_ratio()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn capacity_for_finds_the_knee() {
+        let trace: Vec<u32> = (0..100).map(|i| i % 10).collect();
+        let d = ReuseDistanceAnalyzer::analyze(&trace, 10);
+        let mrc = MissRatioCurve::from_distances(&d, &pow2_capacities(64));
+        // cold ratio = 10/100 = 0.1; reachable only from capacity 16 (the
+        // first pow2 ≥ 10)
+        assert_eq!(mrc.capacity_for(0.1), Some(16));
+        assert_eq!(mrc.capacity_for(0.05), None);
+        assert_eq!(mrc.capacity_for(1.0), Some(0));
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let mrc = MissRatioCurve::from_distances(&[], &[0, 1]);
+        assert_eq!(mrc.total, 0);
+        assert_eq!(mrc.ratio(0), 0.0);
+        assert_eq!(mrc.cold_ratio(), 0.0);
+        assert_eq!(pow2_capacities(1), vec![0, 1]);
+        assert!(pow2_capacities(1000).contains(&1024));
+    }
+
+    #[test]
+    fn agrees_with_direct_lru_simulation() {
+        use crate::opt::lru_misses;
+        let mut x = 99u64;
+        let trace: Vec<u32> = (0..2000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % 61) as u32
+            })
+            .collect();
+        let d = ReuseDistanceAnalyzer::analyze(&trace, 61);
+        let caps = [1u64, 2, 5, 16, 33, 61, 100];
+        let mrc = MissRatioCurve::from_distances(&d, &caps);
+        let trace64: Vec<u64> = trace.iter().map(|&t| t as u64).collect();
+        for (i, &c) in mrc.capacities.iter().enumerate() {
+            let sim = lru_misses(&trace64, c as usize).misses;
+            assert_eq!(mrc.misses[i], sim, "capacity {c}");
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! Multicore cache simulation (the paper's §5.3 scaling study).
+//!
+//! The Westmere-EX machine has 4 sockets × 8 cores: private 32 KiB L1 and
+//! 256 KiB L2 per core, one 24 MiB L3 per socket. This simulator runs one
+//! access trace per thread against that topology, interleaving threads
+//! round-robin (one element each per step) and charging per-thread cycle
+//! costs; the wall-clock estimate is the maximum per-thread cycle count.
+//!
+//! This is the substitution for real 32-core runs (DESIGN.md §3): the paper
+//! itself attributes its superlinear scaling to the growth of aggregate
+//! cache capacity with the thread count (§5.3, Figure 11) — exactly the
+//! mechanism simulated here.
+
+use crate::address::NodeLayout;
+use crate::cache::{CacheConfig, CacheLevel, CacheStats};
+use crate::hierarchy::MemoryConfig;
+
+/// How threads are pinned to sockets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Affinity {
+    /// Fill socket 0 first (`KMP_AFFINITY=compact`, the paper's setting).
+    Compact,
+    /// Round-robin across sockets (`scatter`) — the hypothesis the paper
+    /// offers for the superlinear start (§5.3).
+    Scatter,
+}
+
+/// Machine description for the multicore simulation.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Private per-core levels, innermost first (Westmere: L1, L2).
+    pub private_levels: Vec<CacheConfig>,
+    /// The per-socket shared level (Westmere: L3).
+    pub shared_level: CacheConfig,
+    /// Cores per socket sharing one `shared_level`.
+    pub cores_per_socket: usize,
+    /// Number of sockets available.
+    pub num_sockets: usize,
+    /// Memory latency.
+    pub memory: MemoryConfig,
+    /// Record layout.
+    pub layout: NodeLayout,
+    /// Thread pinning policy.
+    pub affinity: Affinity,
+}
+
+impl MachineConfig {
+    /// The paper's Westmere-EX (4 × 8 cores), compact affinity.
+    pub fn westmere_ex(layout: NodeLayout) -> Self {
+        MachineConfig {
+            private_levels: vec![
+                CacheConfig {
+                    name: "L1",
+                    size_bytes: 32 * 1024,
+                    line_bytes: 64,
+                    associativity: 8,
+                    latency_cycles: 4,
+                },
+                CacheConfig {
+                    name: "L2",
+                    size_bytes: 256 * 1024,
+                    line_bytes: 64,
+                    associativity: 8,
+                    latency_cycles: 10,
+                },
+            ],
+            shared_level: CacheConfig {
+                name: "L3",
+                size_bytes: 24 * 1024 * 1024,
+                line_bytes: 64,
+                associativity: 24,
+                latency_cycles: 100,
+            },
+            cores_per_socket: 8,
+            num_sockets: 4,
+            memory: MemoryConfig { latency_cycles: 230 },
+            layout,
+            affinity: Affinity::Compact,
+        }
+    }
+
+    /// A scaled-down machine (~64× smaller caches) for fast experiments at
+    /// reduced mesh scales.
+    pub fn westmere_scaled(layout: NodeLayout, shrink: usize) -> Self {
+        assert!(shrink >= 1);
+        // keep sizes line-aligned and able to hold at least one full set
+        let scaled = |c: &CacheConfig| ((c.size_bytes / shrink) / c.line_bytes).max(c.associativity) * c.line_bytes;
+        let mut m = MachineConfig::westmere_ex(layout);
+        for l in &mut m.private_levels {
+            l.size_bytes = scaled(l);
+        }
+        m.shared_level.size_bytes = scaled(&m.shared_level);
+        m
+    }
+
+    /// Socket of thread `t` under the configured affinity.
+    pub fn socket_of(&self, t: usize) -> usize {
+        match self.affinity {
+            Affinity::Compact => (t / self.cores_per_socket).min(self.num_sockets - 1),
+            Affinity::Scatter => t % self.num_sockets,
+        }
+    }
+}
+
+/// Aggregated outcome of a multicore simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MulticoreResult {
+    /// Number of threads simulated.
+    pub num_threads: usize,
+    /// Cycles charged to each thread.
+    pub per_thread_cycles: Vec<u64>,
+    /// Aggregate private-level stats, innermost first (summed over cores).
+    pub private_stats: Vec<CacheStats>,
+    /// Aggregate shared-level stats (summed over sockets).
+    pub shared_stats: CacheStats,
+    /// Accesses that went to memory.
+    pub memory_accesses: u64,
+}
+
+impl MulticoreResult {
+    /// Estimated wall-clock cycles: the busiest thread.
+    pub fn wall_cycles(&self) -> u64 {
+        self.per_thread_cycles.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Sum of all per-thread cycles (total work).
+    pub fn total_cycles(&self) -> u64 {
+        self.per_thread_cycles.iter().sum()
+    }
+}
+
+/// Simulate `thread_traces` (element-index streams, one per thread) on
+/// `machine`. Threads advance round-robin, one element per step, so shared
+/// L3 interleaving is approximated fairly.
+pub fn simulate(machine: &MachineConfig, thread_traces: &[Vec<u32>]) -> MulticoreResult {
+    let p = thread_traces.len();
+    assert!(p > 0, "need at least one thread trace");
+    assert!(
+        p <= machine.cores_per_socket * machine.num_sockets,
+        "more threads than cores"
+    );
+    let line_bytes = machine.shared_level.line_bytes;
+
+    // Private caches per thread, shared cache per socket.
+    let mut privates: Vec<Vec<CacheLevel>> = (0..p)
+        .map(|_| machine.private_levels.iter().map(|&c| CacheLevel::new(c)).collect())
+        .collect();
+    let sockets_in_use = (0..p).map(|t| machine.socket_of(t)).max().unwrap() + 1;
+    let mut shared: Vec<CacheLevel> =
+        (0..sockets_in_use).map(|_| CacheLevel::new(machine.shared_level)).collect();
+
+    let mut cycles = vec![0u64; p];
+    let mut cursors = vec![0usize; p];
+    let mut memory_accesses = 0u64;
+    let mut remaining = p;
+
+    while remaining > 0 {
+        remaining = 0;
+        for t in 0..p {
+            let trace = &thread_traces[t];
+            if cursors[t] >= trace.len() {
+                continue;
+            }
+            let elem = trace[cursors[t]];
+            cursors[t] += 1;
+            if cursors[t] < trace.len() {
+                remaining += 1;
+            }
+            for line in machine.layout.lines_of(elem, line_bytes) {
+                let mut served = false;
+                for level in privates[t].iter_mut() {
+                    cycles[t] += level.config().latency_cycles;
+                    if level.access_line(line) {
+                        served = true;
+                        break;
+                    }
+                }
+                if served {
+                    continue;
+                }
+                let s = machine.socket_of(t);
+                cycles[t] += shared[s].config().latency_cycles;
+                if !shared[s].access_line(line) {
+                    cycles[t] += machine.memory.latency_cycles;
+                    memory_accesses += 1;
+                }
+            }
+        }
+    }
+
+    // Aggregate stats.
+    let mut private_stats = vec![CacheStats::default(); machine.private_levels.len()];
+    for per_core in &privates {
+        for (agg, level) in private_stats.iter_mut().zip(per_core) {
+            let s = level.stats();
+            agg.accesses += s.accesses;
+            agg.hits += s.hits;
+            agg.misses += s.misses;
+        }
+    }
+    let mut shared_stats = CacheStats::default();
+    for s in &shared {
+        let st = s.stats();
+        shared_stats.accesses += st.accesses;
+        shared_stats.hits += st.hits;
+        shared_stats.misses += st.misses;
+    }
+
+    MulticoreResult { num_threads: p, per_thread_cycles: cycles, private_stats, shared_stats, memory_accesses }
+}
+
+/// Split a flat element trace into `p` contiguous chunks — the static
+/// schedule of the paper ("evenly dividing the vertices"). The split is on
+/// access counts, which matches vertex counts for near-uniform degrees.
+pub fn split_static(trace: &[u32], p: usize) -> Vec<Vec<u32>> {
+    assert!(p > 0);
+    let n = trace.len();
+    (0..p)
+        .map(|t| {
+            let lo = t * n / p;
+            let hi = (t + 1) * n / p;
+            trace[lo..hi].to_vec()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_machine(affinity: Affinity) -> MachineConfig {
+        MachineConfig {
+            private_levels: vec![CacheConfig {
+                name: "L1",
+                size_bytes: 256,
+                line_bytes: 64,
+                associativity: 4,
+                latency_cycles: 4,
+            }],
+            shared_level: CacheConfig {
+                name: "L3",
+                size_bytes: 1024,
+                line_bytes: 64,
+                associativity: 16,
+                latency_cycles: 100,
+            },
+            cores_per_socket: 2,
+            num_sockets: 2,
+            memory: MemoryConfig { latency_cycles: 230 },
+            layout: NodeLayout::with_bytes(64),
+            affinity,
+        }
+    }
+
+    #[test]
+    fn single_thread_equivalent_to_hierarchy() {
+        let m = small_machine(Affinity::Compact);
+        let trace: Vec<u32> = vec![0, 1, 2, 0, 1, 2];
+        let r = simulate(&m, &[trace]);
+        // 64-byte records, one line each. 3 cold misses then 3 L1 hits
+        // (3 lines fit in the 4-way 256-byte L1).
+        assert_eq!(r.private_stats[0].misses, 3);
+        assert_eq!(r.private_stats[0].hits, 3);
+        assert_eq!(r.memory_accesses, 3);
+        assert_eq!(r.wall_cycles(), r.total_cycles());
+    }
+
+    #[test]
+    fn threads_have_private_l1s() {
+        let m = small_machine(Affinity::Compact);
+        // Both threads access the same elements: each gets its own cold miss.
+        let r = simulate(&m, &[vec![0, 0], vec![0, 0]]);
+        assert_eq!(r.private_stats[0].misses, 2);
+        assert_eq!(r.private_stats[0].hits, 2);
+        // But the L3 is shared within the socket: second thread's miss hits L3.
+        assert_eq!(r.shared_stats.hits, 1);
+        assert_eq!(r.memory_accesses, 1);
+    }
+
+    #[test]
+    fn scatter_spreads_sockets_compact_fills() {
+        let m_compact = small_machine(Affinity::Compact);
+        let m_scatter = small_machine(Affinity::Scatter);
+        assert_eq!(m_compact.socket_of(0), 0);
+        assert_eq!(m_compact.socket_of(1), 0);
+        assert_eq!(m_compact.socket_of(2), 1);
+        assert_eq!(m_scatter.socket_of(0), 0);
+        assert_eq!(m_scatter.socket_of(1), 1);
+        assert_eq!(m_scatter.socket_of(2), 0);
+    }
+
+    #[test]
+    fn scatter_gets_more_aggregate_l3() {
+        // Two threads with disjoint working sets larger than one L3 but
+        // fitting in two: scatter puts them on different sockets → fewer
+        // memory accesses.
+        let trace_a: Vec<u32> = (0..16).flat_map(|_| 0..16u32).collect();
+        let trace_b: Vec<u32> = (0..16).flat_map(|_| 16..32u32).collect();
+        let compact = simulate(&small_machine(Affinity::Compact), &[trace_a.clone(), trace_b.clone()]);
+        let scatter = simulate(&small_machine(Affinity::Scatter), &[trace_a, trace_b]);
+        assert!(
+            scatter.memory_accesses < compact.memory_accesses,
+            "scatter {} vs compact {}",
+            scatter.memory_accesses,
+            compact.memory_accesses
+        );
+    }
+
+    #[test]
+    fn wall_cycles_is_busiest_thread() {
+        let m = small_machine(Affinity::Compact);
+        let r = simulate(&m, &[vec![0; 100], vec![1; 2]]);
+        assert_eq!(r.wall_cycles(), r.per_thread_cycles[0]);
+        assert!(r.per_thread_cycles[0] > r.per_thread_cycles[1]);
+    }
+
+    #[test]
+    fn split_static_partitions_evenly() {
+        let trace: Vec<u32> = (0..10).collect();
+        let parts = split_static(&trace, 3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts.concat(), trace);
+        assert!(parts.iter().all(|p| (3..=4).contains(&p.len())));
+    }
+
+    #[test]
+    fn too_many_threads_rejected() {
+        let m = small_machine(Affinity::Compact);
+        let traces = vec![vec![0u32]; 5]; // machine has 4 cores
+        assert!(std::panic::catch_unwind(|| simulate(&m, &traces)).is_err());
+    }
+}

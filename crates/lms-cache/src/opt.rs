@@ -1,0 +1,266 @@
+//! Belady's MIN (OPT) — the offline-optimal replacement policy.
+//!
+//! §5.2.3 of the paper argues RDR is "quasi-optimal amongst the possible
+//! reordering algorithms" because its remaining L2/L3 misses are not
+//! reuse-related. MIN makes that claim quantitative: it evicts the line
+//! whose next use lies farthest in the future, which minimises misses for
+//! a *fixed* trace and cache size (Belady 1966). Comparing each ordering's
+//! LRU misses against its own MIN misses (same trace, same capacity)
+//! separates "misses an ideal cache would also take" (compulsory +
+//! capacity under OPT) from "misses LRU causes"; an ordering whose LRU
+//! count sits on its MIN count has nothing left for *any* replacement
+//! policy — and a fortiori for cache-oblivious layout tweaks — to recover.
+//!
+//! Both simulators here are fully associative with capacity counted in
+//! lines, matching the paper's §3.1 theoretical model; use
+//! [`element_line_trace`] to lower an element-id trace onto cache lines
+//! first.
+
+use crate::address::NodeLayout;
+use crate::cache::CacheStats;
+use std::collections::{BTreeSet, HashMap};
+
+/// Index meaning "never used again" in a next-use chain.
+pub const NEVER: u64 = u64::MAX;
+
+/// For every position `i` of `trace`, the position of the next access to
+/// the same key (or [`NEVER`]).
+pub fn next_use_chain(trace: &[u64]) -> Vec<u64> {
+    let mut next = vec![NEVER; trace.len()];
+    let mut last_seen: HashMap<u64, usize> = HashMap::new();
+    for (i, &key) in trace.iter().enumerate().rev() {
+        if let Some(&j) = last_seen.get(&key) {
+            next[i] = j as u64;
+        }
+        last_seen.insert(key, i);
+    }
+    next
+}
+
+/// Misses of a fully-associative cache of `capacity` lines running `trace`
+/// under Belady's MIN replacement.
+///
+/// `capacity == 0` degenerates to "every access misses".
+pub fn belady_misses(trace: &[u64], capacity: usize) -> CacheStats {
+    let mut stats = CacheStats {
+        accesses: trace.len() as u64,
+        ..CacheStats::default()
+    };
+    if capacity == 0 {
+        stats.misses = stats.accesses;
+        return stats;
+    }
+    let next = next_use_chain(trace);
+    // resident lines keyed by their next use; (next_use, key) is unique
+    // because two lines cannot share the same next-use position
+    let mut by_next_use: BTreeSet<(u64, u64)> = BTreeSet::new();
+    let mut resident: HashMap<u64, u64> = HashMap::new(); // key → next_use
+
+    for (i, &key) in trace.iter().enumerate() {
+        let this_next = next[i];
+        if let Some(&old_next) = resident.get(&key) {
+            stats.hits += 1;
+            by_next_use.remove(&(old_next, key));
+        } else {
+            stats.misses += 1;
+            if resident.len() == capacity {
+                // evict the resident line used farthest in the future
+                let &(far_next, victim) = by_next_use.iter().next_back().expect("cache full");
+                by_next_use.remove(&(far_next, victim));
+                resident.remove(&victim);
+            }
+        }
+        resident.insert(key, this_next);
+        by_next_use.insert((this_next, key));
+    }
+    stats
+}
+
+/// Misses of a fully-associative **LRU** cache of `capacity` lines on the
+/// same kind of key trace — the apples-to-apples partner of
+/// [`belady_misses`].
+pub fn lru_misses(trace: &[u64], capacity: usize) -> CacheStats {
+    let mut stats = CacheStats {
+        accesses: trace.len() as u64,
+        ..CacheStats::default()
+    };
+    if capacity == 0 {
+        stats.misses = stats.accesses;
+        return stats;
+    }
+    let mut by_age: BTreeSet<(u64, u64)> = BTreeSet::new(); // (stamp, key)
+    let mut resident: HashMap<u64, u64> = HashMap::new(); // key → stamp
+
+    for (stamp, &key) in (0u64..).zip(trace.iter()) {
+        if let Some(&old) = resident.get(&key) {
+            stats.hits += 1;
+            by_age.remove(&(old, key));
+        } else {
+            stats.misses += 1;
+            if resident.len() == capacity {
+                let &(oldest, victim) = by_age.iter().next().expect("cache full");
+                by_age.remove(&(oldest, victim));
+                resident.remove(&victim);
+            }
+        }
+        resident.insert(key, stamp);
+        by_age.insert((stamp, key));
+    }
+    stats
+}
+
+/// Number of distinct keys in `trace` — the compulsory (cold) misses that
+/// no replacement policy can avoid.
+pub fn compulsory_misses(trace: &[u64]) -> u64 {
+    let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    trace.iter().filter(|&&k| seen.insert(k)).count() as u64
+}
+
+/// Lower an element-id trace to the cache-line trace it induces under
+/// `layout` (one entry per touched line, in access order) — the input
+/// [`belady_misses`] and [`lru_misses`] expect.
+pub fn element_line_trace(trace: &[u32], layout: &NodeLayout, line_bytes: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(trace.len());
+    for &idx in trace {
+        for line in layout.lines_of(idx, line_bytes) {
+            out.push(line);
+        }
+    }
+    out
+}
+
+/// LRU-vs-OPT gap of one trace at one capacity, as used by the `opt`
+/// experiment: how many of LRU's misses even an offline-optimal policy
+/// must take, and how many are LRU's own fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptComparison {
+    /// Cache capacity in lines.
+    pub capacity: usize,
+    /// Misses under LRU.
+    pub lru_misses: u64,
+    /// Misses under Belady MIN.
+    pub opt_misses: u64,
+    /// Cold misses (distinct lines).
+    pub compulsory: u64,
+}
+
+impl OptComparison {
+    /// Run both simulators on `trace`.
+    pub fn measure(trace: &[u64], capacity: usize) -> OptComparison {
+        OptComparison {
+            capacity,
+            lru_misses: lru_misses(trace, capacity).misses,
+            opt_misses: belady_misses(trace, capacity).misses,
+            compulsory: compulsory_misses(trace),
+        }
+    }
+
+    /// `lru / opt` miss ratio (1.0 = LRU is already optimal; ∞-safe).
+    pub fn lru_over_opt(&self) -> f64 {
+        if self.opt_misses == 0 {
+            if self.lru_misses == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.lru_misses as f64 / self.opt_misses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_use_chain_links_repeats() {
+        let next = next_use_chain(&[5, 7, 5, 5, 7]);
+        assert_eq!(next, vec![2, 4, 3, NEVER, NEVER]);
+        assert_eq!(next_use_chain(&[]), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn belady_on_the_textbook_example() {
+        // classic: trace 1..5 with capacity 3 — OPT keeps what's reused
+        let trace = [1u64, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5];
+        let opt = belady_misses(&trace, 3);
+        // known OPT result for this FIFO/LRU teaching trace: 7 faults
+        assert_eq!(opt.misses, 7);
+        let lru = lru_misses(&trace, 3);
+        assert_eq!(lru.misses, 10);
+        assert!(opt.misses <= lru.misses);
+    }
+
+    #[test]
+    fn opt_never_beats_compulsory_and_never_loses_to_lru() {
+        // pseudo-random trace, several capacities
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        let trace: Vec<u64> = (0..4000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % 97
+            })
+            .collect();
+        let cold = compulsory_misses(&trace);
+        for cap in [1, 2, 8, 32, 64, 97, 128] {
+            let opt = belady_misses(&trace, cap);
+            let lru = lru_misses(&trace, cap);
+            assert!(opt.misses >= cold, "cap {cap}: OPT below compulsory");
+            assert!(opt.misses <= lru.misses, "cap {cap}: OPT worse than LRU");
+            assert_eq!(opt.accesses, trace.len() as u64);
+            assert_eq!(opt.hits + opt.misses, opt.accesses);
+        }
+    }
+
+    #[test]
+    fn cache_as_large_as_the_universe_only_takes_cold_misses() {
+        let trace: Vec<u64> = (0..100).map(|i| i % 10).collect();
+        assert_eq!(belady_misses(&trace, 10).misses, 10);
+        assert_eq!(lru_misses(&trace, 10).misses, 10);
+    }
+
+    #[test]
+    fn sequential_scan_defeats_lru_but_not_opt() {
+        // cyclic scan over capacity+1 lines: LRU misses everything, OPT
+        // keeps capacity-1 of them resident
+        let trace: Vec<u64> = (0..400).map(|i| i % 5).collect();
+        let lru = lru_misses(&trace, 4);
+        let opt = belady_misses(&trace, 4);
+        assert_eq!(lru.misses, 400, "LRU thrashes the cyclic scan");
+        assert!(
+            opt.misses < 400 / 3,
+            "OPT must mostly hit, got {} misses",
+            opt.misses
+        );
+    }
+
+    #[test]
+    fn zero_capacity_misses_everything() {
+        let trace = [1u64, 1, 1];
+        assert_eq!(belady_misses(&trace, 0).misses, 3);
+        assert_eq!(lru_misses(&trace, 0).misses, 3);
+    }
+
+    #[test]
+    fn element_trace_lowering_matches_layout() {
+        // 66-byte records, 64-byte lines: element k spans bytes
+        // [66k, 66k+65], i.e. lines 66k/64 ..= (66k+65)/64 — two lines
+        let layout = NodeLayout::paper_66();
+        let lines = element_line_trace(&[0, 1], &layout, 64);
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], 0);
+        assert_eq!(lines[1], 1);
+    }
+
+    #[test]
+    fn comparison_ratio_is_safe() {
+        let c = OptComparison::measure(&[1, 2, 3], 8);
+        assert_eq!(c.lru_misses, c.opt_misses);
+        assert!((c.lru_over_opt() - 1.0).abs() < 1e-15);
+        let empty = OptComparison::measure(&[], 8);
+        assert_eq!(empty.lru_over_opt(), 1.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Exact LRU reuse-distance (stack-distance) analysis.
+//!
+//! The reuse distance of an access is "the number of distinct data accesses
+//! between two consecutive accesses of the same data element" (§1). Under a
+//! fully associative LRU cache of capacity `C` elements, an access misses
+//! iff its reuse distance exceeds `C` — the theoretical model of §3.1 that
+//! the paper uses throughout Tables 2–3.
+//!
+//! The analyser runs the classic Bennett–Kruskal/Olken algorithm: a Fenwick
+//! tree over trace positions marks each element's most recent access; the
+//! distance of a re-access is the number of marks strictly between the two
+//! accesses. `O(log n)` per access.
+
+use crate::fenwick::Fenwick;
+
+/// Sentinel distance for a first-ever (cold) access.
+pub const COLD: u64 = u64::MAX;
+
+/// Streaming exact reuse-distance analyser over element ids.
+#[derive(Debug, Clone)]
+pub struct ReuseDistanceAnalyzer {
+    /// most recent trace position of each element (usize::MAX = never seen)
+    last_pos: Vec<usize>,
+    marks: Fenwick,
+    time: usize,
+}
+
+impl ReuseDistanceAnalyzer {
+    /// Analyser for element ids `< num_elements` over a trace of at most
+    /// `trace_capacity` accesses (grown automatically when exceeded).
+    pub fn new(num_elements: usize, trace_capacity: usize) -> Self {
+        ReuseDistanceAnalyzer {
+            last_pos: vec![usize::MAX; num_elements],
+            marks: Fenwick::new(trace_capacity),
+            time: 0,
+        }
+    }
+
+    /// Feed one access; returns its reuse distance ([`COLD`] when first).
+    pub fn access(&mut self, elem: u32) -> u64 {
+        let e = elem as usize;
+        assert!(e < self.last_pos.len(), "element id {elem} out of range");
+        if self.time >= self.marks.len() {
+            // Grow: rebuild a tree twice the size with current marks.
+            let mut bigger = Fenwick::new((self.marks.len() * 2).max(64));
+            for &p in self.last_pos.iter().filter(|&&p| p != usize::MAX) {
+                bigger.add(p, 1);
+            }
+            self.marks = bigger;
+        }
+        let dist = match self.last_pos[e] {
+            usize::MAX => COLD,
+            last => {
+                let d = if self.time > last + 1 {
+                    self.marks.range_sum(last + 1, self.time - 1)
+                } else {
+                    0
+                };
+                self.marks.add(last, -1);
+                d as u64
+            }
+        };
+        self.marks.add(self.time, 1);
+        self.last_pos[e] = self.time;
+        self.time += 1;
+        dist
+    }
+
+    /// Distances of a whole trace at once.
+    pub fn analyze(trace: &[u32], num_elements: usize) -> Vec<u64> {
+        let mut a = ReuseDistanceAnalyzer::new(num_elements, trace.len());
+        trace.iter().map(|&e| a.access(e)).collect()
+    }
+}
+
+/// Summary statistics of a distance stream (cold accesses excluded from the
+/// mean/quantiles but counted separately — the paper's Table 2 lists the
+/// maximum over *reuses*).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReuseStats {
+    /// Total accesses, including cold ones.
+    pub accesses: usize,
+    /// First-ever accesses.
+    pub cold: usize,
+    /// Mean reuse distance over re-accesses.
+    pub mean: f64,
+    /// Maximum reuse distance over re-accesses (0 when none).
+    pub max: u64,
+}
+
+impl ReuseStats {
+    /// Compute summary statistics from a distance stream.
+    pub fn from_distances(distances: &[u64]) -> ReuseStats {
+        let accesses = distances.len();
+        let mut cold = 0usize;
+        let mut sum = 0u128;
+        let mut max = 0u64;
+        let mut reuses = 0usize;
+        for &d in distances {
+            if d == COLD {
+                cold += 1;
+            } else {
+                sum += d as u128;
+                max = max.max(d);
+                reuses += 1;
+            }
+        }
+        let mean = if reuses == 0 { 0.0 } else { sum as f64 / reuses as f64 };
+        ReuseStats { accesses, cold, mean, max }
+    }
+}
+
+/// The `q`-quantile (`0 ≤ q ≤ 1`) of the re-access distances: the smallest
+/// value with at least a proportion `q` of the population at or below it
+/// (the paper's Table 2 definition). Returns `None` when there are no
+/// re-accesses.
+pub fn quantile(distances: &[u64], q: f64) -> Option<u64> {
+    let mut finite: Vec<u64> = distances.iter().copied().filter(|&d| d != COLD).collect();
+    if finite.is_empty() {
+        return None;
+    }
+    finite.sort_unstable();
+    let rank = ((q * finite.len() as f64).ceil() as usize).clamp(1, finite.len());
+    Some(finite[rank - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// O(n²) reference: count distinct elements strictly between accesses.
+    fn naive_distances(trace: &[u32]) -> Vec<u64> {
+        let mut out = Vec::with_capacity(trace.len());
+        for (i, &e) in trace.iter().enumerate() {
+            let last = trace[..i].iter().rposition(|&x| x == e);
+            match last {
+                None => out.push(COLD),
+                Some(j) => {
+                    let mut seen = std::collections::HashSet::new();
+                    for &x in &trace[j + 1..i] {
+                        seen.insert(x);
+                    }
+                    out.push(seen.len() as u64);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn textbook_example() {
+        // a b c a : distance of the second `a` is 2 (b and c in between).
+        let d = ReuseDistanceAnalyzer::analyze(&[0, 1, 2, 0], 3);
+        assert_eq!(d, vec![COLD, COLD, COLD, 2]);
+    }
+
+    #[test]
+    fn immediate_reuse_has_distance_zero() {
+        let d = ReuseDistanceAnalyzer::analyze(&[5, 5, 5], 6);
+        assert_eq!(d, vec![COLD, 0, 0]);
+    }
+
+    #[test]
+    fn repeated_intermediates_count_once() {
+        // a b b b a : only ONE distinct element between the two a's.
+        let d = ReuseDistanceAnalyzer::analyze(&[0, 1, 1, 1, 0], 2);
+        assert_eq!(*d.last().unwrap(), 1);
+    }
+
+    #[test]
+    fn matches_naive_on_random_traces() {
+        let mut state = 99u64;
+        for n_elems in [3u32, 8, 17] {
+            let trace: Vec<u32> = (0..300)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    ((state >> 33) % n_elems as u64) as u32
+                })
+                .collect();
+            assert_eq!(
+                ReuseDistanceAnalyzer::analyze(&trace, n_elems as usize),
+                naive_distances(&trace),
+                "mismatch for {n_elems} elements"
+            );
+        }
+    }
+
+    #[test]
+    fn analyzer_grows_beyond_initial_capacity() {
+        let mut a = ReuseDistanceAnalyzer::new(4, 2); // deliberately tiny
+        let trace = [0u32, 1, 2, 3, 0, 1, 2, 3];
+        let got: Vec<u64> = trace.iter().map(|&e| a.access(e)).collect();
+        assert_eq!(got, naive_distances(&trace));
+    }
+
+    #[test]
+    fn stats_separate_cold_and_reuse() {
+        let d = vec![COLD, COLD, 4, 2, COLD, 0];
+        let s = ReuseStats::from_distances(&d);
+        assert_eq!(s.accesses, 6);
+        assert_eq!(s.cold, 3);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_all_cold_stream() {
+        let s = ReuseStats::from_distances(&[COLD, COLD]);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.cold, 2);
+    }
+
+    #[test]
+    fn quantiles_match_definition() {
+        // distances 1..=100 (no cold): the X quantile is the smallest value
+        // with proportion ≥ X below-or-equal.
+        let d: Vec<u64> = (1..=100).collect();
+        assert_eq!(quantile(&d, 0.5), Some(50));
+        assert_eq!(quantile(&d, 0.75), Some(75));
+        assert_eq!(quantile(&d, 0.9), Some(90));
+        assert_eq!(quantile(&d, 1.0), Some(100));
+        assert_eq!(quantile(&[COLD], 0.5), None);
+    }
+
+    #[test]
+    fn sequential_scan_is_all_cold_then_full_distance() {
+        // 0..n then 0..n again: second pass distances are all n-1.
+        let n = 50u32;
+        let mut trace: Vec<u32> = (0..n).collect();
+        trace.extend(0..n);
+        let d = ReuseDistanceAnalyzer::analyze(&trace, n as usize);
+        for &x in &d[..n as usize] {
+            assert_eq!(x, COLD);
+        }
+        for &x in &d[n as usize..] {
+            assert_eq!(x, (n - 1) as u64);
+        }
+    }
+}

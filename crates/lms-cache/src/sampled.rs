@@ -1,0 +1,204 @@
+//! Sampled (SHARDS-style) reuse-distance analysis.
+//!
+//! The paper measured reuse distance with "a verbose run noting the data
+//! locations being addressed" (§5.2.3) — an `O(N log M)` full-trace
+//! analysis. Production monitors use *spatially hashed sampling* (SHARDS,
+//! Waldspurger et al., FAST '15): pick a pseudo-random subset of elements
+//! at rate `R`, track reuse distances only between accesses to sampled
+//! elements, and rescale each measured distance by `1/R`. Because the
+//! sample is by element (not by access), every access to a sampled element
+//! is observed and the distance estimator is unbiased up to hash
+//! uniformity.
+//!
+//! This module implements fixed-rate SHARDS over the same element-index
+//! traces the exact [`ReuseDistanceAnalyzer`] consumes, so the `sampled`
+//! experiment can quantify the accuracy/cost trade-off on LMS traces.
+//!
+//! [`ReuseDistanceAnalyzer`]: crate::reuse::ReuseDistanceAnalyzer
+
+use crate::reuse::{ReuseDistanceAnalyzer, ReuseStats, COLD};
+
+/// Result of a sampled analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampledReuse {
+    /// Rescaled distance estimates, one per access *to a sampled element*
+    /// (cold accesses keep the [`COLD`] marker).
+    pub distances: Vec<u64>,
+    /// The sampling rate `R = 2^-rate_log2`.
+    pub rate: f64,
+    /// Number of trace accesses that hit a sampled element.
+    pub sampled_accesses: usize,
+    /// Total trace length.
+    pub total_accesses: usize,
+}
+
+impl SampledReuse {
+    /// Summary statistics over the rescaled estimates.
+    pub fn stats(&self) -> ReuseStats {
+        ReuseStats::from_distances(&self.distances)
+    }
+
+    /// Fraction of accesses that were monitored.
+    pub fn sample_fraction(&self) -> f64 {
+        if self.total_accesses == 0 {
+            0.0
+        } else {
+            self.sampled_accesses as f64 / self.total_accesses as f64
+        }
+    }
+}
+
+/// SplitMix64 — the spatial hash deciding element membership.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// True when element `e` is in the sample at rate `2^-rate_log2`.
+#[inline]
+pub fn is_sampled(e: u32, rate_log2: u32, seed: u64) -> bool {
+    debug_assert!(rate_log2 < 64);
+    splitmix64(e as u64 ^ seed) & ((1u64 << rate_log2) - 1) == 0
+}
+
+/// Fixed-rate SHARDS analysis of `trace` over `num_elements` element ids.
+///
+/// `rate_log2 = k` samples elements at rate `R = 2^-k` (`k = 0` keeps every
+/// element and reproduces the exact analysis). Distances are measured in
+/// the sampled subspace and rescaled by `2^k`.
+pub fn sampled_distances(
+    trace: &[u32],
+    num_elements: usize,
+    rate_log2: u32,
+    seed: u64,
+) -> SampledReuse {
+    // Dense renumbering of the sampled elements so the exact analyzer can
+    // run on the filtered subtrace.
+    let mut dense = vec![u32::MAX; num_elements];
+    let mut next = 0u32;
+    let mut sub = Vec::new();
+    for &e in trace {
+        if is_sampled(e, rate_log2, seed) {
+            let slot = &mut dense[e as usize];
+            if *slot == u32::MAX {
+                *slot = next;
+                next += 1;
+            }
+            sub.push(*slot);
+        }
+    }
+    let sub_distances = ReuseDistanceAnalyzer::analyze(&sub, next as usize);
+    let scale = 1u64 << rate_log2;
+    let distances = sub_distances
+        .iter()
+        .map(|&d| if d == COLD { COLD } else { d.saturating_mul(scale) })
+        .collect();
+    SampledReuse {
+        distances,
+        rate: 1.0 / scale as f64,
+        sampled_accesses: sub.len(),
+        total_accesses: trace.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reuse::quantile;
+
+    /// A cyclic trace over `m` elements repeated `rounds` times: every
+    /// re-access has exact reuse distance `m − 1`.
+    fn cyclic_trace(m: u32, rounds: usize) -> Vec<u32> {
+        (0..rounds).flat_map(|_| 0..m).collect()
+    }
+
+    #[test]
+    fn rate_zero_reproduces_exact_analysis() {
+        let trace = cyclic_trace(50, 4);
+        let exact = ReuseDistanceAnalyzer::analyze(&trace, 50);
+        let s = sampled_distances(&trace, 50, 0, 1);
+        assert_eq!(s.distances, exact);
+        assert_eq!(s.sampled_accesses, trace.len());
+        assert_eq!(s.rate, 1.0);
+    }
+
+    #[test]
+    fn sampling_reduces_monitored_accesses_roughly_by_rate() {
+        let trace = cyclic_trace(4096, 2);
+        let s = sampled_distances(&trace, 4096, 3, 42); // R = 1/8
+        let frac = s.sample_fraction();
+        assert!(
+            (0.06..0.20).contains(&frac),
+            "expected ≈ 1/8 of accesses monitored, got {frac}"
+        );
+    }
+
+    #[test]
+    fn cyclic_trace_estimates_are_near_exact() {
+        // exact mean reuse distance is m−1 for every re-access
+        let m = 4096u32;
+        let trace = cyclic_trace(m, 3);
+        let s = sampled_distances(&trace, m as usize, 4, 7); // R = 1/16
+        let mean = s.stats().mean;
+        let exact = (m - 1) as f64;
+        let rel = (mean - exact).abs() / exact;
+        assert!(rel < 0.12, "mean estimate {mean} vs exact {exact} (rel {rel})");
+    }
+
+    #[test]
+    fn quantiles_track_exact_on_mixed_trace() {
+        // mixture: hot pair (distance ~1) + cold sweep (distance ~m−1)
+        let m = 2048u32;
+        let mut trace = Vec::new();
+        for round in 0..4 {
+            for e in 0..m {
+                trace.push(e);
+                if round % 2 == 0 {
+                    trace.push(e); // immediate re-access, distance 0
+                }
+            }
+        }
+        let exact_d = ReuseDistanceAnalyzer::analyze(&trace, m as usize);
+        let s = sampled_distances(&trace, m as usize, 3, 3);
+        for q in [0.5, 0.9] {
+            let q_exact = quantile(&exact_d, q).unwrap().max(1) as f64;
+            let q_est = quantile(&s.distances, q).unwrap().max(1) as f64;
+            let ratio = q_est / q_exact;
+            assert!(
+                (0.5..=2.0).contains(&ratio),
+                "q{q}: estimate {q_est} vs exact {q_exact} (ratio {ratio})"
+            );
+        }
+    }
+
+    #[test]
+    fn cold_accesses_stay_cold() {
+        let trace: Vec<u32> = (0..1000).collect();
+        let s = sampled_distances(&trace, 1000, 2, 5);
+        assert!(s.distances.iter().all(|&d| d == COLD));
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let trace = cyclic_trace(512, 2);
+        let a = sampled_distances(&trace, 512, 3, 9);
+        let b = sampled_distances(&trace, 512, 3, 9);
+        let c = sampled_distances(&trace, 512, 3, 10);
+        assert_eq!(a, b);
+        assert_ne!(a.sampled_accesses, 0);
+        // a different seed picks a different subset (with overwhelming
+        // probability on 512 elements)
+        assert_ne!(a.distances.len(), 0);
+        let _ = c;
+    }
+
+    #[test]
+    fn empty_trace_ok() {
+        let s = sampled_distances(&[], 0, 4, 1);
+        assert!(s.distances.is_empty());
+        assert_eq!(s.sample_fraction(), 0.0);
+    }
+}

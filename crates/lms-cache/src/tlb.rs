@@ -1,0 +1,268 @@
+//! TLB (translation lookaside buffer) simulation.
+//!
+//! Cache misses are not the only penalty of a scattered layout: every
+//! distinct 4 KiB page touched must have its translation resident in the
+//! TLB, and a TLB miss costs a page-table walk (tens to hundreds of
+//! cycles on Westmere). A vertex reordering that shrinks reuse distance
+//! also shrinks the *page working set*, so RDR's benefit extends below the
+//! cache level — this module measures that effect (`tlb` experiment).
+//!
+//! The model is a two-level fully-LRU TLB with the Westmere-EX DTLB shape:
+//! 64-entry L1 DTLB and 512-entry unified L2 TLB over 4 KiB pages, with a
+//! fixed walk penalty for misses in both.
+
+use crate::address::NodeLayout;
+
+/// Configuration of a two-level data TLB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Page size in bytes (power of two).
+    pub page_bytes: u64,
+    /// L1 DTLB entries.
+    pub l1_entries: usize,
+    /// L2 TLB entries (0 disables the second level).
+    pub l2_entries: usize,
+    /// Cycles added by an L1 miss that hits L2.
+    pub l2_latency: u64,
+    /// Cycles of a full page-table walk (miss in both levels).
+    pub walk_latency: u64,
+}
+
+impl TlbConfig {
+    /// The Westmere-EX DTLB: 64-entry L1, 512-entry L2, 4 KiB pages,
+    /// 7-cycle L2 hit, 30-cycle walk (Molka et al. \[9\] ballpark).
+    pub fn westmere_ex() -> Self {
+        TlbConfig {
+            page_bytes: 4096,
+            l1_entries: 64,
+            l2_entries: 512,
+            l2_latency: 7,
+            walk_latency: 30,
+        }
+    }
+}
+
+/// TLB access counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TlbStats {
+    /// Total translations requested.
+    pub accesses: u64,
+    /// L1 DTLB hits.
+    pub l1_hits: u64,
+    /// L1 misses that hit the L2 TLB.
+    pub l2_hits: u64,
+    /// Full page-table walks.
+    pub walks: u64,
+}
+
+impl TlbStats {
+    /// L1 miss rate.
+    pub fn l1_miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            (self.accesses - self.l1_hits) as f64 / self.accesses as f64
+        }
+    }
+
+    /// Fraction of accesses that required a full walk.
+    pub fn walk_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.walks as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A two-level LRU TLB.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    config: TlbConfig,
+    /// L1 entries, most recent last.
+    l1: Vec<u64>,
+    /// L2 entries, most recent last.
+    l2: Vec<u64>,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Build an empty TLB.
+    pub fn new(config: TlbConfig) -> Self {
+        assert!(config.page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(config.l1_entries >= 1, "need at least one L1 entry");
+        Tlb { config, l1: Vec::new(), l2: Vec::new(), stats: TlbStats::default() }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TlbConfig {
+        &self.config
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Translate the page of byte address `addr`; returns the cycle cost of
+    /// this translation (0 for an L1 hit).
+    pub fn access(&mut self, addr: u64) -> u64 {
+        let page = addr / self.config.page_bytes;
+        self.stats.accesses += 1;
+
+        if touch_lru(&mut self.l1, page, self.config.l1_entries) {
+            self.stats.l1_hits += 1;
+            // keep L2 inclusive-ish: refresh recency there too
+            if self.config.l2_entries > 0 {
+                touch_lru(&mut self.l2, page, self.config.l2_entries);
+            }
+            return 0;
+        }
+        if self.config.l2_entries > 0 && touch_lru(&mut self.l2, page, self.config.l2_entries) {
+            self.stats.l2_hits += 1;
+            return self.config.l2_latency;
+        }
+        self.stats.walks += 1;
+        if self.config.l2_entries > 0 {
+            touch_lru(&mut self.l2, page, self.config.l2_entries);
+        }
+        self.config.walk_latency
+    }
+
+    /// Run a whole element-index trace under `layout`, translating the
+    /// first byte of every element record. Returns total translation
+    /// cycles.
+    pub fn run_trace(&mut self, trace: &[u32], layout: &NodeLayout) -> u64 {
+        let mut cycles = 0;
+        for &e in trace {
+            let (addr, _) = layout.addr_range(e);
+            cycles += self.access(addr);
+        }
+        cycles
+    }
+
+    /// Clear entries and counters.
+    pub fn reset(&mut self) {
+        self.l1.clear();
+        self.l2.clear();
+        self.stats = TlbStats::default();
+    }
+}
+
+/// LRU-touch `page` in `entries` (most recent last, capacity `cap`).
+/// Returns true on hit.
+fn touch_lru(entries: &mut Vec<u64>, page: u64, cap: usize) -> bool {
+    if let Some(pos) = entries.iter().position(|&p| p == page) {
+        entries.remove(pos);
+        entries.push(page);
+        true
+    } else {
+        if entries.len() == cap {
+            entries.remove(0);
+        }
+        entries.push(page);
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> TlbConfig {
+        TlbConfig { page_bytes: 64, l1_entries: 2, l2_entries: 4, l2_latency: 5, walk_latency: 50 }
+    }
+
+    #[test]
+    fn first_access_walks_second_hits() {
+        let mut tlb = Tlb::new(tiny());
+        assert_eq!(tlb.access(0), 50);
+        assert_eq!(tlb.access(8), 0); // same page
+        let s = tlb.stats();
+        assert_eq!(s.walks, 1);
+        assert_eq!(s.l1_hits, 1);
+    }
+
+    #[test]
+    fn l1_evicts_to_l2() {
+        let mut tlb = Tlb::new(tiny());
+        // touch pages 0,1,2: page 0 leaves the 2-entry L1 but stays in L2
+        tlb.access(0);
+        tlb.access(64);
+        tlb.access(128);
+        let cost = tlb.access(0);
+        assert_eq!(cost, 5, "page 0 should hit the L2 TLB");
+        assert_eq!(tlb.stats().l2_hits, 1);
+    }
+
+    #[test]
+    fn lru_order_is_respected() {
+        let mut tlb = Tlb::new(tiny());
+        tlb.access(0); // pages 0
+        tlb.access(64); // 1
+        tlb.access(0); // refresh 0 -> LRU victim is now 1
+        tlb.access(128); // evicts page 1 from L1
+        assert_eq!(tlb.access(0), 0, "page 0 must still be L1-resident");
+    }
+
+    #[test]
+    fn sequential_pages_miss_once_each() {
+        let mut tlb = Tlb::new(tiny());
+        let mut cost = 0;
+        for page in 0..100u64 {
+            for off in 0..8 {
+                cost += tlb.access(page * 64 + off * 8);
+            }
+        }
+        let s = tlb.stats();
+        assert_eq!(s.walks, 100);
+        assert_eq!(s.accesses, 800);
+        assert_eq!(cost, 100 * 50);
+        assert!((s.l1_miss_rate() - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_runner_uses_layout() {
+        use crate::address::NodeLayout;
+        let layout = NodeLayout::with_bytes(64); // one element per page line
+        let mut tlb = Tlb::new(tiny());
+        // elements 0 and 1 share the 64-byte "page"? page_bytes=64, element
+        // 0 at [0,64), element 1 at [64,128): distinct pages.
+        let cycles = tlb.run_trace(&[0, 1, 0, 1], &layout);
+        assert_eq!(tlb.stats().walks, 2);
+        assert_eq!(cycles, 100);
+    }
+
+    #[test]
+    fn westmere_preset_shape() {
+        let c = TlbConfig::westmere_ex();
+        assert_eq!(c.page_bytes, 4096);
+        assert_eq!(c.l1_entries, 64);
+        assert_eq!(c.l2_entries, 512);
+        let mut tlb = Tlb::new(c);
+        tlb.access(0);
+        tlb.reset();
+        assert_eq!(tlb.stats().accesses, 0);
+    }
+
+    #[test]
+    fn scattered_beats_nothing_dense_wins() {
+        // dense walk over 32 pages vs random-ish jumps over 4096 pages:
+        // the dense walk must produce a far lower walk rate.
+        let cfg = TlbConfig::westmere_ex();
+        let layout = NodeLayout::with_bytes(64);
+        let dense: Vec<u32> = (0..20_000u32).map(|i| i % 2048).collect(); // 32 pages
+        let scattered: Vec<u32> =
+            (0..20_000u32).map(|i| (i.wrapping_mul(2654435761)) % 262_144).collect();
+        let mut a = Tlb::new(cfg);
+        a.run_trace(&dense, &layout);
+        let mut b = Tlb::new(cfg);
+        b.run_trace(&scattered, &layout);
+        assert!(
+            a.stats().walk_rate() < b.stats().walk_rate() / 10.0,
+            "dense {} vs scattered {}",
+            a.stats().walk_rate(),
+            b.stats().walk_rate()
+        );
+    }
+}

@@ -1,0 +1,262 @@
+//! Write-back traffic modeling.
+//!
+//! The Gauss–Seidel smoothing sweep is not read-only: every interior
+//! vertex's record is *written* after its neighbours are gathered. A
+//! write-back cache keeps the written line dirty until eviction, so the
+//! memory-bound cost of a layout has two components: demand fills (misses)
+//! and dirty evictions (write-backs). A good reordering reduces both — a
+//! dirty line whose vertex is re-gathered soon stays resident instead of
+//! bouncing — and this module measures the second component the plain
+//! simulator in [`crate::cache`] ignores.
+
+use crate::address::NodeLayout;
+use crate::cache::CacheConfig;
+
+/// One read or write access to an element record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RwAccess {
+    /// Element (vertex or aux-region) index.
+    pub elem: u32,
+    /// True for a write (the smoothed vertex's position update).
+    pub write: bool,
+}
+
+/// Expand a smoothing sweep trace into a read/write trace: within each
+/// vertex group (`v, n₁, …, n_d` — as produced by the traced engines), the
+/// leading vertex is read *and then written* (Equation (1) stores the new
+/// position), neighbours are reads.
+///
+/// `group_heads[v] = true` marks elements that head a group (interior
+/// vertices). Consecutive accesses to a head element become read+write.
+pub fn sweep_rw_trace(trace: &[u32], group_heads: &[bool]) -> Vec<RwAccess> {
+    let mut out = Vec::with_capacity(trace.len() + trace.len() / 4);
+    for &e in trace {
+        if (e as usize) < group_heads.len() && group_heads[e as usize] {
+            out.push(RwAccess { elem: e, write: false }); // gather own position
+            out.push(RwAccess { elem: e, write: true }); // store the update
+        } else {
+            out.push(RwAccess { elem: e, write: false });
+        }
+    }
+    out
+}
+
+/// Traffic counters of a write-back cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Total accesses (reads + writes).
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Demand fills (miss → line brought in).
+    pub fills: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+    /// Dirty lines remaining at the last [`WritebackCache::drain`].
+    pub drained: u64,
+}
+
+impl TrafficStats {
+    /// Total line transfers to/from the next level: fills + write-backs
+    /// (+ the final drain).
+    pub fn line_traffic(&self) -> u64 {
+        self.fills + self.writebacks + self.drained
+    }
+
+    /// Bytes moved, given the line size.
+    pub fn bytes_traffic(&self, line_bytes: usize) -> u64 {
+        self.line_traffic() * line_bytes as u64
+    }
+}
+
+/// A set-associative LRU cache with per-line dirty bits and write-back,
+/// write-allocate semantics.
+#[derive(Debug, Clone)]
+pub struct WritebackCache {
+    config: CacheConfig,
+    /// Per-set `(tag, dirty)`, most recently used last.
+    sets: Vec<Vec<(u64, bool)>>,
+    stats: TrafficStats,
+}
+
+impl WritebackCache {
+    /// Build an empty cache.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.line_bytes > 0 && config.size_bytes.is_multiple_of(config.line_bytes));
+        assert!(config.associativity > 0, "associativity must be positive");
+        let sets = vec![Vec::with_capacity(config.associativity); config.num_sets()];
+        WritebackCache { config, sets, stats: TrafficStats::default() }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> TrafficStats {
+        self.stats
+    }
+
+    /// Access line `line_addr`; `write` marks it dirty. Returns true on hit.
+    pub fn access_line(&mut self, line_addr: u64, write: bool) -> bool {
+        self.stats.accesses += 1;
+        let num_sets = self.sets.len() as u64;
+        let set = &mut self.sets[(line_addr % num_sets) as usize];
+        if let Some(pos) = set.iter().position(|&(t, _)| t == line_addr) {
+            let (tag, dirty) = set.remove(pos);
+            set.push((tag, dirty || write));
+            self.stats.hits += 1;
+            true
+        } else {
+            self.stats.fills += 1;
+            if set.len() == self.config.associativity {
+                let (_, dirty) = set.remove(0);
+                if dirty {
+                    self.stats.writebacks += 1;
+                }
+            }
+            set.push((line_addr, write));
+            false
+        }
+    }
+
+    /// Run a read/write element trace under `layout`, touching every line
+    /// of each element record.
+    pub fn run_trace(&mut self, trace: &[RwAccess], layout: &NodeLayout) {
+        for &RwAccess { elem, write } in trace {
+            for line in layout.lines_of(elem, self.config.line_bytes) {
+                self.access_line(line, write);
+            }
+        }
+    }
+
+    /// Flush all remaining dirty lines (end of run), counting them into
+    /// [`TrafficStats::drained`].
+    pub fn drain(&mut self) {
+        for set in &mut self.sets {
+            for &(_, dirty) in set.iter() {
+                if dirty {
+                    self.stats.drained += 1;
+                }
+            }
+            set.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(lines: usize) -> CacheConfig {
+        CacheConfig {
+            name: "T",
+            size_bytes: 64 * lines,
+            line_bytes: 64,
+            associativity: lines, // fully associative
+            latency_cycles: 1,
+        }
+    }
+
+    #[test]
+    fn clean_evictions_produce_no_writebacks() {
+        let mut c = WritebackCache::new(tiny(2));
+        for line in 0..10u64 {
+            c.access_line(line, false);
+        }
+        c.drain();
+        let s = c.stats();
+        assert_eq!(s.fills, 10);
+        assert_eq!(s.writebacks, 0);
+        assert_eq!(s.drained, 0);
+        assert_eq!(s.line_traffic(), 10);
+    }
+
+    #[test]
+    fn dirty_eviction_counts_once() {
+        let mut c = WritebackCache::new(tiny(1));
+        c.access_line(0, true); // fill + dirty
+        c.access_line(1, false); // evicts dirty line 0 -> 1 writeback
+        c.drain(); // line 1 clean
+        let s = c.stats();
+        assert_eq!(s.writebacks, 1);
+        assert_eq!(s.drained, 0);
+        assert_eq!(s.fills, 2);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty_without_traffic() {
+        let mut c = WritebackCache::new(tiny(2));
+        c.access_line(0, false);
+        assert!(c.access_line(0, true)); // hit, now dirty
+        c.drain();
+        let s = c.stats();
+        assert_eq!(s.fills, 1);
+        assert_eq!(s.drained, 1);
+        assert_eq!(s.line_traffic(), 2);
+    }
+
+    #[test]
+    fn dirty_bit_survives_reads() {
+        let mut c = WritebackCache::new(tiny(1));
+        c.access_line(0, true);
+        c.access_line(0, false); // read hit must not clean the line
+        c.access_line(1, false); // eviction must write back
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn rw_trace_expansion_marks_heads() {
+        let heads = vec![true, false, false];
+        let rw = sweep_rw_trace(&[0, 1, 2], &heads);
+        assert_eq!(
+            rw,
+            vec![
+                RwAccess { elem: 0, write: false },
+                RwAccess { elem: 0, write: true },
+                RwAccess { elem: 1, write: false },
+                RwAccess { elem: 2, write: false },
+            ]
+        );
+    }
+
+    #[test]
+    fn good_locality_means_fewer_writebacks() {
+        // Two layouts of the same write stream: a working set that fits
+        // keeps dirty lines resident; scattered writes bounce them.
+        let cfg = tiny(16);
+        let seq: Vec<RwAccess> = (0..4096u32)
+            .map(|i| RwAccess { elem: i % 8, write: true })
+            .collect();
+        let scattered: Vec<RwAccess> = (0..4096u32)
+            .map(|i| RwAccess { elem: i.wrapping_mul(2654435761) % 4096, write: true })
+            .collect();
+        let layout = NodeLayout::with_bytes(64);
+        let mut a = WritebackCache::new(cfg);
+        a.run_trace(&seq, &layout);
+        a.drain();
+        let mut b = WritebackCache::new(cfg);
+        b.run_trace(&scattered, &layout);
+        b.drain();
+        assert!(
+            a.stats().line_traffic() * 10 < b.stats().line_traffic(),
+            "sequential {} vs scattered {}",
+            a.stats().line_traffic(),
+            b.stats().line_traffic()
+        );
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let mut c = WritebackCache::new(tiny(4));
+        for i in 0..100u64 {
+            c.access_line(i % 8, i % 3 == 0);
+        }
+        c.drain();
+        let s = c.stats();
+        assert_eq!(s.accesses, 100);
+        assert_eq!(s.hits + s.fills, s.accesses);
+        assert!(s.writebacks + s.drained <= s.fills);
+    }
+}

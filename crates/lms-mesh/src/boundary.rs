@@ -1,0 +1,180 @@
+//! Boundary detection.
+//!
+//! Laplacian smoothing moves **interior** vertices only (Algorithm 1,
+//! line 11); boundary vertices pin the domain shape. A boundary edge is an
+//! edge incident to exactly one triangle; a boundary vertex touches at least
+//! one boundary edge.
+
+use crate::mesh::TriMesh;
+
+/// Classification of every vertex as boundary or interior.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Boundary {
+    is_boundary: Vec<bool>,
+    num_boundary: usize,
+}
+
+impl Boundary {
+    /// Detect the boundary of `mesh`.
+    pub fn detect(mesh: &TriMesh) -> Self {
+        // Count incidence of every undirected edge; count==1 → boundary edge.
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity(3 * mesh.num_triangles());
+        for tri in mesh.triangles() {
+            for k in 0..3 {
+                let a = tri[k];
+                let b = tri[(k + 1) % 3];
+                edges.push((a.min(b), a.max(b)));
+            }
+        }
+        edges.sort_unstable();
+
+        let mut is_boundary = vec![false; mesh.num_vertices()];
+        let mut i = 0;
+        while i < edges.len() {
+            let mut j = i + 1;
+            while j < edges.len() && edges[j] == edges[i] {
+                j += 1;
+            }
+            if j - i == 1 {
+                let (a, b) = edges[i];
+                is_boundary[a as usize] = true;
+                is_boundary[b as usize] = true;
+            }
+            i = j;
+        }
+        // Vertices in no triangle at all are treated as boundary (pinned).
+        let mut referenced = vec![false; mesh.num_vertices()];
+        for tri in mesh.triangles() {
+            for &v in tri {
+                referenced[v as usize] = true;
+            }
+        }
+        for (v, r) in referenced.iter().enumerate() {
+            if !r {
+                is_boundary[v] = true;
+            }
+        }
+        let num_boundary = is_boundary.iter().filter(|&&b| b).count();
+        Boundary { is_boundary, num_boundary }
+    }
+
+    /// True when `v` lies on the boundary (or is unreferenced).
+    #[inline]
+    pub fn is_boundary(&self, v: u32) -> bool {
+        self.is_boundary[v as usize]
+    }
+
+    /// True when `v` is interior (free to move during smoothing).
+    #[inline]
+    pub fn is_interior(&self, v: u32) -> bool {
+        !self.is_boundary[v as usize]
+    }
+
+    /// Number of boundary vertices.
+    #[inline]
+    pub fn num_boundary(&self) -> usize {
+        self.num_boundary
+    }
+
+    /// Number of interior vertices.
+    #[inline]
+    pub fn num_interior(&self) -> usize {
+        self.is_boundary.len() - self.num_boundary
+    }
+
+    /// Indices of all interior vertices, ascending.
+    pub fn interior_vertices(&self) -> Vec<u32> {
+        (0..self.is_boundary.len() as u32).filter(|&v| self.is_interior(v)).collect()
+    }
+
+    /// Indices of all boundary vertices, ascending.
+    pub fn boundary_vertices(&self) -> Vec<u32> {
+        (0..self.is_boundary.len() as u32).filter(|&v| self.is_boundary(v)).collect()
+    }
+
+    /// The raw flag array (`true` = boundary), indexed by vertex.
+    #[inline]
+    pub fn flags(&self) -> &[bool] {
+        &self.is_boundary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::figure5_mesh;
+    use crate::Point2;
+
+    /// A fan around a single interior vertex 0.
+    fn wheel(n: usize) -> TriMesh {
+        let mut coords = vec![Point2::ZERO];
+        for k in 0..n {
+            let th = 2.0 * std::f64::consts::PI * k as f64 / n as f64;
+            coords.push(Point2::new(th.cos(), th.sin()));
+        }
+        let tris = (0..n)
+            .map(|k| [0u32, 1 + k as u32, 1 + ((k + 1) % n) as u32])
+            .collect();
+        TriMesh::new(coords, tris).unwrap()
+    }
+
+    #[test]
+    fn wheel_center_is_interior() {
+        let b = Boundary::detect(&wheel(6));
+        assert!(b.is_interior(0));
+        for v in 1..7 {
+            assert!(b.is_boundary(v));
+        }
+        assert_eq!(b.num_interior(), 1);
+        assert_eq!(b.num_boundary(), 6);
+        assert_eq!(b.interior_vertices(), vec![0]);
+    }
+
+    #[test]
+    fn single_triangle_is_all_boundary() {
+        let m = TriMesh::new(
+            vec![Point2::new(0.0, 0.0), Point2::new(1.0, 0.0), Point2::new(0.0, 1.0)],
+            vec![[0, 1, 2]],
+        )
+        .unwrap();
+        let b = Boundary::detect(&m);
+        assert_eq!(b.num_boundary(), 3);
+        assert_eq!(b.num_interior(), 0);
+    }
+
+    #[test]
+    fn unreferenced_vertex_is_pinned() {
+        let m = TriMesh::new(
+            vec![
+                Point2::new(0.0, 0.0),
+                Point2::new(1.0, 0.0),
+                Point2::new(0.0, 1.0),
+                Point2::new(9.0, 9.0), // not in any triangle
+            ],
+            vec![[0, 1, 2]],
+        )
+        .unwrap();
+        let b = Boundary::detect(&m);
+        assert!(b.is_boundary(3));
+    }
+
+    #[test]
+    fn figure5_interior_set() {
+        let m = figure5_mesh();
+        let b = Boundary::detect(&m);
+        // Interior vertices of the Figure-5 patch: 4, 5, 6, 8, 9.
+        assert_eq!(b.interior_vertices(), vec![4, 5, 6, 8, 9]);
+        assert_eq!(b.num_interior() + b.num_boundary(), m.num_vertices());
+    }
+
+    #[test]
+    fn boundary_plus_interior_partition() {
+        let m = figure5_mesh();
+        let b = Boundary::detect(&m);
+        let mut all = b.interior_vertices();
+        all.extend(b.boundary_vertices());
+        all.sort_unstable();
+        let expect: Vec<u32> = (0..m.num_vertices() as u32).collect();
+        assert_eq!(all, expect);
+    }
+}

@@ -1,0 +1,384 @@
+//! Incremental Bowyer–Watson Delaunay triangulation.
+//!
+//! This is a genuine unstructured-mesh generator: it triangulates an
+//! arbitrary point set, and when the points are in random order the
+//! resulting insertion-order vertex numbering has *poor* locality — exactly
+//! the kind of numbering the paper's RANDOM baseline exercises.
+//!
+//! The implementation is the standard cavity algorithm with triangle
+//! neighbour pointers and walk-based point location, O(n log n) expected on
+//! jittered random input. Predicates are plain `f64` determinants (see
+//! [`crate::geometry`]); points closer than a relative epsilon to an
+//! existing vertex are skipped rather than inserted.
+//!
+//! **Robustness limitation.** Without exact arithmetic, a point that lands
+//! within ~1e-4 of an existing edge can make the cavity predicates
+//! disagree, in which case a near-degenerate sliver triangle may be dropped
+//! from the output (the mesh stays valid and CCW; total area can fall short
+//! by the sliver's area). Uses that need guarantees should pre-jitter their
+//! input points, as [`random_delaunay`] effectively does.
+
+use crate::geometry::{bounding_box, in_circle, orient2d, Point2};
+use crate::mesh::TriMesh;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const NONE: u32 = u32::MAX;
+
+/// Working triangulation state.
+struct Triangulation {
+    /// Point array; indices 0..3 are the super-triangle corners.
+    points: Vec<Point2>,
+    /// Triangle vertex triples (CCW).
+    tris: Vec<[u32; 3]>,
+    /// `nbrs[t][k]` = triangle across the edge opposite vertex `k`.
+    nbrs: Vec<[u32; 3]>,
+    alive: Vec<bool>,
+    free: Vec<u32>,
+    last: u32,
+}
+
+impl Triangulation {
+    fn new(super_tri: [Point2; 3]) -> Self {
+        Triangulation {
+            points: super_tri.to_vec(),
+            tris: vec![[0, 1, 2]],
+            nbrs: vec![[NONE; 3]],
+            alive: vec![true],
+            free: Vec::new(),
+            last: 0,
+        }
+    }
+
+    fn alloc(&mut self, tri: [u32; 3]) -> u32 {
+        if let Some(t) = self.free.pop() {
+            self.tris[t as usize] = tri;
+            self.nbrs[t as usize] = [NONE; 3];
+            self.alive[t as usize] = true;
+            t
+        } else {
+            self.tris.push(tri);
+            self.nbrs.push([NONE; 3]);
+            self.alive.push(true);
+            (self.tris.len() - 1) as u32
+        }
+    }
+
+    fn kill(&mut self, t: u32) {
+        self.alive[t as usize] = false;
+        self.free.push(t);
+    }
+
+    #[inline]
+    fn coords(&self, t: u32) -> [Point2; 3] {
+        let [a, b, c] = self.tris[t as usize];
+        [self.points[a as usize], self.points[b as usize], self.points[c as usize]]
+    }
+
+    /// Walk from `self.last` towards the triangle containing `p`.
+    fn locate(&self, p: Point2) -> Option<u32> {
+        let mut t = if self.alive[self.last as usize] {
+            self.last
+        } else {
+            (0..self.tris.len() as u32).find(|&t| self.alive[t as usize])?
+        };
+        let max_steps = 4 * self.tris.len() + 16;
+        'walk: for _ in 0..max_steps {
+            let [a, b, c] = self.coords(t);
+            let verts = [(a, b), (b, c), (c, a)];
+            for (k, &(u, v)) in verts.iter().enumerate() {
+                if orient2d(u, v, p) < 0.0 {
+                    // `p` is outside directed edge k; edge (v[k], v[k+1]) is
+                    // opposite vertex (k+2).
+                    let n = self.nbrs[t as usize][(k + 2) % 3];
+                    if n == NONE {
+                        break; // outside the hull: fall through to scan
+                    }
+                    t = n;
+                    continue 'walk;
+                }
+            }
+            return Some(t);
+        }
+        // Degenerate walk (numerical cycling): linear scan fallback.
+        (0..self.tris.len() as u32).find(|&t| {
+            if !self.alive[t as usize] {
+                return false;
+            }
+            let [a, b, c] = self.coords(t);
+            orient2d(a, b, p) >= 0.0 && orient2d(b, c, p) >= 0.0 && orient2d(c, a, p) >= 0.0
+        })
+    }
+
+    /// Insert point `p`; returns false when skipped as a near-duplicate.
+    fn insert(&mut self, p: Point2, eps_sq: f64) -> bool {
+        let t0 = match self.locate(p) {
+            Some(t) => t,
+            None => return false,
+        };
+        for &v in &self.tris[t0 as usize] {
+            if self.points[v as usize].dist_sq(p) <= eps_sq {
+                return false;
+            }
+        }
+
+        // Grow the cavity: all connected triangles whose circumcircle holds p.
+        let mut bad = vec![t0];
+        let mut in_cavity = std::collections::HashSet::new();
+        in_cavity.insert(t0);
+        let mut stack = vec![t0];
+        while let Some(t) = stack.pop() {
+            for k in 0..3 {
+                let n = self.nbrs[t as usize][k];
+                if n == NONE || in_cavity.contains(&n) {
+                    continue;
+                }
+                let [a, b, c] = self.coords(n);
+                if in_circle(a, b, c, p) > 0.0 {
+                    in_cavity.insert(n);
+                    bad.push(n);
+                    stack.push(n);
+                }
+            }
+        }
+
+        // Boundary edges of the cavity, walked so that each directed edge
+        // (u, v) keeps the cavity on its left; `outer` is the surviving
+        // neighbour across it.
+        struct BEdge {
+            u: u32,
+            v: u32,
+            outer: u32,
+        }
+        let mut boundary = Vec::with_capacity(bad.len() + 2);
+        for &t in &bad {
+            let [a, b, c] = self.tris[t as usize];
+            let edges = [(b, c, 0), (c, a, 1), (a, b, 2)];
+            for (u, v, k) in edges {
+                let n = self.nbrs[t as usize][k];
+                if n == NONE || !in_cavity.contains(&n) {
+                    boundary.push(BEdge { u, v, outer: n });
+                }
+            }
+        }
+
+        let pid = self.points.len() as u32;
+        self.points.push(p);
+        for &t in &bad {
+            self.kill(t);
+        }
+
+        // One new triangle (u, v, p) per boundary edge; they form a fan
+        // around p. Link fan neighbours via the shared boundary vertices.
+        let mut start_of: std::collections::HashMap<u32, u32> =
+            std::collections::HashMap::with_capacity(boundary.len());
+        let mut new_tris = Vec::with_capacity(boundary.len());
+        for e in &boundary {
+            let t = self.alloc([e.u, e.v, pid]);
+            new_tris.push(t);
+            start_of.insert(e.u, t);
+        }
+        for (i, e) in boundary.iter().enumerate() {
+            let t = new_tris[i];
+            // nbr[0]: across edge (v, p) — the fan triangle starting at v.
+            self.nbrs[t as usize][0] = start_of.get(&e.v).copied().unwrap_or(NONE);
+            // nbr[2]: across edge (u, v) — the surviving outer triangle.
+            self.nbrs[t as usize][2] = e.outer;
+            if e.outer != NONE {
+                // Re-point the outer triangle's slot whose opposite edge is
+                // (v, u) (the same undirected edge seen from outside).
+                let overts = self.tris[e.outer as usize];
+                for k in 0..3 {
+                    let (u2, v2) = (overts[(k + 1) % 3], overts[(k + 2) % 3]);
+                    if u2 == e.v && v2 == e.u {
+                        self.nbrs[e.outer as usize][k] = t;
+                    }
+                }
+            }
+        }
+        // nbr[1]: across edge (p, u) — the fan triangle *ending* at u.
+        let mut end_of: std::collections::HashMap<u32, u32> =
+            std::collections::HashMap::with_capacity(boundary.len());
+        for (i, e) in boundary.iter().enumerate() {
+            end_of.insert(e.v, new_tris[i]);
+        }
+        for (i, e) in boundary.iter().enumerate() {
+            let t = new_tris[i];
+            self.nbrs[t as usize][1] = end_of.get(&e.u).copied().unwrap_or(NONE);
+        }
+
+        self.last = *new_tris.last().expect("cavity produced no triangles");
+        true
+    }
+
+    /// Strip super-triangle vertices and compact into a [`TriMesh`].
+    fn finish(self) -> TriMesh {
+        let mut coords = Vec::with_capacity(self.points.len().saturating_sub(3));
+        coords.extend_from_slice(&self.points[3..]);
+        let mut tris = Vec::new();
+        for (t, tri) in self.tris.iter().enumerate() {
+            if !self.alive[t] {
+                continue;
+            }
+            if tri.iter().any(|&v| v < 3) {
+                continue; // touches the super-triangle
+            }
+            tris.push([tri[0] - 3, tri[1] - 3, tri[2] - 3]);
+        }
+        let mut m = TriMesh::new_unchecked(coords, tris);
+        m.orient_ccw();
+        m
+    }
+}
+
+/// Delaunay-triangulate `points` (in the given insertion order).
+///
+/// Near-duplicate points (within `1e-9` of the bounding-box diagonal) are
+/// skipped; the returned mesh's vertex `i` corresponds to the `i`-th *kept*
+/// point. Needs at least 3 non-collinear points to produce triangles.
+pub fn delaunay_triangulation(points: &[Point2]) -> TriMesh {
+    if points.len() < 3 {
+        return TriMesh::new_unchecked(points.to_vec(), Vec::new());
+    }
+    let (lo, hi) = bounding_box(points);
+    let span = (hi - lo).norm().max(1e-12);
+    let center = (lo + hi) * 0.5;
+    let r = 64.0 * span + 1.0;
+    let super_tri = [
+        center + Point2::new(0.0, 2.0 * r),
+        center + Point2::new(-1.8 * r, -r),
+        center + Point2::new(1.8 * r, -r),
+    ];
+    let mut t = Triangulation::new(super_tri);
+    let eps_sq = (1e-9 * span).powi(2);
+    for &p in points {
+        t.insert(p, eps_sq);
+    }
+    t.finish()
+}
+
+/// Delaunay triangulation of `n` uniform random points in the unit square,
+/// deterministic in `seed`. The four square corners are always included so
+/// the hull is the full square.
+pub fn random_delaunay(n: usize, seed: u64) -> TriMesh {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut points = vec![
+        Point2::new(0.0, 0.0),
+        Point2::new(1.0, 0.0),
+        Point2::new(1.0, 1.0),
+        Point2::new(0.0, 1.0),
+    ];
+    for _ in 0..n.saturating_sub(4) {
+        points.push(Point2::new(rng.gen::<f64>(), rng.gen::<f64>()));
+    }
+    delaunay_triangulation(&points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::Adjacency;
+    use crate::boundary::Boundary;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    /// Every triangle's circumcircle must be empty of other vertices
+    /// (the Delaunay property), up to predicate tolerance.
+    fn assert_delaunay(m: &TriMesh) {
+        for t in 0..m.num_triangles() {
+            let [a, b, c] = m.tri_coords(t);
+            for (v, &q) in m.coords().iter().enumerate() {
+                if m.triangles()[t].contains(&(v as u32)) {
+                    continue;
+                }
+                assert!(
+                    in_circle(a, b, c, q) <= 1e-9,
+                    "vertex {v} violates empty-circle of triangle {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn triangulates_a_square() {
+        let m = delaunay_triangulation(&[p(0.0, 0.0), p(1.0, 0.0), p(1.0, 1.0), p(0.0, 1.0)]);
+        assert_eq!(m.num_vertices(), 4);
+        assert_eq!(m.num_triangles(), 2);
+        assert!((m.total_area() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_triangle() {
+        let m = delaunay_triangulation(&[p(0.0, 0.0), p(2.0, 0.0), p(1.0, 1.5)]);
+        assert_eq!(m.num_triangles(), 1);
+        assert!(m.is_ccw());
+    }
+
+    #[test]
+    fn too_few_points_yield_empty_mesh() {
+        let m = delaunay_triangulation(&[p(0.0, 0.0), p(1.0, 1.0)]);
+        assert_eq!(m.num_triangles(), 0);
+        assert_eq!(m.num_vertices(), 2);
+    }
+
+    #[test]
+    fn duplicates_are_skipped() {
+        let m = delaunay_triangulation(&[
+            p(0.0, 0.0),
+            p(1.0, 0.0),
+            p(0.5, 1.0),
+            p(0.5, 1.0), // exact duplicate
+        ]);
+        assert_eq!(m.num_vertices(), 3);
+        assert_eq!(m.num_triangles(), 1);
+    }
+
+    #[test]
+    fn delaunay_property_small_random() {
+        let m = random_delaunay(60, 12345);
+        assert!(m.num_triangles() > 0);
+        assert!(m.is_ccw());
+        assert_delaunay(&m);
+    }
+
+    #[test]
+    fn random_delaunay_covers_square() {
+        let m = random_delaunay(300, 7);
+        assert!((m.total_area() - 1.0).abs() < 1e-9, "area {}", m.total_area());
+        assert_eq!(m.euler_characteristic(), 1);
+    }
+
+    #[test]
+    fn random_delaunay_is_deterministic() {
+        assert_eq!(random_delaunay(100, 3), random_delaunay(100, 3));
+        assert_ne!(random_delaunay(100, 3), random_delaunay(100, 4));
+    }
+
+    #[test]
+    fn grid_points_triangulate_consistently() {
+        // Regular grid exercises many cocircular quadruples.
+        let mut pts = Vec::new();
+        for j in 0..6 {
+            for i in 0..6 {
+                // tiny jitter to dodge exact cocircularity
+                let d = ((i * 7 + j * 13) % 11) as f64 * 1e-7;
+                pts.push(p(i as f64 + d, j as f64 - d));
+            }
+        }
+        let m = delaunay_triangulation(&pts);
+        assert_eq!(m.num_vertices(), 36);
+        assert_eq!(m.euler_characteristic(), 1);
+        assert!((m.total_area() - 25.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn interior_vertices_exist_at_moderate_size() {
+        let m = random_delaunay(500, 99);
+        let b = Boundary::detect(&m);
+        assert!(b.num_interior() > 350, "interior count {}", b.num_interior());
+        let adj = Adjacency::build(&m);
+        assert!(adj.mean_degree() > 4.0 && adj.mean_degree() < 8.0);
+    }
+}

@@ -1,0 +1,365 @@
+//! Domain shapes and the carved-grid generator.
+//!
+//! A [`Domain`] is a base [`Shape`] minus a set of hole shapes. The
+//! [`carved_grid`] generator triangulates the domain by laying a perturbed
+//! grid over its bounding box and keeping the triangles that fall inside —
+//! producing irregular boundaries, holes and islands like the paper's
+//! carabiner/lake/ocean meshes.
+
+use super::grid::graded_grid_over;
+use crate::geometry::Point2;
+use crate::mesh::TriMesh;
+
+/// A primitive planar region.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Shape {
+    /// Axis-aligned rectangle.
+    Rect { lo: Point2, hi: Point2 },
+    /// Axis-aligned ellipse.
+    Ellipse { center: Point2, rx: f64, ry: f64 },
+    /// Ring between two radii.
+    Annulus { center: Point2, r_inner: f64, r_outer: f64 },
+    /// Annulus with an angular gap (an open "C" — the carabiner shape).
+    /// `gap_center`/`gap_half_width` are angles in radians.
+    CShape { center: Point2, r_inner: f64, r_outer: f64, gap_center: f64, gap_half_width: f64 },
+    /// Sinusoidal band: points with `|y - a·sin(2πx/λ)| ≤ half_width`,
+    /// `x ∈ [x0, x1]` (the riverflow shape).
+    WavyStrip { x0: f64, x1: f64, amplitude: f64, wavelength: f64, half_width: f64 },
+    /// Stadium / capsule around the segment `a`–`b` with radius `r`
+    /// (the wrench handle).
+    Capsule { a: Point2, b: Point2, r: f64 },
+}
+
+impl Shape {
+    /// Point-membership test.
+    pub fn contains(&self, p: Point2) -> bool {
+        match *self {
+            Shape::Rect { lo, hi } => p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y,
+            Shape::Ellipse { center, rx, ry } => {
+                let d = p - center;
+                (d.x / rx).powi(2) + (d.y / ry).powi(2) <= 1.0
+            }
+            Shape::Annulus { center, r_inner, r_outer } => {
+                let r = p.dist(center);
+                r >= r_inner && r <= r_outer
+            }
+            Shape::CShape { center, r_inner, r_outer, gap_center, gap_half_width } => {
+                let d = p - center;
+                let r = d.norm();
+                if r < r_inner || r > r_outer {
+                    return false;
+                }
+                let theta = d.y.atan2(d.x);
+                let mut delta = (theta - gap_center).rem_euclid(2.0 * std::f64::consts::PI);
+                if delta > std::f64::consts::PI {
+                    delta = 2.0 * std::f64::consts::PI - delta;
+                }
+                delta > gap_half_width
+            }
+            Shape::WavyStrip { x0, x1, amplitude, wavelength, half_width } => {
+                if p.x < x0 || p.x > x1 {
+                    return false;
+                }
+                let mid = amplitude * (2.0 * std::f64::consts::PI * p.x / wavelength).sin();
+                (p.y - mid).abs() <= half_width
+            }
+            Shape::Capsule { a, b, r } => {
+                let ab = b - a;
+                let len_sq = ab.norm_sq();
+                let t = if len_sq == 0.0 { 0.0 } else { ((p - a).dot(ab) / len_sq).clamp(0.0, 1.0) };
+                p.dist(a.lerp(b, t)) <= r
+            }
+        }
+    }
+
+    /// Axis-aligned bounding box of the shape.
+    pub fn bbox(&self) -> (Point2, Point2) {
+        match *self {
+            Shape::Rect { lo, hi } => (lo, hi),
+            Shape::Ellipse { center, rx, ry } => {
+                (center - Point2::new(rx, ry), center + Point2::new(rx, ry))
+            }
+            Shape::Annulus { center, r_outer, .. }
+            | Shape::CShape { center, r_outer, .. } => {
+                (center - Point2::new(r_outer, r_outer), center + Point2::new(r_outer, r_outer))
+            }
+            Shape::WavyStrip { x0, x1, amplitude, half_width, .. } => (
+                Point2::new(x0, -amplitude - half_width),
+                Point2::new(x1, amplitude + half_width),
+            ),
+            Shape::Capsule { a, b, r } => {
+                (a.min(b) - Point2::new(r, r), a.max(b) + Point2::new(r, r))
+            }
+        }
+    }
+
+    /// Approximate fraction of the bounding box covered by the shape,
+    /// used to size carved grids for a target vertex count.
+    pub fn fill_fraction(&self) -> f64 {
+        match *self {
+            Shape::Rect { .. } => 1.0,
+            Shape::Ellipse { .. } => std::f64::consts::FRAC_PI_4,
+            Shape::Annulus { r_inner, r_outer, .. } => {
+                std::f64::consts::FRAC_PI_4 * (1.0 - (r_inner / r_outer).powi(2))
+            }
+            Shape::CShape { r_inner, r_outer, gap_half_width, .. } => {
+                let ring = std::f64::consts::FRAC_PI_4 * (1.0 - (r_inner / r_outer).powi(2));
+                ring * (1.0 - gap_half_width / std::f64::consts::PI)
+            }
+            Shape::WavyStrip { x0, x1, amplitude, half_width, .. } => {
+                let h = 2.0 * (amplitude + half_width);
+                if h == 0.0 || x1 <= x0 {
+                    0.0
+                } else {
+                    (2.0 * half_width / h).min(1.0)
+                }
+            }
+            Shape::Capsule { a, b, r } => {
+                let (lo, hi) = self.bbox();
+                let box_area = (hi.x - lo.x) * (hi.y - lo.y);
+                if box_area == 0.0 {
+                    return 0.0;
+                }
+                let area = 2.0 * r * a.dist(b) + std::f64::consts::PI * r * r;
+                (area / box_area).min(1.0)
+            }
+        }
+    }
+}
+
+/// A union of shapes minus a set of holes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Domain {
+    parts: Vec<Shape>,
+    holes: Vec<Shape>,
+}
+
+impl Domain {
+    /// Domain that is exactly `base`.
+    pub fn new(base: Shape) -> Self {
+        Domain { parts: vec![base], holes: Vec::new() }
+    }
+
+    /// Add `part` to the domain (set union). Parts may overlap.
+    pub fn with_part(mut self, part: Shape) -> Self {
+        self.parts.push(part);
+        self
+    }
+
+    /// Remove `hole` from the domain. Holes win over parts and may overlap.
+    pub fn with_hole(mut self, hole: Shape) -> Self {
+        self.holes.push(hole);
+        self
+    }
+
+    /// Point-membership test: inside some part and outside every hole.
+    pub fn contains(&self, p: Point2) -> bool {
+        self.parts.iter().any(|s| s.contains(p)) && !self.holes.iter().any(|h| h.contains(p))
+    }
+
+    /// Bounding box of the union of parts.
+    pub fn bbox(&self) -> (Point2, Point2) {
+        let mut lo = Point2::new(f64::INFINITY, f64::INFINITY);
+        let mut hi = Point2::new(f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for part in &self.parts {
+            let (plo, phi) = part.bbox();
+            lo = lo.min(plo);
+            hi = hi.max(phi);
+        }
+        (lo, hi)
+    }
+
+    /// Estimated bbox fill fraction (part areas minus hole areas; overlaps
+    /// are not corrected for, so this is an estimate).
+    pub fn fill_fraction(&self) -> f64 {
+        let (lo, hi) = self.bbox();
+        let box_area = ((hi.x - lo.x) * (hi.y - lo.y)).max(f64::MIN_POSITIVE);
+        let frac_of = |s: &Shape| {
+            let (slo, shi) = s.bbox();
+            s.fill_fraction() * ((shi.x - slo.x) * (shi.y - slo.y)) / box_area
+        };
+        let part_frac: f64 = self.parts.iter().map(frac_of).sum();
+        let hole_frac: f64 = self.holes.iter().map(frac_of).sum();
+        (part_frac - hole_frac).clamp(0.01, 1.0)
+    }
+}
+
+/// Triangulate `domain` by carving a perturbed grid laid over its bbox.
+///
+/// `target_vertices` controls resolution: the generated mesh has
+/// approximately that many vertices (the fill-fraction estimate makes this
+/// approximate; counts are typically within ~15 %). `jitter` and `seed` are
+/// forwarded to the underlying [`perturbed grid`](super::grid::perturbed_grid).
+pub fn carved_grid(domain: &Domain, target_vertices: usize, jitter: f64, seed: u64) -> TriMesh {
+    assert!(target_vertices >= 4, "need at least 4 target vertices");
+    let (lo, hi) = domain.bbox();
+    let w = (hi.x - lo.x).max(f64::MIN_POSITIVE);
+    let h = (hi.y - lo.y).max(f64::MIN_POSITIVE);
+    let fill = domain.fill_fraction();
+    // nx * ny * fill ≈ target and nx/ny ≈ w/h.
+    let total = (target_vertices as f64 / fill).max(4.0);
+    let nx = ((total * w / h).sqrt().round() as usize).max(2);
+    let ny = ((total / (total * w / h).sqrt()).round() as usize).max(2);
+
+    // Graded jitter: quality varies smoothly in space, as in Triangle's
+    // graded meshes (this keeps quality-driven traversals coherent).
+    let grid = graded_grid_over(nx, ny, (lo, hi), jitter, seed);
+
+    // Keep triangles fully inside the domain.
+    let mut keep_vertex = vec![false; grid.num_vertices()];
+    let mut tris = Vec::new();
+    for (t, tri) in grid.triangles().iter().enumerate() {
+        let [a, b, c] = grid.tri_coords(t);
+        let centroid = (a + b + c) / 3.0;
+        if domain.contains(a) && domain.contains(b) && domain.contains(c) && domain.contains(centroid)
+        {
+            tris.push(*tri);
+            for &v in tri {
+                keep_vertex[v as usize] = true;
+            }
+        }
+    }
+
+    // Compact vertex indices, preserving row-major relative order (this
+    // compacted numbering is the mesh's "original" ORI ordering).
+    let mut remap = vec![u32::MAX; grid.num_vertices()];
+    let mut coords = Vec::new();
+    for (v, &keep) in keep_vertex.iter().enumerate() {
+        if keep {
+            remap[v] = coords.len() as u32;
+            coords.push(grid.coords()[v]);
+        }
+    }
+    for tri in &mut tris {
+        for v in tri.iter_mut() {
+            *v = remap[*v as usize];
+        }
+    }
+    let mut m = TriMesh::new_unchecked(coords, tris);
+    m.orient_ccw();
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boundary::Boundary;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    #[test]
+    fn shape_membership() {
+        let rect = Shape::Rect { lo: p(0.0, 0.0), hi: p(2.0, 1.0) };
+        assert!(rect.contains(p(1.0, 0.5)));
+        assert!(!rect.contains(p(3.0, 0.5)));
+
+        let ell = Shape::Ellipse { center: p(0.0, 0.0), rx: 2.0, ry: 1.0 };
+        assert!(ell.contains(p(1.9, 0.0)));
+        assert!(!ell.contains(p(0.0, 1.1)));
+
+        let ann = Shape::Annulus { center: p(0.0, 0.0), r_inner: 1.0, r_outer: 2.0 };
+        assert!(ann.contains(p(1.5, 0.0)));
+        assert!(!ann.contains(p(0.5, 0.0)));
+        assert!(!ann.contains(p(2.5, 0.0)));
+    }
+
+    #[test]
+    fn cshape_gap_is_excluded() {
+        let c = Shape::CShape {
+            center: p(0.0, 0.0),
+            r_inner: 1.0,
+            r_outer: 2.0,
+            gap_center: 0.0,
+            gap_half_width: 0.3,
+        };
+        assert!(!c.contains(p(1.5, 0.0)), "gap direction must be open");
+        assert!(c.contains(p(-1.5, 0.0)), "opposite side must be solid");
+        assert!(c.contains(p(0.0, 1.5)));
+    }
+
+    #[test]
+    fn wavy_strip_follows_sine() {
+        let s = Shape::WavyStrip { x0: 0.0, x1: 10.0, amplitude: 1.0, wavelength: 5.0, half_width: 0.2 };
+        let mid = (2.0 * std::f64::consts::PI * 1.25 / 5.0).sin();
+        assert!(s.contains(p(1.25, mid)));
+        assert!(!s.contains(p(1.25, mid + 0.5)));
+        assert!(!s.contains(p(-0.1, 0.0)));
+    }
+
+    #[test]
+    fn capsule_contains_segment_and_caps() {
+        let c = Shape::Capsule { a: p(0.0, 0.0), b: p(4.0, 0.0), r: 1.0 };
+        assert!(c.contains(p(2.0, 0.9)));
+        assert!(c.contains(p(-0.9, 0.0))); // left cap
+        assert!(!c.contains(p(2.0, 1.1)));
+    }
+
+    #[test]
+    fn domain_holes_subtract() {
+        let d = Domain::new(Shape::Rect { lo: p(0.0, 0.0), hi: p(4.0, 4.0) })
+            .with_hole(Shape::Ellipse { center: p(2.0, 2.0), rx: 0.5, ry: 0.5 });
+        assert!(d.contains(p(0.5, 0.5)));
+        assert!(!d.contains(p(2.0, 2.0)));
+    }
+
+    #[test]
+    fn fill_fractions_are_sane() {
+        assert!((Shape::Rect { lo: p(0.0, 0.0), hi: p(1.0, 1.0) }.fill_fraction() - 1.0).abs() < 1e-12);
+        let ell = Shape::Ellipse { center: p(0.0, 0.0), rx: 1.0, ry: 1.0 };
+        assert!((ell.fill_fraction() - std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+        let ann = Shape::Annulus { center: p(0.0, 0.0), r_inner: 1.0, r_outer: 2.0 };
+        assert!(ann.fill_fraction() > 0.0 && ann.fill_fraction() < 1.0);
+    }
+
+    #[test]
+    fn carved_grid_hits_target_size_roughly() {
+        let d = Domain::new(Shape::Ellipse { center: p(0.0, 0.0), rx: 2.0, ry: 1.0 });
+        let m = carved_grid(&d, 3000, 0.3, 5);
+        let n = m.num_vertices();
+        assert!(
+            (1800..=4500).contains(&n),
+            "expected roughly 3000 vertices, got {n}"
+        );
+        assert!(m.is_ccw());
+    }
+
+    #[test]
+    fn carved_grid_vertices_lie_inside_domain() {
+        let d = Domain::new(Shape::Annulus { center: p(0.0, 0.0), r_inner: 1.0, r_outer: 2.0 });
+        let m = carved_grid(&d, 2000, 0.2, 11);
+        for &c in m.coords() {
+            assert!(d.contains(c), "vertex {c:?} escaped the domain");
+        }
+    }
+
+    #[test]
+    fn carved_grid_with_hole_changes_topology() {
+        let solid = Domain::new(Shape::Rect { lo: p(0.0, 0.0), hi: p(1.0, 1.0) });
+        let holed = solid
+            .clone()
+            .with_hole(Shape::Ellipse { center: p(0.5, 0.5), rx: 0.2, ry: 0.2 });
+        let ms = carved_grid(&solid, 2500, 0.25, 3);
+        let mh = carved_grid(&holed, 2500, 0.25, 3);
+        assert_eq!(ms.euler_characteristic(), 1, "solid square is a disk");
+        assert_eq!(mh.euler_characteristic(), 0, "holed square is an annulus");
+        // The hole adds boundary vertices.
+        assert!(
+            Boundary::detect(&mh).num_boundary() > Boundary::detect(&ms).num_boundary()
+        );
+    }
+
+    #[test]
+    fn carved_grid_has_no_unreferenced_vertices() {
+        let d = Domain::new(Shape::Ellipse { center: p(0.0, 0.0), rx: 1.0, ry: 1.0 });
+        let m = carved_grid(&d, 1000, 0.3, 2);
+        let mut seen = vec![false; m.num_vertices()];
+        for tri in m.triangles() {
+            for &v in tri {
+                seen[v as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "compaction must drop unreferenced vertices");
+    }
+}

@@ -1,0 +1,233 @@
+//! Structured and perturbed grid triangulations.
+
+use crate::geometry::Point2;
+use crate::mesh::TriMesh;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Regular right-triangle grid over the unit square.
+///
+/// `nx × ny` vertices (`nx, ny ≥ 2`), each cell split along the same
+/// diagonal. Vertex numbering is row-major, which has good locality — this
+/// mimics the locality of a mesh generator's "original" ordering.
+pub fn structured_grid(nx: usize, ny: usize) -> TriMesh {
+    assert!(nx >= 2 && ny >= 2, "grid needs at least 2x2 vertices");
+    let mut coords = Vec::with_capacity(nx * ny);
+    for j in 0..ny {
+        for i in 0..nx {
+            coords.push(Point2::new(
+                i as f64 / (nx - 1) as f64,
+                j as f64 / (ny - 1) as f64,
+            ));
+        }
+    }
+    let mut tris = Vec::with_capacity(2 * (nx - 1) * (ny - 1));
+    for j in 0..ny - 1 {
+        for i in 0..nx - 1 {
+            let v00 = (j * nx + i) as u32;
+            let v10 = v00 + 1;
+            let v01 = v00 + nx as u32;
+            let v11 = v01 + 1;
+            tris.push([v00, v10, v11]);
+            tris.push([v00, v11, v01]);
+        }
+    }
+    TriMesh::new_unchecked(coords, tris)
+}
+
+/// Perturbed grid: jittered interior vertices and randomised cell diagonals.
+///
+/// `jitter` is the maximal displacement as a fraction of the cell spacing
+/// (values in `[0, 0.49]` keep the mesh untangled). The jitter gives the
+/// triangles a *spread of qualities* — the raw material both for smoothing
+/// and for the quality-driven RDR ordering. Deterministic in `seed`.
+pub fn perturbed_grid(nx: usize, ny: usize, jitter: f64, seed: u64) -> TriMesh {
+    perturbed_grid_over(nx, ny, (Point2::ZERO, Point2::new(1.0, 1.0)), jitter, seed)
+}
+
+/// Smooth low-frequency field in `[0, 1]` used to *grade* the jitter
+/// amplitude across the domain. Mesh generators like Triangle produce
+/// graded meshes whose element quality varies smoothly in space; spatially
+/// correlated quality is what keeps the paper's quality-greedy RDR chains
+/// coherent. Normalised coordinates `u, v ∈ [0, 1]`.
+fn grading_field(u: f64, v: f64) -> f64 {
+    // A handful of localised "bad regions" (Gaussian bumps) on an otherwise
+    // mildly distorted background. Quality-guaranteeing generators like
+    // Triangle produce exactly this structure: most of the mesh is close to
+    // the target quality, with concentrated low-quality areas near domain
+    // features. The concentrated distribution is what makes quality-driven
+    // traversals (RDR, greedy smoothing) spatially coherent.
+    const CENTERS: [(f64, f64, f64); 4] = [
+        (0.22, 0.31, 0.11),
+        (0.71, 0.18, 0.09),
+        (0.45, 0.74, 0.13),
+        (0.86, 0.62, 0.08),
+    ];
+    let mut bump: f64 = 0.0;
+    for (cu, cv, w) in CENTERS {
+        let r2 = ((u - cu) / w).powi(2) + ((v - cv) / w).powi(2);
+        bump = bump.max((-r2).exp());
+    }
+    bump
+}
+
+/// [`perturbed_grid`] laid over an arbitrary bounding box `(lo, hi)`, with
+/// the jitter amplitude *graded* by a smooth spatial field: some regions
+/// stay nearly regular (high quality), others are strongly distorted (low
+/// quality). `jitter` is the maximum amplitude.
+pub fn graded_grid_over(
+    nx: usize,
+    ny: usize,
+    (lo, hi): (Point2, Point2),
+    jitter: f64,
+    seed: u64,
+) -> TriMesh {
+    grid_over_impl(nx, ny, (lo, hi), jitter, seed, true)
+}
+
+/// [`perturbed_grid`] laid over an arbitrary bounding box `(lo, hi)`.
+pub fn perturbed_grid_over(
+    nx: usize,
+    ny: usize,
+    (lo, hi): (Point2, Point2),
+    jitter: f64,
+    seed: u64,
+) -> TriMesh {
+    grid_over_impl(nx, ny, (lo, hi), jitter, seed, false)
+}
+
+fn grid_over_impl(
+    nx: usize,
+    ny: usize,
+    (lo, hi): (Point2, Point2),
+    jitter: f64,
+    seed: u64,
+    graded: bool,
+) -> TriMesh {
+    assert!(nx >= 2 && ny >= 2, "grid needs at least 2x2 vertices");
+    assert!((0.0..0.5).contains(&jitter), "jitter must be in [0, 0.5)");
+    assert!(hi.x > lo.x && hi.y > lo.y, "bounding box must be non-degenerate");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let hx = (hi.x - lo.x) / (nx - 1) as f64;
+    let hy = (hi.y - lo.y) / (ny - 1) as f64;
+
+    let mut coords = Vec::with_capacity(nx * ny);
+    for j in 0..ny {
+        for i in 0..nx {
+            let mut p = Point2::new(
+                lo.x + (hi.x - lo.x) * (i as f64 / (nx - 1) as f64),
+                lo.y + (hi.y - lo.y) * (j as f64 / (ny - 1) as f64),
+            );
+            // Keep the outer boundary straight: only interior nodes jitter.
+            if i > 0 && i < nx - 1 && j > 0 && j < ny - 1 && jitter > 0.0 {
+                let amp = if graded {
+                    let u = i as f64 / (nx - 1) as f64;
+                    let v = j as f64 / (ny - 1) as f64;
+                    // good plateau (~0.18·jitter) + concentrated bad bumps
+                    jitter * (0.18 + 0.82 * grading_field(u, v))
+                } else {
+                    jitter
+                };
+                p.x += rng.gen_range(-1.0..1.0) * amp * hx;
+                p.y += rng.gen_range(-1.0..1.0) * amp * hy;
+            }
+            coords.push(p);
+        }
+    }
+    let mut tris = Vec::with_capacity(2 * (nx - 1) * (ny - 1));
+    for j in 0..ny - 1 {
+        for i in 0..nx - 1 {
+            let v00 = (j * nx + i) as u32;
+            let v10 = v00 + 1;
+            let v01 = v00 + nx as u32;
+            let v11 = v01 + 1;
+            if rng.gen_bool(0.5) {
+                tris.push([v00, v10, v11]);
+                tris.push([v00, v11, v01]);
+            } else {
+                tris.push([v00, v10, v01]);
+                tris.push([v10, v11, v01]);
+            }
+        }
+    }
+    let mut m = TriMesh::new_unchecked(coords, tris);
+    m.orient_ccw();
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adjacency::Adjacency;
+    use crate::boundary::Boundary;
+    use crate::quality::{mesh_quality, QualityMetric};
+
+    #[test]
+    fn structured_grid_counts() {
+        let m = structured_grid(5, 4);
+        assert_eq!(m.num_vertices(), 20);
+        assert_eq!(m.num_triangles(), 2 * 4 * 3);
+        assert_eq!(m.euler_characteristic(), 1);
+    }
+
+    #[test]
+    fn structured_grid_is_unit_square() {
+        let m = structured_grid(4, 4);
+        let (lo, hi) = m.bbox();
+        assert_eq!((lo.x, lo.y, hi.x, hi.y), (0.0, 0.0, 1.0, 1.0));
+        assert!((m.total_area() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perturbed_grid_is_deterministic_in_seed() {
+        let a = perturbed_grid(12, 12, 0.3, 42);
+        let b = perturbed_grid(12, 12, 0.3, 42);
+        let c = perturbed_grid(12, 12, 0.3, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn perturbed_grid_keeps_boundary_straight() {
+        let m = perturbed_grid(10, 10, 0.4, 1);
+        let b = Boundary::detect(&m);
+        for v in b.boundary_vertices() {
+            let p = m.coords()[v as usize];
+            let on_edge = p.x.abs() < 1e-12
+                || (p.x - 1.0).abs() < 1e-12
+                || p.y.abs() < 1e-12
+                || (p.y - 1.0).abs() < 1e-12;
+            assert!(on_edge, "boundary vertex {v} at {p:?} not on unit-square edge");
+        }
+    }
+
+    #[test]
+    fn perturbed_grid_stays_untangled_and_imperfect() {
+        let m = perturbed_grid(20, 20, 0.35, 7);
+        assert!(m.is_ccw(), "jittered mesh must stay untangled (all CCW)");
+        let adj = Adjacency::build(&m);
+        let q = mesh_quality(&m, &adj, QualityMetric::EdgeLengthRatio);
+        assert!(q > 0.2 && q < 0.95, "quality {q} should be mediocre before smoothing");
+    }
+
+    #[test]
+    fn zero_jitter_matches_structured_geometry() {
+        let m = perturbed_grid(6, 6, 0.0, 9);
+        let s = structured_grid(6, 6);
+        assert_eq!(m.coords(), s.coords());
+        // diagonals may differ; counts must not
+        assert_eq!(m.num_triangles(), s.num_triangles());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_tiny_grid() {
+        structured_grid(1, 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_excessive_jitter() {
+        perturbed_grid(4, 4, 0.5, 0);
+    }
+}

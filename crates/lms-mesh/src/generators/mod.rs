@@ -1,0 +1,22 @@
+//! Mesh generators.
+//!
+//! The paper's nine input meshes were produced by Shewchuk's *Triangle* and
+//! are not redistributable; these generators synthesise equivalents (see
+//! DESIGN.md §3). Two families are provided:
+//!
+//! * **Carved perturbed grids** ([`grid`], [`domains`]) — structured
+//!   triangulations with jittered vertices, randomised diagonals and
+//!   arbitrary domain masks (holes, islands, strips). Fast enough for the
+//!   paper-scale 300–400k-vertex meshes; the row-major compacted numbering
+//!   plays the role of Triangle's "original" (ORI) ordering.
+//! * **Bowyer–Watson Delaunay** ([`delaunay`]) — genuine unstructured
+//!   triangulations of random point sets, used where insertion-order
+//!   numbering (poor locality) is wanted.
+
+pub mod delaunay;
+pub mod domains;
+pub mod grid;
+
+pub use delaunay::{delaunay_triangulation, random_delaunay};
+pub use domains::{carved_grid, Domain};
+pub use grid::{graded_grid_over, perturbed_grid, perturbed_grid_over, structured_grid};

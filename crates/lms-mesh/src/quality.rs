@@ -1,0 +1,236 @@
+//! Mesh quality metrics.
+//!
+//! The paper (§3.2) uses the **edge-length ratio** — the ratio of the
+//! shortest to the longest edge of a triangle, in `(0, 1]` with 1 meaning
+//! equilateral. Per-vertex quality is the average over incident triangles,
+//! and global quality is the average over all vertices. Two additional
+//! standard metrics are provided for the ablation benches.
+
+use crate::adjacency::Adjacency;
+use crate::geometry::{angles, area, edge_lengths, Point2};
+use crate::mesh::TriMesh;
+
+/// Which triangle-shape measure to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QualityMetric {
+    /// min-edge / max-edge (the paper's metric, Knupp \[7\]).
+    #[default]
+    EdgeLengthRatio,
+    /// Smallest interior angle normalised by 60° (equilateral → 1).
+    MinAngle,
+    /// Twice the inradius over the circumradius (equilateral → 1).
+    RadiusRatio,
+}
+
+impl QualityMetric {
+    /// Quality of the triangle `abc` under this metric, in `[0, 1]`.
+    ///
+    /// Degenerate triangles score 0.
+    pub fn triangle_quality(self, a: Point2, b: Point2, c: Point2) -> f64 {
+        match self {
+            QualityMetric::EdgeLengthRatio => {
+                let [e0, e1, e2] = edge_lengths(a, b, c);
+                let max = e0.max(e1).max(e2);
+                if max <= 0.0 {
+                    return 0.0;
+                }
+                let min = e0.min(e1).min(e2);
+                min / max
+            }
+            QualityMetric::MinAngle => {
+                let [a0, a1, a2] = angles(a, b, c);
+                let min = a0.min(a1).min(a2);
+                (min / std::f64::consts::FRAC_PI_3).clamp(0.0, 1.0)
+            }
+            QualityMetric::RadiusRatio => {
+                let [e0, e1, e2] = edge_lengths(a, b, c);
+                let ar = area(a, b, c);
+                if ar <= 0.0 {
+                    return 0.0;
+                }
+                let s = 0.5 * (e0 + e1 + e2);
+                let r_in = ar / s;
+                let r_circ = e0 * e1 * e2 / (4.0 * ar);
+                if r_circ <= 0.0 {
+                    return 0.0;
+                }
+                (2.0 * r_in / r_circ).clamp(0.0, 1.0)
+            }
+        }
+    }
+
+    /// Short lowercase name (`elr`, `minangle`, `radius`), for CLIs/reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            QualityMetric::EdgeLengthRatio => "elr",
+            QualityMetric::MinAngle => "minangle",
+            QualityMetric::RadiusRatio => "radius",
+        }
+    }
+}
+
+/// Quality of every triangle of `mesh` under `metric`.
+pub fn triangle_qualities(mesh: &TriMesh, metric: QualityMetric) -> Vec<f64> {
+    (0..mesh.num_triangles())
+        .map(|t| {
+            let [a, b, c] = mesh.tri_coords(t);
+            metric.triangle_quality(a, b, c)
+        })
+        .collect()
+}
+
+/// Per-vertex quality: mean quality of the triangles incident to each vertex.
+///
+/// Vertices with no incident triangle score 0.
+pub fn vertex_qualities(mesh: &TriMesh, adj: &Adjacency, metric: QualityMetric) -> Vec<f64> {
+    let tri_q = triangle_qualities(mesh, metric);
+    vertex_qualities_from_triangle(adj, &tri_q, mesh.num_vertices())
+}
+
+/// Per-vertex quality given precomputed triangle qualities.
+pub fn vertex_qualities_from_triangle(
+    adj: &Adjacency,
+    tri_q: &[f64],
+    num_vertices: usize,
+) -> Vec<f64> {
+    (0..num_vertices as u32)
+        .map(|v| {
+            let ts = adj.triangles_of(v);
+            if ts.is_empty() {
+                0.0
+            } else {
+                ts.iter().map(|&t| tri_q[t as usize]).sum::<f64>() / ts.len() as f64
+            }
+        })
+        .collect()
+}
+
+/// Quality of a single vertex (mean of incident triangle qualities).
+pub fn vertex_quality(mesh: &TriMesh, adj: &Adjacency, v: u32, metric: QualityMetric) -> f64 {
+    let ts = adj.triangles_of(v);
+    if ts.is_empty() {
+        return 0.0;
+    }
+    ts.iter()
+        .map(|&t| {
+            let [a, b, c] = mesh.tri_coords(t as usize);
+            metric.triangle_quality(a, b, c)
+        })
+        .sum::<f64>()
+        / ts.len() as f64
+}
+
+/// Global mesh quality: the mean of the per-vertex qualities
+/// (Algorithm 1, line 9).
+pub fn global_quality(vertex_q: &[f64]) -> f64 {
+    if vertex_q.is_empty() {
+        return 0.0;
+    }
+    vertex_q.iter().sum::<f64>() / vertex_q.len() as f64
+}
+
+/// Convenience: global quality of `mesh` computed from scratch.
+pub fn mesh_quality(mesh: &TriMesh, adj: &Adjacency, metric: QualityMetric) -> f64 {
+    global_quality(&vertex_qualities(mesh, adj, metric))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::figure5_mesh;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    fn equilateral() -> (Point2, Point2, Point2) {
+        (p(0.0, 0.0), p(1.0, 0.0), p(0.5, 3f64.sqrt() / 2.0))
+    }
+
+    #[test]
+    fn equilateral_scores_one_under_all_metrics() {
+        let (a, b, c) = equilateral();
+        for m in [QualityMetric::EdgeLengthRatio, QualityMetric::MinAngle, QualityMetric::RadiusRatio]
+        {
+            let q = m.triangle_quality(a, b, c);
+            assert!((q - 1.0).abs() < 1e-12, "{m:?} gave {q}");
+        }
+    }
+
+    #[test]
+    fn degenerate_scores_zero() {
+        let a = p(0.0, 0.0);
+        let b = p(1.0, 0.0);
+        let c = p(2.0, 0.0); // collinear
+        assert_eq!(QualityMetric::MinAngle.triangle_quality(a, b, c), 0.0);
+        assert_eq!(QualityMetric::RadiusRatio.triangle_quality(a, b, c), 0.0);
+        // edge-length ratio of a collinear triangle is still defined (1:2 here)
+        assert!((QualityMetric::EdgeLengthRatio.triangle_quality(a, b, c) - 0.5).abs() < 1e-12);
+        let z = p(0.0, 0.0);
+        assert_eq!(QualityMetric::EdgeLengthRatio.triangle_quality(z, z, z), 0.0);
+    }
+
+    #[test]
+    fn edge_length_ratio_of_right_triangle() {
+        // 3-4-5 right triangle → ratio 3/5.
+        let q = QualityMetric::EdgeLengthRatio.triangle_quality(p(0.0, 0.0), p(3.0, 0.0), p(0.0, 4.0));
+        assert!((q - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qualities_invariant_under_rigid_motion_and_scale() {
+        let (a, b, c) = equilateral();
+        let rot = |pt: Point2| {
+            let th = 0.7f64;
+            Point2::new(pt.x * th.cos() - pt.y * th.sin(), pt.x * th.sin() + pt.y * th.cos())
+        };
+        for m in [QualityMetric::EdgeLengthRatio, QualityMetric::MinAngle, QualityMetric::RadiusRatio]
+        {
+            let q0 = m.triangle_quality(a, b, c);
+            let q1 = m.triangle_quality(rot(a) * 3.0, rot(b) * 3.0, rot(c) * 3.0);
+            assert!((q0 - q1).abs() < 1e-12, "{m:?}: {q0} vs {q1}");
+        }
+    }
+
+    #[test]
+    fn skinny_triangles_score_low() {
+        let q = QualityMetric::EdgeLengthRatio
+            .triangle_quality(p(0.0, 0.0), p(10.0, 0.0), p(9.9, 0.05));
+        assert!(q < 0.05, "needle triangle scored {q}");
+        // Cap triangles are penalised by the angle metric even though their
+        // edge-length ratio is moderate.
+        let cap = QualityMetric::MinAngle.triangle_quality(p(0.0, 0.0), p(10.0, 0.0), p(5.0, 0.1));
+        assert!(cap < 0.05, "cap triangle scored {cap}");
+    }
+
+    #[test]
+    fn vertex_quality_is_mean_of_incident_triangles() {
+        let m = figure5_mesh();
+        let adj = Adjacency::build(&m);
+        let tri_q = triangle_qualities(&m, QualityMetric::EdgeLengthRatio);
+        let vq = vertex_qualities(&m, &adj, QualityMetric::EdgeLengthRatio);
+        for v in 0..m.num_vertices() as u32 {
+            let ts = adj.triangles_of(v);
+            let expect = ts.iter().map(|&t| tri_q[t as usize]).sum::<f64>() / ts.len() as f64;
+            assert!((vq[v as usize] - expect).abs() < 1e-15);
+            assert!((vertex_quality(&m, &adj, v, QualityMetric::EdgeLengthRatio) - expect).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn global_quality_bounds() {
+        let m = figure5_mesh();
+        let adj = Adjacency::build(&m);
+        let g = mesh_quality(&m, &adj, QualityMetric::EdgeLengthRatio);
+        assert!(g > 0.0 && g <= 1.0);
+        assert_eq!(global_quality(&[]), 0.0);
+        assert!((global_quality(&[0.25, 0.75]) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn metric_names() {
+        assert_eq!(QualityMetric::EdgeLengthRatio.name(), "elr");
+        assert_eq!(QualityMetric::MinAngle.name(), "minangle");
+        assert_eq!(QualityMetric::RadiusRatio.name(), "radius");
+    }
+}

@@ -1,0 +1,158 @@
+//! Uniform midpoint refinement: split every triangle into four at its
+//! edge midpoints.
+//!
+//! Refinement gives the reproduction a *mesh-size axis*: starting from one
+//! suite mesh, each level quadruples the triangle count with identical
+//! geometry and quality structure, so experiments can measure how the
+//! ordering gains grow as the working set falls out of successive cache
+//! levels (the `growth` experiment; the paper's §5.4 cost analysis is
+//! about exactly this trade-off).
+//!
+//! Vertex numbering of the refined mesh: the original vertices keep their
+//! ids (0..V), followed by one midpoint vertex per original edge in
+//! sorted-edge order — i.e. the refined ORI numbering inherits the coarse
+//! mesh's locality structure, as a real generator's refinement would.
+
+use crate::mesh::TriMesh;
+use crate::Point2;
+use std::collections::HashMap;
+
+/// One level of uniform 1→4 midpoint refinement.
+///
+/// Counts transform as `V' = V + E`, `F' = 4F`; the boundary polygon and
+/// total area are preserved exactly (up to FP rounding of midpoints).
+pub fn refine_midpoint(mesh: &TriMesh) -> TriMesh {
+    let mut coords: Vec<Point2> = mesh.coords().to_vec();
+    // midpoint vertex of each undirected edge, created in sorted order for
+    // deterministic numbering
+    let mut edges: Vec<(u32, u32)> = mesh.edges();
+    edges.sort_unstable();
+    let mut midpoint: HashMap<(u32, u32), u32> = HashMap::with_capacity(edges.len());
+    for (a, b) in edges {
+        let id = coords.len() as u32;
+        coords.push(mesh.coords()[a as usize].lerp(mesh.coords()[b as usize], 0.5));
+        midpoint.insert((a, b), id);
+    }
+    let mid = |a: u32, b: u32| midpoint[&(a.min(b), a.max(b))];
+
+    let mut tris = Vec::with_capacity(mesh.num_triangles() * 4);
+    for &[a, b, c] in mesh.triangles() {
+        let (mab, mbc, mca) = (mid(a, b), mid(b, c), mid(c, a));
+        // three corner triangles + the inverted middle one, all inheriting
+        // the parent's orientation
+        tris.push([a, mab, mca]);
+        tris.push([mab, b, mbc]);
+        tris.push([mca, mbc, c]);
+        tris.push([mab, mbc, mca]);
+    }
+    TriMesh::new_unchecked(coords, tris)
+}
+
+/// `levels` successive applications of [`refine_midpoint`].
+pub fn refine_levels(mesh: &TriMesh, levels: usize) -> TriMesh {
+    let mut out = mesh.clone();
+    for _ in 0..levels {
+        out = refine_midpoint(&out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::{triangle_qualities, QualityMetric};
+    use crate::{generators, Adjacency, Boundary};
+
+    #[test]
+    fn counts_transform_as_v_plus_e_and_4f() {
+        let m = generators::perturbed_grid(9, 7, 0.3, 3);
+        let e = m.edges().len();
+        let r = refine_midpoint(&m);
+        assert_eq!(r.num_vertices(), m.num_vertices() + e);
+        assert_eq!(r.num_triangles(), 4 * m.num_triangles());
+        // still a disc
+        assert_eq!(r.euler_characteristic(), m.euler_characteristic());
+    }
+
+    #[test]
+    fn geometry_is_preserved() {
+        let m = generators::perturbed_grid(8, 8, 0.35, 5);
+        let r = refine_midpoint(&m);
+        assert!((r.total_area() - m.total_area()).abs() < 1e-12 * m.num_triangles() as f64);
+        let (lo0, hi0) = m.bbox();
+        let (lo1, hi1) = r.bbox();
+        assert!(lo0.dist(lo1) < 1e-15 && hi0.dist(hi1) < 1e-15);
+        // original vertices keep their ids and positions
+        assert_eq!(&r.coords()[..m.num_vertices()], m.coords());
+    }
+
+    #[test]
+    fn orientation_is_inherited() {
+        let mut m = generators::perturbed_grid(8, 8, 0.2, 1);
+        m.orient_ccw();
+        let r = refine_midpoint(&m);
+        assert!(r.is_ccw(), "children of CCW parents must be CCW");
+    }
+
+    #[test]
+    fn midpoint_children_preserve_parent_quality() {
+        // the three corner children and the middle child of a triangle are
+        // all similar to the parent, so edge-length-ratio is unchanged
+        let m = generators::perturbed_grid(7, 7, 0.4, 9);
+        let parent_q = triangle_qualities(&m, QualityMetric::EdgeLengthRatio);
+        let child_q = triangle_qualities(&refine_midpoint(&m), QualityMetric::EdgeLengthRatio);
+        for (t, &pq) in parent_q.iter().enumerate() {
+            for i in 0..4 {
+                assert!(
+                    (child_q[4 * t + i] - pq).abs() < 1e-9,
+                    "triangle {t} child {i}: {} vs parent {}",
+                    child_q[4 * t + i],
+                    pq
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_vertices_stay_on_the_boundary() {
+        let m = generators::perturbed_grid(8, 8, 0.25, 2);
+        let b0 = Boundary::detect(&m);
+        let r = refine_midpoint(&m);
+        let b1 = Boundary::detect(&r);
+        for v in 0..m.num_vertices() as u32 {
+            assert_eq!(
+                b0.is_boundary(v),
+                b1.is_boundary(v),
+                "original vertex {v} changed boundary status"
+            );
+        }
+        // boundary edge count doubles (each split once)
+        assert_eq!(b1.num_boundary(), b0.num_boundary() * 2);
+    }
+
+    #[test]
+    fn refinement_is_manifold() {
+        let m = generators::perturbed_grid(6, 9, 0.3, 7);
+        let r = refine_levels(&m, 2);
+        assert_eq!(r.num_triangles(), 16 * m.num_triangles());
+        // adjacency build asserts CSR consistency; degree of original
+        // interior vertices is unchanged (each neighbour replaced by a
+        // midpoint)
+        let a0 = Adjacency::build(&m);
+        let a1 = Adjacency::build(&refine_midpoint(&m));
+        let b = Boundary::detect(&m);
+        for v in 0..m.num_vertices() as u32 {
+            if b.is_interior(v) {
+                assert_eq!(a0.degree(v), a1.degree(v), "vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_levels_is_identity() {
+        let m = generators::perturbed_grid(5, 5, 0.2, 1);
+        let r = refine_levels(&m, 0);
+        assert_eq!(r.coords(), m.coords());
+        assert_eq!(r.triangles(), m.triangles());
+    }
+}

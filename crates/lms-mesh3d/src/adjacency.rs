@@ -1,0 +1,225 @@
+//! CSR adjacency for tetrahedral meshes.
+//!
+//! Mirrors [`lms_mesh::Adjacency`]: vertex→vertex neighbour lists (sorted,
+//! deduplicated) drive the smoothing sweep and the orderings; vertex→tet
+//! incidence drives quality evaluation. Implements [`lms_order::Graph`]
+//! so every graph-generic ordering core (BFS, DFS, RCM, RDR, …) runs on
+//! tetrahedral meshes unchanged.
+
+use crate::mesh::TetMesh;
+
+/// CSR vertex→vertex and vertex→tetrahedron adjacency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Adjacency3 {
+    vv_offsets: Vec<u32>,
+    vv_neighbors: Vec<u32>,
+    vt_offsets: Vec<u32>,
+    vt_tets: Vec<u32>,
+}
+
+impl Adjacency3 {
+    /// Build the adjacency of `mesh`.
+    ///
+    /// Neighbour lists are sorted ascending and deduplicated; tet lists are
+    /// sorted ascending.
+    pub fn build(mesh: &TetMesh) -> Self {
+        let n = mesh.num_vertices();
+        let nt = mesh.num_tets();
+
+        // vertex -> tets (counting sort into CSR).
+        let mut vt_offsets = vec![0u32; n + 1];
+        for tet in mesh.tets() {
+            for &v in tet {
+                vt_offsets[v as usize + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            vt_offsets[i + 1] += vt_offsets[i];
+        }
+        let mut vt_tets = vec![0u32; 4 * nt];
+        let mut cursor = vt_offsets.clone();
+        for (t, tet) in mesh.tets().iter().enumerate() {
+            for &v in tet {
+                let c = &mut cursor[v as usize];
+                vt_tets[*c as usize] = t as u32;
+                *c += 1;
+            }
+        }
+
+        // vertex -> vertices: directed edge pairs, sorted, deduplicated.
+        let mut pairs = Vec::with_capacity(12 * nt);
+        for tet in mesh.tets() {
+            for i in 0..4 {
+                for j in 0..4 {
+                    if i != j {
+                        pairs.push((tet[i], tet[j]));
+                    }
+                }
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+
+        let mut vv_offsets = vec![0u32; n + 1];
+        for &(a, _) in &pairs {
+            vv_offsets[a as usize + 1] += 1;
+        }
+        for i in 0..n {
+            vv_offsets[i + 1] += vv_offsets[i];
+        }
+        let vv_neighbors = pairs.into_iter().map(|(_, b)| b).collect();
+
+        Adjacency3 { vv_offsets, vv_neighbors, vt_offsets, vt_tets }
+    }
+
+    /// Number of vertices the adjacency was built for.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.vv_offsets.len() - 1
+    }
+
+    /// Sorted neighbour vertices of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let lo = self.vv_offsets[v as usize] as usize;
+        let hi = self.vv_offsets[v as usize + 1] as usize;
+        &self.vv_neighbors[lo..hi]
+    }
+
+    /// Sorted incident tetrahedra of `v`.
+    #[inline]
+    pub fn tets_of(&self, v: u32) -> &[u32] {
+        let lo = self.vt_offsets[v as usize] as usize;
+        let hi = self.vt_offsets[v as usize + 1] as usize;
+        &self.vt_tets[lo..hi]
+    }
+
+    /// Degree (number of neighbour vertices) of `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Total number of stored directed neighbour entries (2 × #edges).
+    #[inline]
+    pub fn num_directed_edges(&self) -> usize {
+        self.vv_neighbors.len()
+    }
+
+    /// Maximum vertex degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as u32).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Mean vertex degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            return 0.0;
+        }
+        self.num_directed_edges() as f64 / self.num_vertices() as f64
+    }
+
+    /// True when `a` and `b` share an edge.
+    pub fn are_adjacent(&self, a: u32, b: u32) -> bool {
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+}
+
+impl lms_order::Graph for Adjacency3 {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        Adjacency3::num_vertices(self)
+    }
+
+    #[inline]
+    fn neighbors(&self, v: u32) -> &[u32] {
+        Adjacency3::neighbors(self, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point3;
+    use crate::mesh::corner_tet;
+
+    fn double_tet() -> TetMesh {
+        TetMesh::new(
+            vec![
+                Point3::ZERO,
+                Point3::new(1.0, 0.0, 0.0),
+                Point3::new(0.0, 1.0, 0.0),
+                Point3::new(0.0, 0.0, 1.0),
+                Point3::new(1.0, 1.0, 1.0),
+            ],
+            vec![[0, 1, 2, 3], [1, 2, 3, 4]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_tet_is_a_clique() {
+        let adj = Adjacency3::build(&corner_tet());
+        for v in 0..4u32 {
+            assert_eq!(adj.degree(v), 3);
+            assert!(!adj.neighbors(v).contains(&v));
+        }
+        assert_eq!(adj.num_directed_edges(), 12);
+    }
+
+    #[test]
+    fn shared_face_vertices_see_both_tets() {
+        let adj = Adjacency3::build(&double_tet());
+        for v in [1u32, 2, 3] {
+            assert_eq!(adj.tets_of(v), &[0, 1]);
+            assert_eq!(adj.degree(v), 4); // everyone but itself
+        }
+        assert_eq!(adj.tets_of(0), &[0]);
+        assert_eq!(adj.tets_of(4), &[1]);
+        assert_eq!(adj.neighbors(0), &[1, 2, 3]);
+        assert_eq!(adj.neighbors(4), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_sorted_unique() {
+        let adj = Adjacency3::build(&double_tet());
+        for v in 0..adj.num_vertices() as u32 {
+            let ns = adj.neighbors(v);
+            assert!(ns.windows(2).all(|w| w[0] < w[1]));
+            for &w in ns {
+                assert!(adj.are_adjacent(w, v), "asymmetric pair ({v},{w})");
+            }
+        }
+    }
+
+    #[test]
+    fn directed_edges_match_edge_count() {
+        let m = double_tet();
+        let adj = Adjacency3::build(&m);
+        assert_eq!(adj.num_directed_edges(), 2 * m.edges().len());
+    }
+
+    #[test]
+    fn graph_trait_runs_orderings() {
+        use lms_order::graph::{bfs_ordering_on, rcm_ordering_on};
+        let adj = Adjacency3::build(&double_tet());
+        let bfs = bfs_ordering_on(&adj, 0);
+        assert_eq!(bfs.len(), 5);
+        assert_eq!(bfs.new_to_old()[0], 0);
+        let rcm = rcm_ordering_on(&adj);
+        assert_eq!(rcm.len(), 5);
+    }
+
+    #[test]
+    fn tet_incidence_covers_all_corners() {
+        let m = double_tet();
+        let adj = Adjacency3::build(&m);
+        let total: usize = (0..m.num_vertices() as u32).map(|v| adj.tets_of(v).len()).sum();
+        assert_eq!(total, 4 * m.num_tets());
+        for v in 0..m.num_vertices() as u32 {
+            for &t in adj.tets_of(v) {
+                assert!(m.tets()[t as usize].contains(&v));
+            }
+        }
+    }
+}

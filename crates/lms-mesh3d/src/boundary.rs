@@ -1,0 +1,139 @@
+//! Boundary detection for tetrahedral meshes.
+//!
+//! A triangular face is a boundary face when it belongs to exactly one
+//! tetrahedron; a vertex is a boundary vertex when it lies on at least one
+//! boundary face. Smoothing (like the 2D engine) moves interior vertices
+//! only.
+
+use crate::mesh::TetMesh;
+
+/// Boundary classification of a tetrahedral mesh's vertices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Boundary3 {
+    is_boundary: Vec<bool>,
+    num_boundary_faces: usize,
+}
+
+impl Boundary3 {
+    /// Detect the boundary of `mesh` by face counting.
+    pub fn detect(mesh: &TetMesh) -> Self {
+        let mut faces: Vec<[u32; 3]> = Vec::with_capacity(4 * mesh.num_tets());
+        for &tet in mesh.tets() {
+            faces.extend_from_slice(&TetMesh::tet_faces_sorted(tet));
+        }
+        faces.sort_unstable();
+
+        let mut is_boundary = vec![false; mesh.num_vertices()];
+        let mut num_boundary_faces = 0;
+        let mut i = 0;
+        while i < faces.len() {
+            let mut j = i + 1;
+            while j < faces.len() && faces[j] == faces[i] {
+                j += 1;
+            }
+            if j - i == 1 {
+                num_boundary_faces += 1;
+                for &v in &faces[i] {
+                    is_boundary[v as usize] = true;
+                }
+            }
+            i = j;
+        }
+        Boundary3 { is_boundary, num_boundary_faces }
+    }
+
+    /// True when `v` lies on a boundary face.
+    #[inline]
+    pub fn is_boundary(&self, v: u32) -> bool {
+        self.is_boundary[v as usize]
+    }
+
+    /// True when `v` is strictly interior.
+    #[inline]
+    pub fn is_interior(&self, v: u32) -> bool {
+        !self.is_boundary[v as usize]
+    }
+
+    /// Number of boundary vertices.
+    pub fn num_boundary(&self) -> usize {
+        self.is_boundary.iter().filter(|&&b| b).count()
+    }
+
+    /// Number of interior vertices.
+    pub fn num_interior(&self) -> usize {
+        self.is_boundary.len() - self.num_boundary()
+    }
+
+    /// Number of boundary faces (the surface triangle count).
+    pub fn num_boundary_faces(&self) -> usize {
+        self.num_boundary_faces
+    }
+
+    /// Interior vertices in index order.
+    pub fn interior_vertices(&self) -> Vec<u32> {
+        (0..self.is_boundary.len() as u32).filter(|&v| self.is_interior(v)).collect()
+    }
+
+    /// Boundary vertices in index order.
+    pub fn boundary_vertices(&self) -> Vec<u32> {
+        (0..self.is_boundary.len() as u32).filter(|&v| self.is_boundary(v)).collect()
+    }
+
+    /// Interior flags, one per vertex (`true` = interior) — the form the
+    /// graph-generic RDR core consumes.
+    pub fn interior_flags(&self) -> Vec<bool> {
+        self.is_boundary.iter().map(|&b| !b).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::tet_grid;
+    use crate::mesh::corner_tet;
+
+    #[test]
+    fn single_tet_is_all_boundary() {
+        let b = Boundary3::detect(&corner_tet());
+        assert_eq!(b.num_boundary(), 4);
+        assert_eq!(b.num_interior(), 0);
+        assert_eq!(b.num_boundary_faces(), 4);
+    }
+
+    #[test]
+    fn grid_boundary_is_the_box_surface() {
+        // A (nx,ny,nz) cell grid has (nx+1)(ny+1)(nz+1) vertices of which
+        // the interior block is (nx-1)(ny-1)(nz-1).
+        let m = tet_grid(4, 3, 5);
+        let b = Boundary3::detect(&m);
+        assert_eq!(b.num_interior(), 3 * 2 * 4);
+        assert_eq!(b.num_boundary(), m.num_vertices() - 3 * 2 * 4);
+    }
+
+    #[test]
+    fn surface_face_count_matches_box_formula() {
+        // Kuhn subdivision splits every exterior cell face into 2 surface
+        // triangles: total faces = 2·2(nx·ny + ny·nz + nx·nz).
+        let (nx, ny, nz) = (3usize, 4, 2);
+        let m = tet_grid(nx, ny, nz);
+        let b = Boundary3::detect(&m);
+        assert_eq!(b.num_boundary_faces(), 4 * (nx * ny + ny * nz + nx * nz));
+    }
+
+    #[test]
+    fn flags_partition_vertices() {
+        let m = tet_grid(3, 3, 3);
+        let b = Boundary3::detect(&m);
+        assert_eq!(b.num_boundary() + b.num_interior(), m.num_vertices());
+        let interior = b.interior_vertices();
+        let boundary = b.boundary_vertices();
+        assert_eq!(interior.len() + boundary.len(), m.num_vertices());
+        let flags = b.interior_flags();
+        for &v in &interior {
+            assert!(flags[v as usize]);
+        }
+        for &v in &boundary {
+            assert!(!flags[v as usize]);
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Tetrahedral mesh generators.
+//!
+//! The 3D analogue of `lms-mesh`'s synthetic suite: structured box grids
+//! split into tetrahedra by the Kuhn (6-tet) subdivision, optionally
+//! jittered to spread per-vertex quality, and block-scrambled so the
+//! "original" numbering has the moderate locality of a real generator
+//! rather than the raw grid's perfect lexicographic order.
+
+use crate::geometry::Point3;
+use crate::mesh::TetMesh;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The six tetrahedra of the Kuhn subdivision of the unit cube, as corner
+/// offsets `(dx, dy, dz)`. All six share the main diagonal `(0,0,0)–(1,1,1)`
+/// and triangulate the cube compatibly with its neighbours (each path
+/// through the cube corresponds to a permutation of the axes).
+const KUHN_TETS: [[(u32, u32, u32); 4]; 6] = [
+    [(0, 0, 0), (1, 0, 0), (1, 1, 0), (1, 1, 1)],
+    [(0, 0, 0), (1, 0, 0), (1, 0, 1), (1, 1, 1)],
+    [(0, 0, 0), (0, 1, 0), (1, 1, 0), (1, 1, 1)],
+    [(0, 0, 0), (0, 1, 0), (0, 1, 1), (1, 1, 1)],
+    [(0, 0, 0), (0, 0, 1), (1, 0, 1), (1, 1, 1)],
+    [(0, 0, 0), (0, 0, 1), (0, 1, 1), (1, 1, 1)],
+];
+
+/// Structured tetrahedral grid over the unit box: `nx × ny × nz` cells,
+/// each split into 6 tets (Kuhn subdivision). Vertices are numbered
+/// lexicographically (x fastest); all tets are positively oriented.
+pub fn tet_grid(nx: usize, ny: usize, nz: usize) -> TetMesh {
+    assert!(nx >= 1 && ny >= 1 && nz >= 1, "need at least one cell per axis");
+    let (px, py, pz) = (nx + 1, ny + 1, nz + 1);
+    let vid = |i: usize, j: usize, k: usize| ((k * py + j) * px + i) as u32;
+
+    let mut coords = Vec::with_capacity(px * py * pz);
+    for k in 0..pz {
+        for j in 0..py {
+            for i in 0..px {
+                coords.push(Point3::new(
+                    i as f64 / nx as f64,
+                    j as f64 / ny as f64,
+                    k as f64 / nz as f64,
+                ));
+            }
+        }
+    }
+
+    let mut tets = Vec::with_capacity(6 * nx * ny * nz);
+    for k in 0..nz {
+        for j in 0..ny {
+            for i in 0..nx {
+                for corners in KUHN_TETS {
+                    let tet = corners.map(|(dx, dy, dz)| {
+                        vid(i + dx as usize, j + dy as usize, k + dz as usize)
+                    });
+                    tets.push(tet);
+                }
+            }
+        }
+    }
+    let mut mesh = TetMesh::new_unchecked(coords, tets);
+    mesh.orient_positive();
+    mesh
+}
+
+/// [`tet_grid`] with interior vertices displaced by a uniform jitter of up
+/// to `jitter` × the cell size per axis, plus Gaussian-bump "bad regions"
+/// that grade the quality field (mirroring the 2D suite's structure:
+/// mostly-good mesh with localised bad patches). Boundary vertices stay
+/// put, so the box shape survives and boundary detection is exact.
+///
+/// `jitter` up to ≈0.45 keeps all tets positively oriented in practice;
+/// the constructor re-orients defensively either way.
+pub fn perturbed_tet_grid(nx: usize, ny: usize, nz: usize, jitter: f64, seed: u64) -> TetMesh {
+    let mut mesh = tet_grid(nx, ny, nz);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let cell = Point3::new(1.0 / nx as f64, 1.0 / ny as f64, 1.0 / nz as f64);
+
+    // Bad regions: a few Gaussian bumps that scale the local jitter up.
+    let bumps: Vec<(Point3, f64)> = (0..3)
+        .map(|_| {
+            let c = Point3::new(rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>());
+            let sigma = rng.gen_range(0.08..0.2);
+            (c, sigma)
+        })
+        .collect();
+
+    let boundary = |p: Point3| {
+        let eps = 1e-12;
+        p.x < eps || p.x > 1.0 - eps || p.y < eps || p.y > 1.0 - eps || p.z < eps
+            || p.z > 1.0 - eps
+    };
+
+    for p in mesh.coords_mut() {
+        if boundary(*p) {
+            continue;
+        }
+        let bump: f64 = bumps
+            .iter()
+            .map(|&(c, sigma)| (-(p.dist_sq(c)) / (2.0 * sigma * sigma)).exp())
+            .fold(0.0, f64::max);
+        let amp = jitter * (0.35 + 0.65 * bump);
+        let d = Point3::new(
+            rng.gen_range(-1.0..1.0) * amp * cell.x,
+            rng.gen_range(-1.0..1.0) * amp * cell.y,
+            rng.gen_range(-1.0..1.0) * amp * cell.z,
+        );
+        *p += d;
+    }
+    mesh.orient_positive();
+    mesh
+}
+
+/// Shuffle vertex ids within consecutive blocks of `block` vertices
+/// (Fisher–Yates per block), renumbering the mesh accordingly — same
+/// rationale as the 2D suite's `ORI_SCRAMBLE_BLOCK`: real generators emit
+/// numberings that are globally coherent but locally scrambled.
+pub fn block_scramble(mesh: TetMesh, block: usize, seed: u64) -> TetMesh {
+    assert!(block >= 1, "block size must be positive");
+    let n = mesh.num_vertices();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5CA1AB1E);
+    let mut new_to_old: Vec<u32> = (0..n as u32).collect();
+    for chunk in new_to_old.chunks_mut(block) {
+        chunk.shuffle(&mut rng);
+    }
+    let mut old_to_new = vec![0u32; n];
+    for (new, &old) in new_to_old.iter().enumerate() {
+        old_to_new[old as usize] = new as u32;
+    }
+    let (coords, mut tets) = mesh.into_parts();
+    let new_coords: Vec<_> = new_to_old.iter().map(|&old| coords[old as usize]).collect();
+    for tet in &mut tets {
+        for v in tet.iter_mut() {
+            *v = old_to_new[*v as usize];
+        }
+    }
+    TetMesh::new_unchecked(new_coords, tets)
+}
+
+/// Specification of one 3D evaluation mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mesh3Spec {
+    /// Short label (`T1`…).
+    pub label: &'static str,
+    /// Human name.
+    pub name: &'static str,
+    /// Cells per axis at scale 1.
+    pub cells: (usize, usize, usize),
+    /// Jitter amplitude.
+    pub jitter_milli: u32,
+}
+
+/// The 3D evaluation suite: three box meshes of increasing size and
+/// anisotropy (there is no Table 1 for 3D in the paper — these exercise
+/// the §6 conjecture that RDR transfers to LMS extensions).
+pub const SUITE3: [Mesh3Spec; 3] = [
+    Mesh3Spec { label: "T1", name: "cube", cells: (16, 16, 16), jitter_milli: 350 },
+    Mesh3Spec { label: "T2", name: "slab", cells: (32, 32, 6), jitter_milli: 380 },
+    Mesh3Spec { label: "T3", name: "beam", cells: (64, 10, 10), jitter_milli: 330 },
+];
+
+/// Vertex-numbering block size for the 3D suite's ORI ordering.
+pub const ORI3_SCRAMBLE_BLOCK: usize = 256;
+
+/// Generate one suite mesh at `scale`× its cell counts (per axis scale is
+/// `scale^(1/3)` so the vertex count grows ≈ linearly with `scale`).
+pub fn generate3(spec: &Mesh3Spec, scale: f64) -> TetMesh {
+    let s = scale.max(1e-3).cbrt();
+    let (nx, ny, nz) = spec.cells;
+    let scaled = |n: usize| ((n as f64 * s).round() as usize).max(2);
+    let seed = 0xC0FFEE
+        ^ spec.label.bytes().fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
+    let raw = perturbed_tet_grid(
+        scaled(nx),
+        scaled(ny),
+        scaled(nz),
+        spec.jitter_milli as f64 / 1000.0,
+        seed,
+    );
+    block_scramble(raw, ORI3_SCRAMBLE_BLOCK, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tet_grid_counts() {
+        let m = tet_grid(3, 2, 4);
+        assert_eq!(m.num_vertices(), 4 * 3 * 5);
+        assert_eq!(m.num_tets(), 6 * 3 * 2 * 4);
+    }
+
+    #[test]
+    fn tet_grid_is_positively_oriented_and_fills_the_box() {
+        let m = tet_grid(4, 4, 4);
+        assert!(m.is_positively_oriented());
+        // Kuhn subdivision tiles the cube exactly: total volume = 1.
+        assert!((m.total_volume() - 1.0).abs() < 1e-12);
+        let (lo, hi) = m.bbox();
+        assert_eq!(lo, Point3::ZERO);
+        assert_eq!(hi, Point3::new(1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn kuhn_faces_are_conforming() {
+        // Every internal face must be shared by exactly two tets: the
+        // boundary face count then matches the box-surface formula.
+        let m = tet_grid(3, 3, 3);
+        let b = crate::boundary::Boundary3::detect(&m);
+        assert_eq!(b.num_boundary_faces(), 4 * (9 + 9 + 9));
+    }
+
+    #[test]
+    fn perturbed_grid_keeps_boundary_and_orientation() {
+        let base = tet_grid(6, 6, 6);
+        let m = perturbed_tet_grid(6, 6, 6, 0.35, 42);
+        assert!(m.is_positively_oriented(), "jitter inverted a tet");
+        let b = crate::boundary::Boundary3::detect(&m);
+        for &v in &b.boundary_vertices() {
+            assert_eq!(m.coords()[v as usize], base.coords()[v as usize]);
+        }
+        // interior vertices did move
+        let moved = b
+            .interior_vertices()
+            .iter()
+            .filter(|&&v| m.coords()[v as usize] != base.coords()[v as usize])
+            .count();
+        assert_eq!(moved, b.num_interior());
+    }
+
+    #[test]
+    fn perturbation_is_deterministic_in_seed() {
+        let a = perturbed_tet_grid(5, 5, 5, 0.3, 7);
+        let b = perturbed_tet_grid(5, 5, 5, 0.3, 7);
+        let c = perturbed_tet_grid(5, 5, 5, 0.3, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn scramble_preserves_geometry() {
+        let m = perturbed_tet_grid(5, 5, 5, 0.3, 3);
+        let s = block_scramble(m.clone(), 64, 3);
+        assert_eq!(s.num_vertices(), m.num_vertices());
+        assert_eq!(s.num_tets(), m.num_tets());
+        assert!((s.total_volume() - m.total_volume()).abs() < 1e-12);
+        assert_eq!(s.edges().len(), m.edges().len());
+        assert_ne!(s.coords(), m.coords(), "scramble should move vertex storage");
+    }
+
+    #[test]
+    fn suite_generates_valid_meshes() {
+        for spec in &SUITE3 {
+            let m = generate3(spec, 0.05);
+            assert!(m.num_vertices() > 50, "{}", spec.name);
+            assert!(m.is_positively_oriented(), "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn scale_grows_vertex_count() {
+        let small = generate3(&SUITE3[0], 0.02);
+        let big = generate3(&SUITE3[0], 0.16);
+        assert!(big.num_vertices() > 4 * small.num_vertices());
+    }
+}

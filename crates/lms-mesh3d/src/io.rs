@@ -1,0 +1,221 @@
+//! TetGen `.node` / `.ele` I/O for tetrahedral meshes.
+//!
+//! TetGen is the 3D sibling of the paper's mesh generator *Triangle* (same
+//! author lineage, same file conventions with one more coordinate and one
+//! more corner). Supporting its format makes the crate usable on real
+//! tetrahedral meshes, exactly as `lms-mesh::io` does for Triangle's 2D
+//! output.
+//!
+//! `.node`: header `<#points> <dim (3)> <#attrs> <#boundary markers>`,
+//! then `<id> <x> <y> <z> [attrs...] [marker]` per line.
+//! `.ele`: header `<#tets> <nodes per tet (4)> <#attrs>`, then
+//! `<id> <v0> <v1> <v2> <v3> [attrs...]` per line. Ids may start at 0
+//! or 1 (auto-detected, as TetGen allows both). `#` starts a comment.
+
+use crate::geometry::Point3;
+use crate::mesh::{Mesh3Error, TetMesh};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+fn parse_err(msg: impl Into<String>) -> Mesh3Error {
+    Mesh3Error::Parse(msg.into())
+}
+
+/// Write the `.node` file of `mesh`.
+pub fn write_node3(mesh: &TetMesh, mut w: impl Write) -> Result<(), Mesh3Error> {
+    let io = |e: std::io::Error| parse_err(format!("write: {e}"));
+    writeln!(w, "{} 3 0 0", mesh.num_vertices()).map_err(io)?;
+    for (i, p) in mesh.coords().iter().enumerate() {
+        writeln!(w, "{} {:.17} {:.17} {:.17}", i, p.x, p.y, p.z).map_err(io)?;
+    }
+    Ok(())
+}
+
+/// Write the `.ele` file of `mesh`.
+pub fn write_ele3(mesh: &TetMesh, mut w: impl Write) -> Result<(), Mesh3Error> {
+    let io = |e: std::io::Error| parse_err(format!("write: {e}"));
+    writeln!(w, "{} 4 0", mesh.num_tets()).map_err(io)?;
+    for (i, t) in mesh.tets().iter().enumerate() {
+        writeln!(w, "{} {} {} {} {}", i, t[0], t[1], t[2], t[3]).map_err(io)?;
+    }
+    Ok(())
+}
+
+/// Strip comments and collect whitespace-separated tokens per line.
+fn data_lines(r: impl Read) -> Result<Vec<Vec<String>>, Mesh3Error> {
+    let mut out = Vec::new();
+    for line in BufReader::new(r).lines() {
+        let line = line.map_err(|e| parse_err(format!("read: {e}")))?;
+        let body = line.split('#').next().unwrap_or("");
+        let tokens: Vec<String> = body.split_whitespace().map(str::to_string).collect();
+        if !tokens.is_empty() {
+            out.push(tokens);
+        }
+    }
+    Ok(out)
+}
+
+/// Read a `.node` file into a coordinate array.
+pub fn read_node3(r: impl Read) -> Result<Vec<Point3>, Mesh3Error> {
+    let lines = data_lines(r)?;
+    let header = lines.first().ok_or_else(|| parse_err("empty .node file"))?;
+    let n: usize =
+        header[0].parse().map_err(|e| parse_err(format!("bad point count: {e}")))?;
+    let dim: usize = header
+        .get(1)
+        .map(|t| t.parse().unwrap_or(0))
+        .ok_or_else(|| parse_err("missing dimension"))?;
+    if dim != 3 {
+        return Err(parse_err(format!("expected dimension 3, got {dim}")));
+    }
+    let body = &lines[1..];
+    if body.len() != n {
+        return Err(parse_err(format!("expected {n} points, found {}", body.len())));
+    }
+    let mut coords = Vec::with_capacity(n);
+    for tokens in body {
+        if tokens.len() < 4 {
+            return Err(parse_err(format!("point line too short: {tokens:?}")));
+        }
+        let coord = |s: &str| {
+            s.parse::<f64>().map_err(|e| parse_err(format!("bad coordinate {s:?}: {e}")))
+        };
+        coords.push(Point3::new(coord(&tokens[1])?, coord(&tokens[2])?, coord(&tokens[3])?));
+    }
+    Ok(coords)
+}
+
+/// Read a `.ele` file into a connectivity array (0- or 1-based ids
+/// auto-detected from the first element's id).
+pub fn read_ele3(r: impl Read) -> Result<Vec<[u32; 4]>, Mesh3Error> {
+    let lines = data_lines(r)?;
+    let header = lines.first().ok_or_else(|| parse_err("empty .ele file"))?;
+    let n: usize =
+        header[0].parse().map_err(|e| parse_err(format!("bad tet count: {e}")))?;
+    let nodes_per: usize = header.get(1).map(|t| t.parse().unwrap_or(0)).unwrap_or(4);
+    if nodes_per != 4 {
+        return Err(parse_err(format!("expected 4 nodes per tet, got {nodes_per}")));
+    }
+    let body = &lines[1..];
+    if body.len() != n {
+        return Err(parse_err(format!("expected {n} tets, found {}", body.len())));
+    }
+    // TetGen numbers from 0 or 1; detect from the first element id
+    let base: u32 = body
+        .first()
+        .map(|t| t[0].parse().unwrap_or(0))
+        .unwrap_or(0)
+        .min(1);
+    let mut tets = Vec::with_capacity(n);
+    for tokens in body {
+        if tokens.len() < 5 {
+            return Err(parse_err(format!("tet line too short: {tokens:?}")));
+        }
+        let idx = |s: &str| -> Result<u32, Mesh3Error> {
+            let v: u32 =
+                s.parse().map_err(|e| parse_err(format!("bad vertex id {s:?}: {e}")))?;
+            v.checked_sub(base).ok_or_else(|| parse_err(format!("vertex id {v} below base {base}")))
+        };
+        tets.push([idx(&tokens[1])?, idx(&tokens[2])?, idx(&tokens[3])?, idx(&tokens[4])?]);
+    }
+    Ok(tets)
+}
+
+/// Save `mesh` as `<prefix>.node` + `<prefix>.ele`.
+pub fn save_tetgen(mesh: &TetMesh, prefix: impl AsRef<Path>) -> Result<(), Mesh3Error> {
+    let prefix = prefix.as_ref();
+    let open = |ext: &str| {
+        std::fs::File::create(prefix.with_extension(ext))
+            .map_err(|e| parse_err(format!("create {}.{ext}: {e}", prefix.display())))
+    };
+    write_node3(mesh, open("node")?)?;
+    write_ele3(mesh, open("ele")?)
+}
+
+/// Load `<prefix>.node` + `<prefix>.ele` into a validated [`TetMesh`].
+pub fn load_tetgen(prefix: impl AsRef<Path>) -> Result<TetMesh, Mesh3Error> {
+    let prefix = prefix.as_ref();
+    let open = |ext: &str| {
+        std::fs::File::open(prefix.with_extension(ext))
+            .map_err(|e| parse_err(format!("open {}.{ext}: {e}", prefix.display())))
+    };
+    let coords = read_node3(open("node")?)?;
+    let tets = read_ele3(open("ele")?)?;
+    TetMesh::new(coords, tets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::perturbed_tet_grid;
+    use crate::mesh::corner_tet;
+
+    #[test]
+    fn node_roundtrip_is_exact() {
+        let m = perturbed_tet_grid(3, 3, 3, 0.3, 1);
+        let mut buf = Vec::new();
+        write_node3(&m, &mut buf).unwrap();
+        let coords = read_node3(&buf[..]).unwrap();
+        assert_eq!(coords, m.coords());
+    }
+
+    #[test]
+    fn ele_roundtrip_is_exact() {
+        let m = perturbed_tet_grid(2, 3, 2, 0.2, 5);
+        let mut buf = Vec::new();
+        write_ele3(&m, &mut buf).unwrap();
+        let tets = read_ele3(&buf[..]).unwrap();
+        assert_eq!(tets, m.tets());
+    }
+
+    #[test]
+    fn one_based_ids_are_detected() {
+        let ele = "1 4 0\n1 1 2 3 4\n";
+        let tets = read_ele3(ele.as_bytes()).unwrap();
+        assert_eq!(tets, vec![[0, 1, 2, 3]]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let node = "# tetgen output\n4 3 0 0\n\n0 0 0 0 # origin\n1 1 0 0\n2 0 1 0\n3 0 0 1\n";
+        let coords = read_node3(node.as_bytes()).unwrap();
+        assert_eq!(coords.len(), 4);
+        assert_eq!(coords[3], Point3::new(0.0, 0.0, 1.0));
+    }
+
+    #[test]
+    fn wrong_dimension_is_rejected() {
+        let node = "3 2 0 0\n0 0 0\n1 1 0\n2 0 1\n";
+        assert!(read_node3(node.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn truncated_files_are_rejected() {
+        assert!(read_node3("2 3 0 0\n0 0 0 0\n".as_bytes()).is_err());
+        assert!(read_ele3("2 4 0\n0 0 1 2 3\n".as_bytes()).is_err());
+        assert!(read_node3("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn save_load_roundtrip_on_disk() {
+        let dir = std::env::temp_dir().join(format!("lms3d_io_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("mesh");
+        let m = corner_tet();
+        save_tetgen(&m, &prefix).unwrap();
+        let loaded = load_tetgen(&prefix).unwrap();
+        assert_eq!(loaded, m);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_validates_indices() {
+        let dir = std::env::temp_dir().join(format!("lms3d_io_bad_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let prefix = dir.join("bad");
+        std::fs::write(prefix.with_extension("node"), "1 3 0 0\n0 0 0 0\n").unwrap();
+        std::fs::write(prefix.with_extension("ele"), "1 4 0\n0 0 1 2 3\n").unwrap();
+        assert!(load_tetgen(&prefix).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,482 @@
+//! Laplacian smoothing of tetrahedral meshes (the paper's Algorithm 1 in
+//! 3D — §6 "extensions of Laplacian mesh smoothing").
+//!
+//! Equation (1) is dimension-agnostic: each interior vertex moves to the
+//! arithmetic mean of its neighbours' positions. The engine mirrors the 2D
+//! [`lms_smooth::SmoothEngine`]: Gauss–Seidel or Jacobi sweeps, the paper's
+//! improvement-below-tolerance convergence criterion, an optional smart
+//! (non-regressing, inversion-safe) commit rule, access tracing through the
+//! same [`AccessSink`] protocol `lms-cache` consumes, and a deterministic
+//! rayon-parallel Jacobi variant with the paper's static chunk schedule.
+
+use crate::adjacency::Adjacency3;
+use crate::boundary::Boundary3;
+use crate::geometry::{signed_volume, Point3};
+use crate::mesh::TetMesh;
+use crate::quality::{mesh_quality, TetQualityMetric};
+use lms_smooth::stats::{IterationStats, SmoothReport};
+use lms_smooth::trace::{AccessSink, NullSink};
+use rayon::prelude::*;
+
+/// Update scheme for the 3D sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UpdateScheme3 {
+    /// In-place: later vertices in the sweep see already-moved neighbours.
+    #[default]
+    GaussSeidel,
+    /// Double-buffered: every vertex reads the previous sweep's positions.
+    Jacobi,
+}
+
+/// Parameters of a 3D smoothing run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmoothParams3 {
+    /// Quality metric for convergence tracking (and the smart guard).
+    pub metric: TetQualityMetric,
+    /// Stop when one sweep improves global quality by less than this
+    /// (the paper uses `5e-6`).
+    pub tol: f64,
+    /// Hard sweep cap (Algorithm 1's maximum iteration count).
+    pub max_iters: usize,
+    /// Update scheme.
+    pub update: UpdateScheme3,
+    /// Smart commit: reject moves that lower the local mean quality or
+    /// invert a currently valid vertex star.
+    pub smart: bool,
+}
+
+impl SmoothParams3 {
+    /// The paper's configuration transplanted to 3D: edge-length-ratio
+    /// metric, `tol = 5e-6`, 200-sweep cap, plain Gauss–Seidel.
+    pub fn paper() -> Self {
+        SmoothParams3 {
+            metric: TetQualityMetric::EdgeLengthRatio,
+            tol: 5e-6,
+            max_iters: 200,
+            update: UpdateScheme3::GaussSeidel,
+            smart: false,
+        }
+    }
+
+    /// Replace the quality metric.
+    pub fn with_metric(mut self, metric: TetQualityMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Replace the convergence tolerance.
+    pub fn with_tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Replace the sweep cap.
+    pub fn with_max_iters(mut self, max_iters: usize) -> Self {
+        self.max_iters = max_iters;
+        self
+    }
+
+    /// Replace the update scheme.
+    pub fn with_update(mut self, update: UpdateScheme3) -> Self {
+        self.update = update;
+        self
+    }
+
+    /// Toggle the smart commit rule.
+    pub fn with_smart(mut self, smart: bool) -> Self {
+        self.smart = smart;
+        self
+    }
+
+    /// Build a [`SmoothEngine3`] for `mesh` and run it.
+    pub fn smooth(&self, mesh: &mut TetMesh) -> SmoothReport {
+        SmoothEngine3::new(mesh, self.clone()).smooth(mesh)
+    }
+}
+
+/// A 3D smoothing engine bound to one mesh topology.
+#[derive(Debug, Clone)]
+pub struct SmoothEngine3 {
+    params: SmoothParams3,
+    adj: Adjacency3,
+    boundary: Boundary3,
+    /// Interior vertices in sweep (storage) order.
+    visit: Vec<u32>,
+    tets: Vec<[u32; 4]>,
+}
+
+impl SmoothEngine3 {
+    /// Build an engine for `mesh` under `params`.
+    pub fn new(mesh: &TetMesh, params: SmoothParams3) -> Self {
+        let adj = Adjacency3::build(mesh);
+        let boundary = Boundary3::detect(mesh);
+        let visit = boundary.interior_vertices();
+        SmoothEngine3 { params, adj, boundary, visit, tets: mesh.tets().to_vec() }
+    }
+
+    /// The engine's parameters.
+    pub fn params(&self) -> &SmoothParams3 {
+        &self.params
+    }
+
+    /// The precomputed adjacency.
+    pub fn adjacency(&self) -> &Adjacency3 {
+        &self.adj
+    }
+
+    /// The precomputed boundary classification.
+    pub fn boundary(&self) -> &Boundary3 {
+        &self.boundary
+    }
+
+    /// The sweep visit order (interior vertices in storage order).
+    pub fn visit_order(&self) -> &[u32] {
+        &self.visit
+    }
+
+    /// Mean quality of the tets incident to `v` with `v`'s position
+    /// overridden by `pos_v`; inverted (non-positive-volume) tets score 0.
+    fn local_quality_with(&self, coords: &[Point3], v: u32, pos_v: Point3) -> f64 {
+        let ts = self.adj.tets_of(v);
+        if ts.is_empty() {
+            return 0.0;
+        }
+        let at = |u: u32| if u == v { pos_v } else { coords[u as usize] };
+        ts.iter()
+            .map(|&t| {
+                let [a, b, c, d] = self.tets[t as usize];
+                let (pa, pb, pc, pd) = (at(a), at(b), at(c), at(d));
+                if signed_volume(pa, pb, pc, pd) <= 0.0 {
+                    0.0
+                } else {
+                    self.params.metric.tet_quality(pa, pb, pc, pd)
+                }
+            })
+            .sum::<f64>()
+            / ts.len() as f64
+    }
+
+    /// Smart-commit validity rule (3D twin of the 2D engine's): a move may
+    /// never turn a currently valid vertex star into an invalid one.
+    fn commit_keeps_validity(&self, coords: &[Point3], v: u32, candidate: Point3) -> bool {
+        let at = |u: u32, pos_v: Point3| if u == v { pos_v } else { coords[u as usize] };
+        let min_vol = |pos_v: Point3| {
+            self.adj
+                .tets_of(v)
+                .iter()
+                .map(|&t| {
+                    let [a, b, c, d] = self.tets[t as usize];
+                    signed_volume(at(a, pos_v), at(b, pos_v), at(c, pos_v), at(d, pos_v))
+                })
+                .fold(f64::INFINITY, f64::min)
+        };
+        min_vol(candidate) > 0.0 || min_vol(coords[v as usize]) <= 0.0
+    }
+
+    /// Smooth `mesh` in place until convergence or `max_iters`.
+    pub fn smooth(&self, mesh: &mut TetMesh) -> SmoothReport {
+        self.smooth_traced(mesh, &mut NullSink)
+    }
+
+    /// [`smooth`](Self::smooth) while reporting every vertex-record access
+    /// to `sink` (one event for the smoothed vertex, one per gathered
+    /// neighbour — the same stream shape the 2D engine emits, so the whole
+    /// `lms-cache` pipeline applies unchanged).
+    pub fn smooth_traced(&self, mesh: &mut TetMesh, sink: &mut impl AccessSink) -> SmoothReport {
+        assert_eq!(
+            mesh.num_vertices(),
+            self.adj.num_vertices(),
+            "engine was built for a different mesh"
+        );
+        let initial_quality = mesh_quality(mesh, &self.adj, self.params.metric);
+        let mut report = SmoothReport {
+            initial_quality,
+            final_quality: initial_quality,
+            iterations: Vec::new(),
+            converged: false,
+        };
+        let mut quality = initial_quality;
+        let mut scratch: Vec<Point3> = Vec::new();
+
+        for iter in 1..=self.params.max_iters {
+            match self.params.update {
+                UpdateScheme3::GaussSeidel => self.sweep_gauss_seidel(mesh.coords_mut(), sink),
+                UpdateScheme3::Jacobi => {
+                    scratch.clear();
+                    scratch.extend_from_slice(mesh.coords());
+                    self.sweep_jacobi(&scratch, mesh.coords_mut(), sink);
+                }
+            }
+            sink.end_iteration();
+
+            let new_quality = mesh_quality(mesh, &self.adj, self.params.metric);
+            let improvement = new_quality - quality;
+            report.iterations.push(IterationStats { iter, quality: new_quality, improvement });
+            quality = new_quality;
+            if improvement < self.params.tol {
+                report.converged = true;
+                break;
+            }
+        }
+        report.final_quality = quality;
+        report
+    }
+
+    fn sweep_gauss_seidel(&self, coords: &mut [Point3], sink: &mut impl AccessSink) {
+        for &v in &self.visit {
+            let ns = self.adj.neighbors(v);
+            if ns.is_empty() {
+                continue;
+            }
+            sink.access(v);
+            let mut sum = Point3::ZERO;
+            for &w in ns {
+                sink.access(w);
+                sum += coords[w as usize];
+            }
+            let candidate = sum / ns.len() as f64;
+            if self.params.smart {
+                let before = self.local_quality_with(coords, v, coords[v as usize]);
+                if self.local_quality_with(coords, v, candidate) >= before
+                    && self.commit_keeps_validity(coords, v, candidate)
+                {
+                    coords[v as usize] = candidate;
+                }
+            } else {
+                coords[v as usize] = candidate;
+            }
+        }
+    }
+
+    fn sweep_jacobi(&self, prev: &[Point3], next: &mut [Point3], sink: &mut impl AccessSink) {
+        for &v in &self.visit {
+            let ns = self.adj.neighbors(v);
+            if ns.is_empty() {
+                continue;
+            }
+            sink.access(v);
+            let mut sum = Point3::ZERO;
+            for &w in ns {
+                sink.access(w);
+                sum += prev[w as usize];
+            }
+            let candidate = sum / ns.len() as f64;
+            if self.params.smart {
+                let before = self.local_quality_with(prev, v, prev[v as usize]);
+                if self.local_quality_with(prev, v, candidate) >= before
+                    && self.commit_keeps_validity(prev, v, candidate)
+                {
+                    next[v as usize] = candidate;
+                }
+            } else {
+                next[v as usize] = candidate;
+            }
+        }
+    }
+
+    /// Deterministic parallel smoothing: static contiguous vertex chunks,
+    /// Jacobi (double-buffered) updates — the 3D twin of
+    /// [`lms_smooth::SmoothEngine::smooth_parallel`]. Results are
+    /// bit-identical for any `num_threads`.
+    pub fn smooth_parallel(&self, mesh: &mut TetMesh, num_threads: usize) -> SmoothReport {
+        assert!(num_threads >= 1, "need at least one thread");
+        let n = mesh.num_vertices();
+        assert_eq!(n, self.adj.num_vertices(), "engine was built for a different mesh");
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(num_threads)
+            .build()
+            .expect("rayon pool construction cannot fail with a positive thread count");
+
+        let params = &self.params;
+        let adj = &self.adj;
+        let boundary = &self.boundary;
+
+        let initial_quality = mesh_quality(mesh, adj, params.metric);
+        let mut report = SmoothReport {
+            initial_quality,
+            final_quality: initial_quality,
+            iterations: Vec::new(),
+            converged: false,
+        };
+        let mut quality = initial_quality;
+
+        let mut prev: Vec<Point3> = mesh.coords().to_vec();
+        let mut next: Vec<Point3> = prev.clone();
+        let chunk = n.div_ceil(num_threads).max(1);
+
+        for iter in 1..=params.max_iters {
+            pool.install(|| {
+                let prev_ref: &[Point3] = &prev;
+                next.par_chunks_mut(chunk).enumerate().for_each(|(ci, out)| {
+                    let base = ci * chunk;
+                    for (off, slot) in out.iter_mut().enumerate() {
+                        let v = (base + off) as u32;
+                        if !boundary.is_interior(v) {
+                            continue;
+                        }
+                        let ns = adj.neighbors(v);
+                        if ns.is_empty() {
+                            continue;
+                        }
+                        let mut sum = Point3::ZERO;
+                        for &w in ns {
+                            sum += prev_ref[w as usize];
+                        }
+                        *slot = sum / ns.len() as f64;
+                    }
+                });
+            });
+            std::mem::swap(&mut prev, &mut next);
+
+            mesh.coords_mut().copy_from_slice(&prev);
+            let new_quality = mesh_quality(mesh, adj, params.metric);
+            let improvement = new_quality - quality;
+            report.iterations.push(IterationStats { iter, quality: new_quality, improvement });
+            quality = new_quality;
+            if improvement < params.tol {
+                report.converged = true;
+                break;
+            }
+        }
+        mesh.coords_mut().copy_from_slice(&prev);
+        report.final_quality = quality;
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::perturbed_tet_grid;
+    use lms_smooth::trace::{CountSink, VecSink};
+
+    #[test]
+    fn smoothing_improves_quality() {
+        let mut m = perturbed_tet_grid(8, 8, 8, 0.4, 1);
+        let report = SmoothParams3::paper().smooth(&mut m);
+        assert!(
+            report.final_quality > report.initial_quality + 0.01,
+            "{} -> {}",
+            report.initial_quality,
+            report.final_quality
+        );
+        assert!(report.converged);
+    }
+
+    #[test]
+    fn boundary_vertices_never_move() {
+        let mut m = perturbed_tet_grid(6, 6, 6, 0.35, 2);
+        let before = m.coords().to_vec();
+        let engine = SmoothEngine3::new(&m, SmoothParams3::paper());
+        engine.smooth(&mut m);
+        for v in engine.boundary().boundary_vertices() {
+            assert_eq!(m.coords()[v as usize], before[v as usize], "boundary vertex {v} moved");
+        }
+    }
+
+    #[test]
+    fn interior_vertex_moves_to_neighbour_mean() {
+        // One sweep on a tiny grid: the first visited interior vertex of a
+        // Jacobi sweep lands exactly on its neighbours' initial mean.
+        let m0 = perturbed_tet_grid(3, 3, 3, 0.3, 5);
+        let mut m = m0.clone();
+        let engine =
+            SmoothEngine3::new(&m, SmoothParams3::paper().with_update(UpdateScheme3::Jacobi).with_max_iters(1));
+        engine.smooth(&mut m);
+        let v = engine.visit_order()[0];
+        let ns = engine.adjacency().neighbors(v);
+        let mut sum = Point3::ZERO;
+        for &w in ns {
+            sum += m0.coords()[w as usize];
+        }
+        let expect = sum / ns.len() as f64;
+        let got = m.coords()[v as usize];
+        assert!(got.dist(expect) < 1e-14);
+    }
+
+    #[test]
+    fn trace_counts_match_topology() {
+        let mut m = perturbed_tet_grid(5, 5, 5, 0.3, 7);
+        let engine = SmoothEngine3::new(&m, SmoothParams3::paper().with_max_iters(3));
+        let expected_per_iter: u64 = engine
+            .visit_order()
+            .iter()
+            .map(|&v| 1 + engine.adjacency().degree(v) as u64)
+            .sum();
+        let mut sink = CountSink::default();
+        let report = engine.smooth_traced(&mut m, &mut sink);
+        assert_eq!(sink.iterations as usize, report.num_iterations());
+        assert_eq!(sink.count, expected_per_iter * report.num_iterations() as u64);
+    }
+
+    #[test]
+    fn trace_structure_vertex_then_neighbours() {
+        let mut m = perturbed_tet_grid(4, 4, 4, 0.25, 8);
+        let engine = SmoothEngine3::new(&m, SmoothParams3::paper().with_max_iters(1));
+        let mut sink = VecSink::new();
+        engine.smooth_traced(&mut m, &mut sink);
+        let v0 = engine.visit_order()[0];
+        assert_eq!(sink.accesses[0], v0);
+        let deg = engine.adjacency().degree(v0);
+        let mut nbrs: Vec<u32> = sink.accesses[1..=deg].to_vec();
+        nbrs.sort_unstable();
+        assert_eq!(&nbrs[..], engine.adjacency().neighbors(v0));
+    }
+
+    #[test]
+    fn parallel_jacobi_matches_serial_jacobi_exactly() {
+        let m0 = perturbed_tet_grid(7, 7, 7, 0.35, 11);
+        let params = SmoothParams3::paper().with_update(UpdateScheme3::Jacobi).with_max_iters(5);
+        let mut serial = m0.clone();
+        let sr = SmoothEngine3::new(&m0, params.clone()).smooth(&mut serial);
+        let mut par = m0.clone();
+        let pr = SmoothEngine3::new(&m0, params).smooth_parallel(&mut par, 4);
+        assert_eq!(serial.coords(), par.coords(), "Jacobi must be schedule-independent");
+        assert_eq!(sr.num_iterations(), pr.num_iterations());
+    }
+
+    #[test]
+    fn parallel_is_deterministic_across_thread_counts() {
+        let m0 = perturbed_tet_grid(6, 6, 6, 0.3, 2);
+        let params = SmoothParams3::paper().with_max_iters(4);
+        let mut a = m0.clone();
+        let mut b = m0.clone();
+        SmoothEngine3::new(&m0, params.clone()).smooth_parallel(&mut a, 1);
+        SmoothEngine3::new(&m0, params).smooth_parallel(&mut b, 3);
+        assert_eq!(a.coords(), b.coords());
+    }
+
+    #[test]
+    fn smart_smoothing_is_monotone_and_inversion_free() {
+        for seed in [1u64, 9, 23] {
+            let mut m = perturbed_tet_grid(6, 6, 6, 0.42, seed);
+            m.orient_positive();
+            assert!(m.is_positively_oriented());
+            let report =
+                SmoothParams3::paper().with_smart(true).with_max_iters(15).smooth(&mut m);
+            for w in report.iterations.windows(2) {
+                assert!(w[1].quality >= w[0].quality - 1e-12, "seed {seed} regressed");
+            }
+            assert!(m.is_positively_oriented(), "seed {seed}: smart smoothing inverted a tet");
+        }
+    }
+
+    #[test]
+    fn zero_tolerance_runs_to_max_iters() {
+        let mut m = perturbed_tet_grid(4, 4, 4, 0.3, 3);
+        let report = SmoothParams3::paper().with_tol(-1.0).with_max_iters(5).smooth(&mut m);
+        assert_eq!(report.num_iterations(), 5);
+        assert!(!report.converged);
+    }
+
+    #[test]
+    fn engine_rejects_mismatched_mesh() {
+        let m1 = perturbed_tet_grid(4, 4, 4, 0.2, 1);
+        let mut m2 = perturbed_tet_grid(5, 5, 5, 0.2, 1);
+        let engine = SmoothEngine3::new(&m1, SmoothParams3::paper());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.smooth(&mut m2);
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,410 @@
+//! Adjacency-structure abstraction and graph-generic ordering cores.
+//!
+//! The paper's orderings (BFS, DFS, RCM, RDR, …) only need a vertex set and
+//! per-vertex neighbour lists — nothing triangle-specific. This module
+//! factors the traversal cores over a small [`Graph`] trait so the same
+//! algorithms order the 2D [`lms_mesh::Adjacency`] and the tetrahedral
+//! adjacency of `lms-mesh3d` (paper §6: "we expect our new
+//! reuse-distance-aware algorithm to outperform extensions of Laplacian mesh
+//! smoothing as well").
+//!
+//! The concrete `*_ordering` functions in [`crate::traversals`] and
+//! [`crate::rdr`] are thin wrappers over the `*_ordering_on` cores here.
+
+use crate::permutation::Permutation;
+use crate::rdr::RdrOptions;
+use std::collections::VecDeque;
+
+/// An undirected graph with contiguous `u32` vertex ids and sorted,
+/// deduplicated CSR neighbour slices.
+///
+/// Implementations must guarantee:
+/// * `neighbors(v)` is sorted ascending with no duplicates and no self-loop;
+/// * adjacency is symmetric (`w ∈ neighbors(v)` ⇔ `v ∈ neighbors(w)`).
+pub trait Graph {
+    /// Number of vertices; valid ids are `0..num_vertices() as u32`.
+    fn num_vertices(&self) -> usize;
+
+    /// Sorted neighbour list of `v`.
+    fn neighbors(&self, v: u32) -> &[u32];
+
+    /// Degree of `v`.
+    #[inline]
+    fn degree(&self, v: u32) -> usize {
+        self.neighbors(v).len()
+    }
+}
+
+impl Graph for lms_mesh::Adjacency {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        lms_mesh::Adjacency::num_vertices(self)
+    }
+
+    #[inline]
+    fn neighbors(&self, v: u32) -> &[u32] {
+        lms_mesh::Adjacency::neighbors(self, v)
+    }
+}
+
+/// A borrowed CSR graph view over raw offset/neighbour arrays.
+///
+/// Lets callers that already own CSR arrays (e.g. the tetrahedral adjacency
+/// in `lms-mesh3d`, or a test fixture) run the ordering cores without
+/// copying into an [`lms_mesh::Adjacency`].
+#[derive(Debug, Clone, Copy)]
+pub struct CsrGraph<'a> {
+    offsets: &'a [u32],
+    neighbors: &'a [u32],
+}
+
+impl<'a> CsrGraph<'a> {
+    /// Wrap CSR arrays: `offsets.len() == n + 1`, neighbour ids of vertex
+    /// `v` live in `neighbors[offsets[v]..offsets[v+1]]`.
+    ///
+    /// # Panics
+    /// If the arrays are structurally inconsistent (empty offsets, final
+    /// offset not matching the neighbour array length, or a decreasing
+    /// offset pair).
+    pub fn new(offsets: &'a [u32], neighbors: &'a [u32]) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have n+1 entries");
+        assert_eq!(
+            *offsets.last().unwrap() as usize,
+            neighbors.len(),
+            "final offset must equal the neighbour array length"
+        );
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be non-decreasing"
+        );
+        CsrGraph { offsets, neighbors }
+    }
+}
+
+impl Graph for CsrGraph<'_> {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    #[inline]
+    fn neighbors(&self, v: u32) -> &[u32] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+}
+
+/// Breadth-first-search ordering from `seed` on any [`Graph`]
+/// (Strout & Hovland \[18\]). Restarts from the lowest-numbered unvisited
+/// vertex, so disconnected graphs still yield a full permutation.
+pub fn bfs_ordering_on<G: Graph>(graph: &G, seed: u32) -> Permutation {
+    let n = graph.num_vertices();
+    assert!((seed as usize) < n || n == 0, "seed out of range");
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut queue = VecDeque::new();
+    let mut next_restart = 0u32;
+
+    if n > 0 {
+        queue.push_back(seed);
+        visited[seed as usize] = true;
+    }
+    while order.len() < n {
+        match queue.pop_front() {
+            Some(v) => {
+                order.push(v);
+                for &w in graph.neighbors(v) {
+                    if !visited[w as usize] {
+                        visited[w as usize] = true;
+                        queue.push_back(w);
+                    }
+                }
+            }
+            None => {
+                while visited[next_restart as usize] {
+                    next_restart += 1;
+                }
+                visited[next_restart as usize] = true;
+                queue.push_back(next_restart);
+            }
+        }
+    }
+    Permutation::from_new_to_old_unchecked(order)
+}
+
+/// Reversed BFS on any [`Graph`] (Munson & Hovland \[19\]).
+pub fn bfs_reversed_ordering_on<G: Graph>(graph: &G, seed: u32) -> Permutation {
+    let mut order = bfs_ordering_on(graph, seed).into_new_to_old();
+    order.reverse();
+    Permutation::from_new_to_old_unchecked(order)
+}
+
+/// Pre-order depth-first-search ordering from `seed` on any [`Graph`].
+pub fn dfs_ordering_on<G: Graph>(graph: &G, seed: u32) -> Permutation {
+    let n = graph.num_vertices();
+    assert!((seed as usize) < n || n == 0, "seed out of range");
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut stack = Vec::new();
+    let mut next_restart = 0u32;
+
+    if n > 0 {
+        stack.push(seed);
+    }
+    while order.len() < n {
+        match stack.pop() {
+            Some(v) => {
+                if visited[v as usize] {
+                    continue;
+                }
+                visited[v as usize] = true;
+                order.push(v);
+                for &w in graph.neighbors(v).iter().rev() {
+                    if !visited[w as usize] {
+                        stack.push(w);
+                    }
+                }
+            }
+            None => {
+                while visited[next_restart as usize] {
+                    next_restart += 1;
+                }
+                stack.push(next_restart);
+            }
+        }
+    }
+    Permutation::from_new_to_old_unchecked(order)
+}
+
+/// Cuthill–McKee on any [`Graph`]: BFS from a minimum-degree vertex with
+/// each frontier sorted by ascending degree.
+pub fn cuthill_mckee_ordering_on<G: Graph>(graph: &G) -> Permutation {
+    let n = graph.num_vertices();
+    let mut order = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    let mut queue = VecDeque::new();
+
+    let start_of_component = |visited: &[bool]| {
+        (0..n as u32)
+            .filter(|&v| !visited[v as usize])
+            .min_by_key(|&v| (graph.degree(v), v))
+    };
+
+    while order.len() < n {
+        if queue.is_empty() {
+            let s = start_of_component(&visited).expect("unvisited vertex must exist");
+            visited[s as usize] = true;
+            queue.push_back(s);
+        }
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            let mut frontier: Vec<u32> = graph
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&w| !visited[w as usize])
+                .collect();
+            frontier.sort_by_key(|&w| (graph.degree(w), w));
+            for w in frontier {
+                visited[w as usize] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    Permutation::from_new_to_old_unchecked(order)
+}
+
+/// Reverse Cuthill–McKee on any [`Graph`].
+pub fn rcm_ordering_on<G: Graph>(graph: &G) -> Permutation {
+    let mut order = cuthill_mckee_ordering_on(graph).into_new_to_old();
+    order.reverse();
+    Permutation::from_new_to_old_unchecked(order)
+}
+
+/// Algorithm 2 (RDR) on any [`Graph`].
+///
+/// `interior[v]` marks the vertices the smoother moves (only those seed the
+/// outer loop, exactly as in the pseudocode); `quality[v]` is the initial
+/// per-vertex quality. Boundary vertices are ordered when reached as
+/// neighbours; never-reached vertices are appended in index order so the
+/// result is always a complete permutation.
+pub fn rdr_ordering_on<G: Graph>(
+    graph: &G,
+    interior: &[bool],
+    quality: &[f64],
+    options: &RdrOptions,
+) -> Permutation {
+    let n = graph.num_vertices();
+    assert_eq!(quality.len(), n, "need one quality value per vertex");
+    assert_eq!(interior.len(), n, "need one interior flag per vertex");
+
+    let mut vnew: Vec<u32> = Vec::with_capacity(n);
+    let mut processed = vec![false; n];
+    let mut sorted = vec![false; n];
+
+    // Outer loop: interior vertices by increasing quality (line 6).
+    let mut seeds: Vec<u32> = (0..n as u32).filter(|&v| interior[v as usize]).collect();
+    options.sort_by_quality(&mut seeds, quality);
+    if !options.global_quality_seeding {
+        seeds.truncate(1);
+    }
+
+    // Reused scratch buffer for the neighbour worklist `l`.
+    let mut l: Vec<u32> = Vec::new();
+
+    for &i in &seeds {
+        if processed[i as usize] {
+            continue;
+        }
+        if !sorted[i as usize] {
+            vnew.push(i);
+            sorted[i as usize] = true;
+        }
+        processed[i as usize] = true;
+
+        // l ← unprocessed neighbours of i sorted by increasing quality.
+        l.clear();
+        l.extend(graph.neighbors(i).iter().copied().filter(|&w| !processed[w as usize]));
+        options.sort_by_quality(&mut l, quality);
+
+        while !l.is_empty() {
+            for &j in &l {
+                if !sorted[j as usize] {
+                    vnew.push(j);
+                    sorted[j as usize] = true;
+                }
+            }
+            let head = l[0];
+            processed[head as usize] = true;
+            let next: Vec<u32> = graph
+                .neighbors(head)
+                .iter()
+                .copied()
+                .filter(|&w| !processed[w as usize])
+                .collect();
+            l.clear();
+            l.extend(next);
+            options.sort_by_quality(&mut l, quality);
+        }
+    }
+
+    // Vertices never reached (isolated boundary patches, or everything
+    // beyond the walk in single-seed mode): append in index order.
+    for v in 0..n as u32 {
+        if !sorted[v as usize] {
+            vnew.push(v);
+            sorted[v as usize] = true;
+        }
+    }
+
+    Permutation::from_new_to_old_unchecked(vnew)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lms_mesh::{figure5_mesh, Adjacency};
+
+    /// A triangulated path graph 0–1–2–3–4 as raw CSR arrays.
+    fn path_csr() -> (Vec<u32>, Vec<u32>) {
+        let offsets = vec![0, 1, 3, 5, 7, 8];
+        let neighbors = vec![1, 0, 2, 1, 3, 2, 4, 3];
+        (offsets, neighbors)
+    }
+
+    #[test]
+    fn csr_graph_wraps_raw_arrays() {
+        let (offsets, neighbors) = path_csr();
+        let g = CsrGraph::new(&offsets, &neighbors);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(2), &[1, 3]);
+        assert_eq!(g.degree(4), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "final offset")]
+    fn csr_graph_rejects_inconsistent_arrays() {
+        let offsets = vec![0, 2];
+        let neighbors = vec![1];
+        let _ = CsrGraph::new(&offsets, &neighbors);
+    }
+
+    #[test]
+    fn bfs_on_path_is_sequential() {
+        let (offsets, neighbors) = path_csr();
+        let g = CsrGraph::new(&offsets, &neighbors);
+        let p = bfs_ordering_on(&g, 0);
+        assert_eq!(p.new_to_old(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn dfs_on_path_is_sequential() {
+        let (offsets, neighbors) = path_csr();
+        let g = CsrGraph::new(&offsets, &neighbors);
+        let p = dfs_ordering_on(&g, 0);
+        assert_eq!(p.new_to_old(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn rcm_on_path_starts_from_an_endpoint() {
+        let (offsets, neighbors) = path_csr();
+        let g = CsrGraph::new(&offsets, &neighbors);
+        let p = rcm_ordering_on(&g);
+        // CM starts from a degree-1 endpoint (vertex 0), RCM reverses it.
+        assert_eq!(p.new_to_old(), &[4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn generic_cores_match_adjacency_wrappers() {
+        let m = figure5_mesh();
+        let adj = Adjacency::build(&m);
+        assert_eq!(bfs_ordering_on(&adj, 0), crate::traversals::bfs_ordering(&adj, 0));
+        assert_eq!(dfs_ordering_on(&adj, 0), crate::traversals::dfs_ordering(&adj, 0));
+        assert_eq!(rcm_ordering_on(&adj), crate::traversals::rcm_ordering(&adj));
+        assert_eq!(
+            bfs_reversed_ordering_on(&adj, 0),
+            crate::traversals::bfs_reversed_ordering(&adj, 0)
+        );
+    }
+
+    #[test]
+    fn rdr_core_on_csr_view_matches_mesh_rdr() {
+        let m = figure5_mesh();
+        let adj = Adjacency::build(&m);
+        let boundary = lms_mesh::Boundary::detect(&m);
+        let quality = lms_mesh::quality::vertex_qualities(
+            &m,
+            &adj,
+            lms_mesh::quality::QualityMetric::EdgeLengthRatio,
+        );
+        let interior: Vec<bool> =
+            (0..m.num_vertices() as u32).map(|v| boundary.is_interior(v)).collect();
+        let opts = RdrOptions::default();
+        let generic = rdr_ordering_on(&adj, &interior, &quality, &opts);
+        let concrete = crate::rdr::rdr_ordering_with(&adj, &boundary, &quality, &opts);
+        assert_eq!(generic, concrete);
+    }
+
+    #[test]
+    fn rdr_core_handles_all_boundary_graph() {
+        let (offsets, neighbors) = path_csr();
+        let g = CsrGraph::new(&offsets, &neighbors);
+        let interior = vec![false; 5];
+        let quality = vec![0.5; 5];
+        let p = rdr_ordering_on(&g, &interior, &quality, &RdrOptions::default());
+        assert!(p.is_identity());
+    }
+
+    #[test]
+    fn empty_graph_ok_everywhere() {
+        let offsets = vec![0u32];
+        let neighbors: Vec<u32> = Vec::new();
+        let g = CsrGraph::new(&offsets, &neighbors);
+        assert!(bfs_ordering_on(&g, 0).is_empty());
+        assert!(dfs_ordering_on(&g, 0).is_empty());
+        assert!(rcm_ordering_on(&g).is_empty());
+        assert!(rdr_ordering_on(&g, &[], &[], &RdrOptions::default()).is_empty());
+    }
+}

@@ -1,0 +1,256 @@
+//! Vertex permutations.
+//!
+//! A reordering is stored as a *new-to-old* map: `perm[new] = old` means the
+//! vertex stored at position `new` of the reordered mesh is the vertex that
+//! was at position `old` originally (this is exactly Algorithm 2's
+//! `Vnew[next_num] ← V[i]`).
+
+use lms_mesh::TriMesh;
+use std::fmt;
+
+/// Errors raised when constructing a [`Permutation`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PermutationError {
+    /// An index appears twice (or some index is missing).
+    NotABijection { first_dup: u32 },
+    /// An index is out of range.
+    OutOfRange { index: u32, len: usize },
+    /// The permutation length does not match the object it is applied to.
+    LengthMismatch { perm: usize, object: usize },
+}
+
+impl fmt::Display for PermutationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PermutationError::NotABijection { first_dup } => {
+                write!(f, "index {first_dup} appears more than once")
+            }
+            PermutationError::OutOfRange { index, len } => {
+                write!(f, "index {index} out of range for length {len}")
+            }
+            PermutationError::LengthMismatch { perm, object } => {
+                write!(f, "permutation of length {perm} applied to object of length {object}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PermutationError {}
+
+/// A bijective vertex renumbering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    new_to_old: Vec<u32>,
+}
+
+impl Permutation {
+    /// The identity permutation on `n` vertices.
+    pub fn identity(n: usize) -> Self {
+        Permutation { new_to_old: (0..n as u32).collect() }
+    }
+
+    /// Build from a new-to-old map, validating bijectivity.
+    pub fn from_new_to_old(new_to_old: Vec<u32>) -> Result<Self, PermutationError> {
+        let n = new_to_old.len();
+        let mut seen = vec![false; n];
+        for &old in &new_to_old {
+            if old as usize >= n {
+                return Err(PermutationError::OutOfRange { index: old, len: n });
+            }
+            if seen[old as usize] {
+                return Err(PermutationError::NotABijection { first_dup: old });
+            }
+            seen[old as usize] = true;
+        }
+        Ok(Permutation { new_to_old })
+    }
+
+    /// Build from a new-to-old map without validation.
+    ///
+    /// Callers must guarantee the map is a bijection on `0..len`.
+    pub fn from_new_to_old_unchecked(new_to_old: Vec<u32>) -> Self {
+        debug_assert!(Permutation::from_new_to_old(new_to_old.clone()).is_ok());
+        Permutation { new_to_old }
+    }
+
+    /// Number of vertices the permutation acts on.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.new_to_old.len()
+    }
+
+    /// True for the zero-length permutation.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.new_to_old.is_empty()
+    }
+
+    /// The new-to-old map (`result[new] = old`).
+    #[inline]
+    pub fn new_to_old(&self) -> &[u32] {
+        &self.new_to_old
+    }
+
+    /// Consume the permutation, returning the new-to-old map.
+    #[inline]
+    pub fn into_new_to_old(self) -> Vec<u32> {
+        self.new_to_old
+    }
+
+    /// The old-to-new map (`result[old] = new`).
+    pub fn old_to_new(&self) -> Vec<u32> {
+        let mut out = vec![0u32; self.len()];
+        for (new, &old) in self.new_to_old.iter().enumerate() {
+            out[old as usize] = new as u32;
+        }
+        out
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        Permutation { new_to_old: self.old_to_new() }
+    }
+
+    /// `self ∘ other`: apply `other` first, then `self`.
+    ///
+    /// Position `new` of the result holds the vertex that
+    /// `other.new_to_old[self.new_to_old[new]]` held originally.
+    pub fn compose(&self, other: &Permutation) -> Result<Permutation, PermutationError> {
+        if self.len() != other.len() {
+            return Err(PermutationError::LengthMismatch { perm: self.len(), object: other.len() });
+        }
+        let new_to_old = self
+            .new_to_old
+            .iter()
+            .map(|&mid| other.new_to_old[mid as usize])
+            .collect();
+        Ok(Permutation { new_to_old })
+    }
+
+    /// True when this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.new_to_old.iter().enumerate().all(|(new, &old)| new as u32 == old)
+    }
+
+    /// Reorder a value-per-vertex array: `result[new] = values[old]`.
+    pub fn apply_to_values<T: Copy>(&self, values: &[T]) -> Result<Vec<T>, PermutationError> {
+        if values.len() != self.len() {
+            return Err(PermutationError::LengthMismatch { perm: self.len(), object: values.len() });
+        }
+        Ok(self.new_to_old.iter().map(|&old| values[old as usize]).collect())
+    }
+
+    /// Renumber a mesh: permutes the coordinate array and rewrites every
+    /// triangle's indices. Geometry and connectivity are unchanged — only
+    /// the storage order moves.
+    pub fn apply_to_mesh(&self, mesh: &TriMesh) -> TriMesh {
+        assert_eq!(
+            self.len(),
+            mesh.num_vertices(),
+            "permutation length must match mesh vertex count"
+        );
+        let coords = self
+            .new_to_old
+            .iter()
+            .map(|&old| mesh.coords()[old as usize])
+            .collect();
+        let old_to_new = self.old_to_new();
+        let triangles = mesh
+            .triangles()
+            .iter()
+            .map(|tri| {
+                [
+                    old_to_new[tri[0] as usize],
+                    old_to_new[tri[1] as usize],
+                    old_to_new[tri[2] as usize],
+                ]
+            })
+            .collect();
+        TriMesh::new_unchecked(coords, triangles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lms_mesh::figure5_mesh;
+
+    #[test]
+    fn identity_is_identity() {
+        let p = Permutation::identity(5);
+        assert!(p.is_identity());
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.apply_to_values(&[10, 20, 30, 40, 50]).unwrap(), vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn validation_catches_duplicates_and_range() {
+        assert_eq!(
+            Permutation::from_new_to_old(vec![0, 1, 1]).unwrap_err(),
+            PermutationError::NotABijection { first_dup: 1 }
+        );
+        assert_eq!(
+            Permutation::from_new_to_old(vec![0, 3]).unwrap_err(),
+            PermutationError::OutOfRange { index: 3, len: 2 }
+        );
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let p = Permutation::from_new_to_old(vec![2, 0, 3, 1]).unwrap();
+        let inv = p.inverse();
+        assert!(p.compose(&inv).unwrap().is_identity());
+        assert!(inv.compose(&p).unwrap().is_identity());
+    }
+
+    #[test]
+    fn apply_to_values_permutes() {
+        // new position 0 holds old vertex 2, etc.
+        let p = Permutation::from_new_to_old(vec![2, 0, 1]).unwrap();
+        assert_eq!(p.apply_to_values(&['a', 'b', 'c']).unwrap(), vec!['c', 'a', 'b']);
+        assert!(p.apply_to_values(&[1]).is_err());
+    }
+
+    #[test]
+    fn compose_applies_right_then_left() {
+        let first = Permutation::from_new_to_old(vec![1, 2, 0]).unwrap();
+        let second = Permutation::from_new_to_old(vec![2, 1, 0]).unwrap();
+        let both = second.compose(&first).unwrap();
+        let vals = ['a', 'b', 'c'];
+        let step1 = first.apply_to_values(&vals).unwrap();
+        let step2 = second.apply_to_values(&step1).unwrap();
+        assert_eq!(both.apply_to_values(&vals).unwrap(), step2);
+    }
+
+    #[test]
+    fn mesh_application_preserves_geometry() {
+        let m = figure5_mesh();
+        let n = m.num_vertices();
+        // reverse the vertices
+        let p = Permutation::from_new_to_old((0..n as u32).rev().collect()).unwrap();
+        let rm = p.apply_to_mesh(&m);
+        assert_eq!(rm.num_vertices(), n);
+        assert_eq!(rm.num_triangles(), m.num_triangles());
+        // same geometry: total area and edge multiset survive
+        assert!((rm.total_area() - m.total_area()).abs() < 1e-12);
+        assert_eq!(rm.edges().len(), m.edges().len());
+        // vertex 0 of the new mesh is vertex n-1 of the old one
+        assert_eq!(rm.coords()[0], m.coords()[n - 1]);
+    }
+
+    #[test]
+    fn mesh_application_by_identity_is_noop() {
+        let m = figure5_mesh();
+        let p = Permutation::identity(m.num_vertices());
+        assert_eq!(p.apply_to_mesh(&m), m);
+    }
+
+    #[test]
+    fn double_application_of_inverse_restores_mesh() {
+        let m = figure5_mesh();
+        let p = Permutation::from_new_to_old(vec![4, 7, 2, 0, 1, 3, 5, 6, 8, 9, 10, 11, 12]).unwrap();
+        let rm = p.apply_to_mesh(&m);
+        let back = p.inverse().apply_to_mesh(&rm);
+        assert_eq!(back, m);
+    }
+}

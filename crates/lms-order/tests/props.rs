@@ -1,0 +1,141 @@
+//! Property-based tests for the ordering library: every ordering is a
+//! bijection on arbitrary meshes (Theorem 1 of the paper for RDR), the
+//! permutation algebra obeys its laws, and the locality metrics rank the
+//! graph orderings above random.
+
+use lms_mesh::{generators, Adjacency, TriMesh};
+use lms_order::{
+    compute_ordering_with, layout_stats_permuted, random_ordering, OrderingKind, Permutation,
+};
+use proptest::prelude::*;
+
+fn arb_grid() -> impl Strategy<Value = TriMesh> {
+    (3usize..16, 3usize..16, 0.0f64..0.45, 0u64..500)
+        .prop_map(|(nx, ny, jitter, seed)| generators::perturbed_grid(nx, ny, jitter, seed))
+}
+
+fn is_bijection(p: &Permutation, n: usize) -> bool {
+    if p.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &v in p.new_to_old() {
+        if seen[v as usize] {
+            return false;
+        }
+        seen[v as usize] = true;
+    }
+    seen.into_iter().all(|b| b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorem 1, generalised to the whole zoo: every ordering orders
+    /// every vertex exactly once on arbitrary meshes.
+    #[test]
+    fn every_ordering_is_a_bijection(m in arb_grid()) {
+        let adj = Adjacency::build(&m);
+        for kind in OrderingKind::ALL {
+            let p = compute_ordering_with(&m, &adj, kind);
+            prop_assert!(is_bijection(&p, m.num_vertices()), "{}", kind.name());
+        }
+    }
+
+    /// `p ∘ p⁻¹ = id` and `p⁻¹ ∘ p = id`.
+    #[test]
+    fn inverse_composes_to_identity(m in arb_grid(), seed in 0u64..100) {
+        let p = random_ordering(m.num_vertices(), seed);
+        let inv = p.inverse();
+        prop_assert!(p.compose(&inv).unwrap().is_identity());
+        prop_assert!(inv.compose(&p).unwrap().is_identity());
+    }
+
+    /// Applying a permutation to a mesh preserves geometry: same multiset
+    /// of coordinates, same edge set up to renaming, same total area.
+    #[test]
+    fn apply_to_mesh_preserves_geometry(m in arb_grid(), seed in 0u64..100) {
+        let p = random_ordering(m.num_vertices(), seed);
+        let permuted = p.apply_to_mesh(&m);
+        prop_assert_eq!(permuted.num_vertices(), m.num_vertices());
+        prop_assert_eq!(permuted.num_triangles(), m.num_triangles());
+        prop_assert!((permuted.total_area() - m.total_area()).abs() < 1e-9);
+        // coordinates are a permutation of the originals
+        let key = |p: &lms_mesh::Point2| (p.x.to_bits(), p.y.to_bits());
+        let mut a: Vec<_> = m.coords().iter().map(key).collect();
+        let mut b: Vec<_> = permuted.coords().iter().map(key).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        // edges map through the permutation
+        let old_to_new = p.old_to_new();
+        let mut renamed: Vec<(u32, u32)> = m
+            .edges()
+            .into_iter()
+            .map(|(u, v)| {
+                let (nu, nv) = (old_to_new[u as usize], old_to_new[v as usize]);
+                (nu.min(nv), nu.max(nv))
+            })
+            .collect();
+        let mut new_edges = permuted.edges();
+        renamed.sort_unstable();
+        new_edges.sort_unstable();
+        prop_assert_eq!(renamed, new_edges);
+    }
+
+    /// `apply_to_values` relocates per-vertex data consistently with the
+    /// mesh renaming.
+    #[test]
+    fn values_follow_their_vertices(m in arb_grid(), seed in 0u64..100) {
+        let p = random_ordering(m.num_vertices(), seed);
+        let values: Vec<u32> = (0..m.num_vertices() as u32).collect();
+        let moved = p.apply_to_values(&values).unwrap();
+        // new slot i holds the value of old vertex new_to_old[i]
+        for (i, &v) in moved.iter().enumerate() {
+            prop_assert_eq!(v, p.new_to_old()[i]);
+        }
+    }
+
+    /// The structured orderings always beat RANDOM on the sweep-span
+    /// metric (the Figure 5 quantity) on meshes of non-trivial size.
+    #[test]
+    fn structured_orderings_beat_random(m in arb_grid()) {
+        prop_assume!(m.num_vertices() >= 64);
+        let adj = Adjacency::build(&m);
+        let span = |kind| {
+            let p = compute_ordering_with(&m, &adj, kind);
+            layout_stats_permuted(&m, &adj, &p).mean_span
+        };
+        let rnd = span(OrderingKind::Random { seed: 7 });
+        for kind in [
+            OrderingKind::Bfs,
+            OrderingKind::Rcm,
+            OrderingKind::Sloan,
+            OrderingKind::Hilbert,
+            OrderingKind::Morton,
+            OrderingKind::Rdr,
+        ] {
+            prop_assert!(
+                span(kind) < rnd,
+                "{} span {} not below random {}",
+                kind.name(),
+                span(kind),
+                rnd
+            );
+        }
+    }
+
+    /// Orderings are deterministic: two computations agree.
+    #[test]
+    fn orderings_are_deterministic(m in arb_grid()) {
+        let adj = Adjacency::build(&m);
+        for kind in OrderingKind::ALL {
+            prop_assert_eq!(
+                compute_ordering_with(&m, &adj, kind),
+                compute_ordering_with(&m, &adj, kind),
+                "{}",
+                kind.name()
+            );
+        }
+    }
+}

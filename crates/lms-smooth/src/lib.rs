@@ -1,0 +1,37 @@
+//! # lms-smooth — Laplacian Mesh Smoothing engines
+//!
+//! Implements Algorithm 1 of the paper and its variants:
+//!
+//! * [`SmoothEngine::smooth`] — serial sweeps, Gauss–Seidel (in place,
+//!   Mesquite-like) or Jacobi (double-buffered), with the paper's
+//!   storage-order or §4.2 greedy quality-driven visit policy;
+//! * [`SmoothEngine::smooth_parallel`] — rayon static-chunk Jacobi,
+//!   deterministic for any thread count;
+//! * [`SmoothEngine::smooth_parallel_chaotic`] — in-place relaxed-atomic
+//!   Gauss–Seidel, the closest analogue of the paper's OpenMP loop;
+//! * [`SmoothEngine::smooth_traced`] — any serial configuration while
+//!   streaming every vertex-record access to an [`AccessSink`], feeding the
+//!   reuse-distance and cache analyses of `lms-cache`.
+//!
+//! ```
+//! use lms_smooth::SmoothParams;
+//! let mut mesh = lms_mesh::generators::perturbed_grid(20, 20, 0.35, 1);
+//! let report = SmoothParams::paper().smooth(&mut mesh);
+//! assert!(report.final_quality > report.initial_quality);
+//! ```
+
+pub mod config;
+pub mod engine;
+pub mod greedy;
+pub mod parallel;
+pub mod stats;
+pub mod trace;
+pub mod weighting;
+
+pub use config::{IterationPolicy, SmoothParams, UpdateScheme, Weighting};
+pub use engine::SmoothEngine;
+pub use greedy::greedy_visit_order;
+pub use parallel::{parallel_mesh_quality, smooth_parallel};
+pub use stats::{IterationStats, SmoothReport};
+pub use trace::{AccessSink, CountSink, NullSink, VecSink};
+pub use weighting::weighted_candidate;

@@ -1,0 +1,289 @@
+//! Parallel smoothing engines (the paper's 32-core OpenMP loop, in rayon).
+//!
+//! The paper pins one thread per core with a *static* schedule "evenly
+//! dividing the vertices" (§5.1). Two faithful variants are provided:
+//!
+//! * [`SmoothEngine::smooth_parallel`] — double-buffered **Jacobi** sweeps:
+//!   each thread owns a contiguous chunk of the vertex array, reads the
+//!   previous sweep's positions, writes its own chunk. Fully deterministic
+//!   and race-free; identical results for any thread count.
+//! * [`SmoothEngine::smooth_parallel_chaotic`] — in-place **chaotic
+//!   Gauss–Seidel**: positions live in atomics ([`AtomicU64`] bit-cast
+//!   `f64`s, `Relaxed` ordering) and threads update their chunks in place
+//!   while racing reads observe a mix of old and new neighbour positions —
+//!   the semantics of the paper's OpenMP loop. Still data-race-free in the
+//!   Rust memory model, merely non-deterministic in its floating-point
+//!   outcome.
+
+use crate::config::SmoothParams;
+use crate::engine::SmoothEngine;
+use crate::stats::{IterationStats, SmoothReport};
+use crate::weighting::weighted_candidate;
+use lms_mesh::geometry::Point2;
+use lms_mesh::quality::QualityMetric;
+use lms_mesh::{Adjacency, TriMesh};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Global mesh quality computed with rayon (triangle qualities in parallel,
+/// then per-vertex means in parallel). Call inside a pool `install` to bound
+/// the thread count.
+pub fn parallel_mesh_quality(mesh: &TriMesh, adj: &Adjacency, metric: QualityMetric) -> f64 {
+    let n = mesh.num_vertices();
+    if n == 0 {
+        return 0.0;
+    }
+    let tri_q: Vec<f64> = (0..mesh.num_triangles())
+        .into_par_iter()
+        .map(|t| {
+            let [a, b, c] = mesh.tri_coords(t);
+            metric.triangle_quality(a, b, c)
+        })
+        .collect();
+    let sum: f64 = (0..n as u32)
+        .into_par_iter()
+        .map(|v| {
+            let ts = adj.triangles_of(v);
+            if ts.is_empty() {
+                0.0
+            } else {
+                ts.iter().map(|&t| tri_q[t as usize]).sum::<f64>() / ts.len() as f64
+            }
+        })
+        .sum();
+    sum / n as f64
+}
+
+/// An atomically updatable position (x and y as `f64` bit patterns).
+struct AtomicPoint {
+    x: AtomicU64,
+    y: AtomicU64,
+}
+
+impl AtomicPoint {
+    fn new(p: Point2) -> Self {
+        AtomicPoint { x: AtomicU64::new(p.x.to_bits()), y: AtomicU64::new(p.y.to_bits()) }
+    }
+
+    #[inline]
+    fn load(&self) -> Point2 {
+        Point2::new(
+            f64::from_bits(self.x.load(Ordering::Relaxed)),
+            f64::from_bits(self.y.load(Ordering::Relaxed)),
+        )
+    }
+
+    #[inline]
+    fn store(&self, p: Point2) {
+        self.x.store(p.x.to_bits(), Ordering::Relaxed);
+        self.y.store(p.y.to_bits(), Ordering::Relaxed);
+    }
+}
+
+impl SmoothEngine {
+    fn build_pool(num_threads: usize) -> rayon::ThreadPool {
+        assert!(num_threads >= 1, "need at least one thread");
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(num_threads)
+            .build()
+            .expect("rayon pool construction cannot fail with a positive thread count")
+    }
+
+    /// Deterministic parallel smoothing: static contiguous vertex chunks,
+    /// Jacobi (double-buffered) updates. Results are bit-identical for any
+    /// `num_threads`.
+    pub fn smooth_parallel(&self, mesh: &mut TriMesh, num_threads: usize) -> SmoothReport {
+        let pool = Self::build_pool(num_threads);
+        let n = mesh.num_vertices();
+        assert_eq!(n, self.adjacency().num_vertices(), "engine was built for a different mesh");
+
+        let params = self.params().clone();
+        let adj = self.adjacency();
+        let boundary = self.boundary();
+
+        let initial_quality = pool.install(|| parallel_mesh_quality(mesh, adj, params.metric));
+        let mut report = SmoothReport {
+            initial_quality,
+            final_quality: initial_quality,
+            iterations: Vec::new(),
+            converged: false,
+        };
+        let mut quality = initial_quality;
+
+        let mut prev: Vec<Point2> = mesh.coords().to_vec();
+        let mut next: Vec<Point2> = prev.clone();
+        let chunk = n.div_ceil(num_threads).max(1);
+
+        for iter in 1..=params.max_iters {
+            pool.install(|| {
+                let prev_ref: &[Point2] = &prev;
+                next.par_chunks_mut(chunk).enumerate().for_each(|(ci, out)| {
+                    let base = ci * chunk;
+                    for (off, slot) in out.iter_mut().enumerate() {
+                        let v = (base + off) as u32;
+                        if !boundary.is_interior(v) {
+                            continue; // keeps the copied boundary position
+                        }
+                        let ns = adj.neighbors(v);
+                        if ns.is_empty() {
+                            continue;
+                        }
+                        let pv = prev_ref[v as usize];
+                        let gathered = ns.iter().map(|&w| prev_ref[w as usize]);
+                        if let Some(c) = weighted_candidate(params.weighting, pv, gathered) {
+                            *slot = c;
+                        }
+                    }
+                });
+            });
+            std::mem::swap(&mut prev, &mut next);
+
+            mesh.coords_mut().copy_from_slice(&prev);
+            let new_quality = pool.install(|| parallel_mesh_quality(mesh, adj, params.metric));
+            let improvement = new_quality - quality;
+            report.iterations.push(IterationStats { iter, quality: new_quality, improvement });
+            quality = new_quality;
+            if improvement < params.tol {
+                report.converged = true;
+                break;
+            }
+        }
+        mesh.coords_mut().copy_from_slice(&prev);
+        report.final_quality = quality;
+        report
+    }
+
+    /// Chaotic (asynchronous) Gauss–Seidel parallel smoothing — the closest
+    /// analogue of the paper's in-place OpenMP loop. Positions are stored in
+    /// relaxed atomics; each thread updates its static chunk in place while
+    /// neighbour reads may observe either old or new positions.
+    ///
+    /// Non-deterministic across runs/thread counts in the last bits, but
+    /// race-free and convergent in practice (asynchronous relaxation).
+    pub fn smooth_parallel_chaotic(&self, mesh: &mut TriMesh, num_threads: usize) -> SmoothReport {
+        let pool = Self::build_pool(num_threads);
+        let n = mesh.num_vertices();
+        assert_eq!(n, self.adjacency().num_vertices(), "engine was built for a different mesh");
+
+        let params = self.params().clone();
+        let adj = self.adjacency();
+        let boundary = self.boundary();
+
+        let initial_quality = pool.install(|| parallel_mesh_quality(mesh, adj, params.metric));
+        let mut report = SmoothReport {
+            initial_quality,
+            final_quality: initial_quality,
+            iterations: Vec::new(),
+            converged: false,
+        };
+        let mut quality = initial_quality;
+
+        let atoms: Vec<AtomicPoint> = mesh.coords().iter().map(|&p| AtomicPoint::new(p)).collect();
+        let chunk = n.div_ceil(num_threads).max(1);
+
+        for iter in 1..=params.max_iters {
+            pool.install(|| {
+                atoms.par_chunks(chunk).enumerate().for_each(|(ci, my)| {
+                    let base = ci * chunk;
+                    for (off, slot) in my.iter().enumerate() {
+                        let v = (base + off) as u32;
+                        if !boundary.is_interior(v) {
+                            continue;
+                        }
+                        let ns = adj.neighbors(v);
+                        if ns.is_empty() {
+                            continue;
+                        }
+                        let pv = slot.load();
+                        let gathered = ns.iter().map(|&w| atoms[w as usize].load());
+                        if let Some(c) = weighted_candidate(params.weighting, pv, gathered) {
+                            slot.store(c);
+                        }
+                    }
+                });
+            });
+
+            for (slot, atom) in mesh.coords_mut().iter_mut().zip(&atoms) {
+                *slot = atom.load();
+            }
+            let new_quality = pool.install(|| parallel_mesh_quality(mesh, adj, params.metric));
+            let improvement = new_quality - quality;
+            report.iterations.push(IterationStats { iter, quality: new_quality, improvement });
+            quality = new_quality;
+            if improvement < params.tol {
+                report.converged = true;
+                break;
+            }
+        }
+        report.final_quality = quality;
+        report
+    }
+}
+
+/// Convenience: build an engine and smooth in parallel in one call.
+pub fn smooth_parallel(mesh: &mut TriMesh, params: &SmoothParams, num_threads: usize) -> SmoothReport {
+    SmoothEngine::new(mesh, params.clone()).smooth_parallel(mesh, num_threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::UpdateScheme;
+    use lms_mesh::generators;
+
+    #[test]
+    fn parallel_jacobi_matches_serial_jacobi_exactly() {
+        let m0 = generators::perturbed_grid(18, 18, 0.35, 11);
+        let params = SmoothParams::paper().with_update(UpdateScheme::Jacobi).with_max_iters(6);
+
+        let mut serial = m0.clone();
+        let sr = SmoothEngine::new(&m0, params.clone()).smooth(&mut serial);
+
+        let mut par = m0.clone();
+        let pr = SmoothEngine::new(&m0, params).smooth_parallel(&mut par, 4);
+
+        assert_eq!(serial.coords(), par.coords(), "Jacobi must be schedule-independent");
+        assert_eq!(sr.num_iterations(), pr.num_iterations());
+        assert!((sr.final_quality - pr.final_quality).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parallel_is_deterministic_across_thread_counts() {
+        let m0 = generators::perturbed_grid(15, 15, 0.3, 2);
+        let params = SmoothParams::paper().with_max_iters(4);
+        let mut a = m0.clone();
+        let mut b = m0.clone();
+        SmoothEngine::new(&m0, params.clone()).smooth_parallel(&mut a, 1);
+        SmoothEngine::new(&m0, params).smooth_parallel(&mut b, 3);
+        assert_eq!(a.coords(), b.coords());
+    }
+
+    #[test]
+    fn chaotic_improves_quality_and_pins_boundary() {
+        let m0 = generators::perturbed_grid(16, 16, 0.35, 5);
+        let mut m = m0.clone();
+        let engine = SmoothEngine::new(&m0, SmoothParams::paper());
+        let report = engine.smooth_parallel_chaotic(&mut m, 3);
+        assert!(report.total_improvement() > 0.0);
+        for v in engine.boundary().boundary_vertices() {
+            assert_eq!(m.coords()[v as usize], m0.coords()[v as usize]);
+        }
+    }
+
+    #[test]
+    fn parallel_quality_matches_serial_quality() {
+        let m = generators::perturbed_grid(12, 12, 0.3, 8);
+        let adj = Adjacency::build(&m);
+        let serial = lms_mesh::quality::mesh_quality(&m, &adj, QualityMetric::EdgeLengthRatio);
+        let par = parallel_mesh_quality(&m, &adj, QualityMetric::EdgeLengthRatio);
+        assert!((serial - par).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_thread_parallel_equals_more_threads() {
+        let m0 = generators::perturbed_grid(10, 10, 0.3, 3);
+        let mut one = m0.clone();
+        let r1 = smooth_parallel(&mut one, &SmoothParams::paper(), 1);
+        assert!(r1.total_improvement() > 0.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Reports produced by smoothing runs.
+
+/// Quality bookkeeping for one sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationStats {
+    /// Sweep number, starting at 1.
+    pub iter: usize,
+    /// Global quality after the sweep.
+    pub quality: f64,
+    /// Improvement over the previous global quality (may be negative).
+    pub improvement: f64,
+}
+
+/// Outcome of a full smoothing run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmoothReport {
+    /// Global quality before the first sweep.
+    pub initial_quality: f64,
+    /// Global quality after the last sweep.
+    pub final_quality: f64,
+    /// Per-sweep statistics, in order.
+    pub iterations: Vec<IterationStats>,
+    /// True when the run stopped because improvement fell below `tol`
+    /// (false when it hit `max_iters`).
+    pub converged: bool,
+}
+
+impl SmoothReport {
+    /// Number of sweeps executed.
+    pub fn num_iterations(&self) -> usize {
+        self.iterations.len()
+    }
+
+    /// Total quality gained.
+    pub fn total_improvement(&self) -> f64 {
+        self.final_quality - self.initial_quality
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accessors() {
+        let r = SmoothReport {
+            initial_quality: 0.5,
+            final_quality: 0.8,
+            iterations: vec![
+                IterationStats { iter: 1, quality: 0.7, improvement: 0.2 },
+                IterationStats { iter: 2, quality: 0.8, improvement: 0.1 },
+            ],
+            converged: true,
+        };
+        assert_eq!(r.num_iterations(), 2);
+        assert!((r.total_improvement() - 0.3).abs() < 1e-15);
+    }
+}

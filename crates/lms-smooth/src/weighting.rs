@@ -1,0 +1,119 @@
+//! The weighted Laplacian position update shared by every engine.
+
+use crate::config::Weighting;
+use lms_mesh::geometry::Point2;
+
+/// New position of a vertex at `pv` from its neighbours' positions under
+/// `weighting`.
+///
+/// Returns `None` when no position can be formed: an empty neighbour
+/// iterator, or a total weight of zero (e.g. [`Weighting::EdgeLength`]
+/// with every neighbour coincident with `pv`) — callers skip the vertex.
+///
+/// The [`Weighting::Uniform`] path is the exact `sum / n` expression of
+/// Equation (1) and reproduces the unweighted engines bit for bit.
+#[inline]
+pub fn weighted_candidate(
+    weighting: Weighting,
+    pv: Point2,
+    nbrs: impl Iterator<Item = Point2>,
+) -> Option<Point2> {
+    match weighting {
+        Weighting::Uniform => {
+            let mut sum = Point2::ZERO;
+            let mut n = 0usize;
+            for p in nbrs {
+                sum += p;
+                n += 1;
+            }
+            (n > 0).then(|| sum / n as f64)
+        }
+        Weighting::InverseEdgeLength | Weighting::EdgeLength => {
+            let mut acc = Point2::ZERO;
+            let mut total = 0.0;
+            for p in nbrs {
+                let d = pv.dist(p);
+                let w = match weighting {
+                    Weighting::InverseEdgeLength => {
+                        // clamp so a (nearly) coincident neighbour does not
+                        // turn into an infinite weight
+                        1.0 / d.max(1e-12)
+                    }
+                    _ => d,
+                };
+                acc += p * w;
+                total += w;
+            }
+            (total > 0.0).then(|| acc / total)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    #[test]
+    fn uniform_is_the_plain_mean() {
+        let nbrs = [p(0.0, 0.0), p(2.0, 0.0), p(1.0, 3.0)];
+        let got = weighted_candidate(Weighting::Uniform, p(0.5, 0.5), nbrs.into_iter()).unwrap();
+        // identical expression to the engines: sum / n
+        let mut sum = Point2::ZERO;
+        for q in nbrs {
+            sum += q;
+        }
+        assert_eq!(got, sum / 3.0);
+    }
+
+    #[test]
+    fn empty_neighbourhood_yields_none() {
+        for w in [Weighting::Uniform, Weighting::InverseEdgeLength, Weighting::EdgeLength] {
+            assert_eq!(weighted_candidate(w, p(0.0, 0.0), std::iter::empty()), None);
+        }
+    }
+
+    #[test]
+    fn all_weightings_stay_in_the_neighbour_bbox() {
+        // every variant is a convex combination of the neighbours
+        let nbrs = [p(-1.0, 0.0), p(3.0, 1.0), p(0.0, 4.0), p(1.0, -2.0)];
+        for w in [Weighting::Uniform, Weighting::InverseEdgeLength, Weighting::EdgeLength] {
+            let c = weighted_candidate(w, p(0.2, 0.2), nbrs.into_iter()).unwrap();
+            assert!((-1.0..=3.0).contains(&c.x), "{:?}: {c:?}", w);
+            assert!((-2.0..=4.0).contains(&c.y), "{:?}: {c:?}", w);
+        }
+    }
+
+    #[test]
+    fn inverse_weighting_leans_toward_the_near_neighbour() {
+        // neighbours at distance 1 (left) and 3 (right) from the vertex
+        let pv = p(0.0, 0.0);
+        let nbrs = [p(-1.0, 0.0), p(3.0, 0.0)];
+        let uni = weighted_candidate(Weighting::Uniform, pv, nbrs.into_iter()).unwrap();
+        let inv = weighted_candidate(Weighting::InverseEdgeLength, pv, nbrs.into_iter()).unwrap();
+        let len = weighted_candidate(Weighting::EdgeLength, pv, nbrs.into_iter()).unwrap();
+        assert_eq!(uni.x, 1.0);
+        assert!(inv.x < uni.x, "inverse must lean left: {inv:?}");
+        assert!(len.x > uni.x, "length must lean right: {len:?}");
+        // exact values: inv = (1·(−1) + ⅓·3)/(1+⅓) = 0; len = (1·(−1)+3·3)/4 = 2
+        assert!((inv.x - 0.0).abs() < 1e-12);
+        assert!((len.x - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coincident_neighbours_do_not_blow_up() {
+        let pv = p(1.0, 1.0);
+        let nbrs = [p(1.0, 1.0), p(2.0, 1.0)];
+        let inv = weighted_candidate(Weighting::InverseEdgeLength, pv, nbrs.into_iter()).unwrap();
+        assert!(inv.is_finite());
+        // coincident neighbour carries the (huge) clamped weight, so the
+        // candidate stays essentially at the vertex
+        assert!(inv.dist(pv) < 1e-6);
+        // EdgeLength with only coincident neighbours has zero total weight
+        let only = [p(1.0, 1.0)];
+        assert_eq!(weighted_candidate(Weighting::EdgeLength, pv, only.into_iter()), None);
+    }
+}

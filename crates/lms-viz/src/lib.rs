@@ -1,0 +1,32 @@
+//! # lms-viz — SVG visualisation for the LMS reproduction
+//!
+//! The paper's evaluation is half pictures: mesh renders (Figures 3
+//! and 7), reuse-distance profiles (Figures 1 and 6), miss-rate bars
+//! (Figure 9) and speedup curves (Figures 10 and 12). This crate
+//! regenerates those *as images*, complementing the text/CSV output of
+//! `lms-bench`:
+//!
+//! * [`svg`] — a dependency-free SVG document builder with the quality
+//!   colour ramp;
+//! * [`mesh`] — quality-coloured mesh renders and mesh galleries;
+//! * [`plot`] — line charts (linear/log axes) and grouped bar charts.
+//!
+//! See `examples/render_figures.rs` for the figure-regeneration driver.
+//!
+//! ```
+//! use lms_viz::mesh::{render_mesh, MeshStyle};
+//!
+//! let m = lms_mesh::generators::perturbed_grid(12, 12, 0.3, 1);
+//! let svg = render_mesh(&m, &MeshStyle::default());
+//! assert!(svg.render().contains("<polygon"));
+//! ```
+
+pub mod mesh;
+pub mod mesh3d;
+pub mod plot;
+pub mod svg;
+
+pub use mesh::{render_gallery, render_mesh, MeshStyle};
+pub use mesh3d::{render_tet_surface, Mesh3Style};
+pub use plot::{BarChart, Chart, Scale, Series};
+pub use svg::{quality_color, Color, Svg};

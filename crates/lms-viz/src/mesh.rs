@@ -1,0 +1,227 @@
+//! Quality-coloured mesh rendering — the paper's Figure 3 (before/after
+//! smoothing) and Figure 7 (the mesh gallery) as SVG.
+
+use crate::svg::{quality_color, Color, Svg};
+use lms_mesh::quality::{triangle_qualities, QualityMetric};
+use lms_mesh::TriMesh;
+
+/// Rendering knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeshStyle {
+    /// Output width in pixels (height follows the mesh aspect ratio).
+    pub width: f64,
+    /// Margin around the mesh, pixels.
+    pub margin: f64,
+    /// Colour triangles by quality (`None` = flat light grey).
+    pub color_by: Option<QualityMetric>,
+    /// Stroke triangle edges.
+    pub edges: bool,
+    /// Draw a quality colour-bar legend below the mesh.
+    pub legend: bool,
+}
+
+impl Default for MeshStyle {
+    fn default() -> Self {
+        MeshStyle {
+            width: 640.0,
+            margin: 12.0,
+            color_by: Some(QualityMetric::EdgeLengthRatio),
+            edges: true,
+            legend: true,
+        }
+    }
+}
+
+/// Render `mesh` to an SVG document.
+///
+/// Triangles are filled by their quality under `style.color_by` (dark =
+/// bad, bright = good), so the localised bad regions the suite generators
+/// grade into the meshes — and their disappearance after smoothing — are
+/// visible at a glance.
+pub fn render_mesh(mesh: &TriMesh, style: &MeshStyle) -> Svg {
+    let (lo, hi) = mesh.bbox();
+    let span_x = (hi.x - lo.x).max(f64::MIN_POSITIVE);
+    let span_y = (hi.y - lo.y).max(f64::MIN_POSITIVE);
+    let draw_w = style.width - 2.0 * style.margin;
+    let scale = draw_w / span_x;
+    let draw_h = span_y * scale;
+    let legend_h = if style.legend { 34.0 } else { 0.0 };
+    let mut svg = Svg::new(style.width, draw_h + 2.0 * style.margin + legend_h);
+
+    // y flipped: mesh y grows up, SVG y grows down
+    let tx = |x: f64| style.margin + (x - lo.x) * scale;
+    let ty = |y: f64| style.margin + (hi.y - y) * scale;
+
+    let qualities = style.color_by.map(|metric| triangle_qualities(mesh, metric));
+    let edge_stroke = (Color::rgb(60, 60, 60), 0.4);
+
+    for (t, tri) in mesh.triangles().iter().enumerate() {
+        let pts: Vec<(f64, f64)> = tri
+            .iter()
+            .map(|&v| {
+                let p = mesh.coords()[v as usize];
+                (tx(p.x), ty(p.y))
+            })
+            .collect();
+        let fill = match &qualities {
+            Some(q) => quality_color(q[t]),
+            None => Color::rgb(225, 225, 225),
+        };
+        svg.polygon(&pts, fill, style.edges.then_some(edge_stroke));
+    }
+
+    if style.legend {
+        let y = draw_h + 2.0 * style.margin + 6.0;
+        let bar_w = draw_w * 0.6;
+        let steps = 48;
+        for i in 0..steps {
+            let q = i as f64 / (steps - 1) as f64;
+            svg.rect(
+                style.margin + bar_w * i as f64 / steps as f64,
+                y,
+                bar_w / steps as f64 + 0.5,
+                10.0,
+                quality_color(q),
+            );
+        }
+        let label = style
+            .color_by
+            .map(|m| format!("quality ({})", m.name()))
+            .unwrap_or_else(|| "quality".into());
+        svg.text(style.margin, y + 22.0, 11.0, "start", &format!("0 — {label} — 1"));
+    }
+    svg
+}
+
+/// Render a labelled gallery of meshes (Figure 7): a grid of small
+/// quality-coloured renders, `cols` per row.
+pub fn render_gallery(meshes: &[(&str, &TriMesh)], cols: usize, tile_width: f64) -> Svg {
+    assert!(cols > 0, "need at least one column");
+    let style = MeshStyle { width: tile_width, legend: false, edges: false, ..Default::default() };
+    // tile height: the tallest mesh's aspect-scaled height plus a caption
+    let tile_h = meshes
+        .iter()
+        .map(|(_, mesh)| {
+            let (lo, hi) = mesh.bbox();
+            let span_x = (hi.x - lo.x).max(f64::MIN_POSITIVE);
+            (hi.y - lo.y) / span_x * (tile_width - 2.0 * style.margin) + 2.0 * style.margin
+        })
+        .fold(0.0, f64::max)
+        + 18.0;
+    let rows = meshes.len().div_ceil(cols);
+    let mut svg = Svg::new(tile_width * cols as f64, tile_h * rows as f64);
+    for (i, (name, mesh)) in meshes.iter().enumerate() {
+        let (col, row) = (i % cols, i / cols);
+        let (ox, oy) = (col as f64 * tile_width, row as f64 * tile_h);
+        draw_mesh_at(&mut svg, mesh, ox, oy, tile_width, &style);
+        svg.text(ox + tile_width / 2.0, oy + tile_h - 4.0, 12.0, "middle", name);
+    }
+    svg
+}
+
+/// Draw `mesh` into `svg` at offset `(ox, oy)` with the given tile width.
+fn draw_mesh_at(svg: &mut Svg, mesh: &TriMesh, ox: f64, oy: f64, width: f64, style: &MeshStyle) {
+    let (lo, hi) = mesh.bbox();
+    let span_x = (hi.x - lo.x).max(f64::MIN_POSITIVE);
+    let draw_w = width - 2.0 * style.margin;
+    let scale = draw_w / span_x;
+    let tx = |x: f64| ox + style.margin + (x - lo.x) * scale;
+    let ty = |y: f64| oy + style.margin + (hi.y - y) * scale;
+    let qualities = style.color_by.map(|metric| triangle_qualities(mesh, metric));
+    for (t, tri) in mesh.triangles().iter().enumerate() {
+        let pts: Vec<(f64, f64)> = tri
+            .iter()
+            .map(|&v| {
+                let p = mesh.coords()[v as usize];
+                (tx(p.x), ty(p.y))
+            })
+            .collect();
+        let fill = match &qualities {
+            Some(q) => quality_color(q[t]),
+            None => Color::rgb(225, 225, 225),
+        };
+        svg.polygon(&pts, fill, None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lms_mesh::generators;
+
+    #[test]
+    fn render_emits_one_polygon_per_triangle() {
+        let m = generators::perturbed_grid(8, 8, 0.2, 1);
+        let svg = render_mesh(&m, &MeshStyle::default());
+        let out = svg.render();
+        assert_eq!(out.matches("<polygon").count(), m.num_triangles());
+        assert!(out.contains("quality (elr)"));
+    }
+
+    #[test]
+    fn no_legend_no_colorbar() {
+        let m = generators::perturbed_grid(6, 6, 0.2, 2);
+        let svg = render_mesh(&m, &MeshStyle { legend: false, ..Default::default() });
+        assert!(!svg.render().contains("<text"));
+    }
+
+    #[test]
+    fn aspect_ratio_follows_the_mesh() {
+        let wide = generators::perturbed_grid_over(
+            20,
+            5,
+            (lms_mesh::Point2::ZERO, lms_mesh::Point2::new(4.0, 1.0)),
+            0.2,
+            1,
+        );
+        let svg = render_mesh(&wide, &MeshStyle { legend: false, ..Default::default() });
+        assert!(svg.height() < svg.width() / 2.0, "wide mesh must render wide");
+    }
+
+    #[test]
+    fn gallery_labels_every_mesh() {
+        let a = generators::perturbed_grid(5, 5, 0.2, 1);
+        let b = generators::perturbed_grid(6, 6, 0.2, 2);
+        let svg = render_gallery(&[("alpha", &a), ("beta", &b)], 2, 160.0);
+        let out = svg.render();
+        assert!(out.contains("alpha") && out.contains("beta"));
+        assert_eq!(out.matches("<polygon").count(), a.num_triangles() + b.num_triangles());
+    }
+
+    #[test]
+    fn smoothing_brightens_the_render() {
+        // quality-coloured fills should move toward the bright end after
+        // smoothing: compare mean green channel of the triangle fills
+        use lms_mesh::quality::QualityMetric;
+        let m0 = generators::perturbed_grid(16, 16, 0.4, 3);
+        let mut m1 = m0.clone();
+        // a few Laplacian sweeps by hand (no lms-smooth dependency here):
+        // move every interior vertex to its ring centroid twice
+        let adj = lms_mesh::Adjacency::build(&m1);
+        let boundary = lms_mesh::Boundary::detect(&m1);
+        for _ in 0..3 {
+            for v in 0..m1.num_vertices() as u32 {
+                if !boundary.is_interior(v) {
+                    continue;
+                }
+                let ns = adj.neighbors(v);
+                let mut acc = lms_mesh::Point2::ZERO;
+                for &w in ns {
+                    acc += m1.coords()[w as usize];
+                }
+                m1.coords_mut()[v as usize] = acc / ns.len() as f64;
+            }
+        }
+        let brightness = |m: &TriMesh| {
+            triangle_qualities(m, QualityMetric::EdgeLengthRatio)
+                .iter()
+                .map(|&q| {
+                    let c = quality_color(q);
+                    c.r as f64 + c.g as f64 + c.b as f64
+                })
+                .sum::<f64>()
+                / m.num_triangles() as f64
+        };
+        assert!(brightness(&m1) > brightness(&m0));
+    }
+}

@@ -1,0 +1,203 @@
+//! Tetrahedral-mesh surface rendering.
+//!
+//! Renders the boundary surface of a [`lms_mesh3d::TetMesh`] as an SVG:
+//! boundary faces are extracted (faces belonging to exactly one tet),
+//! projected isometrically, depth-sorted (painter's algorithm) and filled
+//! with the same quality colour map the 2D renders use, shaded by a simple
+//! directional light so the 3D shape reads.
+
+use crate::svg::{quality_color, Color, Svg};
+use lms_mesh3d::geometry::Point3;
+use lms_mesh3d::quality::{tet_qualities, TetQualityMetric};
+use lms_mesh3d::TetMesh;
+
+/// Styling of a 3D surface render.
+#[derive(Debug, Clone)]
+pub struct Mesh3Style {
+    /// Image width in pixels (height follows the projected aspect ratio).
+    pub width: f64,
+    /// Colour faces by the owning tet's quality (else flat grey).
+    pub color_by_quality: bool,
+    /// Quality metric for colouring.
+    pub metric: TetQualityMetric,
+    /// Edge stroke width (0 disables edges).
+    pub stroke_width: f64,
+}
+
+impl Default for Mesh3Style {
+    fn default() -> Self {
+        Mesh3Style {
+            width: 640.0,
+            color_by_quality: true,
+            metric: TetQualityMetric::EdgeLengthRatio,
+            stroke_width: 0.3,
+        }
+    }
+}
+
+/// Isometric-ish projection: returns `(screen_x, screen_y, depth)`.
+fn project(p: Point3) -> (f64, f64, f64) {
+    // rotate 30° about y then 25° about x, orthographic
+    let (sy, cy) = (30f64.to_radians().sin(), 30f64.to_radians().cos());
+    let (sx, cx) = (25f64.to_radians().sin(), 25f64.to_radians().cos());
+    let x1 = p.x * cy + p.z * sy;
+    let z1 = -p.x * sy + p.z * cy;
+    let y2 = p.y * cx - z1 * sx;
+    let z2 = p.y * sx + z1 * cx;
+    (x1, -y2, z2)
+}
+
+/// A boundary face together with the tet that owns it.
+fn boundary_faces(mesh: &TetMesh) -> Vec<([u32; 3], u32)> {
+    let mut faces: Vec<([u32; 3], u32)> = Vec::with_capacity(4 * mesh.num_tets());
+    for (t, &tet) in mesh.tets().iter().enumerate() {
+        for f in TetMesh::tet_faces_sorted(tet) {
+            faces.push((f, t as u32));
+        }
+    }
+    faces.sort_unstable();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < faces.len() {
+        let mut j = i + 1;
+        while j < faces.len() && faces[j].0 == faces[i].0 {
+            j += 1;
+        }
+        if j - i == 1 {
+            out.push(faces[i]);
+        }
+        i = j;
+    }
+    out
+}
+
+/// Render the boundary surface of `mesh`.
+pub fn render_tet_surface(mesh: &TetMesh, style: &Mesh3Style) -> Svg {
+    let tq =
+        if style.color_by_quality { tet_qualities(mesh, style.metric) } else { Vec::new() };
+    let faces = boundary_faces(mesh);
+
+    // project all vertices once
+    let projected: Vec<(f64, f64, f64)> =
+        mesh.coords().iter().map(|&p| project(p)).collect();
+
+    // screen bounding box
+    let (mut lo_x, mut lo_y, mut hi_x, mut hi_y) =
+        (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for &(x, y, _) in &projected {
+        lo_x = lo_x.min(x);
+        lo_y = lo_y.min(y);
+        hi_x = hi_x.max(x);
+        hi_y = hi_y.max(y);
+    }
+    if !lo_x.is_finite() {
+        return Svg::new(style.width, style.width);
+    }
+    let margin = 8.0;
+    let scale = (style.width - 2.0 * margin) / (hi_x - lo_x).max(f64::MIN_POSITIVE);
+    let height = (hi_y - lo_y) * scale + 2.0 * margin;
+    let to_screen =
+        |x: f64, y: f64| ((x - lo_x) * scale + margin, (y - lo_y) * scale + margin);
+
+    // painter's algorithm: far faces first (largest mean depth first, with
+    // z2 pointing towards the viewer negative — draw descending depth)
+    let mut order: Vec<usize> = (0..faces.len()).collect();
+    let depth = |f: &[u32; 3]| {
+        f.iter().map(|&v| projected[v as usize].2).sum::<f64>() / 3.0
+    };
+    order.sort_by(|&a, &b| {
+        depth(&faces[b].0)
+            .partial_cmp(&depth(&faces[a].0))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let light = Point3::new(0.4, 0.8, -0.45);
+    let light = light / light.norm();
+
+    let mut svg = Svg::new(style.width, height);
+    for idx in order {
+        let (face, owner) = faces[idx];
+        let pts: Vec<(f64, f64)> = face
+            .iter()
+            .map(|&v| {
+                let (x, y, _) = projected[v as usize];
+                to_screen(x, y)
+            })
+            .collect();
+        // world-space normal for shading
+        let [a, b, c] = face.map(|v| mesh.coords()[v as usize]);
+        let n = (b - a).cross(c - a);
+        let shade = if n.norm() > 0.0 {
+            0.55 + 0.45 * (n / n.norm()).dot(light).abs()
+        } else {
+            0.55
+        };
+        let base = if style.color_by_quality {
+            quality_color(tq[owner as usize])
+        } else {
+            Color { r: 170, g: 175, b: 185 }
+        };
+        let fill = Color { r: 0, g: 0, b: 0 }.lerp(base, shade);
+        let stroke = if style.stroke_width > 0.0 {
+            Some((Color { r: 30, g: 30, b: 40 }, style.stroke_width))
+        } else {
+            None
+        };
+        svg.polygon(&pts, fill, stroke);
+    }
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lms_mesh3d::generators::{perturbed_tet_grid, tet_grid};
+    use lms_mesh3d::corner_tet;
+
+    #[test]
+    fn surface_of_single_tet_has_four_faces() {
+        let faces = boundary_faces(&corner_tet());
+        assert_eq!(faces.len(), 4);
+    }
+
+    #[test]
+    fn grid_surface_matches_boundary_count() {
+        let m = tet_grid(3, 3, 3);
+        let b = lms_mesh3d::Boundary3::detect(&m);
+        assert_eq!(boundary_faces(&m).len(), b.num_boundary_faces());
+    }
+
+    #[test]
+    fn render_produces_polygons() {
+        let m = perturbed_tet_grid(4, 4, 4, 0.3, 1);
+        let svg = render_tet_surface(&m, &Mesh3Style::default()).render();
+        assert!(svg.contains("<svg"));
+        let polys = svg.matches("<polygon").count();
+        let b = lms_mesh3d::Boundary3::detect(&m);
+        assert_eq!(polys, b.num_boundary_faces());
+    }
+
+    #[test]
+    fn flat_style_renders_without_quality() {
+        let m = tet_grid(2, 2, 2);
+        let style = Mesh3Style { color_by_quality: false, ..Default::default() };
+        let svg = render_tet_surface(&m, &style).render();
+        assert!(svg.contains("<polygon"));
+    }
+
+    #[test]
+    fn empty_mesh_renders_empty_canvas() {
+        let m = lms_mesh3d::TetMesh::new(Vec::new(), Vec::new()).unwrap();
+        let svg = render_tet_surface(&m, &Mesh3Style::default()).render();
+        assert!(svg.contains("<svg"));
+        assert!(!svg.contains("<polygon"));
+    }
+
+    #[test]
+    fn projection_preserves_depth_ordering() {
+        // a point farther along +z (after rotation) must get larger depth
+        let near = project(Point3::new(0.0, 0.0, -1.0));
+        let far = project(Point3::new(0.0, 0.0, 1.0));
+        assert!(far.2 > near.2);
+    }
+}

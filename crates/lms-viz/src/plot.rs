@@ -1,0 +1,346 @@
+//! Minimal 2D plotting: line/scatter charts with linear or log-10 axes
+//! and grouped bar charts — the shapes of the paper's Figures 1, 6, 9
+//! and 12.
+
+use crate::svg::{Color, Svg, SERIES_COLORS};
+
+/// Axis scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Linear axis.
+    Linear,
+    /// Base-10 logarithmic axis (values must be positive; non-positive
+    /// points are dropped).
+    Log10,
+}
+
+/// One named data series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// `(x, y)` samples in drawing order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Construct from anything iterable.
+    pub fn new(name: impl Into<String>, points: impl IntoIterator<Item = (f64, f64)>) -> Series {
+        Series { name: name.into(), points: points.into_iter().collect() }
+    }
+}
+
+/// A line/scatter chart under construction.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    /// Title printed above the plot area.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// X-axis scale.
+    pub x_scale: Scale,
+    /// Y-axis scale.
+    pub y_scale: Scale,
+    /// Draw sample markers in addition to lines.
+    pub markers: bool,
+    series: Vec<Series>,
+}
+
+impl Chart {
+    /// Empty linear-axes chart.
+    pub fn new(title: impl Into<String>) -> Chart {
+        Chart {
+            title: title.into(),
+            x_label: String::new(),
+            y_label: String::new(),
+            x_scale: Scale::Linear,
+            y_scale: Scale::Linear,
+            markers: false,
+            series: Vec::new(),
+        }
+    }
+
+    /// Builder: axis labels.
+    pub fn labels(mut self, x: impl Into<String>, y: impl Into<String>) -> Chart {
+        self.x_label = x.into();
+        self.y_label = y.into();
+        self
+    }
+
+    /// Builder: y-axis log scale.
+    pub fn log_y(mut self) -> Chart {
+        self.y_scale = Scale::Log10;
+        self
+    }
+
+    /// Builder: draw markers.
+    pub fn with_markers(mut self) -> Chart {
+        self.markers = true;
+        self
+    }
+
+    /// Builder: append a series.
+    pub fn series(mut self, s: Series) -> Chart {
+        self.series.push(s);
+        self
+    }
+
+    /// Number of series added so far.
+    pub fn num_series(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Render at the given pixel size.
+    pub fn render(&self, width: f64, height: f64) -> Svg {
+        let mut svg = Svg::new(width, height);
+        let (ml, mr, mt, mb) = (58.0, 14.0, 30.0, 44.0);
+        let (px0, px1) = (ml, width - mr);
+        let (py0, py1) = (height - mb, mt); // y flipped
+
+        let map = |v: f64, scale: Scale| match scale {
+            Scale::Linear => Some(v),
+            Scale::Log10 => (v > 0.0).then(|| v.log10()),
+        };
+        // transformed extents over all series
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                if let (Some(x), Some(y)) = (map(x, self.x_scale), map(y, self.y_scale)) {
+                    xs.push(x);
+                    ys.push(y);
+                }
+            }
+        }
+        let (x_min, x_max) = extent(&xs);
+        let (y_min, y_max) = extent(&ys);
+        let sx = |x: f64| px0 + (x - x_min) / (x_max - x_min).max(1e-300) * (px1 - px0);
+        let sy = |y: f64| py0 + (y - y_min) / (y_max - y_min).max(1e-300) * (py1 - py0);
+
+        // frame + ticks
+        let axis = Color::rgb(80, 80, 80);
+        svg.line(px0, py0, px1, py0, axis, 1.0);
+        svg.line(px0, py0, px0, py1, axis, 1.0);
+        for i in 0..=4 {
+            let t = i as f64 / 4.0;
+            let xv = x_min + t * (x_max - x_min);
+            let yv = y_min + t * (y_max - y_min);
+            svg.line(sx(xv), py0, sx(xv), py0 + 4.0, axis, 1.0);
+            svg.text(sx(xv), py0 + 16.0, 10.0, "middle", &tick_label(xv, self.x_scale));
+            svg.line(px0 - 4.0, sy(yv), px0, sy(yv), axis, 1.0);
+            svg.text(px0 - 6.0, sy(yv) + 3.5, 10.0, "end", &tick_label(yv, self.y_scale));
+        }
+        svg.text((px0 + px1) / 2.0, height - 8.0, 12.0, "middle", &self.x_label);
+        svg.text(14.0, mt - 8.0, 12.0, "start", &self.y_label);
+        svg.text((px0 + px1) / 2.0, 16.0, 13.0, "middle", &self.title);
+
+        // series
+        for (i, s) in self.series.iter().enumerate() {
+            let color = SERIES_COLORS[i % SERIES_COLORS.len()];
+            let pts: Vec<(f64, f64)> = s
+                .points
+                .iter()
+                .filter_map(|&(x, y)| {
+                    Some((sx(map(x, self.x_scale)?), sy(map(y, self.y_scale)?)))
+                })
+                .collect();
+            svg.polyline(&pts, color, 1.6);
+            if self.markers {
+                for &(x, y) in &pts {
+                    svg.circle(x, y, 2.2, color);
+                }
+            }
+            // legend entry
+            let ly = mt + 14.0 * i as f64;
+            svg.line(px1 - 84.0, ly, px1 - 64.0, ly, color, 2.0);
+            svg.text(px1 - 60.0, ly + 3.5, 10.0, "start", &s.name);
+        }
+        svg
+    }
+}
+
+/// A grouped bar chart (Figure 9's per-mesh miss-rate bars).
+#[derive(Debug, Clone)]
+pub struct BarChart {
+    /// Title printed above the plot area.
+    pub title: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Category labels (x positions).
+    pub categories: Vec<String>,
+    /// `(series name, one value per category)`.
+    pub groups: Vec<(String, Vec<f64>)>,
+}
+
+impl BarChart {
+    /// Empty chart.
+    pub fn new(title: impl Into<String>, y_label: impl Into<String>) -> BarChart {
+        BarChart {
+            title: title.into(),
+            y_label: y_label.into(),
+            categories: Vec::new(),
+            groups: Vec::new(),
+        }
+    }
+
+    /// Builder: the category axis.
+    pub fn categories(mut self, cats: impl IntoIterator<Item = impl Into<String>>) -> BarChart {
+        self.categories = cats.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Builder: one bar series (must match the category count).
+    pub fn group(mut self, name: impl Into<String>, values: Vec<f64>) -> BarChart {
+        assert_eq!(values.len(), self.categories.len(), "group length != #categories");
+        self.groups.push((name.into(), values));
+        self
+    }
+
+    /// Render at the given pixel size.
+    pub fn render(&self, width: f64, height: f64) -> Svg {
+        let mut svg = Svg::new(width, height);
+        let (ml, mr, mt, mb) = (58.0, 14.0, 30.0, 44.0);
+        let (px0, px1) = (ml, width - mr);
+        let py0 = height - mb;
+        let py1 = mt;
+        let y_max = self
+            .groups
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .fold(0.0f64, f64::max)
+            .max(1e-300);
+        let sy = |v: f64| py0 - (v / y_max) * (py0 - py1);
+
+        let axis = Color::rgb(80, 80, 80);
+        svg.line(px0, py0, px1, py0, axis, 1.0);
+        svg.line(px0, py0, px0, py1, axis, 1.0);
+        for i in 0..=4 {
+            let v = y_max * i as f64 / 4.0;
+            svg.line(px0 - 4.0, sy(v), px0, sy(v), axis, 1.0);
+            svg.text(px0 - 6.0, sy(v) + 3.5, 10.0, "end", &format!("{v:.2}"));
+        }
+        svg.text((px0 + px1) / 2.0, 16.0, 13.0, "middle", &self.title);
+        svg.text(14.0, mt - 8.0, 12.0, "start", &self.y_label);
+
+        let ncat = self.categories.len().max(1);
+        let nser = self.groups.len().max(1);
+        let slot = (px1 - px0) / ncat as f64;
+        let bar_w = slot * 0.8 / nser as f64;
+        for (ci, cat) in self.categories.iter().enumerate() {
+            let cx = px0 + slot * (ci as f64 + 0.5);
+            svg.text(cx, py0 + 16.0, 10.0, "middle", cat);
+            for (si, (_, values)) in self.groups.iter().enumerate() {
+                let v = values[ci];
+                let x = cx - slot * 0.4 + bar_w * si as f64;
+                svg.rect(x, sy(v), bar_w.max(0.5), (py0 - sy(v)).max(0.0), series_color(si));
+            }
+        }
+        for (si, (name, _)) in self.groups.iter().enumerate() {
+            let ly = mt + 14.0 * si as f64;
+            svg.rect(px1 - 84.0, ly - 6.0, 12.0, 8.0, series_color(si));
+            svg.text(px1 - 68.0, ly + 1.5, 10.0, "start", name);
+        }
+        svg
+    }
+}
+
+fn series_color(i: usize) -> Color {
+    SERIES_COLORS[i % SERIES_COLORS.len()]
+}
+
+fn extent(values: &[f64]) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &v in values {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    if !min.is_finite() || !max.is_finite() {
+        (0.0, 1.0)
+    } else if min == max {
+        (min - 0.5, max + 0.5)
+    } else {
+        (min, max)
+    }
+}
+
+fn tick_label(v: f64, scale: Scale) -> String {
+    match scale {
+        Scale::Linear => {
+            if v.abs() >= 1000.0 {
+                format!("{:.0}k", v / 1000.0)
+            } else if v.abs() >= 10.0 || v == 0.0 {
+                format!("{v:.0}")
+            } else {
+                format!("{v:.2}")
+            }
+        }
+        // v is already log10(value)
+        Scale::Log10 => format!("1e{v:.1}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_renders_every_series_as_a_polyline() {
+        let svg = Chart::new("t")
+            .labels("x", "y")
+            .with_markers()
+            .series(Series::new("a", [(0.0, 1.0), (1.0, 2.0), (2.0, 1.5)]))
+            .series(Series::new("b", [(0.0, 3.0), (2.0, 0.5)]))
+            .render(320.0, 200.0);
+        let out = svg.render();
+        assert_eq!(out.matches("<polyline").count(), 2);
+        assert!(out.contains(">a</text>") && out.contains(">b</text>"));
+        assert!(out.matches("<circle").count() >= 5);
+    }
+
+    #[test]
+    fn log_scale_drops_nonpositive_points() {
+        let svg = Chart::new("log")
+            .log_y()
+            .series(Series::new("s", [(0.0, 0.0), (1.0, 10.0), (2.0, 100.0)]))
+            .render(320.0, 200.0);
+        let out = svg.render();
+        // the polyline survives with the two positive points
+        assert_eq!(out.matches("<polyline").count(), 1);
+        assert!(out.contains("1e"));
+    }
+
+    #[test]
+    fn degenerate_extents_do_not_panic() {
+        let svg = Chart::new("flat")
+            .series(Series::new("s", [(1.0, 5.0), (2.0, 5.0)]))
+            .render(320.0, 200.0);
+        assert!(svg.render().contains("<polyline"));
+        // empty chart renders the frame only
+        let empty = Chart::new("none").render(100.0, 100.0);
+        assert!(empty.render().contains("<line"));
+    }
+
+    #[test]
+    fn bar_chart_draws_categories_times_groups_bars() {
+        let svg = BarChart::new("misses", "rate")
+            .categories(["M1", "M2", "M3"])
+            .group("ori", vec![0.5, 0.4, 0.3])
+            .group("rdr", vec![0.2, 0.1, 0.15])
+            .render(400.0, 220.0);
+        let out = svg.render();
+        // background + 3×2 bars + 2 legend chips + 48? no colour bar here:
+        // count rects minus background and legend chips
+        let rects = out.matches("<rect").count();
+        assert_eq!(rects, 1 + 6 + 2);
+        assert!(out.contains("M2") && out.contains(">rdr</text>"));
+    }
+
+    #[test]
+    #[should_panic(expected = "group length")]
+    fn mismatched_group_length_panics() {
+        let _ = BarChart::new("x", "y").categories(["a", "b"]).group("s", vec![1.0]);
+    }
+}

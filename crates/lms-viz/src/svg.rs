@@ -1,0 +1,289 @@
+//! A minimal SVG document builder — just enough vocabulary for mesh
+//! renders and 2D plots, with no dependencies.
+//!
+//! All coordinates are in user units with the origin at the top-left
+//! (standard SVG convention); the plotting layer flips the y axis itself.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// An RGB colour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Color {
+    /// Red channel.
+    pub r: u8,
+    /// Green channel.
+    pub g: u8,
+    /// Blue channel.
+    pub b: u8,
+}
+
+impl Color {
+    /// Construct from channels.
+    pub const fn rgb(r: u8, g: u8, b: u8) -> Color {
+        Color { r, g, b }
+    }
+
+    /// `#rrggbb` form.
+    pub fn hex(self) -> String {
+        format!("#{:02x}{:02x}{:02x}", self.r, self.g, self.b)
+    }
+
+    /// Linear interpolation between two colours (`t` clamped to `[0, 1]`).
+    pub fn lerp(self, other: Color, t: f64) -> Color {
+        let t = t.clamp(0.0, 1.0);
+        let mix = |a: u8, b: u8| (a as f64 + (b as f64 - a as f64) * t).round() as u8;
+        Color::rgb(mix(self.r, other.r), mix(self.g, other.g), mix(self.b, other.b))
+    }
+}
+
+/// A perceptually-reasonable blue→green→yellow quality ramp (a compact
+/// viridis approximation): 0 = worst quality (dark blue), 1 = best
+/// (yellow).
+pub fn quality_color(q: f64) -> Color {
+    const STOPS: [(f64, Color); 5] = [
+        (0.00, Color::rgb(68, 1, 84)),
+        (0.25, Color::rgb(59, 82, 139)),
+        (0.50, Color::rgb(33, 145, 140)),
+        (0.75, Color::rgb(94, 201, 98)),
+        (1.00, Color::rgb(253, 231, 37)),
+    ];
+    let q = q.clamp(0.0, 1.0);
+    for w in STOPS.windows(2) {
+        let (t0, c0) = w[0];
+        let (t1, c1) = w[1];
+        if q <= t1 {
+            return c0.lerp(c1, (q - t0) / (t1 - t0));
+        }
+    }
+    STOPS[4].1
+}
+
+/// A categorical palette for plot series (ORI / BFS / RDR and friends).
+pub const SERIES_COLORS: [Color; 6] = [
+    Color::rgb(214, 69, 65),  // red (ori)
+    Color::rgb(52, 119, 219), // blue (bfs)
+    Color::rgb(38, 166, 91),  // green (rdr)
+    Color::rgb(243, 156, 18), // orange
+    Color::rgb(142, 68, 173), // purple
+    Color::rgb(127, 140, 141), // grey
+];
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct Svg {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+fn fmt_num(x: f64) -> String {
+    // trim trailing zeros for compact output
+    let s = format!("{x:.2}");
+    s.trim_end_matches('0').trim_end_matches('.').to_string()
+}
+
+impl Svg {
+    /// New document of the given pixel size (white background).
+    pub fn new(width: f64, height: f64) -> Svg {
+        let mut svg = Svg { width, height, body: String::new() };
+        svg.rect(0.0, 0.0, width, height, Color::rgb(255, 255, 255));
+        svg
+    }
+
+    /// Document width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Document height.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// Filled rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: Color) {
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{}" y="{}" width="{}" height="{}" fill="{}"/>"#,
+            fmt_num(x),
+            fmt_num(y),
+            fmt_num(w),
+            fmt_num(h),
+            fill.hex()
+        );
+    }
+
+    /// Stroked line segment.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: Color, width: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{}" y1="{}" x2="{}" y2="{}" stroke="{}" stroke-width="{}"/>"#,
+            fmt_num(x1),
+            fmt_num(y1),
+            fmt_num(x2),
+            fmt_num(y2),
+            stroke.hex(),
+            fmt_num(width)
+        );
+    }
+
+    /// Filled (optionally stroked) polygon.
+    pub fn polygon(&mut self, points: &[(f64, f64)], fill: Color, stroke: Option<(Color, f64)>) {
+        let pts: Vec<String> =
+            points.iter().map(|&(x, y)| format!("{},{}", fmt_num(x), fmt_num(y))).collect();
+        match stroke {
+            Some((c, w)) => {
+                let _ = writeln!(
+                    self.body,
+                    r#"<polygon points="{}" fill="{}" stroke="{}" stroke-width="{}"/>"#,
+                    pts.join(" "),
+                    fill.hex(),
+                    c.hex(),
+                    fmt_num(w)
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    self.body,
+                    r#"<polygon points="{}" fill="{}"/>"#,
+                    pts.join(" "),
+                    fill.hex()
+                );
+            }
+        }
+    }
+
+    /// Stroked open polyline.
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: Color, width: f64) {
+        if points.len() < 2 {
+            return;
+        }
+        let pts: Vec<String> =
+            points.iter().map(|&(x, y)| format!("{},{}", fmt_num(x), fmt_num(y))).collect();
+        let _ = writeln!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="{}"/>"#,
+            pts.join(" "),
+            stroke.hex(),
+            fmt_num(width)
+        );
+    }
+
+    /// Filled circle.
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: Color) {
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{}" cy="{}" r="{}" fill="{}"/>"#,
+            fmt_num(cx),
+            fmt_num(cy),
+            fmt_num(r),
+            fill.hex()
+        );
+    }
+
+    /// Text anchored at `(x, y)` (baseline). `anchor` is one of `start`,
+    /// `middle`, `end`.
+    pub fn text(&mut self, x: f64, y: f64, size: f64, anchor: &str, content: &str) {
+        let _ = writeln!(
+            self.body,
+            r##"<text x="{}" y="{}" font-size="{}" font-family="sans-serif" text-anchor="{}" fill="#333333">{}</text>"##,
+            fmt_num(x),
+            fmt_num(y),
+            fmt_num(size),
+            anchor,
+            escape(content)
+        );
+    }
+
+    /// Serialise the document.
+    pub fn render(&self) -> String {
+        format!(
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" viewBox=\"0 0 {w} {h}\">\n{body}</svg>\n",
+            w = fmt_num(self.width),
+            h = fmt_num(self.height),
+            body = self.body
+        )
+    }
+
+    /// Write the document to `path`, creating parent directories.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.render())
+    }
+}
+
+/// Escape text content for XML.
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colors_roundtrip_hex_and_lerp() {
+        assert_eq!(Color::rgb(255, 0, 128).hex(), "#ff0080");
+        let mid = Color::rgb(0, 0, 0).lerp(Color::rgb(200, 100, 50), 0.5);
+        assert_eq!(mid, Color::rgb(100, 50, 25));
+        // clamping
+        assert_eq!(Color::rgb(0, 0, 0).lerp(Color::rgb(10, 10, 10), 7.0), Color::rgb(10, 10, 10));
+    }
+
+    #[test]
+    fn quality_ramp_is_monotone_in_brightness() {
+        // brightness (sum of channels) should grow with quality
+        let lum = |q: f64| {
+            let c = quality_color(q);
+            c.r as u32 + c.g as u32 + c.b as u32
+        };
+        let mut prev = lum(0.0);
+        for i in 1..=10 {
+            let cur = lum(i as f64 / 10.0);
+            assert!(cur >= prev, "ramp darkened at {}", i);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn document_contains_emitted_elements() {
+        let mut svg = Svg::new(100.0, 50.0);
+        svg.line(0.0, 0.0, 10.0, 10.0, Color::rgb(1, 2, 3), 1.5);
+        svg.polygon(&[(0.0, 0.0), (5.0, 0.0), (0.0, 5.0)], Color::rgb(9, 9, 9), None);
+        svg.polyline(&[(0.0, 0.0), (5.0, 5.0), (9.0, 1.0)], Color::rgb(4, 4, 4), 1.0);
+        svg.circle(3.0, 4.0, 2.0, Color::rgb(7, 7, 7));
+        svg.text(1.0, 2.0, 10.0, "middle", "a<b & c");
+        let out = svg.render();
+        assert!(out.starts_with("<?xml"));
+        assert!(out.contains("<line "));
+        assert!(out.contains("<polygon "));
+        assert!(out.contains("<polyline "));
+        assert!(out.contains("<circle "));
+        assert!(out.contains("a&lt;b &amp; c"));
+        assert!(out.trim_end().ends_with("</svg>"));
+        // balanced: one opening svg, one closing
+        assert_eq!(out.matches("<svg").count(), 1);
+        assert_eq!(out.matches("</svg>").count(), 1);
+    }
+
+    #[test]
+    fn short_polylines_are_dropped() {
+        let mut svg = Svg::new(10.0, 10.0);
+        svg.polyline(&[(1.0, 1.0)], Color::rgb(0, 0, 0), 1.0);
+        assert!(!svg.render().contains("polyline"));
+    }
+
+    #[test]
+    fn write_creates_directories() {
+        let dir = std::env::temp_dir().join("lms_viz_test_dir/deep");
+        let path = dir.join("x.svg");
+        let _ = std::fs::remove_dir_all(&dir);
+        Svg::new(8.0, 8.0).write_to(&path).unwrap();
+        assert!(path.exists());
+        let _ = std::fs::remove_dir_all(dir.parent().unwrap());
+    }
+}

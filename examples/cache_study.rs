@@ -1,0 +1,62 @@
+//! A guided tour of the memory-behaviour substrate: reuse distances, the
+//! stack-distance miss model, the line-granular cache simulator, and the
+//! Equation (2) cost model — the paper's whole measurement stack.
+//!
+//! ```text
+//! cargo run --release --example cache_study [scale]
+//! ```
+
+use lms::cache::{
+    CostModel, NodeLayout, ReuseDistanceAnalyzer, ReuseStats, StackDistanceModel,
+};
+use lms::mesh::suite;
+use lms::order::{compute_ordering, OrderingKind};
+use lms::smooth::{SmoothEngine, SmoothParams, VecSink};
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.02);
+    let base = suite::generate(suite::find_spec("stress").unwrap(), scale);
+    println!("stress mesh @ scale {scale}: {} vertices\n", base.num_vertices());
+
+    // Capacities of the Westmere caches in 66-byte elements (paper §5.2.3:
+    // "below a reuse distance of 496 (resp. 3970; 372,000) there should not
+    // be any L1 (resp. L2; L3) cache miss").
+    let hierarchy = lms::cache::CacheHierarchy::westmere_ex(NodeLayout::paper_66());
+    let caps = hierarchy.capacities_in_elements();
+    println!("Westmere-EX capacities in 66-byte elements: L1={} L2={} L3={}", caps[0], caps[1], caps[2]);
+
+    let model = StackDistanceModel::new(caps);
+    let costs = CostModel::westmere_ex();
+
+    for kind in OrderingKind::PAPER_TRIO {
+        let mesh = compute_ordering(&base, kind).apply_to_mesh(&base);
+        let engine = SmoothEngine::new(&mesh, SmoothParams::paper().with_max_iters(1));
+        let mut sink = VecSink::new();
+        engine.smooth_traced(&mut mesh.clone(), &mut sink);
+
+        let distances = ReuseDistanceAnalyzer::analyze(&sink.accesses, mesh.num_vertices());
+        let stats = ReuseStats::from_distances(&distances);
+        let outcome = model.apply(&distances, false);
+        let cycles = costs.extra_cycles_from_misses(
+            outcome.misses[0],
+            outcome.misses[1],
+            outcome.misses[2],
+        );
+
+        println!(
+            "\n{:<4}: {} accesses, mean reuse distance {:.1}, max {}",
+            kind.name(),
+            stats.accesses,
+            stats.mean,
+            stats.max
+        );
+        println!(
+            "      stack-distance model misses: L1={} L2={} L3={}  -> Eq.(2) extra cycles: {}",
+            outcome.misses[0], outcome.misses[1], outcome.misses[2], cycles
+        );
+    }
+    println!(
+        "\npaper shape: RDR's max reuse distance sits far below the L3 capacity, so its\n\
+         L3 (and nearly all L2) misses vanish — the quasi-optimality claim of §5.2.3."
+    );
+}

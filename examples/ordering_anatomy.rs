@@ -1,0 +1,50 @@
+//! The paper's Figure 5 worked example, live: how DFS, BFS and RDR number
+//! the same 13-vertex mesh, and what that does to the span of memory
+//! accesses of a smoothing step.
+//!
+//! ```text
+//! cargo run --release --example ordering_anatomy
+//! ```
+
+use lms::mesh::figure5_mesh;
+use lms::order::{compute_ordering, OrderingKind};
+use lms::smooth::{SmoothEngine, SmoothParams, VecSink};
+
+fn main() {
+    let base = figure5_mesh();
+    println!(
+        "the Figure-5 mesh: {} vertices, {} triangles\n",
+        base.num_vertices(),
+        base.num_triangles()
+    );
+
+    for kind in [
+        OrderingKind::Original,
+        OrderingKind::Dfs,
+        OrderingKind::Bfs,
+        OrderingKind::Rdr,
+    ] {
+        let perm = compute_ordering(&base, kind);
+        let mesh = perm.apply_to_mesh(&base);
+
+        // Trace one smoothing sweep and look at the "Read Data array"
+        // sequence, exactly like the paper's figure.
+        let engine = SmoothEngine::new(&mesh, SmoothParams::paper().with_max_iters(1));
+        let mut sink = VecSink::new();
+        engine.smooth_traced(&mut mesh.clone(), &mut sink);
+
+        // Span of positions touched while processing the first vertex.
+        let first = engine.visit_order()[0];
+        let take = 1 + engine.adjacency().degree(first);
+        let head = &sink.accesses[..take];
+        let span = head.iter().max().unwrap() - head.iter().min().unwrap();
+
+        println!("{:<8} new numbering (new <- old): {:?}", kind.name(), perm.new_to_old());
+        println!("         first smoothing step reads positions {head:?} (span {span})");
+        println!("         full sweep trace: {:?}\n", sink.accesses);
+    }
+    println!(
+        "the paper's point: orderings that keep a vertex's neighbours nearby in storage\n\
+         shrink the access span — BFS beats DFS, and RDR follows the smoother itself."
+    );
+}
