@@ -84,10 +84,7 @@ fn movement_rules(mesh: &TriMesh, boundary: &Boundary, opts: &ConstrainedOptions
             } else {
                 let turn = (u.dot(w) / (nu * nw)).clamp(-1.0, 1.0).acos();
                 if (std::f64::consts::PI - turn).abs() <= opts.corner_angle {
-                    Rule::Slide {
-                        n1: nbrs[0],
-                        n2: nbrs[1],
-                    }
+                    Rule::Slide { n1: nbrs[0], n2: nbrs[1] }
                 } else {
                     Rule::Pinned
                 }
@@ -187,11 +184,7 @@ pub fn constrained_smooth(
 
         let quality = global_quality(&vertex_qualities(mesh, &adj, params.metric));
         let improvement = quality - prev_quality;
-        iterations.push(IterationStats {
-            iter,
-            quality,
-            improvement,
-        });
+        iterations.push(IterationStats { iter, quality, improvement });
         prev_quality = quality;
         // signed comparison, exactly like the storage-order engine: any
         // sweep that gains less than `tol` (including regressions) stops
@@ -201,12 +194,7 @@ pub fn constrained_smooth(
         }
     }
 
-    SmoothReport {
-        initial_quality,
-        final_quality: prev_quality,
-        iterations,
-        converged,
-    }
+    SmoothReport { initial_quality, final_quality: prev_quality, iterations, converged }
 }
 
 #[cfg(test)]
@@ -217,9 +205,7 @@ mod tests {
     fn corners_of(mesh: &TriMesh) -> Vec<u32> {
         let boundary = Boundary::detect(mesh);
         let rules = movement_rules(mesh, &boundary, &ConstrainedOptions::default());
-        (0..mesh.num_vertices() as u32)
-            .filter(|&v| rules[v as usize] == Rule::Pinned)
-            .collect()
+        (0..mesh.num_vertices() as u32).filter(|&v| rules[v as usize] == Rule::Pinned).collect()
     }
 
     #[test]
@@ -235,9 +221,8 @@ mod tests {
                 || (p.x - lo.x).abs() < 1e-9 && (p.y - hi.y).abs() < 1e-9
                 || (p.x - hi.x).abs() < 1e-9 && (p.y - lo.y).abs() < 1e-9
         };
-        let extreme: Vec<u32> = (0..m.num_vertices() as u32)
-            .filter(|&v| is_extreme(m.coords()[v as usize]))
-            .collect();
+        let extreme: Vec<u32> =
+            (0..m.num_vertices() as u32).filter(|&v| is_extreme(m.coords()[v as usize])).collect();
         assert_eq!(extreme.len(), 4);
         for v in extreme {
             assert!(corners.contains(&v), "bbox corner {v} must be pinned");

@@ -143,24 +143,16 @@ impl EdgeTopology {
 
     /// All interior (two-triangle) edges, sorted for determinism.
     pub fn interior_edges(&self) -> Vec<(u32, u32)> {
-        let mut edges: Vec<(u32, u32)> = self
-            .edge_map
-            .iter()
-            .filter(|(_, tris)| tris[1] != NONE)
-            .map(|(&e, _)| e)
-            .collect();
+        let mut edges: Vec<(u32, u32)> =
+            self.edge_map.iter().filter(|(_, tris)| tris[1] != NONE).map(|(&e, _)| e).collect();
         edges.sort_unstable();
         edges
     }
 
     /// All boundary (one-triangle) edges, sorted for determinism.
     pub fn boundary_edges(&self) -> Vec<(u32, u32)> {
-        let mut edges: Vec<(u32, u32)> = self
-            .edge_map
-            .iter()
-            .filter(|(_, tris)| tris[1] == NONE)
-            .map(|(&e, _)| e)
-            .collect();
+        let mut edges: Vec<(u32, u32)> =
+            self.edge_map.iter().filter(|(_, tris)| tris[1] == NONE).map(|(&e, _)| e).collect();
         edges.sort_unstable();
         edges
     }
@@ -186,10 +178,7 @@ impl EdgeTopology {
     /// `coords` (either new triangle would have non-positive signed area),
     /// or when the opposite diagonal already exists elsewhere in the mesh.
     pub fn flip(&mut self, a: u32, b: u32, coords: &[Point2]) -> Result<(u32, u32), FlipError> {
-        let &[t0, t1] = self
-            .edge_map
-            .get(&key(a, b))
-            .ok_or(FlipError::NoSuchEdge { a, b })?;
+        let &[t0, t1] = self.edge_map.get(&key(a, b)).ok_or(FlipError::NoSuchEdge { a, b })?;
         if t1 == NONE {
             return Err(FlipError::BoundaryEdge { a, b });
         }
@@ -202,12 +191,8 @@ impl EdgeTopology {
         // reading of triangle t0, then the flipped pair is (c, a', d) and
         // (d, b', c); both must be strictly positive for a valid flip.
         let (a, b) = orient_edge(self.tris[t0 as usize], a, b);
-        let (pa, pb, pc, pd) = (
-            coords[a as usize],
-            coords[b as usize],
-            coords[c as usize],
-            coords[d as usize],
-        );
+        let (pa, pb, pc, pd) =
+            (coords[a as usize], coords[b as usize], coords[c as usize], coords[d as usize]);
         if signed_area(pc, pa, pd) <= 0.0 || signed_area(pd, pb, pc) <= 0.0 {
             return Err(FlipError::NonConvexQuad);
         }
@@ -300,11 +285,8 @@ mod tests {
         for tri in topo.triangles() {
             let [a, b, c] = *tri;
             assert!(
-                signed_area(
-                    m.coords()[a as usize],
-                    m.coords()[b as usize],
-                    m.coords()[c as usize]
-                ) > 0.0
+                signed_area(m.coords()[a as usize], m.coords()[b as usize], m.coords()[c as usize])
+                    > 0.0
             );
         }
         // flipping back restores the original diagonal
@@ -316,14 +298,8 @@ mod tests {
     fn flip_refuses_boundary_and_missing_edges() {
         let m = square();
         let mut topo = EdgeTopology::build(&m).unwrap();
-        assert_eq!(
-            topo.flip(0, 1, m.coords()),
-            Err(FlipError::BoundaryEdge { a: 0, b: 1 })
-        );
-        assert_eq!(
-            topo.flip(1, 3, m.coords()),
-            Err(FlipError::NoSuchEdge { a: 1, b: 3 })
-        );
+        assert_eq!(topo.flip(0, 1, m.coords()), Err(FlipError::BoundaryEdge { a: 0, b: 1 }));
+        assert_eq!(topo.flip(1, 3, m.coords()), Err(FlipError::NoSuchEdge { a: 1, b: 3 }));
     }
 
     #[test]
@@ -352,18 +328,12 @@ mod tests {
             Point2::new(0.5, -1.0),
             Point2::new(2.0, 0.0),
         ];
-        let m = TriMesh::new(
-            coords,
-            vec![[0, 1, 2], [1, 0, 3], [1, 4, 2], [4, 1, 3], [2, 4, 3]],
-        )
-        .unwrap();
+        let m = TriMesh::new(coords, vec![[0, 1, 2], [1, 0, 3], [1, 4, 2], [4, 1, 3], [2, 4, 3]])
+            .unwrap();
         let mut topo = EdgeTopology::build(&m).unwrap();
         // tri (2,4,3) provides edge (2,3)... wait, it provides (2,4),(4,3),(3,2)
         assert!(topo.has_edge(2, 3));
-        assert_eq!(
-            topo.flip(0, 1, m.coords()),
-            Err(FlipError::DiagonalExists { c: 2, d: 3 })
-        );
+        assert_eq!(topo.flip(0, 1, m.coords()), Err(FlipError::DiagonalExists { c: 2, d: 3 }));
     }
 
     #[test]

@@ -52,7 +52,13 @@ impl Default for OptSmoothOptions {
 /// accepted move from a valid configuration keeps the objective positive,
 /// hence the mesh valid — and from a tangled start the ascent first pushes
 /// the areas positive (the untangling objective) before chasing quality.
-fn min_quality_at(mesh: &TriMesh, adj: &Adjacency, metric: QualityMetric, v: u32, p: Point2) -> f64 {
+fn min_quality_at(
+    mesh: &TriMesh,
+    adj: &Adjacency,
+    metric: QualityMetric,
+    v: u32,
+    p: Point2,
+) -> f64 {
     let coords = mesh.coords();
     let at = |u: u32| if u == v { p } else { coords[u as usize] };
     adj.triangles_of(v)
@@ -107,11 +113,8 @@ fn optimize_vertex(
     v: u32,
 ) -> Option<Point2> {
     let pv = mesh.coords()[v as usize];
-    let scale = adj
-        .neighbors(v)
-        .iter()
-        .map(|&w| pv.dist(mesh.coords()[w as usize]))
-        .fold(0.0, f64::max);
+    let scale =
+        adj.neighbors(v).iter().map(|&w| pv.dist(mesh.coords()[w as usize])).fold(0.0, f64::max);
     if scale <= 0.0 {
         return None;
     }
@@ -165,11 +168,7 @@ pub fn opt_smooth(mesh: &mut TriMesh, opts: &OptSmoothOptions) -> SmoothReport {
         }
         let quality = global_quality(&vertex_qualities(mesh, &adj, opts.metric));
         let improvement = quality - prev;
-        iterations.push(IterationStats {
-            iter,
-            quality,
-            improvement,
-        });
+        iterations.push(IterationStats { iter, quality, improvement });
         prev = quality;
         if improvement < opts.tol {
             converged = true;
@@ -177,21 +176,14 @@ pub fn opt_smooth(mesh: &mut TriMesh, opts: &OptSmoothOptions) -> SmoothReport {
         }
     }
 
-    SmoothReport {
-        initial_quality,
-        final_quality: prev,
-        iterations,
-        converged,
-    }
+    SmoothReport { initial_quality, final_quality: prev, iterations, converged }
 }
 
 /// Worst vertex quality of `mesh` under `metric` (the objective opt-smooth
 /// targets, exposed for experiments and tests).
 pub fn worst_vertex_quality(mesh: &TriMesh, metric: QualityMetric) -> f64 {
     let adj = Adjacency::build(mesh);
-    vertex_qualities(mesh, &adj, metric)
-        .into_iter()
-        .fold(f64::INFINITY, f64::min)
+    vertex_qualities(mesh, &adj, metric).into_iter().fold(f64::INFINITY, f64::min)
 }
 
 #[cfg(test)]
@@ -243,30 +235,19 @@ mod tests {
     fn boundary_stays_fixed() {
         let mut m = generators::perturbed_grid(12, 12, 0.35, 5);
         let boundary = lms_mesh::Boundary::detect(&m);
-        let before: Vec<Point2> = boundary
-            .boundary_vertices()
-            .iter()
-            .map(|&v| m.coords()[v as usize])
-            .collect();
+        let before: Vec<Point2> =
+            boundary.boundary_vertices().iter().map(|&v| m.coords()[v as usize]).collect();
         opt_smooth(&mut m, &OptSmoothOptions::default());
-        let after: Vec<Point2> = boundary
-            .boundary_vertices()
-            .iter()
-            .map(|&v| m.coords()[v as usize])
-            .collect();
+        let after: Vec<Point2> =
+            boundary.boundary_vertices().iter().map(|&v| m.coords()[v as usize]).collect();
         assert_eq!(before, after);
     }
 
     #[test]
     fn max_sweeps_caps_the_run() {
         let mut m = generators::perturbed_grid(10, 10, 0.4, 2);
-        let report = opt_smooth(
-            &mut m,
-            &OptSmoothOptions {
-                max_sweeps: 2,
-                ..OptSmoothOptions::default()
-            },
-        );
+        let report =
+            opt_smooth(&mut m, &OptSmoothOptions { max_sweeps: 2, ..OptSmoothOptions::default() });
         assert!(report.num_iterations() <= 2);
     }
 }

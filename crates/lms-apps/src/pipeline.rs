@@ -14,7 +14,7 @@ use crate::untangle::{untangle, UntangleOptions};
 use lms_mesh::quality::{mesh_quality, QualityMetric};
 use lms_mesh::{Adjacency, TriMesh};
 use lms_order::{compute_ordering, OrderingKind};
-use lms_smooth::SmoothParams;
+use lms_smooth::{SmoothEngine, SmoothParams};
 
 /// One step of an improvement pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,8 +24,15 @@ pub enum Stage {
     Reorder(OrderingKind),
     /// Remove inverted elements.
     Untangle(UntangleOptions),
-    /// Laplacian smoothing (interior vertices).
+    /// Laplacian smoothing (interior vertices) on the serial
+    /// incremental-quality hot path.
     Smooth(SmoothParams),
+    /// Laplacian smoothing on a deterministic parallel engine with the
+    /// given thread count (bitwise-identical results for any thread
+    /// count): colored Gauss–Seidel for in-place params, static-chunk
+    /// parallel Jacobi when `params.update` is
+    /// [`lms_smooth::UpdateScheme::Jacobi`].
+    ParallelSmooth(SmoothParams, usize),
     /// Constrained smoothing (boundary slides along the boundary).
     ConstrainedSmooth(SmoothParams, ConstrainedOptions),
     /// Edge swapping.
@@ -41,6 +48,7 @@ impl Stage {
             Stage::Reorder(_) => "reorder",
             Stage::Untangle(_) => "untangle",
             Stage::Smooth(_) => "smooth",
+            Stage::ParallelSmooth(..) => "parsmooth",
             Stage::ConstrainedSmooth(..) => "constrained",
             Stage::Swap(_) => "swap",
             Stage::OptSmooth(_) => "optsmooth",
@@ -92,10 +100,7 @@ pub struct Pipeline {
 impl Pipeline {
     /// Empty pipeline with the paper's metric.
     pub fn new() -> Self {
-        Pipeline {
-            stages: Vec::new(),
-            metric: QualityMetric::EdgeLengthRatio,
-        }
+        Pipeline { stages: Vec::new(), metric: QualityMetric::EdgeLengthRatio }
     }
 
     /// Builder-style stage append.
@@ -112,6 +117,16 @@ impl Pipeline {
             .then(Stage::Untangle(UntangleOptions::default()))
             .then(Stage::Swap(SwapOptions::default()))
             .then(Stage::Smooth(SmoothParams::paper().with_smart(true)))
+    }
+
+    /// [`standard`](Self::standard) with the smoothing stage on the
+    /// colored deterministic parallel Gauss–Seidel engine.
+    pub fn standard_parallel(ordering: OrderingKind, threads: usize) -> Self {
+        Pipeline::new()
+            .then(Stage::Reorder(ordering))
+            .then(Stage::Untangle(UntangleOptions::default()))
+            .then(Stage::Swap(SwapOptions::default()))
+            .then(Stage::ParallelSmooth(SmoothParams::paper().with_smart(true), threads))
     }
 
     /// Run the pipeline on `mesh` in place.
@@ -132,6 +147,16 @@ impl Pipeline {
                 }
                 Stage::Untangle(opts) => untangle(mesh, None, *opts).moves,
                 Stage::Smooth(params) => params.smooth(mesh).num_iterations(),
+                Stage::ParallelSmooth(params, threads) => {
+                    let engine = SmoothEngine::new(mesh, params.clone());
+                    let report = match params.update {
+                        lms_smooth::UpdateScheme::GaussSeidel => {
+                            engine.smooth_parallel_colored(mesh, *threads)
+                        }
+                        lms_smooth::UpdateScheme::Jacobi => engine.smooth_parallel(mesh, *threads),
+                    };
+                    report.num_iterations()
+                }
                 Stage::ConstrainedSmooth(params, opts) => {
                     constrained_smooth(mesh, params, opts).num_iterations()
                 }
@@ -147,11 +172,7 @@ impl Pipeline {
             });
             before = after;
         }
-        PipelineReport {
-            stages,
-            initial_quality,
-            final_quality: before,
-        }
+        PipelineReport { stages, initial_quality, final_quality: before }
     }
 }
 
@@ -196,9 +217,7 @@ mod tests {
     #[test]
     fn reorder_stage_alone_preserves_quality() {
         let mut m = generators::perturbed_grid(12, 12, 0.3, 6);
-        let report = Pipeline::new()
-            .then(Stage::Reorder(OrderingKind::Rdr))
-            .run(&mut m);
+        let report = Pipeline::new().then(Stage::Reorder(OrderingKind::Rdr)).run(&mut m);
         // renumbering must not change geometry, hence not quality
         assert!((report.total_improvement()).abs() < 1e-12);
     }
@@ -211,6 +230,42 @@ mod tests {
         assert_eq!(report.stages.len(), 0);
         assert_eq!(report.initial_quality, report.final_quality);
         assert_eq!(before.coords(), m.coords());
+    }
+
+    #[test]
+    fn parallel_smooth_stage_matches_standard_quality() {
+        let base = {
+            let mut m = generators::perturbed_grid(16, 16, 0.35, 3);
+            m.orient_ccw();
+            m
+        };
+        let mut serial = base.clone();
+        let rs = Pipeline::standard(OrderingKind::Rdr).run(&mut serial);
+        let mut par = base.clone();
+        let rp = Pipeline::standard_parallel(OrderingKind::Rdr, 3).run(&mut par);
+        assert_eq!(rp.stages.last().unwrap().stage, "parsmooth");
+        assert!(rp.final_quality > rp.initial_quality);
+        // different Gauss-Seidel visit orders, same fixed point family
+        assert!((rs.final_quality - rp.final_quality).abs() < 0.02);
+        // and the parallel stage itself is thread-count invariant
+        let mut par8 = base.clone();
+        let rp8 = Pipeline::standard_parallel(OrderingKind::Rdr, 8).run(&mut par8);
+        assert_eq!(par.coords(), par8.coords());
+        assert_eq!(rp, rp8);
+    }
+
+    #[test]
+    fn parallel_smooth_stage_accepts_jacobi_params() {
+        use lms_smooth::UpdateScheme;
+        let mut m = generators::perturbed_grid(10, 10, 0.3, 5);
+        let report = Pipeline::new()
+            .then(Stage::ParallelSmooth(
+                SmoothParams::paper().with_update(UpdateScheme::Jacobi).with_max_iters(5),
+                3,
+            ))
+            .run(&mut m);
+        assert_eq!(report.stages[0].stage, "parsmooth");
+        assert!(report.final_quality > report.initial_quality);
     }
 
     #[test]

@@ -38,20 +38,13 @@ impl SwapCriterion {
     /// Quality-criterion shorthand with the paper's metric and a small
     /// anti-cycling gain.
     pub fn quality() -> Self {
-        SwapCriterion::Quality {
-            metric: QualityMetric::EdgeLengthRatio,
-            min_gain: 1e-9,
-        }
+        SwapCriterion::Quality { metric: QualityMetric::EdgeLengthRatio, min_gain: 1e-9 }
     }
 
     /// Should edge `(a, b)` with opposite vertices `(c, d)` be flipped?
     fn wants_flip(self, coords: &[Point2], a: u32, b: u32, c: u32, d: u32) -> bool {
-        let (pa, pb, pc, pd) = (
-            coords[a as usize],
-            coords[b as usize],
-            coords[c as usize],
-            coords[d as usize],
-        );
+        let (pa, pb, pc, pd) =
+            (coords[a as usize], coords[b as usize], coords[c as usize], coords[d as usize]);
         match self {
             SwapCriterion::Delaunay => {
                 // in_circle is sign-sensitive to orientation; evaluate on a
@@ -70,12 +63,10 @@ impl SwapCriterion {
                 in_circle(pa, pb, pc, pd) > 1e-9 * s * s
             }
             SwapCriterion::Quality { metric, min_gain } => {
-                let old = metric
-                    .triangle_quality(pa, pb, pc)
-                    .min(metric.triangle_quality(pa, pb, pd));
-                let new = metric
-                    .triangle_quality(pc, pd, pa)
-                    .min(metric.triangle_quality(pc, pd, pb));
+                let old =
+                    metric.triangle_quality(pa, pb, pc).min(metric.triangle_quality(pa, pb, pd));
+                let new =
+                    metric.triangle_quality(pc, pd, pa).min(metric.triangle_quality(pc, pd, pb));
                 new > old + min_gain
             }
         }
@@ -93,10 +84,7 @@ pub struct SwapOptions {
 
 impl Default for SwapOptions {
     fn default() -> Self {
-        SwapOptions {
-            criterion: SwapCriterion::Delaunay,
-            max_passes: 50,
-        }
+        SwapOptions { criterion: SwapCriterion::Delaunay, max_passes: 50 }
     }
 }
 
@@ -181,10 +169,7 @@ pub fn swap_until_stable(
     }
     let coords = mesh.coords().to_vec();
     *mesh = topo.into_mesh(coords);
-    SwapReport {
-        flips_per_pass,
-        converged,
-    }
+    SwapReport { flips_per_pass, converged }
 }
 
 /// True when every interior edge of `mesh` satisfies the Delaunay
@@ -276,18 +261,11 @@ mod tests {
         let before = min_q(&m);
         let report = swap_until_stable(
             &mut m,
-            SwapOptions {
-                criterion: SwapCriterion::quality(),
-                max_passes: 50,
-            },
+            SwapOptions { criterion: SwapCriterion::quality(), max_passes: 50 },
             None,
         );
         assert!(report.converged);
-        assert!(
-            min_q(&m) >= before - 1e-12,
-            "worst triangle regressed: {before} -> {}",
-            min_q(&m)
-        );
+        assert!(min_q(&m) >= before - 1e-12, "worst triangle regressed: {before} -> {}", min_q(&m));
         assert!(report.total_flips() > 0, "expected some flips on a jittered grid");
     }
 
@@ -298,10 +276,7 @@ mod tests {
         let before = mesh_quality(&m, &adj, QualityMetric::EdgeLengthRatio);
         swap_until_stable(
             &mut m,
-            SwapOptions {
-                criterion: SwapCriterion::quality(),
-                max_passes: 50,
-            },
+            SwapOptions { criterion: SwapCriterion::quality(), max_passes: 50 },
             None,
         );
         let adj = Adjacency::build(&m);
@@ -332,10 +307,7 @@ mod tests {
         let mut m = generators::perturbed_grid(10, 10, 0.4, 3);
         let report = swap_until_stable(
             &mut m,
-            SwapOptions {
-                criterion: SwapCriterion::Delaunay,
-                max_passes: 1,
-            },
+            SwapOptions { criterion: SwapCriterion::Delaunay, max_passes: 1 },
             None,
         );
         assert_eq!(report.num_passes(), 1);

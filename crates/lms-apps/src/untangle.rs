@@ -48,10 +48,7 @@ pub struct UntangleOptions {
 
 impl Default for UntangleOptions {
     fn default() -> Self {
-        UntangleOptions {
-            max_sweeps: 50,
-            ascent_steps: 12,
-        }
+        UntangleOptions { max_sweeps: 50, ascent_steps: 12 }
     }
 }
 
@@ -148,10 +145,7 @@ fn golden_max(mut f: impl FnMut(f64) -> f64, hi: f64, iters: usize) -> f64 {
 /// Local scale of `v`'s ring: the longest incident edge.
 fn ring_scale(mesh: &TriMesh, adj: &Adjacency, v: u32) -> f64 {
     let pv = mesh.coords()[v as usize];
-    adj.neighbors(v)
-        .iter()
-        .map(|&w| pv.dist(mesh.coords()[w as usize]))
-        .fold(0.0, f64::max)
+    adj.neighbors(v).iter().map(|&w| pv.dist(mesh.coords()[w as usize])).fold(0.0, f64::max)
 }
 
 /// Maximise the min-area objective of vertex `v`; returns the improved
@@ -254,10 +248,8 @@ pub fn untangle(
         // expand by `ring` hops
         let mut affected = frontier.clone();
         for _ in 0..ring {
-            let mut next: Vec<u32> = affected
-                .iter()
-                .flat_map(|&v| adj.neighbors(v).iter().copied())
-                .collect();
+            let mut next: Vec<u32> =
+                affected.iter().flat_map(|&v| adj.neighbors(v).iter().copied()).collect();
             next.extend_from_slice(&affected);
             next.sort_unstable();
             next.dedup();
@@ -289,12 +281,7 @@ pub fn untangle(
         }
     }
 
-    UntangleReport {
-        inverted_before,
-        inverted_after: count_inverted(mesh),
-        sweeps,
-        moves,
-    }
+    UntangleReport { inverted_before, inverted_after: count_inverted(mesh), sweeps, moves }
 }
 
 /// Deterministically tangle `mesh` for tests and benchmarks: every
@@ -381,17 +368,11 @@ mod tests {
         m.orient_ccw();
         tangle_vertices(&mut m, 15);
         let boundary = Boundary::detect(&m);
-        let before: Vec<Point2> = boundary
-            .boundary_vertices()
-            .iter()
-            .map(|&v| m.coords()[v as usize])
-            .collect();
+        let before: Vec<Point2> =
+            boundary.boundary_vertices().iter().map(|&v| m.coords()[v as usize]).collect();
         untangle(&mut m, None, UntangleOptions::default());
-        let after: Vec<Point2> = boundary
-            .boundary_vertices()
-            .iter()
-            .map(|&v| m.coords()[v as usize])
-            .collect();
+        let after: Vec<Point2> =
+            boundary.boundary_vertices().iter().map(|&v| m.coords()[v as usize]).collect();
         assert_eq!(before, after);
     }
 
@@ -411,15 +392,9 @@ mod tests {
     fn max_sweeps_bounds_the_work() {
         let mut m = generators::perturbed_grid(12, 12, 0.25, 6);
         m.orient_ccw();
-        tangle_vertices(&mut m, 10);
-        let report = untangle(
-            &mut m,
-            None,
-            UntangleOptions {
-                max_sweeps: 1,
-                ascent_steps: 2,
-            },
-        );
+        tangle_vertices(&mut m, 3);
+        assert!(count_inverted(&m) > 0, "tangling must invert something for this test");
+        let report = untangle(&mut m, None, UntangleOptions { max_sweeps: 1, ascent_steps: 2 });
         assert_eq!(report.sweeps, 1);
     }
 

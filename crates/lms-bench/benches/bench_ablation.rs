@@ -11,10 +11,9 @@ fn iteration_policy(c: &mut Criterion) {
     let base = suite::generate(&suite::SUITE[2], 0.01); // dialog
     let mut group = c.benchmark_group("ablation_iteration_policy");
     group.sample_size(10);
-    for (name, policy) in [
-        ("storage", IterationPolicy::StorageOrder),
-        ("greedy", IterationPolicy::GreedyQuality),
-    ] {
+    for (name, policy) in
+        [("storage", IterationPolicy::StorageOrder), ("greedy", IterationPolicy::GreedyQuality)]
+    {
         let params = SmoothParams::paper().with_policy(policy).with_max_iters(6);
         group.bench_with_input(BenchmarkId::new("policy", name), &base, |b, m| {
             b.iter(|| params.smooth(&mut m.clone()))
@@ -45,10 +44,7 @@ fn rdr_variants(c: &mut Criterion) {
     for (name, opts) in [
         ("paper", RdrOptions::default()),
         ("single_seed", RdrOptions { global_quality_seeding: false, ..Default::default() }),
-        (
-            "minangle_metric",
-            RdrOptions { metric: QualityMetric::MinAngle, ..Default::default() },
-        ),
+        ("minangle_metric", RdrOptions { metric: QualityMetric::MinAngle, ..Default::default() }),
     ] {
         group.bench_with_input(BenchmarkId::new("rdr", name), &base, |b, m| {
             b.iter(|| rdr_ordering_opts(m, &opts))

@@ -48,10 +48,7 @@ fn swap_orderings(c: &mut Criterion) {
 fn optsmooth_orderings(c: &mut Criterion) {
     let mut group = c.benchmark_group("apps_optsmooth");
     group.sample_size(10);
-    let opts = OptSmoothOptions {
-        max_sweeps: 2,
-        ..OptSmoothOptions::default()
-    };
+    let opts = OptSmoothOptions { max_sweeps: 2, ..OptSmoothOptions::default() };
     for kind in OrderingKind::PAPER_TRIO {
         let m = prepared(kind);
         group.bench_with_input(BenchmarkId::new("ordering", kind.name()), &m, |b, m| {
@@ -67,11 +64,9 @@ fn weighted_laplacian(c: &mut Criterion) {
     let m = prepared(OrderingKind::Rdr);
     for weighting in [Weighting::Uniform, Weighting::InverseEdgeLength, Weighting::EdgeLength] {
         let params = SmoothParams::paper().with_weighting(weighting).with_max_iters(6);
-        group.bench_with_input(
-            BenchmarkId::new("weighting", weighting.name()),
-            &m,
-            |b, m| b.iter(|| params.smooth(&mut m.clone())),
-        );
+        group.bench_with_input(BenchmarkId::new("weighting", weighting.name()), &m, |b, m| {
+            b.iter(|| params.smooth(&mut m.clone()))
+        });
     }
     group.finish();
 }

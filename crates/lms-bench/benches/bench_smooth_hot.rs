@@ -1,0 +1,100 @@
+//! The smoothing hot-path benchmark behind this repo's perf-tracking file
+//! `BENCH_smooth.json`: smart (quality-guarded) smoothing on a 512×512
+//! perturbed grid for 10 sweeps, measured on
+//!
+//! * the **incremental-quality** path (`SmoothEngine::smooth` — quality
+//!   cache, fused candidate scoring, O(moved·deg) stats),
+//! * the **full-recompute** reference (`SmoothEngine::smooth_full_recompute`
+//!   — the pre-incremental engine: double star evaluation per commit test
+//!   plus a whole-mesh quality recompute per sweep),
+//! * the **colored parallel** engine at 1 and 2 threads (deterministic
+//!   in-place Gauss–Seidel).
+//!
+//! Run with `cargo bench -p lms-bench --bench bench_smooth_hot`. Set
+//! `LMS_BENCH_GRID` to override the grid side (default 512). The summary
+//! — median ms per run and the incremental-vs-full speedup — is written to
+//! `BENCH_smooth.json` at the workspace root.
+
+use criterion::{BenchmarkId, Criterion};
+use lms_smooth::{SmoothEngine, SmoothParams};
+
+fn grid_side() -> usize {
+    std::env::var("LMS_BENCH_GRID").ok().and_then(|s| s.parse().ok()).unwrap_or(512)
+}
+
+fn bench_smooth_hot(c: &mut Criterion) {
+    let side = grid_side();
+    let mesh = lms_mesh::generators::perturbed_grid(side, side, 0.35, 42);
+    // fixed 10 sweeps: tol disabled so both paths do identical work
+    let params = SmoothParams::paper().with_smart(true).with_max_iters(10).with_tol(-1.0);
+    let engine = SmoothEngine::new(&mesh, params);
+
+    // correctness gate before timing: the two paths must agree bitwise
+    let mut a = mesh.clone();
+    engine.smooth(&mut a);
+    let mut b = mesh.clone();
+    engine.smooth_full_recompute(&mut b);
+    assert_eq!(a.coords(), b.coords(), "incremental path diverged from reference");
+
+    let mut group = c.benchmark_group("smooth_hot");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("incremental", side), &mesh, |bch, m| {
+        bch.iter(|| {
+            let mut work = m.clone();
+            engine.smooth(&mut work)
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("full_recompute", side), &mesh, |bch, m| {
+        bch.iter(|| {
+            let mut work = m.clone();
+            engine.smooth_full_recompute(&mut work)
+        })
+    });
+    for threads in [1usize, 2] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("colored_{threads}t"), side),
+            &mesh,
+            |bch, m| {
+                bch.iter(|| {
+                    let mut work = m.clone();
+                    engine.smooth_parallel_colored(&mut work, threads)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn export_json(c: &Criterion, side: usize) {
+    let find = |needle: &str, min: bool| {
+        c.summaries()
+            .iter()
+            .find(|s| s.id.contains(needle))
+            .map(|s| if min { s.min_ns / 1e6 } else { s.median_ns / 1e6 })
+            .unwrap_or(f64::NAN)
+    };
+    let incremental_ms = find("incremental", false);
+    let full_ms = find("full_recompute", false);
+    let colored1_ms = find("colored_1t", false);
+    let colored2_ms = find("colored_2t", false);
+    // both runs are deterministic, so background load only ever adds
+    // time: the fastest-sample ratio is the noise-robust speedup
+    // estimate (same reasoning as hyperfine's min / Python timeit docs)
+    let speedup = find("full_recompute", true) / find("incremental", true);
+    let json = format!(
+        "{{\n  \"benchmark\": \"smooth_hot\",\n  \"workload\": \"smart Gauss-Seidel, {side}x{side} perturbed grid (jitter 0.35, seed 42), 10 sweeps\",\n  \"median_ms\": {{\n    \"incremental\": {incremental_ms:.2},\n    \"full_recompute\": {full_ms:.2},\n    \"colored_1_thread\": {colored1_ms:.2},\n    \"colored_2_threads\": {colored2_ms:.2}\n  }},\n  \"min_ms\": {{\n    \"incremental\": {:.2},\n    \"full_recompute\": {:.2}\n  }},\n  \"incremental_speedup_vs_full\": {speedup:.3},\n  \"speedup_estimator\": \"min-vs-min (deterministic workload)\",\n  \"coords_bit_identical_to_reference\": true\n}}\n",
+        find("incremental", true),
+        find("full_recompute", true),
+    );
+    // workspace root (this bench runs with the crate as manifest dir)
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_smooth.json");
+    std::fs::write(&path, &json).expect("write BENCH_smooth.json");
+    println!("\nwrote {} :\n{json}", path.display());
+}
+
+fn main() {
+    let mut criterion = Criterion::new();
+    bench_smooth_hot(&mut criterion);
+    export_json(&criterion, grid_side());
+}

@@ -23,16 +23,12 @@ fn smoothing_by_ordering(c: &mut Criterion) {
         for kind in OrderingKind::PAPER_TRIO {
             let m = ordered_mesh(&base, kind);
             let params = SmoothParams::paper().with_max_iters(8);
-            group.bench_with_input(
-                BenchmarkId::new(spec.name, kind.name()),
-                &m,
-                |b, mesh| {
-                    b.iter(|| {
-                        let mut work = mesh.clone();
-                        params.smooth(&mut work)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(spec.name, kind.name()), &m, |b, mesh| {
+                b.iter(|| {
+                    let mut work = mesh.clone();
+                    params.smooth(&mut work)
+                })
+            });
         }
     }
     group.finish();

@@ -71,7 +71,9 @@ fn parse(args: &[String]) -> Result<Opts, String> {
             it.next().ok_or_else(|| format!("{name} needs a value"))
         };
         match a.as_str() {
-            "--scale" => o.scale = val("--scale")?.parse().map_err(|e| format!("bad --scale: {e}"))?,
+            "--scale" => {
+                o.scale = val("--scale")?.parse().map_err(|e| format!("bad --scale: {e}"))?
+            }
             "--nx" => o.nx = val("--nx")?.parse().map_err(|e| format!("bad --nx: {e}"))?,
             "--ny" => o.ny = val("--ny")?.parse().map_err(|e| format!("bad --ny: {e}"))?,
             "--jitter" => {
@@ -364,8 +366,19 @@ mod tests {
     #[test]
     fn parse_accepts_known_flags() {
         let o = parse(&args(&[
-            "grid", "--nx", "10", "--ny", "12", "--jitter", "0.2", "--seed", "9", "--ordering",
-            "sloan", "--out", "x",
+            "grid",
+            "--nx",
+            "10",
+            "--ny",
+            "12",
+            "--jitter",
+            "0.2",
+            "--seed",
+            "9",
+            "--ordering",
+            "sloan",
+            "--out",
+            "x",
         ]))
         .unwrap();
         assert_eq!(o.positional, vec!["grid"]);

@@ -48,8 +48,8 @@ impl ExpConfig {
         match &self.mesh {
             None => suite::suite(self.scale),
             Some(key) => {
-                let spec = suite::find_spec(key)
-                    .unwrap_or_else(|| panic!("unknown suite mesh {key:?}"));
+                let spec =
+                    suite::find_spec(key).unwrap_or_else(|| panic!("unknown suite mesh {key:?}"));
                 vec![NamedMesh { spec, mesh: suite::generate(spec, self.scale) }]
             }
         }
@@ -111,8 +111,7 @@ pub fn scaled_westmere(scale: f64, layout: NodeLayout) -> lms_cache::CacheHierar
     use lms_cache::{CacheConfig, CacheHierarchy, MemoryConfig};
     let shrink = shrink_factor(scale);
     // keep sizes line-aligned and able to hold at least one full set
-    let scale_bytes =
-        |b: usize, line: usize, assoc: usize| ((b / shrink) / line).max(assoc) * line;
+    let scale_bytes = |b: usize, line: usize, assoc: usize| ((b / shrink) / line).max(assoc) * line;
     CacheHierarchy::new(
         vec![
             CacheConfig {

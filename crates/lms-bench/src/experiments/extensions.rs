@@ -9,8 +9,8 @@ use lms_apps::{
     UntangleOptions,
 };
 use lms_cache::{element_line_trace, NextLinePrefetcher, OptComparison};
-use lms_order::{compute_ordering_with, layout_stats_permuted, OrderingKind};
 use lms_mesh::Adjacency;
+use lms_order::{compute_ordering_with, layout_stats_permuted, OrderingKind};
 use std::fmt::Write as _;
 
 /// `opt`: LRU vs Belady-MIN misses of the first-iteration line trace, per
@@ -91,10 +91,7 @@ pub fn apps(cfg: &ExpConfig) -> String {
 
             // optimization smoothing (few sweeps: per-sweep cost dominates)
             let mut to_opt = base.clone();
-            let opts = OptSmoothOptions {
-                max_sweeps: 3,
-                ..OptSmoothOptions::default()
-            };
+            let opts = OptSmoothOptions { max_sweeps: 3, ..OptSmoothOptions::default() };
             let (_, t_opt) = time_it(|| opt_smooth(&mut to_opt, &opts));
 
             table.row(vec![

@@ -44,9 +44,8 @@ pub fn fig1(cfg: &ExpConfig) -> String {
         hierarchy.run_trace(&trace);
         let l1 = hierarchy.stats_of("L1").expect("L1 exists");
 
-        let (report, wall) = time_it(|| {
-            SmoothParams::paper().with_max_iters(cfg.max_iters).smooth(&mut m.clone())
-        });
+        let (report, wall) =
+            time_it(|| SmoothParams::paper().with_max_iters(cfg.max_iters).smooth(&mut m.clone()));
 
         table.row(vec![
             kind.name().to_string(),
@@ -98,7 +97,8 @@ pub fn fig4(cfg: &ExpConfig) -> String {
         let hi = trace[mid..(mid + 21).min(trace.len())].iter().max().unwrap();
         let _ = writeln!(out, "    window span: {} storage slots", hi - lo);
     }
-    let _ = writeln!(out, "\npaper shape: the BFS window spans far fewer slots than the DFS window.");
+    let _ =
+        writeln!(out, "\npaper shape: the BFS window spans far fewer slots than the DFS window.");
     out
 }
 

@@ -34,7 +34,15 @@ pub fn tlb(cfg: &ExpConfig) -> String {
             "TLB — walk rate of one sweep ({}-entry L1 / {}-entry L2 DTLB), scale {}",
             tlb_config.l1_entries, tlb_config.l2_entries, cfg.scale
         ),
-        &["mesh", "ORI walks", "BFS walks", "RDR walks", "ORI walk rate", "RDR walk rate", "RDR cycles saved vs ORI"],
+        &[
+            "mesh",
+            "ORI walks",
+            "BFS walks",
+            "RDR walks",
+            "ORI walk rate",
+            "RDR walk rate",
+            "RDR cycles saved vs ORI",
+        ],
     );
     for named in cfg.meshes() {
         let mut walks = Vec::new();
@@ -131,8 +139,7 @@ pub fn writeback(cfg: &ExpConfig) -> String {
         let mut wbacks = Vec::new();
         for kind in [OrderingKind::Original, OrderingKind::Rdr] {
             let m = ordered_mesh(&named.mesh, kind);
-            let engine =
-                lms_smooth::SmoothEngine::new(&m, SmoothParams::paper().with_max_iters(1));
+            let engine = lms_smooth::SmoothEngine::new(&m, SmoothParams::paper().with_max_iters(1));
             let trace = first_sweep_trace(&m);
             let heads: Vec<bool> = {
                 let b = engine.boundary();
@@ -147,11 +154,7 @@ pub fn writeback(cfg: &ExpConfig) -> String {
             fills.push(s.fills);
             wbacks.push(s.writebacks + s.drained);
         }
-        let cut = if traffic[0] > 0 {
-            1.0 - traffic[1] as f64 / traffic[0] as f64
-        } else {
-            0.0
-        };
+        let cut = if traffic[0] > 0 { 1.0 - traffic[1] as f64 / traffic[0] as f64 } else { 0.0 };
         table.row(vec![
             named.spec.name.to_string(),
             fills[0].to_string(),
@@ -177,7 +180,11 @@ pub fn parrdr(cfg: &ExpConfig) -> String {
     for named in cfg.meshes() {
         let adj = lms_mesh::Adjacency::build(&named.mesh);
         let mut table = Table::new(
-            format!("Parallel RDR construction — {} ({} vertices)", named.spec.name, named.mesh.num_vertices()),
+            format!(
+                "Parallel RDR construction — {} ({} vertices)",
+                named.spec.name,
+                named.mesh.num_vertices()
+            ),
             &["chunks", "construct ms", "mean span", "smooth ms", "construct speedup"],
         );
         let mut base_ms = 0.0;
@@ -253,8 +260,7 @@ pub fn iter_reorder(cfg: &ExpConfig) -> String {
             }
             let mut sink = VecSink::new();
             engine.smooth_traced(&mut mesh.clone(), &mut sink);
-            let distances =
-                ReuseDistanceAnalyzer::analyze(&sink.accesses, mesh.num_vertices());
+            let distances = ReuseDistanceAnalyzer::analyze(&sink.accesses, mesh.num_vertices());
             let mean_rd = ReuseStats::from_distances(&distances).mean;
             let mut h = cfg.hierarchy();
             h.run_trace(&sink.accesses);

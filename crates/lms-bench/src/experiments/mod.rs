@@ -13,10 +13,40 @@ use crate::common::ExpConfig;
 
 /// All experiment names accepted by [`run`], in run-all order.
 pub const ALL: &[&str] = &[
-    "table1", "fig1", "fig4", "fig5", "fig6", "fig8", "fig9", "table2", "table3", "fig10",
-    "fig11", "fig12", "fig13", "cost", "cost-model", "dynamic", "real-scaling", "opt",
-    "apps", "zoo", "prefetch", "mrc", "growth", "policy", "tlb", "sampled", "writeback",
-    "parrdr", "iter-reorder", "tet", "tet-quality", "tet-scaling",
+    "table1",
+    "fig1",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig8",
+    "fig9",
+    "table2",
+    "table3",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "cost",
+    "cost-model",
+    "dynamic",
+    "real-scaling",
+    "opt",
+    "apps",
+    "zoo",
+    "prefetch",
+    "mrc",
+    "growth",
+    "policy",
+    "tlb",
+    "sampled",
+    "writeback",
+    "parrdr",
+    "iter-reorder",
+    "tet",
+    "tet-quality",
+    "tet-scaling",
+    "engines",
+    "hotpath",
 ];
 
 /// Run one experiment by name; `None` for an unknown name.
@@ -39,6 +69,8 @@ pub fn run(name: &str, cfg: &ExpConfig) -> Option<String> {
         "cost-model" => performance::cost_model(cfg),
         "dynamic" => performance::dynamic_vs_static(cfg),
         "real-scaling" => scaling::real_scaling(cfg),
+        "engines" => scaling::engines(cfg),
+        "hotpath" => performance::hotpath(cfg),
         "opt" => extensions::opt_bound(cfg),
         "apps" => extensions::apps(cfg),
         "zoo" => extensions::ordering_zoo(cfg),
@@ -84,6 +116,6 @@ mod tests {
             assert!(!name.is_empty());
             assert!(seen.insert(name), "duplicate experiment name {name}");
         }
-        assert_eq!(ALL.len(), 32);
+        assert_eq!(ALL.len(), 34);
     }
 }

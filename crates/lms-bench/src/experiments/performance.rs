@@ -5,7 +5,7 @@ use crate::common::{first_sweep_trace, ordered_mesh, time_it, ExpConfig};
 use crate::table::{f, pct, Table};
 use lms_cache::{CostModel, ReuseDistanceAnalyzer, StackDistanceModel};
 use lms_order::{rdr_ordering, OrderingKind};
-use lms_smooth::SmoothParams;
+use lms_smooth::{SmoothEngine, SmoothParams};
 use std::fmt::Write as _;
 
 /// Figure 8: serial execution time of the full smoothing run per mesh and
@@ -54,7 +54,11 @@ pub fn fig8(cfg: &ExpConfig) -> String {
 /// Per-mesh, per-ordering cache miss rates from the Westmere-EX simulator,
 /// driven by the full-application stream (vertex gathers + quality-update
 /// triangle accesses, as in the paper's PAPI measurements).
-fn miss_rates_for(cfg: &ExpConfig, mesh: &lms_mesh::TriMesh, kind: OrderingKind) -> (Vec<f64>, Vec<u64>) {
+fn miss_rates_for(
+    cfg: &ExpConfig,
+    mesh: &lms_mesh::TriMesh,
+    kind: OrderingKind,
+) -> (Vec<f64>, Vec<u64>) {
     let m = ordered_mesh(mesh, kind);
     let sink = crate::common::full_trace_with_quality(&m, cfg.max_iters.min(8));
     let mut h = cfg.hierarchy_for(&m);
@@ -95,12 +99,10 @@ pub fn fig9(cfg: &ExpConfig) -> String {
                 pct(rates[2][lvl]),
             ]);
             if misses[0][lvl] > 0 {
-                reductions_ori[lvl]
-                    .push(1.0 - misses[2][lvl] as f64 / misses[0][lvl] as f64);
+                reductions_ori[lvl].push(1.0 - misses[2][lvl] as f64 / misses[0][lvl] as f64);
             }
             if misses[1][lvl] > 0 {
-                reductions_bfs[lvl]
-                    .push(1.0 - misses[2][lvl] as f64 / misses[1][lvl] as f64);
+                reductions_bfs[lvl].push(1.0 - misses[2][lvl] as f64 / misses[1][lvl] as f64);
             }
         }
     }
@@ -131,7 +133,14 @@ pub fn fig9(cfg: &ExpConfig) -> String {
 pub fn cost(cfg: &ExpConfig) -> String {
     let mut table = Table::new(
         "Section 5.4 — reordering cost vs smoothing iterations",
-        &["mesh", "reorder (ms)", "ORI iter (ms)", "RDR iter (ms)", "cost (iters)", "break-even iters"],
+        &[
+            "mesh",
+            "reorder (ms)",
+            "ORI iter (ms)",
+            "RDR iter (ms)",
+            "cost (iters)",
+            "break-even iters",
+        ],
     );
     for named in cfg.meshes() {
         let (perm, reorder_t) = time_it(|| rdr_ordering(&named.mesh));
@@ -156,7 +165,9 @@ pub fn cost(cfg: &ExpConfig) -> String {
         let _ = table.write_csv(dir, "cost_reordering");
     }
     let mut out = table.render();
-    out.push_str("\npaper: reordering ≈ 1 ORI iteration; pays off beyond ~4 smoothing iterations.\n");
+    out.push_str(
+        "\npaper: reordering ≈ 1 ORI iteration; pays off beyond ~4 smoothing iterations.\n",
+    );
     out
 }
 
@@ -248,6 +259,38 @@ pub fn cost_model(cfg: &ExpConfig) -> String {
     let mut out = table.render();
     out.push_str("\npaper (full scale): ORI 927k, BFS 528k, RDR 210k extra cycles.\n");
     out
+}
+
+/// Serial hot-path audit: smart (quality-guarded) smoothing on the
+/// incremental-quality kernel vs the full-recompute reference, with a
+/// bitwise equality check on the output coordinates.
+pub fn hotpath(cfg: &ExpConfig) -> String {
+    let meshes = cfg.meshes();
+    let mut table = Table::new(
+        "Incremental-quality hot path vs full recompute (smart Gauss-Seidel)",
+        &["mesh", "vertices", "incremental (ms)", "full (ms)", "speedup", "bit-identical"],
+    );
+    for named in meshes.iter().take(4) {
+        let m = &named.mesh;
+        let params = SmoothParams::paper().with_smart(true).with_max_iters(cfg.max_iters);
+        let engine = SmoothEngine::new(m, params);
+        let mut fast = m.clone();
+        let (_, ti) = time_it(|| engine.smooth(&mut fast));
+        let mut slow = m.clone();
+        let (_, tf) = time_it(|| engine.smooth_full_recompute(&mut slow));
+        table.row(vec![
+            named.spec.name.to_string(),
+            m.num_vertices().to_string(),
+            f(ti.as_secs_f64() * 1e3, 1),
+            f(tf.as_secs_f64() * 1e3, 1),
+            f(tf.as_secs_f64() / ti.as_secs_f64(), 2),
+            (fast.coords() == slow.coords()).to_string(),
+        ]);
+    }
+    if let Some(dir) = &cfg.csv_dir {
+        let _ = table.write_csv(dir, "hotpath");
+    }
+    table.render()
 }
 
 #[cfg(test)]

@@ -12,7 +12,12 @@ use std::fmt::Write as _;
 
 /// Simulated wall cycles for (mesh, ordering, p). One sweep's traces are
 /// enough: every sweep has the same access pattern, so ratios are exact.
-fn sim_wall_cycles(cfg: &ExpConfig, mesh: &lms_mesh::TriMesh, kind: OrderingKind, p: usize) -> MulticoreResult {
+fn sim_wall_cycles(
+    cfg: &ExpConfig,
+    mesh: &lms_mesh::TriMesh,
+    kind: OrderingKind,
+    p: usize,
+) -> MulticoreResult {
     let m = ordered_mesh(mesh, kind);
     let traces = crate::common::parallel_sweep_traces_full(&m, p);
     multicore::simulate(&cfg.machine_for(&m), &traces)
@@ -108,8 +113,7 @@ pub fn fig12(cfg: &ExpConfig) -> String {
             let mean: f64 = meshes
                 .iter()
                 .map(|named| {
-                    let base =
-                        sims[&(named.spec.label.to_string(), "ori", 1)].wall_cycles() as f64;
+                    let base = sims[&(named.spec.label.to_string(), "ori", 1)].wall_cycles() as f64;
                     let w =
                         sims[&(named.spec.label.to_string(), kind.name(), p)].wall_cycles() as f64;
                     base / w
@@ -194,6 +198,55 @@ pub fn real_scaling(cfg: &ExpConfig) -> String {
     out
 }
 
+/// Parallel-engine shoot-out on this host: deterministic Jacobi, chaotic
+/// (racy) Gauss–Seidel, and colored deterministic Gauss–Seidel, per
+/// thread count — plus a determinism audit of the colored engine.
+pub fn engines(cfg: &ExpConfig) -> String {
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let meshes = cfg.meshes();
+    let mut table = Table::new(
+        format!("Parallel engines on this host ({host_cores} cores), RDR ordering"),
+        &["mesh", "threads", "jacobi (ms)", "chaotic (ms)", "colored (ms)", "colored q"],
+    );
+    let mut deterministic = true;
+    for named in meshes.iter().take(3) {
+        let m = ordered_mesh(&named.mesh, OrderingKind::Rdr);
+        let engine = SmoothEngine::new(&m, SmoothParams::paper().with_max_iters(cfg.max_iters));
+        let mut reference: Option<Vec<lms_mesh::Point2>> = None;
+        for &p in cfg.threads.iter().filter(|&&p| p <= host_cores.max(2)) {
+            let mut jacobi = m.clone();
+            let (_, tj) = time_it(|| engine.smooth_parallel(&mut jacobi, p));
+            let mut chaotic = m.clone();
+            let (_, tc) = time_it(|| engine.smooth_parallel_chaotic(&mut chaotic, p));
+            let mut colored = m.clone();
+            let (rg, tg) = time_it(|| engine.smooth_parallel_colored(&mut colored, p));
+            match &reference {
+                None => reference = Some(colored.coords().to_vec()),
+                Some(r) => deterministic &= r.as_slice() == colored.coords(),
+            }
+            table.row(vec![
+                named.spec.name.to_string(),
+                p.to_string(),
+                f(tj.as_secs_f64() * 1e3, 1),
+                f(tc.as_secs_f64() * 1e3, 1),
+                f(tg.as_secs_f64() * 1e3, 1),
+                f(rg.final_quality, 4),
+            ]);
+        }
+    }
+    if let Some(dir) = &cfg.csv_dir {
+        let _ = table.write_csv(dir, "parallel_engines");
+    }
+    let mut out = table.render();
+    let _ = writeln!(
+        out,
+        "
+colored engine bitwise-deterministic across thread counts: {}",
+        if deterministic { "yes" } else { "NO (bug!)" }
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,5 +287,12 @@ mod tests {
     fn real_scaling_runs_on_host() {
         let out = real_scaling(&tiny_cfg());
         assert!(out.contains("Real rayon scaling"));
+    }
+
+    #[test]
+    fn engines_reports_deterministic_colored() {
+        let out = engines(&tiny_cfg());
+        assert!(out.contains("colored (ms)"));
+        assert!(out.contains("deterministic across thread counts: yes"));
     }
 }

@@ -84,11 +84,8 @@ pub fn table3(cfg: &ExpConfig) -> String {
             let trace = first_sweep_trace(&m);
             let distances = ReuseDistanceAnalyzer::analyze(&trace, m.num_vertices());
             let outcome = model.apply(&distances, false);
-            let elems: Vec<u64> = outcome
-                .misses
-                .iter()
-                .map(|&n| estimate_max_elements(&distances, n))
-                .collect();
+            let elems: Vec<u64> =
+                outcome.misses.iter().map(|&n| estimate_max_elements(&distances, n)).collect();
             table.row(vec![
                 named.spec.name.to_string(),
                 kind.name().to_string(),
@@ -117,12 +114,7 @@ mod tests {
     use super::*;
 
     fn tiny_cfg() -> ExpConfig {
-        ExpConfig {
-            scale: 0.002,
-            mesh: Some("valve".into()),
-            max_iters: 3,
-            ..Default::default()
-        }
+        ExpConfig { scale: 0.002, mesh: Some("valve".into()), max_iters: 3, ..Default::default() }
     }
 
     #[test]

@@ -130,7 +130,11 @@ pub fn tet_scaling(cfg: &ExpConfig) -> String {
     };
 
     let mut table = Table::new(
-        format!("3D simulated speedup vs serial ORI — {} ({} vertices)", spec.name, base.num_vertices()),
+        format!(
+            "3D simulated speedup vs serial ORI — {} ({} vertices)",
+            spec.name,
+            base.num_vertices()
+        ),
         &["cores", "ORI", "BFS", "RDR"],
     );
     // serial ORI baseline
@@ -161,7 +165,9 @@ pub fn tet_scaling(cfg: &ExpConfig) -> String {
         let _ = table.write_csv(dir, "tet_scaling");
     }
     let mut out = table.render();
-    out.push_str("\nexpected: the Figure 10/12 shape in 3D — speedups grow with cores, RDR/BFS above ORI.\n");
+    out.push_str(
+        "\nexpected: the Figure 10/12 shape in 3D — speedups grow with cores, RDR/BFS above ORI.\n",
+    );
     out
 }
 

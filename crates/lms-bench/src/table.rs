@@ -104,9 +104,14 @@ impl Table {
             }
         };
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| escape(h)).collect::<Vec<_>>().join(",")
+        );
         for row in &self.rows {
-            let _ = writeln!(out, "{}", row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            let _ =
+                writeln!(out, "{}", row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
         }
         out
     }

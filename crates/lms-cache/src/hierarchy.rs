@@ -246,8 +246,8 @@ mod tests {
     #[test]
     fn working_set_between_l1_and_l2_hits_in_l2() {
         let mut c = h(); // L1 1 KiB = 64 coord elements; L2 8 KiB = 512
-        // Cycle over 128 elements (2 KiB > L1, < L2): after warmup, L1
-        // misses but L2 hits.
+                         // Cycle over 128 elements (2 KiB > L1, < L2): after warmup, L1
+                         // misses but L2 hits.
         let trace: Vec<u32> = (0..128).collect();
         for _ in 0..4 {
             c.run_trace(&trace);

@@ -40,8 +40,7 @@ impl MissRatioCurve {
 
         // histogram of finite distances, then misses(c) = cold + #{d >= c}
         // via a single sorted sweep
-        let mut finite: Vec<u64> =
-            distances.iter().copied().filter(|&d| d != COLD).collect();
+        let mut finite: Vec<u64> = distances.iter().copied().filter(|&d| d != COLD).collect();
         finite.sort_unstable();
         let misses = caps
             .iter()

@@ -84,7 +84,9 @@ impl MachineConfig {
     pub fn westmere_scaled(layout: NodeLayout, shrink: usize) -> Self {
         assert!(shrink >= 1);
         // keep sizes line-aligned and able to hold at least one full set
-        let scaled = |c: &CacheConfig| ((c.size_bytes / shrink) / c.line_bytes).max(c.associativity) * c.line_bytes;
+        let scaled = |c: &CacheConfig| {
+            ((c.size_bytes / shrink) / c.line_bytes).max(c.associativity) * c.line_bytes
+        };
         let mut m = MachineConfig::westmere_ex(layout);
         for l in &mut m.private_levels {
             l.size_bytes = scaled(l);
@@ -135,10 +137,7 @@ impl MulticoreResult {
 pub fn simulate(machine: &MachineConfig, thread_traces: &[Vec<u32>]) -> MulticoreResult {
     let p = thread_traces.len();
     assert!(p > 0, "need at least one thread trace");
-    assert!(
-        p <= machine.cores_per_socket * machine.num_sockets,
-        "more threads than cores"
-    );
+    assert!(p <= machine.cores_per_socket * machine.num_sockets, "more threads than cores");
     let line_bytes = machine.shared_level.line_bytes;
 
     // Private caches per thread, shared cache per socket.
@@ -206,7 +205,13 @@ pub fn simulate(machine: &MachineConfig, thread_traces: &[Vec<u32>]) -> Multicor
         shared_stats.misses += st.misses;
     }
 
-    MulticoreResult { num_threads: p, per_thread_cycles: cycles, private_stats, shared_stats, memory_accesses }
+    MulticoreResult {
+        num_threads: p,
+        per_thread_cycles: cycles,
+        private_stats,
+        shared_stats,
+        memory_accesses,
+    }
 }
 
 /// Split a flat element trace into `p` contiguous chunks — the static
@@ -296,7 +301,8 @@ mod tests {
         // memory accesses.
         let trace_a: Vec<u32> = (0..16).flat_map(|_| 0..16u32).collect();
         let trace_b: Vec<u32> = (0..16).flat_map(|_| 16..32u32).collect();
-        let compact = simulate(&small_machine(Affinity::Compact), &[trace_a.clone(), trace_b.clone()]);
+        let compact =
+            simulate(&small_machine(Affinity::Compact), &[trace_a.clone(), trace_b.clone()]);
         let scatter = simulate(&small_machine(Affinity::Scatter), &[trace_a, trace_b]);
         assert!(
             scatter.memory_accesses < compact.memory_accesses,

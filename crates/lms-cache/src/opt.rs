@@ -42,10 +42,7 @@ pub fn next_use_chain(trace: &[u64]) -> Vec<u64> {
 ///
 /// `capacity == 0` degenerates to "every access misses".
 pub fn belady_misses(trace: &[u64], capacity: usize) -> CacheStats {
-    let mut stats = CacheStats {
-        accesses: trace.len() as u64,
-        ..CacheStats::default()
-    };
+    let mut stats = CacheStats { accesses: trace.len() as u64, ..CacheStats::default() };
     if capacity == 0 {
         stats.misses = stats.accesses;
         return stats;
@@ -80,10 +77,7 @@ pub fn belady_misses(trace: &[u64], capacity: usize) -> CacheStats {
 /// same kind of key trace — the apples-to-apples partner of
 /// [`belady_misses`].
 pub fn lru_misses(trace: &[u64], capacity: usize) -> CacheStats {
-    let mut stats = CacheStats {
-        accesses: trace.len() as u64,
-        ..CacheStats::default()
-    };
+    let mut stats = CacheStats { accesses: trace.len() as u64, ..CacheStats::default() };
     if capacity == 0 {
         stats.misses = stats.accesses;
         return stats;
@@ -230,11 +224,7 @@ mod tests {
         let lru = lru_misses(&trace, 4);
         let opt = belady_misses(&trace, 4);
         assert_eq!(lru.misses, 400, "LRU thrashes the cyclic scan");
-        assert!(
-            opt.misses < 400 / 3,
-            "OPT must mostly hit, got {} misses",
-            opt.misses
-        );
+        assert!(opt.misses < 400 / 3, "OPT must mostly hit, got {} misses", opt.misses);
     }
 
     #[test]

@@ -192,8 +192,7 @@ mod tests {
     fn random_policy_is_deterministic_in_its_seed() {
         let trace = pseudo_trace(2000, 500, 3);
         let run = |seed| {
-            PolicyCache::new(cfg(4, 16), ReplacementPolicy::Random { seed })
-                .run_line_trace(&trace)
+            PolicyCache::new(cfg(4, 16), ReplacementPolicy::Random { seed }).run_line_trace(&trace)
         };
         assert_eq!(run(1), run(1));
         // different seed → almost certainly different victim choices
@@ -204,11 +203,9 @@ mod tests {
     fn all_policies_agree_when_no_eviction_happens() {
         // working set fits: policy is irrelevant
         let trace: Vec<u64> = (0..16).chain(0..16).collect();
-        for policy in [
-            ReplacementPolicy::Lru,
-            ReplacementPolicy::Fifo,
-            ReplacementPolicy::Random { seed: 5 },
-        ] {
+        for policy in
+            [ReplacementPolicy::Lru, ReplacementPolicy::Fifo, ReplacementPolicy::Random { seed: 5 }]
+        {
             let stats = PolicyCache::new(cfg(16, 16), policy).run_line_trace(&trace);
             assert_eq!(stats.hits, 16, "{}", policy.name());
             assert_eq!(stats.misses, 16, "{}", policy.name());
@@ -223,8 +220,8 @@ mod tests {
         let trace: Vec<u64> = (0..1000u64).map(|i| (i % 5) * 8).collect(); // 8 sets: all map to set 0
         let lru = PolicyCache::new(cfg(4, 32), ReplacementPolicy::Lru).run_line_trace(&trace);
         let fifo = PolicyCache::new(cfg(4, 32), ReplacementPolicy::Fifo).run_line_trace(&trace);
-        let rnd =
-            PolicyCache::new(cfg(4, 32), ReplacementPolicy::Random { seed: 11 }).run_line_trace(&trace);
+        let rnd = PolicyCache::new(cfg(4, 32), ReplacementPolicy::Random { seed: 11 })
+            .run_line_trace(&trace);
         assert_eq!(lru.hits, 0);
         assert_eq!(fifo.hits, 0);
         assert!(rnd.hits > 100, "random replacement should escape thrash, got {}", rnd.hits);

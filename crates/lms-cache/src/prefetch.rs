@@ -129,10 +129,8 @@ mod tests {
         let l1 = pf.stats_of("L1").unwrap();
         // demand accesses = lines touched by the trace, not fills
         let line_bytes = 64;
-        let expected: u64 = trace
-            .iter()
-            .map(|&i| pf.layout().lines_of(i, line_bytes).count() as u64)
-            .sum();
+        let expected: u64 =
+            trace.iter().map(|&i| pf.layout().lines_of(i, line_bytes).count() as u64).sum();
         assert_eq!(l1.accesses, expected);
     }
 

@@ -173,7 +173,8 @@ mod tests {
         for n_elems in [3u32, 8, 17] {
             let trace: Vec<u32> = (0..300)
                 .map(|_| {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    state =
+                        state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                     ((state >> 33) % n_elems as u64) as u32
                 })
                 .collect();

@@ -130,10 +130,7 @@ mod tests {
         let trace = cyclic_trace(4096, 2);
         let s = sampled_distances(&trace, 4096, 3, 42); // R = 1/8
         let frac = s.sample_fraction();
-        assert!(
-            (0.06..0.20).contains(&frac),
-            "expected ≈ 1/8 of accesses monitored, got {frac}"
-        );
+        assert!((0.06..0.20).contains(&frac), "expected ≈ 1/8 of accesses monitored, got {frac}");
     }
 
     #[test]

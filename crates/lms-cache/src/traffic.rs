@@ -226,9 +226,8 @@ mod tests {
         // Two layouts of the same write stream: a working set that fits
         // keeps dirty lines resident; scattered writes bounce them.
         let cfg = tiny(16);
-        let seq: Vec<RwAccess> = (0..4096u32)
-            .map(|i| RwAccess { elem: i % 8, write: true })
-            .collect();
+        let seq: Vec<RwAccess> =
+            (0..4096u32).map(|i| RwAccess { elem: i % 8, write: true }).collect();
         let scattered: Vec<RwAccess> = (0..4096u32)
             .map(|i| RwAccess { elem: i.wrapping_mul(2654435761) % 4096, write: true })
             .collect();

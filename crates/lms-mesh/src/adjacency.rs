@@ -47,30 +47,57 @@ impl Adjacency {
             }
         }
 
-        // vertex -> vertices: directed edge pairs, sorted, deduplicated.
-        let mut pairs = Vec::with_capacity(6 * nt);
+        // vertex -> vertices: counting-sort the directed edges into
+        // per-vertex CSR rows, then sort/dedup each short row. Replaces
+        // the old global `sort_unstable` + `dedup` over all 6T directed
+        // pairs — O(E log E) on the whole edge array — with O(E) bucketing
+        // plus O(Σ deg·log deg) row sorts over ~6-entry rows.
+        let mut raw_offsets = vec![0u32; n + 1];
         for tri in mesh.triangles() {
-            let [a, b, c] = *tri;
-            pairs.push((a, b));
-            pairs.push((b, a));
-            pairs.push((b, c));
-            pairs.push((c, b));
-            pairs.push((c, a));
-            pairs.push((a, c));
-        }
-        pairs.sort_unstable();
-        pairs.dedup();
-
-        let mut vv_offsets = vec![0u32; n + 1];
-        for &(a, _) in &pairs {
-            vv_offsets[a as usize + 1] += 1;
+            for &v in tri {
+                raw_offsets[v as usize + 1] += 2;
+            }
         }
         for i in 0..n {
-            vv_offsets[i + 1] += vv_offsets[i];
+            raw_offsets[i + 1] += raw_offsets[i];
         }
-        let vv_neighbors = pairs.into_iter().map(|(_, b)| b).collect();
+        let mut buf = vec![0u32; raw_offsets[n] as usize];
+        let mut cursor: Vec<u32> = raw_offsets[..n].to_vec();
+        let push = |cursor: &mut [u32], buf: &mut [u32], v: u32, w: u32| {
+            let c = &mut cursor[v as usize];
+            buf[*c as usize] = w;
+            *c += 1;
+        };
+        for tri in mesh.triangles() {
+            let [a, b, c] = *tri;
+            push(&mut cursor, &mut buf, a, b);
+            push(&mut cursor, &mut buf, a, c);
+            push(&mut cursor, &mut buf, b, a);
+            push(&mut cursor, &mut buf, b, c);
+            push(&mut cursor, &mut buf, c, a);
+            push(&mut cursor, &mut buf, c, b);
+        }
+        // per-row sort + dedup, compacting in place (write cursor never
+        // overtakes the read cursor)
+        let mut vv_offsets = vec![0u32; n + 1];
+        let mut write = 0usize;
+        for v in 0..n {
+            let (lo, hi) = (raw_offsets[v] as usize, raw_offsets[v + 1] as usize);
+            buf[lo..hi].sort_unstable();
+            let mut prev = u32::MAX;
+            for read in lo..hi {
+                let x = buf[read];
+                if x != prev {
+                    buf[write] = x;
+                    write += 1;
+                    prev = x;
+                }
+            }
+            vv_offsets[v + 1] = write as u32;
+        }
+        buf.truncate(write);
 
-        Adjacency { vv_offsets, vv_neighbors, vt_offsets, vt_triangles }
+        Adjacency { vv_offsets, vv_neighbors: buf, vt_offsets, vt_triangles }
     }
 
     /// Number of vertices the adjacency was built for.
@@ -99,6 +126,16 @@ impl Adjacency {
     #[inline]
     pub fn degree(&self, v: u32) -> usize {
         self.neighbors(v).len()
+    }
+
+    /// Start position of `v`'s incident-triangle slice within the flat
+    /// vertex→triangle CSR array — lets callers maintain side tables
+    /// aligned with the concatenation of all [`triangles_of`] slices.
+    ///
+    /// [`triangles_of`]: Self::triangles_of
+    #[inline]
+    pub fn triangles_offset(&self, v: u32) -> usize {
+        self.vt_offsets[v as usize] as usize
     }
 
     /// Total number of stored directed neighbour entries (2 × #edges).

@@ -112,9 +112,7 @@ mod tests {
             let th = 2.0 * std::f64::consts::PI * k as f64 / n as f64;
             coords.push(Point2::new(th.cos(), th.sin()));
         }
-        let tris = (0..n)
-            .map(|k| [0u32, 1 + k as u32, 1 + ((k + 1) % n) as u32])
-            .collect();
+        let tris = (0..n).map(|k| [0u32, 1 + k as u32, 1 + ((k + 1) % n) as u32]).collect();
         TriMesh::new(coords, tris).unwrap()
     }
 

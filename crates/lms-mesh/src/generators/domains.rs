@@ -66,7 +66,8 @@ impl Shape {
             Shape::Capsule { a, b, r } => {
                 let ab = b - a;
                 let len_sq = ab.norm_sq();
-                let t = if len_sq == 0.0 { 0.0 } else { ((p - a).dot(ab) / len_sq).clamp(0.0, 1.0) };
+                let t =
+                    if len_sq == 0.0 { 0.0 } else { ((p - a).dot(ab) / len_sq).clamp(0.0, 1.0) };
                 p.dist(a.lerp(b, t)) <= r
             }
         }
@@ -79,14 +80,12 @@ impl Shape {
             Shape::Ellipse { center, rx, ry } => {
                 (center - Point2::new(rx, ry), center + Point2::new(rx, ry))
             }
-            Shape::Annulus { center, r_outer, .. }
-            | Shape::CShape { center, r_outer, .. } => {
+            Shape::Annulus { center, r_outer, .. } | Shape::CShape { center, r_outer, .. } => {
                 (center - Point2::new(r_outer, r_outer), center + Point2::new(r_outer, r_outer))
             }
-            Shape::WavyStrip { x0, x1, amplitude, half_width, .. } => (
-                Point2::new(x0, -amplitude - half_width),
-                Point2::new(x1, amplitude + half_width),
-            ),
+            Shape::WavyStrip { x0, x1, amplitude, half_width, .. } => {
+                (Point2::new(x0, -amplitude - half_width), Point2::new(x1, amplitude + half_width))
+            }
             Shape::Capsule { a, b, r } => {
                 (a.min(b) - Point2::new(r, r), a.max(b) + Point2::new(r, r))
             }
@@ -211,7 +210,10 @@ pub fn carved_grid(domain: &Domain, target_vertices: usize, jitter: f64, seed: u
     for (t, tri) in grid.triangles().iter().enumerate() {
         let [a, b, c] = grid.tri_coords(t);
         let centroid = (a + b + c) / 3.0;
-        if domain.contains(a) && domain.contains(b) && domain.contains(c) && domain.contains(centroid)
+        if domain.contains(a)
+            && domain.contains(b)
+            && domain.contains(c)
+            && domain.contains(centroid)
         {
             tris.push(*tri);
             for &v in tri {
@@ -281,7 +283,13 @@ mod tests {
 
     #[test]
     fn wavy_strip_follows_sine() {
-        let s = Shape::WavyStrip { x0: 0.0, x1: 10.0, amplitude: 1.0, wavelength: 5.0, half_width: 0.2 };
+        let s = Shape::WavyStrip {
+            x0: 0.0,
+            x1: 10.0,
+            amplitude: 1.0,
+            wavelength: 5.0,
+            half_width: 0.2,
+        };
         let mid = (2.0 * std::f64::consts::PI * 1.25 / 5.0).sin();
         assert!(s.contains(p(1.25, mid)));
         assert!(!s.contains(p(1.25, mid + 0.5)));
@@ -306,7 +314,9 @@ mod tests {
 
     #[test]
     fn fill_fractions_are_sane() {
-        assert!((Shape::Rect { lo: p(0.0, 0.0), hi: p(1.0, 1.0) }.fill_fraction() - 1.0).abs() < 1e-12);
+        assert!(
+            (Shape::Rect { lo: p(0.0, 0.0), hi: p(1.0, 1.0) }.fill_fraction() - 1.0).abs() < 1e-12
+        );
         let ell = Shape::Ellipse { center: p(0.0, 0.0), rx: 1.0, ry: 1.0 };
         assert!((ell.fill_fraction() - std::f64::consts::FRAC_PI_4).abs() < 1e-12);
         let ann = Shape::Annulus { center: p(0.0, 0.0), r_inner: 1.0, r_outer: 2.0 };
@@ -318,10 +328,7 @@ mod tests {
         let d = Domain::new(Shape::Ellipse { center: p(0.0, 0.0), rx: 2.0, ry: 1.0 });
         let m = carved_grid(&d, 3000, 0.3, 5);
         let n = m.num_vertices();
-        assert!(
-            (1800..=4500).contains(&n),
-            "expected roughly 3000 vertices, got {n}"
-        );
+        assert!((1800..=4500).contains(&n), "expected roughly 3000 vertices, got {n}");
         assert!(m.is_ccw());
     }
 
@@ -337,17 +344,14 @@ mod tests {
     #[test]
     fn carved_grid_with_hole_changes_topology() {
         let solid = Domain::new(Shape::Rect { lo: p(0.0, 0.0), hi: p(1.0, 1.0) });
-        let holed = solid
-            .clone()
-            .with_hole(Shape::Ellipse { center: p(0.5, 0.5), rx: 0.2, ry: 0.2 });
+        let holed =
+            solid.clone().with_hole(Shape::Ellipse { center: p(0.5, 0.5), rx: 0.2, ry: 0.2 });
         let ms = carved_grid(&solid, 2500, 0.25, 3);
         let mh = carved_grid(&holed, 2500, 0.25, 3);
         assert_eq!(ms.euler_characteristic(), 1, "solid square is a disk");
         assert_eq!(mh.euler_characteristic(), 0, "holed square is an annulus");
         // The hole adds boundary vertices.
-        assert!(
-            Boundary::detect(&mh).num_boundary() > Boundary::detect(&ms).num_boundary()
-        );
+        assert!(Boundary::detect(&mh).num_boundary() > Boundary::detect(&ms).num_boundary());
     }
 
     #[test]

@@ -15,10 +15,7 @@ pub fn structured_grid(nx: usize, ny: usize) -> TriMesh {
     let mut coords = Vec::with_capacity(nx * ny);
     for j in 0..ny {
         for i in 0..nx {
-            coords.push(Point2::new(
-                i as f64 / (nx - 1) as f64,
-                j as f64 / (ny - 1) as f64,
-            ));
+            coords.push(Point2::new(i as f64 / (nx - 1) as f64, j as f64 / (ny - 1) as f64));
         }
     }
     let mut tris = Vec::with_capacity(2 * (nx - 1) * (ny - 1));
@@ -57,12 +54,8 @@ fn grading_field(u: f64, v: f64) -> f64 {
     // the target quality, with concentrated low-quality areas near domain
     // features. The concentrated distribution is what makes quality-driven
     // traversals (RDR, greedy smoothing) spatially coherent.
-    const CENTERS: [(f64, f64, f64); 4] = [
-        (0.22, 0.31, 0.11),
-        (0.71, 0.18, 0.09),
-        (0.45, 0.74, 0.13),
-        (0.86, 0.62, 0.08),
-    ];
+    const CENTERS: [(f64, f64, f64); 4] =
+        [(0.22, 0.31, 0.11), (0.71, 0.18, 0.09), (0.45, 0.74, 0.13), (0.86, 0.62, 0.08)];
     let mut bump: f64 = 0.0;
     for (cu, cv, w) in CENTERS {
         let r2 = ((u - cu) / w).powi(2) + ((v - cv) / w).powi(2);

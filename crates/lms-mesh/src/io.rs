@@ -21,9 +21,7 @@ fn io_err(e: std::io::Error) -> MeshError {
 
 /// Iterate non-comment, non-empty lines of a Triangle-format file.
 fn significant_lines(text: &str) -> impl Iterator<Item = &str> {
-    text.lines()
-        .map(|l| l.split('#').next().unwrap_or("").trim())
-        .filter(|l| !l.is_empty())
+    text.lines().map(|l| l.split('#').next().unwrap_or("").trim()).filter(|l| !l.is_empty())
 }
 
 /// Serialise vertex coordinates in Triangle `.node` format.
@@ -51,10 +49,8 @@ pub fn read_node(mut r: impl Read) -> Result<Vec<Point2>, MeshError> {
     let mut lines = significant_lines(&text);
     let header = lines.next().ok_or_else(|| parse_err("empty .node file"))?;
     let mut h = header.split_whitespace();
-    let n: usize = h
-        .next()
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| parse_err("bad .node header"))?;
+    let n: usize =
+        h.next().and_then(|s| s.parse().ok()).ok_or_else(|| parse_err("bad .node header"))?;
     let dim: usize = h.next().and_then(|s| s.parse().ok()).unwrap_or(2);
     if dim != 2 {
         return Err(parse_err(format!("expected 2D .node file, got dim {dim}")));
@@ -99,10 +95,8 @@ pub fn read_ele(mut r: impl Read) -> Result<Vec<[u32; 3]>, MeshError> {
     let mut lines = significant_lines(&text);
     let header = lines.next().ok_or_else(|| parse_err("empty .ele file"))?;
     let mut h = header.split_whitespace();
-    let n: usize = h
-        .next()
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| parse_err("bad .ele header"))?;
+    let n: usize =
+        h.next().and_then(|s| s.parse().ok()).ok_or_else(|| parse_err("bad .ele header"))?;
     let per: usize = h.next().and_then(|s| s.parse().ok()).unwrap_or(3);
     if per != 3 {
         return Err(parse_err(format!("expected 3 nodes per element, got {per}")));
@@ -145,12 +139,9 @@ pub fn save_triangle(mesh: &TriMesh, prefix: impl AsRef<Path>) -> Result<(), Mes
 /// Read a mesh from `<prefix>.node` + `<prefix>.ele`.
 pub fn load_triangle(prefix: impl AsRef<Path>) -> Result<TriMesh, MeshError> {
     let prefix = prefix.as_ref();
-    let coords = read_node(BufReader::new(
-        File::open(prefix.with_extension("node")).map_err(io_err)?,
-    ))?;
-    let tris = read_ele(BufReader::new(
-        File::open(prefix.with_extension("ele")).map_err(io_err)?,
-    ))?;
+    let coords =
+        read_node(BufReader::new(File::open(prefix.with_extension("node")).map_err(io_err)?))?;
+    let tris = read_ele(BufReader::new(File::open(prefix.with_extension("ele")).map_err(io_err)?))?;
     TriMesh::new(coords, tris)
 }
 
@@ -172,24 +163,17 @@ pub fn read_off(r: impl Read) -> Result<TriMesh, MeshError> {
     let mut reader = BufReader::new(r);
     let mut text = String::new();
     reader.read_to_string(&mut text).map_err(io_err)?;
-    let mut lines = text
-        .lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'));
+    let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with('#'));
     let magic = lines.next().ok_or_else(|| parse_err("empty OFF file"))?;
     if magic != "OFF" {
         return Err(parse_err(format!("bad OFF magic {magic:?}")));
     }
     let counts = lines.next().ok_or_else(|| parse_err("missing OFF counts"))?;
     let mut c = counts.split_whitespace();
-    let nv: usize = c
-        .next()
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| parse_err("bad OFF vertex count"))?;
-    let nf: usize = c
-        .next()
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| parse_err("bad OFF face count"))?;
+    let nv: usize =
+        c.next().and_then(|s| s.parse().ok()).ok_or_else(|| parse_err("bad OFF vertex count"))?;
+    let nf: usize =
+        c.next().and_then(|s| s.parse().ok()).ok_or_else(|| parse_err("bad OFF face count"))?;
     let mut coords = Vec::with_capacity(nv);
     for k in 0..nv {
         let line = lines.next().ok_or_else(|| parse_err(format!("missing vertex {k}")))?;

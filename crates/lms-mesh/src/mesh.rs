@@ -186,19 +186,19 @@ pub fn figure5_mesh() -> TriMesh {
     // Two rows of a triangulated strip plus a fan — 13 vertices, irregular
     // degrees, a mix of interior and boundary vertices.
     let coords = vec![
-        Point2::new(0.0, 0.0),  // 0
-        Point2::new(1.0, 0.0),  // 1
-        Point2::new(2.0, 0.0),  // 2
-        Point2::new(3.0, 0.0),  // 3
-        Point2::new(0.5, 1.0),  // 4
-        Point2::new(1.5, 1.0),  // 5
-        Point2::new(2.5, 1.0),  // 6
-        Point2::new(0.0, 2.0),  // 7
-        Point2::new(1.0, 2.0),  // 8
-        Point2::new(2.0, 2.0),  // 9
-        Point2::new(3.0, 2.0),  // 10
-        Point2::new(1.0, 3.0),  // 11
-        Point2::new(2.0, 3.0),  // 12
+        Point2::new(0.0, 0.0), // 0
+        Point2::new(1.0, 0.0), // 1
+        Point2::new(2.0, 0.0), // 2
+        Point2::new(3.0, 0.0), // 3
+        Point2::new(0.5, 1.0), // 4
+        Point2::new(1.5, 1.0), // 5
+        Point2::new(2.5, 1.0), // 6
+        Point2::new(0.0, 2.0), // 7
+        Point2::new(1.0, 2.0), // 8
+        Point2::new(2.0, 2.0), // 9
+        Point2::new(3.0, 2.0), // 10
+        Point2::new(1.0, 3.0), // 11
+        Point2::new(2.0, 3.0), // 12
     ];
     let triangles = vec![
         [0, 1, 4],

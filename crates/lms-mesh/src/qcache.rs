@@ -1,0 +1,482 @@
+//! Incremental per-triangle quality cache — the smoothing hot path's
+//! answer to "what did this move do to the mesh quality?".
+//!
+//! [`quality::mesh_quality`] walks every triangle and every vertex; calling
+//! it once per sweep (as a naive Algorithm 1 does for its convergence test)
+//! makes the *bookkeeping* cost O(T) per iteration even when only a handful
+//! of vertices moved. But a vertex move can only change the quality of its
+//! ≤ deg(v) incident triangles, and the global quality is a fixed linear
+//! functional of the per-triangle qualities:
+//!
+//! ```text
+//! mesh_quality = (1/V) · Σ_v (Σ_{t ∋ v} q_t) / deg_t(v)
+//!              = (1/V) · Σ_t q_t · w_t      with w_t = Σ_{v ∈ t} 1/deg_t(v)
+//! ```
+//!
+//! [`QualityCache`] stores each triangle's current quality twice — the
+//! raw value `q` (what the global statistic sums) and the
+//! orientation-guarded value `g` (`0` when the triangle is inverted; what
+//! the smart-smoothing commit test averages) — plus the constant weights
+//! `w_t` and the running weighted sum with Neumaier compensation.
+//!
+//! Engines update it three ways:
+//!
+//! * **immediately** ([`set_tri`](QualityCache::set_tri)) when the new
+//!   triangle values are already in hand — the smart Gauss–Seidel sweep
+//!   computes them for its commit test anyway;
+//! * **by moved-vertex list** ([`apply_moves`](QualityCache::apply_moves))
+//!   when moves commit without evaluation (plain sweeps, Jacobi sweeps
+//!   where a triangle can have several moved corners): a sparse move set
+//!   re-scores the incident triangles once each, a dense one falls back to
+//!   a sequential full re-score ([`rescore_all`](QualityCache::rescore_all))
+//!   with no per-triangle bookkeeping at all;
+//! * **lazily** ([`mark_dirty`](QualityCache::mark_dirty) +
+//!   [`flush_dirty`](QualityCache::flush_dirty)) for callers that know
+//!   exactly which triangles changed.
+//!
+//! Two quality read-outs with different contracts:
+//! [`quality_running`](QualityCache::quality_running) is O(1) and within a
+//! few ulps of the truth (compensated summation) — right for per-iteration
+//! convergence tests; [`quality_exact`](QualityCache::quality_exact)
+//! re-reduces the cached per-triangle values in the canonical order of
+//! [`quality::mesh_quality`] and is **bit-identical** to a from-scratch
+//! recompute — right for reported final qualities and for tests.
+
+use crate::adjacency::Adjacency;
+use crate::geometry::{signed_area, Point2};
+use crate::mesh::TriMesh;
+use crate::quality::{self, QualityMetric};
+
+/// Cached per-triangle qualities with an incrementally-maintained global
+/// quality. See the module docs for the update protocol.
+///
+/// Invariant (holds for all three [`QualityMetric`]s): a triangle with
+/// strictly positive signed area has strictly positive quality, so the
+/// guarded value `g` is zero **iff** the triangle is degenerate or
+/// inverted — orientation never needs separate storage.
+#[derive(Debug, Clone)]
+pub struct QualityCache {
+    metric: QualityMetric,
+    /// Current quality of each triangle (exactly the value
+    /// [`quality::triangle_qualities`] would produce).
+    tri_q: Vec<f64>,
+    /// Orientation-guarded quality: `tri_q[t]` when positively oriented,
+    /// `0.0` otherwise.
+    tri_g: Vec<f64>,
+    /// Constant weight `w_t = Σ_{v ∈ t} 1/deg_t(v)` of each triangle in
+    /// the global quality.
+    tri_w: Vec<f64>,
+    num_vertices: usize,
+    /// Neumaier-compensated running `Σ_t tri_q[t] · tri_w[t]`.
+    sum: f64,
+    comp: f64,
+    /// Epoch-stamped dirty set (no clearing between flushes).
+    dirty_stamp: Vec<u32>,
+    dirty: Vec<u32>,
+    epoch: u32,
+}
+
+impl QualityCache {
+    /// Score one triangle on `coords`: `(quality, positively_oriented)`.
+    #[inline]
+    pub fn score(metric: QualityMetric, coords: &[Point2], tri: [u32; 3]) -> (f64, bool) {
+        let [a, b, c] = tri;
+        let (pa, pb, pc) = (coords[a as usize], coords[b as usize], coords[c as usize]);
+        (metric.triangle_quality(pa, pb, pc), signed_area(pa, pb, pc) > 0.0)
+    }
+
+    /// [`score`](Self::score) with vertex `v`'s position overridden by
+    /// `pos_v` — the flattened form of the old closure-based
+    /// `local_quality_with`, used for candidate evaluation.
+    #[inline]
+    pub fn score_with(
+        metric: QualityMetric,
+        coords: &[Point2],
+        tri: [u32; 3],
+        v: u32,
+        pos_v: Point2,
+    ) -> (f64, bool) {
+        let [a, b, c] = tri;
+        let pa = if a == v { pos_v } else { coords[a as usize] };
+        let pb = if b == v { pos_v } else { coords[b as usize] };
+        let pc = if c == v { pos_v } else { coords[c as usize] };
+        (metric.triangle_quality(pa, pb, pc), signed_area(pa, pb, pc) > 0.0)
+    }
+
+    /// Build the cache for `mesh` (scores every triangle once).
+    pub fn build(mesh: &TriMesh, adj: &Adjacency, metric: QualityMetric) -> Self {
+        let nt = mesh.num_triangles();
+        let n = mesh.num_vertices();
+        assert_eq!(n, adj.num_vertices(), "adjacency was built for a different mesh");
+
+        let mut tri_w = Vec::with_capacity(nt);
+        for tri in mesh.triangles() {
+            let w: f64 = tri.iter().map(|&v| 1.0 / adj.triangles_of(v).len() as f64).sum();
+            tri_w.push(w);
+        }
+
+        let mut cache = QualityCache {
+            metric,
+            tri_q: vec![0.0; nt],
+            tri_g: vec![0.0; nt],
+            tri_w,
+            num_vertices: n,
+            sum: 0.0,
+            comp: 0.0,
+            dirty_stamp: vec![0; nt],
+            dirty: Vec::new(),
+            epoch: 1,
+        };
+        cache.rescore_all(mesh.coords(), mesh.triangles());
+        cache
+    }
+
+    /// Neumaier-compensated accumulate.
+    #[inline]
+    fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.comp += (self.sum - t) + x;
+        } else {
+            self.comp += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// The metric the cache scores with.
+    #[inline]
+    pub fn metric(&self) -> QualityMetric {
+        self.metric
+    }
+
+    /// Number of cached triangles.
+    #[inline]
+    pub fn num_triangles(&self) -> usize {
+        self.tri_q.len()
+    }
+
+    /// Current cached quality of triangle `t`.
+    #[inline]
+    pub fn tri_quality(&self, t: u32) -> f64 {
+        self.tri_q[t as usize]
+    }
+
+    /// Whether triangle `t` is currently positively oriented (via the
+    /// guarded-value invariant — see the type docs).
+    #[inline]
+    pub fn tri_is_positive(&self, t: u32) -> bool {
+        self.tri_g[t as usize] > 0.0
+    }
+
+    /// Orientation-guarded quality of triangle `t`: 0 when inverted —
+    /// the value the smart-smoothing guard averages over a vertex star.
+    #[inline]
+    pub fn guarded_quality(&self, t: u32) -> f64 {
+        self.tri_g[t as usize]
+    }
+
+    /// The cached per-triangle qualities (index = triangle id).
+    #[inline]
+    pub fn tri_qualities(&self) -> &[f64] {
+        &self.tri_q
+    }
+
+    /// Overwrite triangle `t`'s cached state with freshly-scored values,
+    /// updating the running sum by the delta.
+    #[inline]
+    pub fn set_tri(&mut self, t: u32, q: f64, pos: bool) {
+        debug_assert!(
+            q > 0.0 || !pos,
+            "metric invariant violated: positive orientation with zero quality"
+        );
+        let i = t as usize;
+        let w = self.tri_w[i];
+        let delta = q * w - self.tri_q[i] * w;
+        if delta != 0.0 {
+            self.add(delta);
+        }
+        self.tri_q[i] = q;
+        self.tri_g[i] = if pos { q } else { 0.0 };
+    }
+
+    /// Batch form of [`set_tri`](Self::set_tri) for one vertex star:
+    /// `scores[k]` is the fresh `(quality, positively_oriented)` of
+    /// triangle `ts[k]`. The per-triangle deltas are tiny and few (≤ the
+    /// vertex degree), so they are accumulated plainly and folded into the
+    /// running sum with a single compensated add.
+    #[inline]
+    pub fn set_star(&mut self, ts: &[u32], scores: &[(f64, bool)]) {
+        debug_assert_eq!(ts.len(), scores.len());
+        let mut delta = 0.0;
+        for (&t, &(q, pos)) in ts.iter().zip(scores) {
+            debug_assert!(
+                q > 0.0 || !pos,
+                "metric invariant violated: positive orientation with zero quality"
+            );
+            let i = t as usize;
+            let w = self.tri_w[i];
+            delta += q * w - self.tri_q[i] * w;
+            self.tri_q[i] = q;
+            self.tri_g[i] = if pos { q } else { 0.0 };
+        }
+        if delta != 0.0 {
+            self.add(delta);
+        }
+    }
+
+    /// Re-score **every** triangle sequentially and rebuild the running
+    /// sum from scratch (same accumulation order as [`build`](Self::build)).
+    /// The dense-update path: no per-triangle bookkeeping, pure streaming.
+    pub fn rescore_all(&mut self, coords: &[Point2], triangles: &[[u32; 3]]) {
+        assert_eq!(triangles.len(), self.tri_q.len(), "triangle count changed");
+        self.sum = 0.0;
+        self.comp = 0.0;
+        for (i, tri) in triangles.iter().enumerate() {
+            let (q, pos) = Self::score(self.metric, coords, *tri);
+            self.tri_q[i] = q;
+            self.tri_g[i] = if pos { q } else { 0.0 };
+            self.add(q * self.tri_w[i]);
+        }
+    }
+
+    /// Fold a sweep's committed moves into the cache: sparse move sets
+    /// re-score each incident triangle once, dense ones (≥ ~¼ of the
+    /// vertices) fall back to the cheaper streaming
+    /// [`rescore_all`](Self::rescore_all).
+    pub fn apply_moves(
+        &mut self,
+        moved: &[u32],
+        adj: &Adjacency,
+        coords: &[Point2],
+        triangles: &[[u32; 3]],
+    ) {
+        if moved.len() * 4 >= self.num_vertices {
+            self.rescore_all(coords, triangles);
+            return;
+        }
+        for &v in moved {
+            self.mark_incident_dirty(v, adj);
+        }
+        self.flush_dirty(coords, triangles);
+    }
+
+    /// Queue triangle `t` for the next [`flush_dirty`](Self::flush_dirty)
+    /// (deduplicated; O(1)).
+    #[inline]
+    pub fn mark_dirty(&mut self, t: u32) {
+        if self.dirty_stamp[t as usize] != self.epoch {
+            self.dirty_stamp[t as usize] = self.epoch;
+            self.dirty.push(t);
+        }
+    }
+
+    /// Queue every triangle incident to `v`.
+    #[inline]
+    pub fn mark_incident_dirty(&mut self, v: u32, adj: &Adjacency) {
+        for &t in adj.triangles_of(v) {
+            self.mark_dirty(t);
+        }
+    }
+
+    /// Whether any triangle awaits re-scoring.
+    #[inline]
+    pub fn has_dirty(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+
+    /// Re-score every queued triangle once, in ascending triangle order
+    /// (deterministic whatever order the marks arrived in), and fold the
+    /// deltas into the running sum.
+    pub fn flush_dirty(&mut self, coords: &[Point2], triangles: &[[u32; 3]]) {
+        self.dirty.sort_unstable();
+        let mut dirty = std::mem::take(&mut self.dirty);
+        for &t in &dirty {
+            let (q, pos) = Self::score(self.metric, coords, triangles[t as usize]);
+            self.set_tri(t, q, pos);
+        }
+        dirty.clear();
+        self.dirty = dirty;
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // wrapped: stamps from 2^32 flushes ago could collide — reset
+            self.dirty_stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// O(1) global quality from the compensated running sum. Within a few
+    /// ulps of [`quality_exact`](Self::quality_exact); use for convergence
+    /// tests, not for reported results.
+    #[inline]
+    pub fn quality_running(&self) -> f64 {
+        if self.num_vertices == 0 {
+            return 0.0;
+        }
+        (self.sum + self.comp) / self.num_vertices as f64
+    }
+
+    /// Global quality re-reduced from the cached per-triangle values in
+    /// the canonical order of [`quality::mesh_quality`] — bit-identical to
+    /// a from-scratch recompute on the current coordinates (provided the
+    /// cache has been kept coherent and has no pending dirty triangles).
+    pub fn quality_exact(&self, adj: &Adjacency) -> f64 {
+        debug_assert!(!self.has_dirty(), "flush_dirty before reading exact quality");
+        quality::global_quality(&quality::vertex_qualities_from_triangle(
+            adj,
+            &self.tri_q,
+            self.num_vertices,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::quality::mesh_quality;
+
+    fn setup(seed: u64) -> (TriMesh, Adjacency, QualityCache) {
+        let m = generators::perturbed_grid(14, 14, 0.35, seed);
+        let adj = Adjacency::build(&m);
+        let cache = QualityCache::build(&m, &adj, QualityMetric::EdgeLengthRatio);
+        (m, adj, cache)
+    }
+
+    #[test]
+    fn fresh_cache_matches_mesh_quality_bitwise() {
+        for seed in [1u64, 5, 9] {
+            let (m, adj, cache) = setup(seed);
+            let fresh = mesh_quality(&m, &adj, QualityMetric::EdgeLengthRatio);
+            assert_eq!(cache.quality_exact(&adj).to_bits(), fresh.to_bits());
+            assert!((cache.quality_running() - fresh).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn set_tri_tracks_moves() {
+        let (mut m, adj, mut cache) = setup(3);
+        // move an interior vertex and update its incident triangles
+        let v = {
+            let b = crate::Boundary::detect(&m);
+            (0..m.num_vertices() as u32).find(|&v| b.is_interior(v)).unwrap()
+        };
+        let p = m.coords()[v as usize];
+        m.coords_mut()[v as usize] = Point2::new(p.x + 0.07, p.y - 0.05);
+        let tris: Vec<[u32; 3]> = m.triangles().to_vec();
+        for &t in adj.triangles_of(v) {
+            let (q, pos) =
+                QualityCache::score(QualityMetric::EdgeLengthRatio, m.coords(), tris[t as usize]);
+            cache.set_tri(t, q, pos);
+        }
+        let fresh = mesh_quality(&m, &adj, QualityMetric::EdgeLengthRatio);
+        assert_eq!(cache.quality_exact(&adj).to_bits(), fresh.to_bits());
+        assert!((cache.quality_running() - fresh).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dirty_flush_equals_immediate_updates() {
+        let (mut m, adj, mut cache) = setup(7);
+        let b = crate::Boundary::detect(&m);
+        let movers: Vec<u32> =
+            (0..m.num_vertices() as u32).filter(|&v| b.is_interior(v)).take(20).collect();
+        for (k, &v) in movers.iter().enumerate() {
+            let p = m.coords()[v as usize];
+            let s = if k % 2 == 0 { 0.03 } else { -0.04 };
+            m.coords_mut()[v as usize] = Point2::new(p.x + s, p.y + s * 0.5);
+            cache.mark_incident_dirty(v, &adj);
+        }
+        assert!(cache.has_dirty());
+        let tris: Vec<[u32; 3]> = m.triangles().to_vec();
+        cache.flush_dirty(m.coords(), &tris);
+        assert!(!cache.has_dirty());
+        let fresh = mesh_quality(&m, &adj, QualityMetric::EdgeLengthRatio);
+        assert_eq!(cache.quality_exact(&adj).to_bits(), fresh.to_bits());
+    }
+
+    #[test]
+    fn apply_moves_sparse_and_dense_agree_with_scratch() {
+        for (take, label) in [(5usize, "sparse"), (1000, "dense")] {
+            let (mut m, adj, mut cache) = setup(9);
+            let b = crate::Boundary::detect(&m);
+            let movers: Vec<u32> =
+                (0..m.num_vertices() as u32).filter(|&v| b.is_interior(v)).take(take).collect();
+            for &v in &movers {
+                let p = m.coords()[v as usize];
+                m.coords_mut()[v as usize] = Point2::new(p.x + 0.021, p.y - 0.013);
+            }
+            let tris: Vec<[u32; 3]> = m.triangles().to_vec();
+            cache.apply_moves(&movers, &adj, m.coords(), &tris);
+            let fresh = mesh_quality(&m, &adj, QualityMetric::EdgeLengthRatio);
+            assert_eq!(
+                cache.quality_exact(&adj).to_bits(),
+                fresh.to_bits(),
+                "{label} path diverged"
+            );
+            assert!((cache.quality_running() - fresh).abs() < 1e-12, "{label}");
+        }
+    }
+
+    #[test]
+    fn score_with_overrides_one_vertex() {
+        let (m, adj, _) = setup(11);
+        let v = adj.triangles_of(0)[0]; // any triangle id
+        let tri = m.triangles()[v as usize];
+        let moved = Point2::new(9.0, 9.0);
+        let (q0, _) = QualityCache::score(QualityMetric::EdgeLengthRatio, m.coords(), tri);
+        let (q1, _) = QualityCache::score_with(
+            QualityMetric::EdgeLengthRatio,
+            m.coords(),
+            tri,
+            tri[0],
+            moved,
+        );
+        assert_ne!(q0.to_bits(), q1.to_bits());
+        // override with the unmoved position is a no-op
+        let (q2, _) = QualityCache::score_with(
+            QualityMetric::EdgeLengthRatio,
+            m.coords(),
+            tri,
+            tri[0],
+            m.coords()[tri[0] as usize],
+        );
+        assert_eq!(q0.to_bits(), q2.to_bits());
+    }
+
+    #[test]
+    fn guard_invariant_holds_on_inverted_triangles() {
+        // a deliberately inverted triangle scores g = 0 but keeps its raw q
+        let m = TriMesh::new(
+            vec![
+                Point2::new(0.0, 0.0),
+                Point2::new(1.0, 0.0),
+                Point2::new(0.5, 1.0),
+                Point2::new(0.5, -1.0),
+            ],
+            vec![[0, 1, 2], [1, 0, 3]],
+        )
+        .unwrap();
+        let adj = Adjacency::build(&m);
+        let cache = QualityCache::build(&m, &adj, QualityMetric::EdgeLengthRatio);
+        assert!(cache.tri_is_positive(0));
+        assert!(cache.tri_is_positive(1));
+        let mut flipped = m.clone();
+        let (coords, mut tris) = flipped.clone().into_parts();
+        tris[1].swap(0, 1); // invert the second triangle
+        flipped = TriMesh::new(coords, tris).unwrap();
+        let adj2 = Adjacency::build(&flipped);
+        let c2 = QualityCache::build(&flipped, &adj2, QualityMetric::EdgeLengthRatio);
+        assert!(!c2.tri_is_positive(1));
+        assert_eq!(c2.guarded_quality(1), 0.0);
+        assert!(c2.tri_quality(1) > 0.0, "raw quality is orientation-blind");
+    }
+
+    #[test]
+    fn weights_sum_to_vertex_count_with_triangles() {
+        // Σ_t w_t = Σ_v 1 over vertices with ≥1 incident triangle.
+        let (m, adj, cache) = setup(4);
+        let covered =
+            (0..m.num_vertices() as u32).filter(|&v| !adj.triangles_of(v).is_empty()).count();
+        let total_w: f64 = (0..cache.num_triangles() as u32).map(|t| cache.tri_w[t as usize]).sum();
+        assert!((total_w - covered as f64).abs() < 1e-9);
+    }
+}

@@ -29,13 +29,20 @@ impl QualityMetric {
     pub fn triangle_quality(self, a: Point2, b: Point2, c: Point2) -> f64 {
         match self {
             QualityMetric::EdgeLengthRatio => {
-                let [e0, e1, e2] = edge_lengths(a, b, c);
-                let max = e0.max(e1).max(e2);
-                if max <= 0.0 {
+                // Select min/max on *squared* lengths (sqrt is strictly
+                // monotone, so the same edges win) and take two square
+                // roots instead of three — bit-identical to computing all
+                // three lengths first, measurably cheaper in the smoothing
+                // hot loop.
+                let d0 = a.dist_sq(b);
+                let d1 = b.dist_sq(c);
+                let d2 = c.dist_sq(a);
+                let max_sq = d0.max(d1).max(d2);
+                if max_sq <= 0.0 {
                     return 0.0;
                 }
-                let min = e0.min(e1).min(e2);
-                min / max
+                let min_sq = d0.min(d1).min(d2);
+                min_sq.sqrt() / max_sq.sqrt()
             }
             QualityMetric::MinAngle => {
                 let [a0, a1, a2] = angles(a, b, c);
@@ -150,7 +157,8 @@ mod tests {
     #[test]
     fn equilateral_scores_one_under_all_metrics() {
         let (a, b, c) = equilateral();
-        for m in [QualityMetric::EdgeLengthRatio, QualityMetric::MinAngle, QualityMetric::RadiusRatio]
+        for m in
+            [QualityMetric::EdgeLengthRatio, QualityMetric::MinAngle, QualityMetric::RadiusRatio]
         {
             let q = m.triangle_quality(a, b, c);
             assert!((q - 1.0).abs() < 1e-12, "{m:?} gave {q}");
@@ -173,7 +181,8 @@ mod tests {
     #[test]
     fn edge_length_ratio_of_right_triangle() {
         // 3-4-5 right triangle → ratio 3/5.
-        let q = QualityMetric::EdgeLengthRatio.triangle_quality(p(0.0, 0.0), p(3.0, 0.0), p(0.0, 4.0));
+        let q =
+            QualityMetric::EdgeLengthRatio.triangle_quality(p(0.0, 0.0), p(3.0, 0.0), p(0.0, 4.0));
         assert!((q - 0.6).abs() < 1e-12);
     }
 
@@ -184,7 +193,8 @@ mod tests {
             let th = 0.7f64;
             Point2::new(pt.x * th.cos() - pt.y * th.sin(), pt.x * th.sin() + pt.y * th.cos())
         };
-        for m in [QualityMetric::EdgeLengthRatio, QualityMetric::MinAngle, QualityMetric::RadiusRatio]
+        for m in
+            [QualityMetric::EdgeLengthRatio, QualityMetric::MinAngle, QualityMetric::RadiusRatio]
         {
             let q0 = m.triangle_quality(a, b, c);
             let q1 = m.triangle_quality(rot(a) * 3.0, rot(b) * 3.0, rot(c) * 3.0);
@@ -194,8 +204,11 @@ mod tests {
 
     #[test]
     fn skinny_triangles_score_low() {
-        let q = QualityMetric::EdgeLengthRatio
-            .triangle_quality(p(0.0, 0.0), p(10.0, 0.0), p(9.9, 0.05));
+        let q = QualityMetric::EdgeLengthRatio.triangle_quality(
+            p(0.0, 0.0),
+            p(10.0, 0.0),
+            p(9.9, 0.05),
+        );
         assert!(q < 0.05, "needle triangle scored {q}");
         // Cap triangles are penalised by the angle metric even though their
         // edge-length ratio is moderate.
@@ -213,7 +226,10 @@ mod tests {
             let ts = adj.triangles_of(v);
             let expect = ts.iter().map(|&t| tri_q[t as usize]).sum::<f64>() / ts.len() as f64;
             assert!((vq[v as usize] - expect).abs() < 1e-15);
-            assert!((vertex_quality(&m, &adj, v, QualityMetric::EdgeLengthRatio) - expect).abs() < 1e-15);
+            assert!(
+                (vertex_quality(&m, &adj, v, QualityMetric::EdgeLengthRatio) - expect).abs()
+                    < 1e-15
+            );
         }
     }
 

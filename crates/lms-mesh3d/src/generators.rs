@@ -51,9 +51,8 @@ pub fn tet_grid(nx: usize, ny: usize, nz: usize) -> TetMesh {
         for j in 0..ny {
             for i in 0..nx {
                 for corners in KUHN_TETS {
-                    let tet = corners.map(|(dx, dy, dz)| {
-                        vid(i + dx as usize, j + dy as usize, k + dz as usize)
-                    });
+                    let tet = corners
+                        .map(|(dx, dy, dz)| vid(i + dx as usize, j + dy as usize, k + dz as usize));
                     tets.push(tet);
                 }
             }
@@ -88,8 +87,7 @@ pub fn perturbed_tet_grid(nx: usize, ny: usize, nz: usize, jitter: f64, seed: u6
 
     let boundary = |p: Point3| {
         let eps = 1e-12;
-        p.x < eps || p.x > 1.0 - eps || p.y < eps || p.y > 1.0 - eps || p.z < eps
-            || p.z > 1.0 - eps
+        p.x < eps || p.x > 1.0 - eps || p.y < eps || p.y > 1.0 - eps || p.z < eps || p.z > 1.0 - eps
     };
 
     for p in mesh.coords_mut() {
@@ -169,8 +167,8 @@ pub fn generate3(spec: &Mesh3Spec, scale: f64) -> TetMesh {
     let s = scale.max(1e-3).cbrt();
     let (nx, ny, nz) = spec.cells;
     let scaled = |n: usize| ((n as f64 * s).round() as usize).max(2);
-    let seed = 0xC0FFEE
-        ^ spec.label.bytes().fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
+    let seed =
+        0xC0FFEE ^ spec.label.bytes().fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
     let raw = perturbed_tet_grid(
         scaled(nx),
         scaled(ny),

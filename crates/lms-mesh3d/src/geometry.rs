@@ -302,11 +302,8 @@ mod tests {
 
     #[test]
     fn triangle_area_of_unit_right_triangle() {
-        let area = triangle_area(
-            Point3::ZERO,
-            Point3::new(1.0, 0.0, 0.0),
-            Point3::new(0.0, 1.0, 0.0),
-        );
+        let area =
+            triangle_area(Point3::ZERO, Point3::new(1.0, 0.0, 0.0), Point3::new(0.0, 1.0, 0.0));
         assert!((area - 0.5).abs() < 1e-15);
     }
 
@@ -320,7 +317,10 @@ mod tests {
         assert_eq!(q / 2.0, Point3::new(2.0, 2.5, 3.0));
         assert_eq!(-p, Point3::new(-1.0, -2.0, -3.0));
         assert_eq!(p.dot(q), 32.0);
-        assert_eq!(Point3::new(1.0, 0.0, 0.0).cross(Point3::new(0.0, 1.0, 0.0)), Point3::new(0.0, 0.0, 1.0));
+        assert_eq!(
+            Point3::new(1.0, 0.0, 0.0).cross(Point3::new(0.0, 1.0, 0.0)),
+            Point3::new(0.0, 0.0, 1.0)
+        );
     }
 
     #[test]

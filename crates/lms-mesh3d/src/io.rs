@@ -59,8 +59,7 @@ fn data_lines(r: impl Read) -> Result<Vec<Vec<String>>, Mesh3Error> {
 pub fn read_node3(r: impl Read) -> Result<Vec<Point3>, Mesh3Error> {
     let lines = data_lines(r)?;
     let header = lines.first().ok_or_else(|| parse_err("empty .node file"))?;
-    let n: usize =
-        header[0].parse().map_err(|e| parse_err(format!("bad point count: {e}")))?;
+    let n: usize = header[0].parse().map_err(|e| parse_err(format!("bad point count: {e}")))?;
     let dim: usize = header
         .get(1)
         .map(|t| t.parse().unwrap_or(0))
@@ -77,9 +76,8 @@ pub fn read_node3(r: impl Read) -> Result<Vec<Point3>, Mesh3Error> {
         if tokens.len() < 4 {
             return Err(parse_err(format!("point line too short: {tokens:?}")));
         }
-        let coord = |s: &str| {
-            s.parse::<f64>().map_err(|e| parse_err(format!("bad coordinate {s:?}: {e}")))
-        };
+        let coord =
+            |s: &str| s.parse::<f64>().map_err(|e| parse_err(format!("bad coordinate {s:?}: {e}")));
         coords.push(Point3::new(coord(&tokens[1])?, coord(&tokens[2])?, coord(&tokens[3])?));
     }
     Ok(coords)
@@ -90,8 +88,7 @@ pub fn read_node3(r: impl Read) -> Result<Vec<Point3>, Mesh3Error> {
 pub fn read_ele3(r: impl Read) -> Result<Vec<[u32; 4]>, Mesh3Error> {
     let lines = data_lines(r)?;
     let header = lines.first().ok_or_else(|| parse_err("empty .ele file"))?;
-    let n: usize =
-        header[0].parse().map_err(|e| parse_err(format!("bad tet count: {e}")))?;
+    let n: usize = header[0].parse().map_err(|e| parse_err(format!("bad tet count: {e}")))?;
     let nodes_per: usize = header.get(1).map(|t| t.parse().unwrap_or(0)).unwrap_or(4);
     if nodes_per != 4 {
         return Err(parse_err(format!("expected 4 nodes per tet, got {nodes_per}")));
@@ -101,19 +98,14 @@ pub fn read_ele3(r: impl Read) -> Result<Vec<[u32; 4]>, Mesh3Error> {
         return Err(parse_err(format!("expected {n} tets, found {}", body.len())));
     }
     // TetGen numbers from 0 or 1; detect from the first element id
-    let base: u32 = body
-        .first()
-        .map(|t| t[0].parse().unwrap_or(0))
-        .unwrap_or(0)
-        .min(1);
+    let base: u32 = body.first().map(|t| t[0].parse().unwrap_or(0)).unwrap_or(0).min(1);
     let mut tets = Vec::with_capacity(n);
     for tokens in body {
         if tokens.len() < 5 {
             return Err(parse_err(format!("tet line too short: {tokens:?}")));
         }
         let idx = |s: &str| -> Result<u32, Mesh3Error> {
-            let v: u32 =
-                s.parse().map_err(|e| parse_err(format!("bad vertex id {s:?}: {e}")))?;
+            let v: u32 = s.parse().map_err(|e| parse_err(format!("bad vertex id {s:?}: {e}")))?;
             v.checked_sub(base).ok_or_else(|| parse_err(format!("vertex id {v} below base {base}")))
         };
         tets.push([idx(&tokens[1])?, idx(&tokens[2])?, idx(&tokens[3])?, idx(&tokens[4])?]);

@@ -155,11 +155,7 @@ pub fn apply_permutation3(perm: &Permutation, mesh: &TetMesh) -> TetMesh {
     assert_eq!(perm.len(), mesh.num_vertices(), "permutation length must match vertex count");
     let coords = perm.new_to_old().iter().map(|&old| mesh.coords()[old as usize]).collect();
     let old_to_new = perm.old_to_new();
-    let tets = mesh
-        .tets()
-        .iter()
-        .map(|tet| tet.map(|v| old_to_new[v as usize]))
-        .collect();
+    let tets = mesh.tets().iter().map(|tet| tet.map(|v| old_to_new[v as usize])).collect();
     TetMesh::new_unchecked(coords, tets)
 }
 
@@ -221,11 +217,7 @@ mod tests {
             assert_eq!(p.len(), m.num_vertices(), "{}", kind.name());
             let mut ids = p.new_to_old().to_vec();
             ids.sort_unstable();
-            assert!(
-                ids.windows(2).all(|w| w[1] == w[0] + 1),
-                "{} not bijective",
-                kind.name()
-            );
+            assert!(ids.windows(2).all(|w| w[1] == w[0] + 1), "{} not bijective", kind.name());
         }
     }
 
@@ -302,8 +294,7 @@ mod tests {
         let adj = Adjacency3::build(&m);
         let b = Boundary3::detect(&m);
         let trace = sweep_trace3(&adj, &b);
-        let expected: usize =
-            b.interior_vertices().iter().map(|&v| 1 + adj.degree(v)).sum();
+        let expected: usize = b.interior_vertices().iter().map(|&v| 1 + adj.degree(v)).sum();
         assert_eq!(trace.len(), expected);
     }
 

@@ -185,9 +185,8 @@ mod tests {
         use crate::order::{apply_permutation3, mean_neighbor_span3};
         use crate::Adjacency3;
         let m = crate::generators::block_scramble(perturbed_tet_grid(8, 8, 8, 0.3, 5), 64, 5);
-        let span = |p: &Permutation| {
-            mean_neighbor_span3(&Adjacency3::build(&apply_permutation3(p, &m)))
-        };
+        let span =
+            |p: &Permutation| mean_neighbor_span3(&Adjacency3::build(&apply_permutation3(p, &m)));
         let rnd = span(&lms_order::random_ordering(m.num_vertices(), 1));
         let hil = span(&hilbert3_ordering(m.coords()));
         let mor = span(&morton3_ordering(m.coords()));
@@ -202,9 +201,8 @@ mod tests {
         use crate::order::{apply_permutation3, mean_neighbor_span3};
         use crate::Adjacency3;
         let m = crate::generators::tet_grid(10, 10, 10);
-        let span = |p: &Permutation| {
-            mean_neighbor_span3(&Adjacency3::build(&apply_permutation3(p, &m)))
-        };
+        let span =
+            |p: &Permutation| mean_neighbor_span3(&Adjacency3::build(&apply_permutation3(p, &m)));
         let hil = span(&hilbert3_ordering(m.coords()));
         let mor = span(&morton3_ordering(m.coords()));
         assert!(hil <= mor * 1.25, "hilbert {hil} much worse than morton {mor}");

@@ -103,6 +103,9 @@ pub struct SmoothEngine3 {
     /// Interior vertices in sweep (storage) order.
     visit: Vec<u32>,
     tets: Vec<[u32; 4]>,
+    /// Lazily-computed interior color classes for the colored parallel
+    /// engine (topology-only, so one computation serves every run).
+    colored_classes: std::sync::OnceLock<Vec<Vec<u32>>>,
 }
 
 impl SmoothEngine3 {
@@ -111,7 +114,14 @@ impl SmoothEngine3 {
         let adj = Adjacency3::build(mesh);
         let boundary = Boundary3::detect(mesh);
         let visit = boundary.interior_vertices();
-        SmoothEngine3 { params, adj, boundary, visit, tets: mesh.tets().to_vec() }
+        SmoothEngine3 {
+            params,
+            adj,
+            boundary,
+            visit,
+            tets: mesh.tets().to_vec(),
+            colored_classes: std::sync::OnceLock::new(),
+        }
     }
 
     /// The engine's parameters.
@@ -344,10 +354,152 @@ impl SmoothEngine3 {
     }
 }
 
+/// Colored deterministic parallel Gauss–Seidel (3D).
+///
+/// The 3D twin of `lms_smooth`'s colored engine: greedily color the
+/// vertex–vertex graph ([`lms_order::coloring::greedy_coloring_on`] over
+/// [`Adjacency3`]), then sweep one color class at a time, evaluating the
+/// class's candidates (and, in smart mode, the commit guard) in parallel
+/// from the pre-class coordinates and committing serially. All four
+/// corners of a tet are mutually adjacent, so same-class vertices share
+/// neither an edge nor a tet — in-place semantics are race-free and the
+/// result is bitwise-deterministic for any thread count.
+impl SmoothEngine3 {
+    /// Interior vertices of each color class, ascending within a class.
+    /// Computed once per engine (topology-only) and cached.
+    pub fn interior_color_classes(&self) -> &[Vec<u32>] {
+        self.colored_classes.get_or_init(|| {
+            let coloring = lms_order::coloring::greedy_coloring_on(&self.adj);
+            coloring
+                .classes()
+                .map(|class| {
+                    class.iter().copied().filter(|&v| self.boundary.is_interior(v)).collect()
+                })
+                .collect()
+        })
+    }
+
+    /// In-place colored Gauss–Seidel smoothing; honours `params.smart`.
+    /// Rejects the Jacobi update scheme (use
+    /// [`smooth_parallel`](Self::smooth_parallel), already deterministic).
+    pub fn smooth_parallel_colored(&self, mesh: &mut TetMesh, num_threads: usize) -> SmoothReport {
+        assert!(num_threads >= 1, "need at least one thread");
+        let n = mesh.num_vertices();
+        assert_eq!(n, self.adj.num_vertices(), "engine was built for a different mesh");
+        assert_eq!(
+            self.params.update,
+            UpdateScheme3::GaussSeidel,
+            "colored smoothing is an in-place (Gauss-Seidel) schedule"
+        );
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(num_threads)
+            .build()
+            .expect("rayon pool construction cannot fail with a positive thread count");
+
+        let params = &self.params;
+        let classes = self.interior_color_classes();
+
+        let initial_quality = mesh_quality(mesh, &self.adj, params.metric);
+        let mut report = SmoothReport {
+            initial_quality,
+            final_quality: initial_quality,
+            iterations: Vec::new(),
+            converged: false,
+        };
+        let mut quality = initial_quality;
+
+        for iter in 1..=params.max_iters {
+            for class in classes {
+                if class.is_empty() {
+                    continue;
+                }
+                // parallel candidate + guard evaluation on the pre-class
+                // snapshot (same-class vertices share no edge or tet)
+                let moves: Vec<Option<Point3>> = pool.install(|| {
+                    use rayon::prelude::*;
+                    let coords: &[Point3] = mesh.coords();
+                    class
+                        .par_iter()
+                        .map(|&v| {
+                            let ns = self.adj.neighbors(v);
+                            if ns.is_empty() {
+                                return None;
+                            }
+                            let mut sum = Point3::ZERO;
+                            for &w in ns {
+                                sum += coords[w as usize];
+                            }
+                            let candidate = sum / ns.len() as f64;
+                            if self.params.smart {
+                                let before = self.local_quality_with(coords, v, coords[v as usize]);
+                                let ok = self.local_quality_with(coords, v, candidate) >= before
+                                    && self.commit_keeps_validity(coords, v, candidate);
+                                ok.then_some(candidate)
+                            } else {
+                                Some(candidate)
+                            }
+                        })
+                        .collect()
+                });
+                let coords = mesh.coords_mut();
+                for (&v, mv) in class.iter().zip(moves) {
+                    if let Some(p) = mv {
+                        coords[v as usize] = p;
+                    }
+                }
+            }
+
+            let new_quality = mesh_quality(mesh, &self.adj, params.metric);
+            let improvement = new_quality - quality;
+            report.iterations.push(IterationStats { iter, quality: new_quality, improvement });
+            quality = new_quality;
+            if improvement < params.tol {
+                report.converged = true;
+                break;
+            }
+        }
+        report.final_quality = quality;
+        report
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::generators::perturbed_tet_grid;
+
+    #[test]
+    fn colored_is_bitwise_deterministic_across_threads_3d() {
+        for smart in [false, true] {
+            let m0 = perturbed_tet_grid(6, 5, 6, 0.35, 9);
+            let params = SmoothParams3::paper().with_smart(smart).with_max_iters(4);
+            let engine = SmoothEngine3::new(&m0, params);
+            let mut one = m0.clone();
+            let r1 = engine.smooth_parallel_colored(&mut one, 1);
+            for threads in [2usize, 8] {
+                let mut multi = m0.clone();
+                let rt = engine.smooth_parallel_colored(&mut multi, threads);
+                assert_eq!(one.coords(), multi.coords(), "smart={smart} threads={threads}");
+                assert_eq!(r1, rt, "smart={smart} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn colored_improves_quality_and_pins_boundary_3d() {
+        let m0 = perturbed_tet_grid(7, 7, 7, 0.35, 4);
+        let engine = SmoothEngine3::new(&m0, SmoothParams3::paper());
+        let mut m = m0.clone();
+        let report = engine.smooth_parallel_colored(&mut m, 3);
+        assert!(report.total_improvement() > 0.01);
+        for v in engine.boundary().boundary_vertices() {
+            assert_eq!(m.coords()[v as usize], m0.coords()[v as usize]);
+        }
+        let classes = engine.interior_color_classes();
+        let total: usize = classes.iter().map(|c| c.len()).sum();
+        assert_eq!(total, engine.boundary().num_interior());
+    }
+
     use lms_smooth::trace::{CountSink, VecSink};
 
     #[test]
@@ -380,8 +532,10 @@ mod tests {
         // Jacobi sweep lands exactly on its neighbours' initial mean.
         let m0 = perturbed_tet_grid(3, 3, 3, 0.3, 5);
         let mut m = m0.clone();
-        let engine =
-            SmoothEngine3::new(&m, SmoothParams3::paper().with_update(UpdateScheme3::Jacobi).with_max_iters(1));
+        let engine = SmoothEngine3::new(
+            &m,
+            SmoothParams3::paper().with_update(UpdateScheme3::Jacobi).with_max_iters(1),
+        );
         engine.smooth(&mut m);
         let v = engine.visit_order()[0];
         let ns = engine.adjacency().neighbors(v);
@@ -398,11 +552,8 @@ mod tests {
     fn trace_counts_match_topology() {
         let mut m = perturbed_tet_grid(5, 5, 5, 0.3, 7);
         let engine = SmoothEngine3::new(&m, SmoothParams3::paper().with_max_iters(3));
-        let expected_per_iter: u64 = engine
-            .visit_order()
-            .iter()
-            .map(|&v| 1 + engine.adjacency().degree(v) as u64)
-            .sum();
+        let expected_per_iter: u64 =
+            engine.visit_order().iter().map(|&v| 1 + engine.adjacency().degree(v) as u64).sum();
         let mut sink = CountSink::default();
         let report = engine.smooth_traced(&mut m, &mut sink);
         assert_eq!(sink.iterations as usize, report.num_iterations());
@@ -452,8 +603,7 @@ mod tests {
             let mut m = perturbed_tet_grid(6, 6, 6, 0.42, seed);
             m.orient_positive();
             assert!(m.is_positively_oriented());
-            let report =
-                SmoothParams3::paper().with_smart(true).with_max_iters(15).smooth(&mut m);
+            let report = SmoothParams3::paper().with_smart(true).with_max_iters(15).smooth(&mut m);
             for w in report.iterations.windows(2) {
                 assert!(w[1].quality >= w[0].quality - 1e-12, "seed {seed} regressed");
             }

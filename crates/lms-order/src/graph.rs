@@ -73,10 +73,7 @@ impl<'a> CsrGraph<'a> {
             neighbors.len(),
             "final offset must equal the neighbour array length"
         );
-        assert!(
-            offsets.windows(2).all(|w| w[0] <= w[1]),
-            "offsets must be non-decreasing"
-        );
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be non-decreasing");
         CsrGraph { offsets, neighbors }
     }
 }
@@ -186,9 +183,7 @@ pub fn cuthill_mckee_ordering_on<G: Graph>(graph: &G) -> Permutation {
     let mut queue = VecDeque::new();
 
     let start_of_component = |visited: &[bool]| {
-        (0..n as u32)
-            .filter(|&v| !visited[v as usize])
-            .min_by_key(|&v| (graph.degree(v), v))
+        (0..n as u32).filter(|&v| !visited[v as usize]).min_by_key(|&v| (graph.degree(v), v))
     };
 
     while order.len() < n {
@@ -199,12 +194,8 @@ pub fn cuthill_mckee_ordering_on<G: Graph>(graph: &G) -> Permutation {
         }
         while let Some(v) = queue.pop_front() {
             order.push(v);
-            let mut frontier: Vec<u32> = graph
-                .neighbors(v)
-                .iter()
-                .copied()
-                .filter(|&w| !visited[w as usize])
-                .collect();
+            let mut frontier: Vec<u32> =
+                graph.neighbors(v).iter().copied().filter(|&w| !visited[w as usize]).collect();
             frontier.sort_by_key(|&w| (graph.degree(w), w));
             for w in frontier {
                 visited[w as usize] = true;
@@ -277,12 +268,8 @@ pub fn rdr_ordering_on<G: Graph>(
             }
             let head = l[0];
             processed[head as usize] = true;
-            let next: Vec<u32> = graph
-                .neighbors(head)
-                .iter()
-                .copied()
-                .filter(|&w| !processed[w as usize])
-                .collect();
+            let next: Vec<u32> =
+                graph.neighbors(head).iter().copied().filter(|&w| !processed[w as usize]).collect();
             l.clear();
             l.extend(next);
             options.sort_by_quality(&mut l, quality);

@@ -74,12 +74,7 @@ mod tests {
         // in the order (0,0) → (0,1) → (1,1) → (1,0) or a rotation thereof;
         // all four corner cells must receive distinct quarter-of-range ids.
         let q = 1u32 << 15;
-        let ids = [
-            hilbert_d(0, 0),
-            hilbert_d(0, q),
-            hilbert_d(q, q),
-            hilbert_d(q, 0),
-        ];
+        let ids = [hilbert_d(0, 0), hilbert_d(0, q), hilbert_d(q, q), hilbert_d(q, 0)];
         let mut sorted = ids;
         sorted.sort_unstable();
         for w in sorted.windows(2) {

@@ -24,6 +24,7 @@
 //! All orderings are returned as a [`Permutation`] (new-to-old map) that can
 //! be applied to meshes or per-vertex value arrays.
 
+pub mod coloring;
 pub mod graph;
 pub mod hilbert;
 pub mod metrics;
@@ -37,6 +38,7 @@ pub mod sorts;
 pub mod spectral;
 pub mod traversals;
 
+pub use coloring::{greedy_coloring, greedy_coloring_on, Coloring};
 pub use graph::{CsrGraph, Graph};
 pub use hilbert::hilbert_ordering;
 pub use metrics::{layout_stats, layout_stats_permuted, LayoutStats};
@@ -46,8 +48,8 @@ pub use permutation::{Permutation, PermutationError};
 pub use rcb::rcb_ordering;
 pub use rdr::{rdr_ordering, rdr_ordering_opts, rdr_ordering_with, RdrOptions};
 pub use sloan::sloan_ordering;
-pub use spectral::{fiedler_vector, spectral_ordering, spectral_ordering_opts, SpectralOptions};
 pub use sorts::{degree_sort_ordering, quality_sort_from_values, quality_sort_ordering};
+pub use spectral::{fiedler_vector, spectral_ordering, spectral_ordering_opts, SpectralOptions};
 pub use traversals::{
     bfs_ordering, bfs_reversed_ordering, cuthill_mckee_ordering, dfs_ordering, random_ordering,
     rcm_ordering,

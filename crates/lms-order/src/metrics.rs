@@ -65,8 +65,7 @@ mod tests {
         let m = generators::perturbed_grid(10, 10, 0.2, 1);
         let adj = Adjacency::build(&m);
         let direct = layout_stats(&m, &adj);
-        let via_perm =
-            layout_stats_permuted(&m, &adj, &Permutation::identity(m.num_vertices()));
+        let via_perm = layout_stats_permuted(&m, &adj, &Permutation::identity(m.num_vertices()));
         assert_eq!(direct, via_perm);
     }
 

@@ -74,13 +74,7 @@ fn rdr_walk_in_chunk<G: Graph>(
         processed[rel(i)] = true;
 
         l.clear();
-        l.extend(
-            graph
-                .neighbors(i)
-                .iter()
-                .copied()
-                .filter(|&w| in_chunk(w) && !processed[rel(w)]),
-        );
+        l.extend(graph.neighbors(i).iter().copied().filter(|&w| in_chunk(w) && !processed[rel(w)]));
         options.sort_by_quality(&mut l, quality);
 
         while !l.is_empty() {
@@ -150,11 +144,8 @@ pub fn par_rdr_ordering_on<G: Graph + Sync>(
         // sort chunks by their worst member quality, ascending; ties by
         // first vertex id for determinism
         parts.sort_by(|a, b| {
-            let worst = |p: &Vec<u32>| {
-                p.iter()
-                    .map(|&v| quality[v as usize])
-                    .fold(f64::INFINITY, f64::min)
-            };
+            let worst =
+                |p: &Vec<u32>| p.iter().map(|&v| quality[v as usize]).fold(f64::INFINITY, f64::min);
             worst(a)
                 .partial_cmp(&worst(b))
                 .unwrap_or(std::cmp::Ordering::Equal)
@@ -178,8 +169,7 @@ pub fn par_rdr_ordering(
 ) -> Permutation {
     let adj = lms_mesh::Adjacency::build(mesh);
     let boundary = lms_mesh::Boundary::detect(mesh);
-    let quality =
-        lms_mesh::quality::vertex_qualities(mesh, &adj, options.rdr.metric);
+    let quality = lms_mesh::quality::vertex_qualities(mesh, &adj, options.rdr.metric);
     let interior: Vec<bool> =
         (0..mesh.num_vertices() as u32).map(|v| boundary.is_interior(v)).collect();
     par_rdr_ordering_on(&adj, &interior, &quality, options, chunks)
@@ -229,8 +219,7 @@ mod tests {
     #[test]
     fn worst_quality_concat_is_also_a_bijection() {
         let m = generators::perturbed_grid(13, 13, 0.4, 2);
-        let opts =
-            ParRdrOptions { concat: ChunkConcat::WorstQualityFirst, ..Default::default() };
+        let opts = ParRdrOptions { concat: ChunkConcat::WorstQualityFirst, ..Default::default() };
         let p = par_rdr_ordering(&m, &opts, 4);
         check_bijection(&p, m.num_vertices());
     }
@@ -240,12 +229,9 @@ mod tests {
         let m = generators::perturbed_grid(28, 28, 0.35, 7);
         let adj = Adjacency::build(&m);
         let serial = layout_stats_permuted(&m, &adj, &rdr_ordering(&m)).mean_span;
-        let par4 = layout_stats_permuted(
-            &m,
-            &adj,
-            &par_rdr_ordering(&m, &ParRdrOptions::default(), 4),
-        )
-        .mean_span;
+        let par4 =
+            layout_stats_permuted(&m, &adj, &par_rdr_ordering(&m, &ParRdrOptions::default(), 4))
+                .mean_span;
         // seams cost something, but the chunked layout must stay within 3x
         // of serial RDR and far below random
         let rnd = layout_stats_permuted(

@@ -119,11 +119,8 @@ impl Permutation {
         if self.len() != other.len() {
             return Err(PermutationError::LengthMismatch { perm: self.len(), object: other.len() });
         }
-        let new_to_old = self
-            .new_to_old
-            .iter()
-            .map(|&mid| other.new_to_old[mid as usize])
-            .collect();
+        let new_to_old =
+            self.new_to_old.iter().map(|&mid| other.new_to_old[mid as usize]).collect();
         Ok(Permutation { new_to_old })
     }
 
@@ -135,7 +132,10 @@ impl Permutation {
     /// Reorder a value-per-vertex array: `result[new] = values[old]`.
     pub fn apply_to_values<T: Copy>(&self, values: &[T]) -> Result<Vec<T>, PermutationError> {
         if values.len() != self.len() {
-            return Err(PermutationError::LengthMismatch { perm: self.len(), object: values.len() });
+            return Err(PermutationError::LengthMismatch {
+                perm: self.len(),
+                object: values.len(),
+            });
         }
         Ok(self.new_to_old.iter().map(|&old| values[old as usize]).collect())
     }
@@ -149,11 +149,7 @@ impl Permutation {
             mesh.num_vertices(),
             "permutation length must match mesh vertex count"
         );
-        let coords = self
-            .new_to_old
-            .iter()
-            .map(|&old| mesh.coords()[old as usize])
-            .collect();
+        let coords = self.new_to_old.iter().map(|&old| mesh.coords()[old as usize]).collect();
         let old_to_new = self.old_to_new();
         let triangles = mesh
             .triangles()
@@ -248,7 +244,8 @@ mod tests {
     #[test]
     fn double_application_of_inverse_restores_mesh() {
         let m = figure5_mesh();
-        let p = Permutation::from_new_to_old(vec![4, 7, 2, 0, 1, 3, 5, 6, 8, 9, 10, 11, 12]).unwrap();
+        let p =
+            Permutation::from_new_to_old(vec![4, 7, 2, 0, 1, 3, 5, 6, 8, 9, 10, 11, 12]).unwrap();
         let rm = p.apply_to_mesh(&m);
         let back = p.inverse().apply_to_mesh(&rm);
         assert_eq!(back, m);

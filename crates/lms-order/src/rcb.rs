@@ -96,8 +96,7 @@ mod tests {
         let m = generators::perturbed_grid(24, 24, 0.35, 5);
         let adj = Adjacency::build(&m);
         let rcb = layout_stats_permuted(&m, &adj, &rcb_ordering(m.coords())).mean_span;
-        let rnd =
-            layout_stats_permuted(&m, &adj, &random_ordering(m.num_vertices(), 1)).mean_span;
+        let rnd = layout_stats_permuted(&m, &adj, &random_ordering(m.num_vertices(), 1)).mean_span;
         assert!(rcb < rnd / 4.0, "rcb span {rcb} vs random {rnd}");
     }
 

@@ -64,12 +64,7 @@ fn bfs_distances(adj: &Adjacency, root: u32) -> Vec<u32> {
 fn pseudo_peripheral_pair(adj: &Adjacency, root: u32) -> (u32, u32) {
     let mut start = root;
     let mut dist = bfs_distances(adj, start);
-    let mut ecc = dist
-        .iter()
-        .filter(|&&d| d != u32::MAX)
-        .max()
-        .copied()
-        .unwrap_or(0);
+    let mut ecc = dist.iter().filter(|&&d| d != u32::MAX).max().copied().unwrap_or(0);
     loop {
         // minimum-degree vertex of the deepest BFS level
         let end = (0..adj.num_vertices() as u32)
@@ -77,12 +72,8 @@ fn pseudo_peripheral_pair(adj: &Adjacency, root: u32) -> (u32, u32) {
             .min_by_key(|&v| (adj.degree(v), v))
             .unwrap_or(start);
         let dist_from_end = bfs_distances(adj, end);
-        let ecc_from_end = dist_from_end
-            .iter()
-            .filter(|&&d| d != u32::MAX)
-            .max()
-            .copied()
-            .unwrap_or(0);
+        let ecc_from_end =
+            dist_from_end.iter().filter(|&&d| d != u32::MAX).max().copied().unwrap_or(0);
         if ecc_from_end > ecc {
             start = end;
             dist = dist_from_end;
@@ -107,8 +98,7 @@ fn sloan_component(
     let mut priority = vec![0i64; n];
     for v in 0..n as u32 {
         if dist[v as usize] != u32::MAX && status[v as usize] == Status::Inactive {
-            priority[v as usize] =
-                W1 * dist[v as usize] as i64 - W2 * (adj.degree(v) as i64 + 1);
+            priority[v as usize] = W1 * dist[v as usize] as i64 - W2 * (adj.degree(v) as i64 + 1);
         }
     }
 
@@ -195,9 +185,7 @@ mod tests {
             lowest[a as usize] = lowest[a as usize].min(pb);
             lowest[b as usize] = lowest[b as usize].min(pa);
         }
-        (0..m.num_vertices())
-            .map(|v| (pos[v] - lowest[v]) as u64)
-            .sum()
+        (0..m.num_vertices()).map(|v| (pos[v] - lowest[v]) as u64).sum()
     }
 
     #[test]
@@ -229,8 +217,7 @@ mod tests {
         let m = generators::perturbed_grid(24, 24, 0.3, 9);
         let adj = Adjacency::build(&m);
         let sloan = layout_stats_permuted(&m, &adj, &sloan_ordering(&adj)).mean_span;
-        let rnd =
-            layout_stats_permuted(&m, &adj, &random_ordering(m.num_vertices(), 2)).mean_span;
+        let rnd = layout_stats_permuted(&m, &adj, &random_ordering(m.num_vertices(), 2)).mean_span;
         assert!(sloan * 3.0 < rnd, "sloan {sloan} vs random {rnd}");
     }
 
@@ -242,22 +229,15 @@ mod tests {
         // the first numbered vertex must be an extremal (pseudo-peripheral)
         // one: its eccentricity equals the graph diameter
         let first = p.new_to_old()[0];
-        let ecc = |v: u32| {
-            bfs_distances(&adj, v)
-                .into_iter()
-                .filter(|&d| d != u32::MAX)
-                .max()
-                .unwrap()
-        };
+        let ecc =
+            |v: u32| bfs_distances(&adj, v).into_iter().filter(|&d| d != u32::MAX).max().unwrap();
         let diameter = (0..m.num_vertices() as u32).map(ecc).max().unwrap();
         assert_eq!(ecc(first), diameter);
     }
 
     #[test]
     fn handles_disconnected_and_empty_graphs() {
-        let coords = (0..6)
-            .map(|i| Point2::new(i as f64, (i % 2) as f64))
-            .collect();
+        let coords = (0..6).map(|i| Point2::new(i as f64, (i % 2) as f64)).collect();
         let m = TriMesh::new(coords, vec![[0, 1, 2], [3, 4, 5]]).unwrap();
         let adj = Adjacency::build(&m);
         let p = sloan_ordering(&adj);

@@ -25,7 +25,11 @@ use lms_mesh::{Adjacency, TriMesh};
 ///
 /// This is the "global quality sort" that seeds RDR's outer loop, used
 /// *alone* as a full ordering.
-pub fn quality_sort_ordering(mesh: &TriMesh, adj: &Adjacency, metric: QualityMetric) -> Permutation {
+pub fn quality_sort_ordering(
+    mesh: &TriMesh,
+    adj: &Adjacency,
+    metric: QualityMetric,
+) -> Permutation {
     let quality = vertex_qualities(mesh, adj, metric);
     quality_sort_from_values(&quality)
 }

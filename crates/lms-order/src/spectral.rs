@@ -85,8 +85,7 @@ pub fn fiedler_vector<G: Graph>(graph: &G, options: &SpectralOptions) -> Vec<f64
             y[v as usize] = acc;
         }
         deflate_and_normalize(&mut y);
-        let delta: f64 =
-            x.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        let delta: f64 = x.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
         std::mem::swap(&mut x, &mut y);
         if delta < options.tol {
             break;
@@ -239,8 +238,7 @@ mod tests {
         let m = generators::perturbed_grid(24, 24, 0.35, 5);
         let adj = Adjacency::build(&m);
         let spec = layout_stats_permuted(&m, &adj, &spectral_ordering(&adj)).mean_span;
-        let rnd =
-            layout_stats_permuted(&m, &adj, &random_ordering(m.num_vertices(), 1)).mean_span;
+        let rnd = layout_stats_permuted(&m, &adj, &random_ordering(m.num_vertices(), 1)).mean_span;
         assert!(spec < rnd / 3.0, "spectral span {spec} vs random {rnd}");
     }
 

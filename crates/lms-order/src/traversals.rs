@@ -153,9 +153,7 @@ mod tests {
     #[test]
     fn traversals_cover_disconnected_components() {
         // Two disjoint triangles.
-        let coords = (0..6)
-            .map(|i| lms_mesh::Point2::new(i as f64, (i % 2) as f64))
-            .collect();
+        let coords = (0..6).map(|i| lms_mesh::Point2::new(i as f64, (i % 2) as f64)).collect();
         let m = TriMesh::new(coords, vec![[0, 1, 2], [3, 4, 5]]).unwrap();
         let adj = Adjacency::build(&m);
         for p in [bfs_ordering(&adj, 0), dfs_ordering(&adj, 0), rcm_ordering(&adj)] {

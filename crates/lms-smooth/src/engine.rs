@@ -15,16 +15,64 @@ use lms_mesh::{Adjacency, Boundary, TriMesh};
 /// sweep visit order; [`smooth`](SmoothEngine::smooth) can then be run on
 /// the mesh (or any mesh with identical connectivity — e.g. a re-smoothing
 /// after further perturbation) without re-deriving topology.
+///
+/// The triangle connectivity is held behind an [`Arc`]: cloning the engine
+/// (or handing the connectivity to the colored parallel engine or an
+/// external [`lms_mesh::QualityCache`] consumer) shares one allocation
+/// instead of copying the array per engine.
 #[derive(Debug, Clone)]
 pub struct SmoothEngine {
-    params: SmoothParams,
-    adj: Adjacency,
-    boundary: Boundary,
+    pub(crate) params: SmoothParams,
+    pub(crate) adj: Adjacency,
+    pub(crate) boundary: Boundary,
     /// Interior vertices in sweep order.
-    visit: Vec<u32>,
-    /// Triangle connectivity (needed by smart smoothing's local
-    /// quality checks).
-    triangles: Vec<[u32; 3]>,
+    pub(crate) visit: Vec<u32>,
+    /// Shared triangle connectivity (smart smoothing's local quality
+    /// checks and the quality cache score against it).
+    pub(crate) triangles: std::sync::Arc<[[u32; 3]]>,
+    /// Star layout: for every vertex→triangle incidence (aligned with the
+    /// flat CSR slice order, base [`Adjacency::triangles_offset`]), the
+    /// three stored corners encoded as ring positions — the index of the
+    /// corner in `neighbors(v)`, or [`SELF_CORNER`] for `v` itself. Lets
+    /// the smart sweeps score a candidate star from a gathered ring buffer
+    /// instead of scattered coordinate loads. `None` when a vertex degree
+    /// exceeds `u8` encoding (fall back to direct indexing).
+    pub(crate) star: Option<std::sync::Arc<[[u8; 3]]>>,
+    /// Lazily-computed interior color classes for the colored parallel
+    /// engine (topology-only, so one computation serves every run).
+    pub(crate) colored_classes: std::sync::OnceLock<Vec<Vec<u32>>>,
+}
+
+/// Sentinel ring position marking "the vertex being smoothed itself".
+pub(crate) const SELF_CORNER: u8 = u8::MAX;
+
+/// Build the star corner layout; `None` if any degree ≥ 255 or a corner
+/// is not in the vertex's neighbour list (non-manifold edge cases).
+fn build_star_layout(adj: &Adjacency, triangles: &[[u32; 3]]) -> Option<Vec<[u8; 3]>> {
+    let n = adj.num_vertices() as u32;
+    let total: usize = (0..n).map(|v| adj.triangles_of(v).len()).sum();
+    let mut layout = Vec::with_capacity(total);
+    for v in 0..n {
+        let ns = adj.neighbors(v);
+        if ns.len() >= SELF_CORNER as usize {
+            return None;
+        }
+        for &t in adj.triangles_of(v) {
+            let mut enc = [0u8; 3];
+            for (k, &u) in triangles[t as usize].iter().enumerate() {
+                enc[k] = if u == v {
+                    SELF_CORNER
+                } else {
+                    match ns.binary_search(&u) {
+                        Ok(pos) => pos as u8,
+                        Err(_) => return None,
+                    }
+                };
+            }
+            layout.push(enc);
+        }
+    }
+    Some(layout)
 }
 
 impl SmoothEngine {
@@ -39,7 +87,27 @@ impl SmoothEngine {
                 greedy_visit_order(&adj, &boundary, &q)
             }
         };
-        SmoothEngine { params, adj, boundary, visit, triangles: mesh.triangles().to_vec() }
+        // only the smart sweeps read the star layout; skip the O(3T)
+        // binary-search construction for plain engines
+        let star = if params.smart {
+            build_star_layout(&adj, mesh.triangles()).map(Into::into)
+        } else {
+            None
+        };
+        SmoothEngine {
+            params,
+            adj,
+            boundary,
+            visit,
+            triangles: mesh.triangles().into(),
+            star,
+            colored_classes: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// The shared triangle connectivity the engine was built for.
+    pub fn triangles(&self) -> &[[u32; 3]] {
+        &self.triangles
     }
 
     /// Mean quality of the triangles incident to `v`, evaluated on
@@ -125,8 +193,26 @@ impl SmoothEngine {
     }
 
     /// Smooth `mesh` in place until convergence or `max_iters`.
+    ///
+    /// Runs the incremental-quality hot path (see [`crate::kernel`]): the
+    /// per-iteration convergence statistics and the smart-commit "before"
+    /// qualities come from an [`lms_mesh::QualityCache`] that re-scores
+    /// only the triangles a move touched, instead of recomputing the whole
+    /// mesh quality every sweep. Produces bit-identical coordinates to
+    /// [`smooth_full_recompute`](Self::smooth_full_recompute) for any
+    /// fixed sweep count (see [`crate::kernel`] for the one ulp-level
+    /// caveat around the convergence tolerance).
     pub fn smooth(&self, mesh: &mut TriMesh) -> SmoothReport {
-        self.smooth_traced(mesh, &mut NullSink)
+        self.smooth_incremental(mesh)
+    }
+
+    /// The pre-incremental reference path: recomputes the full mesh
+    /// quality from scratch every iteration and re-evaluates both sides of
+    /// every smart-commit test. Kept as the oracle for property tests and
+    /// as the baseline the `bench_smooth_hot` bench measures the
+    /// incremental path against.
+    pub fn smooth_full_recompute(&self, mesh: &mut TriMesh) -> SmoothReport {
+        self.smooth_traced_opts(mesh, &mut NullSink, false)
     }
 
     /// [`smooth`](Self::smooth) while reporting every vertex-record access
@@ -250,8 +336,7 @@ impl SmoothEngine {
                 sink.access(w);
                 coords[w as usize]
             });
-            let Some(candidate) = weighted_candidate(self.params.weighting, pv, gathered)
-            else {
+            let Some(candidate) = weighted_candidate(self.params.weighting, pv, gathered) else {
                 continue;
             };
             if self.params.smart {
@@ -287,8 +372,7 @@ impl SmoothEngine {
                 sink.access(w);
                 prev[w as usize]
             });
-            let Some(candidate) = weighted_candidate(self.params.weighting, pv, gathered)
-            else {
+            let Some(candidate) = weighted_candidate(self.params.weighting, pv, gathered) else {
                 continue;
             };
             if self.params.smart {
@@ -401,11 +485,8 @@ mod tests {
         // Each sweep accesses every interior vertex once plus its degree.
         let mut m = generators::perturbed_grid(10, 10, 0.3, 7);
         let engine = SmoothEngine::new(&m, SmoothParams::paper().with_max_iters(3));
-        let expected_per_iter: u64 = engine
-            .visit_order()
-            .iter()
-            .map(|&v| 1 + engine.adjacency().degree(v) as u64)
-            .sum();
+        let expected_per_iter: u64 =
+            engine.visit_order().iter().map(|&v| 1 + engine.adjacency().degree(v) as u64).sum();
         let mut sink = CountSink::default();
         let report = engine.smooth_traced(&mut m, &mut sink);
         assert_eq!(sink.iterations as usize, report.num_iterations());
@@ -486,10 +567,8 @@ mod tests {
         use crate::config::Weighting;
         for weighting in [Weighting::InverseEdgeLength, Weighting::EdgeLength] {
             let mut m = generators::perturbed_grid(16, 16, 0.35, 4);
-            let report = SmoothParams::paper()
-                .with_weighting(weighting)
-                .with_max_iters(100)
-                .smooth(&mut m);
+            let report =
+                SmoothParams::paper().with_weighting(weighting).with_max_iters(100).smooth(&mut m);
             assert!(
                 report.final_quality > report.initial_quality + 0.01,
                 "{}: {} -> {}",

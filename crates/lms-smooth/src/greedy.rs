@@ -58,9 +58,7 @@ pub fn greedy_visit_order(adj: &Adjacency, boundary: &Boundary, quality: &[f64])
                 .copied()
                 .filter(|&w| boundary.is_interior(w) && !visited[w as usize])
                 .min_by(|&a, &b| {
-                    OrdF64(quality[a as usize])
-                        .cmp(&OrdF64(quality[b as usize]))
-                        .then(a.cmp(&b))
+                    OrdF64(quality[a as usize]).cmp(&OrdF64(quality[b as usize])).then(a.cmp(&b))
                 })
         });
         let v = match next {
@@ -138,9 +136,7 @@ mod tests {
                 .iter()
                 .copied()
                 .filter(|&x| b.is_interior(x) && !visited[x as usize])
-                .min_by(|&a, &c| {
-                    OrdF64(q[a as usize]).cmp(&OrdF64(q[c as usize])).then(a.cmp(&c))
-                });
+                .min_by(|&a, &c| OrdF64(q[a as usize]).cmp(&OrdF64(q[c as usize])).then(a.cmp(&c)));
             if let Some(best) = nbr_choice {
                 assert_eq!(w[1], best, "greedy step must take the worst neighbour");
             }

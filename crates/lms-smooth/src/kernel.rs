@@ -1,0 +1,506 @@
+//! The incremental-quality sweep kernel — the serial hot path.
+//!
+//! The reference engine ([`SmoothEngine::smooth_full_recompute`]) spends
+//! most of its time on *bookkeeping* rather than smoothing:
+//!
+//! * every iteration ends with a full-mesh `mesh_quality` recompute
+//!   (O(T) triangle scorings plus the per-vertex means) just to evaluate
+//!   the convergence test;
+//! * every smart-commit test scores the vertex star twice — once for the
+//!   "before" quality and once for the candidate — through a per-corner
+//!   closure (`local_quality_with`'s `at`), so a sweep over a mesh with
+//!   mean degree ~6 performs ~12 triangle scorings per vertex.
+//!
+//! This module rewrites both around an [`lms_mesh::QualityCache`]:
+//!
+//! * the **"before"** star quality is a cache lookup (the incident
+//!   triangles' current qualities are already known);
+//! * the **candidate** star is scored once, from a ring buffer gathered
+//!   through the CSR neighbour slice into (usually) stack scratch and
+//!   addressed through the engine's precomputed star layout (no closure
+//!   dispatch, no re-scattered coordinate loads), and the scores are
+//!   *reused* to update the cache at commit time;
+//! * per-iteration statistics read the cache's compensated running sum —
+//!   O(1) — with triangles touched by unevaluated moves (plain sweeps,
+//!   Jacobi) re-scored exactly once per sweep via the dirty set;
+//! * the reported `final_quality` is re-reduced in canonical order
+//!   ([`QualityCache::quality_exact`]), bit-identical to a from-scratch
+//!   `mesh_quality` on the output mesh.
+//!
+//! The arithmetic of every committed move is identical to the reference
+//! path expression by expression, so coordinates stay **bit-identical**
+//! over any fixed number of sweeps — property-tested in
+//! `tests/incremental.rs`. One caveat: the per-iteration convergence test
+//! reads the compensated running sum, which tracks the exact quality to a
+//! few ulps; an improvement landing exactly on `tol` could therefore stop
+//! the incremental and reference paths one sweep apart. Disable the
+//! tolerance (`tol < 0`) when exact sweep-count parity matters.
+
+use crate::config::{UpdateScheme, Weighting};
+use crate::engine::{SmoothEngine, SELF_CORNER};
+use crate::stats::{IterationStats, SmoothReport};
+use crate::weighting::weighted_candidate;
+use lms_mesh::geometry::{signed_area, Point2};
+use lms_mesh::quality::QualityMetric;
+use lms_mesh::{QualityCache, TriMesh};
+
+/// Scratch for one vertex's candidate evaluation, aligned with the
+/// vertex's incident-triangle slice: candidate quality + orientation.
+type TriScore = (f64, bool);
+
+/// Stars/rings up to this size use stack scratch; larger ones fall back
+/// to heap scratch (mean degree of a triangulation is ~6).
+const STACK_STAR: usize = 16;
+
+/// Reusable per-sweep scratch for the smart sweeps.
+struct SmartScratch {
+    ring_stack: [Point2; STACK_STAR],
+    ring_spill: Vec<Point2>,
+    score_stack: [TriScore; STACK_STAR],
+    score_spill: Vec<TriScore>,
+}
+
+impl SmartScratch {
+    fn new() -> Self {
+        SmartScratch {
+            ring_stack: [Point2::ZERO; STACK_STAR],
+            ring_spill: Vec::new(),
+            score_stack: [(0.0, false); STACK_STAR],
+            score_spill: Vec::new(),
+        }
+    }
+}
+
+/// [`candidate_for`] reading an already-gathered ring buffer
+/// (`ring[k] == coords[ns[k]]`), so the arithmetic — accumulation order
+/// included — is identical.
+#[inline]
+fn candidate_from_ring(weighting: Weighting, pv: Point2, ring: &[Point2]) -> Option<Point2> {
+    match weighting {
+        Weighting::Uniform => {
+            let mut sum = Point2::ZERO;
+            for &p in ring {
+                sum += p;
+            }
+            (!ring.is_empty()).then(|| sum / ring.len() as f64)
+        }
+        _ => weighted_candidate(weighting, pv, ring.iter().copied()),
+    }
+}
+
+/// Score vertex `v`'s candidate star. Corners come from the gathered
+/// `ring` + `candidate` via the engine's star layout when available
+/// (L1-resident, no scattered loads), falling back to direct coordinate
+/// indexing. Scores land in `out[..ts_len]`; returns
+/// `(after_sum, after_all_pos)`.
+///
+/// Both paths evaluate `metric.triangle_quality` / [`signed_area`] on
+/// corner values bit-equal to the source coordinates, so the outcome is
+/// identical to the reference engine's closure-based evaluation.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn score_candidate_star<R: Fn(u8) -> Point2>(
+    metric: QualityMetric,
+    cache: &QualityCache,
+    star: Option<&[[u8; 3]]>,
+    star_base: usize,
+    ts: &[u32],
+    triangles: &[[u32; 3]],
+    source: &[Point2],
+    ring_at: R,
+    v: u32,
+    candidate: Point2,
+    out: &mut [TriScore],
+) -> StarEval {
+    let mut after_sum = 0.0;
+    let mut before_sum = 0.0;
+    let mut all_pos = true;
+    match star {
+        Some(layout) => {
+            let lay = &layout[star_base..star_base + ts.len()];
+            for ((&t, &[c0, c1, c2]), slot) in ts.iter().zip(lay).zip(out.iter_mut()) {
+                before_sum += cache.guarded_quality(t);
+                let pick = |c: u8| {
+                    if c == SELF_CORNER {
+                        candidate
+                    } else {
+                        ring_at(c)
+                    }
+                };
+                let (pa, pb, pc) = (pick(c0), pick(c1), pick(c2));
+                let q = metric.triangle_quality(pa, pb, pc);
+                let pos = signed_area(pa, pb, pc) > 0.0;
+                *slot = (q, pos);
+                if pos {
+                    after_sum += q;
+                } else {
+                    all_pos = false;
+                }
+            }
+        }
+        None => {
+            for (&t, slot) in ts.iter().zip(out.iter_mut()) {
+                before_sum += cache.guarded_quality(t);
+                let (q, pos) =
+                    QualityCache::score_with(metric, source, triangles[t as usize], v, candidate);
+                *slot = (q, pos);
+                if pos {
+                    after_sum += q;
+                } else {
+                    all_pos = false;
+                }
+            }
+        }
+    }
+    StarEval { after_sum, before_sum, after_all_pos: all_pos }
+}
+
+/// Result of one fused star evaluation.
+struct StarEval {
+    after_sum: f64,
+    before_sum: f64,
+    after_all_pos: bool,
+}
+
+/// The Laplacian candidate gathered through a CSR neighbour slice.
+///
+/// The uniform (paper) weighting is specialised — one fused
+/// gather-and-accumulate loop, no per-vertex dispatch — with arithmetic
+/// identical to [`weighted_candidate`]'s uniform arm (same accumulation
+/// order, same `sum / n` expression), so results stay bit-equal across
+/// every engine. Other weightings delegate.
+#[inline]
+pub(crate) fn candidate_for(
+    weighting: Weighting,
+    pv: Point2,
+    ns: &[u32],
+    coords: &[Point2],
+) -> Option<Point2> {
+    match weighting {
+        Weighting::Uniform => {
+            let mut sum = Point2::ZERO;
+            for &w in ns {
+                sum += coords[w as usize];
+            }
+            (!ns.is_empty()).then(|| sum / ns.len() as f64)
+        }
+        _ => weighted_candidate(weighting, pv, ns.iter().map(|&w| coords[w as usize])),
+    }
+}
+
+impl SmoothEngine {
+    /// [`smooth`](Self::smooth)'s implementation: incremental-quality
+    /// sweeps, no tracing.
+    pub(crate) fn smooth_incremental(&self, mesh: &mut TriMesh) -> SmoothReport {
+        assert_eq!(
+            mesh.num_vertices(),
+            self.adj.num_vertices(),
+            "engine was built for a different mesh"
+        );
+        let params = &self.params;
+        let mut cache = QualityCache::build(mesh, &self.adj, params.metric);
+        let initial_quality = cache.quality_exact(&self.adj);
+        let mut report = SmoothReport {
+            initial_quality,
+            final_quality: initial_quality,
+            iterations: Vec::new(),
+            converged: false,
+        };
+        let mut quality = initial_quality;
+        let mut prev: Vec<Point2> = Vec::new();
+        let mut scratch = SmartScratch::new();
+        let mut moved: Vec<u32> = Vec::new();
+
+        for iter in 1..=params.max_iters {
+            moved.clear();
+            match (params.update, params.smart) {
+                (UpdateScheme::GaussSeidel, false) => {
+                    self.sweep_gs_plain(mesh.coords_mut(), &mut moved)
+                }
+                (UpdateScheme::GaussSeidel, true) => {
+                    self.sweep_gs_smart(mesh.coords_mut(), &mut cache, &mut scratch)
+                }
+                (UpdateScheme::Jacobi, false) => {
+                    prev.clear();
+                    prev.extend_from_slice(mesh.coords());
+                    self.sweep_jacobi_plain(&prev, mesh.coords_mut(), &mut moved);
+                }
+                (UpdateScheme::Jacobi, true) => {
+                    prev.clear();
+                    prev.extend_from_slice(mesh.coords());
+                    self.sweep_jacobi_smart(
+                        &prev,
+                        mesh.coords_mut(),
+                        &cache,
+                        &mut moved,
+                        &mut scratch,
+                    );
+                }
+            }
+            if !moved.is_empty() {
+                cache.apply_moves(&moved, &self.adj, mesh.coords(), &self.triangles);
+            }
+
+            let new_quality = cache.quality_running();
+            let improvement = new_quality - quality;
+            report.iterations.push(IterationStats { iter, quality: new_quality, improvement });
+            quality = new_quality;
+            if improvement < params.tol {
+                report.converged = true;
+                break;
+            }
+        }
+
+        // Report the exact value (canonical reduction order), so
+        // `final_quality` matches a from-scratch recompute bit for bit.
+        let exact = if report.iterations.is_empty() {
+            initial_quality
+        } else {
+            cache.quality_exact(&self.adj)
+        };
+        if let Some(last) = report.iterations.last_mut() {
+            last.quality = exact;
+        }
+        report.final_quality = exact;
+        report
+    }
+
+    /// Plain in-place sweep: every candidate commits; movers are recorded
+    /// for the post-sweep cache update (no quality evaluation inside the
+    /// sweep at all).
+    fn sweep_gs_plain(&self, coords: &mut [Point2], moved: &mut Vec<u32>) {
+        for &v in &self.visit {
+            let ns = self.adj.neighbors(v);
+            if ns.is_empty() {
+                continue;
+            }
+            let pv = coords[v as usize];
+            let Some(candidate) = candidate_for(self.params.weighting, pv, ns, coords) else {
+                continue;
+            };
+            coords[v as usize] = candidate;
+            moved.push(v);
+        }
+    }
+
+    /// Smart in-place sweep: "before" from the cache, candidate scored
+    /// once from the gathered ring, scores reused as the cache update on
+    /// commit.
+    fn sweep_gs_smart(
+        &self,
+        coords: &mut [Point2],
+        cache: &mut QualityCache,
+        scratch: &mut SmartScratch,
+    ) {
+        let metric = self.params.metric;
+        let weighting = self.params.weighting;
+        let triangles: &[[u32; 3]] = &self.triangles;
+        let star = self.star.as_deref();
+        let SmartScratch { ring_stack, ring_spill, score_stack, score_spill } = scratch;
+        for &v in &self.visit {
+            let ns = self.adj.neighbors(v);
+            if ns.is_empty() {
+                continue;
+            }
+            let pv = coords[v as usize];
+
+            // gather the ring once; candidate and scoring both read it
+            let on_stack = ns.len() <= STACK_STAR;
+            let ring: &[Point2] = if on_stack {
+                for (slot, &w) in ring_stack.iter_mut().zip(ns) {
+                    *slot = coords[w as usize];
+                }
+                &ring_stack[..ns.len()]
+            } else {
+                ring_spill.clear();
+                ring_spill.extend(ns.iter().map(|&w| coords[w as usize]));
+                ring_spill
+            };
+            let Some(candidate) = candidate_from_ring(weighting, pv, ring) else {
+                continue;
+            };
+
+            let ts = self.adj.triangles_of(v);
+            if ts.is_empty() {
+                // star-less vertex: both local qualities are 0 and the
+                // validity rule is vacuous — the reference path commits
+                coords[v as usize] = candidate;
+                continue;
+            }
+
+            let out: &mut [TriScore] = if ts.len() <= STACK_STAR {
+                &mut score_stack[..ts.len()]
+            } else {
+                score_spill.clear();
+                score_spill.resize(ts.len(), (0.0, false));
+                score_spill
+            };
+            // one fused star pass: branchless guarded "before" from cache
+            // lookups, candidate scored alongside. The stack-ring accessor
+            // masks the index (codes are < STACK_STAR by construction), so
+            // the fixed-size array read needs no bounds check.
+            let base = self.adj.triangles_offset(v);
+            let StarEval { after_sum, before_sum, after_all_pos } = if on_stack {
+                let arr: &[Point2; STACK_STAR] = ring_stack;
+                score_candidate_star(
+                    metric,
+                    cache,
+                    star,
+                    base,
+                    ts,
+                    triangles,
+                    coords,
+                    |c| arr[(c as usize) & (STACK_STAR - 1)],
+                    v,
+                    candidate,
+                    out,
+                )
+            } else {
+                let rs: &[Point2] = ring_spill;
+                score_candidate_star(
+                    metric,
+                    cache,
+                    star,
+                    base,
+                    ts,
+                    triangles,
+                    coords,
+                    |c| rs[c as usize],
+                    v,
+                    candidate,
+                    out,
+                )
+            };
+
+            // Same decision as the reference path's mean-vs-mean test:
+            // IEEE division by a positive constant is monotone, so a sum
+            // win implies a mean win and the divisions only run on the
+            // boundary where rounding could collapse a strict sum loss
+            // into mean equality. The "before was already invalid" escape
+            // hatch is only consulted when the candidate star is invalid.
+            let len = ts.len() as f64;
+            let quality_ok = after_sum >= before_sum || after_sum / len >= before_sum / len;
+            let commit =
+                quality_ok && (after_all_pos || ts.iter().any(|&t| !cache.tri_is_positive(t)));
+            if commit {
+                coords[v as usize] = candidate;
+                cache.set_star(ts, out);
+            }
+        }
+    }
+
+    /// Plain double-buffered sweep: reads `prev`, writes `next`, records
+    /// movers (a triangle can gain several moved corners, so scoring waits
+    /// for the post-sweep cache update).
+    fn sweep_jacobi_plain(&self, prev: &[Point2], next: &mut [Point2], moved: &mut Vec<u32>) {
+        for &v in &self.visit {
+            let ns = self.adj.neighbors(v);
+            if ns.is_empty() {
+                continue;
+            }
+            let pv = prev[v as usize];
+            let Some(candidate) = candidate_for(self.params.weighting, pv, ns, prev) else {
+                continue;
+            };
+            next[v as usize] = candidate;
+            moved.push(v);
+        }
+    }
+
+    /// Smart double-buffered sweep: the cache still reflects `prev` (it is
+    /// only updated between sweeps), so "before" lookups are the previous
+    /// sweep's values — exactly the reference path's semantics.
+    fn sweep_jacobi_smart(
+        &self,
+        prev: &[Point2],
+        next: &mut [Point2],
+        cache: &QualityCache,
+        moved: &mut Vec<u32>,
+        scratch: &mut SmartScratch,
+    ) {
+        let metric = self.params.metric;
+        let weighting = self.params.weighting;
+        let triangles: &[[u32; 3]] = &self.triangles;
+        let star = self.star.as_deref();
+        let SmartScratch { ring_stack, ring_spill, score_stack, score_spill } = scratch;
+        for &v in &self.visit {
+            let ns = self.adj.neighbors(v);
+            if ns.is_empty() {
+                continue;
+            }
+            let pv = prev[v as usize];
+            let on_stack = ns.len() <= STACK_STAR;
+            let ring: &[Point2] = if on_stack {
+                for (slot, &w) in ring_stack.iter_mut().zip(ns) {
+                    *slot = prev[w as usize];
+                }
+                &ring_stack[..ns.len()]
+            } else {
+                ring_spill.clear();
+                ring_spill.extend(ns.iter().map(|&w| prev[w as usize]));
+                ring_spill
+            };
+            let Some(candidate) = candidate_from_ring(weighting, pv, ring) else {
+                continue;
+            };
+
+            let ts = self.adj.triangles_of(v);
+            if ts.is_empty() {
+                next[v as usize] = candidate;
+                continue;
+            }
+
+            // scores are provisional (a triangle can gain several moved
+            // corners this sweep — the post-sweep update re-scores), so
+            // the scratch output is discarded after the commit test
+            let out: &mut [TriScore] = if ts.len() <= STACK_STAR {
+                &mut score_stack[..ts.len()]
+            } else {
+                score_spill.clear();
+                score_spill.resize(ts.len(), (0.0, false));
+                score_spill
+            };
+            let base = self.adj.triangles_offset(v);
+            let StarEval { after_sum, before_sum, after_all_pos } = if on_stack {
+                let arr: &[Point2; STACK_STAR] = ring_stack;
+                score_candidate_star(
+                    metric,
+                    cache,
+                    star,
+                    base,
+                    ts,
+                    triangles,
+                    prev,
+                    |c| arr[(c as usize) & (STACK_STAR - 1)],
+                    v,
+                    candidate,
+                    out,
+                )
+            } else {
+                let rs: &[Point2] = ring_spill;
+                score_candidate_star(
+                    metric,
+                    cache,
+                    star,
+                    base,
+                    ts,
+                    triangles,
+                    prev,
+                    |c| rs[c as usize],
+                    v,
+                    candidate,
+                    out,
+                )
+            };
+
+            let len = ts.len() as f64;
+            let quality_ok = after_sum >= before_sum || after_sum / len >= before_sum / len;
+            let commit =
+                quality_ok && (after_all_pos || ts.iter().any(|&t| !cache.tri_is_positive(t)));
+            if commit {
+                next[v as usize] = candidate;
+                moved.push(v);
+            }
+        }
+    }
+}

@@ -9,6 +9,10 @@
 //!   deterministic for any thread count;
 //! * [`SmoothEngine::smooth_parallel_chaotic`] — in-place relaxed-atomic
 //!   Gauss–Seidel, the closest analogue of the paper's OpenMP loop;
+//! * [`SmoothEngine::smooth_parallel_colored`] — graph-colored in-place
+//!   Gauss–Seidel: race-free **and** bitwise-deterministic for any thread
+//!   count, driven by the same incremental quality cache as the serial
+//!   hot path;
 //! * [`SmoothEngine::smooth_traced`] — any serial configuration while
 //!   streaming every vertex-record access to an [`AccessSink`], feeding the
 //!   reuse-distance and cache analyses of `lms-cache`.
@@ -20,14 +24,17 @@
 //! assert!(report.final_quality > report.initial_quality);
 //! ```
 
+pub mod colored;
 pub mod config;
 pub mod engine;
 pub mod greedy;
+pub mod kernel;
 pub mod parallel;
 pub mod stats;
 pub mod trace;
 pub mod weighting;
 
+pub use colored::smooth_parallel_colored;
 pub use config::{IterationPolicy, SmoothParams, UpdateScheme, Weighting};
 pub use engine::SmoothEngine;
 pub use greedy::greedy_visit_order;

@@ -221,7 +221,11 @@ impl SmoothEngine {
 }
 
 /// Convenience: build an engine and smooth in parallel in one call.
-pub fn smooth_parallel(mesh: &mut TriMesh, params: &SmoothParams, num_threads: usize) -> SmoothReport {
+pub fn smooth_parallel(
+    mesh: &mut TriMesh,
+    params: &SmoothParams,
+    num_threads: usize,
+) -> SmoothReport {
     SmoothEngine::new(mesh, params.clone()).smooth_parallel(mesh, num_threads)
 }
 

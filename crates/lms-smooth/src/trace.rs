@@ -201,8 +201,7 @@ mod tests {
         let engine = SmoothEngine::new(&m, SmoothParams::paper().with_max_iters(1));
         let mut sink = VecSink::new();
         engine.smooth_traced(&mut m.clone(), &mut sink);
-        let chunks =
-            chunked_sweep_traces(engine.adjacency(), engine.boundary(), 1);
+        let chunks = chunked_sweep_traces(engine.adjacency(), engine.boundary(), 1);
         assert_eq!(chunks[0], sink.accesses);
     }
 

@@ -73,13 +73,11 @@ fn boundary_faces(mesh: &TetMesh) -> Vec<([u32; 3], u32)> {
 
 /// Render the boundary surface of `mesh`.
 pub fn render_tet_surface(mesh: &TetMesh, style: &Mesh3Style) -> Svg {
-    let tq =
-        if style.color_by_quality { tet_qualities(mesh, style.metric) } else { Vec::new() };
+    let tq = if style.color_by_quality { tet_qualities(mesh, style.metric) } else { Vec::new() };
     let faces = boundary_faces(mesh);
 
     // project all vertices once
-    let projected: Vec<(f64, f64, f64)> =
-        mesh.coords().iter().map(|&p| project(p)).collect();
+    let projected: Vec<(f64, f64, f64)> = mesh.coords().iter().map(|&p| project(p)).collect();
 
     // screen bounding box
     let (mut lo_x, mut lo_y, mut hi_x, mut hi_y) =
@@ -96,19 +94,14 @@ pub fn render_tet_surface(mesh: &TetMesh, style: &Mesh3Style) -> Svg {
     let margin = 8.0;
     let scale = (style.width - 2.0 * margin) / (hi_x - lo_x).max(f64::MIN_POSITIVE);
     let height = (hi_y - lo_y) * scale + 2.0 * margin;
-    let to_screen =
-        |x: f64, y: f64| ((x - lo_x) * scale + margin, (y - lo_y) * scale + margin);
+    let to_screen = |x: f64, y: f64| ((x - lo_x) * scale + margin, (y - lo_y) * scale + margin);
 
     // painter's algorithm: far faces first (largest mean depth first, with
     // z2 pointing towards the viewer negative — draw descending depth)
     let mut order: Vec<usize> = (0..faces.len()).collect();
-    let depth = |f: &[u32; 3]| {
-        f.iter().map(|&v| projected[v as usize].2).sum::<f64>() / 3.0
-    };
+    let depth = |f: &[u32; 3]| f.iter().map(|&v| projected[v as usize].2).sum::<f64>() / 3.0;
     order.sort_by(|&a, &b| {
-        depth(&faces[b].0)
-            .partial_cmp(&depth(&faces[a].0))
-            .unwrap_or(std::cmp::Ordering::Equal)
+        depth(&faces[b].0).partial_cmp(&depth(&faces[a].0)).unwrap_or(std::cmp::Ordering::Equal)
     });
 
     let light = Point3::new(0.4, 0.8, -0.45);
@@ -127,11 +120,8 @@ pub fn render_tet_surface(mesh: &TetMesh, style: &Mesh3Style) -> Svg {
         // world-space normal for shading
         let [a, b, c] = face.map(|v| mesh.coords()[v as usize]);
         let n = (b - a).cross(c - a);
-        let shade = if n.norm() > 0.0 {
-            0.55 + 0.45 * (n / n.norm()).dot(light).abs()
-        } else {
-            0.55
-        };
+        let shade =
+            if n.norm() > 0.0 { 0.55 + 0.45 * (n / n.norm()).dot(light).abs() } else { 0.55 };
         let base = if style.color_by_quality {
             quality_color(tq[owner as usize])
         } else {
@@ -151,8 +141,8 @@ pub fn render_tet_surface(mesh: &TetMesh, style: &Mesh3Style) -> Svg {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lms_mesh3d::generators::{perturbed_tet_grid, tet_grid};
     use lms_mesh3d::corner_tet;
+    use lms_mesh3d::generators::{perturbed_tet_grid, tet_grid};
 
     #[test]
     fn surface_of_single_tet_has_four_faces() {

@@ -142,9 +142,7 @@ impl Chart {
             let pts: Vec<(f64, f64)> = s
                 .points
                 .iter()
-                .filter_map(|&(x, y)| {
-                    Some((sx(map(x, self.x_scale)?), sy(map(y, self.y_scale)?)))
-                })
+                .filter_map(|&(x, y)| Some((sx(map(x, self.x_scale)?), sy(map(y, self.y_scale)?))))
                 .collect();
             svg.polyline(&pts, color, 1.6);
             if self.markers {

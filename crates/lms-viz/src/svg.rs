@@ -62,11 +62,11 @@ pub fn quality_color(q: f64) -> Color {
 
 /// A categorical palette for plot series (ORI / BFS / RDR and friends).
 pub const SERIES_COLORS: [Color; 6] = [
-    Color::rgb(214, 69, 65),  // red (ori)
-    Color::rgb(52, 119, 219), // blue (bfs)
-    Color::rgb(38, 166, 91),  // green (rdr)
-    Color::rgb(243, 156, 18), // orange
-    Color::rgb(142, 68, 173), // purple
+    Color::rgb(214, 69, 65),   // red (ori)
+    Color::rgb(52, 119, 219),  // blue (bfs)
+    Color::rgb(38, 166, 91),   // green (rdr)
+    Color::rgb(243, 156, 18),  // orange
+    Color::rgb(142, 68, 173),  // purple
     Color::rgb(127, 140, 141), // grey
 ];
 

@@ -1,0 +1,290 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`], [`BenchmarkId`], [`Throughput`],
+//! [`criterion_group!`]/[`criterion_main!`] — as a plain wall-clock harness:
+//! a warm-up pass, `sample_size` timed samples, then a one-line report of
+//! min / median / mean per benchmark.
+//!
+//! Runs under the default cargo bench harness model: benches must set
+//! `harness = false` in their manifest, exactly as with real criterion.
+
+use std::fmt::{self, Display};
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from deleting a benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Throughput annotation (recorded, displayed for `Elements`).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// One measured benchmark: identifier plus per-sample total times.
+#[derive(Debug, Clone)]
+pub struct SampleSummary {
+    /// `group/function/parameter` path.
+    pub id: String,
+    /// Mean time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Median time per iteration, in nanoseconds.
+    pub median_ns: f64,
+    /// Fastest sample, in nanoseconds per iteration.
+    pub min_ns: f64,
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<SampleSummary>,
+}
+
+impl Criterion {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10, throughput: None }
+    }
+
+    /// Register a stand-alone benchmark (its own single-entry group).
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        let name = id.to_string();
+        let mut g = self.benchmark_group(name);
+        g.bench_with_input(BenchmarkId::from_parameter(""), &(), move |b, _| f(b));
+        g.finish();
+    }
+
+    /// All summaries measured so far, in execution order.
+    pub fn summaries(&self) -> &[SampleSummary] {
+        &self.results
+    }
+
+    /// Marker for end-of-run (upstream criterion prints its summary here).
+    pub fn final_summary(&self) {}
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (minimum 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotate following benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark `f` with `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut bencher, input);
+        self.record(id, bencher);
+        self
+    }
+
+    /// Benchmark `f` with no input.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut bencher);
+        self.record(id, bencher);
+        self
+    }
+
+    fn record(&mut self, id: BenchmarkId, bencher: Bencher) {
+        let mut per_iter: Vec<f64> = bencher.samples.clone();
+        if per_iter.is_empty() {
+            return;
+        }
+        per_iter.sort_by(f64::total_cmp);
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let full = format!("{}/{}", self.name, id);
+        let thr = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                format!("  {:>10.1} Melem/s", n as f64 / mean * 1e3)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {:<60} min {:>12}  median {:>12}  mean {:>12}{}",
+            full,
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+            thr
+        );
+        self.criterion.results.push(SampleSummary {
+            id: full,
+            mean_ns: mean,
+            median_ns: median,
+            min_ns: min,
+        });
+    }
+
+    /// Close the group.
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Passed to the benchmark closure; [`iter`](Self::iter) times the payload.
+pub struct Bencher {
+    /// Per-sample mean nanoseconds per iteration.
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `f`: one warm-up call, then `sample_size` timed samples. Each
+    /// sample runs enough iterations to cover ~1 ms so short payloads are
+    /// measurable.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        black_box(f()); // warm-up
+        let probe = Instant::now();
+        black_box(f());
+        let once = probe.elapsed().max(Duration::from_nanos(1));
+        let iters_per_sample =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as usize;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let total = start.elapsed().as_nanos() as f64;
+            self.samples.push(total / iters_per_sample as f64);
+        }
+    }
+}
+
+/// Mirrors `criterion_group!`: defines a function running each benchmark
+/// with a fresh default [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::new();
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Mirrors `criterion_main!`: the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::new();
+        {
+            let mut g = c.benchmark_group("shim");
+            g.sample_size(3);
+            g.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+            g.finish();
+        }
+        assert_eq!(c.summaries().len(), 1);
+        let s = &c.summaries()[0];
+        assert_eq!(s.id, "shim/sum/100");
+        assert!(s.mean_ns > 0.0 && s.min_ns <= s.mean_ns);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(12.0), "12 ns");
+        assert_eq!(fmt_ns(1500.0), "1.500 µs");
+        assert_eq!(fmt_ns(2_500_000.0), "2.500 ms");
+        assert_eq!(fmt_ns(3.2e9), "3.200 s");
+    }
+}

@@ -1,0 +1,421 @@
+//! Offline shim for the `rayon` crate.
+//!
+//! Provides the adapter surface this workspace uses — `par_iter`,
+//! `into_par_iter` on ranges, `par_chunks`/`par_chunks_mut`, `map`,
+//! `enumerate`, `for_each`, `collect`, `sum`, plus [`ThreadPoolBuilder`] /
+//! [`ThreadPool::install`] — executed on `std::thread::scope` workers.
+//!
+//! Two properties the workspace's determinism tests rely on:
+//!
+//! * **Order-preserving collect**: `map(..).collect()` returns results in
+//!   input order, whatever the worker interleaving.
+//! * **Thread-count-independent reduction**: work is split into a fixed
+//!   group grid (independent of the worker count) and partial results are
+//!   combined in group order, so `sum()` is bitwise identical for any
+//!   `num_threads` — strictly stronger than upstream rayon's guarantee, and
+//!   what makes the parallel engines reproducible.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Number of worker threads par-adapters on this thread currently use.
+pub fn current_num_threads() -> usize {
+    let t = CURRENT_THREADS.with(|c| c.get());
+    if t == 0 {
+        default_threads()
+    } else {
+        t
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`]; this shim never produces one.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Target worker count; 0 means "host parallelism".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 { default_threads() } else { self.num_threads };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A logical pool: par-adapters called inside [`install`](Self::install)
+/// split work across this many scoped worker threads.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's worker count active on the calling thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        CURRENT_THREADS.with(|c| {
+            let prev = c.get();
+            c.set(self.num_threads);
+            let out = f();
+            c.set(prev);
+            out
+        })
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Fixed group grid: split `len` items into at most 64 contiguous groups.
+/// The grid depends only on `len`, never on the worker count — the key to
+/// thread-count-independent reductions.
+fn group_bounds(len: usize) -> Vec<(usize, usize)> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let groups = len.min(64);
+    (0..groups)
+        .map(|g| (g * len / groups, (g + 1) * len / groups))
+        .filter(|&(lo, hi)| lo < hi)
+        .collect()
+}
+
+/// Run `work(group_index, lo, hi)` over the group grid on the active worker
+/// count, returning per-group outputs in group order.
+fn run_groups<O: Send>(len: usize, work: &(impl Fn(usize, usize, usize) -> O + Sync)) -> Vec<O> {
+    let bounds = group_bounds(len);
+    let workers = current_num_threads().min(bounds.len()).max(1);
+    if workers <= 1 {
+        return bounds.iter().enumerate().map(|(g, &(lo, hi))| work(g, lo, hi)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<O>> = Vec::new();
+    slots.resize_with(bounds.len(), || None);
+    let slots = Mutex::new(&mut slots);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let g = cursor.fetch_add(1, Ordering::Relaxed);
+                if g >= bounds.len() {
+                    break;
+                }
+                let (lo, hi) = bounds[g];
+                let out = work(g, lo, hi);
+                slots.lock().unwrap()[g] = Some(out);
+            });
+        }
+    });
+    slots.into_inner().unwrap().iter_mut().map(|s| s.take().unwrap()).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Index-driven parallel iterators (ranges, slices)
+// ---------------------------------------------------------------------------
+
+/// A parallel iterator over `0..len` materialising items through `get`.
+pub struct ParIndexed<F> {
+    len: usize,
+    get: F,
+}
+
+impl<T: Send, F: Fn(usize) -> T + Sync> ParIndexed<F> {
+    pub fn map<R, M>(self, m: M) -> ParIndexed<impl Fn(usize) -> R + Sync>
+    where
+        R: Send,
+        M: Fn(T) -> R + Sync,
+    {
+        let get = self.get;
+        ParIndexed { len: self.len, get: move |i| m(get(i)) }
+    }
+
+    pub fn for_each(self, f: impl Fn(T) + Sync) {
+        let get = &self.get;
+        run_groups(self.len, &|_, lo, hi| {
+            for i in lo..hi {
+                f(get(i));
+            }
+        });
+    }
+
+    /// Order-preserving collect.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        let get = &self.get;
+        let parts: Vec<Vec<T>> = run_groups(self.len, &|_, lo, hi| (lo..hi).map(get).collect());
+        parts.into_iter().flatten().collect()
+    }
+
+    /// Group-ordered sum — bitwise identical for any worker count.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T> + std::iter::Sum<S> + Send,
+    {
+        let get = &self.get;
+        let parts: Vec<S> = run_groups(self.len, &|_, lo, hi| (lo..hi).map(get).sum::<S>());
+        parts.into_iter().sum()
+    }
+}
+
+/// `into_par_iter()` for ranges.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = ParIndexed<Box<dyn Fn(usize) -> $t + Sync>>;
+            fn into_par_iter(self) -> Self::Iter {
+                let start = self.start;
+                let len = if self.end > self.start { (self.end - self.start) as usize } else { 0 };
+                ParIndexed { len, get: Box::new(move |i| start + i as $t) }
+            }
+        }
+    )*};
+}
+impl_range_par_iter!(u32, u64, usize);
+
+// ---------------------------------------------------------------------------
+// Slice adapters
+// ---------------------------------------------------------------------------
+
+/// `par_iter()` / `par_chunks()` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    fn as_par_slice(&self) -> &[T];
+
+    fn par_iter<'a>(&'a self) -> ParIndexed<impl Fn(usize) -> &'a T + Sync + 'a>
+    where
+        T: 'a,
+    {
+        let s = self.as_par_slice();
+        ParIndexed { len: s.len(), get: move |i| &s[i] }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunks { slice: self.as_par_slice(), chunk_size }
+    }
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn as_par_slice(&self) -> &[T] {
+        self
+    }
+}
+
+impl<T: Sync> ParallelSlice<T> for Vec<T> {
+    fn as_par_slice(&self) -> &[T] {
+        self
+    }
+}
+
+/// `par_chunks_mut()` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn as_par_slice_mut(&mut self) -> &mut [T];
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut { slice: self.as_par_slice_mut(), chunk_size }
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn as_par_slice_mut(&mut self) -> &mut [T] {
+        self
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for Vec<T> {
+    fn as_par_slice_mut(&mut self) -> &mut [T] {
+        self
+    }
+}
+
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    pub fn enumerate(self) -> ParChunksEnum<'a, T> {
+        ParChunksEnum { slice: self.slice, chunk_size: self.chunk_size }
+    }
+
+    pub fn for_each(self, f: impl Fn(&'a [T]) + Sync) {
+        self.enumerate().for_each(move |(_, c)| f(c));
+    }
+}
+
+pub struct ParChunksEnum<'a, T> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParChunksEnum<'a, T> {
+    pub fn for_each(self, f: impl Fn((usize, &'a [T])) + Sync) {
+        let chunks: Vec<&[T]> = self.slice.chunks(self.chunk_size).collect();
+        let chunks = &chunks;
+        run_groups(chunks.len(), &|_, lo, hi| {
+            for (ci, chunk) in chunks.iter().enumerate().take(hi).skip(lo) {
+                f((ci, chunk));
+            }
+        });
+    }
+}
+
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    pub fn enumerate(self) -> ParChunksMutEnum<'a, T> {
+        ParChunksMutEnum { slice: self.slice, chunk_size: self.chunk_size }
+    }
+
+    pub fn for_each(self, f: impl Fn(&'a mut [T]) + Sync) {
+        self.enumerate().for_each(move |(_, c)| f(c));
+    }
+}
+
+pub struct ParChunksMutEnum<'a, T> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMutEnum<'a, T> {
+    pub fn for_each(self, f: impl Fn((usize, &'a mut [T])) + Sync) {
+        let workers = current_num_threads();
+        if workers <= 1 {
+            for (ci, chunk) in self.slice.chunks_mut(self.chunk_size).enumerate() {
+                f((ci, chunk));
+            }
+            return;
+        }
+        // Disjoint &mut chunks distributed through a worklist; each worker
+        // pops the next chunk. Mutex cost is per chunk, not per element.
+        let work: Mutex<Vec<(usize, &'a mut [T])>> =
+            Mutex::new(self.slice.chunks_mut(self.chunk_size).enumerate().rev().collect());
+        let n_chunks = work.lock().unwrap().len();
+        let workers = workers.min(n_chunks).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let item = work.lock().unwrap().pop();
+                    match item {
+                        Some(pair) => f(pair),
+                        None => break,
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// The rayon prelude: the traits the adapters hang off.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let v: Vec<u64> = (0u64..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn sum_is_thread_count_independent() {
+        let items: Vec<f64> = (0..10_000).map(|i| (i as f64).sin()).collect();
+        let sum_with = |threads| {
+            let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            pool.install(|| (0..items.len()).into_par_iter().map(|i| items[i] * 1.5).sum::<f64>())
+        };
+        let s1 = sum_with(1);
+        let s2 = sum_with(2);
+        let s8 = sum_with(8);
+        assert_eq!(s1.to_bits(), s2.to_bits());
+        assert_eq!(s1.to_bits(), s8.to_bits());
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_every_chunk() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let mut data = vec![0usize; 103];
+        pool.install(|| {
+            data.par_chunks_mut(10).enumerate().for_each(|(ci, chunk)| {
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    *slot = ci * 10 + off;
+                }
+            });
+        });
+        assert_eq!(data, (0..103).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn par_iter_on_vec_collects_in_order() {
+        let input: Vec<(u32, u32)> = (0..97).map(|i| (i, i + 1)).collect();
+        let out: Vec<u32> = input.par_iter().map(|&(a, b)| a + b).collect();
+        assert_eq!(out, (0..97).map(|i| 2 * i + 1).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn install_nests_and_restores() {
+        let outer = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let inner = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        outer.install(|| {
+            assert_eq!(current_num_threads(), 3);
+            inner.install(|| assert_eq!(current_num_threads(), 1));
+            assert_eq!(current_num_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn par_chunks_shared_enumerates_all() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let data: Vec<u32> = (0..55).collect();
+        let seen = AtomicUsize::new(0);
+        data.par_chunks(7).enumerate().for_each(|(ci, chunk)| {
+            assert_eq!(chunk[0] as usize, ci * 7);
+            seen.fetch_add(chunk.len(), Ordering::Relaxed);
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 55);
+    }
+}

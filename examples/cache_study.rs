@@ -6,9 +6,7 @@
 //! cargo run --release --example cache_study [scale]
 //! ```
 
-use lms::cache::{
-    CostModel, NodeLayout, ReuseDistanceAnalyzer, ReuseStats, StackDistanceModel,
-};
+use lms::cache::{CostModel, NodeLayout, ReuseDistanceAnalyzer, ReuseStats, StackDistanceModel};
 use lms::mesh::suite;
 use lms::order::{compute_ordering, OrderingKind};
 use lms::smooth::{SmoothEngine, SmoothParams, VecSink};
@@ -23,7 +21,10 @@ fn main() {
     // be any L1 (resp. L2; L3) cache miss").
     let hierarchy = lms::cache::CacheHierarchy::westmere_ex(NodeLayout::paper_66());
     let caps = hierarchy.capacities_in_elements();
-    println!("Westmere-EX capacities in 66-byte elements: L1={} L2={} L3={}", caps[0], caps[1], caps[2]);
+    println!(
+        "Westmere-EX capacities in 66-byte elements: L1={} L2={} L3={}",
+        caps[0], caps[1], caps[2]
+    );
 
     let model = StackDistanceModel::new(caps);
     let costs = CostModel::westmere_ex();
@@ -37,11 +38,8 @@ fn main() {
         let distances = ReuseDistanceAnalyzer::analyze(&sink.accesses, mesh.num_vertices());
         let stats = ReuseStats::from_distances(&distances);
         let outcome = model.apply(&distances, false);
-        let cycles = costs.extra_cycles_from_misses(
-            outcome.misses[0],
-            outcome.misses[1],
-            outcome.misses[2],
-        );
+        let cycles =
+            costs.extra_cycles_from_misses(outcome.misses[0], outcome.misses[1], outcome.misses[2]);
 
         println!(
             "\n{:<4}: {} accesses, mean reuse distance {:.1}, max {}",

@@ -16,10 +16,7 @@ use std::time::Instant;
 fn sparkline(values: &[f64]) -> String {
     const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
     let max = values.iter().cloned().fold(f64::MIN_POSITIVE, f64::max);
-    values
-        .iter()
-        .map(|&v| BARS[((v / max) * 7.0).round().clamp(0.0, 7.0) as usize])
-        .collect()
+    values.iter().map(|&v| BARS[((v / max) * 7.0).round().clamp(0.0, 7.0) as usize]).collect()
 }
 
 fn main() {
@@ -64,7 +61,9 @@ fn main() {
         );
         println!("         profile: {}", sparkline(&profile));
     }
-    println!("\npaper Figure 1 (full scale): random 90k / ori 4450 / bfs 2910 average reuse distance.");
+    println!(
+        "\npaper Figure 1 (full scale): random 90k / ori 4450 / bfs 2910 average reuse distance."
+    );
 }
 
 /// A Westmere-EX hierarchy shrunk proportionally to the mesh scale, so the
@@ -75,9 +74,27 @@ fn lms_bench_hierarchy(scale: f64) -> lms::cache::CacheHierarchy {
     let sz = |b: usize, line: usize, assoc: usize| ((b / shrink) / line).max(assoc) * line;
     CacheHierarchy::new(
         vec![
-            CacheConfig { name: "L1", size_bytes: sz(32 << 10, 64, 8), line_bytes: 64, associativity: 8, latency_cycles: 4 },
-            CacheConfig { name: "L2", size_bytes: sz(256 << 10, 64, 8), line_bytes: 64, associativity: 8, latency_cycles: 10 },
-            CacheConfig { name: "L3", size_bytes: sz(24 << 20, 64, 24), line_bytes: 64, associativity: 24, latency_cycles: 100 },
+            CacheConfig {
+                name: "L1",
+                size_bytes: sz(32 << 10, 64, 8),
+                line_bytes: 64,
+                associativity: 8,
+                latency_cycles: 4,
+            },
+            CacheConfig {
+                name: "L2",
+                size_bytes: sz(256 << 10, 64, 8),
+                line_bytes: 64,
+                associativity: 8,
+                latency_cycles: 10,
+            },
+            CacheConfig {
+                name: "L3",
+                size_bytes: sz(24 << 20, 64, 24),
+                line_bytes: 64,
+                associativity: 24,
+                latency_cycles: 100,
+            },
         ],
         MemoryConfig { latency_cycles: 230 },
         NodeLayout::paper_66(),

@@ -18,12 +18,7 @@ fn main() {
         base.num_triangles()
     );
 
-    for kind in [
-        OrderingKind::Original,
-        OrderingKind::Dfs,
-        OrderingKind::Bfs,
-        OrderingKind::Rdr,
-    ] {
+    for kind in [OrderingKind::Original, OrderingKind::Dfs, OrderingKind::Bfs, OrderingKind::Rdr] {
         let perm = compute_ordering(&base, kind);
         let mesh = perm.apply_to_mesh(&base);
 

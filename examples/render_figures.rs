@@ -64,9 +64,12 @@ fn fig1(out: &Path, cfg: &ExpConfig) {
     let mut chart = Chart::new("Figure 1 — reuse distance, first iteration (ocean)")
         .labels("access index (binned)", "mean reuse distance")
         .log_y();
-    for kind in
-        [OrderingKind::Random { seed: 0 }, OrderingKind::Original, OrderingKind::Bfs, OrderingKind::Rdr]
-    {
+    for kind in [
+        OrderingKind::Random { seed: 0 },
+        OrderingKind::Original,
+        OrderingKind::Bfs,
+        OrderingKind::Rdr,
+    ] {
         let m = ordered_mesh(&base, kind);
         let trace = first_sweep_trace(&m);
         let distances = ReuseDistanceAnalyzer::analyze(&trace, m.num_vertices());
@@ -93,10 +96,7 @@ fn fig6(out: &Path, cfg: &ExpConfig) {
     let chart = Chart::new("Figure 6 — reuse distance across iterations (carabiner, ORI)")
         .labels(format!("time step (100 bins per iteration, {iters} iterations)"), "reuse distance")
         .log_y()
-        .series(Series::new(
-            "ori",
-            means.iter().enumerate().map(|(i, &y)| (i as f64, y.max(0.5))),
-        ));
+        .series(Series::new("ori", means.iter().enumerate().map(|(i, &y)| (i as f64, y.max(0.5)))));
     chart.render(720.0, 320.0).write_to(&out.join("fig6_iteration_profile.svg")).unwrap();
     println!("fig6: cross-iteration profile ({iters} iterations)");
 }

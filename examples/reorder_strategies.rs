@@ -17,11 +17,7 @@ use std::time::Instant;
 
 fn main() {
     let base = suite::generate(&suite::SUITE[0], 0.04); // carabiner, ~13k vertices
-    println!(
-        "mesh: {} ({} vertices)\n",
-        suite::SUITE[0].name,
-        base.num_vertices()
-    );
+    println!("mesh: {} ({} vertices)\n", suite::SUITE[0].name, base.num_vertices());
     println!(
         "{:<22} {:>9} {:>9} {:>14} {:>10} {:>9}",
         "strategy", "sweeps", "reorders", "sweep-equiv", "final q", "wall ms"

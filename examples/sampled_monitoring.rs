@@ -60,11 +60,7 @@ fn main() {
     //    400k-vertex meshes stressed the real 64/512-entry one).
     println!();
     let layout = NodeLayout::paper_66();
-    let tlb_cfg = TlbConfig {
-        l1_entries: 4,
-        l2_entries: 10,
-        ..TlbConfig::westmere_ex()
-    };
+    let tlb_cfg = TlbConfig { l1_entries: 4, l2_entries: 10, ..TlbConfig::westmere_ex() };
     for kind in [OrderingKind::Original, OrderingKind::Bfs, OrderingKind::Rdr] {
         let m = compute_ordering(&base, kind).apply_to_mesh(&base);
         let eng = SmoothEngine::new(&m, SmoothParams::paper().with_max_iters(1));

@@ -29,7 +29,10 @@ fn main() {
         adj.mean_degree()
     );
     println!();
-    println!("{:<8} {:>12} {:>12} {:>10} {:>8}", "ordering", "mean span", "mean RD", "final q", "iters");
+    println!(
+        "{:<8} {:>12} {:>12} {:>10} {:>8}",
+        "ordering", "mean span", "mean RD", "final q", "iters"
+    );
 
     for kind in [
         OrderingKind3::Original,

@@ -3,15 +3,18 @@
 //! Facade crate for the reproduction of *Locality-Aware Laplacian Mesh
 //! Smoothing* (Aupy, Park, Raghavan — ICPP 2016, arXiv:1606.00803).
 //!
-//! The workspace is organised as four library crates, all re-exported here:
+//! The workspace is organised as seven library crates, all re-exported here:
 //!
 //! * [`mesh`] — 2D triangle-mesh substrate: containers, CSR adjacency,
-//!   boundary detection, quality metrics, generators and I/O.
+//!   boundary detection, quality metrics (plus the incremental
+//!   [`mesh::QualityCache`]), generators and I/O.
 //! * [`order`] — vertex reorderings: the paper's **RDR** contribution plus
-//!   the ORI/RANDOM/BFS/DFS/RCM/Hilbert baselines and permutation machinery.
-//! * [`smooth`] — the Laplacian Mesh Smoothing engines (serial Gauss–Seidel,
-//!   Jacobi, greedy quality-driven, and the rayon-parallel static-chunk
-//!   engine), with optional memory-access tracing.
+//!   the ORI/RANDOM/BFS/DFS/RCM/Hilbert baselines, greedy graph coloring,
+//!   and permutation machinery.
+//! * [`smooth`] — the Laplacian Mesh Smoothing engines (serial Gauss–Seidel
+//!   on the incremental-quality hot path, Jacobi, greedy quality-driven,
+//!   the rayon-parallel static-chunk engine, and colored deterministic
+//!   parallel Gauss–Seidel), with optional memory-access tracing.
 //! * [`cache`] — the memory-behaviour substrate: exact reuse-distance
 //!   analysis, an inclusive multi-level LRU cache simulator (Westmere-EX
 //!   preset), the stack-distance miss model, the Eq. (2) cycle-cost model,
@@ -38,19 +41,19 @@
 
 pub use lms_apps as apps;
 pub use lms_cache as cache;
-pub use lms_mesh3d as mesh3d;
-pub use lms_viz as viz;
 pub use lms_mesh as mesh;
+pub use lms_mesh3d as mesh3d;
 pub use lms_order as order;
 pub use lms_smooth as smooth;
+pub use lms_viz as viz;
 
 /// Commonly used items, re-exported for `use lms::prelude::*`.
 pub mod prelude {
+    pub use lms_apps::{Pipeline, Stage};
     pub use lms_cache::{
         hierarchy::CacheHierarchy, model::StackDistanceModel, reuse::ReuseDistanceAnalyzer,
     };
     pub use lms_mesh::{quality::QualityMetric, Point2, TriMesh};
-    pub use lms_apps::{Pipeline, Stage};
     pub use lms_mesh3d::{OrderingKind3, SmoothParams3, TetMesh};
     pub use lms_order::{OrderingKind, Permutation};
     pub use lms_smooth::{IterationPolicy, SmoothEngine, SmoothParams, SmoothReport, Weighting};

@@ -197,10 +197,8 @@ fn weighted_smoothing_composes_with_rdr() {
         let mut m = perm.apply_to_mesh(&base);
         let adj = Adjacency::build(&m);
         let q0 = mesh_quality(&m, &adj, QualityMetric::EdgeLengthRatio);
-        let report = SmoothParams::paper()
-            .with_weighting(weighting)
-            .with_max_iters(60)
-            .smooth(&mut m);
+        let report =
+            SmoothParams::paper().with_weighting(weighting).with_max_iters(60).smooth(&mut m);
         assert!((report.initial_quality - q0).abs() < 1e-12);
         assert!(report.final_quality > q0, "{}", weighting.name());
     }

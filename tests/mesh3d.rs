@@ -65,8 +65,7 @@ fn jacobi_smoothing_is_ordering_invariant_in_3d() {
     // Jacobi updates the guarantee is exact: identical quality trajectory
     // under any renumbering.
     let base = scrambled_box(8, 9);
-    let params =
-        SmoothParams3::paper().with_update(UpdateScheme3::Jacobi).with_max_iters(30);
+    let params = SmoothParams3::paper().with_update(UpdateScheme3::Jacobi).with_max_iters(30);
     let reports: Vec<_> = [OrderingKind3::Original, OrderingKind3::Bfs, OrderingKind3::Rdr]
         .into_iter()
         .map(|kind| {
@@ -100,11 +99,9 @@ fn sampled_analysis_tracks_exact_on_3d_traces() {
     let adj = Adjacency3::build(&base);
     let b = Boundary3::detect(&base);
     let trace = sweep_trace3(&adj, &b);
-    let exact = ReuseStats::from_distances(&ReuseDistanceAnalyzer::analyze(
-        &trace,
-        base.num_vertices(),
-    ))
-    .mean;
+    let exact =
+        ReuseStats::from_distances(&ReuseDistanceAnalyzer::analyze(&trace, base.num_vertices()))
+            .mean;
     let est = sampled_distances(&trace, base.num_vertices(), 3, 0xBEEF).stats().mean;
     let rel = (est - exact).abs() / exact.max(1.0);
     assert!(rel < 0.25, "sampled mean {est} vs exact {exact} (rel {rel})");

@@ -27,9 +27,27 @@ fn scaled_hierarchy(layout: NodeLayout) -> CacheHierarchy {
     let sz = |b: usize, line: usize, assoc: usize| ((b / shrink) / line).max(assoc) * line;
     CacheHierarchy::new(
         vec![
-            CacheConfig { name: "L1", size_bytes: sz(32 << 10, 64, 8), line_bytes: 64, associativity: 8, latency_cycles: 4 },
-            CacheConfig { name: "L2", size_bytes: sz(256 << 10, 64, 8), line_bytes: 64, associativity: 8, latency_cycles: 10 },
-            CacheConfig { name: "L3", size_bytes: sz(24 << 20, 64, 24), line_bytes: 64, associativity: 24, latency_cycles: 100 },
+            CacheConfig {
+                name: "L1",
+                size_bytes: sz(32 << 10, 64, 8),
+                line_bytes: 64,
+                associativity: 8,
+                latency_cycles: 4,
+            },
+            CacheConfig {
+                name: "L2",
+                size_bytes: sz(256 << 10, 64, 8),
+                line_bytes: 64,
+                associativity: 8,
+                latency_cycles: 10,
+            },
+            CacheConfig {
+                name: "L3",
+                size_bytes: sz(24 << 20, 64, 24),
+                line_bytes: 64,
+                associativity: 24,
+                latency_cycles: 100,
+            },
         ],
         MemoryConfig { latency_cycles: 230 },
         layout,
@@ -61,10 +79,7 @@ fn table2_rdr_quantiles_beat_bfs_at_the_head() {
     let rdr = first_sweep_distances(&base, OrderingKind::Rdr);
     let q75_bfs = quantile(&bfs, 0.75).unwrap();
     let q75_rdr = quantile(&rdr, 0.75).unwrap();
-    assert!(
-        q75_rdr < q75_bfs,
-        "75% quantile: rdr {q75_rdr} must be below bfs {q75_bfs}"
-    );
+    assert!(q75_rdr < q75_bfs, "75% quantile: rdr {q75_rdr} must be below bfs {q75_bfs}");
     // and the medians of both sit in the single-digit regime the paper shows
     assert!(quantile(&rdr, 0.5).unwrap() <= 16);
     assert!(quantile(&bfs, 0.5).unwrap() <= 16);
@@ -84,10 +99,7 @@ fn figure9_miss_counts_rank_rdr_best() {
         let layout = NodeLayout::paper_66().with_aux(mesh.num_vertices() as u32, 12);
         let mut h = scaled_hierarchy(layout);
         h.run_trace(&sink.accesses);
-        misses.push((
-            h.stats_of("L1").unwrap().misses,
-            h.stats_of("L2").unwrap().misses,
-        ));
+        misses.push((h.stats_of("L1").unwrap().misses, h.stats_of("L2").unwrap().misses));
     }
     let (ori, bfs, rdr) = (misses[0], misses[1], misses[2]);
     assert!(rdr.0 < bfs.0 && bfs.0 < ori.0, "L1 misses must rank rdr<bfs<ori: {misses:?}");
@@ -162,10 +174,7 @@ fn section54_reordering_cost_is_a_few_sweeps() {
     // The paper reports ≈1 sweep; allow generous slack for tiny meshes
     // where constant factors dominate. (Note SmoothParams::smooth also
     // rebuilds adjacency, as does rdr_ordering, so the comparison is fair.)
-    assert!(
-        reorder < sweep * 12,
-        "reordering {reorder:?} should cost about one sweep ({sweep:?})"
-    );
+    assert!(reorder < sweep * 12, "reordering {reorder:?} should cost about one sweep ({sweep:?})");
 }
 
 /// Equation (2): the modelled extra cycles rank rdr < bfs on the carabiner

@@ -107,9 +107,8 @@ fn delaunay_pipeline_smooths_cleanly() {
 fn parallel_and_serial_agree_through_the_full_stack() {
     let base = suite::generate(suite::find_spec("valve").unwrap(), 0.003);
     let mesh = compute_ordering(&base, OrderingKind::Rdr).apply_to_mesh(&base);
-    let params = SmoothParams::paper()
-        .with_update(lms::smooth::UpdateScheme::Jacobi)
-        .with_max_iters(5);
+    let params =
+        SmoothParams::paper().with_update(lms::smooth::UpdateScheme::Jacobi).with_max_iters(5);
     let engine = SmoothEngine::new(&mesh, params.clone());
 
     let mut serial = mesh.clone();
@@ -144,7 +143,8 @@ fn multicore_sim_consumes_real_traces() {
 #[test]
 fn quality_metrics_agree_on_ranking_after_smoothing() {
     let base = generators::perturbed_grid(15, 15, 0.38, 11);
-    for metric in [QualityMetric::EdgeLengthRatio, QualityMetric::MinAngle, QualityMetric::RadiusRatio]
+    for metric in
+        [QualityMetric::EdgeLengthRatio, QualityMetric::MinAngle, QualityMetric::RadiusRatio]
     {
         let mut work = base.clone();
         let report = SmoothParams::paper().with_metric(metric).smooth(&mut work);

@@ -10,8 +10,9 @@ use proptest::prelude::*;
 
 /// Strategy: a valid perturbed-grid mesh of arbitrary small shape.
 fn arb_mesh() -> impl Strategy<Value = TriMesh> {
-    (3usize..12, 3usize..12, 0u64..1000, 0..35u32)
-        .prop_map(|(nx, ny, seed, jit)| generators::perturbed_grid(nx, ny, jit as f64 / 100.0, seed))
+    (3usize..12, 3usize..12, 0u64..1000, 0..35u32).prop_map(|(nx, ny, seed, jit)| {
+        generators::perturbed_grid(nx, ny, jit as f64 / 100.0, seed)
+    })
 }
 
 /// Strategy: any ordering kind.
