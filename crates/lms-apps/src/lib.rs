@@ -46,6 +46,6 @@ pub use constrained::{constrained_smooth, ConstrainedOptions};
 pub use dynamic::{smooth_with_strategy, DynamicReport, ReorderStrategy, RoundStats};
 pub use edges::{EdgeTopology, FlipError, TopologyError};
 pub use optsmooth::{opt_smooth, worst_vertex_quality, OptSmoothOptions};
-pub use pipeline::{Pipeline, PipelineReport, Stage, StageOutcome};
+pub use pipeline::{PartitionSpec, Pipeline, PipelineReport, Stage, StageOutcome};
 pub use swap::{is_delaunay, swap_until_stable, SwapCriterion, SwapOptions, SwapReport};
 pub use untangle::{count_inverted, tangle_vertices, untangle, UntangleOptions, UntangleReport};

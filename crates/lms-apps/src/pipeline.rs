@@ -14,7 +14,8 @@ use crate::untangle::{untangle, UntangleOptions};
 use lms_mesh::quality::{mesh_quality, QualityMetric};
 use lms_mesh::{Adjacency, TriMesh};
 use lms_order::{compute_ordering, OrderingKind};
-use lms_smooth::{SmoothEngine, SmoothParams};
+use lms_part::PartitionMethod;
+use lms_smooth::{PartitionedEngine, SmoothEngine, SmoothParams};
 
 /// One step of an improvement pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +34,11 @@ pub enum Stage {
     /// parallel Jacobi when `params.update` is
     /// [`lms_smooth::UpdateScheme::Jacobi`].
     ParallelSmooth(SmoothParams, usize),
+    /// Laplacian smoothing on the domain-decomposed deterministic engine
+    /// ([`lms_smooth::PartitionedEngine`]): part interiors sweep as
+    /// cache-resident blocks in parallel, interface vertices through the
+    /// colored schedule. Gauss–Seidel parameters only.
+    PartitionedSmooth(SmoothParams, PartitionSpec),
     /// Constrained smoothing (boundary slides along the boundary).
     ConstrainedSmooth(SmoothParams, ConstrainedOptions),
     /// Edge swapping.
@@ -49,10 +55,28 @@ impl Stage {
             Stage::Untangle(_) => "untangle",
             Stage::Smooth(_) => "smooth",
             Stage::ParallelSmooth(..) => "parsmooth",
+            Stage::PartitionedSmooth(..) => "partsmooth",
             Stage::ConstrainedSmooth(..) => "constrained",
             Stage::Swap(_) => "swap",
             Stage::OptSmooth(_) => "optsmooth",
         }
+    }
+}
+
+/// Configuration of a [`Stage::PartitionedSmooth`] stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionSpec {
+    /// Number of parts to decompose into.
+    pub parts: usize,
+    /// Geometric partitioner.
+    pub method: PartitionMethod,
+    /// Worker threads (the result is identical for any count).
+    pub threads: usize,
+}
+
+impl Default for PartitionSpec {
+    fn default() -> Self {
+        PartitionSpec { parts: 4, method: PartitionMethod::Rcb, threads: 2 }
     }
 }
 
@@ -129,6 +153,16 @@ impl Pipeline {
             .then(Stage::ParallelSmooth(SmoothParams::paper().with_smart(true), threads))
     }
 
+    /// [`standard`](Self::standard) with the smoothing stage on the
+    /// domain-decomposed deterministic engine.
+    pub fn standard_partitioned(ordering: OrderingKind, spec: PartitionSpec) -> Self {
+        Pipeline::new()
+            .then(Stage::Reorder(ordering))
+            .then(Stage::Untangle(UntangleOptions::default()))
+            .then(Stage::Swap(SwapOptions::default()))
+            .then(Stage::PartitionedSmooth(SmoothParams::paper().with_smart(true), spec))
+    }
+
     /// Run the pipeline on `mesh` in place.
     pub fn run(&self, mesh: &mut TriMesh) -> PipelineReport {
         let q = |mesh: &TriMesh| {
@@ -156,6 +190,11 @@ impl Pipeline {
                         lms_smooth::UpdateScheme::Jacobi => engine.smooth_parallel(mesh, *threads),
                     };
                     report.num_iterations()
+                }
+                Stage::PartitionedSmooth(params, spec) => {
+                    let engine =
+                        PartitionedEngine::by_method(mesh, params.clone(), spec.parts, spec.method);
+                    engine.smooth(mesh, spec.threads).num_iterations()
                 }
                 Stage::ConstrainedSmooth(params, opts) => {
                     constrained_smooth(mesh, params, opts).num_iterations()
@@ -250,6 +289,30 @@ mod tests {
         // and the parallel stage itself is thread-count invariant
         let mut par8 = base.clone();
         let rp8 = Pipeline::standard_parallel(OrderingKind::Rdr, 8).run(&mut par8);
+        assert_eq!(par.coords(), par8.coords());
+        assert_eq!(rp, rp8);
+    }
+
+    #[test]
+    fn partitioned_smooth_stage_matches_standard_quality() {
+        let base = {
+            let mut m = generators::perturbed_grid(16, 16, 0.35, 7);
+            m.orient_ccw();
+            m
+        };
+        let mut serial = base.clone();
+        let rs = Pipeline::standard(OrderingKind::Rdr).run(&mut serial);
+        let spec = PartitionSpec { parts: 4, method: lms_part::PartitionMethod::Rcb, threads: 3 };
+        let mut par = base.clone();
+        let rp = Pipeline::standard_partitioned(OrderingKind::Rdr, spec).run(&mut par);
+        assert_eq!(rp.stages.last().unwrap().stage, "partsmooth");
+        assert!(rp.final_quality > rp.initial_quality);
+        // same fixed-point family as the serial Gauss-Seidel pipeline
+        assert!((rs.final_quality - rp.final_quality).abs() < 0.02);
+        // and the partitioned stage is thread-count invariant
+        let mut par8 = base.clone();
+        let spec8 = PartitionSpec { threads: 8, ..spec };
+        let rp8 = Pipeline::standard_partitioned(OrderingKind::Rdr, spec8).run(&mut par8);
         assert_eq!(par.coords(), par8.coords());
         assert_eq!(rp, rp8);
     }

@@ -1,0 +1,122 @@
+//! The partitioned-smoothing benchmark behind the perf-tracking file
+//! `BENCH_partition.json`: smart (quality-guarded) smoothing on a 512×512
+//! perturbed grid for 10 sweeps, measured on
+//!
+//! * the **colored parallel** engine at 1 and 2 threads (the PR-1
+//!   deterministic baseline that parallelises across the whole mesh),
+//! * the **partitioned** engine (`PartitionedEngine`, 8-way RCB) at 1 and
+//!   2 threads — per-part cache-resident interior blocks plus a colored
+//!   interface sweep.
+//!
+//! Both engines are bitwise-deterministic for any thread count; the
+//! partitioned one is additionally gated here against serial Gauss–Seidel
+//! under its part-major visit order (coordinates must match bit for bit).
+//!
+//! Run with `cargo bench -p lms-bench --bench bench_partition`. Set
+//! `LMS_BENCH_GRID` to override the grid side (default 512). The summary
+//! — median ms per run, decomposition metrics, and the partitioned-vs-
+//! colored speedup — is written to `BENCH_partition.json` at the
+//! workspace root.
+
+use criterion::{BenchmarkId, Criterion};
+use lms_part::PartitionMethod;
+use lms_smooth::{PartitionedEngine, SmoothEngine, SmoothParams};
+
+fn grid_side() -> usize {
+    std::env::var("LMS_BENCH_GRID").ok().and_then(|s| s.parse().ok()).unwrap_or(512)
+}
+
+const PARTS: usize = 8;
+
+fn bench_partition(c: &mut Criterion) -> lms_part::PartitionStats {
+    let side = grid_side();
+    let mesh = lms_mesh::generators::perturbed_grid(side, side, 0.35, 42);
+    // fixed 10 sweeps: tol disabled so all engines do identical work
+    let params = SmoothParams::paper().with_smart(true).with_max_iters(10).with_tol(-1.0);
+    let colored = SmoothEngine::new(&mesh, params.clone());
+    let partitioned =
+        PartitionedEngine::by_method(&mesh, params.clone(), PARTS, PartitionMethod::Rcb);
+    let stats = partitioned.partition().stats();
+
+    // correctness gate before timing: the partitioned sweep must be
+    // exactly serial Gauss-Seidel under the part-major visit order
+    let mut a = mesh.clone();
+    partitioned.smooth(&mut a, 2);
+    let serial =
+        SmoothEngine::new(&mesh, params).with_visit_order(partitioned.part_major_visit_order());
+    let mut b = mesh.clone();
+    serial.smooth(&mut b);
+    assert_eq!(a.coords(), b.coords(), "partitioned engine diverged from serial part-major GS");
+
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(10);
+    for threads in [1usize, 2] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("colored_{threads}t"), side),
+            &mesh,
+            |bch, m| {
+                bch.iter(|| {
+                    let mut work = m.clone();
+                    colored.smooth_parallel_colored(&mut work, threads)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("partitioned_{threads}t"), side),
+            &mesh,
+            |bch, m| {
+                bch.iter(|| {
+                    let mut work = m.clone();
+                    partitioned.smooth(&mut work, threads)
+                })
+            },
+        );
+    }
+    group.finish();
+    stats
+}
+
+fn export_json(c: &Criterion, side: usize, stats: &lms_part::PartitionStats) {
+    let find = |needle: &str, min: bool| {
+        c.summaries()
+            .iter()
+            .find(|s| s.id.contains(needle))
+            .map(|s| if min { s.min_ns / 1e6 } else { s.median_ns / 1e6 })
+            .unwrap_or(f64::NAN)
+    };
+    // deterministic workloads: background load only ever adds time, so
+    // the fastest-sample ratio is the noise-robust speedup estimate
+    // (same reasoning as BENCH_smooth.json)
+    let speedup = find("colored_2t", true) / find("partitioned_2t", true);
+    let json = format!(
+        "{{\n  \"benchmark\": \"partition\",\n  \"workload\": \"smart Gauss-Seidel, {side}x{side} perturbed grid (jitter 0.35, seed 42), 10 sweeps, {PARTS}-way rcb\",\n  \"median_ms\": {{\n    \"colored_1_thread\": {:.2},\n    \"colored_2_threads\": {:.2},\n    \"partitioned_1_thread\": {:.2},\n    \"partitioned_2_threads\": {:.2}\n  }},\n  \"min_ms\": {{\n    \"colored_2_threads\": {:.2},\n    \"partitioned_2_threads\": {:.2}\n  }},\n  \"partition\": {{\n    \"parts\": {PARTS},\n    \"method\": \"rcb\",\n    \"edge_cut\": {},\n    \"interface_vertices\": {},\n    \"interior_vertices\": {},\n    \"interior_interface_ratio\": {:.2},\n    \"halo_ratio\": {:.4},\n    \"imbalance\": {:.4}\n  }},\n  \"partitioned_speedup_vs_colored_2t\": {speedup:.3},\n  \"speedup_estimator\": \"min-vs-min (deterministic workload)\",\n  \"coords_bit_identical_to_serial_part_major\": true\n}}\n",
+        find("colored_1t", false),
+        find("colored_2t", false),
+        find("partitioned_1t", false),
+        find("partitioned_2t", false),
+        find("colored_2t", true),
+        find("partitioned_2t", true),
+        stats.edge_cut,
+        stats.interface_vertices,
+        stats.interior_vertices,
+        // keep the JSON valid even for a cut-free decomposition (ratio = inf)
+        if stats.interface_vertices == 0 {
+            stats.interior_vertices as f64
+        } else {
+            stats.interior_interface_ratio()
+        },
+        stats.halo_ratio,
+        stats.imbalance,
+    );
+    // workspace root (this bench runs with the crate as manifest dir)
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_partition.json");
+    std::fs::write(&path, &json).expect("write BENCH_partition.json");
+    println!("\nwrote {} :\n{json}", path.display());
+}
+
+fn main() {
+    let mut criterion = Criterion::new();
+    let stats = bench_partition(&mut criterion);
+    export_json(&criterion, grid_side(), &stats);
+}

@@ -4,6 +4,7 @@
 pub mod extensions;
 pub mod figures;
 pub mod locality;
+pub mod partition;
 pub mod performance;
 pub mod scaling;
 pub mod tables;
@@ -47,6 +48,7 @@ pub const ALL: &[&str] = &[
     "tet-scaling",
     "engines",
     "hotpath",
+    "partition",
 ];
 
 /// Run one experiment by name; `None` for an unknown name.
@@ -71,6 +73,7 @@ pub fn run(name: &str, cfg: &ExpConfig) -> Option<String> {
         "real-scaling" => scaling::real_scaling(cfg),
         "engines" => scaling::engines(cfg),
         "hotpath" => performance::hotpath(cfg),
+        "partition" => partition::partition(cfg),
         "opt" => extensions::opt_bound(cfg),
         "apps" => extensions::apps(cfg),
         "zoo" => extensions::ordering_zoo(cfg),
@@ -116,6 +119,6 @@ mod tests {
             assert!(!name.is_empty());
             assert!(seen.insert(name), "duplicate experiment name {name}");
         }
-        assert_eq!(ALL.len(), 34);
+        assert_eq!(ALL.len(), 35);
     }
 }

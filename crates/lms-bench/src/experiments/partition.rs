@@ -1,0 +1,133 @@
+//! Partition experiment: decomposition quality across methods and part
+//! counts, and the partitioned engine's wall clock against the colored
+//! parallel engine — the text/CSV companion of `bench_partition.rs`
+//! (which tracks the same comparison in `BENCH_partition.json`).
+
+use crate::common::{time_it, ExpConfig};
+use crate::table::{f, pct, Table};
+use lms_mesh::Adjacency;
+use lms_part::{partition_mesh, PartitionMethod};
+use lms_smooth::{PartitionedEngine, SmoothEngine, SmoothParams};
+use std::fmt::Write as _;
+
+/// Decomposition quality (edge cut, interface/halo, balance) for every
+/// method at several part counts, plus engine timings: partitioned vs
+/// colored Gauss–Seidel at the config's small thread counts.
+pub fn partition(cfg: &ExpConfig) -> String {
+    let mut out = String::new();
+
+    // --- decomposition quality over the suite --------------------------
+    let mut table = Table::new(
+        format!("Partition quality, scale {} (k = 8)", cfg.scale),
+        &["mesh", "method", "edge cut", "interior/interface", "halo ratio", "imbalance"],
+    );
+    for named in cfg.meshes().iter().take(4) {
+        let adj = Adjacency::build(&named.mesh);
+        for method in PartitionMethod::ALL {
+            let s = partition_mesh(&named.mesh, &adj, 8, method).stats();
+            table.row(vec![
+                named.spec.name.to_string(),
+                method.name().to_string(),
+                s.edge_cut.to_string(),
+                f(s.interior_interface_ratio(), 1),
+                pct(s.halo_ratio),
+                f(s.imbalance, 3),
+            ]);
+        }
+    }
+    if let Some(dir) = &cfg.csv_dir {
+        let _ = table.write_csv(dir, "partition_quality");
+    }
+    out.push_str(&table.render());
+
+    // --- cut growth with k on one mesh ----------------------------------
+    if let Some(named) = cfg.meshes().into_iter().next() {
+        let adj = Adjacency::build(&named.mesh);
+        let mut ktable = Table::new(
+            format!("Cut / interface growth with k — {}", named.spec.name),
+            &["k", "edge cut", "interface", "interior %", "halo ratio"],
+        );
+        for k in [2usize, 4, 8, 16] {
+            let s = partition_mesh(&named.mesh, &adj, k, PartitionMethod::Rcb).stats();
+            ktable.row(vec![
+                k.to_string(),
+                s.edge_cut.to_string(),
+                s.interface_vertices.to_string(),
+                pct(s.interior_fraction),
+                pct(s.halo_ratio),
+            ]);
+        }
+        if let Some(dir) = &cfg.csv_dir {
+            let _ = ktable.write_csv(dir, "partition_k_growth");
+        }
+        out.push('\n');
+        out.push_str(&ktable.render());
+    }
+
+    // --- engine wall clock: partitioned vs colored ----------------------
+    let mut etable = Table::new(
+        "Partitioned vs colored deterministic Gauss-Seidel (smart, 10 sweeps)".to_string(),
+        &["mesh", "threads", "colored (ms)", "partitioned (ms)", "speedup", "serial-equal"],
+    );
+    let params = SmoothParams::paper().with_smart(true).with_max_iters(10).with_tol(-1.0);
+    for named in cfg.meshes().iter().take(2) {
+        let colored_engine = SmoothEngine::new(&named.mesh, params.clone());
+        let part_engine =
+            PartitionedEngine::by_method(&named.mesh, params.clone(), 8, PartitionMethod::Rcb);
+        // correctness gate: partitioned == serial under the part-major order
+        let mut a = named.mesh.clone();
+        part_engine.smooth(&mut a, 2);
+        let serial = SmoothEngine::new(&named.mesh, params.clone())
+            .with_visit_order(part_engine.part_major_visit_order());
+        let mut b = named.mesh.clone();
+        serial.smooth(&mut b);
+        let equal = a.coords() == b.coords();
+        for &threads in cfg.threads.iter().filter(|&&t| t <= 4) {
+            let (_, tc) = time_it(|| {
+                colored_engine.smooth_parallel_colored(&mut named.mesh.clone(), threads)
+            });
+            let (_, tp) = time_it(|| part_engine.smooth(&mut named.mesh.clone(), threads));
+            etable.row(vec![
+                named.spec.name.to_string(),
+                threads.to_string(),
+                f(tc.as_secs_f64() * 1e3, 1),
+                f(tp.as_secs_f64() * 1e3, 1),
+                f(tc.as_secs_f64() / tp.as_secs_f64(), 2),
+                equal.to_string(),
+            ]);
+        }
+    }
+    if let Some(dir) = &cfg.csv_dir {
+        let _ = etable.write_csv(dir, "partition_engines");
+    }
+    out.push('\n');
+    out.push_str(&etable.render());
+    let _ = writeln!(
+        out,
+        "\nspeedup = colored / partitioned wall clock; both engines are \
+         bitwise-deterministic for any thread count."
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_experiment_reports_all_sections() {
+        let cfg = ExpConfig {
+            scale: 0.002,
+            mesh: Some("carabiner".into()),
+            max_iters: 4,
+            threads: vec![1, 2],
+            ..Default::default()
+        };
+        let out = partition(&cfg);
+        assert!(out.contains("Partition quality"));
+        assert!(out.contains("rcb") && out.contains("hilbert") && out.contains("morton"));
+        assert!(out.contains("Cut / interface growth"));
+        assert!(out.contains("Partitioned vs colored"));
+        assert!(out.contains("true"), "serial-equivalence gate must hold");
+    }
+}

@@ -1,4 +1,4 @@
-//! Recursive coordinate bisection (RCB) ordering.
+//! Recursive coordinate bisection (RCB): ordering and k-way partitioning.
 //!
 //! The cache-oblivious divide-and-conquer layout: split the vertex set at
 //! the median of its longest bounding-box axis, lay out each half
@@ -8,7 +8,16 @@
 //! adaptive to the actual point distribution instead of a fixed grid.
 //!
 //! Included as a strong geometric baseline next to Hilbert/Morton
-//! (Sastry et al. \[14\]) in the ordering zoo.
+//! (Sastry et al. \[14\]) in the ordering zoo. The same median-split
+//! primitive also drives [`rcb_parts`], the balanced k-way geometric
+//! partitioner behind `lms-part`'s domain decomposition.
+//!
+//! The recursion passes each subset's **exact** bounding box down instead
+//! of re-scanning all ids at every level: along the split axis the child
+//! extents fall out of the split itself (see [`median_split`]), so only
+//! the off-axis extents and the left half's split-axis maximum need a
+//! fold — one fused pass per split instead of a fresh full-box scan per
+//! child, with a bit-identical resulting permutation.
 
 use crate::permutation::Permutation;
 use lms_mesh::Point2;
@@ -19,24 +28,64 @@ const LEAF: usize = 8;
 /// Recursive-coordinate-bisection ordering of a 2D point set.
 pub fn rcb_ordering(coords: &[Point2]) -> Permutation {
     let mut ids: Vec<u32> = (0..coords.len() as u32).collect();
-    bisect(&mut ids, coords);
+    if ids.len() > LEAF {
+        let (lo, hi) = subset_bbox(&ids, coords);
+        bisect(&mut ids, coords, lo, hi);
+    }
+    // subsets at or below LEAF keep ascending index order; `ids` starts
+    // sorted, so nothing to do on that path
     Permutation::from_new_to_old_unchecked(ids)
 }
 
-fn bisect(ids: &mut [u32], coords: &[Point2]) {
-    if ids.len() <= LEAF {
-        ids.sort_unstable(); // deterministic leaf layout
-        return;
+/// Balanced k-way RCB partition of a 2D point set: recursively
+/// median-split along the longest bounding-box axis, sending `⌊k/2⌋/k` of
+/// the points (and parts) to the left subtree. Returns the owning part of
+/// every point. Part sizes differ by at most one, every part is a
+/// geometrically compact blob, and the assignment is deterministic (ties
+/// broken by id, exactly like [`rcb_ordering`]).
+pub fn rcb_parts(coords: &[Point2], num_parts: usize) -> Vec<u32> {
+    assert!(num_parts >= 1, "need at least one part");
+    let mut part = vec![0u32; coords.len()];
+    if coords.is_empty() || num_parts == 1 {
+        return part;
     }
-    // Longest axis of this subset's bounding box.
+    let mut ids: Vec<u32> = (0..coords.len() as u32).collect();
+    let (lo, hi) = subset_bbox(&ids, coords);
+    kway(&mut ids, coords, lo, hi, 0, num_parts as u32, &mut part);
+    part
+}
+
+/// Exact bounding box of a subset — the recursion root's only full scan
+/// (children derive theirs from [`median_split`]'s bookkeeping).
+fn subset_bbox(ids: &[u32], coords: &[Point2]) -> (Point2, Point2) {
     let (mut lo, mut hi) = (coords[ids[0] as usize], coords[ids[0] as usize]);
     for &v in ids.iter() {
         lo = lo.min(coords[v as usize]);
         hi = hi.max(coords[v as usize]);
     }
-    let split_x = (hi.x - lo.x) >= (hi.y - lo.y);
+    (lo, hi)
+}
 
-    let mid = ids.len() / 2;
+/// Split `ids` at position `mid` along the longest axis of its (exact)
+/// bounding box `(lo, hi)`, median style with ties broken by id, and
+/// return the **exact** bounding boxes of the two halves.
+///
+/// The child boxes need no fresh full scan: under the `(key, id)` order
+/// the subset's key-minimal element lands in the left half and the
+/// key-maximal in the right (so the parent's split-axis extremes carry
+/// over), and the median element — first of the right half — realises the
+/// right half's split-axis minimum. Only the left half's split-axis
+/// maximum and both halves' off-axis extents remain, gathered in one
+/// fused pass.
+fn median_split(
+    ids: &mut [u32],
+    coords: &[Point2],
+    lo: Point2,
+    hi: Point2,
+    mid: usize,
+) -> ((Point2, Point2), (Point2, Point2)) {
+    debug_assert!(mid >= 1 && mid < ids.len());
+    let split_x = (hi.x - lo.x) >= (hi.y - lo.y);
     let key = |v: u32| {
         let p = coords[v as usize];
         if split_x {
@@ -45,13 +94,84 @@ fn bisect(ids: &mut [u32], coords: &[Point2]) {
             p.y
         }
     };
-    // median split, ties broken by id for determinism
     ids.select_nth_unstable_by(mid, |&a, &b| {
         key(a).partial_cmp(&key(b)).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
     });
+
+    let off = |v: u32| {
+        let p = coords[v as usize];
+        if split_x {
+            p.y
+        } else {
+            p.x
+        }
+    };
+    let pivot = key(ids[mid]);
+    let mut lk_max = key(ids[0]);
+    let (mut lo_min, mut lo_max) = (off(ids[0]), off(ids[0]));
+    for &v in &ids[1..mid] {
+        lk_max = lk_max.max(key(v));
+        let o = off(v);
+        lo_min = lo_min.min(o);
+        lo_max = lo_max.max(o);
+    }
+    let (mut ro_min, mut ro_max) = (off(ids[mid]), off(ids[mid]));
+    for &v in &ids[mid + 1..] {
+        let o = off(v);
+        ro_min = ro_min.min(o);
+        ro_max = ro_max.max(o);
+    }
+    let (lk_min, rk_max) = if split_x { (lo.x, hi.x) } else { (lo.y, hi.y) };
+    let boxed = |k0: f64, k1: f64, o0: f64, o1: f64| {
+        if split_x {
+            (Point2::new(k0, o0), Point2::new(k1, o1))
+        } else {
+            (Point2::new(o0, k0), Point2::new(o1, k1))
+        }
+    };
+    (boxed(lk_min, lk_max, lo_min, lo_max), boxed(pivot, rk_max, ro_min, ro_max))
+}
+
+fn bisect(ids: &mut [u32], coords: &[Point2], lo: Point2, hi: Point2) {
+    let mid = ids.len() / 2;
+    let (lbox, rbox) = median_split(ids, coords, lo, hi, mid);
     let (left, right) = ids.split_at_mut(mid);
-    bisect(left, coords);
-    bisect(right, coords);
+    for (half, (hlo, hhi)) in [(left, lbox), (right, rbox)] {
+        if half.len() <= LEAF {
+            half.sort_unstable(); // deterministic leaf layout
+        } else {
+            bisect(half, coords, hlo, hhi);
+        }
+    }
+}
+
+fn kway(
+    ids: &mut [u32],
+    coords: &[Point2],
+    lo: Point2,
+    hi: Point2,
+    base: u32,
+    k: u32,
+    part: &mut [u32],
+) {
+    if k == 1 || ids.len() <= 1 {
+        for &v in ids.iter() {
+            part[v as usize] = base;
+        }
+        return;
+    }
+    let kl = k / 2;
+    let mid = ids.len() * kl as usize / k as usize;
+    if mid == 0 {
+        // fewer points than parts on this side: everything goes to the
+        // right subtree, the left part ids stay empty
+        kway(ids, coords, lo, hi, base + kl, k - kl, part);
+        return;
+    }
+    let (lbox, rbox) = median_split(ids, coords, lo, hi, mid);
+    let (left, right) = ids.split_at_mut(mid);
+    kway(left, coords, lbox.0, lbox.1, base, kl, part);
+    kway(right, coords, rbox.0, rbox.1, base + kl, k - kl, part);
 }
 
 #[cfg(test)]
@@ -60,6 +180,61 @@ mod tests {
     use crate::metrics::layout_stats_permuted;
     use crate::traversals::random_ordering;
     use lms_mesh::{generators, Adjacency};
+
+    /// The pre-optimisation reference: recompute the subset bounding box
+    /// from scratch at every recursion level. Kept as the oracle for the
+    /// bit-identity test of the extent-passing recursion.
+    fn reference_rcb(coords: &[Point2]) -> Permutation {
+        fn bisect_ref(ids: &mut [u32], coords: &[Point2]) {
+            if ids.len() <= LEAF {
+                ids.sort_unstable();
+                return;
+            }
+            let (mut lo, mut hi) = (coords[ids[0] as usize], coords[ids[0] as usize]);
+            for &v in ids.iter() {
+                lo = lo.min(coords[v as usize]);
+                hi = hi.max(coords[v as usize]);
+            }
+            let split_x = (hi.x - lo.x) >= (hi.y - lo.y);
+            let mid = ids.len() / 2;
+            let key = |v: u32| {
+                let p = coords[v as usize];
+                if split_x {
+                    p.x
+                } else {
+                    p.y
+                }
+            };
+            ids.select_nth_unstable_by(mid, |&a, &b| {
+                key(a).partial_cmp(&key(b)).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+            });
+            let (left, right) = ids.split_at_mut(mid);
+            bisect_ref(left, coords);
+            bisect_ref(right, coords);
+        }
+        let mut ids: Vec<u32> = (0..coords.len() as u32).collect();
+        bisect_ref(&mut ids, coords);
+        Permutation::from_new_to_old_unchecked(ids)
+    }
+
+    #[test]
+    fn extent_passing_matches_full_rescan_bitwise() {
+        for (nx, ny, jit, seed) in
+            [(15, 11, 0.3, 2), (40, 4, 0.0, 0), (24, 24, 0.35, 5), (13, 31, 0.45, 11)]
+        {
+            let m = generators::perturbed_grid(nx, ny, jit, seed);
+            assert_eq!(
+                rcb_ordering(m.coords()),
+                reference_rcb(m.coords()),
+                "grid {nx}x{ny} jitter {jit} seed {seed}"
+            );
+        }
+        // degenerate inputs: identical and collinear points
+        let same = vec![Point2::new(0.5, 0.5); 50];
+        assert_eq!(rcb_ordering(&same), reference_rcb(&same));
+        let line: Vec<Point2> = (0..77).map(|i| Point2::new(i as f64, 3.0)).collect();
+        assert_eq!(rcb_ordering(&line), reference_rcb(&line));
+    }
 
     #[test]
     fn rcb_is_a_bijection() {
@@ -114,5 +289,64 @@ mod tests {
         let mut ids = p.new_to_old().to_vec();
         ids.sort_unstable();
         assert!(ids.iter().enumerate().all(|(i, &v)| i as u32 == v));
+    }
+
+    #[test]
+    fn parts_are_balanced_and_cover() {
+        for (n_pts, k) in [(100usize, 4usize), (97, 5), (64, 8), (33, 7), (10, 3)] {
+            // deterministic scatter (no mesh needed for a point partition)
+            let coords: Vec<Point2> = (0..n_pts)
+                .map(|i| Point2::new((i * 37 % 101) as f64, (i * 53 % 97) as f64))
+                .collect();
+            let part = rcb_parts(&coords, k);
+            assert_eq!(part.len(), coords.len());
+            let mut sizes = vec![0usize; k];
+            for &p in &part {
+                assert!((p as usize) < k);
+                sizes[p as usize] += 1;
+            }
+            let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            assert!(hi - lo <= 1, "unbalanced sizes {sizes:?} for n={} k={k}", coords.len());
+        }
+    }
+
+    #[test]
+    fn parts_are_geometric_blobs() {
+        // On a flat strip (x span ≫ y span), 4-way RCB must slice by x:
+        // part id is monotone non-decreasing in x.
+        let m =
+            generators::perturbed_grid_over(64, 2, (Point2::ZERO, Point2::new(16.0, 0.1)), 0.0, 0);
+        let part = rcb_parts(m.coords(), 4);
+        let mut labelled: Vec<(f64, u32)> =
+            m.coords().iter().zip(&part).map(|(p, &q)| (p.x, q)).collect();
+        labelled.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in labelled.windows(2) {
+            assert!(w[0].1 <= w[1].1, "part ids not monotone along the strip");
+        }
+    }
+
+    #[test]
+    fn parts_degenerate_inputs() {
+        assert!(rcb_parts(&[], 4).is_empty());
+        // more parts than points: every point still gets a valid part id
+        let few = vec![Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)];
+        let part = rcb_parts(&few, 8);
+        assert!(part.iter().all(|&p| p < 8));
+        // k = 1: everything in part 0
+        assert!(rcb_parts(&few, 1).iter().all(|&p| p == 0));
+        // identical points: still valid and balanced
+        let same = vec![Point2::new(0.5, 0.5); 30];
+        let part = rcb_parts(&same, 4);
+        let mut sizes = [0usize; 4];
+        for &p in &part {
+            sizes[p as usize] += 1;
+        }
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn parts_deterministic() {
+        let m = generators::perturbed_grid(20, 20, 0.35, 3);
+        assert_eq!(rcb_parts(m.coords(), 6), rcb_parts(m.coords(), 6));
     }
 }

@@ -1,0 +1,140 @@
+//! The partitioners: geometric k-way RCB and space-filling-curve
+//! chunking over the Hilbert / Morton orders.
+//!
+//! Both families are **deterministic** and produce balanced parts (sizes
+//! within one of each other): RCB splits recursively at coordinate
+//! medians, SFC chunking walks the curve order and cuts it into `k`
+//! equal-length runs — the 1D analogue of the curve's locality argument,
+//! so each run is a compact 2D blob too.
+
+use crate::partition::Partition;
+use lms_mesh::{Adjacency, Point2, TriMesh};
+use lms_order::{hilbert_ordering, morton_ordering, rcb_parts, Permutation};
+
+/// The geometric partitioners `lms-part` implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionMethod {
+    /// Balanced k-way recursive coordinate bisection
+    /// ([`lms_order::rcb_parts`]).
+    Rcb,
+    /// Equal-size chunks of the Hilbert-curve order.
+    Hilbert,
+    /// Equal-size chunks of the Morton (Z-order) curve order.
+    Morton,
+}
+
+impl PartitionMethod {
+    /// Short lowercase name for reports and CLIs.
+    pub fn name(self) -> &'static str {
+        match self {
+            PartitionMethod::Rcb => "rcb",
+            PartitionMethod::Hilbert => "hilbert",
+            PartitionMethod::Morton => "morton",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn parse(name: &str) -> Option<PartitionMethod> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "rcb" | "bisection" => PartitionMethod::Rcb,
+            "hilbert" | "sfc" => PartitionMethod::Hilbert,
+            "morton" | "zorder" => PartitionMethod::Morton,
+            _ => return None,
+        })
+    }
+
+    /// Every implemented method.
+    pub const ALL: [PartitionMethod; 3] =
+        [PartitionMethod::Rcb, PartitionMethod::Hilbert, PartitionMethod::Morton];
+}
+
+/// Chunk an ordering into `k` balanced contiguous runs: the vertex at
+/// curve position `pos` goes to part `pos·k / n` (sizes within one).
+fn sfc_chunks(perm: &Permutation, k: usize) -> Vec<u32> {
+    let n = perm.len();
+    let mut part = vec![0u32; n];
+    for (pos, &old) in perm.new_to_old().iter().enumerate() {
+        part[old as usize] = (pos * k / n) as u32;
+    }
+    part
+}
+
+/// Compute the per-vertex part assignment of `method` for a point set.
+pub fn partition_coords(coords: &[Point2], num_parts: usize, method: PartitionMethod) -> Vec<u32> {
+    assert!(num_parts >= 1, "need at least one part");
+    if coords.is_empty() {
+        return Vec::new();
+    }
+    match method {
+        PartitionMethod::Rcb => rcb_parts(coords, num_parts),
+        PartitionMethod::Hilbert => sfc_chunks(&hilbert_ordering(coords), num_parts),
+        PartitionMethod::Morton => sfc_chunks(&morton_ordering(coords), num_parts),
+    }
+}
+
+/// Partition `mesh` into `num_parts` parts with `method`, building the
+/// full interface/halo decomposition over `adj`.
+pub fn partition_mesh(
+    mesh: &TriMesh,
+    adj: &Adjacency,
+    num_parts: usize,
+    method: PartitionMethod,
+) -> Partition {
+    let assignment = partition_coords(mesh.coords(), num_parts, method);
+    Partition::from_assignment(adj, assignment, num_parts as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lms_mesh::generators;
+
+    #[test]
+    fn all_methods_are_balanced_and_deterministic() {
+        let m = generators::perturbed_grid(18, 15, 0.35, 4);
+        for method in PartitionMethod::ALL {
+            for k in [1usize, 2, 5, 8] {
+                let a = partition_coords(m.coords(), k, method);
+                let b = partition_coords(m.coords(), k, method);
+                assert_eq!(a, b, "{} k={k} not deterministic", method.name());
+                let mut sizes = vec![0usize; k];
+                for &p in &a {
+                    sizes[p as usize] += 1;
+                }
+                let (lo, hi) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+                assert!(hi - lo <= 1, "{} k={k}: sizes {sizes:?}", method.name());
+            }
+        }
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for method in PartitionMethod::ALL {
+            assert_eq!(PartitionMethod::parse(method.name()), Some(method));
+        }
+        assert_eq!(PartitionMethod::parse("nope"), None);
+    }
+
+    #[test]
+    fn sfc_parts_are_contiguous_on_the_curve() {
+        let m = generators::perturbed_grid(16, 16, 0.3, 2);
+        let perm = hilbert_ordering(m.coords());
+        let part = partition_coords(m.coords(), 4, PartitionMethod::Hilbert);
+        // walking the curve, the part id never decreases
+        let walked: Vec<u32> = perm.new_to_old().iter().map(|&v| part[v as usize]).collect();
+        assert!(walked.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn geometric_partitions_have_small_cut() {
+        // any geometric method must beat a round-robin assignment on cut
+        let m = generators::perturbed_grid(24, 24, 0.3, 6);
+        let adj = Adjacency::build(&m);
+        let round_robin: Vec<u32> = (0..m.num_vertices() as u32).map(|v| v % 4).collect();
+        let rr = Partition::from_assignment(&adj, round_robin, 4).edge_cut();
+        for method in PartitionMethod::ALL {
+            let cut = partition_mesh(&m, &adj, 4, method).edge_cut();
+            assert!(cut * 4 < rr, "{}: cut {cut} vs round-robin {rr}", method.name());
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Decomposition-quality metrics — the numbers the `partition` bench
+//! experiment reports and a pipeline can use to pick `k`.
+//!
+//! The quantities mirror the classic partitioning literature: **edge
+//! cut** (communication volume proxy), **halo ratio** (ghost storage
+//! overhead), **imbalance** (max part over mean part — parallel-time
+//! bound), and the **interior fraction** (how much of the mesh smooths
+//! without any cross-part coordination — the payload of the partitioned
+//! engine).
+
+use crate::partition::Partition;
+use std::fmt;
+
+/// Summary metrics of a [`Partition`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionStats {
+    /// Number of parts.
+    pub num_parts: usize,
+    /// Vertices partitioned.
+    pub num_vertices: usize,
+    /// Undirected edges crossing parts.
+    pub edge_cut: usize,
+    /// Vertices whose whole 1-ring stays in their own part.
+    pub interior_vertices: usize,
+    /// Vertices with at least one cross-part neighbour.
+    pub interface_vertices: usize,
+    /// Ghost entries summed over parts (a vertex bordering several parts
+    /// counts once per part).
+    pub halo_vertices: usize,
+    /// Largest part size.
+    pub max_part: usize,
+    /// Smallest part size.
+    pub min_part: usize,
+    /// Mean part size.
+    pub mean_part: f64,
+    /// `max_part / mean_part` — 1.0 is perfectly balanced.
+    pub imbalance: f64,
+    /// `halo_vertices / num_vertices` — ghost storage overhead.
+    pub halo_ratio: f64,
+    /// `interior_vertices / num_vertices` — the coordination-free share.
+    pub interior_fraction: f64,
+}
+
+impl PartitionStats {
+    /// Interior-to-interface vertex ratio (`inf` when no interface).
+    pub fn interior_interface_ratio(&self) -> f64 {
+        self.interior_vertices as f64 / self.interface_vertices as f64
+    }
+}
+
+impl fmt::Display for PartitionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "k={} cut={} interior={} interface={} halo={} imbalance={:.3} halo-ratio={:.3}",
+            self.num_parts,
+            self.edge_cut,
+            self.interior_vertices,
+            self.interface_vertices,
+            self.halo_vertices,
+            self.imbalance,
+            self.halo_ratio,
+        )
+    }
+}
+
+impl Partition {
+    /// Compute the summary metrics of this decomposition.
+    pub fn stats(&self) -> PartitionStats {
+        let n = self.len();
+        let k = self.num_parts() as usize;
+        let sizes: Vec<usize> = (0..self.num_parts()).map(|p| self.part(p).len()).collect();
+        let max_part = sizes.iter().copied().max().unwrap_or(0);
+        let min_part = sizes.iter().copied().min().unwrap_or(0);
+        let mean_part = if k == 0 { 0.0 } else { n as f64 / k as f64 };
+        PartitionStats {
+            num_parts: k,
+            num_vertices: n,
+            edge_cut: self.edge_cut(),
+            interior_vertices: self.total_interior(),
+            interface_vertices: self.total_interface(),
+            halo_vertices: self.total_halo(),
+            max_part,
+            min_part,
+            mean_part,
+            imbalance: if mean_part > 0.0 { max_part as f64 / mean_part } else { 0.0 },
+            halo_ratio: if n > 0 { self.total_halo() as f64 / n as f64 } else { 0.0 },
+            interior_fraction: if n > 0 { self.total_interior() as f64 / n as f64 } else { 0.0 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::methods::{partition_mesh, PartitionMethod};
+    use lms_mesh::{generators, Adjacency};
+
+    #[test]
+    fn stats_are_consistent() {
+        let m = generators::perturbed_grid(20, 20, 0.3, 3);
+        let adj = Adjacency::build(&m);
+        let p = partition_mesh(&m, &adj, 4, PartitionMethod::Rcb);
+        let s = p.stats();
+        assert_eq!(s.num_vertices, m.num_vertices());
+        assert_eq!(s.interior_vertices + s.interface_vertices, s.num_vertices);
+        assert!(s.max_part >= s.min_part);
+        assert!(s.imbalance >= 1.0 - 1e-12);
+        assert!(s.halo_ratio > 0.0 && s.halo_ratio < 1.0);
+        assert!(s.interior_fraction > 0.5, "grid parts should be mostly interior");
+        assert!(s.interior_interface_ratio() > 1.0);
+        let shown = format!("{s}");
+        assert!(shown.contains("cut=") && shown.contains("imbalance="));
+    }
+
+    #[test]
+    fn finer_partitions_cut_more() {
+        let m = generators::perturbed_grid(24, 24, 0.3, 1);
+        let adj = Adjacency::build(&m);
+        let cut = |k| partition_mesh(&m, &adj, k, PartitionMethod::Rcb).stats().edge_cut;
+        assert!(cut(2) < cut(4));
+        assert!(cut(4) < cut(16));
+    }
+}

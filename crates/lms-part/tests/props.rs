@@ -1,0 +1,113 @@
+//! Property tests for partition invariants, across every method and
+//! arbitrary perturbed grids:
+//!
+//! * parts are disjoint and cover the vertex set, sizes within one;
+//! * interior + interface = owned, and the interface flag is exactly
+//!   "has a cross-part neighbour";
+//! * halos are exactly the out-of-part 1-ring closure of the interfaces;
+//! * the ghost-vertex map is a bijection onto owned-then-halo locals.
+
+use lms_mesh::{Adjacency, TriMesh};
+use lms_part::{partition_mesh, Partition, PartitionMethod};
+use proptest::prelude::*;
+
+fn arb_mesh() -> impl Strategy<Value = TriMesh> {
+    (4usize..16, 4usize..16, 0u64..1000, 0..40u32).prop_map(|(nx, ny, seed, jit)| {
+        lms_mesh::generators::perturbed_grid(nx, ny, jit as f64 / 100.0, seed)
+    })
+}
+
+fn build(mesh: &TriMesh, k: usize, method_ix: usize) -> (Adjacency, Partition) {
+    let adj = Adjacency::build(mesh);
+    let p = partition_mesh(mesh, &adj, k, PartitionMethod::ALL[method_ix]);
+    (adj, p)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parts_disjoint_cover_and_balanced(
+        mesh in arb_mesh(), k in 1usize..9, method_ix in 0usize..3,
+    ) {
+        let (_, p) = build(&mesh, k, method_ix);
+        let mut seen = vec![false; mesh.num_vertices()];
+        let mut sizes = Vec::new();
+        for q in 0..p.num_parts() {
+            sizes.push(p.part(q).len());
+            for &v in p.part(q) {
+                prop_assert!(!seen[v as usize], "vertex {} owned twice", v);
+                seen[v as usize] = true;
+                prop_assert_eq!(p.part_of(v), q);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "some vertex unowned");
+        let (lo, hi) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+        prop_assert!(hi - lo <= 1, "unbalanced: {:?}", sizes);
+    }
+
+    #[test]
+    fn halo_is_one_ring_closure_of_interface(
+        mesh in arb_mesh(), k in 2usize..9, method_ix in 0usize..3,
+    ) {
+        let (adj, p) = build(&mesh, k, method_ix);
+        for q in 0..p.num_parts() {
+            // 1-ring of the interface, outside the part
+            let mut expect: Vec<u32> = p
+                .interface(q)
+                .iter()
+                .flat_map(|&v| adj.neighbors(v).iter().copied())
+                .filter(|&u| p.part_of(u) != q)
+                .collect();
+            expect.sort_unstable();
+            expect.dedup();
+            prop_assert_eq!(p.halo(q), &expect[..], "part {}", q);
+        }
+    }
+
+    #[test]
+    fn interface_flag_matches_topology(
+        mesh in arb_mesh(), k in 1usize..9, method_ix in 0usize..3,
+    ) {
+        let (adj, p) = build(&mesh, k, method_ix);
+        for v in 0..mesh.num_vertices() as u32 {
+            let crosses = adj.neighbors(v).iter().any(|&w| p.part_of(w) != p.part_of(v));
+            prop_assert_eq!(p.is_interface(v), crosses);
+        }
+        for q in 0..p.num_parts() {
+            let mut merged: Vec<u32> = p.interior(q).to_vec();
+            merged.extend_from_slice(p.interface(q));
+            merged.sort_unstable();
+            prop_assert_eq!(&merged[..], p.part(q));
+        }
+    }
+
+    #[test]
+    fn ghost_map_is_owned_then_halo(
+        mesh in arb_mesh(), k in 2usize..7, method_ix in 0usize..3,
+    ) {
+        let (_, p) = build(&mesh, k, method_ix);
+        for q in 0..p.num_parts() {
+            let owned = p.part(q);
+            for (i, &v) in owned.iter().enumerate() {
+                prop_assert_eq!(p.local_of(q, v), Some(i));
+            }
+            for (i, &u) in p.halo(q).iter().enumerate() {
+                prop_assert_eq!(p.local_of(q, u), Some(owned.len() + i));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_cut_matches_direct_count(
+        mesh in arb_mesh(), k in 1usize..9, method_ix in 0usize..3,
+    ) {
+        let (_, p) = build(&mesh, k, method_ix);
+        let direct = mesh
+            .edges()
+            .iter()
+            .filter(|&&(a, b)| p.part_of(a) != p.part_of(b))
+            .count();
+        prop_assert_eq!(p.edge_cut(), direct);
+    }
+}

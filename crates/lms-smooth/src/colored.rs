@@ -158,8 +158,9 @@ impl SmoothEngine {
     /// One plain color-class step: candidates in parallel from the
     /// pre-class coordinates, then a serial commit pass (class vertices
     /// are mutually non-adjacent, so the snapshot equals what serial
-    /// Gauss–Seidel would read).
-    fn colored_class_plain(
+    /// Gauss–Seidel would read). Shared with the partitioned engine's
+    /// interface phase (`crate::partitioned`).
+    pub(crate) fn colored_class_plain(
         &self,
         class: &[u32],
         mesh: &mut TriMesh,
@@ -193,8 +194,9 @@ impl SmoothEngine {
     /// quality-guard decision in parallel (reads only pre-class state),
     /// then a serial commit pass that re-scores each committed star once
     /// to keep the cache coherent for the next class (see [`ClassMove`]
-    /// for why the guard's scores are not carried over).
-    fn colored_class_smart(
+    /// for why the guard's scores are not carried over). Shared with the
+    /// partitioned engine's interface phase (`crate::partitioned`).
+    pub(crate) fn colored_class_smart(
         &self,
         class: &[u32],
         mesh: &mut TriMesh,

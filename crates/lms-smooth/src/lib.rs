@@ -13,6 +13,11 @@
 //!   Gauss–Seidel: race-free **and** bitwise-deterministic for any thread
 //!   count, driven by the same incremental quality cache as the serial
 //!   hot path;
+//! * [`PartitionedEngine::smooth`] — domain-decomposed in-place
+//!   Gauss–Seidel over an `lms-part` decomposition: part interiors sweep
+//!   as contiguous cache-resident blocks fully in parallel, interface
+//!   vertices run through the colored machinery; bitwise-deterministic
+//!   and exactly serial Gauss–Seidel under the part-major visit order;
 //! * [`SmoothEngine::smooth_traced`] — any serial configuration while
 //!   streaming every vertex-record access to an [`AccessSink`], feeding the
 //!   reuse-distance and cache analyses of `lms-cache`.
@@ -30,6 +35,7 @@ pub mod engine;
 pub mod greedy;
 pub mod kernel;
 pub mod parallel;
+pub mod partitioned;
 pub mod stats;
 pub mod trace;
 pub mod weighting;
@@ -39,6 +45,7 @@ pub use config::{IterationPolicy, SmoothParams, UpdateScheme, Weighting};
 pub use engine::SmoothEngine;
 pub use greedy::greedy_visit_order;
 pub use parallel::{parallel_mesh_quality, smooth_parallel};
+pub use partitioned::{smooth_partitioned, PartitionedEngine};
 pub use stats::{IterationStats, SmoothReport};
 pub use trace::{AccessSink, CountSink, NullSink, VecSink};
 pub use weighting::weighted_candidate;

@@ -1,0 +1,622 @@
+//! Halo-aware partitioned deterministic Gauss–Seidel smoothing — the
+//! domain-decomposition engine that joins the ordering zoo's locality
+//! story to the parallel one.
+//!
+//! The colored engine ([`SmoothEngine::smooth_parallel_colored`])
+//! parallelises *across the whole mesh*: each color class scatters its
+//! vertices over every worker, so the per-core working set is the entire
+//! coordinate array — exactly the locality the geometric orderings try to
+//! create is thrown away. This module instead decomposes the mesh with
+//! [`lms_part`]: each worker owns a geometrically compact part and sweeps
+//! the part's **interior** (vertices whose whole 1-ring it owns) as one
+//! contiguous, cache-resident block — a gathered local coordinate buffer
+//! plus a local triangle-score table, updated serially inside the part in
+//! ascending order, exactly the incremental protocol of the serial hot
+//! path ([`crate::kernel`]). Only the thin **interface** layer (vertices
+//! with cross-part neighbours) needs coordination; it is swept with the
+//! existing colored machinery.
+//!
+//! Determinism and equivalence:
+//!
+//! * interior vertices of different parts are never adjacent and their
+//!   incident triangles are disjoint, so the parallel part sweeps commute
+//!   — results are gathered per part and folded back in part order,
+//!   making coordinates **and** reports **bitwise-deterministic for any
+//!   thread count**;
+//! * the whole sweep is *exactly* serial Gauss–Seidel under the
+//!   **part-major visit order** ([`PartitionedEngine::part_major_visit_order`]:
+//!   part-0 interiors ascending, part-1 interiors, …, then the interface
+//!   color classes) — coordinates match bit for bit, property-tested in
+//!   `tests/partitioned.rs`.
+//!
+//! One caveat, inherited from [`crate::kernel`] and slightly widened: the
+//! per-iteration convergence statistic is the cache's compensated running
+//! sum, whose fold order here differs from the serial engine's (per-part
+//! batches instead of per-commit stars). The value agrees to a few ulps,
+//! so an improvement landing exactly on `tol` can stop the two engines
+//! one sweep apart; disable the tolerance (`tol < 0`) when exact
+//! sweep-count parity matters. Coordinates per sweep are unaffected.
+
+use crate::config::{SmoothParams, UpdateScheme};
+use crate::engine::SmoothEngine;
+use crate::kernel::candidate_for;
+use crate::stats::{IterationStats, SmoothReport};
+use lms_mesh::geometry::Point2;
+use lms_mesh::{Adjacency, QualityCache, TriMesh};
+use lms_part::{partition_mesh, Partition, PartitionMethod};
+use rayon::prelude::*;
+
+/// A smoothing engine over a domain decomposition: parallel cache-resident
+/// interior sweeps per part, colored interface sweeps, bitwise
+/// deterministic for any thread count. Gauss–Seidel only (for parallel
+/// Jacobi use [`SmoothEngine::smooth_parallel`], which needs no
+/// decomposition to be deterministic).
+#[derive(Debug, Clone)]
+pub struct PartitionedEngine {
+    engine: SmoothEngine,
+    partition: Partition,
+    blocks: Vec<PartBlock>,
+    /// Interface vertices (mesh-interior) grouped by color class —
+    /// the engine's interior color classes restricted to the interface.
+    interface_classes: Vec<Vec<u32>>,
+}
+
+/// Immutable per-part topology: the local view a worker sweeps.
+///
+/// Local vertex ids index the part's owned vertices in ascending global
+/// order (the `lms_part` ghost-map convention); the halo never enters the
+/// sweep because part-interior vertices have fully-owned 1-rings. Local
+/// triangle ids index `tri_globals` (ascending global order), so slices
+/// keep the serial engine's ascending iteration order.
+#[derive(Debug, Clone)]
+struct PartBlock {
+    /// Owned vertices, global ids ascending (gather/scatter map).
+    owned: Vec<u32>,
+    /// Vertices this part sweeps (part-interior ∩ mesh-interior):
+    /// global ids, ascending.
+    sweep_globals: Vec<u32>,
+    /// The same vertices as local owned indices.
+    sweep_locals: Vec<u32>,
+    /// Local CSR neighbour rows, aligned with `sweep_locals`; entries are
+    /// local owned indices in the global ascending-neighbour order.
+    nbr_offsets: Vec<u32>,
+    nbrs: Vec<u32>,
+    /// Local triangle set: every triangle incident to a sweep vertex
+    /// (all three corners are owned). Global ids, ascending.
+    tri_globals: Vec<u32>,
+    /// Corner indices of each local triangle, in stored corner order.
+    tri_corners: Vec<[u32; 3]>,
+    /// Local CSR incident-triangle rows, aligned with `sweep_locals`.
+    vt_offsets: Vec<u32>,
+    vt: Vec<u32>,
+    /// Owned interface vertices the interface phase can move:
+    /// `(local, global)` pairs — the per-iteration coordinate refresh.
+    iface_refresh: Vec<(u32, u32)>,
+    /// Local triangles incident to such a vertex — the per-iteration
+    /// score refresh (the interface phase re-scores them in the cache).
+    frontier_tris: Vec<u32>,
+}
+
+/// Per-run mutable state of one part: the cache-resident block.
+struct PartScratch {
+    /// Local copies of the owned vertices' coordinates.
+    coords: Vec<Point2>,
+    /// Local `(quality, positively_oriented)` per local triangle (smart
+    /// runs only), mirroring the global [`QualityCache`] entries.
+    scores: Vec<(f64, bool)>,
+    /// Local owned indices committed this iteration (scatter list).
+    committed: Vec<u32>,
+    /// Local triangles re-scored this iteration (cache write-back list).
+    dirty: Vec<u32>,
+    dirty_mark: Vec<bool>,
+    /// Candidate-star scratch.
+    star: Vec<(f64, bool)>,
+}
+
+impl PartScratch {
+    fn new(block: &PartBlock, smart: bool) -> Self {
+        PartScratch {
+            coords: vec![Point2::ZERO; block.owned.len()],
+            scores: if smart { vec![(0.0, false); block.tri_globals.len()] } else { Vec::new() },
+            committed: Vec::new(),
+            dirty: Vec::new(),
+            dirty_mark: if smart { vec![false; block.tri_globals.len()] } else { Vec::new() },
+            star: Vec::new(),
+        }
+    }
+
+    /// First-iteration gather: all owned coordinates, and (smart) the
+    /// current cache state of every local triangle.
+    fn gather(&mut self, block: &PartBlock, coords: &[Point2], cache: &QualityCache, smart: bool) {
+        for (slot, &v) in self.coords.iter_mut().zip(&block.owned) {
+            *slot = coords[v as usize];
+        }
+        if smart {
+            for (slot, &t) in self.scores.iter_mut().zip(&block.tri_globals) {
+                *slot = (cache.tri_quality(t), cache.tri_is_positive(t));
+            }
+        }
+    }
+
+    /// Steady-state refresh: only what the interface phase could have
+    /// changed — owned interface coordinates and frontier-triangle scores
+    /// (everything else is maintained locally by this part alone).
+    fn refresh(&mut self, block: &PartBlock, coords: &[Point2], cache: &QualityCache, smart: bool) {
+        for &(lv, gv) in &block.iface_refresh {
+            self.coords[lv as usize] = coords[gv as usize];
+        }
+        if smart {
+            for &lt in &block.frontier_tris {
+                let t = block.tri_globals[lt as usize];
+                self.scores[lt as usize] = (cache.tri_quality(t), cache.tri_is_positive(t));
+            }
+        }
+    }
+}
+
+impl PartitionedEngine {
+    /// Build a partitioned engine for `mesh` under `params` and an
+    /// existing decomposition (Gauss–Seidel parameters only).
+    pub fn new(mesh: &TriMesh, params: SmoothParams, partition: Partition) -> Self {
+        assert_eq!(
+            partition.len(),
+            mesh.num_vertices(),
+            "partition was built for a different mesh"
+        );
+        assert_eq!(
+            params.update,
+            UpdateScheme::GaussSeidel,
+            "partitioned smoothing is an in-place (Gauss-Seidel) schedule; \
+             use smooth_parallel for deterministic Jacobi"
+        );
+        let engine = SmoothEngine::new(mesh, params);
+        let interface_classes: Vec<Vec<u32>> = engine
+            .interior_color_classes()
+            .iter()
+            .map(|class| {
+                class.iter().copied().filter(|&v| partition.is_interface(v)).collect::<Vec<u32>>()
+            })
+            .filter(|class| !class.is_empty())
+            .collect();
+
+        let n = mesh.num_vertices();
+        let triangles: &[[u32; 3]] = engine.triangles();
+        let mut g2l = vec![u32::MAX; n];
+        let mut tri_l = vec![u32::MAX; triangles.len()];
+        let mut blocks = Vec::with_capacity(partition.num_parts() as usize);
+        for p in 0..partition.num_parts() {
+            blocks.push(build_block(&partition, &engine, triangles, p, &mut g2l, &mut tri_l));
+        }
+        PartitionedEngine { engine, partition, blocks, interface_classes }
+    }
+
+    /// Convenience: decompose `mesh` into `num_parts` with `method`, then
+    /// build the engine.
+    pub fn by_method(
+        mesh: &TriMesh,
+        params: SmoothParams,
+        num_parts: usize,
+        method: PartitionMethod,
+    ) -> Self {
+        let adj = Adjacency::build(mesh);
+        let partition = partition_mesh(mesh, &adj, num_parts, method);
+        PartitionedEngine::new(mesh, params, partition)
+    }
+
+    /// The underlying serial engine (adjacency, boundary, parameters).
+    pub fn engine(&self) -> &SmoothEngine {
+        &self.engine
+    }
+
+    /// The decomposition the engine runs on.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// The interface color classes the coordination phase sweeps.
+    pub fn interface_classes(&self) -> &[Vec<u32>] {
+        &self.interface_classes
+    }
+
+    /// The serial visit order this engine's sweep is exactly equal to:
+    /// each part's interior vertices ascending, parts in order, then the
+    /// interface color classes class-major. Feed it to
+    /// [`SmoothEngine::with_visit_order`] to reproduce the partitioned
+    /// result bit for bit on the serial engine.
+    pub fn part_major_visit_order(&self) -> Vec<u32> {
+        let mut order: Vec<u32> =
+            self.blocks.iter().flat_map(|b| b.sweep_globals.iter().copied()).collect();
+        order.extend(self.interface_classes.iter().flatten().copied());
+        order
+    }
+
+    /// Partitioned in-place Gauss–Seidel smoothing: part interiors in
+    /// parallel (one cache-resident block per part), interface vertices
+    /// by color class. Race-free, bitwise-deterministic for any
+    /// `num_threads`, and exactly serial Gauss–Seidel under
+    /// [`part_major_visit_order`](Self::part_major_visit_order).
+    pub fn smooth(&self, mesh: &mut TriMesh, num_threads: usize) -> SmoothReport {
+        assert!(num_threads >= 1, "need at least one thread");
+        assert_eq!(
+            mesh.num_vertices(),
+            self.engine.adj.num_vertices(),
+            "engine was built for a different mesh"
+        );
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(num_threads)
+            .build()
+            .expect("rayon pool construction cannot fail with a positive thread count");
+
+        let params = &self.engine.params;
+        let smart = params.smart;
+        let mut cache = QualityCache::build(mesh, &self.engine.adj, params.metric);
+        let initial_quality = cache.quality_exact(&self.engine.adj);
+        let mut report = SmoothReport {
+            initial_quality,
+            final_quality: initial_quality,
+            iterations: Vec::new(),
+            converged: false,
+        };
+        let mut quality = initial_quality;
+        let mut works: Vec<PartScratch> =
+            self.blocks.iter().map(|b| PartScratch::new(b, smart)).collect();
+        let mut moved: Vec<u32> = Vec::new();
+        let mut star_ids: Vec<u32> = Vec::new();
+        let mut star_scores: Vec<(f64, bool)> = Vec::new();
+
+        for iter in 1..=params.max_iters {
+            moved.clear();
+
+            // Interior phase: every part sweeps its local block in
+            // parallel. Workers read the global coordinates and cache and
+            // write only their own scratch, so the phase is race-free and
+            // its outputs are independent of the thread schedule.
+            {
+                let coords: &[Point2] = mesh.coords();
+                let cache_ref: &QualityCache = &cache;
+                let blocks: &[PartBlock] = &self.blocks;
+                let first = iter == 1;
+                pool.install(|| {
+                    works.par_chunks_mut(1).enumerate().for_each(|(i, chunk)| {
+                        let work = &mut chunk[0];
+                        let block = &blocks[i];
+                        if first {
+                            work.gather(block, coords, cache_ref, smart);
+                        } else {
+                            work.refresh(block, coords, cache_ref, smart);
+                        }
+                        if smart {
+                            self.sweep_block_smart(block, work);
+                        } else {
+                            self.sweep_block_plain(block, work);
+                        }
+                    });
+                });
+            }
+
+            // Serial write-back in part order: scatter the committed
+            // coordinates and fold each part's triangle re-scores into
+            // the cache — deterministic for any thread count.
+            for (block, work) in self.blocks.iter().zip(works.iter_mut()) {
+                let coords = mesh.coords_mut();
+                for &lv in &work.committed {
+                    coords[block.owned[lv as usize] as usize] = work.coords[lv as usize];
+                }
+                if smart {
+                    work.dirty.sort_unstable();
+                    star_ids.clear();
+                    star_scores.clear();
+                    for &lt in &work.dirty {
+                        star_ids.push(block.tri_globals[lt as usize]);
+                        star_scores.push(work.scores[lt as usize]);
+                        work.dirty_mark[lt as usize] = false;
+                    }
+                    work.dirty.clear();
+                    if !star_ids.is_empty() {
+                        cache.set_star(&star_ids, &star_scores);
+                    }
+                } else {
+                    moved.extend(work.committed.iter().map(|&lv| block.owned[lv as usize]));
+                }
+                work.committed.clear();
+            }
+
+            // Interface phase: the existing colored machinery on the
+            // global mesh — classes contain only interface vertices.
+            for class in &self.interface_classes {
+                if smart {
+                    self.engine.colored_class_smart(class, mesh, &mut cache, &pool);
+                } else {
+                    self.engine.colored_class_plain(class, mesh, &mut moved, &pool);
+                }
+            }
+            if !moved.is_empty() {
+                cache.apply_moves(&moved, &self.engine.adj, mesh.coords(), &self.engine.triangles);
+            }
+
+            let new_quality = cache.quality_running();
+            let improvement = new_quality - quality;
+            report.iterations.push(IterationStats { iter, quality: new_quality, improvement });
+            quality = new_quality;
+            if improvement < params.tol {
+                report.converged = true;
+                break;
+            }
+        }
+
+        let exact = if report.iterations.is_empty() {
+            initial_quality
+        } else {
+            cache.quality_exact(&self.engine.adj)
+        };
+        if let Some(last) = report.iterations.last_mut() {
+            last.quality = exact;
+        }
+        report.final_quality = exact;
+        report
+    }
+
+    /// One plain local sweep: every candidate commits; arithmetic
+    /// identical to the serial plain sweep on the gathered values.
+    fn sweep_block_plain(&self, block: &PartBlock, work: &mut PartScratch) {
+        let weighting = self.engine.params.weighting;
+        for (si, &lv) in block.sweep_locals.iter().enumerate() {
+            let ns =
+                &block.nbrs[block.nbr_offsets[si] as usize..block.nbr_offsets[si + 1] as usize];
+            if ns.is_empty() {
+                continue;
+            }
+            let pv = work.coords[lv as usize];
+            let Some(candidate) = candidate_for(weighting, pv, ns, &work.coords) else {
+                continue;
+            };
+            work.coords[lv as usize] = candidate;
+            work.committed.push(lv);
+        }
+    }
+
+    /// One smart local sweep: the serial hot path's incremental protocol
+    /// on the local block — "before" from the local score table, candidate
+    /// star scored once, scores reused as the table update on commit. The
+    /// guard expressions mirror `kernel::sweep_gs_smart` term for term, so
+    /// commit decisions (hence coordinates) are bit-identical to the
+    /// serial engine's.
+    fn sweep_block_smart(&self, block: &PartBlock, work: &mut PartScratch) {
+        let metric = self.engine.params.metric;
+        let weighting = self.engine.params.weighting;
+        for (si, &lv) in block.sweep_locals.iter().enumerate() {
+            let ns =
+                &block.nbrs[block.nbr_offsets[si] as usize..block.nbr_offsets[si + 1] as usize];
+            if ns.is_empty() {
+                continue;
+            }
+            let pv = work.coords[lv as usize];
+            let Some(candidate) = candidate_for(weighting, pv, ns, &work.coords) else {
+                continue;
+            };
+            let ts = &block.vt[block.vt_offsets[si] as usize..block.vt_offsets[si + 1] as usize];
+            if ts.is_empty() {
+                work.coords[lv as usize] = candidate;
+                work.committed.push(lv);
+                continue;
+            }
+
+            work.star.clear();
+            let mut after_sum = 0.0;
+            let mut before_sum = 0.0;
+            let mut all_pos = true;
+            for &lt in ts {
+                let (q0, pos0) = work.scores[lt as usize];
+                before_sum += if pos0 { q0 } else { 0.0 };
+                let (q, pos) = QualityCache::score_with(
+                    metric,
+                    &work.coords,
+                    block.tri_corners[lt as usize],
+                    lv,
+                    candidate,
+                );
+                work.star.push((q, pos));
+                if pos {
+                    after_sum += q;
+                } else {
+                    all_pos = false;
+                }
+            }
+            let len = ts.len() as f64;
+            let quality_ok = after_sum >= before_sum || after_sum / len >= before_sum / len;
+            let commit =
+                quality_ok && (all_pos || ts.iter().any(|&lt| !work.scores[lt as usize].1));
+            if commit {
+                work.coords[lv as usize] = candidate;
+                for (k, &lt) in ts.iter().enumerate() {
+                    work.scores[lt as usize] = work.star[k];
+                    if !work.dirty_mark[lt as usize] {
+                        work.dirty_mark[lt as usize] = true;
+                        work.dirty.push(lt);
+                    }
+                }
+                work.committed.push(lv);
+            }
+        }
+    }
+}
+
+/// Build one part's local topology. `g2l` and `tri_l` are `u32::MAX`-filled
+/// scratch maps of global→local ids, restored before returning.
+fn build_block(
+    partition: &Partition,
+    engine: &SmoothEngine,
+    triangles: &[[u32; 3]],
+    p: u32,
+    g2l: &mut [u32],
+    tri_l: &mut [u32],
+) -> PartBlock {
+    let adj = engine.adjacency();
+    let owned: Vec<u32> = partition.part(p).to_vec();
+    for (i, &v) in owned.iter().enumerate() {
+        g2l[v as usize] = i as u32;
+    }
+
+    let mut sweep_globals = Vec::new();
+    let mut sweep_locals = Vec::new();
+    for (i, &v) in owned.iter().enumerate() {
+        if !partition.is_interface(v) && engine.boundary().is_interior(v) {
+            sweep_globals.push(v);
+            sweep_locals.push(i as u32);
+        }
+    }
+
+    // local triangle set: the sweep vertices' stars (corners are all
+    // owned — a part-interior vertex's ring is owned by construction)
+    let mut tri_globals: Vec<u32> =
+        sweep_globals.iter().flat_map(|&v| adj.triangles_of(v).iter().copied()).collect();
+    tri_globals.sort_unstable();
+    tri_globals.dedup();
+    for (i, &t) in tri_globals.iter().enumerate() {
+        tri_l[t as usize] = i as u32;
+    }
+    let tri_corners: Vec<[u32; 3]> = tri_globals
+        .iter()
+        .map(|&t| {
+            triangles[t as usize].map(|c| {
+                debug_assert_ne!(
+                    g2l[c as usize],
+                    u32::MAX,
+                    "sweep-star corner not owned by its part"
+                );
+                g2l[c as usize]
+            })
+        })
+        .collect();
+
+    let mut nbr_offsets = Vec::with_capacity(sweep_globals.len() + 1);
+    nbr_offsets.push(0u32);
+    let mut nbrs = Vec::new();
+    let mut vt_offsets = Vec::with_capacity(sweep_globals.len() + 1);
+    vt_offsets.push(0u32);
+    let mut vt = Vec::new();
+    for &v in &sweep_globals {
+        nbrs.extend(adj.neighbors(v).iter().map(|&w| g2l[w as usize]));
+        nbr_offsets.push(nbrs.len() as u32);
+        vt.extend(adj.triangles_of(v).iter().map(|&t| tri_l[t as usize]));
+        vt_offsets.push(vt.len() as u32);
+    }
+
+    let movable_iface = |v: u32| partition.is_interface(v) && engine.boundary().is_interior(v);
+    let iface_refresh: Vec<(u32, u32)> = owned
+        .iter()
+        .enumerate()
+        .filter(|&(_, &v)| movable_iface(v))
+        .map(|(i, &v)| (i as u32, v))
+        .collect();
+    let frontier_tris: Vec<u32> = tri_globals
+        .iter()
+        .enumerate()
+        .filter(|&(_, &t)| triangles[t as usize].iter().any(|&c| movable_iface(c)))
+        .map(|(i, _)| i as u32)
+        .collect();
+
+    for &t in &tri_globals {
+        tri_l[t as usize] = u32::MAX;
+    }
+    for &v in &owned {
+        g2l[v as usize] = u32::MAX;
+    }
+    PartBlock {
+        owned,
+        sweep_globals,
+        sweep_locals,
+        nbr_offsets,
+        nbrs,
+        tri_globals,
+        tri_corners,
+        vt_offsets,
+        vt,
+        iface_refresh,
+        frontier_tris,
+    }
+}
+
+/// Convenience: decompose, build the engine and run the partitioned
+/// smoother in one call.
+pub fn smooth_partitioned(
+    mesh: &mut TriMesh,
+    params: &SmoothParams,
+    num_parts: usize,
+    method: PartitionMethod,
+    num_threads: usize,
+) -> SmoothReport {
+    PartitionedEngine::by_method(mesh, params.clone(), num_parts, method).smooth(mesh, num_threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lms_mesh::generators;
+
+    #[test]
+    fn improves_quality_and_pins_boundary() {
+        let mut m = generators::perturbed_grid(20, 20, 0.4, 1);
+        let before = m.coords().to_vec();
+        let engine =
+            PartitionedEngine::by_method(&m, SmoothParams::paper(), 4, PartitionMethod::Rcb);
+        let report = engine.smooth(&mut m, 2);
+        assert!(report.final_quality > report.initial_quality + 0.01);
+        for v in engine.engine().boundary().boundary_vertices() {
+            assert_eq!(m.coords()[v as usize], before[v as usize], "boundary vertex {v} moved");
+        }
+    }
+
+    #[test]
+    fn single_part_equals_serial_storage_order() {
+        // k = 1: no interfaces, one block sweeping all interiors ascending
+        // — exactly the serial engine's storage-order sweep.
+        let m = generators::perturbed_grid(14, 14, 0.35, 3);
+        let params = SmoothParams::paper().with_smart(true).with_max_iters(6).with_tol(-1.0);
+        let part_engine = PartitionedEngine::by_method(&m, params.clone(), 1, PartitionMethod::Rcb);
+        assert!(part_engine.interface_classes().is_empty());
+        let mut a = m.clone();
+        part_engine.smooth(&mut a, 3);
+        let mut b = m.clone();
+        SmoothEngine::new(&m, params).smooth(&mut b);
+        assert_eq!(a.coords(), b.coords());
+    }
+
+    #[test]
+    fn part_major_order_covers_interior_once() {
+        let m = generators::perturbed_grid(13, 17, 0.3, 9);
+        let engine =
+            PartitionedEngine::by_method(&m, SmoothParams::paper(), 5, PartitionMethod::Hilbert);
+        let order = engine.part_major_visit_order();
+        assert_eq!(order.len(), engine.engine().boundary().num_interior());
+        let mut seen = vec![false; m.num_vertices()];
+        for &v in &order {
+            assert!(engine.engine().boundary().is_interior(v));
+            assert!(!seen[v as usize], "vertex {v} visited twice");
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn rejects_jacobi_params() {
+        let m = generators::perturbed_grid(8, 8, 0.2, 1);
+        let params = SmoothParams::paper().with_update(UpdateScheme::Jacobi);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            PartitionedEngine::by_method(&m, params, 2, PartitionMethod::Rcb)
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn convenience_wrapper_runs() {
+        let mut m = generators::perturbed_grid(12, 12, 0.35, 2);
+        let report = smooth_partitioned(
+            &mut m,
+            &SmoothParams::paper().with_max_iters(10),
+            3,
+            PartitionMethod::Morton,
+            2,
+        );
+        assert!(report.final_quality > report.initial_quality);
+    }
+}

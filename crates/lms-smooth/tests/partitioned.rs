@@ -1,0 +1,122 @@
+//! Property tests for the partitioned deterministic Gauss–Seidel engine:
+//! bitwise determinism across thread counts, exact equivalence with
+//! serial Gauss–Seidel under the part-major visit order (smart and plain,
+//! across every partition method), and fixed-point agreement with
+//! storage-order Gauss–Seidel.
+
+use lms_mesh::TriMesh;
+use lms_part::PartitionMethod;
+use lms_smooth::{PartitionedEngine, SmoothEngine, SmoothParams};
+use proptest::prelude::*;
+
+fn arb_mesh() -> impl Strategy<Value = TriMesh> {
+    (5usize..14, 5usize..14, 0u64..1000, 0..40u32).prop_map(|(nx, ny, seed, jit)| {
+        lms_mesh::generators::perturbed_grid(nx, ny, jit as f64 / 100.0, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Bitwise determinism: 1, 2 and 8 threads produce identical
+    /// coordinates and identical reports, smart and plain alike, for
+    /// every partition method.
+    #[test]
+    fn partitioned_is_bitwise_deterministic_across_threads(
+        mesh in arb_mesh(), smart in any::<bool>(), iters in 1usize..5,
+        k in 2usize..7, method_ix in 0usize..3,
+    ) {
+        let params = SmoothParams::paper().with_smart(smart).with_max_iters(iters);
+        let engine = PartitionedEngine::by_method(
+            &mesh, params, k, PartitionMethod::ALL[method_ix],
+        );
+        let mut one = mesh.clone();
+        let r1 = engine.smooth(&mut one, 1);
+        for threads in [2usize, 8] {
+            let mut multi = mesh.clone();
+            let rt = engine.smooth(&mut multi, threads);
+            prop_assert_eq!(one.coords(), multi.coords(), "threads={}", threads);
+            prop_assert_eq!(&r1, &rt, "threads={}", threads);
+        }
+    }
+
+    /// The partitioned sweep is *exactly* serial Gauss–Seidel under the
+    /// part-major visit order — coordinates match bit for bit. Tolerance
+    /// disabled to pin the sweep count (the running-sum fold order
+    /// differs in ulps; see the module docs).
+    #[test]
+    fn partitioned_equals_serial_part_major_order(
+        mesh in arb_mesh(), smart in any::<bool>(), iters in 1usize..5,
+        k in 2usize..7, method_ix in 0usize..3,
+    ) {
+        let params = SmoothParams::paper()
+            .with_smart(smart)
+            .with_max_iters(iters)
+            .with_tol(-1.0);
+        let engine = PartitionedEngine::by_method(
+            &mesh, params.clone(), k, PartitionMethod::ALL[method_ix],
+        );
+
+        let mut par = mesh.clone();
+        engine.smooth(&mut par, 4);
+
+        let order = engine.part_major_visit_order();
+        let serial = SmoothEngine::new(&mesh, params).with_visit_order(order);
+        let mut ser = mesh.clone();
+        serial.smooth(&mut ser);
+
+        prop_assert_eq!(par.coords(), ser.coords());
+    }
+
+    /// The partitioned engine agrees with the colored engine's final
+    /// quality at the fixed point (both are Gauss–Seidel sweeps of the
+    /// same update, only the visit order differs).
+    #[test]
+    fn partitioned_reaches_the_gauss_seidel_fixed_point(
+        seed in 0u64..200, k in 2usize..6,
+    ) {
+        let mesh = lms_mesh::generators::perturbed_grid(10, 10, 0.25, seed);
+        let params = SmoothParams::paper().with_tol(-1.0).with_max_iters(3000);
+        let part_engine = PartitionedEngine::by_method(
+            &mesh, params.clone(), k, PartitionMethod::Rcb,
+        );
+        let mut a = mesh.clone();
+        let ra = part_engine.smooth(&mut a, 2);
+        let mut b = mesh.clone();
+        let rb = SmoothEngine::new(&mesh, params).smooth(&mut b);
+        prop_assert!(
+            (ra.final_quality - rb.final_quality).abs() < 1e-12,
+            "partitioned {} vs serial {}", ra.final_quality, rb.final_quality
+        );
+    }
+}
+
+/// The decomposition must leave real work in the interiors: on the suite
+/// meshes (scaled down), most interior vertices are part-interior and the
+/// partitioned engine still matches serial bit for bit.
+#[test]
+fn partitioned_equivalence_on_generator_suite() {
+    for spec in lms_mesh::suite::SUITE.iter().take(4) {
+        let mesh = lms_mesh::suite::generate(spec, 0.004);
+        let params = SmoothParams::paper().with_smart(true).with_max_iters(4).with_tol(-1.0);
+        let engine = PartitionedEngine::by_method(&mesh, params.clone(), 4, PartitionMethod::Rcb);
+
+        let interface: usize = engine.interface_classes().iter().map(Vec::len).sum();
+        let interiors = engine.part_major_visit_order().len() - interface;
+        assert!(
+            2 * interiors > engine.engine().boundary().num_interior(),
+            "{}: interiors should dominate ({} of {})",
+            spec.name,
+            interiors,
+            engine.engine().boundary().num_interior()
+        );
+
+        let mut par = mesh.clone();
+        engine.smooth(&mut par, 3);
+        let order = engine.part_major_visit_order();
+        let serial = SmoothEngine::new(&mesh, params).with_visit_order(order);
+        let mut ser = mesh.clone();
+        serial.smooth(&mut ser);
+        assert_eq!(par.coords(), ser.coords(), "{}: diverged from serial", spec.name);
+    }
+}

@@ -9,6 +9,8 @@
 //! * [`svg`] — a dependency-free SVG document builder with the quality
 //!   colour ramp;
 //! * [`mesh`] — quality-coloured mesh renders and mesh galleries;
+//! * [`partition`] — domain-decomposition overlays: triangles colored by
+//!   owning part, cut edges emphasised (debug/figure aid for `lms-part`);
 //! * [`plot`] — line charts (linear/log axes) and grouped bar charts.
 //!
 //! See `examples/render_figures.rs` for the figure-regeneration driver.
@@ -23,10 +25,12 @@
 
 pub mod mesh;
 pub mod mesh3d;
+pub mod partition;
 pub mod plot;
 pub mod svg;
 
 pub use mesh::{render_gallery, render_mesh, MeshStyle};
 pub use mesh3d::{render_tet_surface, Mesh3Style};
+pub use partition::{part_color, render_partition, triangle_owner, PartitionStyle};
 pub use plot::{BarChart, Chart, Scale, Series};
 pub use svg::{quality_color, Color, Svg};

@@ -1,0 +1,199 @@
+//! Partition overlay rendering — triangles colored by owning part, cut
+//! edges emphasised. The debug/figure aid for `lms-part`'s domain
+//! decomposition: a glance shows part shapes, balance and the interface
+//! layer the partitioned smoother has to coordinate.
+//!
+//! The module deliberately takes a plain `&[u32]` part assignment rather
+//! than depending on `lms-part`, so any vertex labelling (partition,
+//! color class, NUMA placement) can be rendered.
+
+use crate::svg::{Color, Svg};
+use lms_mesh::TriMesh;
+
+/// Rendering knobs for [`render_partition`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionStyle {
+    /// Output width in pixels (height follows the mesh aspect ratio).
+    pub width: f64,
+    /// Margin around the mesh, pixels.
+    pub margin: f64,
+    /// Stroke triangle edges faintly.
+    pub edges: bool,
+    /// Emphasise cut edges (endpoints in different parts).
+    pub cut_edges: bool,
+    /// Draw part-color swatches below the mesh (capped at 12 parts).
+    pub legend: bool,
+}
+
+impl Default for PartitionStyle {
+    fn default() -> Self {
+        PartitionStyle { width: 640.0, margin: 12.0, edges: true, cut_edges: true, legend: true }
+    }
+}
+
+/// A categorical part color: golden-angle hue walk with alternating
+/// value, so adjacent part ids contrast even for large `k`.
+pub fn part_color(p: u32) -> Color {
+    let hue = (p as f64 * 137.50776405003785) % 360.0;
+    let value = if p.is_multiple_of(2) { 0.93 } else { 0.72 };
+    hsv_to_rgb(hue, 0.55, value)
+}
+
+fn hsv_to_rgb(h: f64, s: f64, v: f64) -> Color {
+    let c = v * s;
+    let hp = h / 60.0;
+    let x = c * (1.0 - (hp % 2.0 - 1.0).abs());
+    let (r, g, b) = match hp as u32 {
+        0 => (c, x, 0.0),
+        1 => (x, c, 0.0),
+        2 => (0.0, c, x),
+        3 => (0.0, x, c),
+        4 => (x, 0.0, c),
+        _ => (c, 0.0, x),
+    };
+    let m = v - c;
+    let to8 = |f: f64| ((f + m) * 255.0).round().clamp(0.0, 255.0) as u8;
+    Color::rgb(to8(r), to8(g), to8(b))
+}
+
+/// Owning part of a triangle: the part holding the most corners, ties
+/// broken toward the smallest part id.
+pub fn triangle_owner(tri: [u32; 3], part_of: &[u32]) -> u32 {
+    let ps = tri.map(|v| part_of[v as usize]);
+    if ps[0] == ps[1] || ps[0] == ps[2] {
+        ps[0]
+    } else if ps[1] == ps[2] {
+        ps[1]
+    } else {
+        ps[0].min(ps[1]).min(ps[2])
+    }
+}
+
+/// Render `mesh` with each triangle filled by its owning part's color.
+///
+/// `part_of` assigns a part to every vertex (as produced by
+/// `lms-part`'s partitioners); `num_parts` sizes the legend.
+pub fn render_partition(
+    mesh: &TriMesh,
+    part_of: &[u32],
+    num_parts: u32,
+    style: &PartitionStyle,
+) -> Svg {
+    assert_eq!(part_of.len(), mesh.num_vertices(), "assignment does not match the mesh");
+    let (lo, hi) = mesh.bbox();
+    let span_x = (hi.x - lo.x).max(f64::MIN_POSITIVE);
+    let span_y = (hi.y - lo.y).max(f64::MIN_POSITIVE);
+    let draw_w = style.width - 2.0 * style.margin;
+    let scale = draw_w / span_x;
+    let draw_h = span_y * scale;
+    let legend_h = if style.legend { 30.0 } else { 0.0 };
+    let mut svg = Svg::new(style.width, draw_h + 2.0 * style.margin + legend_h);
+
+    let tx = |x: f64| style.margin + (x - lo.x) * scale;
+    let ty = |y: f64| style.margin + (hi.y - y) * scale;
+
+    let edge_stroke = (Color::rgb(70, 70, 70), 0.3);
+    for tri in mesh.triangles() {
+        let pts: Vec<(f64, f64)> = tri
+            .iter()
+            .map(|&v| {
+                let p = mesh.coords()[v as usize];
+                (tx(p.x), ty(p.y))
+            })
+            .collect();
+        let fill = part_color(triangle_owner(*tri, part_of));
+        svg.polygon(&pts, fill, style.edges.then_some(edge_stroke));
+    }
+
+    if style.cut_edges {
+        let cut = Color::rgb(30, 30, 30);
+        for &(a, b) in &mesh.edges() {
+            if part_of[a as usize] != part_of[b as usize] {
+                let pa = mesh.coords()[a as usize];
+                let pb = mesh.coords()[b as usize];
+                svg.line(tx(pa.x), ty(pa.y), tx(pb.x), ty(pb.y), cut, 1.1);
+            }
+        }
+    }
+
+    if style.legend {
+        let y = draw_h + 2.0 * style.margin + 4.0;
+        let shown = num_parts.min(12);
+        for p in 0..shown {
+            svg.rect(style.margin + p as f64 * 34.0, y, 12.0, 12.0, part_color(p));
+            svg.text(
+                style.margin + p as f64 * 34.0 + 15.0,
+                y + 10.0,
+                10.0,
+                "start",
+                &p.to_string(),
+            );
+        }
+        if num_parts > shown {
+            svg.text(
+                style.margin + shown as f64 * 34.0,
+                y + 10.0,
+                10.0,
+                "start",
+                &format!("… {num_parts} parts"),
+            );
+        }
+    }
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lms_mesh::generators;
+
+    /// A crude 2-way split by x for tests (no lms-part dependency here).
+    fn split_by_x(mesh: &TriMesh) -> Vec<u32> {
+        let (lo, hi) = mesh.bbox();
+        let mid = (lo.x + hi.x) / 2.0;
+        mesh.coords().iter().map(|p| u32::from(p.x > mid)).collect()
+    }
+
+    #[test]
+    fn one_polygon_per_triangle_and_cut_edges_drawn() {
+        let m = generators::perturbed_grid(10, 10, 0.2, 1);
+        let part = split_by_x(&m);
+        let svg = render_partition(&m, &part, 2, &PartitionStyle::default());
+        let out = svg.render();
+        assert_eq!(out.matches("<polygon").count(), m.num_triangles());
+        assert!(out.matches("<line").count() > 0, "cut edges should be drawn");
+    }
+
+    #[test]
+    fn triangle_owner_majority_and_ties() {
+        let part = [0u32, 0, 1, 2, 3];
+        assert_eq!(triangle_owner([0, 1, 2], &part), 0); // majority
+        assert_eq!(triangle_owner([2, 3, 4], &part), 1); // all distinct → min
+        assert_eq!(triangle_owner([3, 4, 4], &part), 3); // pair wins
+    }
+
+    #[test]
+    fn parts_get_distinct_colors() {
+        let mut seen = std::collections::HashSet::new();
+        for p in 0..16u32 {
+            seen.insert(part_color(p).hex());
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn uniform_assignment_has_no_cut_edges() {
+        let m = generators::perturbed_grid(8, 8, 0.2, 2);
+        let part = vec![0u32; m.num_vertices()];
+        let svg = render_partition(&m, &part, 1, &PartitionStyle::default());
+        assert_eq!(svg.render().matches("<line").count(), 0);
+    }
+
+    #[test]
+    fn legend_caps_at_twelve() {
+        let m = generators::perturbed_grid(6, 6, 0.2, 3);
+        let part: Vec<u32> = (0..m.num_vertices() as u32).map(|v| v % 20).collect();
+        let svg = render_partition(&m, &part, 20, &PartitionStyle::default());
+        assert!(svg.render().contains("… 20 parts"));
+    }
+}

@@ -3,7 +3,7 @@
 //! Facade crate for the reproduction of *Locality-Aware Laplacian Mesh
 //! Smoothing* (Aupy, Park, Raghavan — ICPP 2016, arXiv:1606.00803).
 //!
-//! The workspace is organised as seven library crates, all re-exported here:
+//! The workspace is organised as eight library crates, all re-exported here:
 //!
 //! * [`mesh`] — 2D triangle-mesh substrate: containers, CSR adjacency,
 //!   boundary detection, quality metrics (plus the incremental
@@ -11,10 +11,14 @@
 //! * [`order`] — vertex reorderings: the paper's **RDR** contribution plus
 //!   the ORI/RANDOM/BFS/DFS/RCM/Hilbert baselines, greedy graph coloring,
 //!   and permutation machinery.
+//! * [`part`] — geometric domain decomposition: balanced k-way RCB and
+//!   SFC-chunk partitions with interface/halo/ghost-vertex structures and
+//!   decomposition-quality metrics.
 //! * [`smooth`] — the Laplacian Mesh Smoothing engines (serial Gauss–Seidel
 //!   on the incremental-quality hot path, Jacobi, greedy quality-driven,
-//!   the rayon-parallel static-chunk engine, and colored deterministic
-//!   parallel Gauss–Seidel), with optional memory-access tracing.
+//!   the rayon-parallel static-chunk engine, colored deterministic
+//!   parallel Gauss–Seidel, and the domain-decomposed
+//!   [`smooth::PartitionedEngine`]), with optional memory-access tracing.
 //! * [`cache`] — the memory-behaviour substrate: exact reuse-distance
 //!   analysis, an inclusive multi-level LRU cache simulator (Westmere-EX
 //!   preset), the stack-distance miss model, the Eq. (2) cycle-cost model,
@@ -44,6 +48,7 @@ pub use lms_cache as cache;
 pub use lms_mesh as mesh;
 pub use lms_mesh3d as mesh3d;
 pub use lms_order as order;
+pub use lms_part as part;
 pub use lms_smooth as smooth;
 pub use lms_viz as viz;
 
@@ -56,5 +61,8 @@ pub mod prelude {
     pub use lms_mesh::{quality::QualityMetric, Point2, TriMesh};
     pub use lms_mesh3d::{OrderingKind3, SmoothParams3, TetMesh};
     pub use lms_order::{OrderingKind, Permutation};
-    pub use lms_smooth::{IterationPolicy, SmoothEngine, SmoothParams, SmoothReport, Weighting};
+    pub use lms_part::{Partition, PartitionMethod, PartitionStats};
+    pub use lms_smooth::{
+        IterationPolicy, PartitionedEngine, SmoothEngine, SmoothParams, SmoothReport, Weighting,
+    };
 }
