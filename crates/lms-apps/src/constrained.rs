@@ -194,7 +194,11 @@ pub fn constrained_smooth(
         }
     }
 
-    SmoothReport { initial_quality, final_quality: prev_quality, iterations, converged }
+    let mut report = SmoothReport::starting(initial_quality);
+    report.final_quality = prev_quality;
+    report.iterations = iterations;
+    report.converged = converged;
+    report
 }
 
 #[cfg(test)]

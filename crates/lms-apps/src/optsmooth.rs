@@ -176,7 +176,11 @@ pub fn opt_smooth(mesh: &mut TriMesh, opts: &OptSmoothOptions) -> SmoothReport {
         }
     }
 
-    SmoothReport { initial_quality, final_quality: prev, iterations, converged }
+    let mut report = SmoothReport::starting(initial_quality);
+    report.final_quality = prev;
+    report.iterations = iterations;
+    report.converged = converged;
+    report
 }
 
 /// Worst vertex quality of `mesh` under `metric` (the objective opt-smooth

@@ -15,7 +15,7 @@ use lms_mesh::quality::{mesh_quality, QualityMetric};
 use lms_mesh::{Adjacency, TriMesh};
 use lms_order::{compute_ordering, OrderingKind};
 use lms_part::PartitionMethod;
-use lms_smooth::{PartitionedEngine, SmoothEngine, SmoothParams};
+use lms_smooth::{PartitionedEngine, ResidentEngine, SmoothEngine, SmoothParams};
 
 /// One step of an improvement pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +39,14 @@ pub enum Stage {
     /// cache-resident blocks in parallel, interface vertices through the
     /// colored schedule. Gauss–Seidel parameters only.
     PartitionedSmooth(SmoothParams, PartitionSpec),
+    /// Laplacian smoothing on the resident halo-exchange engine
+    /// ([`lms_smooth::ResidentEngine`]): blocks stay resident for the
+    /// whole stage, interface vertices are smoothed inside their owning
+    /// part with halo deltas exchanged between color steps, one disjoint
+    /// scatter at the end. Gauss–Seidel parameters only; bit-identical
+    /// to [`Stage::PartitionedSmooth`] over the same decomposition and
+    /// the faster of the two.
+    ResidentSmooth(SmoothParams, PartitionSpec),
     /// Constrained smoothing (boundary slides along the boundary).
     ConstrainedSmooth(SmoothParams, ConstrainedOptions),
     /// Edge swapping.
@@ -56,6 +64,7 @@ impl Stage {
             Stage::Smooth(_) => "smooth",
             Stage::ParallelSmooth(..) => "parsmooth",
             Stage::PartitionedSmooth(..) => "partsmooth",
+            Stage::ResidentSmooth(..) => "ressmooth",
             Stage::ConstrainedSmooth(..) => "constrained",
             Stage::Swap(_) => "swap",
             Stage::OptSmooth(_) => "optsmooth",
@@ -163,6 +172,16 @@ impl Pipeline {
             .then(Stage::PartitionedSmooth(SmoothParams::paper().with_smart(true), spec))
     }
 
+    /// [`standard`](Self::standard) with the smoothing stage on the
+    /// resident halo-exchange engine.
+    pub fn standard_resident(ordering: OrderingKind, spec: PartitionSpec) -> Self {
+        Pipeline::new()
+            .then(Stage::Reorder(ordering))
+            .then(Stage::Untangle(UntangleOptions::default()))
+            .then(Stage::Swap(SwapOptions::default()))
+            .then(Stage::ResidentSmooth(SmoothParams::paper().with_smart(true), spec))
+    }
+
     /// Run the pipeline on `mesh` in place.
     pub fn run(&self, mesh: &mut TriMesh) -> PipelineReport {
         let q = |mesh: &TriMesh| {
@@ -194,6 +213,11 @@ impl Pipeline {
                 Stage::PartitionedSmooth(params, spec) => {
                     let engine =
                         PartitionedEngine::by_method(mesh, params.clone(), spec.parts, spec.method);
+                    engine.smooth(mesh, spec.threads).num_iterations()
+                }
+                Stage::ResidentSmooth(params, spec) => {
+                    let engine =
+                        ResidentEngine::by_method(mesh, params.clone(), spec.parts, spec.method);
                     engine.smooth(mesh, spec.threads).num_iterations()
                 }
                 Stage::ConstrainedSmooth(params, opts) => {
@@ -315,6 +339,32 @@ mod tests {
         let rp8 = Pipeline::standard_partitioned(OrderingKind::Rdr, spec8).run(&mut par8);
         assert_eq!(par.coords(), par8.coords());
         assert_eq!(rp, rp8);
+    }
+
+    #[test]
+    fn resident_smooth_stage_matches_partitioned_bitwise() {
+        let base = {
+            let mut m = generators::perturbed_grid(16, 16, 0.35, 7);
+            m.orient_ccw();
+            m
+        };
+        let spec = PartitionSpec { parts: 4, method: lms_part::PartitionMethod::Rcb, threads: 2 };
+        let mut res = base.clone();
+        let rr = Pipeline::standard_resident(OrderingKind::Rdr, spec).run(&mut res);
+        assert_eq!(rr.stages.last().unwrap().stage, "ressmooth");
+        assert!(rr.final_quality > rr.initial_quality);
+        // the resident engine is the partitioned engine with the data
+        // movement refactored away — stages must agree bit for bit
+        let mut part = base.clone();
+        Pipeline::standard_partitioned(OrderingKind::Rdr, spec).run(&mut part);
+        assert_eq!(res.coords(), part.coords());
+        // and thread-count invariant
+        let mut res8 = base.clone();
+        let rr8 =
+            Pipeline::standard_resident(OrderingKind::Rdr, PartitionSpec { threads: 8, ..spec })
+                .run(&mut res8);
+        assert_eq!(res.coords(), res8.coords());
+        assert_eq!(rr, rr8);
     }
 
     #[test]

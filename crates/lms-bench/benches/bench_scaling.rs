@@ -1,0 +1,162 @@
+//! The engine thread-scaling benchmark behind the perf-tracking file
+//! `BENCH_scaling.json`: smart (quality-guarded) smoothing on a 512×512
+//! perturbed grid for 10 sweeps, swept over threads {1, 2, 4, 8} on
+//!
+//! * the **colored parallel** engine (PR-1 deterministic baseline),
+//! * the **partitioned** engine (PR-2: per-sweep gather/refresh +
+//!   serial write-back + global interface pass),
+//! * the **resident** engine (PR-3: blocks resident for the whole run,
+//!   halo-delta exchange only, one final disjoint scatter).
+//!
+//! All three are bitwise-deterministic for any thread count; the resident
+//! engine is additionally gated here against serial Gauss–Seidel under
+//! its part-major visit order (coordinates must match bit for bit).
+//!
+//! Run with `cargo bench -p lms-bench --bench bench_scaling`. Set
+//! `LMS_BENCH_GRID` to override the grid side (default 512) and
+//! `LMS_BENCH_THREADS` for the thread list (default `1,2,4,8`). The
+//! summary — median/min ms per (engine, threads), the resident 4t-vs-1t
+//! self-speedup, exchange-volume accounting, and the host core count
+//! (speedups are meaningless beyond it) — is written to
+//! `BENCH_scaling.json` at the workspace root.
+
+use criterion::{BenchmarkId, Criterion};
+use lms_part::PartitionMethod;
+use lms_smooth::{PartitionedEngine, ResidentEngine, SmoothEngine, SmoothParams};
+use std::fmt::Write as _;
+
+fn grid_side() -> usize {
+    std::env::var("LMS_BENCH_GRID").ok().and_then(|s| s.parse().ok()).unwrap_or(512)
+}
+
+fn thread_list() -> Vec<usize> {
+    std::env::var("LMS_BENCH_THREADS")
+        .ok()
+        .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8])
+}
+
+const PARTS: usize = 8;
+
+fn bench_scaling(c: &mut Criterion) -> lms_smooth::ExchangeVolume {
+    let side = grid_side();
+    let mesh = lms_mesh::generators::perturbed_grid(side, side, 0.35, 42);
+    // fixed 10 sweeps: tol disabled so all engines do identical work
+    let params = SmoothParams::paper().with_smart(true).with_max_iters(10).with_tol(-1.0);
+    let colored = SmoothEngine::new(&mesh, params.clone());
+    let partitioned =
+        PartitionedEngine::by_method(&mesh, params.clone(), PARTS, PartitionMethod::Rcb);
+    let resident = ResidentEngine::by_method(&mesh, params.clone(), PARTS, PartitionMethod::Rcb);
+
+    // correctness gate before timing: the resident sweep must be exactly
+    // serial Gauss-Seidel under the part-major visit order
+    let mut a = mesh.clone();
+    let gate_report = resident.smooth(&mut a, 2);
+    let serial =
+        SmoothEngine::new(&mesh, params).with_visit_order(resident.part_major_visit_order());
+    let mut b = mesh.clone();
+    serial.smooth(&mut b);
+    assert_eq!(a.coords(), b.coords(), "resident engine diverged from serial part-major GS");
+    let volume = gate_report.exchange.expect("resident runs report exchange accounting");
+    assert_eq!(volume.full_gathers, 1, "resident engine must gather exactly once");
+    assert_eq!(volume.full_scatters, 1, "resident engine must scatter exactly once");
+
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    for threads in thread_list() {
+        group.bench_with_input(
+            BenchmarkId::new(format!("colored_{threads}t"), side),
+            &mesh,
+            |bch, m| {
+                bch.iter(|| {
+                    let mut work = m.clone();
+                    colored.smooth_parallel_colored(&mut work, threads)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("partitioned_{threads}t"), side),
+            &mesh,
+            |bch, m| {
+                bch.iter(|| {
+                    let mut work = m.clone();
+                    partitioned.smooth(&mut work, threads)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("resident_{threads}t"), side),
+            &mesh,
+            |bch, m| {
+                bch.iter(|| {
+                    let mut work = m.clone();
+                    resident.smooth(&mut work, threads)
+                })
+            },
+        );
+    }
+    group.finish();
+    volume
+}
+
+fn export_json(c: &Criterion, side: usize, volume: &lms_smooth::ExchangeVolume) {
+    let find = |needle: &str, min: bool| {
+        c.summaries()
+            .iter()
+            .find(|s| s.id.contains(needle))
+            .map(|s| if min { s.min_ns / 1e6 } else { s.median_ns / 1e6 })
+            .unwrap_or(f64::NAN)
+    };
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = thread_list();
+
+    let mut median = String::new();
+    let mut min = String::new();
+    for engine in ["colored", "partitioned", "resident"] {
+        for &t in &threads {
+            let sep = if median.is_empty() { "" } else { ",\n" };
+            let _ = write!(
+                median,
+                "{sep}    \"{engine}_{t}_threads\": {:.2}",
+                find(&format!("{engine}_{t}t"), false)
+            );
+            let sep = if min.is_empty() { "" } else { ",\n" };
+            let _ = write!(
+                min,
+                "{sep}    \"{engine}_{t}_threads\": {:.2}",
+                find(&format!("{engine}_{t}t"), true)
+            );
+        }
+    }
+    // deterministic workloads: background load only ever adds time, so
+    // the fastest-sample ratio is the noise-robust speedup estimate
+    // (same reasoning as BENCH_smooth.json / BENCH_partition.json)
+    // keep the JSON valid when the thread list omits 1 or 4 (a bare NaN
+    // token would break every downstream parser)
+    let ratio = |a: f64, b: f64| {
+        let r = a / b;
+        if r.is_finite() {
+            format!("{r:.3}")
+        } else {
+            "null".to_string()
+        }
+    };
+    let res_self_speedup_4t = ratio(find("resident_1t", true), find("resident_4t", true));
+    let res_vs_pr2_1t = ratio(find("partitioned_1t", true), find("resident_1t", true));
+    let json = format!(
+        "{{\n  \"benchmark\": \"scaling\",\n  \"workload\": \"smart Gauss-Seidel, {side}x{side} perturbed grid (jitter 0.35, seed 42), 10 sweeps, {PARTS}-way rcb\",\n  \"host_cores\": {host_cores},\n  \"threads\": {threads:?},\n  \"median_ms\": {{\n{median}\n  }},\n  \"min_ms\": {{\n{min}\n  }},\n  \"resident_speedup_4t_vs_1t\": {res_self_speedup_4t},\n  \"resident_speedup_vs_partitioned_1t\": {res_vs_pr2_1t},\n  \"speedup_estimator\": \"min-vs-min (deterministic workload)\",\n  \"note\": \"thread speedups are bounded by host_cores; on a 1-core host every multi-thread time degenerates to the 1-thread time plus dispatch overhead\",\n  \"exchange_volume_per_10_sweeps\": {{\n    \"full_gathers\": {},\n    \"full_scatters\": {},\n    \"exchange_rounds\": {},\n    \"halo_entries_sent\": {}\n  }},\n  \"coords_bit_identical_to_serial_part_major\": true\n}}\n",
+        volume.full_gathers, volume.full_scatters, volume.exchange_rounds, volume.halo_entries_sent,
+    );
+    // workspace root (this bench runs with the crate as manifest dir)
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let path = root.join("BENCH_scaling.json");
+    std::fs::write(&path, &json).expect("write BENCH_scaling.json");
+    println!("\nwrote {} :\n{json}", path.display());
+}
+
+fn main() {
+    let mut criterion = Criterion::new();
+    let volume = bench_scaling(&mut criterion);
+    export_json(&criterion, grid_side(), &volume);
+}

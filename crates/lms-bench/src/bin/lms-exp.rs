@@ -7,8 +7,9 @@
 //!              table2, table3, cost, cost-model) plus the extension
 //!              studies (opt, apps, zoo, prefetch, mrc, growth, policy,
 //!              tlb, sampled, writeback, parrdr, iter-reorder, tet,
-//!              tet-quality, tet-scaling, dynamic, real-scaling) —
-//!              run `lms-exp list` for the authoritative list
+//!              tet-quality, tet-scaling, dynamic, real-scaling) and the
+//!              engine comparisons (engines, hotpath, partition,
+//!              scaling) — run `lms-exp list` for the authoritative list
 //!
 //! options:
 //!   --scale <f64>      suite scale, 1.0 = paper size      [default 0.02]

@@ -49,6 +49,7 @@ pub const ALL: &[&str] = &[
     "engines",
     "hotpath",
     "partition",
+    "scaling",
 ];
 
 /// Run one experiment by name; `None` for an unknown name.
@@ -74,6 +75,7 @@ pub fn run(name: &str, cfg: &ExpConfig) -> Option<String> {
         "engines" => scaling::engines(cfg),
         "hotpath" => performance::hotpath(cfg),
         "partition" => partition::partition(cfg),
+        "scaling" => scaling::thread_scaling(cfg),
         "opt" => extensions::opt_bound(cfg),
         "apps" => extensions::apps(cfg),
         "zoo" => extensions::ordering_zoo(cfg),
@@ -119,6 +121,6 @@ mod tests {
             assert!(!name.is_empty());
             assert!(seen.insert(name), "duplicate experiment name {name}");
         }
-        assert_eq!(ALL.len(), 35);
+        assert_eq!(ALL.len(), 36);
     }
 }

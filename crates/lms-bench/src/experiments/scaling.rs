@@ -6,7 +6,8 @@ use crate::common::{ordered_mesh, time_it, ExpConfig};
 use crate::table::{f, pct, Table};
 use lms_cache::{multicore, MulticoreResult};
 use lms_order::OrderingKind;
-use lms_smooth::{SmoothEngine, SmoothParams};
+use lms_part::PartitionMethod;
+use lms_smooth::{PartitionedEngine, ResidentEngine, SmoothEngine, SmoothParams};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
@@ -247,6 +248,83 @@ colored engine bitwise-deterministic across thread counts: {}",
     out
 }
 
+/// The `scaling` experiment: wall-clock thread scaling of the three
+/// deterministic Gauss–Seidel engines — colored (PR-1), partitioned
+/// (PR-2) and resident halo-exchange (PR-3) — on the smart workload,
+/// with a bit-identity gate between the resident engine and serial
+/// Gauss–Seidel under the part-major order. The text/CSV companion of
+/// `bench_scaling.rs` (which tracks the 512² numbers in
+/// `BENCH_scaling.json`).
+pub fn thread_scaling(cfg: &ExpConfig) -> String {
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let meshes = cfg.meshes();
+    let params =
+        SmoothParams::paper().with_smart(true).with_max_iters(cfg.max_iters.min(10)).with_tol(-1.0);
+    let mut table = Table::new(
+        format!("Engine thread scaling on this host ({host_cores} cores), smart GS, 8-way rcb"),
+        &[
+            "mesh",
+            "threads",
+            "colored (ms)",
+            "partitioned (ms)",
+            "resident (ms)",
+            "res speedup vs 1t",
+        ],
+    );
+    let mut gate_ok = true;
+    for named in meshes.iter().take(2) {
+        let colored = SmoothEngine::new(&named.mesh, params.clone());
+        let partitioned =
+            PartitionedEngine::by_method(&named.mesh, params.clone(), 8, PartitionMethod::Rcb);
+        let resident =
+            ResidentEngine::by_method(&named.mesh, params.clone(), 8, PartitionMethod::Rcb);
+        // correctness gate: resident == serial part-major GS, bit for bit
+        {
+            let mut a = named.mesh.clone();
+            resident.smooth(&mut a, 2);
+            let serial = SmoothEngine::new(&named.mesh, params.clone())
+                .with_visit_order(resident.part_major_visit_order());
+            let mut b = named.mesh.clone();
+            serial.smooth(&mut b);
+            gate_ok &= a.coords() == b.coords();
+        }
+        let mut res_1t = f64::NAN;
+        for &threads in cfg.threads.iter().filter(|&&t| t <= 8) {
+            let (_, tc) =
+                time_it(|| colored.smooth_parallel_colored(&mut named.mesh.clone(), threads));
+            let (_, tp) = time_it(|| partitioned.smooth(&mut named.mesh.clone(), threads));
+            let (_, tr) = time_it(|| resident.smooth(&mut named.mesh.clone(), threads));
+            let tr_ms = tr.as_secs_f64() * 1e3;
+            if threads == 1 {
+                res_1t = tr_ms;
+            }
+            // the self-speedup needs a measured 1-thread baseline: with a
+            // thread list that omits 1 (or lists it late) print a dash
+            // instead of NaN/garbage
+            let speedup = if res_1t.is_finite() { f(res_1t / tr_ms, 2) } else { "-".to_string() };
+            table.row(vec![
+                named.spec.name.to_string(),
+                threads.to_string(),
+                f(tc.as_secs_f64() * 1e3, 1),
+                f(tp.as_secs_f64() * 1e3, 1),
+                f(tr_ms, 1),
+                speedup,
+            ]);
+        }
+    }
+    if let Some(dir) = &cfg.csv_dir {
+        let _ = table.write_csv(dir, "thread_scaling");
+    }
+    let mut out = table.render();
+    let _ = writeln!(
+        out,
+        "\nresident == serial part-major Gauss-Seidel bitwise: {}\n\
+         (speedups above the host core count ({host_cores}) cannot exceed 1)",
+        if gate_ok { "yes" } else { "NO (bug!)" }
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -294,5 +372,12 @@ mod tests {
         let out = engines(&tiny_cfg());
         assert!(out.contains("colored (ms)"));
         assert!(out.contains("deterministic across thread counts: yes"));
+    }
+
+    #[test]
+    fn thread_scaling_gates_resident_on_serial_equality() {
+        let out = thread_scaling(&tiny_cfg());
+        assert!(out.contains("resident (ms)"));
+        assert!(out.contains("bitwise: yes"), "serial-equivalence gate must hold:\n{out}");
     }
 }

@@ -199,12 +199,7 @@ impl SmoothEngine3 {
             "engine was built for a different mesh"
         );
         let initial_quality = mesh_quality(mesh, &self.adj, self.params.metric);
-        let mut report = SmoothReport {
-            initial_quality,
-            final_quality: initial_quality,
-            iterations: Vec::new(),
-            converged: false,
-        };
+        let mut report = SmoothReport::starting(initial_quality);
         let mut quality = initial_quality;
         let mut scratch: Vec<Point3> = Vec::new();
 
@@ -302,12 +297,7 @@ impl SmoothEngine3 {
         let boundary = &self.boundary;
 
         let initial_quality = mesh_quality(mesh, adj, params.metric);
-        let mut report = SmoothReport {
-            initial_quality,
-            final_quality: initial_quality,
-            iterations: Vec::new(),
-            converged: false,
-        };
+        let mut report = SmoothReport::starting(initial_quality);
         let mut quality = initial_quality;
 
         let mut prev: Vec<Point3> = mesh.coords().to_vec();
@@ -400,12 +390,7 @@ impl SmoothEngine3 {
         let classes = self.interior_color_classes();
 
         let initial_quality = mesh_quality(mesh, &self.adj, params.metric);
-        let mut report = SmoothReport {
-            initial_quality,
-            final_quality: initial_quality,
-            iterations: Vec::new(),
-            converged: false,
-        };
+        let mut report = SmoothReport::starting(initial_quality);
         let mut quality = initial_quality;
 
         for iter in 1..=params.max_iters {

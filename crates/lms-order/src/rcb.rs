@@ -55,6 +55,92 @@ pub fn rcb_parts(coords: &[Point2], num_parts: usize) -> Vec<u32> {
     part
 }
 
+/// Balanced k-way **weighted** RCB partition: like [`rcb_parts`], but each
+/// split places the cut at the **weighted median** along the longest axis —
+/// the left subtree receives the prefix of the `(key, id)`-sorted subset
+/// whose cumulative weight stays within `⌊k/2⌋/k` of the subset's total
+/// weight. With non-uniform weights (e.g. per-vertex area shares of a
+/// graded mesh) this balances *weight* per part where the unweighted
+/// splitter balances *counts*.
+///
+/// With uniform weights the cut index reduces exactly to the unweighted
+/// `len·⌊k/2⌋/k` (integer cumulative sums compared against an exactly-
+/// representable target), so the assignment equals [`rcb_parts`] — the
+/// oracle property the tests pin.
+pub fn rcb_parts_weighted(coords: &[Point2], weights: &[f64], num_parts: usize) -> Vec<u32> {
+    assert!(num_parts >= 1, "need at least one part");
+    assert_eq!(coords.len(), weights.len(), "one weight per point");
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+        "weights must be finite and non-negative"
+    );
+    let mut part = vec![0u32; coords.len()];
+    if coords.is_empty() || num_parts == 1 {
+        return part;
+    }
+    let mut ids: Vec<u32> = (0..coords.len() as u32).collect();
+    kway_weighted(&mut ids, coords, weights, 0, num_parts as u32, &mut part);
+    part
+}
+
+fn kway_weighted(
+    ids: &mut [u32],
+    coords: &[Point2],
+    weights: &[f64],
+    base: u32,
+    k: u32,
+    part: &mut [u32],
+) {
+    if k == 1 || ids.len() <= 1 {
+        for &v in ids.iter() {
+            part[v as usize] = base;
+        }
+        return;
+    }
+    let kl = k / 2;
+    let (lo, hi) = subset_bbox(ids, coords);
+    let split_x = (hi.x - lo.x) >= (hi.y - lo.y);
+    let key = |v: u32| {
+        let p = coords[v as usize];
+        if split_x {
+            p.x
+        } else {
+            p.y
+        }
+    };
+    // full (key, id) sort instead of select_nth: the weighted-median cut
+    // index is only known after a prefix scan of the sorted weights. The
+    // left/right *sets* under this comparator match the unweighted
+    // splitter's whenever the cut indices agree.
+    ids.sort_unstable_by(|&a, &b| {
+        key(a).partial_cmp(&key(b)).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+    let total: f64 = ids.iter().map(|&v| weights[v as usize]).sum();
+    let target = total * kl as f64 / k as f64;
+    let mut acc = 0.0;
+    let mut mid = 0usize;
+    for &v in ids.iter() {
+        let next = acc + weights[v as usize];
+        if next <= target {
+            acc = next;
+            mid += 1;
+        } else {
+            break;
+        }
+    }
+    let mid = mid.min(ids.len() - 1);
+    if mid == 0 {
+        // the first point already exceeds the left target (or fewer points
+        // than parts): everything goes right, left part ids stay empty —
+        // mirrors the unweighted splitter's degenerate branch
+        kway_weighted(ids, coords, weights, base + kl, k - kl, part);
+        return;
+    }
+    let (left, right) = ids.split_at_mut(mid);
+    kway_weighted(left, coords, weights, base, kl, part);
+    kway_weighted(right, coords, weights, base + kl, k - kl, part);
+}
+
 /// Exact bounding box of a subset — the recursion root's only full scan
 /// (children derive theirs from [`median_split`]'s bookkeeping).
 fn subset_bbox(ids: &[u32], coords: &[Point2]) -> (Point2, Point2) {
@@ -348,5 +434,68 @@ mod tests {
     fn parts_deterministic() {
         let m = generators::perturbed_grid(20, 20, 0.35, 3);
         assert_eq!(rcb_parts(m.coords(), 6), rcb_parts(m.coords(), 6));
+    }
+
+    #[test]
+    fn weighted_parts_equal_unweighted_on_uniform_weights() {
+        // the oracle: with every weight equal, the weighted-median cut
+        // index reduces to the unweighted count split at every level, so
+        // the assignments are identical
+        for (nx, ny, jit, seed) in
+            [(15usize, 11usize, 0.3, 2u64), (24, 24, 0.35, 5), (13, 31, 0.45, 11)]
+        {
+            let m = generators::perturbed_grid(nx, ny, jit, seed);
+            let ones = vec![1.0; m.num_vertices()];
+            for k in [2usize, 3, 5, 8] {
+                assert_eq!(
+                    rcb_parts_weighted(m.coords(), &ones, k),
+                    rcb_parts(m.coords(), k),
+                    "grid {nx}x{ny} seed {seed} k={k}"
+                );
+            }
+        }
+        // and degenerate inputs behave like the unweighted splitter
+        let few = vec![Point2::new(0.0, 0.0), Point2::new(1.0, 1.0)];
+        assert_eq!(rcb_parts_weighted(&few, &[1.0, 1.0], 8), rcb_parts(&few, 8));
+        assert!(rcb_parts_weighted(&[], &[], 4).is_empty());
+    }
+
+    #[test]
+    fn weighted_parts_balance_weight_not_count() {
+        // a 1D line with weights concentrated at the right end: the
+        // weighted splitter must put far fewer *points* in the heavy parts
+        // so that per-part *weight* stays balanced
+        let n = 256usize;
+        let coords: Vec<Point2> = (0..n).map(|i| Point2::new(i as f64, 0.0)).collect();
+        let weights: Vec<f64> = (0..n).map(|i| if i < n / 2 { 1.0 } else { 15.0 }).collect();
+        let k = 4usize;
+        let part = rcb_parts_weighted(&coords, &weights, k);
+        let mut wsum = vec![0.0f64; k];
+        for (i, &p) in part.iter().enumerate() {
+            wsum[p as usize] += weights[i];
+        }
+        let total: f64 = weights.iter().sum();
+        let mean = total / k as f64;
+        let max_w = wsum.iter().copied().fold(0.0, f64::max);
+        assert!(max_w / mean < 1.25, "weighted imbalance {:.3} (weights {wsum:?})", max_w / mean);
+        // the unweighted splitter, balancing counts, is far worse on weight
+        let part_u = rcb_parts(&coords, k);
+        let mut wsum_u = vec![0.0f64; k];
+        for (i, &p) in part_u.iter().enumerate() {
+            wsum_u[p as usize] += weights[i];
+        }
+        let max_u = wsum_u.iter().copied().fold(0.0, f64::max);
+        assert!(max_u / mean > 1.5, "unweighted should be weight-imbalanced here");
+    }
+
+    #[test]
+    fn weighted_parts_cover_and_are_deterministic() {
+        let m = generators::perturbed_grid(17, 13, 0.3, 7);
+        let w: Vec<f64> = (0..m.num_vertices()).map(|i| 1.0 + (i % 5) as f64).collect();
+        let a = rcb_parts_weighted(m.coords(), &w, 6);
+        let b = rcb_parts_weighted(m.coords(), &w, 6);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), m.num_vertices());
+        assert!(a.iter().all(|&p| p < 6));
     }
 }

@@ -28,10 +28,12 @@
 //! assert!(stats.interior_fraction > 0.5, "parts should be mostly interior");
 //! ```
 
+pub mod exchange;
 pub mod methods;
 pub mod partition;
 pub mod stats;
 
-pub use methods::{partition_coords, partition_mesh, PartitionMethod};
+pub use exchange::ExchangeSchedule;
+pub use methods::{partition_coords, partition_mesh, vertex_area_weights, PartitionMethod};
 pub use partition::Partition;
 pub use stats::PartitionStats;

@@ -9,7 +9,7 @@
 
 use crate::partition::Partition;
 use lms_mesh::{Adjacency, Point2, TriMesh};
-use lms_order::{hilbert_ordering, morton_ordering, rcb_parts, Permutation};
+use lms_order::{hilbert_ordering, morton_ordering, rcb_parts, rcb_parts_weighted, Permutation};
 
 /// The geometric partitioners `lms-part` implements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,6 +17,13 @@ pub enum PartitionMethod {
     /// Balanced k-way recursive coordinate bisection
     /// ([`lms_order::rcb_parts`]).
     Rcb,
+    /// Area-weighted k-way RCB ([`lms_order::rcb_parts_weighted`]): splits
+    /// at the **weighted median** with each vertex weighted by its share
+    /// of the incident triangle area ([`vertex_area_weights`]), so k-way
+    /// balance holds under non-uniform vertex densities. Through the
+    /// point-set API ([`partition_coords`]) the weights are uniform and
+    /// the method degenerates to [`Rcb`](Self::Rcb) exactly.
+    RcbWeighted,
     /// Equal-size chunks of the Hilbert-curve order.
     Hilbert,
     /// Equal-size chunks of the Morton (Z-order) curve order.
@@ -28,6 +35,7 @@ impl PartitionMethod {
     pub fn name(self) -> &'static str {
         match self {
             PartitionMethod::Rcb => "rcb",
+            PartitionMethod::RcbWeighted => "rcbw",
             PartitionMethod::Hilbert => "hilbert",
             PartitionMethod::Morton => "morton",
         }
@@ -37,6 +45,7 @@ impl PartitionMethod {
     pub fn parse(name: &str) -> Option<PartitionMethod> {
         Some(match name.to_ascii_lowercase().as_str() {
             "rcb" | "bisection" => PartitionMethod::Rcb,
+            "rcbw" | "rcb-weighted" | "weighted" => PartitionMethod::RcbWeighted,
             "hilbert" | "sfc" => PartitionMethod::Hilbert,
             "morton" | "zorder" => PartitionMethod::Morton,
             _ => return None,
@@ -44,8 +53,28 @@ impl PartitionMethod {
     }
 
     /// Every implemented method.
-    pub const ALL: [PartitionMethod; 3] =
-        [PartitionMethod::Rcb, PartitionMethod::Hilbert, PartitionMethod::Morton];
+    pub const ALL: [PartitionMethod; 4] = [
+        PartitionMethod::Rcb,
+        PartitionMethod::RcbWeighted,
+        PartitionMethod::Hilbert,
+        PartitionMethod::Morton,
+    ];
+}
+
+/// Per-vertex area weights: each vertex receives one third of the absolute
+/// area of every incident triangle (the barycentric lumping of the mesh
+/// area). The input of [`PartitionMethod::RcbWeighted`] under
+/// [`partition_mesh`]; vertices with no incident triangle weigh zero.
+pub fn vertex_area_weights(mesh: &TriMesh, adj: &Adjacency) -> Vec<f64> {
+    let tri_area: Vec<f64> = (0..mesh.num_triangles())
+        .map(|t| {
+            let [a, b, c] = mesh.tri_coords(t);
+            lms_mesh::geometry::signed_area(a, b, c).abs() / 3.0
+        })
+        .collect();
+    (0..mesh.num_vertices() as u32)
+        .map(|v| adj.triangles_of(v).iter().map(|&t| tri_area[t as usize]).sum())
+        .collect()
 }
 
 /// Chunk an ordering into `k` balanced contiguous runs: the vertex at
@@ -67,6 +96,8 @@ pub fn partition_coords(coords: &[Point2], num_parts: usize, method: PartitionMe
     }
     match method {
         PartitionMethod::Rcb => rcb_parts(coords, num_parts),
+        // no mesh in sight: uniform weights, i.e. exactly Rcb
+        PartitionMethod::RcbWeighted => rcb_parts(coords, num_parts),
         PartitionMethod::Hilbert => sfc_chunks(&hilbert_ordering(coords), num_parts),
         PartitionMethod::Morton => sfc_chunks(&morton_ordering(coords), num_parts),
     }
@@ -74,13 +105,21 @@ pub fn partition_coords(coords: &[Point2], num_parts: usize, method: PartitionMe
 
 /// Partition `mesh` into `num_parts` parts with `method`, building the
 /// full interface/halo decomposition over `adj`.
+/// [`PartitionMethod::RcbWeighted`] splits at area-weighted medians here
+/// (it has a mesh to take areas from); every other method matches
+/// [`partition_coords`] on the mesh's coordinates.
 pub fn partition_mesh(
     mesh: &TriMesh,
     adj: &Adjacency,
     num_parts: usize,
     method: PartitionMethod,
 ) -> Partition {
-    let assignment = partition_coords(mesh.coords(), num_parts, method);
+    let assignment = if method == PartitionMethod::RcbWeighted {
+        let weights = vertex_area_weights(mesh, adj);
+        rcb_parts_weighted(mesh.coords(), &weights, num_parts)
+    } else {
+        partition_coords(mesh.coords(), num_parts, method)
+    };
     Partition::from_assignment(adj, assignment, num_parts as u32)
 }
 
@@ -123,6 +162,51 @@ mod tests {
         // walking the curve, the part id never decreases
         let walked: Vec<u32> = perm.new_to_old().iter().map(|&v| part[v as usize]).collect();
         assert!(walked.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// A strongly graded mesh: grid x-coordinates pushed through x³, so
+    /// vertex density (and per-vertex area share) varies by orders of
+    /// magnitude across the domain.
+    fn graded_mesh() -> TriMesh {
+        let m = generators::perturbed_grid(24, 24, 0.0, 0);
+        let (coords, tris) = m.into_parts();
+        let graded: Vec<Point2> =
+            coords.into_iter().map(|p| Point2::new(p.x * p.x * p.x, p.y)).collect();
+        TriMesh::new(graded, tris).unwrap()
+    }
+
+    #[test]
+    fn weighted_rcb_balances_area_on_graded_meshes() {
+        let m = graded_mesh();
+        let adj = Adjacency::build(&m);
+        let weights = vertex_area_weights(&m, &adj);
+        let total: f64 = weights.iter().sum();
+        let k = 4usize;
+        let area_of = |part: &Partition| -> f64 {
+            let mut per = vec![0.0f64; k];
+            for (v, &w) in weights.iter().enumerate() {
+                per[part.part_of(v as u32) as usize] += w;
+            }
+            per.iter().copied().fold(0.0, f64::max)
+        };
+        let weighted = partition_mesh(&m, &adj, k, PartitionMethod::RcbWeighted);
+        let unweighted = partition_mesh(&m, &adj, k, PartitionMethod::Rcb);
+        let mean = total / k as f64;
+        let wi = area_of(&weighted) / mean;
+        let ui = area_of(&unweighted) / mean;
+        assert!(wi < 1.3, "weighted area imbalance {wi:.3}");
+        assert!(wi < ui, "weighted ({wi:.3}) must beat count-balanced rcb ({ui:.3}) on area");
+    }
+
+    #[test]
+    fn weighted_rcb_equals_rcb_through_the_point_api() {
+        // partition_coords has no areas to weight by: RcbWeighted must be
+        // exactly Rcb there (uniform-weight oracle)
+        let m = generators::perturbed_grid(18, 15, 0.35, 4);
+        assert_eq!(
+            partition_coords(m.coords(), 6, PartitionMethod::RcbWeighted),
+            partition_coords(m.coords(), 6, PartitionMethod::Rcb),
+        );
     }
 
     #[test]

@@ -99,21 +99,15 @@ impl SmoothEngine {
             "colored smoothing is an in-place (Gauss-Seidel) schedule; \
              use smooth_parallel for deterministic Jacobi"
         );
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(num_threads)
-            .build()
-            .expect("rayon pool construction cannot fail with a positive thread count");
+        // one persistent pool per engine: the spawn cost of the shim's
+        // parked workers is paid on the first run at this thread count
+        let pool = self.pool.get(num_threads);
 
         let params = &self.params;
         let classes = self.interior_color_classes();
         let mut cache = QualityCache::build(mesh, &self.adj, params.metric);
         let initial_quality = cache.quality_exact(&self.adj);
-        let mut report = SmoothReport {
-            initial_quality,
-            final_quality: initial_quality,
-            iterations: Vec::new(),
-            converged: false,
-        };
+        let mut report = SmoothReport::starting(initial_quality);
         let mut quality = initial_quality;
         let mut moved: Vec<u32> = Vec::new();
 

@@ -41,6 +41,9 @@ pub struct SmoothEngine {
     /// Lazily-computed interior color classes for the colored parallel
     /// engine (topology-only, so one computation serves every run).
     pub(crate) colored_classes: std::sync::OnceLock<Vec<Vec<u32>>>,
+    /// Cached persistent worker pool: the parallel engines spawn OS
+    /// threads once per engine lifetime, not once per `smooth()` call.
+    pub(crate) pool: crate::pool::PoolCache,
 }
 
 /// Sentinel ring position marking "the vertex being smoothed itself".
@@ -102,6 +105,7 @@ impl SmoothEngine {
             triangles: mesh.triangles().into(),
             star,
             colored_classes: std::sync::OnceLock::new(),
+            pool: crate::pool::PoolCache::new(),
         }
     }
 
@@ -250,12 +254,7 @@ impl SmoothEngine {
             "engine was built for a different mesh"
         );
         let initial_quality = mesh_quality(mesh, &self.adj, self.params.metric);
-        let mut report = SmoothReport {
-            initial_quality,
-            final_quality: initial_quality,
-            iterations: Vec::new(),
-            converged: false,
-        };
+        let mut report = SmoothReport::starting(initial_quality);
         let mut quality = initial_quality;
         let mut scratch: Vec<Point2> = Vec::new();
 

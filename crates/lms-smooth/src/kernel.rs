@@ -200,12 +200,7 @@ impl SmoothEngine {
         let params = &self.params;
         let mut cache = QualityCache::build(mesh, &self.adj, params.metric);
         let initial_quality = cache.quality_exact(&self.adj);
-        let mut report = SmoothReport {
-            initial_quality,
-            final_quality: initial_quality,
-            iterations: Vec::new(),
-            converged: false,
-        };
+        let mut report = SmoothReport::starting(initial_quality);
         let mut quality = initial_quality;
         let mut prev: Vec<Point2> = Vec::new();
         let mut scratch = SmartScratch::new();

@@ -36,6 +36,8 @@ pub mod greedy;
 pub mod kernel;
 pub mod parallel;
 pub mod partitioned;
+pub(crate) mod pool;
+pub mod resident;
 pub mod stats;
 pub mod trace;
 pub mod weighting;
@@ -46,6 +48,7 @@ pub use engine::SmoothEngine;
 pub use greedy::greedy_visit_order;
 pub use parallel::{parallel_mesh_quality, smooth_parallel};
 pub use partitioned::{smooth_partitioned, PartitionedEngine};
-pub use stats::{IterationStats, SmoothReport};
+pub use resident::{smooth_resident, ResidentEngine};
+pub use stats::{ExchangeVolume, IterationStats, SmoothReport};
 pub use trace::{AccessSink, CountSink, NullSink, VecSink};
 pub use weighting::weighted_candidate;

@@ -81,19 +81,11 @@ impl AtomicPoint {
 }
 
 impl SmoothEngine {
-    fn build_pool(num_threads: usize) -> rayon::ThreadPool {
-        assert!(num_threads >= 1, "need at least one thread");
-        rayon::ThreadPoolBuilder::new()
-            .num_threads(num_threads)
-            .build()
-            .expect("rayon pool construction cannot fail with a positive thread count")
-    }
-
     /// Deterministic parallel smoothing: static contiguous vertex chunks,
     /// Jacobi (double-buffered) updates. Results are bit-identical for any
     /// `num_threads`.
     pub fn smooth_parallel(&self, mesh: &mut TriMesh, num_threads: usize) -> SmoothReport {
-        let pool = Self::build_pool(num_threads);
+        let pool = self.pool.get(num_threads);
         let n = mesh.num_vertices();
         assert_eq!(n, self.adjacency().num_vertices(), "engine was built for a different mesh");
 
@@ -102,12 +94,7 @@ impl SmoothEngine {
         let boundary = self.boundary();
 
         let initial_quality = pool.install(|| parallel_mesh_quality(mesh, adj, params.metric));
-        let mut report = SmoothReport {
-            initial_quality,
-            final_quality: initial_quality,
-            iterations: Vec::new(),
-            converged: false,
-        };
+        let mut report = SmoothReport::starting(initial_quality);
         let mut quality = initial_quality;
 
         let mut prev: Vec<Point2> = mesh.coords().to_vec();
@@ -161,7 +148,7 @@ impl SmoothEngine {
     /// Non-deterministic across runs/thread counts in the last bits, but
     /// race-free and convergent in practice (asynchronous relaxation).
     pub fn smooth_parallel_chaotic(&self, mesh: &mut TriMesh, num_threads: usize) -> SmoothReport {
-        let pool = Self::build_pool(num_threads);
+        let pool = self.pool.get(num_threads);
         let n = mesh.num_vertices();
         assert_eq!(n, self.adjacency().num_vertices(), "engine was built for a different mesh");
 
@@ -170,12 +157,7 @@ impl SmoothEngine {
         let boundary = self.boundary();
 
         let initial_quality = pool.install(|| parallel_mesh_quality(mesh, adj, params.metric));
-        let mut report = SmoothReport {
-            initial_quality,
-            final_quality: initial_quality,
-            iterations: Vec::new(),
-            converged: false,
-        };
+        let mut report = SmoothReport::starting(initial_quality);
         let mut quality = initial_quality;
 
         let atoms: Vec<AtomicPoint> = mesh.coords().iter().map(|&p| AtomicPoint::new(p)).collect();

@@ -242,21 +242,15 @@ impl PartitionedEngine {
             self.engine.adj.num_vertices(),
             "engine was built for a different mesh"
         );
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(num_threads)
-            .build()
-            .expect("rayon pool construction cannot fail with a positive thread count");
+        // engine-cached persistent pool: workers are spawned on the first
+        // run at this thread count and parked between phases thereafter
+        let pool = self.engine.pool.get(num_threads);
 
         let params = &self.engine.params;
         let smart = params.smart;
         let mut cache = QualityCache::build(mesh, &self.engine.adj, params.metric);
         let initial_quality = cache.quality_exact(&self.engine.adj);
-        let mut report = SmoothReport {
-            initial_quality,
-            final_quality: initial_quality,
-            iterations: Vec::new(),
-            converged: false,
-        };
+        let mut report = SmoothReport::starting(initial_quality);
         let mut quality = initial_quality;
         let mut works: Vec<PartScratch> =
             self.blocks.iter().map(|b| PartScratch::new(b, smart)).collect();
@@ -277,8 +271,7 @@ impl PartitionedEngine {
                 let blocks: &[PartBlock] = &self.blocks;
                 let first = iter == 1;
                 pool.install(|| {
-                    works.par_chunks_mut(1).enumerate().for_each(|(i, chunk)| {
-                        let work = &mut chunk[0];
+                    works.par_iter_mut().enumerate().for_each(|(i, work)| {
                         let block = &blocks[i];
                         if first {
                             work.gather(block, coords, cache_ref, smart);
@@ -538,15 +531,17 @@ fn build_block(
 }
 
 /// Convenience: decompose, build the engine and run the partitioned
-/// smoother in one call.
+/// smoother in one call. Takes the parameters by value — they are moved
+/// into the engine, never cloned (callers that keep a parameter set
+/// around clone at the call site, once, explicitly).
 pub fn smooth_partitioned(
     mesh: &mut TriMesh,
-    params: &SmoothParams,
+    params: SmoothParams,
     num_parts: usize,
     method: PartitionMethod,
     num_threads: usize,
 ) -> SmoothReport {
-    PartitionedEngine::by_method(mesh, params.clone(), num_parts, method).smooth(mesh, num_threads)
+    PartitionedEngine::by_method(mesh, params, num_parts, method).smooth(mesh, num_threads)
 }
 
 #[cfg(test)]
@@ -612,7 +607,7 @@ mod tests {
         let mut m = generators::perturbed_grid(12, 12, 0.35, 2);
         let report = smooth_partitioned(
             &mut m,
-            &SmoothParams::paper().with_max_iters(10),
+            SmoothParams::paper().with_max_iters(10),
             3,
             PartitionMethod::Morton,
             2,

@@ -1,0 +1,971 @@
+//! Resident-block partitioned smoothing with halo-delta exchange — the
+//! distributed-memory-shaped successor of [`crate::partitioned`].
+//!
+//! The PR-2 [`PartitionedEngine`](crate::PartitionedEngine) keeps the
+//! global mesh authoritative: every sweep re-gathers interface coordinates
+//! and frontier scores into the part blocks, writes every part's commits
+//! back serially, and runs the interface vertices through a *global*
+//! colored pass. Those per-sweep ping-pongs are exactly the traffic a
+//! distributed-memory implementation cannot afford — and they are why its
+//! 2-thread time sat on top of its 1-thread time.
+//!
+//! This engine makes the blocks **resident for the whole run**:
+//!
+//! * each part gathers its owned + halo coordinates and its local triangle
+//!   scores **once** (the single full gather);
+//! * interiors sweep exactly as in PR-2 — serial ascending inside the
+//!   part, fully parallel across parts;
+//! * interface vertices are smoothed **inside their owning part**, in
+//!   global color order: within a color class no two vertices are adjacent
+//!   or share a triangle (even across parts), so each part commits its
+//!   class members locally and the only cross-part dependency is the halo
+//!   refresh between color steps;
+//! * between color steps the engine routes **only the moved vertices'**
+//!   coordinates along the precomputed [`ExchangeSchedule`] — per-round
+//!   traffic is a moved-restricted slice of the static ghost pattern, and
+//!   receiving parts re-score just the local triangles the delivered halo
+//!   vertices touch;
+//! * the global mesh is written back in **one parallel disjoint scatter**
+//!   at the end (parts own disjoint vertex sets).
+//!
+//! Between the first gather and the final scatter the engine performs zero
+//! full-mesh gather/refresh/write-back passes — the
+//! [`ExchangeVolume`] counters in the report pin this
+//! (`full_gathers == 1 && full_scatters == 1`), property-tested in
+//! `tests/resident.rs`.
+//!
+//! The per-iteration quality statistic is maintained incrementally too:
+//! the global quality is the linear functional `Σ_t q_t·w_t / V` (see
+//! [`lms_mesh::QualityCache`]), each changed triangle is *stat-owned* by
+//! exactly one part (the part owning its smallest movable corner), and
+//! every part accumulates `w_t·Δq_t` over its own commits and halo
+//! re-scores. Part deltas fold into a Neumaier-compensated running sum in
+//! part order, so reports are bitwise-deterministic for any thread count;
+//! like PR-2's running sum it tracks the exact quality to a few ulps, so
+//! disable the tolerance (`tol < 0`) when exact sweep-count parity with
+//! another engine matters.
+//!
+//! Determinism and equivalence (property-tested in `tests/resident.rs`):
+//! coordinates are **bitwise-deterministic for any thread count** and
+//! **bit-identical** both to serial Gauss–Seidel under the part-major
+//! visit order ([`ResidentEngine::part_major_visit_order`]) and to the
+//! PR-2 [`PartitionedEngine`](crate::PartitionedEngine) over the same
+//! decomposition.
+
+use crate::config::{SmoothParams, UpdateScheme};
+use crate::engine::SmoothEngine;
+use crate::kernel::candidate_for;
+use crate::stats::{ExchangeVolume, IterationStats, SmoothReport};
+use lms_mesh::geometry::Point2;
+use lms_mesh::quality::mesh_quality;
+use lms_mesh::{Adjacency, QualityCache, TriMesh};
+use lms_part::{partition_mesh, ExchangeSchedule, Partition, PartitionMethod};
+use rayon::prelude::*;
+
+/// Domain-decomposed Gauss–Seidel smoothing over blocks that stay
+/// resident for the whole run, with halo-delta exchange between interface
+/// color steps. See the module docs for the protocol.
+#[derive(Debug, Clone)]
+pub struct ResidentEngine {
+    engine: SmoothEngine,
+    partition: Partition,
+    schedule: ExchangeSchedule,
+    /// Interface vertices (mesh-interior) grouped by global color class —
+    /// the engine's interior color classes restricted to the interface,
+    /// empty classes dropped. Same construction as the PR-2 engine, so
+    /// both engines share one serial-equivalence order.
+    interface_classes: Vec<Vec<u32>>,
+    /// Constant global triangle weights `w_t = Σ_{v ∈ t} 1/deg_t(v)` of
+    /// the quality functional.
+    tri_w: Vec<f64>,
+    blocks: Vec<ResidentBlock>,
+}
+
+/// Immutable per-part topology of a resident block. Local vertex ids
+/// follow the [`Partition::local_of`] convention — owned ascending, then
+/// halo ascending — so exchange-schedule destinations index straight into
+/// the block's coordinate buffer.
+#[derive(Debug, Clone)]
+struct ResidentBlock {
+    /// Owned vertices, global ids ascending (the final scatter map).
+    owned: Vec<u32>,
+    /// Halo (ghost) vertices, global ids ascending.
+    halo: Vec<u32>,
+    num_owned: u32,
+    /// Part-interior ∩ mesh-interior sweep vertices (owned locals,
+    /// ascending) with their local CSR neighbour / incident-triangle rows.
+    int_locals: Vec<u32>,
+    int_nbr_offsets: Vec<u32>,
+    int_nbrs: Vec<u32>,
+    int_vt_offsets: Vec<u32>,
+    int_vt: Vec<u32>,
+    /// Owned interface ∩ mesh-interior sweep vertices, grouped color-major
+    /// (`ifc_color_offsets[c]..[c+1]` indexes the per-color run), ascending
+    /// within a color; CSR rows aligned with `ifc_locals`.
+    ifc_color_offsets: Vec<u32>,
+    ifc_locals: Vec<u32>,
+    ifc_nbr_offsets: Vec<u32>,
+    ifc_nbrs: Vec<u32>,
+    ifc_vt_offsets: Vec<u32>,
+    ifc_vt: Vec<u32>,
+    /// Local triangle set — every triangle incident to a sweep vertex.
+    /// Global ids ascending; corners as local ids.
+    tri_globals: Vec<u32>,
+    tri_corners: Vec<[u32; 3]>,
+    /// Per local triangle: the global weight `w_t` when this part
+    /// stat-owns the triangle (it owns the smallest movable corner),
+    /// `0.0` otherwise — multiplying score deltas by this folds each
+    /// triangle's quality change into exactly one part's accumulator.
+    tri_weight: Vec<f64>,
+    /// Per halo local (index − `num_owned`): incident local triangles —
+    /// what a delivered halo coordinate forces us to re-score.
+    halo_vt_offsets: Vec<u32>,
+    halo_vt: Vec<u32>,
+}
+
+/// Per-run mutable state of one part: the resident block itself.
+struct ResidentScratch {
+    /// Local coordinates: owned then halo.
+    coords: Vec<Point2>,
+    /// Local `(quality, positively_oriented)` per local triangle.
+    scores: Vec<(f64, bool)>,
+    /// This iteration's `Σ w_t·Δq_t` over stat-owned triangles.
+    delta: f64,
+    /// Owned locals committed in the current interface color round — the
+    /// moved-restriction of the exchange.
+    round_moved: Vec<u32>,
+    /// Plain runs: local triangles awaiting the end-of-iteration re-score.
+    iter_dirty: Vec<u32>,
+    dirty_mark: Vec<bool>,
+    /// Smart candidate-star scratch.
+    star: Vec<(f64, bool)>,
+    /// Pending halo deliveries `(dst local, coordinate)`.
+    inbox: Vec<(u32, Point2)>,
+    /// Smart runs: triangles to re-score right after an inbox application.
+    apply_dirty: Vec<u32>,
+}
+
+impl ResidentScratch {
+    fn new(block: &ResidentBlock) -> Self {
+        ResidentScratch {
+            coords: vec![Point2::ZERO; block.owned.len() + block.halo.len()],
+            scores: vec![(0.0, false); block.tri_globals.len()],
+            delta: 0.0,
+            round_moved: Vec::new(),
+            iter_dirty: Vec::new(),
+            dirty_mark: vec![false; block.tri_globals.len()],
+            star: Vec::new(),
+            inbox: Vec::new(),
+            apply_dirty: Vec::new(),
+        }
+    }
+
+    /// The one full gather: all owned + halo coordinates and every local
+    /// triangle's initial score.
+    fn gather(&mut self, block: &ResidentBlock, coords: &[Point2], scores: &[(f64, bool)]) {
+        for (slot, &v) in self.coords.iter_mut().zip(block.owned.iter().chain(&block.halo)) {
+            *slot = coords[v as usize];
+        }
+        for (slot, &t) in self.scores.iter_mut().zip(&block.tri_globals) {
+            *slot = scores[t as usize];
+        }
+    }
+}
+
+/// Neumaier-compensated accumulator mirroring [`QualityCache`]'s running
+/// sum (same per-add expressions, so the initial fold is bit-equal to a
+/// freshly built cache's).
+#[derive(Default)]
+struct Neumaier {
+    sum: f64,
+    comp: f64,
+}
+
+impl Neumaier {
+    #[inline]
+    fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.comp += (self.sum - t) + x;
+        } else {
+            self.comp += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    #[inline]
+    fn value(&self) -> f64 {
+        self.sum + self.comp
+    }
+}
+
+/// Raw coordinate base pointer for the final disjoint scatter. Soundness:
+/// parts own disjoint global vertex sets (a partition invariant,
+/// property-tested in `lms-part`), so no slot is written by two parts.
+struct ScatterPtr(*mut Point2);
+unsafe impl Sync for ScatterPtr {}
+unsafe impl Send for ScatterPtr {}
+
+impl ResidentEngine {
+    /// Build a resident engine for `mesh` under `params` and an existing
+    /// decomposition (Gauss–Seidel parameters only).
+    pub fn new(mesh: &TriMesh, params: SmoothParams, partition: Partition) -> Self {
+        assert_eq!(
+            partition.len(),
+            mesh.num_vertices(),
+            "partition was built for a different mesh"
+        );
+        assert_eq!(
+            params.update,
+            UpdateScheme::GaussSeidel,
+            "resident smoothing is an in-place (Gauss-Seidel) schedule; \
+             use smooth_parallel for deterministic Jacobi"
+        );
+        let engine = SmoothEngine::new(mesh, params);
+        let interface_classes: Vec<Vec<u32>> = engine
+            .interior_color_classes()
+            .iter()
+            .map(|class| {
+                class.iter().copied().filter(|&v| partition.is_interface(v)).collect::<Vec<u32>>()
+            })
+            .filter(|class| !class.is_empty())
+            .collect();
+        let schedule = ExchangeSchedule::build(&partition);
+
+        let n = mesh.num_vertices();
+        let triangles: &[[u32; 3]] = engine.triangles();
+        let adj = engine.adjacency();
+        let tri_w: Vec<f64> = triangles
+            .iter()
+            .map(|tri| tri.iter().map(|&v| 1.0 / adj.triangles_of(v).len() as f64).sum())
+            .collect();
+        // stat owner of each triangle: the part owning its smallest
+        // mesh-interior (movable) corner; unchangeable triangles have none
+        let stat_owner: Vec<u32> = triangles
+            .iter()
+            .map(|tri| {
+                tri.iter()
+                    .copied()
+                    .filter(|&v| engine.boundary().is_interior(v))
+                    .min()
+                    .map_or(u32::MAX, |v| partition.part_of(v))
+            })
+            .collect();
+
+        let mut g2l = vec![u32::MAX; n];
+        let mut tri_l = vec![u32::MAX; triangles.len()];
+        let mut blocks = Vec::with_capacity(partition.num_parts() as usize);
+        for p in 0..partition.num_parts() {
+            blocks.push(build_resident_block(
+                &partition,
+                &engine,
+                triangles,
+                &interface_classes,
+                &tri_w,
+                &stat_owner,
+                p,
+                &mut g2l,
+                &mut tri_l,
+            ));
+        }
+        ResidentEngine { engine, partition, schedule, interface_classes, tri_w, blocks }
+    }
+
+    /// Convenience: decompose `mesh` into `num_parts` with `method`, then
+    /// build the engine.
+    pub fn by_method(
+        mesh: &TriMesh,
+        params: SmoothParams,
+        num_parts: usize,
+        method: PartitionMethod,
+    ) -> Self {
+        let adj = Adjacency::build(mesh);
+        let partition = partition_mesh(mesh, &adj, num_parts, method);
+        ResidentEngine::new(mesh, params, partition)
+    }
+
+    /// The underlying serial engine (adjacency, boundary, parameters).
+    pub fn engine(&self) -> &SmoothEngine {
+        &self.engine
+    }
+
+    /// The decomposition the engine runs on.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// The static halo-exchange pattern the runs route moved deltas along.
+    pub fn exchange_schedule(&self) -> &ExchangeSchedule {
+        &self.schedule
+    }
+
+    /// The global interface color classes the interface phase steps through.
+    pub fn interface_classes(&self) -> &[Vec<u32>] {
+        &self.interface_classes
+    }
+
+    /// The serial visit order this engine's sweep is exactly equal to:
+    /// each part's interior vertices ascending, parts in order, then the
+    /// interface color classes class-major — identical to the PR-2
+    /// [`PartitionedEngine`](crate::PartitionedEngine)'s order over the
+    /// same decomposition.
+    pub fn part_major_visit_order(&self) -> Vec<u32> {
+        let mut order: Vec<u32> = self
+            .blocks
+            .iter()
+            .flat_map(|b| b.int_locals.iter().map(|&lv| b.owned[lv as usize]))
+            .collect();
+        order.extend(self.interface_classes.iter().flatten().copied());
+        order
+    }
+
+    /// Resident in-place Gauss–Seidel smoothing: one full gather, local
+    /// sweeps with halo-delta exchange between interface color steps, one
+    /// parallel disjoint scatter. Race-free, bitwise-deterministic for any
+    /// `num_threads`, and exactly serial Gauss–Seidel under
+    /// [`part_major_visit_order`](Self::part_major_visit_order).
+    pub fn smooth(&self, mesh: &mut TriMesh, num_threads: usize) -> SmoothReport {
+        assert!(num_threads >= 1, "need at least one thread");
+        assert_eq!(
+            mesh.num_vertices(),
+            self.engine.adj.num_vertices(),
+            "engine was built for a different mesh"
+        );
+        let pool = self.engine.pool.get(num_threads);
+        let params = &self.engine.params;
+        let smart = params.smart;
+        let metric = params.metric;
+        let adj = &self.engine.adj;
+        let triangles: &[[u32; 3]] = &self.engine.triangles;
+        let num_colors = self.interface_classes.len();
+        let k = self.blocks.len();
+
+        // initial scoring pass + quality: the same values a fresh
+        // QualityCache would hold, folded in the same order — so the
+        // running sum starts bit-equal to the other engines'
+        let init_scores: Vec<(f64, bool)> =
+            triangles.iter().map(|&tri| QualityCache::score(metric, mesh.coords(), tri)).collect();
+        let mut qsum = Neumaier::default();
+        for (t, &(q, _)) in init_scores.iter().enumerate() {
+            qsum.add(q * self.tri_w[t]);
+        }
+        let initial_quality = mesh_quality(mesh, adj, metric);
+        let mut report = SmoothReport::starting(initial_quality);
+        let mut volume = ExchangeVolume::default();
+        let mut quality = initial_quality;
+
+        if params.max_iters == 0 {
+            report.exchange = Some(volume);
+            return report;
+        }
+
+        let mut works: Vec<ResidentScratch> =
+            self.blocks.iter().map(ResidentScratch::new).collect();
+
+        // the one full gather: blocks become resident now
+        {
+            let coords: &[Point2] = mesh.coords();
+            let scores: &[(f64, bool)] = &init_scores;
+            let blocks: &[ResidentBlock] = &self.blocks;
+            pool.install(|| {
+                works.par_iter_mut().enumerate().for_each(|(i, work)| {
+                    work.gather(&blocks[i], coords, scores);
+                });
+            });
+            volume.full_gathers += 1;
+        }
+
+        for iter in 1..=params.max_iters {
+            // interior phase: fully local, nothing to exchange afterwards
+            // (an interior vertex is in no other part's halo)
+            {
+                let blocks: &[ResidentBlock] = &self.blocks;
+                pool.install(|| {
+                    works.par_iter_mut().enumerate().for_each(|(i, work)| {
+                        let block = &blocks[i];
+                        let range = 0..block.int_locals.len();
+                        if smart {
+                            self.sweep_range_smart(block, work, SweepSpan::Interior, range, false);
+                        } else {
+                            self.sweep_range_plain(block, work, SweepSpan::Interior, range, false);
+                        }
+                    });
+                });
+            }
+
+            // interface phase: global color order, halo deltas routed
+            // between color steps
+            for c in 0..num_colors {
+                {
+                    let blocks: &[ResidentBlock] = &self.blocks;
+                    pool.install(|| {
+                        works.par_iter_mut().enumerate().for_each(|(i, work)| {
+                            let block = &blocks[i];
+                            self.apply_inbox(block, work, smart);
+                            let range = block.ifc_color_offsets[c] as usize
+                                ..block.ifc_color_offsets[c + 1] as usize;
+                            if smart {
+                                self.sweep_range_smart(
+                                    block,
+                                    work,
+                                    SweepSpan::Interface,
+                                    range,
+                                    true,
+                                );
+                            } else {
+                                self.sweep_range_plain(
+                                    block,
+                                    work,
+                                    SweepSpan::Interface,
+                                    range,
+                                    true,
+                                );
+                            }
+                        });
+                    });
+                }
+                // serial routing pass: O(moved · ghost-degree) pointer
+                // copies in deterministic part order
+                volume.exchange_rounds += 1;
+                for p in 0..k {
+                    let moved = std::mem::take(&mut works[p].round_moved);
+                    for &lv in &moved {
+                        for &(q, dst) in self.schedule.outgoing(p as u32, lv) {
+                            let coord = works[p].coords[lv as usize];
+                            works[q as usize].inbox.push((dst, coord));
+                            volume.halo_entries_sent += 1;
+                        }
+                    }
+                    let mut moved = moved;
+                    moved.clear();
+                    works[p].round_moved = moved;
+                }
+            }
+
+            // finalize: deliver the last color's deltas and (plain runs)
+            // re-score this iteration's dirty triangles for the statistic
+            {
+                let blocks: &[ResidentBlock] = &self.blocks;
+                pool.install(|| {
+                    works.par_iter_mut().enumerate().for_each(|(i, work)| {
+                        let block = &blocks[i];
+                        self.apply_inbox(block, work, smart);
+                        if !smart {
+                            self.finalize_plain(block, work);
+                        }
+                    });
+                });
+            }
+
+            // fold part deltas in part order: deterministic for any
+            // thread count, same skip-zero rule as QualityCache::set_star
+            for work in works.iter_mut() {
+                if work.delta != 0.0 {
+                    qsum.add(work.delta);
+                }
+                work.delta = 0.0;
+            }
+            let new_quality = qsum.value() / mesh.num_vertices() as f64;
+            let improvement = new_quality - quality;
+            report.iterations.push(IterationStats { iter, quality: new_quality, improvement });
+            quality = new_quality;
+            if improvement < params.tol {
+                report.converged = true;
+                break;
+            }
+        }
+
+        // the one full scatter: parts own disjoint vertex sets, so the
+        // write-back is a race-free parallel scatter
+        {
+            let scatter = ScatterPtr(mesh.coords_mut().as_mut_ptr());
+            let scatter = &scatter;
+            let blocks: &[ResidentBlock] = &self.blocks;
+            let works_ref: &[ResidentScratch] = &works;
+            pool.install(|| {
+                (0..blocks.len()).into_par_iter().for_each(|i| {
+                    let block = &blocks[i];
+                    let work = &works_ref[i];
+                    for (j, &v) in block.owned.iter().enumerate() {
+                        // SAFETY: `v` is owned by part `i` alone; parts
+                        // partition the vertex set, so no two workers
+                        // write the same slot.
+                        unsafe { *scatter.0.add(v as usize) = work.coords[j] };
+                    }
+                });
+            });
+            volume.full_scatters += 1;
+        }
+
+        let exact = mesh_quality(mesh, adj, metric);
+        if let Some(last) = report.iterations.last_mut() {
+            last.quality = exact;
+        }
+        report.final_quality = exact;
+        report.exchange = Some(volume);
+        report
+    }
+
+    /// One smart local span sweep — arithmetic identical, expression by
+    /// expression, to the serial hot path ([`crate::kernel`]) and to the
+    /// PR-2 block/colored sweeps, so commit decisions (hence coordinates)
+    /// stay bit-identical. Score updates fold `w_t·Δq` into the part's
+    /// stat delta as they land.
+    fn sweep_range_smart(
+        &self,
+        block: &ResidentBlock,
+        work: &mut ResidentScratch,
+        span: SweepSpan,
+        range: std::ops::Range<usize>,
+        record_moved: bool,
+    ) {
+        let metric = self.engine.params.metric;
+        let weighting = self.engine.params.weighting;
+        let (locals, nbr_offsets, nbrs, vt_offsets, vt) = span.arrays(block);
+        for si in range {
+            let lv = locals[si];
+            let ns = &nbrs[nbr_offsets[si] as usize..nbr_offsets[si + 1] as usize];
+            if ns.is_empty() {
+                continue;
+            }
+            let pv = work.coords[lv as usize];
+            let Some(candidate) = candidate_for(weighting, pv, ns, &work.coords) else {
+                continue;
+            };
+            let ts = &vt[vt_offsets[si] as usize..vt_offsets[si + 1] as usize];
+            if ts.is_empty() {
+                work.coords[lv as usize] = candidate;
+                if record_moved {
+                    work.round_moved.push(lv);
+                }
+                continue;
+            }
+
+            work.star.clear();
+            let mut after_sum = 0.0;
+            let mut before_sum = 0.0;
+            let mut all_pos = true;
+            for &lt in ts {
+                let (q0, pos0) = work.scores[lt as usize];
+                before_sum += if pos0 { q0 } else { 0.0 };
+                let (q, pos) = QualityCache::score_with(
+                    metric,
+                    &work.coords,
+                    block.tri_corners[lt as usize],
+                    lv,
+                    candidate,
+                );
+                work.star.push((q, pos));
+                if pos {
+                    after_sum += q;
+                } else {
+                    all_pos = false;
+                }
+            }
+            let len = ts.len() as f64;
+            let quality_ok = after_sum >= before_sum || after_sum / len >= before_sum / len;
+            let commit =
+                quality_ok && (all_pos || ts.iter().any(|&lt| !work.scores[lt as usize].1));
+            if commit {
+                work.coords[lv as usize] = candidate;
+                for (si_t, &lt) in ts.iter().enumerate() {
+                    let i = lt as usize;
+                    let (q_new, pos_new) = work.star[si_t];
+                    work.delta += block.tri_weight[i] * (q_new - work.scores[i].0);
+                    work.scores[i] = (q_new, pos_new);
+                }
+                if record_moved {
+                    work.round_moved.push(lv);
+                }
+            }
+        }
+    }
+
+    /// One plain local span sweep: every candidate commits; touched
+    /// triangles are queued for the end-of-iteration re-score (plain
+    /// sweeps never evaluate scores inline).
+    fn sweep_range_plain(
+        &self,
+        block: &ResidentBlock,
+        work: &mut ResidentScratch,
+        span: SweepSpan,
+        range: std::ops::Range<usize>,
+        record_moved: bool,
+    ) {
+        let weighting = self.engine.params.weighting;
+        let (locals, nbr_offsets, nbrs, vt_offsets, vt) = span.arrays(block);
+        for si in range {
+            let lv = locals[si];
+            let ns = &nbrs[nbr_offsets[si] as usize..nbr_offsets[si + 1] as usize];
+            if ns.is_empty() {
+                continue;
+            }
+            let pv = work.coords[lv as usize];
+            let Some(candidate) = candidate_for(weighting, pv, ns, &work.coords) else {
+                continue;
+            };
+            work.coords[lv as usize] = candidate;
+            for &lt in &vt[vt_offsets[si] as usize..vt_offsets[si + 1] as usize] {
+                if !work.dirty_mark[lt as usize] {
+                    work.dirty_mark[lt as usize] = true;
+                    work.iter_dirty.push(lt);
+                }
+            }
+            if record_moved {
+                work.round_moved.push(lv);
+            }
+        }
+    }
+
+    /// Deliver pending halo coordinates. Smart runs re-score the touched
+    /// triangles immediately (the next color step's guard reads them);
+    /// plain runs only queue them for the iteration-end re-score.
+    fn apply_inbox(&self, block: &ResidentBlock, work: &mut ResidentScratch, smart: bool) {
+        if work.inbox.is_empty() {
+            return;
+        }
+        let metric = self.engine.params.metric;
+        for idx in 0..work.inbox.len() {
+            let (dst, pos) = work.inbox[idx];
+            work.coords[dst as usize] = pos;
+            let h = (dst - block.num_owned) as usize;
+            let row = &block.halo_vt
+                [block.halo_vt_offsets[h] as usize..block.halo_vt_offsets[h + 1] as usize];
+            let queue = if smart { &mut work.apply_dirty } else { &mut work.iter_dirty };
+            for &lt in row {
+                if !work.dirty_mark[lt as usize] {
+                    work.dirty_mark[lt as usize] = true;
+                    queue.push(lt);
+                }
+            }
+        }
+        work.inbox.clear();
+        if smart {
+            work.apply_dirty.sort_unstable();
+            for idx in 0..work.apply_dirty.len() {
+                let lt = work.apply_dirty[idx];
+                let i = lt as usize;
+                let (q, pos) = QualityCache::score(metric, &work.coords, block.tri_corners[i]);
+                work.delta += block.tri_weight[i] * (q - work.scores[i].0);
+                work.scores[i] = (q, pos);
+                work.dirty_mark[i] = false;
+            }
+            work.apply_dirty.clear();
+        }
+    }
+
+    /// Plain runs' iteration end: re-score every triangle a commit or a
+    /// halo delivery touched, in ascending local order, folding the score
+    /// changes into the part's stat delta.
+    fn finalize_plain(&self, block: &ResidentBlock, work: &mut ResidentScratch) {
+        let metric = self.engine.params.metric;
+        work.iter_dirty.sort_unstable();
+        for idx in 0..work.iter_dirty.len() {
+            let lt = work.iter_dirty[idx];
+            let i = lt as usize;
+            let (q, pos) = QualityCache::score(metric, &work.coords, block.tri_corners[i]);
+            work.delta += block.tri_weight[i] * (q - work.scores[i].0);
+            work.scores[i] = (q, pos);
+            work.dirty_mark[i] = false;
+        }
+        work.iter_dirty.clear();
+    }
+}
+
+/// Which sweep-list a span sweep walks.
+#[derive(Clone, Copy)]
+enum SweepSpan {
+    Interior,
+    Interface,
+}
+
+impl SweepSpan {
+    #[allow(clippy::type_complexity)]
+    fn arrays(self, block: &ResidentBlock) -> (&[u32], &[u32], &[u32], &[u32], &[u32]) {
+        match self {
+            SweepSpan::Interior => (
+                &block.int_locals,
+                &block.int_nbr_offsets,
+                &block.int_nbrs,
+                &block.int_vt_offsets,
+                &block.int_vt,
+            ),
+            SweepSpan::Interface => (
+                &block.ifc_locals,
+                &block.ifc_nbr_offsets,
+                &block.ifc_nbrs,
+                &block.ifc_vt_offsets,
+                &block.ifc_vt,
+            ),
+        }
+    }
+}
+
+/// Build one part's resident topology. `g2l` and `tri_l` are
+/// `u32::MAX`-filled scratch maps of global→local ids, restored before
+/// returning.
+#[allow(clippy::too_many_arguments)]
+fn build_resident_block(
+    partition: &Partition,
+    engine: &SmoothEngine,
+    triangles: &[[u32; 3]],
+    interface_classes: &[Vec<u32>],
+    tri_w: &[f64],
+    stat_owner: &[u32],
+    p: u32,
+    g2l: &mut [u32],
+    tri_l: &mut [u32],
+) -> ResidentBlock {
+    let adj = engine.adjacency();
+    let owned: Vec<u32> = partition.part(p).to_vec();
+    let halo: Vec<u32> = partition.halo(p).to_vec();
+    let num_owned = owned.len() as u32;
+    for (i, &v) in owned.iter().enumerate() {
+        g2l[v as usize] = i as u32;
+    }
+    for (j, &u) in halo.iter().enumerate() {
+        g2l[u as usize] = num_owned + j as u32;
+    }
+
+    // sweep lists: interiors ascending, interfaces color-major
+    let mut int_locals = Vec::new();
+    let mut int_globals = Vec::new();
+    for (i, &v) in owned.iter().enumerate() {
+        if !partition.is_interface(v) && engine.boundary().is_interior(v) {
+            int_locals.push(i as u32);
+            int_globals.push(v);
+        }
+    }
+    let mut ifc_color_offsets = Vec::with_capacity(interface_classes.len() + 1);
+    ifc_color_offsets.push(0u32);
+    let mut ifc_locals = Vec::new();
+    let mut ifc_globals = Vec::new();
+    for class in interface_classes {
+        for &v in class {
+            if partition.part_of(v) == p {
+                ifc_locals.push(g2l[v as usize]);
+                ifc_globals.push(v);
+            }
+        }
+        ifc_color_offsets.push(ifc_locals.len() as u32);
+    }
+
+    // local triangle set: every triangle incident to a sweep vertex; all
+    // corners land in owned ∪ halo (a corner is adjacent to the owned
+    // star centre)
+    let mut tri_globals: Vec<u32> = int_globals
+        .iter()
+        .chain(&ifc_globals)
+        .flat_map(|&v| adj.triangles_of(v).iter().copied())
+        .collect();
+    tri_globals.sort_unstable();
+    tri_globals.dedup();
+    for (i, &t) in tri_globals.iter().enumerate() {
+        tri_l[t as usize] = i as u32;
+    }
+    let tri_corners: Vec<[u32; 3]> = tri_globals
+        .iter()
+        .map(|&t| {
+            triangles[t as usize].map(|c| {
+                debug_assert_ne!(g2l[c as usize], u32::MAX, "sweep-star corner outside the block");
+                g2l[c as usize]
+            })
+        })
+        .collect();
+    let tri_weight: Vec<f64> = tri_globals
+        .iter()
+        .map(|&t| if stat_owner[t as usize] == p { tri_w[t as usize] } else { 0.0 })
+        .collect();
+
+    // CSR rows for both sweep lists, in the global ascending neighbour /
+    // incident-triangle order the serial engine uses
+    let build_csr = |globals: &[u32]| {
+        let mut nbr_offsets = Vec::with_capacity(globals.len() + 1);
+        nbr_offsets.push(0u32);
+        let mut nbrs = Vec::new();
+        let mut vt_offsets = Vec::with_capacity(globals.len() + 1);
+        vt_offsets.push(0u32);
+        let mut vt = Vec::new();
+        for &v in globals {
+            nbrs.extend(adj.neighbors(v).iter().map(|&w| g2l[w as usize]));
+            nbr_offsets.push(nbrs.len() as u32);
+            vt.extend(adj.triangles_of(v).iter().map(|&t| tri_l[t as usize]));
+            vt_offsets.push(vt.len() as u32);
+        }
+        (nbr_offsets, nbrs, vt_offsets, vt)
+    };
+    let (int_nbr_offsets, int_nbrs, int_vt_offsets, int_vt) = build_csr(&int_globals);
+    let (ifc_nbr_offsets, ifc_nbrs, ifc_vt_offsets, ifc_vt) = build_csr(&ifc_globals);
+
+    // halo incidence: which local triangles a delivered halo coordinate
+    // forces us to re-score
+    let mut halo_counts = vec![0u32; halo.len()];
+    for corners in &tri_corners {
+        for &c in corners {
+            if c >= num_owned {
+                halo_counts[(c - num_owned) as usize] += 1;
+            }
+        }
+    }
+    let mut halo_vt_offsets = Vec::with_capacity(halo.len() + 1);
+    halo_vt_offsets.push(0u32);
+    for &count in &halo_counts {
+        halo_vt_offsets.push(halo_vt_offsets.last().unwrap() + count);
+    }
+    let mut cursor: Vec<u32> = halo_vt_offsets[..halo.len()].to_vec();
+    let mut halo_vt = vec![0u32; *halo_vt_offsets.last().unwrap() as usize];
+    for (lt, corners) in tri_corners.iter().enumerate() {
+        for &c in corners {
+            if c >= num_owned {
+                let h = (c - num_owned) as usize;
+                halo_vt[cursor[h] as usize] = lt as u32;
+                cursor[h] += 1;
+            }
+        }
+    }
+
+    for &t in &tri_globals {
+        tri_l[t as usize] = u32::MAX;
+    }
+    for &v in owned.iter().chain(&halo) {
+        g2l[v as usize] = u32::MAX;
+    }
+    ResidentBlock {
+        owned,
+        halo,
+        num_owned,
+        int_locals,
+        int_nbr_offsets,
+        int_nbrs,
+        int_vt_offsets,
+        int_vt,
+        ifc_color_offsets,
+        ifc_locals,
+        ifc_nbr_offsets,
+        ifc_nbrs,
+        ifc_vt_offsets,
+        ifc_vt,
+        tri_globals,
+        tri_corners,
+        tri_weight,
+        halo_vt_offsets,
+        halo_vt,
+    }
+}
+
+/// Convenience: decompose, build the resident engine and run it in one
+/// call. Parameters are moved, never cloned.
+pub fn smooth_resident(
+    mesh: &mut TriMesh,
+    params: SmoothParams,
+    num_parts: usize,
+    method: PartitionMethod,
+    num_threads: usize,
+) -> SmoothReport {
+    ResidentEngine::by_method(mesh, params, num_parts, method).smooth(mesh, num_threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lms_mesh::generators;
+
+    #[test]
+    fn improves_quality_and_pins_boundary() {
+        let mut m = generators::perturbed_grid(20, 20, 0.4, 1);
+        let before = m.coords().to_vec();
+        let engine = ResidentEngine::by_method(&m, SmoothParams::paper(), 4, PartitionMethod::Rcb);
+        let report = engine.smooth(&mut m, 2);
+        assert!(report.final_quality > report.initial_quality + 0.01);
+        for v in engine.engine().boundary().boundary_vertices() {
+            assert_eq!(m.coords()[v as usize], before[v as usize], "boundary vertex {v} moved");
+        }
+    }
+
+    #[test]
+    fn single_part_equals_serial_storage_order() {
+        let m = generators::perturbed_grid(14, 14, 0.35, 3);
+        let params = SmoothParams::paper().with_smart(true).with_max_iters(6).with_tol(-1.0);
+        let engine = ResidentEngine::by_method(&m, params.clone(), 1, PartitionMethod::Rcb);
+        assert!(engine.interface_classes().is_empty());
+        let mut a = m.clone();
+        let report = engine.smooth(&mut a, 3);
+        let mut b = m.clone();
+        SmoothEngine::new(&m, params).smooth(&mut b);
+        assert_eq!(a.coords(), b.coords());
+        let volume = report.exchange.unwrap();
+        assert_eq!(volume.full_gathers, 1);
+        assert_eq!(volume.full_scatters, 1);
+        assert_eq!(volume.halo_entries_sent, 0, "one part has nothing to exchange");
+    }
+
+    #[test]
+    fn exchange_volume_counts_one_gather_one_scatter() {
+        let m = generators::perturbed_grid(16, 16, 0.35, 5);
+        let params = SmoothParams::paper().with_smart(true).with_max_iters(8).with_tol(-1.0);
+        let engine = ResidentEngine::by_method(&m, params, 4, PartitionMethod::Rcb);
+        let mut work = m.clone();
+        let report = engine.smooth(&mut work, 2);
+        let volume = report.exchange.unwrap();
+        assert_eq!(report.num_iterations(), 8);
+        assert_eq!(volume.full_gathers, 1, "resident blocks gather once, not per sweep");
+        assert_eq!(volume.full_scatters, 1, "one disjoint write-back at the end");
+        assert_eq!(
+            volume.exchange_rounds,
+            8 * engine.interface_classes().len(),
+            "one exchange round per color step per iteration"
+        );
+        assert!(volume.halo_entries_sent > 0, "multi-part smoothing must exchange halos");
+    }
+
+    #[test]
+    fn zero_iterations_touch_nothing() {
+        let m = generators::perturbed_grid(10, 10, 0.3, 2);
+        let params = SmoothParams::paper().with_max_iters(0);
+        let engine = ResidentEngine::by_method(&m, params, 3, PartitionMethod::Hilbert);
+        let mut work = m.clone();
+        let report = engine.smooth(&mut work, 2);
+        assert_eq!(work.coords(), m.coords());
+        let volume = report.exchange.unwrap();
+        assert_eq!(volume.full_gathers, 0);
+        assert_eq!(volume.full_scatters, 0);
+    }
+
+    #[test]
+    fn rejects_jacobi_params() {
+        let m = generators::perturbed_grid(8, 8, 0.2, 1);
+        let params = SmoothParams::paper().with_update(UpdateScheme::Jacobi);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ResidentEngine::by_method(&m, params, 2, PartitionMethod::Rcb)
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn convenience_wrapper_runs() {
+        let mut m = generators::perturbed_grid(12, 12, 0.35, 2);
+        let report = smooth_resident(
+            &mut m,
+            SmoothParams::paper().with_max_iters(10),
+            3,
+            PartitionMethod::Morton,
+            2,
+        );
+        assert!(report.final_quality > report.initial_quality);
+    }
+
+    #[test]
+    fn part_major_order_covers_interior_once() {
+        let m = generators::perturbed_grid(13, 17, 0.3, 9);
+        let engine =
+            ResidentEngine::by_method(&m, SmoothParams::paper(), 5, PartitionMethod::Hilbert);
+        let order = engine.part_major_visit_order();
+        assert_eq!(order.len(), engine.engine().boundary().num_interior());
+        let mut seen = vec![false; m.num_vertices()];
+        for &v in &order {
+            assert!(engine.engine().boundary().is_interior(v));
+            assert!(!seen[v as usize], "vertex {v} visited twice");
+            seen[v as usize] = true;
+        }
+    }
+}

@@ -11,6 +11,27 @@ pub struct IterationStats {
     pub improvement: f64,
 }
 
+/// Communication accounting of a resident halo-exchange run
+/// ([`crate::ResidentEngine`]): how often whole blocks moved versus how
+/// many individual halo coordinates did. The tentpole invariant — between
+/// the first gather and the final scatter the engine exchanges **only**
+/// halo deltas — shows up here as `full_gathers == 1 && full_scatters == 1`
+/// for any iteration count, which the property tests assert.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExchangeVolume {
+    /// Whole-block gathers from the global mesh (must be 1: the initial
+    /// residency load).
+    pub full_gathers: usize,
+    /// Whole-mesh write-backs (must be 1: the final disjoint scatter).
+    pub full_scatters: usize,
+    /// Halo-delta exchange rounds executed (one per interface color step
+    /// per iteration).
+    pub exchange_rounds: usize,
+    /// Individual `(vertex, receiver)` coordinate deliveries routed across
+    /// all rounds — the engine's entire inter-part communication volume.
+    pub halo_entries_sent: usize,
+}
+
 /// Outcome of a full smoothing run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SmoothReport {
@@ -23,9 +44,24 @@ pub struct SmoothReport {
     /// True when the run stopped because improvement fell below `tol`
     /// (false when it hit `max_iters`).
     pub converged: bool,
+    /// Halo-exchange accounting — `Some` only for engines that run the
+    /// resident exchange protocol.
+    pub exchange: Option<ExchangeVolume>,
 }
 
 impl SmoothReport {
+    /// A fresh report before the first sweep: final quality mirrors the
+    /// initial one until sweeps land, no iterations, not converged.
+    pub fn starting(initial_quality: f64) -> Self {
+        SmoothReport {
+            initial_quality,
+            final_quality: initial_quality,
+            iterations: Vec::new(),
+            converged: false,
+            exchange: None,
+        }
+    }
+
     /// Number of sweeps executed.
     pub fn num_iterations(&self) -> usize {
         self.iterations.len()
@@ -43,16 +79,25 @@ mod tests {
 
     #[test]
     fn report_accessors() {
-        let r = SmoothReport {
-            initial_quality: 0.5,
-            final_quality: 0.8,
-            iterations: vec![
-                IterationStats { iter: 1, quality: 0.7, improvement: 0.2 },
-                IterationStats { iter: 2, quality: 0.8, improvement: 0.1 },
-            ],
-            converged: true,
-        };
+        let mut r = SmoothReport::starting(0.5);
+        r.final_quality = 0.8;
+        r.iterations = vec![
+            IterationStats { iter: 1, quality: 0.7, improvement: 0.2 },
+            IterationStats { iter: 2, quality: 0.8, improvement: 0.1 },
+        ];
+        r.converged = true;
         assert_eq!(r.num_iterations(), 2);
         assert!((r.total_improvement() - 0.3).abs() < 1e-15);
+        assert_eq!(r.exchange, None);
+    }
+
+    #[test]
+    fn starting_report_is_flat() {
+        let r = SmoothReport::starting(0.42);
+        assert_eq!(r.initial_quality, 0.42);
+        assert_eq!(r.final_quality, 0.42);
+        assert_eq!(r.num_iterations(), 0);
+        assert!(!r.converged);
+        assert_eq!(r.total_improvement(), 0.0);
     }
 }

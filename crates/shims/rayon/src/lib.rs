@@ -1,9 +1,9 @@
 //! Offline shim for the `rayon` crate.
 //!
 //! Provides the adapter surface this workspace uses — `par_iter`,
-//! `into_par_iter` on ranges, `par_chunks`/`par_chunks_mut`, `map`,
-//! `enumerate`, `for_each`, `collect`, `sum`, plus [`ThreadPoolBuilder`] /
-//! [`ThreadPool::install`] — executed on `std::thread::scope` workers.
+//! `par_iter_mut`, `into_par_iter` on ranges, `par_chunks`/`par_chunks_mut`,
+//! `map`, `enumerate`, `for_each`, `collect`, `sum`, plus
+//! [`ThreadPoolBuilder`] / [`ThreadPool::install`].
 //!
 //! Two properties the workspace's determinism tests rely on:
 //!
@@ -14,14 +14,40 @@
 //!   combined in group order, so `sum()` is bitwise identical for any
 //!   `num_threads` — strictly stronger than upstream rayon's guarantee, and
 //!   what makes the parallel engines reproducible.
+//!
+//! And one performance property the phase-heavy engines rely on:
+//!
+//! * **Persistent workers**: a [`ThreadPool`] spawns its OS threads once at
+//!   construction and parks them between jobs. Every par-adapter call made
+//!   inside [`ThreadPool::install`] dispatches to those parked workers
+//!   through a condvar'd job slot instead of spawning a fresh
+//!   `std::thread::scope` — a colored sweep with `1 + num_colors` parallel
+//!   phases per iteration pays `num_threads − 1` thread spawns per pool
+//!   *lifetime*, not per phase. [`spawned_thread_count`] exposes the
+//!   shim-wide spawn counter the regression tests pin this with. Adapter
+//!   calls made outside any `install` fall back to scoped one-shot workers
+//!   (the pre-pool behaviour).
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
 
 thread_local! {
     static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
+    /// Stack of installed pools (innermost last); par-adapters dispatch to
+    /// the top entry.
+    static POOL_STACK: RefCell<Vec<Arc<PoolShared>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Every OS thread this shim has ever spawned (pool workers and fallback
+/// scoped workers alike). Pool reuse is regression-tested by pinning the
+/// delta of this counter across repeated `install`/par-adapter calls.
+static SPAWNED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Total OS threads spawned by this shim since process start.
+pub fn spawned_thread_count() -> usize {
+    SPAWNED_THREADS.load(Ordering::Relaxed)
 }
 
 fn default_threads() -> usize {
@@ -69,32 +95,231 @@ impl ThreadPoolBuilder {
 
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let n = if self.num_threads == 0 { default_threads() } else { self.num_threads };
-        Ok(ThreadPool { num_threads: n })
+        Ok(ThreadPool::spawn(n))
     }
 }
 
-/// A logical pool: par-adapters called inside [`install`](Self::install)
-/// split work across this many scoped worker threads.
-#[derive(Debug)]
+/// A dispatched job: a type-erased reference to the caller's task closure.
+/// The `'static` lifetime is a lie the completion protocol makes sound —
+/// the dispatching thread blocks in [`PoolShared::run`] until every worker
+/// has finished executing the job, so the referent outlives every use.
+#[derive(Clone, Copy)]
+struct Job {
+    task: &'static (dyn Fn() + Sync),
+}
+
+struct PoolState {
+    job: Option<Job>,
+    /// Bumped once per dispatched job; workers run each epoch exactly once.
+    epoch: u64,
+    /// Workers still executing the current job.
+    active: usize,
+    /// First panic payload a worker caught during the current job — the
+    /// dispatcher re-raises it after the job completes, mirroring the
+    /// panic propagation of `std::thread::scope`.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+    shutdown: bool,
+}
+
+/// State shared between a pool's owner and its parked workers.
+struct PoolShared {
+    /// Persistent worker count (`num_threads − 1`; the caller participates).
+    workers: usize,
+    state: Mutex<PoolState>,
+    /// Workers wait here for a new epoch.
+    work_cv: Condvar,
+    /// The dispatcher waits here for `active == 0`.
+    done_cv: Condvar,
+    /// Serialises concurrent `run` calls on one pool (the job slot holds a
+    /// single job).
+    dispatch: Mutex<()>,
+}
+
+/// Poison-tolerant lock: a panicking job poisons the pool's mutexes when
+/// its guards unwind, but every per-job invariant (`job`, `epoch`,
+/// `active`, `panic`) is re-established at the next dispatch, so the
+/// poisoned state is safe to keep using — exactly the panic story of the
+/// old `std::thread::scope` path.
+fn relock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// [`relock`] for condvar waits.
+fn rewait<'a, T>(
+    cv: &Condvar,
+    guard: std::sync::MutexGuard<'a, T>,
+) -> std::sync::MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl PoolShared {
+    /// Execute `task` on every worker plus the calling thread, returning
+    /// once all of them have finished. `task` is expected to partition its
+    /// own work (e.g. through an atomic cursor) — extra workers simply find
+    /// nothing to do.
+    fn run(&self, task: &(dyn Fn() + Sync)) {
+        if self.workers == 0 {
+            task();
+            return;
+        }
+        let _serialise = relock(&self.dispatch);
+        // SAFETY: the job reference escapes only to the pool's workers, and
+        // this function does not return until `active` drops back to zero,
+        // i.e. until no worker holds the reference any more.
+        let job = Job {
+            task: unsafe {
+                std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(task)
+            },
+        };
+        {
+            let mut st = relock(&self.state);
+            st.job = Some(job);
+            st.epoch += 1;
+            st.active = self.workers;
+            self.work_cv.notify_all();
+        }
+        // run the caller's share behind catch_unwind too: unwinding out of
+        // this frame while workers still execute the job would dangle the
+        // transmuted reference — the wait below must happen on every path
+        let caller = std::panic::catch_unwind(std::panic::AssertUnwindSafe(task));
+        let worker_panic = {
+            let mut st = relock(&self.state);
+            while st.active > 0 {
+                st = rewait(&self.done_cv, st);
+            }
+            st.job = None;
+            st.panic.take()
+        };
+        if let Err(payload) = caller {
+            std::panic::resume_unwind(payload);
+        }
+        if let Some(payload) = worker_panic {
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<PoolShared>) {
+    // A worker never exposes its pool's parallelism to nested adapters:
+    // par-calls made from inside a job run inline on the worker.
+    CURRENT_THREADS.with(|c| c.set(1));
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = relock(&shared.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    seen_epoch = st.epoch;
+                    break st.job.expect("epoch bumped with a job in the slot");
+                }
+                st = rewait(&shared.work_cv, st);
+            }
+        };
+        // a panicking job must not kill the worker (active would never
+        // drop to zero and every later dispatch would deadlock): catch it,
+        // hand the payload to the dispatcher, keep serving
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (job.task)()));
+        let mut st = relock(&shared.state);
+        if let Err(payload) = result {
+            st.panic.get_or_insert(payload);
+        }
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// A pool of persistent parked workers: par-adapters called inside
+/// [`install`](Self::install) split work across this many threads
+/// (`num_threads − 1` parked workers plus the calling thread), spawned
+/// **once** at construction.
 pub struct ThreadPool {
     num_threads: usize,
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ThreadPool").field("num_threads", &self.num_threads).finish()
+    }
 }
 
 impl ThreadPool {
-    /// Run `f` with this pool's worker count active on the calling thread.
+    fn spawn(num_threads: usize) -> Self {
+        let workers = num_threads.saturating_sub(1);
+        let shared = Arc::new(PoolShared {
+            workers,
+            state: Mutex::new(PoolState {
+                job: None,
+                epoch: 0,
+                active: 0,
+                panic: None,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            dispatch: Mutex::new(()),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                SPAWNED_THREADS.fetch_add(1, Ordering::Relaxed);
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(shared))
+            })
+            .collect();
+        ThreadPool { num_threads, shared, handles }
+    }
+
+    /// Run `f` with this pool's workers active for every par-adapter call
+    /// made on the calling thread. Panic-safe: the pool-stack entry and
+    /// the thread-count override are unwound with the panic, so a caught
+    /// panic (tests, proptest shrinking) cannot leave a stale pool
+    /// installed on the thread.
     pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
-        CURRENT_THREADS.with(|c| {
-            let prev = c.get();
-            c.set(self.num_threads);
-            let out = f();
-            c.set(prev);
-            out
-        })
+        struct InstallGuard {
+            prev_threads: usize,
+        }
+        impl Drop for InstallGuard {
+            fn drop(&mut self) {
+                POOL_STACK.with(|s| {
+                    s.borrow_mut().pop();
+                });
+                CURRENT_THREADS.with(|c| c.set(self.prev_threads));
+            }
+        }
+        let prev_threads = CURRENT_THREADS.with(|c| c.get());
+        CURRENT_THREADS.with(|c| c.set(self.num_threads));
+        POOL_STACK.with(|s| s.borrow_mut().push(Arc::clone(&self.shared)));
+        let _guard = InstallGuard { prev_threads };
+        f()
     }
 
     pub fn current_num_threads(&self) -> usize {
         self.num_threads
     }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = relock(&self.shared.state);
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The pool the innermost enclosing `install` put on this thread, if any.
+fn current_pool() -> Option<Arc<PoolShared>> {
+    POOL_STACK.with(|s| s.borrow().last().cloned())
 }
 
 /// Fixed group grid: split `len` items into at most 64 contiguous groups.
@@ -112,32 +337,50 @@ fn group_bounds(len: usize) -> Vec<(usize, usize)> {
 }
 
 /// Run `work(group_index, lo, hi)` over the group grid on the active worker
-/// count, returning per-group outputs in group order.
+/// count, returning per-group outputs in group order. Dispatches to the
+/// installed pool's persistent workers when one is active, falling back to
+/// one-shot scoped workers otherwise.
 fn run_groups<O: Send>(len: usize, work: &(impl Fn(usize, usize, usize) -> O + Sync)) -> Vec<O> {
     let bounds = group_bounds(len);
-    let workers = current_num_threads().min(bounds.len()).max(1);
-    if workers <= 1 {
+    let threads = current_num_threads().min(bounds.len()).max(1);
+    if threads <= 1 {
         return bounds.iter().enumerate().map(|(g, &(lo, hi))| work(g, lo, hi)).collect();
     }
     let cursor = AtomicUsize::new(0);
     let mut slots: Vec<Option<O>> = Vec::new();
     slots.resize_with(bounds.len(), || None);
-    let slots = Mutex::new(&mut slots);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let g = cursor.fetch_add(1, Ordering::Relaxed);
-                if g >= bounds.len() {
-                    break;
-                }
-                let (lo, hi) = bounds[g];
-                let out = work(g, lo, hi);
-                slots.lock().unwrap()[g] = Some(out);
-            });
+    {
+        let slots = Mutex::new(&mut slots);
+        let task = || loop {
+            let g = cursor.fetch_add(1, Ordering::Relaxed);
+            if g >= bounds.len() {
+                break;
+            }
+            let (lo, hi) = bounds[g];
+            let out = work(g, lo, hi);
+            slots.lock().unwrap()[g] = Some(out);
+        };
+        match current_pool() {
+            Some(pool) => pool.run(&task),
+            None => {
+                std::thread::scope(|scope| {
+                    for _ in 0..threads {
+                        SPAWNED_THREADS.fetch_add(1, Ordering::Relaxed);
+                        scope.spawn(task);
+                    }
+                });
+            }
         }
-    });
-    slots.into_inner().unwrap().iter_mut().map(|s| s.take().unwrap()).collect()
+    }
+    slots.iter_mut().map(|s| s.take().unwrap()).collect()
 }
+
+/// A raw base pointer the disjoint-range adapters share across workers.
+/// Soundness rests on `run_groups` handing out non-overlapping index
+/// ranges, so no element is reachable from two workers.
+struct SyncPtr<T>(*mut T);
+unsafe impl<T> Sync for SyncPtr<T> {}
+unsafe impl<T> Send for SyncPtr<T> {}
 
 // ---------------------------------------------------------------------------
 // Index-driven parallel iterators (ranges, slices)
@@ -242,9 +485,16 @@ impl<T: Sync> ParallelSlice<T> for Vec<T> {
     }
 }
 
-/// `par_chunks_mut()` on mutable slices.
+/// `par_iter_mut()` / `par_chunks_mut()` on mutable slices.
 pub trait ParallelSliceMut<T: Send> {
     fn as_par_slice_mut(&mut self) -> &mut [T];
+
+    /// Indexed mutable parallel iteration — the idiomatic replacement for
+    /// the `par_chunks_mut(1)` anti-pattern (per-item chunk bookkeeping
+    /// for what is really a disjoint indexed loop).
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { slice: self.as_par_slice_mut() }
+    }
 
     fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
         assert!(chunk_size > 0, "chunk size must be positive");
@@ -261,6 +511,39 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
 impl<T: Send> ParallelSliceMut<T> for Vec<T> {
     fn as_par_slice_mut(&mut self) -> &mut [T] {
         self
+    }
+}
+
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    pub fn enumerate(self) -> ParIterMutEnum<'a, T> {
+        ParIterMutEnum { slice: self.slice }
+    }
+
+    pub fn for_each(self, f: impl Fn(&'a mut T) + Sync) {
+        self.enumerate().for_each(move |(_, item)| f(item));
+    }
+}
+
+pub struct ParIterMutEnum<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMutEnum<'a, T> {
+    pub fn for_each(self, f: impl Fn((usize, &'a mut T)) + Sync) {
+        let len = self.slice.len();
+        let base = SyncPtr(self.slice.as_mut_ptr());
+        let base = &base;
+        run_groups(len, &|_, lo, hi| {
+            for i in lo..hi {
+                // SAFETY: group index ranges are disjoint, so each element
+                // is handed out exactly once across all workers.
+                f((i, unsafe { &mut *base.0.add(i) }));
+            }
+        });
     }
 }
 
@@ -318,28 +601,23 @@ pub struct ParChunksMutEnum<'a, T> {
 
 impl<'a, T: Send> ParChunksMutEnum<'a, T> {
     pub fn for_each(self, f: impl Fn((usize, &'a mut [T])) + Sync) {
-        let workers = current_num_threads();
-        if workers <= 1 {
-            for (ci, chunk) in self.slice.chunks_mut(self.chunk_size).enumerate() {
-                f((ci, chunk));
-            }
+        let len = self.slice.len();
+        if len == 0 {
             return;
         }
-        // Disjoint &mut chunks distributed through a worklist; each worker
-        // pops the next chunk. Mutex cost is per chunk, not per element.
-        let work: Mutex<Vec<(usize, &'a mut [T])>> =
-            Mutex::new(self.slice.chunks_mut(self.chunk_size).enumerate().rev().collect());
-        let n_chunks = work.lock().unwrap().len();
-        let workers = workers.min(n_chunks).max(1);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let item = work.lock().unwrap().pop();
-                    match item {
-                        Some(pair) => f(pair),
-                        None => break,
-                    }
-                });
+        let chunk = self.chunk_size;
+        let n_chunks = len.div_ceil(chunk);
+        let base = SyncPtr(self.slice.as_mut_ptr());
+        let base = &base;
+        run_groups(n_chunks, &|_, lo, hi| {
+            for ci in lo..hi {
+                let start = ci * chunk;
+                let end = (start + chunk).min(len);
+                // SAFETY: chunk index ranges are disjoint across groups and
+                // chunks themselves never overlap, so each element is
+                // reachable from exactly one worker.
+                let s = unsafe { std::slice::from_raw_parts_mut(base.0.add(start), end - start) };
+                f((ci, s));
             }
         });
     }
@@ -357,12 +635,14 @@ mod tests {
 
     #[test]
     fn range_map_collect_preserves_order() {
+        let _serial = COUNTER_TESTS.lock().unwrap();
         let v: Vec<u64> = (0u64..1000).into_par_iter().map(|i| i * 2).collect();
         assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<u64>>());
     }
 
     #[test]
     fn sum_is_thread_count_independent() {
+        let _serial = COUNTER_TESTS.lock().unwrap();
         let items: Vec<f64> = (0..10_000).map(|i| (i as f64).sin()).collect();
         let sum_with = |threads| {
             let pool = ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
@@ -377,6 +657,7 @@ mod tests {
 
     #[test]
     fn par_chunks_mut_writes_every_chunk() {
+        let _serial = COUNTER_TESTS.lock().unwrap();
         let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
         let mut data = vec![0usize; 103];
         pool.install(|| {
@@ -390,7 +671,21 @@ mod tests {
     }
 
     #[test]
+    fn par_iter_mut_visits_every_item_once() {
+        let _serial = COUNTER_TESTS.lock().unwrap();
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let mut data = vec![0u32; 157];
+        pool.install(|| {
+            data.par_iter_mut().enumerate().for_each(|(i, slot)| {
+                *slot += i as u32 + 1;
+            });
+        });
+        assert_eq!(data, (1..=157).collect::<Vec<u32>>());
+    }
+
+    #[test]
     fn par_iter_on_vec_collects_in_order() {
+        let _serial = COUNTER_TESTS.lock().unwrap();
         let input: Vec<(u32, u32)> = (0..97).map(|i| (i, i + 1)).collect();
         let out: Vec<u32> = input.par_iter().map(|&(a, b)| a + b).collect();
         assert_eq!(out, (0..97).map(|i| 2 * i + 1).collect::<Vec<u32>>());
@@ -398,6 +693,7 @@ mod tests {
 
     #[test]
     fn install_nests_and_restores() {
+        let _serial = COUNTER_TESTS.lock().unwrap();
         let outer = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
         let inner = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
         outer.install(|| {
@@ -409,6 +705,7 @@ mod tests {
 
     #[test]
     fn par_chunks_shared_enumerates_all() {
+        let _serial = COUNTER_TESTS.lock().unwrap();
         use std::sync::atomic::{AtomicUsize, Ordering};
         let data: Vec<u32> = (0..55).collect();
         let seen = AtomicUsize::new(0);
@@ -417,5 +714,87 @@ mod tests {
             seen.fetch_add(chunk.len(), Ordering::Relaxed);
         });
         assert_eq!(seen.load(Ordering::Relaxed), 55);
+    }
+
+    /// Serialises every test in this module: the spawn counter is global
+    /// and adapter calls outside `install` spawn fallback workers on
+    /// multi-core hosts, so any concurrently-running test would skew the
+    /// exact-delta assertions of the counter tests.
+    static COUNTER_TESTS: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn pool_spawns_threads_once_per_lifetime() {
+        let _serial = COUNTER_TESTS.lock().unwrap();
+        let before = spawned_thread_count();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let after_build = spawned_thread_count();
+        assert_eq!(after_build - before, 3, "a 4-thread pool spawns exactly 3 workers");
+        // dozens of installs and parallel phases: not one more OS thread
+        for round in 0..25 {
+            let sum: u64 =
+                pool.install(|| (0u64..500).into_par_iter().map(|i| i + round).sum::<u64>());
+            assert_eq!(sum, (0u64..500).map(|i| i + round).sum::<u64>());
+            let mut data = vec![0u8; 64];
+            pool.install(|| {
+                data.par_iter_mut().enumerate().for_each(|(i, s)| *s = i as u8);
+            });
+        }
+        assert_eq!(
+            spawned_thread_count(),
+            after_build,
+            "par-adapter calls inside install must reuse the parked workers"
+        );
+    }
+
+    #[test]
+    fn pool_results_match_serial_across_many_jobs() {
+        let _serial = COUNTER_TESTS.lock().unwrap();
+        let pool = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        for n in [0usize, 1, 7, 64, 65, 1000] {
+            let par: Vec<usize> = pool.install(|| (0..n).into_par_iter().map(|i| i * i).collect());
+            assert_eq!(par, (0..n).map(|i| i * i).collect::<Vec<usize>>());
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let _serial = COUNTER_TESTS.lock().unwrap();
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| {
+                (0..64usize).into_par_iter().for_each(|i| {
+                    assert!(i < 10, "deliberate job panic");
+                });
+            });
+        }));
+        assert!(boom.is_err(), "the job panic must propagate to the dispatcher");
+        // the pool must still dispatch (a dead worker would deadlock here)
+        let v: Vec<usize> = pool.install(|| (0usize..100).into_par_iter().map(|i| i + 1).collect());
+        assert_eq!(v, (1..=100).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn install_unwinds_cleanly_on_panic() {
+        let _serial = COUNTER_TESTS.lock().unwrap();
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let boom = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| panic!("deliberate install panic"));
+        }));
+        assert!(boom.is_err());
+        // the guard must have popped the stale pool and restored the
+        // thread count, so adapters keep working outside any install
+        assert_eq!(current_num_threads(), default_threads());
+        let sum: u64 = (0u64..100).into_par_iter().map(|i| i).sum();
+        assert_eq!(sum, 4950);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline_without_workers() {
+        let _serial = COUNTER_TESTS.lock().unwrap();
+        let before = spawned_thread_count();
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let v: Vec<u32> = pool.install(|| (0u32..100).into_par_iter().map(|i| i).collect());
+        assert_eq!(v.len(), 100);
+        assert_eq!(spawned_thread_count(), before, "1-thread pool never spawns");
     }
 }

@@ -18,7 +18,8 @@
 //!   on the incremental-quality hot path, Jacobi, greedy quality-driven,
 //!   the rayon-parallel static-chunk engine, colored deterministic
 //!   parallel Gauss–Seidel, and the domain-decomposed
-//!   [`smooth::PartitionedEngine`]), with optional memory-access tracing.
+//!   [`smooth::PartitionedEngine`], resident halo-exchange
+//!   [`smooth::ResidentEngine`]), with optional memory-access tracing.
 //! * [`cache`] — the memory-behaviour substrate: exact reuse-distance
 //!   analysis, an inclusive multi-level LRU cache simulator (Westmere-EX
 //!   preset), the stack-distance miss model, the Eq. (2) cycle-cost model,
@@ -61,8 +62,9 @@ pub mod prelude {
     pub use lms_mesh::{quality::QualityMetric, Point2, TriMesh};
     pub use lms_mesh3d::{OrderingKind3, SmoothParams3, TetMesh};
     pub use lms_order::{OrderingKind, Permutation};
-    pub use lms_part::{Partition, PartitionMethod, PartitionStats};
+    pub use lms_part::{ExchangeSchedule, Partition, PartitionMethod, PartitionStats};
     pub use lms_smooth::{
-        IterationPolicy, PartitionedEngine, SmoothEngine, SmoothParams, SmoothReport, Weighting,
+        IterationPolicy, PartitionedEngine, ResidentEngine, SmoothEngine, SmoothParams,
+        SmoothReport, Weighting,
     };
 }
