@@ -18,6 +18,9 @@
 //!   (FeasNewt/Mesquite-style, Munson & Hovland \[19\]);
 //! * [`pipeline`] — composable improvement pipelines with per-stage
 //!   quality bookkeeping;
+//! * [`pipeline3`] — the tetrahedral pipeline twin, with the
+//!   dimension-generic partitioned/resident smoothing stages
+//!   (`Stage3::PartitionedSmooth3` / `Stage3::ResidentSmooth3`);
 //! * [`dynamic`] — the static-vs-dynamic reordering study of
 //!   Shontz & Knupp \[17\] (§2), re-run on this substrate.
 //!
@@ -39,6 +42,7 @@ pub mod dynamic;
 pub mod edges;
 pub mod optsmooth;
 pub mod pipeline;
+pub mod pipeline3;
 pub mod swap;
 pub mod untangle;
 
@@ -47,5 +51,6 @@ pub use dynamic::{smooth_with_strategy, DynamicReport, ReorderStrategy, RoundSta
 pub use edges::{EdgeTopology, FlipError, TopologyError};
 pub use optsmooth::{opt_smooth, worst_vertex_quality, OptSmoothOptions};
 pub use pipeline::{PartitionSpec, Pipeline, PipelineReport, Stage, StageOutcome};
+pub use pipeline3::{Pipeline3, Stage3};
 pub use swap::{is_delaunay, swap_until_stable, SwapCriterion, SwapOptions, SwapReport};
 pub use untangle::{count_inverted, tangle_vertices, untangle, UntangleOptions, UntangleReport};

@@ -46,6 +46,7 @@ pub const ALL: &[&str] = &[
     "tet",
     "tet-quality",
     "tet-scaling",
+    "scaling3d",
     "engines",
     "hotpath",
     "partition",
@@ -91,6 +92,7 @@ pub fn run(name: &str, cfg: &ExpConfig) -> Option<String> {
         "tet" => tet::tet(cfg),
         "tet-quality" => tet::tet_quality(cfg),
         "tet-scaling" => tet::tet_scaling(cfg),
+        "scaling3d" => tet::scaling3d(cfg),
         _ => return None,
     })
 }
@@ -121,6 +123,6 @@ mod tests {
             assert!(!name.is_empty());
             assert!(seen.insert(name), "duplicate experiment name {name}");
         }
-        assert_eq!(ALL.len(), 36);
+        assert_eq!(ALL.len(), 37);
     }
 }

@@ -32,11 +32,13 @@
 
 pub mod adjacency;
 pub mod boundary;
+pub mod domain;
 pub mod generators;
 pub mod geometry;
 pub mod io;
 pub mod mesh;
 pub mod order;
+pub mod part3;
 pub mod quality;
 pub mod refine;
 pub mod sfc;
@@ -44,9 +46,11 @@ pub mod smooth;
 
 pub use adjacency::Adjacency3;
 pub use boundary::Boundary3;
+pub use domain::{partition_coords3, partition_tet_mesh, vertex_volume_weights, TetDomain};
 pub use geometry::Point3;
 pub use mesh::{corner_tet, Mesh3Error, TetMesh};
 pub use order::{apply_permutation3, compute_ordering3, rdr_ordering3, OrderingKind3};
+pub use part3::{smooth_partitioned3, smooth_resident3, PartitionedEngine3, ResidentEngine3};
 pub use quality::TetQualityMetric;
 pub use refine::{refine_levels3, refine_midpoint3};
 pub use sfc::{hilbert3_ordering, morton3_ordering};

@@ -2,20 +2,29 @@
 //! 3D — §6 "extensions of Laplacian mesh smoothing").
 //!
 //! Equation (1) is dimension-agnostic: each interior vertex moves to the
-//! arithmetic mean of its neighbours' positions. The engine mirrors the 2D
-//! [`lms_smooth::SmoothEngine`]: Gauss–Seidel or Jacobi sweeps, the paper's
-//! improvement-below-tolerance convergence criterion, an optional smart
-//! (non-regressing, inversion-safe) commit rule, access tracing through the
-//! same [`AccessSink`] protocol `lms-cache` consumes, and a deterministic
-//! rayon-parallel Jacobi variant with the paper's static chunk schedule.
+//! arithmetic mean of its neighbours' positions. Since PR 4 the engine *is*
+//! the 2D engine: [`SmoothEngine3`] is a thin wrapper that bundles the tet
+//! mesh's topology into a [`TetDomain`](crate::domain::TetDomain) and runs
+//! `lms-smooth`'s **dimension-generic** sweep bodies — the traced reference
+//! path ([`lms_smooth::smooth_reference_on`]) for serial runs and the
+//! colored deterministic Gauss–Seidel driver
+//! ([`lms_smooth::colored::smooth_colored_on`]) for parallel ones. The
+//! copy-pasted serial/colored sweep bodies this file used to carry are
+//! gone; only the 3D-specific pieces (parameters, the static-chunk Jacobi
+//! engine, the colored class computation) remain.
+//!
+//! Partitioned and resident (halo-exchange) smoothing over a tet-mesh
+//! decomposition live in [`crate::part3`].
 
 use crate::adjacency::Adjacency3;
 use crate::boundary::Boundary3;
-use crate::geometry::{signed_volume, Point3};
+use crate::geometry::Point3;
 use crate::mesh::TetMesh;
 use crate::quality::{mesh_quality, TetQualityMetric};
+use lms_smooth::domain::DomainConfig;
 use lms_smooth::stats::{IterationStats, SmoothReport};
 use lms_smooth::trace::{AccessSink, NullSink};
+use lms_smooth::{UpdateScheme, Weighting};
 use rayon::prelude::*;
 
 /// Update scheme for the 3D sweep.
@@ -92,9 +101,25 @@ impl SmoothParams3 {
     pub fn smooth(&self, mesh: &mut TetMesh) -> SmoothReport {
         SmoothEngine3::new(mesh, self.clone()).smooth(mesh)
     }
+
+    /// The dimension-free parameter slice the generic engines consume
+    /// (3D smoothing is always uniform-weighted — Equation (1)).
+    pub(crate) fn domain_config(&self) -> DomainConfig {
+        DomainConfig {
+            tol: self.tol,
+            max_iters: self.max_iters,
+            update: match self.update {
+                UpdateScheme3::GaussSeidel => UpdateScheme::GaussSeidel,
+                UpdateScheme3::Jacobi => UpdateScheme::Jacobi,
+            },
+            smart: self.smart,
+            weighting: Weighting::Uniform,
+        }
+    }
 }
 
-/// A 3D smoothing engine bound to one mesh topology.
+/// A 3D smoothing engine bound to one mesh topology — a thin wrapper over
+/// the dimension-generic engines of `lms-smooth`.
 #[derive(Debug, Clone)]
 pub struct SmoothEngine3 {
     params: SmoothParams3,
@@ -106,6 +131,9 @@ pub struct SmoothEngine3 {
     /// Lazily-computed interior color classes for the colored parallel
     /// engine (topology-only, so one computation serves every run).
     colored_classes: std::sync::OnceLock<Vec<Vec<u32>>>,
+    /// Cached persistent worker pool: the parallel engines spawn OS
+    /// threads once per engine lifetime, not once per `smooth()` call.
+    pub(crate) pool: lms_smooth::PoolCache,
 }
 
 impl SmoothEngine3 {
@@ -121,6 +149,7 @@ impl SmoothEngine3 {
             visit,
             tets: mesh.tets().to_vec(),
             colored_classes: std::sync::OnceLock::new(),
+            pool: lms_smooth::PoolCache::new(),
         }
     }
 
@@ -144,43 +173,31 @@ impl SmoothEngine3 {
         &self.visit
     }
 
-    /// Mean quality of the tets incident to `v` with `v`'s position
-    /// overridden by `pos_v`; inverted (non-positive-volume) tets score 0.
-    fn local_quality_with(&self, coords: &[Point3], v: u32, pos_v: Point3) -> f64 {
-        let ts = self.adj.tets_of(v);
-        if ts.is_empty() {
-            return 0.0;
-        }
-        let at = |u: u32| if u == v { pos_v } else { coords[u as usize] };
-        ts.iter()
-            .map(|&t| {
-                let [a, b, c, d] = self.tets[t as usize];
-                let (pa, pb, pc, pd) = (at(a), at(b), at(c), at(d));
-                if signed_volume(pa, pb, pc, pd) <= 0.0 {
-                    0.0
-                } else {
-                    self.params.metric.tet_quality(pa, pb, pc, pd)
-                }
-            })
-            .sum::<f64>()
-            / ts.len() as f64
+    /// The engine's [`TetDomain`](crate::domain::TetDomain) view — the
+    /// bundle the generic sweeps run against.
+    pub fn domain(&self) -> crate::domain::TetDomain<'_> {
+        crate::domain::TetDomain::new(&self.adj, &self.boundary, &self.tets, self.params.metric)
     }
 
-    /// Smart-commit validity rule (3D twin of the 2D engine's): a move may
-    /// never turn a currently valid vertex star into an invalid one.
-    fn commit_keeps_validity(&self, coords: &[Point3], v: u32, candidate: Point3) -> bool {
-        let at = |u: u32, pos_v: Point3| if u == v { pos_v } else { coords[u as usize] };
-        let min_vol = |pos_v: Point3| {
-            self.adj
-                .tets_of(v)
-                .iter()
-                .map(|&t| {
-                    let [a, b, c, d] = self.tets[t as usize];
-                    signed_volume(at(a, pos_v), at(b, pos_v), at(c, pos_v), at(d, pos_v))
-                })
-                .fold(f64::INFINITY, f64::min)
-        };
-        min_vol(candidate) > 0.0 || min_vol(coords[v as usize]) <= 0.0
+    /// Replace the sweep visit order (the 3D twin of the 2D engine's
+    /// iteration-reordering hook, and the serial-equivalence oracle for
+    /// the partitioned/resident 3D engines). Non-interior vertices in
+    /// `order` are dropped; each interior vertex must appear exactly once.
+    pub fn with_visit_order(mut self, order: Vec<u32>) -> Self {
+        let filtered: Vec<u32> =
+            order.into_iter().filter(|&v| self.boundary.is_interior(v)).collect();
+        assert_eq!(
+            filtered.len(),
+            self.boundary.num_interior(),
+            "visit order must cover every interior vertex exactly once"
+        );
+        let mut seen = vec![false; self.adj.num_vertices()];
+        for &v in &filtered {
+            assert!(!seen[v as usize], "vertex {v} visited twice");
+            seen[v as usize] = true;
+        }
+        self.visit = filtered;
+        self
     }
 
     /// Smooth `mesh` in place until convergence or `max_iters`.
@@ -191,106 +208,35 @@ impl SmoothEngine3 {
     /// [`smooth`](Self::smooth) while reporting every vertex-record access
     /// to `sink` (one event for the smoothed vertex, one per gathered
     /// neighbour — the same stream shape the 2D engine emits, so the whole
-    /// `lms-cache` pipeline applies unchanged).
+    /// `lms-cache` pipeline applies unchanged). Runs the generic reference
+    /// path ([`lms_smooth::smooth_reference_on`]) over the engine's
+    /// [`TetDomain`](crate::domain::TetDomain).
     pub fn smooth_traced(&self, mesh: &mut TetMesh, sink: &mut impl AccessSink) -> SmoothReport {
         assert_eq!(
             mesh.num_vertices(),
             self.adj.num_vertices(),
             "engine was built for a different mesh"
         );
-        let initial_quality = mesh_quality(mesh, &self.adj, self.params.metric);
-        let mut report = SmoothReport::starting(initial_quality);
-        let mut quality = initial_quality;
-        let mut scratch: Vec<Point3> = Vec::new();
-
-        for iter in 1..=self.params.max_iters {
-            match self.params.update {
-                UpdateScheme3::GaussSeidel => self.sweep_gauss_seidel(mesh.coords_mut(), sink),
-                UpdateScheme3::Jacobi => {
-                    scratch.clear();
-                    scratch.extend_from_slice(mesh.coords());
-                    self.sweep_jacobi(&scratch, mesh.coords_mut(), sink);
-                }
-            }
-            sink.end_iteration();
-
-            let new_quality = mesh_quality(mesh, &self.adj, self.params.metric);
-            let improvement = new_quality - quality;
-            report.iterations.push(IterationStats { iter, quality: new_quality, improvement });
-            quality = new_quality;
-            if improvement < self.params.tol {
-                report.converged = true;
-                break;
-            }
-        }
-        report.final_quality = quality;
-        report
-    }
-
-    fn sweep_gauss_seidel(&self, coords: &mut [Point3], sink: &mut impl AccessSink) {
-        for &v in &self.visit {
-            let ns = self.adj.neighbors(v);
-            if ns.is_empty() {
-                continue;
-            }
-            sink.access(v);
-            let mut sum = Point3::ZERO;
-            for &w in ns {
-                sink.access(w);
-                sum += coords[w as usize];
-            }
-            let candidate = sum / ns.len() as f64;
-            if self.params.smart {
-                let before = self.local_quality_with(coords, v, coords[v as usize]);
-                if self.local_quality_with(coords, v, candidate) >= before
-                    && self.commit_keeps_validity(coords, v, candidate)
-                {
-                    coords[v as usize] = candidate;
-                }
-            } else {
-                coords[v as usize] = candidate;
-            }
-        }
-    }
-
-    fn sweep_jacobi(&self, prev: &[Point3], next: &mut [Point3], sink: &mut impl AccessSink) {
-        for &v in &self.visit {
-            let ns = self.adj.neighbors(v);
-            if ns.is_empty() {
-                continue;
-            }
-            sink.access(v);
-            let mut sum = Point3::ZERO;
-            for &w in ns {
-                sink.access(w);
-                sum += prev[w as usize];
-            }
-            let candidate = sum / ns.len() as f64;
-            if self.params.smart {
-                let before = self.local_quality_with(prev, v, prev[v as usize]);
-                if self.local_quality_with(prev, v, candidate) >= before
-                    && self.commit_keeps_validity(prev, v, candidate)
-                {
-                    next[v as usize] = candidate;
-                }
-            } else {
-                next[v as usize] = candidate;
-            }
-        }
+        let dom = self.domain();
+        lms_smooth::smooth_reference_on(
+            &dom,
+            &self.params.domain_config(),
+            &self.visit,
+            mesh.coords_mut(),
+            sink,
+        )
     }
 
     /// Deterministic parallel smoothing: static contiguous vertex chunks,
     /// Jacobi (double-buffered) updates — the 3D twin of
     /// [`lms_smooth::SmoothEngine::smooth_parallel`]. Results are
-    /// bit-identical for any `num_threads`.
+    /// bit-identical for any `num_threads`. Workers come from the
+    /// engine-cached persistent pool (spawned once per engine lifetime).
     pub fn smooth_parallel(&self, mesh: &mut TetMesh, num_threads: usize) -> SmoothReport {
         assert!(num_threads >= 1, "need at least one thread");
         let n = mesh.num_vertices();
         assert_eq!(n, self.adj.num_vertices(), "engine was built for a different mesh");
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(num_threads)
-            .build()
-            .expect("rayon pool construction cannot fail with a positive thread count");
+        let pool = self.pool.get(num_threads);
 
         let params = &self.params;
         let adj = &self.adj;
@@ -342,19 +288,7 @@ impl SmoothEngine3 {
         report.final_quality = quality;
         report
     }
-}
 
-/// Colored deterministic parallel Gauss–Seidel (3D).
-///
-/// The 3D twin of `lms_smooth`'s colored engine: greedily color the
-/// vertex–vertex graph ([`lms_order::coloring::greedy_coloring_on`] over
-/// [`Adjacency3`]), then sweep one color class at a time, evaluating the
-/// class's candidates (and, in smart mode, the commit guard) in parallel
-/// from the pre-class coordinates and committing serially. All four
-/// corners of a tet are mutually adjacent, so same-class vertices share
-/// neither an edge nor a tet — in-place semantics are race-free and the
-/// result is bitwise-deterministic for any thread count.
-impl SmoothEngine3 {
     /// Interior vertices of each color class, ascending within a class.
     /// Computed once per engine (topology-only) and cached.
     pub fn interior_color_classes(&self) -> &[Vec<u32>] {
@@ -369,8 +303,23 @@ impl SmoothEngine3 {
         })
     }
 
-    /// In-place colored Gauss–Seidel smoothing; honours `params.smart`.
-    /// Rejects the Jacobi update scheme (use
+    /// The class-major visit order: interior vertices grouped by color,
+    /// ascending within each class — the serial order
+    /// [`smooth_parallel_colored`](Self::smooth_parallel_colored) is
+    /// exactly equal to (feed it to
+    /// [`with_visit_order`](Self::with_visit_order)).
+    pub fn colored_visit_order(&self) -> Vec<u32> {
+        self.interior_color_classes().iter().flatten().copied().collect()
+    }
+
+    /// Colored deterministic parallel Gauss–Seidel (3D): the generic
+    /// colored driver ([`lms_smooth::colored::smooth_colored_on`]) over
+    /// the engine's domain view. All four corners of a tet are mutually
+    /// adjacent, so same-class vertices share neither an edge nor a tet —
+    /// in-place semantics are race-free and the result is
+    /// bitwise-deterministic for any thread count. Honours `params.smart`
+    /// through the same incremental quality-cache protocol as the 2D
+    /// engine; rejects the Jacobi update scheme (use
     /// [`smooth_parallel`](Self::smooth_parallel), already deterministic).
     pub fn smooth_parallel_colored(&self, mesh: &mut TetMesh, num_threads: usize) -> SmoothReport {
         assert!(num_threads >= 1, "need at least one thread");
@@ -381,70 +330,16 @@ impl SmoothEngine3 {
             UpdateScheme3::GaussSeidel,
             "colored smoothing is an in-place (Gauss-Seidel) schedule"
         );
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(num_threads)
-            .build()
-            .expect("rayon pool construction cannot fail with a positive thread count");
-
-        let params = &self.params;
+        let pool = self.pool.get(num_threads);
         let classes = self.interior_color_classes();
-
-        let initial_quality = mesh_quality(mesh, &self.adj, params.metric);
-        let mut report = SmoothReport::starting(initial_quality);
-        let mut quality = initial_quality;
-
-        for iter in 1..=params.max_iters {
-            for class in classes {
-                if class.is_empty() {
-                    continue;
-                }
-                // parallel candidate + guard evaluation on the pre-class
-                // snapshot (same-class vertices share no edge or tet)
-                let moves: Vec<Option<Point3>> = pool.install(|| {
-                    use rayon::prelude::*;
-                    let coords: &[Point3] = mesh.coords();
-                    class
-                        .par_iter()
-                        .map(|&v| {
-                            let ns = self.adj.neighbors(v);
-                            if ns.is_empty() {
-                                return None;
-                            }
-                            let mut sum = Point3::ZERO;
-                            for &w in ns {
-                                sum += coords[w as usize];
-                            }
-                            let candidate = sum / ns.len() as f64;
-                            if self.params.smart {
-                                let before = self.local_quality_with(coords, v, coords[v as usize]);
-                                let ok = self.local_quality_with(coords, v, candidate) >= before
-                                    && self.commit_keeps_validity(coords, v, candidate);
-                                ok.then_some(candidate)
-                            } else {
-                                Some(candidate)
-                            }
-                        })
-                        .collect()
-                });
-                let coords = mesh.coords_mut();
-                for (&v, mv) in class.iter().zip(moves) {
-                    if let Some(p) = mv {
-                        coords[v as usize] = p;
-                    }
-                }
-            }
-
-            let new_quality = mesh_quality(mesh, &self.adj, params.metric);
-            let improvement = new_quality - quality;
-            report.iterations.push(IterationStats { iter, quality: new_quality, improvement });
-            quality = new_quality;
-            if improvement < params.tol {
-                report.converged = true;
-                break;
-            }
-        }
-        report.final_quality = quality;
-        report
+        let dom = self.domain();
+        lms_smooth::colored::smooth_colored_on(
+            &dom,
+            &self.params.domain_config(),
+            classes,
+            mesh.coords_mut(),
+            &pool,
+        )
     }
 }
 
@@ -483,6 +378,25 @@ mod tests {
         let classes = engine.interior_color_classes();
         let total: usize = classes.iter().map(|c| c.len()).sum();
         assert_eq!(total, engine.boundary().num_interior());
+    }
+
+    #[test]
+    fn colored_equals_serial_class_major_order_3d() {
+        // the colored engine is exactly serial Gauss–Seidel under the
+        // class-major visit order — the 2D bit-identity property, now
+        // holding in 3D through the same generic sweep body
+        for smart in [false, true] {
+            let m0 = perturbed_tet_grid(6, 6, 5, 0.35, 7);
+            let params = SmoothParams3::paper().with_smart(smart).with_max_iters(3).with_tol(-1.0);
+            let engine = SmoothEngine3::new(&m0, params.clone());
+            let mut colored = m0.clone();
+            engine.smooth_parallel_colored(&mut colored, 3);
+            let serial =
+                SmoothEngine3::new(&m0, params).with_visit_order(engine.colored_visit_order());
+            let mut ser = m0.clone();
+            serial.smooth(&mut ser);
+            assert_eq!(colored.coords(), ser.coords(), "smart={smart}");
+        }
     }
 
     use lms_smooth::trace::{CountSink, VecSink};
@@ -580,6 +494,27 @@ mod tests {
         SmoothEngine3::new(&m0, params.clone()).smooth_parallel(&mut a, 1);
         SmoothEngine3::new(&m0, params).smooth_parallel(&mut b, 3);
         assert_eq!(a.coords(), b.coords());
+    }
+
+    #[test]
+    fn parallel_engines_spawn_threads_once_per_engine() {
+        // thread-pool reuse: repeated smooths on one engine must not grow
+        // the global spawned-thread counter after the first run
+        let m = perturbed_tet_grid(5, 5, 5, 0.3, 3);
+        let params = SmoothParams3::paper().with_max_iters(2).with_tol(-1.0);
+        let engine = SmoothEngine3::new(&m, params);
+        engine.smooth_parallel(&mut m.clone(), 3);
+        engine.smooth_parallel_colored(&mut m.clone(), 3);
+        let after_first = rayon::spawned_thread_count();
+        for _ in 0..4 {
+            engine.smooth_parallel(&mut m.clone(), 3);
+            engine.smooth_parallel_colored(&mut m.clone(), 3);
+        }
+        assert_eq!(
+            rayon::spawned_thread_count(),
+            after_first,
+            "repeat runs must reuse the engine's parked workers"
+        );
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub use metrics::{layout_stats, layout_stats_permuted, LayoutStats};
 pub use morton::morton_ordering;
 pub use par_rdr::{par_rdr_ordering, par_rdr_ordering_on, ChunkConcat, ParRdrOptions};
 pub use permutation::{Permutation, PermutationError};
-pub use rcb::{rcb_ordering, rcb_parts, rcb_parts_weighted};
+pub use rcb::{rcb_ordering, rcb_parts, rcb_parts_nd, rcb_parts_weighted, rcb_parts_weighted_nd};
 pub use rdr::{rdr_ordering, rdr_ordering_opts, rdr_ordering_with, RdrOptions};
 pub use sloan::sloan_ordering;
 pub use sorts::{degree_sort_ordering, quality_sort_from_values, quality_sort_ordering};

@@ -43,15 +43,32 @@ pub fn rcb_ordering(coords: &[Point2]) -> Permutation {
 /// every point. Part sizes differ by at most one, every part is a
 /// geometrically compact blob, and the assignment is deterministic (ties
 /// broken by id, exactly like [`rcb_ordering`]).
+///
+/// Thin 2D wrapper over the dimension-generic [`rcb_parts_nd`] — the
+/// split-axis rule (`extent.x >= extent.y` picks x) is exactly the ND
+/// "first longest axis wins" rule at `D = 2`, so the assignment is
+/// unchanged by the generalisation.
 pub fn rcb_parts(coords: &[Point2], num_parts: usize) -> Vec<u32> {
+    let nd: Vec<[f64; 2]> = coords.iter().map(|p| [p.x, p.y]).collect();
+    rcb_parts_nd(&nd, num_parts)
+}
+
+/// Balanced k-way RCB partition of a `D`-dimensional point set (the
+/// const-generic core behind [`rcb_parts`], and the 3D partitioner of
+/// `lms-mesh3d`'s tetrahedral decompositions): recursively median-split
+/// along the longest bounding-box axis (the first such axis on ties),
+/// sending `⌊k/2⌋/k` of the points (and parts) to the left subtree.
+/// Part sizes differ by at most one and the assignment is deterministic
+/// (ties broken by id).
+pub fn rcb_parts_nd<const D: usize>(coords: &[[f64; D]], num_parts: usize) -> Vec<u32> {
     assert!(num_parts >= 1, "need at least one part");
     let mut part = vec![0u32; coords.len()];
     if coords.is_empty() || num_parts == 1 {
         return part;
     }
     let mut ids: Vec<u32> = (0..coords.len() as u32).collect();
-    let (lo, hi) = subset_bbox(&ids, coords);
-    kway(&mut ids, coords, lo, hi, 0, num_parts as u32, &mut part);
+    let (lo, hi) = subset_bbox_nd(&ids, coords);
+    kway_nd(&mut ids, coords, lo, hi, 0, num_parts as u32, &mut part);
     part
 }
 
@@ -68,6 +85,18 @@ pub fn rcb_parts(coords: &[Point2], num_parts: usize) -> Vec<u32> {
 /// representable target), so the assignment equals [`rcb_parts`] — the
 /// oracle property the tests pin.
 pub fn rcb_parts_weighted(coords: &[Point2], weights: &[f64], num_parts: usize) -> Vec<u32> {
+    let nd: Vec<[f64; 2]> = coords.iter().map(|p| [p.x, p.y]).collect();
+    rcb_parts_weighted_nd(&nd, weights, num_parts)
+}
+
+/// Balanced k-way weighted RCB over `D`-dimensional coordinates — the
+/// const-generic core behind [`rcb_parts_weighted`], with the same
+/// weighted-median cut rule per split.
+pub fn rcb_parts_weighted_nd<const D: usize>(
+    coords: &[[f64; D]],
+    weights: &[f64],
+    num_parts: usize,
+) -> Vec<u32> {
     assert!(num_parts >= 1, "need at least one part");
     assert_eq!(coords.len(), weights.len(), "one weight per point");
     assert!(
@@ -79,13 +108,119 @@ pub fn rcb_parts_weighted(coords: &[Point2], weights: &[f64], num_parts: usize) 
         return part;
     }
     let mut ids: Vec<u32> = (0..coords.len() as u32).collect();
-    kway_weighted(&mut ids, coords, weights, 0, num_parts as u32, &mut part);
+    kway_weighted_nd(&mut ids, coords, weights, 0, num_parts as u32, &mut part);
     part
 }
 
-fn kway_weighted(
+/// Exact bounding box of an ND subset — computed once at each k-way
+/// recursion root; children derive theirs from [`median_split_nd`]'s
+/// bookkeeping, mirroring the 2D extents-down recursion.
+fn subset_bbox_nd<const D: usize>(ids: &[u32], coords: &[[f64; D]]) -> ([f64; D], [f64; D]) {
+    let mut lo = coords[ids[0] as usize];
+    let mut hi = lo;
+    for &v in ids.iter() {
+        let p = coords[v as usize];
+        for d in 0..D {
+            lo[d] = lo[d].min(p[d]);
+            hi[d] = hi[d].max(p[d]);
+        }
+    }
+    (lo, hi)
+}
+
+/// Longest axis of an exact bounding box (first axis wins ties — at
+/// `D = 2` exactly the old `(hi.x - lo.x) >= (hi.y - lo.y)` rule).
+fn longest_axis<const D: usize>(lo: &[f64; D], hi: &[f64; D]) -> usize {
+    let mut axis = 0;
+    for d in 1..D {
+        if hi[d] - lo[d] > hi[axis] - lo[axis] {
+            axis = d;
+        }
+    }
+    axis
+}
+
+/// [`median_split`]'s ND form: split `ids` at position `mid` along the
+/// longest axis of its (exact) bounding box `(lo, hi)`, ties broken by
+/// id, and return the **exact** bounding boxes of the two halves via one
+/// fused pass — the split-axis extremes carry over from the parent and
+/// the pivot, so no fresh full-box scan per child is needed.
+#[allow(clippy::type_complexity)]
+fn median_split_nd<const D: usize>(
     ids: &mut [u32],
-    coords: &[Point2],
+    coords: &[[f64; D]],
+    lo: [f64; D],
+    hi: [f64; D],
+    mid: usize,
+) -> (([f64; D], [f64; D]), ([f64; D], [f64; D])) {
+    debug_assert!(mid >= 1 && mid < ids.len());
+    let axis = longest_axis(&lo, &hi);
+    let key = |v: u32| coords[v as usize][axis];
+    ids.select_nth_unstable_by(mid, |&a, &b| {
+        key(a).partial_cmp(&key(b)).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+
+    // Split-axis extents carry over exactly: the subset's key-minimal
+    // element lands in the left half (left min = parent min) and the
+    // key-maximal in the right (right max = parent max); the pivot —
+    // first of the right half under the (key, id) order — realises the
+    // right half's split-axis minimum. Only the left half's split-axis
+    // maximum and both halves' off-axis extents need a fold.
+    let off_fold = |half: &[u32]| {
+        let mut hlo = coords[half[0] as usize];
+        let mut hhi = hlo;
+        for &v in &half[1..] {
+            let p = coords[v as usize];
+            for d in 0..D {
+                if d != axis {
+                    hlo[d] = hlo[d].min(p[d]);
+                    hhi[d] = hhi[d].max(p[d]);
+                }
+            }
+        }
+        (hlo, hhi)
+    };
+    let (mut llo, mut lhi) = off_fold(&ids[..mid]);
+    llo[axis] = lo[axis];
+    lhi[axis] = ids[..mid].iter().map(|&v| key(v)).fold(f64::MIN, f64::max);
+    let (mut rlo, mut rhi) = off_fold(&ids[mid..]);
+    rlo[axis] = key(ids[mid]);
+    rhi[axis] = hi[axis];
+    ((llo, lhi), (rlo, rhi))
+}
+
+fn kway_nd<const D: usize>(
+    ids: &mut [u32],
+    coords: &[[f64; D]],
+    lo: [f64; D],
+    hi: [f64; D],
+    base: u32,
+    k: u32,
+    part: &mut [u32],
+) {
+    if k == 1 || ids.len() <= 1 {
+        for &v in ids.iter() {
+            part[v as usize] = base;
+        }
+        return;
+    }
+    let kl = k / 2;
+    let mid = ids.len() * kl as usize / k as usize;
+    if mid == 0 {
+        // fewer points than parts on this side: everything goes to the
+        // right subtree, the left part ids stay empty
+        kway_nd(ids, coords, lo, hi, base + kl, k - kl, part);
+        return;
+    }
+    let (lbox, rbox) = median_split_nd(ids, coords, lo, hi, mid);
+    let (left, right) = ids.split_at_mut(mid);
+    kway_nd(left, coords, lbox.0, lbox.1, base, kl, part);
+    kway_nd(right, coords, rbox.0, rbox.1, base + kl, k - kl, part);
+}
+
+fn kway_weighted_nd<const D: usize>(
+    ids: &mut [u32],
+    coords: &[[f64; D]],
     weights: &[f64],
     base: u32,
     k: u32,
@@ -98,16 +233,9 @@ fn kway_weighted(
         return;
     }
     let kl = k / 2;
-    let (lo, hi) = subset_bbox(ids, coords);
-    let split_x = (hi.x - lo.x) >= (hi.y - lo.y);
-    let key = |v: u32| {
-        let p = coords[v as usize];
-        if split_x {
-            p.x
-        } else {
-            p.y
-        }
-    };
+    let (lo, hi) = subset_bbox_nd(ids, coords);
+    let axis = longest_axis(&lo, &hi);
+    let key = |v: u32| coords[v as usize][axis];
     // full (key, id) sort instead of select_nth: the weighted-median cut
     // index is only known after a prefix scan of the sorted weights. The
     // left/right *sets* under this comparator match the unweighted
@@ -133,12 +261,12 @@ fn kway_weighted(
         // the first point already exceeds the left target (or fewer points
         // than parts): everything goes right, left part ids stay empty —
         // mirrors the unweighted splitter's degenerate branch
-        kway_weighted(ids, coords, weights, base + kl, k - kl, part);
+        kway_weighted_nd(ids, coords, weights, base + kl, k - kl, part);
         return;
     }
     let (left, right) = ids.split_at_mut(mid);
-    kway_weighted(left, coords, weights, base, kl, part);
-    kway_weighted(right, coords, weights, base + kl, k - kl, part);
+    kway_weighted_nd(left, coords, weights, base, kl, part);
+    kway_weighted_nd(right, coords, weights, base + kl, k - kl, part);
 }
 
 /// Exact bounding box of a subset — the recursion root's only full scan
@@ -229,35 +357,6 @@ fn bisect(ids: &mut [u32], coords: &[Point2], lo: Point2, hi: Point2) {
             bisect(half, coords, hlo, hhi);
         }
     }
-}
-
-fn kway(
-    ids: &mut [u32],
-    coords: &[Point2],
-    lo: Point2,
-    hi: Point2,
-    base: u32,
-    k: u32,
-    part: &mut [u32],
-) {
-    if k == 1 || ids.len() <= 1 {
-        for &v in ids.iter() {
-            part[v as usize] = base;
-        }
-        return;
-    }
-    let kl = k / 2;
-    let mid = ids.len() * kl as usize / k as usize;
-    if mid == 0 {
-        // fewer points than parts on this side: everything goes to the
-        // right subtree, the left part ids stay empty
-        kway(ids, coords, lo, hi, base + kl, k - kl, part);
-        return;
-    }
-    let (lbox, rbox) = median_split(ids, coords, lo, hi, mid);
-    let (left, right) = ids.split_at_mut(mid);
-    kway(left, coords, lbox.0, lbox.1, base, kl, part);
-    kway(right, coords, rbox.0, rbox.1, base + kl, k - kl, part);
 }
 
 #[cfg(test)]

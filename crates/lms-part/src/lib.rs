@@ -34,6 +34,8 @@ pub mod partition;
 pub mod stats;
 
 pub use exchange::ExchangeSchedule;
-pub use methods::{partition_coords, partition_mesh, vertex_area_weights, PartitionMethod};
+pub use methods::{
+    partition_coords, partition_mesh, sfc_chunk_assignment, vertex_area_weights, PartitionMethod,
+};
 pub use partition::Partition;
 pub use stats::PartitionStats;

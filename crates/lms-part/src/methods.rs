@@ -79,7 +79,11 @@ pub fn vertex_area_weights(mesh: &TriMesh, adj: &Adjacency) -> Vec<f64> {
 
 /// Chunk an ordering into `k` balanced contiguous runs: the vertex at
 /// curve position `pos` goes to part `pos·k / n` (sizes within one).
-fn sfc_chunks(perm: &Permutation, k: usize) -> Vec<u32> {
+///
+/// Public because the chunking is dimension-agnostic: any locality-
+/// preserving permutation works — the 2D Hilbert/Morton orderings here,
+/// or `lms-mesh3d`'s 3D curves for tetrahedral decompositions.
+pub fn sfc_chunk_assignment(perm: &Permutation, k: usize) -> Vec<u32> {
     let n = perm.len();
     let mut part = vec![0u32; n];
     for (pos, &old) in perm.new_to_old().iter().enumerate() {
@@ -98,8 +102,8 @@ pub fn partition_coords(coords: &[Point2], num_parts: usize, method: PartitionMe
         PartitionMethod::Rcb => rcb_parts(coords, num_parts),
         // no mesh in sight: uniform weights, i.e. exactly Rcb
         PartitionMethod::RcbWeighted => rcb_parts(coords, num_parts),
-        PartitionMethod::Hilbert => sfc_chunks(&hilbert_ordering(coords), num_parts),
-        PartitionMethod::Morton => sfc_chunks(&morton_ordering(coords), num_parts),
+        PartitionMethod::Hilbert => sfc_chunk_assignment(&hilbert_ordering(coords), num_parts),
+        PartitionMethod::Morton => sfc_chunk_assignment(&morton_ordering(coords), num_parts),
     }
 }
 

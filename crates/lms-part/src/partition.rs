@@ -17,8 +17,14 @@
 //!
 //! All per-part lists are stored CSR with vertices ascending within a
 //! part, so a part's view is a handful of contiguous slices.
+//!
+//! The decomposition is **dimension-generic**: construction only needs a
+//! vertex–vertex adjacency, abstracted behind [`lms_order::Graph`], so the
+//! same [`Partition`] (and the [`crate::ExchangeSchedule`] built from it)
+//! serves the 2D [`lms_mesh::Adjacency`] and the tetrahedral adjacency of
+//! `lms-mesh3d` unchanged.
 
-use lms_mesh::Adjacency;
+use lms_order::Graph;
 
 /// A k-way vertex partition with interface/halo structures. Build with
 /// [`Partition::from_assignment`] or the [`crate::partition_mesh`]
@@ -64,11 +70,13 @@ fn csr_from<F: Fn(u32) -> u32>(
 }
 
 impl Partition {
-    /// Build the full decomposition from a per-vertex part assignment.
+    /// Build the full decomposition from a per-vertex part assignment,
+    /// over any [`Graph`] adjacency (2D triangle meshes, tetrahedral
+    /// meshes, arbitrary CSR graphs).
     ///
     /// `part_of[v]` is the owning part of vertex `v` and must be below
     /// `num_parts`; parts may be empty.
-    pub fn from_assignment(adj: &Adjacency, part_of: Vec<u32>, num_parts: u32) -> Self {
+    pub fn from_assignment<G: Graph + ?Sized>(adj: &G, part_of: Vec<u32>, num_parts: u32) -> Self {
         let n = adj.num_vertices();
         assert_eq!(part_of.len(), n, "assignment length does not match the adjacency");
         assert!(num_parts >= 1, "need at least one part");
@@ -241,7 +249,7 @@ impl Partition {
 mod tests {
     use super::*;
     use crate::methods::{partition_mesh, PartitionMethod};
-    use lms_mesh::generators;
+    use lms_mesh::{generators, Adjacency};
 
     fn setup(k: u32) -> (lms_mesh::TriMesh, Adjacency, Partition) {
         let m = generators::perturbed_grid(14, 12, 0.3, 5);

@@ -1,4 +1,5 @@
-//! Colored deterministic parallel Gauss–Seidel smoothing.
+//! Colored deterministic parallel Gauss–Seidel smoothing, generic over
+//! the smoothing domain.
 //!
 //! The paper's OpenMP loop runs in-place sweeps with a static schedule and
 //! simply races on neighbour reads ([`SmoothEngine::smooth_parallel_chaotic`]
@@ -11,8 +12,8 @@
 //! ([`lms_order::coloring::greedy_coloring_on`]); a sweep processes one
 //! color class at a time, evaluating the class's candidates in parallel
 //! from the current coordinates and then committing them. Within a class
-//! no two vertices are adjacent — and in a triangulation, no two
-//! same-class vertices even share a triangle (a triangle's corners are
+//! no two vertices are adjacent — and in a simplicial mesh, no two
+//! same-class vertices even share an element (an element's corners are
 //! mutually adjacent) — so:
 //!
 //! * candidate evaluation reads nothing a same-class commit writes →
@@ -20,35 +21,203 @@
 //!   how the class is split across threads → **bitwise-deterministic for
 //!   any thread count**;
 //! * the smart guard's cached "before" qualities stay coherent for the
-//!   whole class (incident triangles of distinct same-class vertices are
-//!   disjoint), so the incremental [`QualityCache`] protocol of the serial
-//!   hot path carries over unchanged.
+//!   whole class (incident elements of distinct same-class vertices are
+//!   disjoint), so the incremental [`DomainQualityCache`] protocol of the
+//!   serial hot path carries over unchanged.
 //!
 //! The sweep is *exactly* serial Gauss–Seidel under the class-major visit
 //! order ([`SmoothEngine::colored_visit_order`]) — property-tested
 //! bit-for-bit in `tests/colored.rs` — and converges to the same fixed
-//! point as any other Gauss–Seidel order.
+//! point as any other Gauss–Seidel order. The same generic body drives
+//! `SmoothEngine3::smooth_parallel_colored` in `lms-mesh3d` (a tet's four
+//! corners are mutually adjacent, so the class argument holds verbatim).
 
 use crate::config::UpdateScheme;
+use crate::dcache::DomainQualityCache;
+use crate::domain::{DomainConfig, SmoothDomain};
 use crate::engine::SmoothEngine;
 use crate::kernel::candidate_for;
 use crate::stats::{IterationStats, SmoothReport};
-use lms_mesh::geometry::Point2;
-use lms_mesh::{QualityCache, TriMesh};
+use lms_mesh::TriMesh;
 use lms_order::coloring::greedy_coloring_on;
 use rayon::prelude::*;
 
 /// Outcome of one parallel candidate evaluation.
 ///
-/// Deliberately minimal: carrying the guard's per-triangle scores from
+/// Deliberately minimal: carrying the guard's per-element scores from
 /// the parallel phase into the commit pass (to avoid re-scoring committed
 /// stars) was measured and rejected — the inline score array inflates the
 /// per-class result buffers enough that the engine runs ~2× slower on a
 /// 512² grid than simply re-scoring the committed stars serially.
 #[derive(Clone, Copy)]
-struct ClassMove {
+struct ClassMove<P> {
     v: u32,
-    candidate: Point2,
+    candidate: P,
+}
+
+/// One plain color-class step: candidates in parallel from the pre-class
+/// coordinates, then a serial commit pass (class vertices are mutually
+/// non-adjacent, so the snapshot equals what serial Gauss–Seidel would
+/// read). Shared with the partitioned engine's interface phase.
+pub(crate) fn colored_class_plain_on<const C: usize, D: SmoothDomain<C>>(
+    dom: &D,
+    weighting: crate::config::Weighting,
+    class: &[u32],
+    coords: &mut [D::Point],
+    moved: &mut Vec<u32>,
+    pool: &rayon::ThreadPool,
+) {
+    let results: Vec<Option<ClassMove<D::Point>>> = {
+        let shared: &[D::Point] = coords;
+        pool.install(|| {
+            class
+                .par_iter()
+                .map(|&v| {
+                    let ns = dom.neighbors(v);
+                    if ns.is_empty() {
+                        return None;
+                    }
+                    let pv = shared[v as usize];
+                    candidate_for(weighting, pv, ns, shared)
+                        .map(|candidate| ClassMove { v, candidate })
+                })
+                .collect()
+        })
+    };
+    for mv in results.into_iter().flatten() {
+        coords[mv.v as usize] = mv.candidate;
+        moved.push(mv.v);
+    }
+}
+
+/// One smart color-class step: candidate evaluation *and* the
+/// quality-guard decision in parallel (reads only pre-class state), then
+/// a serial commit pass that re-scores each committed star once to keep
+/// the cache coherent for the next class (see [`ClassMove`] for why the
+/// guard's scores are not carried over). Shared with the partitioned
+/// engine's interface phase.
+pub(crate) fn colored_class_smart_on<const C: usize, D: SmoothDomain<C>>(
+    dom: &D,
+    weighting: crate::config::Weighting,
+    class: &[u32],
+    coords: &mut [D::Point],
+    cache: &mut DomainQualityCache,
+    pool: &rayon::ThreadPool,
+) {
+    let accepted: Vec<Option<ClassMove<D::Point>>> = {
+        let shared: &[D::Point] = coords;
+        let cache_ref: &DomainQualityCache = cache;
+        pool.install(|| {
+            class
+                .par_iter()
+                .map(|&v| {
+                    let ns = dom.neighbors(v);
+                    if ns.is_empty() {
+                        return None;
+                    }
+                    let pv = shared[v as usize];
+                    let candidate = candidate_for(weighting, pv, ns, shared)?;
+                    let ts = dom.elements_of(v);
+                    if ts.is_empty() {
+                        return Some(ClassMove { v, candidate });
+                    }
+                    let mut after_sum = 0.0;
+                    let mut after_all_pos = true;
+                    let mut before_sum = 0.0;
+                    for &t in ts {
+                        before_sum += cache_ref.guarded_quality(t);
+                        let (q, pos) =
+                            dom.score_with(shared, dom.elements()[t as usize], v, candidate);
+                        if pos {
+                            after_sum += q;
+                        } else {
+                            after_all_pos = false;
+                        }
+                    }
+                    let len = ts.len() as f64;
+                    let quality_ok = after_sum >= before_sum || after_sum / len >= before_sum / len;
+                    let commit = quality_ok
+                        && (after_all_pos || ts.iter().any(|&t| !cache_ref.elem_is_positive(t)));
+                    commit.then_some(ClassMove { v, candidate })
+                })
+                .collect()
+        })
+    };
+
+    // serial commit in class order: write coordinates, then re-score
+    // the committed stars (disjoint within a class) into the cache
+    let mut committed: Vec<u32> = Vec::with_capacity(class.len());
+    for mv in accepted.into_iter().flatten() {
+        coords[mv.v as usize] = mv.candidate;
+        committed.push(mv.v);
+    }
+    let mut scores: Vec<(f64, bool)> = Vec::new();
+    for &v in &committed {
+        let ts = dom.elements_of(v);
+        scores.clear();
+        scores.extend(ts.iter().map(|&t| dom.score(coords, dom.elements()[t as usize])));
+        cache.set_star(ts, &scores);
+    }
+}
+
+/// The generic colored-Gauss–Seidel driver: in-place smoothing of
+/// `coords` one color class at a time, race-free and
+/// bitwise-deterministic for any thread count. `classes` must be the
+/// movable (interior) vertices grouped by color, ascending within each
+/// class; the caller provides the pool (engines cache one per instance).
+pub fn smooth_colored_on<const C: usize, D: SmoothDomain<C>>(
+    dom: &D,
+    cfg: &DomainConfig,
+    classes: &[Vec<u32>],
+    coords: &mut [D::Point],
+    pool: &rayon::ThreadPool,
+) -> SmoothReport {
+    assert_eq!(coords.len(), dom.num_vertices(), "engine was built for a different mesh");
+    assert_eq!(
+        cfg.update,
+        UpdateScheme::GaussSeidel,
+        "colored smoothing is an in-place (Gauss-Seidel) schedule; \
+         use smooth_parallel for deterministic Jacobi"
+    );
+    let mut cache = DomainQualityCache::build(dom, coords);
+    let initial_quality = cache.quality_exact(dom);
+    let mut report = SmoothReport::starting(initial_quality);
+    let mut quality = initial_quality;
+    let mut moved: Vec<u32> = Vec::new();
+
+    for iter in 1..=cfg.max_iters {
+        moved.clear();
+        for class in classes {
+            if class.is_empty() {
+                continue;
+            }
+            if cfg.smart {
+                colored_class_smart_on(dom, cfg.weighting, class, coords, &mut cache, pool);
+            } else {
+                colored_class_plain_on(dom, cfg.weighting, class, coords, &mut moved, pool);
+            }
+        }
+        if !moved.is_empty() {
+            cache.apply_moves(dom, &moved, coords);
+        }
+
+        let new_quality = cache.quality_running();
+        let improvement = new_quality - quality;
+        report.iterations.push(IterationStats { iter, quality: new_quality, improvement });
+        quality = new_quality;
+        if improvement < cfg.tol {
+            report.converged = true;
+            break;
+        }
+    }
+
+    let exact =
+        if report.iterations.is_empty() { initial_quality } else { cache.quality_exact(dom) };
+    if let Some(last) = report.iterations.last_mut() {
+        last.quality = exact;
+    }
+    report.final_quality = exact;
+    report
 }
 
 impl SmoothEngine {
@@ -93,175 +262,18 @@ impl SmoothEngine {
             self.adj.num_vertices(),
             "engine was built for a different mesh"
         );
-        assert_eq!(
-            self.params.update,
-            UpdateScheme::GaussSeidel,
-            "colored smoothing is an in-place (Gauss-Seidel) schedule; \
-             use smooth_parallel for deterministic Jacobi"
-        );
         // one persistent pool per engine: the spawn cost of the shim's
         // parked workers is paid on the first run at this thread count
         let pool = self.pool.get(num_threads);
-
-        let params = &self.params;
         let classes = self.interior_color_classes();
-        let mut cache = QualityCache::build(mesh, &self.adj, params.metric);
-        let initial_quality = cache.quality_exact(&self.adj);
-        let mut report = SmoothReport::starting(initial_quality);
-        let mut quality = initial_quality;
-        let mut moved: Vec<u32> = Vec::new();
-
-        for iter in 1..=params.max_iters {
-            moved.clear();
-            for class in classes {
-                if class.is_empty() {
-                    continue;
-                }
-                if params.smart {
-                    self.colored_class_smart(class, mesh, &mut cache, &pool);
-                } else {
-                    self.colored_class_plain(class, mesh, &mut moved, &pool);
-                }
-            }
-            if !moved.is_empty() {
-                cache.apply_moves(&moved, &self.adj, mesh.coords(), &self.triangles);
-            }
-
-            let new_quality = cache.quality_running();
-            let improvement = new_quality - quality;
-            report.iterations.push(IterationStats { iter, quality: new_quality, improvement });
-            quality = new_quality;
-            if improvement < params.tol {
-                report.converged = true;
-                break;
-            }
-        }
-
-        let exact = if report.iterations.is_empty() {
-            initial_quality
-        } else {
-            cache.quality_exact(&self.adj)
-        };
-        if let Some(last) = report.iterations.last_mut() {
-            last.quality = exact;
-        }
-        report.final_quality = exact;
-        report
-    }
-
-    /// One plain color-class step: candidates in parallel from the
-    /// pre-class coordinates, then a serial commit pass (class vertices
-    /// are mutually non-adjacent, so the snapshot equals what serial
-    /// Gauss–Seidel would read). Shared with the partitioned engine's
-    /// interface phase (`crate::partitioned`).
-    pub(crate) fn colored_class_plain(
-        &self,
-        class: &[u32],
-        mesh: &mut TriMesh,
-        moved: &mut Vec<u32>,
-        pool: &rayon::ThreadPool,
-    ) {
-        let weighting = self.params.weighting;
-        let results: Vec<Option<ClassMove>> = pool.install(|| {
-            let coords: &[Point2] = mesh.coords();
-            class
-                .par_iter()
-                .map(|&v| {
-                    let ns = self.adj.neighbors(v);
-                    if ns.is_empty() {
-                        return None;
-                    }
-                    let pv = coords[v as usize];
-                    candidate_for(weighting, pv, ns, coords)
-                        .map(|candidate| ClassMove { v, candidate })
-                })
-                .collect()
-        });
-        let coords = mesh.coords_mut();
-        for mv in results.into_iter().flatten() {
-            coords[mv.v as usize] = mv.candidate;
-            moved.push(mv.v);
-        }
-    }
-
-    /// One smart color-class step: candidate evaluation *and* the
-    /// quality-guard decision in parallel (reads only pre-class state),
-    /// then a serial commit pass that re-scores each committed star once
-    /// to keep the cache coherent for the next class (see [`ClassMove`]
-    /// for why the guard's scores are not carried over). Shared with the
-    /// partitioned engine's interface phase (`crate::partitioned`).
-    pub(crate) fn colored_class_smart(
-        &self,
-        class: &[u32],
-        mesh: &mut TriMesh,
-        cache: &mut QualityCache,
-        pool: &rayon::ThreadPool,
-    ) {
-        let weighting = self.params.weighting;
-        let metric = self.params.metric;
-        let triangles: &[[u32; 3]] = &self.triangles;
-
-        let accepted: Vec<Option<ClassMove>> = pool.install(|| {
-            let coords: &[Point2] = mesh.coords();
-            let cache_ref: &QualityCache = cache;
-            class
-                .par_iter()
-                .map(|&v| {
-                    let ns = self.adj.neighbors(v);
-                    if ns.is_empty() {
-                        return None;
-                    }
-                    let pv = coords[v as usize];
-                    let candidate = candidate_for(weighting, pv, ns, coords)?;
-                    let ts = self.adj.triangles_of(v);
-                    if ts.is_empty() {
-                        return Some(ClassMove { v, candidate });
-                    }
-                    let mut after_sum = 0.0;
-                    let mut after_all_pos = true;
-                    let mut before_sum = 0.0;
-                    for &t in ts {
-                        before_sum += cache_ref.guarded_quality(t);
-                        let (q, pos) = QualityCache::score_with(
-                            metric,
-                            coords,
-                            triangles[t as usize],
-                            v,
-                            candidate,
-                        );
-                        if pos {
-                            after_sum += q;
-                        } else {
-                            after_all_pos = false;
-                        }
-                    }
-                    let len = ts.len() as f64;
-                    let quality_ok = after_sum >= before_sum || after_sum / len >= before_sum / len;
-                    let commit = quality_ok
-                        && (after_all_pos || ts.iter().any(|&t| !cache_ref.tri_is_positive(t)));
-                    commit.then_some(ClassMove { v, candidate })
-                })
-                .collect()
-        });
-
-        // serial commit in class order: write coordinates, then re-score
-        // the committed stars (disjoint within a class) into the cache
-        let coords = mesh.coords_mut();
-        let mut committed: Vec<u32> = Vec::with_capacity(class.len());
-        for mv in accepted.into_iter().flatten() {
-            coords[mv.v as usize] = mv.candidate;
-            committed.push(mv.v);
-        }
-        let coords = mesh.coords();
-        let mut scores: Vec<(f64, bool)> = Vec::new();
-        for &v in &committed {
-            let ts = self.adj.triangles_of(v);
-            scores.clear();
-            scores.extend(
-                ts.iter().map(|&t| QualityCache::score(metric, coords, triangles[t as usize])),
-            );
-            cache.set_star(ts, &scores);
-        }
+        let dom = self.domain();
+        smooth_colored_on(
+            &dom,
+            &DomainConfig::from(&self.params),
+            classes,
+            mesh.coords_mut(),
+            &pool,
+        )
     }
 }
 

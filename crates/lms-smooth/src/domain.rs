@@ -1,0 +1,619 @@
+//! The dimension-generic smoothing domain — one engine stack for
+//! triangle and tetrahedral meshes.
+//!
+//! Every smoothing engine in this crate needs exactly five things from a
+//! mesh: coordinates it can average ([`DomainPoint`]), element→vertex
+//! incidence, per-element quality scoring (the incremental
+//! [`crate::dcache::DomainQualityCache`] protocol), a boundary/fixed
+//! mask, and CSR adjacency access. [`SmoothDomain`] abstracts those five
+//! behind one trait, const-generic in the element corner count `C`
+//! (3 for triangles, 4 for tetrahedra), so the serial incremental kernel
+//! ([`crate::kernel`]), the colored parallel engine ([`crate::colored`]),
+//! the partitioned engine ([`crate::partitioned`]) and the resident
+//! halo-exchange engine ([`crate::resident`]) each have **one** generic
+//! sweep body instead of a per-dimension copy.
+//!
+//! The canonical coordinate type of the layer is the const-generic array
+//! `[f64; D]` (a blanket [`DomainPoint`] impl covers every `D`);
+//! [`lms_mesh::Point2`] implements the same trait by delegating to its
+//! operators, so the generic arithmetic is expression-for-expression the
+//! arithmetic the pre-refactor 2D engines ran — coordinates stay
+//! **bit-identical**, which the unmodified PR-1..3 property suites pin.
+//! `lms-mesh3d` implements the trait for `Point3`/`TetMesh`, which is how
+//! the partitioned and resident engines (and their `ExchangeSchedule`
+//! counters) land in 3D without a second copy of any sweep.
+//!
+//! Concretely, a domain view is a borrowed bundle of (adjacency,
+//! boundary, element connectivity, quality metric): [`TriDomain`] here,
+//! `TetDomain` in `lms-mesh3d`. Views are cheap to construct per call and
+//! `Sync`, so the parallel engines share them across workers.
+
+use crate::config::{SmoothParams, UpdateScheme, Weighting};
+use crate::stats::{IterationStats, SmoothReport};
+use crate::trace::AccessSink;
+use lms_mesh::geometry::signed_area;
+use lms_mesh::quality::QualityMetric;
+use lms_mesh::{Adjacency, Boundary, Point2};
+
+/// A coordinate usable by the generic smoothing kernels: componentwise
+/// `f64` vector arithmetic plus the Euclidean distance the weighted
+/// Laplacian variants need.
+///
+/// Implementations must be exact componentwise IEEE arithmetic — the
+/// engines' bit-identity guarantees ride on `padd`/`pdiv` matching the
+/// concrete point types' operators expression for expression.
+pub trait DomainPoint: Copy + Clone + Send + Sync + PartialEq + std::fmt::Debug + 'static {
+    /// The additive identity (the origin).
+    const ZERO: Self;
+
+    /// Componentwise sum.
+    fn padd(self, other: Self) -> Self;
+
+    /// Componentwise scale by `s`.
+    fn pscale(self, s: f64) -> Self;
+
+    /// Componentwise division by `s`.
+    fn pdiv(self, s: f64) -> Self;
+
+    /// Euclidean distance to `other`.
+    fn pdist(self, other: Self) -> f64;
+}
+
+impl DomainPoint for Point2 {
+    const ZERO: Self = Point2::ZERO;
+
+    #[inline]
+    fn padd(self, other: Self) -> Self {
+        self + other
+    }
+
+    #[inline]
+    fn pscale(self, s: f64) -> Self {
+        self * s
+    }
+
+    #[inline]
+    fn pdiv(self, s: f64) -> Self {
+        self / s
+    }
+
+    #[inline]
+    fn pdist(self, other: Self) -> f64 {
+        self.dist(other)
+    }
+}
+
+/// The layer's canonical coordinate type: a `D`-component array. Lets
+/// point-set consumers (partitioners, tests) run the generic machinery
+/// without a mesh crate in sight.
+impl<const D: usize> DomainPoint for [f64; D] {
+    const ZERO: Self = [0.0; D];
+
+    #[inline]
+    fn padd(self, other: Self) -> Self {
+        std::array::from_fn(|i| self[i] + other[i])
+    }
+
+    #[inline]
+    fn pscale(self, s: f64) -> Self {
+        std::array::from_fn(|i| self[i] * s)
+    }
+
+    #[inline]
+    fn pdiv(self, s: f64) -> Self {
+        std::array::from_fn(|i| self[i] / s)
+    }
+
+    #[inline]
+    fn pdist(self, other: Self) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..D {
+            let d = self[i] - other[i];
+            acc += d * d;
+        }
+        acc.sqrt()
+    }
+}
+
+/// A smoothing domain: coordinates, element→vertex incidence, CSR
+/// adjacency, the boundary (fixed-vertex) mask, and per-element quality
+/// scoring — everything the generic engines consume. `C` is the corner
+/// count of one element (3 = triangle, 4 = tetrahedron).
+///
+/// The scoring contract: `score_points` returns `(quality, positively
+/// oriented)` for one element's corner coordinates, with quality exactly
+/// the value the domain's canonical `mesh_quality` sums — the incremental
+/// cache and the exact reductions are built on it.
+pub trait SmoothDomain<const C: usize>: Sync {
+    /// Coordinate type of the domain.
+    type Point: DomainPoint;
+
+    /// Number of vertices.
+    fn num_vertices(&self) -> usize;
+
+    /// Element→vertex incidence: corner ids of every element.
+    fn elements(&self) -> &[[u32; C]];
+
+    /// Sorted neighbour vertices of `v` (CSR row).
+    fn neighbors(&self, v: u32) -> &[u32];
+
+    /// Sorted incident elements of `v` (CSR row).
+    fn elements_of(&self, v: u32) -> &[u32];
+
+    /// Flat offset of `v`'s incident-element row (star-layout indexing).
+    fn elements_offset(&self, v: u32) -> usize;
+
+    /// True when `v` may move (not on the fixed boundary).
+    fn is_interior(&self, v: u32) -> bool;
+
+    /// Score one element from its corner coordinates:
+    /// `(quality, positively_oriented)`.
+    fn score_points(&self, pts: [Self::Point; C]) -> (f64, bool);
+
+    /// Number of elements.
+    #[inline]
+    fn num_elements(&self) -> usize {
+        self.elements().len()
+    }
+
+    /// Score element `corners` on `coords` (any coordinate array indexed
+    /// by the corner ids — the global mesh or a part-local block).
+    #[inline]
+    fn score(&self, coords: &[Self::Point], corners: [u32; C]) -> (f64, bool) {
+        self.score_points(corners.map(|c| coords[c as usize]))
+    }
+
+    /// [`score`](Self::score) with vertex `v`'s position overridden by
+    /// `pos_v` — candidate evaluation without touching the buffer.
+    #[inline]
+    fn score_with(
+        &self,
+        coords: &[Self::Point],
+        corners: [u32; C],
+        v: u32,
+        pos_v: Self::Point,
+    ) -> (f64, bool) {
+        self.score_points(corners.map(|c| if c == v { pos_v } else { coords[c as usize] }))
+    }
+}
+
+/// The 2D triangle-mesh domain view: borrowed adjacency + boundary +
+/// connectivity + metric. [`crate::SmoothEngine`] builds one per call.
+#[derive(Debug, Clone, Copy)]
+pub struct TriDomain<'a> {
+    adj: &'a Adjacency,
+    boundary: &'a Boundary,
+    triangles: &'a [[u32; 3]],
+    metric: QualityMetric,
+}
+
+impl<'a> TriDomain<'a> {
+    /// Bundle a triangle mesh's precomputed topology into a domain view.
+    pub fn new(
+        adj: &'a Adjacency,
+        boundary: &'a Boundary,
+        triangles: &'a [[u32; 3]],
+        metric: QualityMetric,
+    ) -> Self {
+        TriDomain { adj, boundary, triangles, metric }
+    }
+}
+
+impl SmoothDomain<3> for TriDomain<'_> {
+    type Point = Point2;
+
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.adj.num_vertices()
+    }
+
+    #[inline]
+    fn elements(&self) -> &[[u32; 3]] {
+        self.triangles
+    }
+
+    #[inline]
+    fn neighbors(&self, v: u32) -> &[u32] {
+        self.adj.neighbors(v)
+    }
+
+    #[inline]
+    fn elements_of(&self, v: u32) -> &[u32] {
+        self.adj.triangles_of(v)
+    }
+
+    #[inline]
+    fn elements_offset(&self, v: u32) -> usize {
+        self.adj.triangles_offset(v)
+    }
+
+    #[inline]
+    fn is_interior(&self, v: u32) -> bool {
+        self.boundary.is_interior(v)
+    }
+
+    #[inline]
+    fn score_points(&self, p: [Point2; 3]) -> (f64, bool) {
+        (self.metric.triangle_quality(p[0], p[1], p[2]), signed_area(p[0], p[1], p[2]) > 0.0)
+    }
+}
+
+/// The dimension-free slice of a smoothing parameter set — what the
+/// generic engines actually consume (the metric lives in the domain).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DomainConfig {
+    /// Convergence tolerance on the per-sweep quality improvement.
+    pub tol: f64,
+    /// Hard sweep cap.
+    pub max_iters: usize,
+    /// Gauss–Seidel (in place) or Jacobi (double-buffered) commits.
+    pub update: UpdateScheme,
+    /// Smart (quality-guarded, inversion-safe) commit rule.
+    pub smart: bool,
+    /// Neighbour weighting of the Laplacian update.
+    pub weighting: Weighting,
+}
+
+impl From<&SmoothParams> for DomainConfig {
+    fn from(p: &SmoothParams) -> Self {
+        DomainConfig {
+            tol: p.tol,
+            max_iters: p.max_iters,
+            update: p.update,
+            smart: p.smart,
+            weighting: p.weighting,
+        }
+    }
+}
+
+/// Generic weighted Laplacian candidate — the dimension-generic core of
+/// [`crate::weighting::weighted_candidate`], with the exact uniform
+/// `sum / n` arithmetic of Equation (1) at every `D`.
+#[inline]
+pub fn weighted_candidate_on<P: DomainPoint>(
+    weighting: Weighting,
+    pv: P,
+    nbrs: impl Iterator<Item = P>,
+) -> Option<P> {
+    match weighting {
+        Weighting::Uniform => {
+            let mut sum = P::ZERO;
+            let mut n = 0usize;
+            for p in nbrs {
+                sum = sum.padd(p);
+                n += 1;
+            }
+            (n > 0).then(|| sum.pdiv(n as f64))
+        }
+        Weighting::InverseEdgeLength | Weighting::EdgeLength => {
+            let mut acc = P::ZERO;
+            let mut total = 0.0;
+            for p in nbrs {
+                let d = pv.pdist(p);
+                let w = match weighting {
+                    Weighting::InverseEdgeLength => {
+                        // clamp so a (nearly) coincident neighbour does not
+                        // turn into an infinite weight
+                        1.0 / d.max(1e-12)
+                    }
+                    _ => d,
+                };
+                acc = acc.padd(p.pscale(w));
+                total += w;
+            }
+            (total > 0.0).then(|| acc.pdiv(total))
+        }
+    }
+}
+
+/// The canonical reduction shared by every quality read-out: per-vertex
+/// mean of incident element qualities, then the mean over all vertices —
+/// exactly the reduction (and reduction *order*) of
+/// `lms_mesh::quality::mesh_quality` and its 3D twin.
+fn reduce_quality<const C: usize, D: SmoothDomain<C>>(dom: &D, q_of: impl Fn(usize) -> f64) -> f64 {
+    let n = dom.num_vertices();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for v in 0..n as u32 {
+        let ts = dom.elements_of(v);
+        total += if ts.is_empty() {
+            0.0
+        } else {
+            ts.iter().map(|&t| q_of(t as usize)).sum::<f64>() / ts.len() as f64
+        };
+    }
+    total / n as f64
+}
+
+/// The canonical global quality of a domain, scored from scratch on
+/// `coords` — bit-identical to the concrete `mesh_quality` recomputes the
+/// pre-refactor engines called.
+pub fn domain_quality<const C: usize, D: SmoothDomain<C>>(dom: &D, coords: &[D::Point]) -> f64 {
+    let elem_q: Vec<f64> = dom.elements().iter().map(|&e| dom.score(coords, e).0).collect();
+    reduce_quality(dom, |t| elem_q[t])
+}
+
+/// [`domain_quality`] from an already-scored element table (e.g. the
+/// resident engine's initial scoring pass) — same canonical reduction, no
+/// second scoring sweep.
+pub fn domain_quality_scored<const C: usize, D: SmoothDomain<C>>(
+    dom: &D,
+    scores: &[(f64, bool)],
+) -> f64 {
+    debug_assert_eq!(scores.len(), dom.num_elements());
+    reduce_quality(dom, |t| scores[t].0)
+}
+
+/// Sentinel star-layout code marking "the vertex being smoothed itself".
+pub(crate) const SELF_CORNER: u8 = u8::MAX;
+
+/// Build the star corner layout of a domain: for every vertex→element
+/// incidence (flat CSR order, base [`SmoothDomain::elements_offset`]),
+/// each stored corner encoded as its position in `neighbors(v)` — or
+/// [`SELF_CORNER`] for `v` itself. `None` if any degree ≥ 255 or a corner
+/// is missing from the vertex's neighbour list (non-manifold edge cases):
+/// the smart sweeps then fall back to direct indexing.
+pub(crate) fn build_star_layout_on<const C: usize, D: SmoothDomain<C>>(
+    dom: &D,
+) -> Option<Vec<[u8; C]>> {
+    let n = dom.num_vertices() as u32;
+    let total: usize = (0..n).map(|v| dom.elements_of(v).len()).sum();
+    let mut layout = Vec::with_capacity(total);
+    for v in 0..n {
+        let ns = dom.neighbors(v);
+        if ns.len() >= SELF_CORNER as usize {
+            return None;
+        }
+        for &t in dom.elements_of(v) {
+            let mut enc = [0u8; C];
+            for (k, &u) in dom.elements()[t as usize].iter().enumerate() {
+                enc[k] = if u == v {
+                    SELF_CORNER
+                } else {
+                    match ns.binary_search(&u) {
+                        Ok(pos) => pos as u8,
+                        Err(_) => return None,
+                    }
+                };
+            }
+            layout.push(enc);
+        }
+    }
+    Some(layout)
+}
+
+/// Mean guarded quality of `v`'s element star with `v` at `pos_v`
+/// (inverted elements score 0) — the smart guard's "before"/"after"
+/// evaluations of the reference path.
+fn local_quality_with<const C: usize, D: SmoothDomain<C>>(
+    dom: &D,
+    coords: &[D::Point],
+    v: u32,
+    pos_v: D::Point,
+) -> f64 {
+    let ts = dom.elements_of(v);
+    if ts.is_empty() {
+        return 0.0;
+    }
+    ts.iter()
+        .map(|&t| {
+            let (q, pos) = dom.score_with(coords, dom.elements()[t as usize], v, pos_v);
+            if pos {
+                q
+            } else {
+                0.0
+            }
+        })
+        .sum::<f64>()
+        / ts.len() as f64
+}
+
+/// True when every element of `v`'s star is positively oriented with `v`
+/// at `pos_v`.
+fn star_valid_with<const C: usize, D: SmoothDomain<C>>(
+    dom: &D,
+    coords: &[D::Point],
+    v: u32,
+    pos_v: D::Point,
+) -> bool {
+    dom.elements_of(v)
+        .iter()
+        .all(|&t| dom.score_with(coords, dom.elements()[t as usize], v, pos_v).1)
+}
+
+/// The generic **reference** smoothing path: full-mesh quality recompute
+/// every sweep, mean-vs-mean smart guard, per-access tracing — Algorithm 1
+/// as written, for any [`SmoothDomain`]. `SmoothEngine3` delegates its
+/// serial (and traced) runs here; the 2D engine keeps its own concrete
+/// reference body as the historical oracle the incremental kernel is
+/// property-tested against.
+pub fn smooth_reference_on<const C: usize, D: SmoothDomain<C>, S: AccessSink>(
+    dom: &D,
+    cfg: &DomainConfig,
+    visit: &[u32],
+    coords: &mut [D::Point],
+    sink: &mut S,
+) -> SmoothReport {
+    assert_eq!(coords.len(), dom.num_vertices(), "engine was built for a different mesh");
+    let initial_quality = domain_quality(dom, coords);
+    let mut report = SmoothReport::starting(initial_quality);
+    let mut quality = initial_quality;
+    let mut scratch: Vec<D::Point> = Vec::new();
+
+    for iter in 1..=cfg.max_iters {
+        match cfg.update {
+            UpdateScheme::GaussSeidel => {
+                reference_sweep_gs(dom, cfg, visit, coords, sink);
+            }
+            UpdateScheme::Jacobi => {
+                scratch.clear();
+                scratch.extend_from_slice(coords);
+                reference_sweep_jacobi(dom, cfg, visit, &scratch, coords, sink);
+            }
+        }
+        sink.end_iteration();
+
+        let new_quality = domain_quality(dom, coords);
+        let improvement = new_quality - quality;
+        report.iterations.push(IterationStats { iter, quality: new_quality, improvement });
+        quality = new_quality;
+        if improvement < cfg.tol {
+            report.converged = true;
+            break;
+        }
+    }
+    report.final_quality = quality;
+    report
+}
+
+/// One in-place (Gauss–Seidel) reference sweep: later vertices see
+/// already-committed neighbours.
+fn reference_sweep_gs<const C: usize, D: SmoothDomain<C>, S: AccessSink>(
+    dom: &D,
+    cfg: &DomainConfig,
+    visit: &[u32],
+    coords: &mut [D::Point],
+    sink: &mut S,
+) {
+    for &v in visit {
+        let ns = dom.neighbors(v);
+        if ns.is_empty() {
+            continue;
+        }
+        sink.access(v);
+        let pv = coords[v as usize];
+        let gathered = ns.iter().map(|&w| {
+            sink.access(w);
+            coords[w as usize]
+        });
+        let Some(candidate) = weighted_candidate_on(cfg.weighting, pv, gathered) else {
+            continue;
+        };
+        if cfg.smart {
+            let before = local_quality_with(dom, coords, v, pv);
+            let commit = local_quality_with(dom, coords, v, candidate) >= before
+                && (star_valid_with(dom, coords, v, candidate)
+                    || !star_valid_with(dom, coords, v, pv));
+            if commit {
+                coords[v as usize] = candidate;
+            }
+        } else {
+            coords[v as usize] = candidate;
+        }
+    }
+}
+
+/// One double-buffered (Jacobi) reference sweep: reads `prev`, writes
+/// `next`.
+fn reference_sweep_jacobi<const C: usize, D: SmoothDomain<C>, S: AccessSink>(
+    dom: &D,
+    cfg: &DomainConfig,
+    visit: &[u32],
+    prev: &[D::Point],
+    next: &mut [D::Point],
+    sink: &mut S,
+) {
+    for &v in visit {
+        let ns = dom.neighbors(v);
+        if ns.is_empty() {
+            continue;
+        }
+        sink.access(v);
+        let pv = prev[v as usize];
+        let gathered = ns.iter().map(|&w| {
+            sink.access(w);
+            prev[w as usize]
+        });
+        let Some(candidate) = weighted_candidate_on(cfg.weighting, pv, gathered) else {
+            continue;
+        };
+        if cfg.smart {
+            let before = local_quality_with(dom, prev, v, pv);
+            let commit = local_quality_with(dom, prev, v, candidate) >= before
+                && (star_valid_with(dom, prev, v, candidate) || !star_valid_with(dom, prev, v, pv));
+            if commit {
+                next[v as usize] = candidate;
+            }
+        } else {
+            next[v as usize] = candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lms_mesh::generators;
+
+    #[test]
+    fn array_points_match_point2_arithmetic_bitwise() {
+        let ps = [(0.3, -1.25), (1e-9, 7.5), (2.0, 3.0), (-0.125, 0.75)];
+        let mut sum2 = Point2::ZERO;
+        let mut sumd = <[f64; 2]>::ZERO;
+        for &(x, y) in &ps {
+            sum2 = sum2.padd(Point2::new(x, y));
+            sumd = sumd.padd([x, y]);
+        }
+        let m2 = sum2.pdiv(ps.len() as f64);
+        let md = sumd.pdiv(ps.len() as f64);
+        assert_eq!(m2.x.to_bits(), md[0].to_bits());
+        assert_eq!(m2.y.to_bits(), md[1].to_bits());
+        assert_eq!(
+            Point2::new(0.1, 0.2).pdist(Point2::new(-3.0, 4.5)).to_bits(),
+            [0.1, 0.2].pdist([-3.0, 4.5]).to_bits()
+        );
+    }
+
+    #[test]
+    fn tri_domain_quality_matches_mesh_quality_bitwise() {
+        for seed in [1u64, 5, 11] {
+            let m = generators::perturbed_grid(13, 11, 0.35, seed);
+            let adj = Adjacency::build(&m);
+            let boundary = Boundary::detect(&m);
+            let dom =
+                TriDomain::new(&adj, &boundary, m.triangles(), QualityMetric::EdgeLengthRatio);
+            let generic = domain_quality(&dom, m.coords());
+            let concrete =
+                lms_mesh::quality::mesh_quality(&m, &adj, QualityMetric::EdgeLengthRatio);
+            assert_eq!(generic.to_bits(), concrete.to_bits(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn tri_domain_scoring_matches_quality_cache() {
+        let m = generators::perturbed_grid(9, 9, 0.3, 3);
+        let adj = Adjacency::build(&m);
+        let boundary = Boundary::detect(&m);
+        let metric = QualityMetric::EdgeLengthRatio;
+        let dom = TriDomain::new(&adj, &boundary, m.triangles(), metric);
+        for (t, &tri) in m.triangles().iter().enumerate() {
+            let (qa, pa) = dom.score(m.coords(), tri);
+            let (qb, pb) = lms_mesh::QualityCache::score(metric, m.coords(), tri);
+            assert_eq!(qa.to_bits(), qb.to_bits(), "triangle {t}");
+            assert_eq!(pa, pb);
+            let v = tri[0];
+            let moved = Point2::new(0.123, 0.456);
+            let (qa, pa) = dom.score_with(m.coords(), tri, v, moved);
+            let (qb, pb) = lms_mesh::QualityCache::score_with(metric, m.coords(), tri, v, moved);
+            assert_eq!(qa.to_bits(), qb.to_bits());
+            assert_eq!(pa, pb);
+        }
+    }
+
+    #[test]
+    fn generic_weighted_candidate_matches_concrete() {
+        use crate::weighting::weighted_candidate;
+        let pv = Point2::new(0.2, 0.4);
+        let nbrs = [Point2::new(0.0, 0.0), Point2::new(1.5, -0.5), Point2::new(0.25, 2.0)];
+        for w in [Weighting::Uniform, Weighting::InverseEdgeLength, Weighting::EdgeLength] {
+            assert_eq!(
+                weighted_candidate(w, pv, nbrs.iter().copied()),
+                weighted_candidate_on(w, pv, nbrs.iter().copied()),
+                "{:?}",
+                w
+            );
+        }
+    }
+}

@@ -46,38 +46,6 @@ pub struct SmoothEngine {
     pub(crate) pool: crate::pool::PoolCache,
 }
 
-/// Sentinel ring position marking "the vertex being smoothed itself".
-pub(crate) const SELF_CORNER: u8 = u8::MAX;
-
-/// Build the star corner layout; `None` if any degree ≥ 255 or a corner
-/// is not in the vertex's neighbour list (non-manifold edge cases).
-fn build_star_layout(adj: &Adjacency, triangles: &[[u32; 3]]) -> Option<Vec<[u8; 3]>> {
-    let n = adj.num_vertices() as u32;
-    let total: usize = (0..n).map(|v| adj.triangles_of(v).len()).sum();
-    let mut layout = Vec::with_capacity(total);
-    for v in 0..n {
-        let ns = adj.neighbors(v);
-        if ns.len() >= SELF_CORNER as usize {
-            return None;
-        }
-        for &t in adj.triangles_of(v) {
-            let mut enc = [0u8; 3];
-            for (k, &u) in triangles[t as usize].iter().enumerate() {
-                enc[k] = if u == v {
-                    SELF_CORNER
-                } else {
-                    match ns.binary_search(&u) {
-                        Ok(pos) => pos as u8,
-                        Err(_) => return None,
-                    }
-                };
-            }
-            layout.push(enc);
-        }
-    }
-    Some(layout)
-}
-
 impl SmoothEngine {
     /// Build an engine for `mesh` under `params`.
     pub fn new(mesh: &TriMesh, params: SmoothParams) -> Self {
@@ -93,7 +61,9 @@ impl SmoothEngine {
         // only the smart sweeps read the star layout; skip the O(3T)
         // binary-search construction for plain engines
         let star = if params.smart {
-            build_star_layout(&adj, mesh.triangles()).map(Into::into)
+            let dom =
+                crate::domain::TriDomain::new(&adj, &boundary, mesh.triangles(), params.metric);
+            crate::domain::build_star_layout_on(&dom).map(Into::into)
         } else {
             None
         };
@@ -107,6 +77,19 @@ impl SmoothEngine {
             colored_classes: std::sync::OnceLock::new(),
             pool: crate::pool::PoolCache::new(),
         }
+    }
+
+    /// The engine's [`crate::domain::SmoothDomain`] view: the borrowed
+    /// (adjacency, boundary, connectivity, metric) bundle every generic
+    /// sweep in [`crate::kernel`] / [`crate::colored`] /
+    /// [`crate::partitioned`] / [`crate::resident`] runs against.
+    pub fn domain(&self) -> crate::domain::TriDomain<'_> {
+        crate::domain::TriDomain::new(
+            &self.adj,
+            &self.boundary,
+            &self.triangles,
+            self.params.metric,
+        )
     }
 
     /// The shared triangle connectivity the engine was built for.

@@ -1,35 +1,38 @@
-//! The incremental-quality sweep kernel — the serial hot path.
+//! The incremental-quality sweep kernel — the serial hot path, generic
+//! over the smoothing domain.
 //!
 //! The reference engine ([`SmoothEngine::smooth_full_recompute`]) spends
 //! most of its time on *bookkeeping* rather than smoothing:
 //!
-//! * every iteration ends with a full-mesh `mesh_quality` recompute
-//!   (O(T) triangle scorings plus the per-vertex means) just to evaluate
-//!   the convergence test;
+//! * every iteration ends with a full-mesh quality recompute (O(T) element
+//!   scorings plus the per-vertex means) just to evaluate the convergence
+//!   test;
 //! * every smart-commit test scores the vertex star twice — once for the
 //!   "before" quality and once for the candidate — through a per-corner
-//!   closure (`local_quality_with`'s `at`), so a sweep over a mesh with
-//!   mean degree ~6 performs ~12 triangle scorings per vertex.
+//!   closure, so a sweep over a mesh with mean degree ~6 performs ~12
+//!   element scorings per vertex.
 //!
-//! This module rewrites both around an [`lms_mesh::QualityCache`]:
+//! This module rewrites both around a [`DomainQualityCache`]:
 //!
 //! * the **"before"** star quality is a cache lookup (the incident
-//!   triangles' current qualities are already known);
+//!   elements' current qualities are already known);
 //! * the **candidate** star is scored once, from a ring buffer gathered
 //!   through the CSR neighbour slice into (usually) stack scratch and
-//!   addressed through the engine's precomputed star layout (no closure
-//!   dispatch, no re-scattered coordinate loads), and the scores are
-//!   *reused* to update the cache at commit time;
+//!   addressed through the precomputed star layout (no closure dispatch,
+//!   no re-scattered coordinate loads), and the scores are *reused* to
+//!   update the cache at commit time;
 //! * per-iteration statistics read the cache's compensated running sum —
-//!   O(1) — with triangles touched by unevaluated moves (plain sweeps,
+//!   O(1) — with elements touched by unevaluated moves (plain sweeps,
 //!   Jacobi) re-scored exactly once per sweep via the dirty set;
 //! * the reported `final_quality` is re-reduced in canonical order
-//!   ([`QualityCache::quality_exact`]), bit-identical to a from-scratch
-//!   `mesh_quality` on the output mesh.
+//!   ([`DomainQualityCache::quality_exact`]), bit-identical to a
+//!   from-scratch `mesh_quality` on the output mesh.
 //!
-//! The arithmetic of every committed move is identical to the reference
-//! path expression by expression, so coordinates stay **bit-identical**
-//! over any fixed number of sweeps — property-tested in
+//! Since PR 4 the sweeps are **dimension-generic** ([`SmoothDomain`]):
+//! one body serves the 2D [`SmoothEngine`] and the 3D engines of
+//! `lms-mesh3d`. The arithmetic of every committed move is identical to
+//! the reference path expression by expression, so coordinates stay
+//! **bit-identical** over any fixed number of sweeps — property-tested in
 //! `tests/incremental.rs`. One caveat: the per-iteration convergence test
 //! reads the compensated running sum, which tracks the exact quality to a
 //! few ulps; an improvement landing exactly on `tol` could therefore stop
@@ -37,33 +40,32 @@
 //! tolerance (`tol < 0`) when exact sweep-count parity matters.
 
 use crate::config::{UpdateScheme, Weighting};
-use crate::engine::{SmoothEngine, SELF_CORNER};
+use crate::dcache::DomainQualityCache;
+use crate::domain::{weighted_candidate_on, DomainConfig, DomainPoint, SmoothDomain, SELF_CORNER};
+use crate::engine::SmoothEngine;
 use crate::stats::{IterationStats, SmoothReport};
-use crate::weighting::weighted_candidate;
-use lms_mesh::geometry::{signed_area, Point2};
-use lms_mesh::quality::QualityMetric;
-use lms_mesh::{QualityCache, TriMesh};
+use lms_mesh::TriMesh;
 
 /// Scratch for one vertex's candidate evaluation, aligned with the
-/// vertex's incident-triangle slice: candidate quality + orientation.
-type TriScore = (f64, bool);
+/// vertex's incident-element slice: candidate quality + orientation.
+type ElemScore = (f64, bool);
 
 /// Stars/rings up to this size use stack scratch; larger ones fall back
 /// to heap scratch (mean degree of a triangulation is ~6).
 const STACK_STAR: usize = 16;
 
 /// Reusable per-sweep scratch for the smart sweeps.
-struct SmartScratch {
-    ring_stack: [Point2; STACK_STAR],
-    ring_spill: Vec<Point2>,
-    score_stack: [TriScore; STACK_STAR],
-    score_spill: Vec<TriScore>,
+struct SmartScratch<P: DomainPoint> {
+    ring_stack: [P; STACK_STAR],
+    ring_spill: Vec<P>,
+    score_stack: [ElemScore; STACK_STAR],
+    score_spill: Vec<ElemScore>,
 }
 
-impl SmartScratch {
+impl<P: DomainPoint> SmartScratch<P> {
     fn new() -> Self {
         SmartScratch {
-            ring_stack: [Point2::ZERO; STACK_STAR],
+            ring_stack: [P::ZERO; STACK_STAR],
             ring_spill: Vec::new(),
             score_stack: [(0.0, false); STACK_STAR],
             score_spill: Vec::new(),
@@ -75,42 +77,40 @@ impl SmartScratch {
 /// (`ring[k] == coords[ns[k]]`), so the arithmetic — accumulation order
 /// included — is identical.
 #[inline]
-fn candidate_from_ring(weighting: Weighting, pv: Point2, ring: &[Point2]) -> Option<Point2> {
+fn candidate_from_ring<P: DomainPoint>(weighting: Weighting, pv: P, ring: &[P]) -> Option<P> {
     match weighting {
         Weighting::Uniform => {
-            let mut sum = Point2::ZERO;
+            let mut sum = P::ZERO;
             for &p in ring {
-                sum += p;
+                sum = sum.padd(p);
             }
-            (!ring.is_empty()).then(|| sum / ring.len() as f64)
+            (!ring.is_empty()).then(|| sum.pdiv(ring.len() as f64))
         }
-        _ => weighted_candidate(weighting, pv, ring.iter().copied()),
+        _ => weighted_candidate_on(weighting, pv, ring.iter().copied()),
     }
 }
 
 /// Score vertex `v`'s candidate star. Corners come from the gathered
-/// `ring` + `candidate` via the engine's star layout when available
-/// (L1-resident, no scattered loads), falling back to direct coordinate
-/// indexing. Scores land in `out[..ts_len]`; returns
-/// `(after_sum, after_all_pos)`.
+/// `ring` + `candidate` via the star layout when available (L1-resident,
+/// no scattered loads), falling back to direct coordinate indexing.
+/// Scores land in `out[..ts_len]`; returns the fused star evaluation.
 ///
-/// Both paths evaluate `metric.triangle_quality` / [`signed_area`] on
-/// corner values bit-equal to the source coordinates, so the outcome is
-/// identical to the reference engine's closure-based evaluation.
+/// Both paths evaluate the domain's scoring on corner values bit-equal to
+/// the source coordinates, so the outcome is identical to the reference
+/// engine's closure-based evaluation.
 #[inline]
 #[allow(clippy::too_many_arguments)]
-fn score_candidate_star<R: Fn(u8) -> Point2>(
-    metric: QualityMetric,
-    cache: &QualityCache,
-    star: Option<&[[u8; 3]]>,
+fn score_candidate_star<const C: usize, D: SmoothDomain<C>, R: Fn(u8) -> D::Point>(
+    dom: &D,
+    cache: &DomainQualityCache,
+    star: Option<&[[u8; C]]>,
     star_base: usize,
     ts: &[u32],
-    triangles: &[[u32; 3]],
-    source: &[Point2],
+    source: &[D::Point],
     ring_at: R,
     v: u32,
-    candidate: Point2,
-    out: &mut [TriScore],
+    candidate: D::Point,
+    out: &mut [ElemScore],
 ) -> StarEval {
     let mut after_sum = 0.0;
     let mut before_sum = 0.0;
@@ -118,18 +118,11 @@ fn score_candidate_star<R: Fn(u8) -> Point2>(
     match star {
         Some(layout) => {
             let lay = &layout[star_base..star_base + ts.len()];
-            for ((&t, &[c0, c1, c2]), slot) in ts.iter().zip(lay).zip(out.iter_mut()) {
+            for ((&t, codes), slot) in ts.iter().zip(lay).zip(out.iter_mut()) {
                 before_sum += cache.guarded_quality(t);
-                let pick = |c: u8| {
-                    if c == SELF_CORNER {
-                        candidate
-                    } else {
-                        ring_at(c)
-                    }
-                };
-                let (pa, pb, pc) = (pick(c0), pick(c1), pick(c2));
-                let q = metric.triangle_quality(pa, pb, pc);
-                let pos = signed_area(pa, pb, pc) > 0.0;
+                let pts: [D::Point; C] =
+                    codes.map(|c| if c == SELF_CORNER { candidate } else { ring_at(c) });
+                let (q, pos) = dom.score_points(pts);
                 *slot = (q, pos);
                 if pos {
                     after_sum += q;
@@ -141,8 +134,7 @@ fn score_candidate_star<R: Fn(u8) -> Point2>(
         None => {
             for (&t, slot) in ts.iter().zip(out.iter_mut()) {
                 before_sum += cache.guarded_quality(t);
-                let (q, pos) =
-                    QualityCache::score_with(metric, source, triangles[t as usize], v, candidate);
+                let (q, pos) = dom.score_with(source, dom.elements()[t as usize], v, candidate);
                 *slot = (q, pos);
                 if pos {
                     after_sum += q;
@@ -166,81 +158,83 @@ struct StarEval {
 ///
 /// The uniform (paper) weighting is specialised — one fused
 /// gather-and-accumulate loop, no per-vertex dispatch — with arithmetic
-/// identical to [`weighted_candidate`]'s uniform arm (same accumulation
+/// identical to [`weighted_candidate_on`]'s uniform arm (same accumulation
 /// order, same `sum / n` expression), so results stay bit-equal across
-/// every engine. Other weightings delegate.
+/// every engine and dimension.
 #[inline]
-pub(crate) fn candidate_for(
+pub(crate) fn candidate_for<P: DomainPoint>(
     weighting: Weighting,
-    pv: Point2,
+    pv: P,
     ns: &[u32],
-    coords: &[Point2],
-) -> Option<Point2> {
+    coords: &[P],
+) -> Option<P> {
     match weighting {
         Weighting::Uniform => {
-            let mut sum = Point2::ZERO;
+            let mut sum = P::ZERO;
             for &w in ns {
-                sum += coords[w as usize];
+                sum = sum.padd(coords[w as usize]);
             }
-            (!ns.is_empty()).then(|| sum / ns.len() as f64)
+            (!ns.is_empty()).then(|| sum.pdiv(ns.len() as f64))
         }
-        _ => weighted_candidate(weighting, pv, ns.iter().map(|&w| coords[w as usize])),
+        _ => weighted_candidate_on(weighting, pv, ns.iter().map(|&w| coords[w as usize])),
     }
 }
 
-impl SmoothEngine {
-    /// [`smooth`](Self::smooth)'s implementation: incremental-quality
-    /// sweeps, no tracing.
-    pub(crate) fn smooth_incremental(&self, mesh: &mut TriMesh) -> SmoothReport {
-        assert_eq!(
-            mesh.num_vertices(),
-            self.adj.num_vertices(),
-            "engine was built for a different mesh"
-        );
-        let params = &self.params;
-        let mut cache = QualityCache::build(mesh, &self.adj, params.metric);
-        let initial_quality = cache.quality_exact(&self.adj);
+/// The serial incremental sweeps bound to one domain view: the generic
+/// body behind [`SmoothEngine::smooth`] (and any other domain's serial
+/// hot path). Construction is free — all state is borrowed.
+pub struct SerialKernel<'a, const C: usize, D: SmoothDomain<C>> {
+    /// The smoothing domain.
+    pub dom: &'a D,
+    /// The dimension-free parameter slice.
+    pub cfg: DomainConfig,
+    /// Interior vertices in sweep order.
+    pub visit: &'a [u32],
+    /// Optional precomputed star layout (see [`crate::domain`]).
+    pub star: Option<&'a [[u8; C]]>,
+}
+
+impl<const C: usize, D: SmoothDomain<C>> SerialKernel<'_, C, D> {
+    /// Run the incremental-quality sweeps on `coords` until convergence
+    /// or the sweep cap.
+    pub fn run(&self, coords: &mut [D::Point]) -> SmoothReport {
+        assert_eq!(coords.len(), self.dom.num_vertices(), "engine was built for a different mesh");
+        let cfg = &self.cfg;
+        let mut cache = DomainQualityCache::build(self.dom, coords);
+        let initial_quality = cache.quality_exact(self.dom);
         let mut report = SmoothReport::starting(initial_quality);
         let mut quality = initial_quality;
-        let mut prev: Vec<Point2> = Vec::new();
+        let mut prev: Vec<D::Point> = Vec::new();
         let mut scratch = SmartScratch::new();
         let mut moved: Vec<u32> = Vec::new();
 
-        for iter in 1..=params.max_iters {
+        for iter in 1..=cfg.max_iters {
             moved.clear();
-            match (params.update, params.smart) {
-                (UpdateScheme::GaussSeidel, false) => {
-                    self.sweep_gs_plain(mesh.coords_mut(), &mut moved)
-                }
+            match (cfg.update, cfg.smart) {
+                (UpdateScheme::GaussSeidel, false) => self.sweep_gs_plain(coords, &mut moved),
                 (UpdateScheme::GaussSeidel, true) => {
-                    self.sweep_gs_smart(mesh.coords_mut(), &mut cache, &mut scratch)
+                    self.sweep_gs_smart(coords, &mut cache, &mut scratch)
                 }
                 (UpdateScheme::Jacobi, false) => {
                     prev.clear();
-                    prev.extend_from_slice(mesh.coords());
-                    self.sweep_jacobi_plain(&prev, mesh.coords_mut(), &mut moved);
+                    prev.extend_from_slice(coords);
+                    self.sweep_jacobi_plain(&prev, coords, &mut moved);
                 }
                 (UpdateScheme::Jacobi, true) => {
                     prev.clear();
-                    prev.extend_from_slice(mesh.coords());
-                    self.sweep_jacobi_smart(
-                        &prev,
-                        mesh.coords_mut(),
-                        &cache,
-                        &mut moved,
-                        &mut scratch,
-                    );
+                    prev.extend_from_slice(coords);
+                    self.sweep_jacobi_smart(&prev, coords, &cache, &mut moved, &mut scratch);
                 }
             }
             if !moved.is_empty() {
-                cache.apply_moves(&moved, &self.adj, mesh.coords(), &self.triangles);
+                cache.apply_moves(self.dom, &moved, coords);
             }
 
             let new_quality = cache.quality_running();
             let improvement = new_quality - quality;
             report.iterations.push(IterationStats { iter, quality: new_quality, improvement });
             quality = new_quality;
-            if improvement < params.tol {
+            if improvement < cfg.tol {
                 report.converged = true;
                 break;
             }
@@ -251,7 +245,7 @@ impl SmoothEngine {
         let exact = if report.iterations.is_empty() {
             initial_quality
         } else {
-            cache.quality_exact(&self.adj)
+            cache.quality_exact(self.dom)
         };
         if let Some(last) = report.iterations.last_mut() {
             last.quality = exact;
@@ -263,14 +257,14 @@ impl SmoothEngine {
     /// Plain in-place sweep: every candidate commits; movers are recorded
     /// for the post-sweep cache update (no quality evaluation inside the
     /// sweep at all).
-    fn sweep_gs_plain(&self, coords: &mut [Point2], moved: &mut Vec<u32>) {
-        for &v in &self.visit {
-            let ns = self.adj.neighbors(v);
+    fn sweep_gs_plain(&self, coords: &mut [D::Point], moved: &mut Vec<u32>) {
+        for &v in self.visit {
+            let ns = self.dom.neighbors(v);
             if ns.is_empty() {
                 continue;
             }
             let pv = coords[v as usize];
-            let Some(candidate) = candidate_for(self.params.weighting, pv, ns, coords) else {
+            let Some(candidate) = candidate_for(self.cfg.weighting, pv, ns, coords) else {
                 continue;
             };
             coords[v as usize] = candidate;
@@ -283,17 +277,15 @@ impl SmoothEngine {
     /// commit.
     fn sweep_gs_smart(
         &self,
-        coords: &mut [Point2],
-        cache: &mut QualityCache,
-        scratch: &mut SmartScratch,
+        coords: &mut [D::Point],
+        cache: &mut DomainQualityCache,
+        scratch: &mut SmartScratch<D::Point>,
     ) {
-        let metric = self.params.metric;
-        let weighting = self.params.weighting;
-        let triangles: &[[u32; 3]] = &self.triangles;
-        let star = self.star.as_deref();
+        let weighting = self.cfg.weighting;
+        let star = self.star;
         let SmartScratch { ring_stack, ring_spill, score_stack, score_spill } = scratch;
-        for &v in &self.visit {
-            let ns = self.adj.neighbors(v);
+        for &v in self.visit {
+            let ns = self.dom.neighbors(v);
             if ns.is_empty() {
                 continue;
             }
@@ -301,7 +293,7 @@ impl SmoothEngine {
 
             // gather the ring once; candidate and scoring both read it
             let on_stack = ns.len() <= STACK_STAR;
-            let ring: &[Point2] = if on_stack {
+            let ring: &[D::Point] = if on_stack {
                 for (slot, &w) in ring_stack.iter_mut().zip(ns) {
                     *slot = coords[w as usize];
                 }
@@ -315,7 +307,7 @@ impl SmoothEngine {
                 continue;
             };
 
-            let ts = self.adj.triangles_of(v);
+            let ts = self.dom.elements_of(v);
             if ts.is_empty() {
                 // star-less vertex: both local qualities are 0 and the
                 // validity rule is vacuous — the reference path commits
@@ -323,7 +315,7 @@ impl SmoothEngine {
                 continue;
             }
 
-            let out: &mut [TriScore] = if ts.len() <= STACK_STAR {
+            let out: &mut [ElemScore] = if ts.len() <= STACK_STAR {
                 &mut score_stack[..ts.len()]
             } else {
                 score_spill.clear();
@@ -334,16 +326,15 @@ impl SmoothEngine {
             // lookups, candidate scored alongside. The stack-ring accessor
             // masks the index (codes are < STACK_STAR by construction), so
             // the fixed-size array read needs no bounds check.
-            let base = self.adj.triangles_offset(v);
+            let base = self.dom.elements_offset(v);
             let StarEval { after_sum, before_sum, after_all_pos } = if on_stack {
-                let arr: &[Point2; STACK_STAR] = ring_stack;
+                let arr: &[D::Point; STACK_STAR] = ring_stack;
                 score_candidate_star(
-                    metric,
+                    self.dom,
                     cache,
                     star,
                     base,
                     ts,
-                    triangles,
                     coords,
                     |c| arr[(c as usize) & (STACK_STAR - 1)],
                     v,
@@ -351,14 +342,13 @@ impl SmoothEngine {
                     out,
                 )
             } else {
-                let rs: &[Point2] = ring_spill;
+                let rs: &[D::Point] = ring_spill;
                 score_candidate_star(
-                    metric,
+                    self.dom,
                     cache,
                     star,
                     base,
                     ts,
-                    triangles,
                     coords,
                     |c| rs[c as usize],
                     v,
@@ -376,7 +366,7 @@ impl SmoothEngine {
             let len = ts.len() as f64;
             let quality_ok = after_sum >= before_sum || after_sum / len >= before_sum / len;
             let commit =
-                quality_ok && (after_all_pos || ts.iter().any(|&t| !cache.tri_is_positive(t)));
+                quality_ok && (after_all_pos || ts.iter().any(|&t| !cache.elem_is_positive(t)));
             if commit {
                 coords[v as usize] = candidate;
                 cache.set_star(ts, out);
@@ -385,16 +375,16 @@ impl SmoothEngine {
     }
 
     /// Plain double-buffered sweep: reads `prev`, writes `next`, records
-    /// movers (a triangle can gain several moved corners, so scoring waits
+    /// movers (an element can gain several moved corners, so scoring waits
     /// for the post-sweep cache update).
-    fn sweep_jacobi_plain(&self, prev: &[Point2], next: &mut [Point2], moved: &mut Vec<u32>) {
-        for &v in &self.visit {
-            let ns = self.adj.neighbors(v);
+    fn sweep_jacobi_plain(&self, prev: &[D::Point], next: &mut [D::Point], moved: &mut Vec<u32>) {
+        for &v in self.visit {
+            let ns = self.dom.neighbors(v);
             if ns.is_empty() {
                 continue;
             }
             let pv = prev[v as usize];
-            let Some(candidate) = candidate_for(self.params.weighting, pv, ns, prev) else {
+            let Some(candidate) = candidate_for(self.cfg.weighting, pv, ns, prev) else {
                 continue;
             };
             next[v as usize] = candidate;
@@ -407,25 +397,23 @@ impl SmoothEngine {
     /// sweep's values — exactly the reference path's semantics.
     fn sweep_jacobi_smart(
         &self,
-        prev: &[Point2],
-        next: &mut [Point2],
-        cache: &QualityCache,
+        prev: &[D::Point],
+        next: &mut [D::Point],
+        cache: &DomainQualityCache,
         moved: &mut Vec<u32>,
-        scratch: &mut SmartScratch,
+        scratch: &mut SmartScratch<D::Point>,
     ) {
-        let metric = self.params.metric;
-        let weighting = self.params.weighting;
-        let triangles: &[[u32; 3]] = &self.triangles;
-        let star = self.star.as_deref();
+        let weighting = self.cfg.weighting;
+        let star = self.star;
         let SmartScratch { ring_stack, ring_spill, score_stack, score_spill } = scratch;
-        for &v in &self.visit {
-            let ns = self.adj.neighbors(v);
+        for &v in self.visit {
+            let ns = self.dom.neighbors(v);
             if ns.is_empty() {
                 continue;
             }
             let pv = prev[v as usize];
             let on_stack = ns.len() <= STACK_STAR;
-            let ring: &[Point2] = if on_stack {
+            let ring: &[D::Point] = if on_stack {
                 for (slot, &w) in ring_stack.iter_mut().zip(ns) {
                     *slot = prev[w as usize];
                 }
@@ -439,32 +427,31 @@ impl SmoothEngine {
                 continue;
             };
 
-            let ts = self.adj.triangles_of(v);
+            let ts = self.dom.elements_of(v);
             if ts.is_empty() {
                 next[v as usize] = candidate;
                 continue;
             }
 
-            // scores are provisional (a triangle can gain several moved
+            // scores are provisional (an element can gain several moved
             // corners this sweep — the post-sweep update re-scores), so
             // the scratch output is discarded after the commit test
-            let out: &mut [TriScore] = if ts.len() <= STACK_STAR {
+            let out: &mut [ElemScore] = if ts.len() <= STACK_STAR {
                 &mut score_stack[..ts.len()]
             } else {
                 score_spill.clear();
                 score_spill.resize(ts.len(), (0.0, false));
                 score_spill
             };
-            let base = self.adj.triangles_offset(v);
+            let base = self.dom.elements_offset(v);
             let StarEval { after_sum, before_sum, after_all_pos } = if on_stack {
-                let arr: &[Point2; STACK_STAR] = ring_stack;
+                let arr: &[D::Point; STACK_STAR] = ring_stack;
                 score_candidate_star(
-                    metric,
+                    self.dom,
                     cache,
                     star,
                     base,
                     ts,
-                    triangles,
                     prev,
                     |c| arr[(c as usize) & (STACK_STAR - 1)],
                     v,
@@ -472,14 +459,13 @@ impl SmoothEngine {
                     out,
                 )
             } else {
-                let rs: &[Point2] = ring_spill;
+                let rs: &[D::Point] = ring_spill;
                 score_candidate_star(
-                    metric,
+                    self.dom,
                     cache,
                     star,
                     base,
                     ts,
-                    triangles,
                     prev,
                     |c| rs[c as usize],
                     v,
@@ -491,11 +477,32 @@ impl SmoothEngine {
             let len = ts.len() as f64;
             let quality_ok = after_sum >= before_sum || after_sum / len >= before_sum / len;
             let commit =
-                quality_ok && (after_all_pos || ts.iter().any(|&t| !cache.tri_is_positive(t)));
+                quality_ok && (after_all_pos || ts.iter().any(|&t| !cache.elem_is_positive(t)));
             if commit {
                 next[v as usize] = candidate;
                 moved.push(v);
             }
         }
+    }
+}
+
+impl SmoothEngine {
+    /// [`smooth`](Self::smooth)'s implementation: the generic incremental
+    /// kernel over the engine's [`TriDomain`](crate::domain::TriDomain)
+    /// view.
+    pub(crate) fn smooth_incremental(&self, mesh: &mut TriMesh) -> SmoothReport {
+        assert_eq!(
+            mesh.num_vertices(),
+            self.adj.num_vertices(),
+            "engine was built for a different mesh"
+        );
+        let dom = self.domain();
+        let kernel = SerialKernel {
+            dom: &dom,
+            cfg: DomainConfig::from(&self.params),
+            visit: &self.visit,
+            star: self.star.as_deref(),
+        };
+        kernel.run(mesh.coords_mut())
     }
 }

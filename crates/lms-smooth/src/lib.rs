@@ -22,6 +22,14 @@
 //!   streaming every vertex-record access to an [`AccessSink`], feeding the
 //!   reuse-distance and cache analyses of `lms-cache`.
 //!
+//! Every engine above runs on the **dimension-generic smoothing domain**
+//! ([`domain::SmoothDomain`], const-generic in the element corner count,
+//! with the [`dcache::DomainQualityCache`] carrying the incremental
+//! quality protocol): the 2D `TriMesh` instantiations live here, and
+//! `lms-mesh3d` instantiates the *same* sweep bodies for tetrahedra —
+//! `SmoothEngine3`, `PartitionedEngine3` and `ResidentEngine3` are thin
+//! wrappers, not copies.
+//!
 //! ```
 //! use lms_smooth::SmoothParams;
 //! let mut mesh = lms_mesh::generators::perturbed_grid(20, 20, 0.35, 1);
@@ -31,12 +39,14 @@
 
 pub mod colored;
 pub mod config;
+pub mod dcache;
+pub mod domain;
 pub mod engine;
 pub mod greedy;
 pub mod kernel;
 pub mod parallel;
 pub mod partitioned;
-pub(crate) mod pool;
+pub mod pool;
 pub mod resident;
 pub mod stats;
 pub mod trace;
@@ -44,10 +54,16 @@ pub mod weighting;
 
 pub use colored::smooth_parallel_colored;
 pub use config::{IterationPolicy, SmoothParams, UpdateScheme, Weighting};
+pub use dcache::DomainQualityCache;
+pub use domain::{
+    domain_quality, domain_quality_scored, smooth_reference_on, weighted_candidate_on,
+    DomainConfig, DomainPoint, SmoothDomain, TriDomain,
+};
 pub use engine::SmoothEngine;
 pub use greedy::greedy_visit_order;
 pub use parallel::{parallel_mesh_quality, smooth_parallel};
 pub use partitioned::{smooth_partitioned, PartitionedEngine};
+pub use pool::PoolCache;
 pub use resident::{smooth_resident, ResidentEngine};
 pub use stats::{ExchangeVolume, IterationStats, SmoothReport};
 pub use trace::{AccessSink, CountSink, NullSink, VecSink};

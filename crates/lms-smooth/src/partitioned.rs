@@ -10,16 +10,21 @@
 //! [`lms_part`]: each worker owns a geometrically compact part and sweeps
 //! the part's **interior** (vertices whose whole 1-ring it owns) as one
 //! contiguous, cache-resident block — a gathered local coordinate buffer
-//! plus a local triangle-score table, updated serially inside the part in
+//! plus a local element-score table, updated serially inside the part in
 //! ascending order, exactly the incremental protocol of the serial hot
 //! path ([`crate::kernel`]). Only the thin **interface** layer (vertices
 //! with cross-part neighbours) needs coordination; it is swept with the
 //! existing colored machinery.
 //!
+//! Since PR 4 the block builder and both sweep bodies are generic over
+//! [`SmoothDomain`]: [`PartitionedEngine`] instantiates them for the 2D
+//! [`TriMesh`], `lms-mesh3d`'s `PartitionedEngine3` for tetrahedra — one
+//! code path, two dimensions.
+//!
 //! Determinism and equivalence:
 //!
 //! * interior vertices of different parts are never adjacent and their
-//!   incident triangles are disjoint, so the parallel part sweeps commute
+//!   incident elements are disjoint, so the parallel part sweeps commute
 //!   — results are gathered per part and folded back in part order,
 //!   making coordinates **and** reports **bitwise-deterministic for any
 //!   thread count**;
@@ -37,12 +42,14 @@
 //! one sweep apart; disable the tolerance (`tol < 0`) when exact
 //! sweep-count parity matters. Coordinates per sweep are unaffected.
 
+use crate::colored::{colored_class_plain_on, colored_class_smart_on};
 use crate::config::{SmoothParams, UpdateScheme};
+use crate::dcache::DomainQualityCache;
+use crate::domain::{DomainConfig, DomainPoint, SmoothDomain};
 use crate::engine::SmoothEngine;
 use crate::kernel::candidate_for;
 use crate::stats::{IterationStats, SmoothReport};
-use lms_mesh::geometry::Point2;
-use lms_mesh::{Adjacency, QualityCache, TriMesh};
+use lms_mesh::{Adjacency, TriMesh};
 use lms_part::{partition_mesh, Partition, PartitionMethod};
 use rayon::prelude::*;
 
@@ -55,21 +62,22 @@ use rayon::prelude::*;
 pub struct PartitionedEngine {
     engine: SmoothEngine,
     partition: Partition,
-    blocks: Vec<PartBlock>,
+    blocks: Vec<PartBlock<3>>,
     /// Interface vertices (mesh-interior) grouped by color class —
     /// the engine's interior color classes restricted to the interface.
     interface_classes: Vec<Vec<u32>>,
 }
 
-/// Immutable per-part topology: the local view a worker sweeps.
+/// Immutable per-part topology: the local view a worker sweeps, generic
+/// in the element corner count `C`.
 ///
 /// Local vertex ids index the part's owned vertices in ascending global
 /// order (the `lms_part` ghost-map convention); the halo never enters the
 /// sweep because part-interior vertices have fully-owned 1-rings. Local
-/// triangle ids index `tri_globals` (ascending global order), so slices
+/// element ids index `elem_globals` (ascending global order), so slices
 /// keep the serial engine's ascending iteration order.
 #[derive(Debug, Clone)]
-struct PartBlock {
+pub struct PartBlock<const C: usize> {
     /// Owned vertices, global ids ascending (gather/scatter map).
     owned: Vec<u32>,
     /// Vertices this part sweeps (part-interior ∩ mesh-interior):
@@ -81,77 +89,330 @@ struct PartBlock {
     /// local owned indices in the global ascending-neighbour order.
     nbr_offsets: Vec<u32>,
     nbrs: Vec<u32>,
-    /// Local triangle set: every triangle incident to a sweep vertex
-    /// (all three corners are owned). Global ids, ascending.
-    tri_globals: Vec<u32>,
-    /// Corner indices of each local triangle, in stored corner order.
-    tri_corners: Vec<[u32; 3]>,
-    /// Local CSR incident-triangle rows, aligned with `sweep_locals`.
+    /// Local element set: every element incident to a sweep vertex
+    /// (all corners are owned). Global ids, ascending.
+    elem_globals: Vec<u32>,
+    /// Corner indices of each local element, in stored corner order.
+    elem_corners: Vec<[u32; C]>,
+    /// Local CSR incident-element rows, aligned with `sweep_locals`.
     vt_offsets: Vec<u32>,
     vt: Vec<u32>,
     /// Owned interface vertices the interface phase can move:
     /// `(local, global)` pairs — the per-iteration coordinate refresh.
     iface_refresh: Vec<(u32, u32)>,
-    /// Local triangles incident to such a vertex — the per-iteration
+    /// Local elements incident to such a vertex — the per-iteration
     /// score refresh (the interface phase re-scores them in the cache).
-    frontier_tris: Vec<u32>,
+    frontier_elems: Vec<u32>,
+}
+
+impl<const C: usize> PartBlock<C> {
+    /// The sweep vertices (part-interior ∩ mesh-interior), global ids
+    /// ascending — the block's slice of the part-major visit order.
+    pub fn sweep_globals(&self) -> &[u32] {
+        &self.sweep_globals
+    }
+}
+
+/// Restrict interior color classes to partition-interface vertices
+/// (ascending within a class preserved, empty classes dropped) — the
+/// coordination schedule both decomposed engines (2D and 3D) build from
+/// one definition, so they share one serial-equivalence order.
+pub fn interface_classes(classes: &[Vec<u32>], partition: &Partition) -> Vec<Vec<u32>> {
+    classes
+        .iter()
+        .map(|class| {
+            class.iter().copied().filter(|&v| partition.is_interface(v)).collect::<Vec<u32>>()
+        })
+        .filter(|class| !class.is_empty())
+        .collect()
+}
+
+/// The serial visit order a partitioned/resident sweep over `blocks` is
+/// exactly equal to: each part's interior vertices ascending, parts in
+/// order, then the interface color classes class-major.
+pub fn part_major_order<const C: usize>(
+    blocks: &[PartBlock<C>],
+    interface_classes: &[Vec<u32>],
+) -> Vec<u32> {
+    let mut order: Vec<u32> = blocks.iter().flat_map(|b| b.sweep_globals.iter().copied()).collect();
+    order.extend(interface_classes.iter().flatten().copied());
+    order
 }
 
 /// Per-run mutable state of one part: the cache-resident block.
-struct PartScratch {
+struct PartScratch<P: DomainPoint> {
     /// Local copies of the owned vertices' coordinates.
-    coords: Vec<Point2>,
-    /// Local `(quality, positively_oriented)` per local triangle (smart
-    /// runs only), mirroring the global [`QualityCache`] entries.
+    coords: Vec<P>,
+    /// Local `(quality, positively_oriented)` per local element (smart
+    /// runs only), mirroring the global [`DomainQualityCache`] entries.
     scores: Vec<(f64, bool)>,
     /// Local owned indices committed this iteration (scatter list).
     committed: Vec<u32>,
-    /// Local triangles re-scored this iteration (cache write-back list).
+    /// Local elements re-scored this iteration (cache write-back list).
     dirty: Vec<u32>,
     dirty_mark: Vec<bool>,
     /// Candidate-star scratch.
     star: Vec<(f64, bool)>,
 }
 
-impl PartScratch {
-    fn new(block: &PartBlock, smart: bool) -> Self {
+impl<P: DomainPoint> PartScratch<P> {
+    fn new<const C: usize>(block: &PartBlock<C>, smart: bool) -> Self {
         PartScratch {
-            coords: vec![Point2::ZERO; block.owned.len()],
-            scores: if smart { vec![(0.0, false); block.tri_globals.len()] } else { Vec::new() },
+            coords: vec![P::ZERO; block.owned.len()],
+            scores: if smart { vec![(0.0, false); block.elem_globals.len()] } else { Vec::new() },
             committed: Vec::new(),
             dirty: Vec::new(),
-            dirty_mark: if smart { vec![false; block.tri_globals.len()] } else { Vec::new() },
+            dirty_mark: if smart { vec![false; block.elem_globals.len()] } else { Vec::new() },
             star: Vec::new(),
         }
     }
 
     /// First-iteration gather: all owned coordinates, and (smart) the
-    /// current cache state of every local triangle.
-    fn gather(&mut self, block: &PartBlock, coords: &[Point2], cache: &QualityCache, smart: bool) {
+    /// current cache state of every local element.
+    fn gather<const C: usize>(
+        &mut self,
+        block: &PartBlock<C>,
+        coords: &[P],
+        cache: &DomainQualityCache,
+        smart: bool,
+    ) {
         for (slot, &v) in self.coords.iter_mut().zip(&block.owned) {
             *slot = coords[v as usize];
         }
         if smart {
-            for (slot, &t) in self.scores.iter_mut().zip(&block.tri_globals) {
-                *slot = (cache.tri_quality(t), cache.tri_is_positive(t));
+            for (slot, &t) in self.scores.iter_mut().zip(&block.elem_globals) {
+                *slot = (cache.elem_quality(t), cache.elem_is_positive(t));
             }
         }
     }
 
     /// Steady-state refresh: only what the interface phase could have
-    /// changed — owned interface coordinates and frontier-triangle scores
+    /// changed — owned interface coordinates and frontier-element scores
     /// (everything else is maintained locally by this part alone).
-    fn refresh(&mut self, block: &PartBlock, coords: &[Point2], cache: &QualityCache, smart: bool) {
+    fn refresh<const C: usize>(
+        &mut self,
+        block: &PartBlock<C>,
+        coords: &[P],
+        cache: &DomainQualityCache,
+        smart: bool,
+    ) {
         for &(lv, gv) in &block.iface_refresh {
             self.coords[lv as usize] = coords[gv as usize];
         }
         if smart {
-            for &lt in &block.frontier_tris {
-                let t = block.tri_globals[lt as usize];
-                self.scores[lt as usize] = (cache.tri_quality(t), cache.tri_is_positive(t));
+            for &lt in &block.frontier_elems {
+                let t = block.elem_globals[lt as usize];
+                self.scores[lt as usize] = (cache.elem_quality(t), cache.elem_is_positive(t));
             }
         }
     }
+}
+
+/// Build every part's local topology for a domain + decomposition.
+pub fn build_part_blocks<const C: usize, D: SmoothDomain<C>>(
+    dom: &D,
+    partition: &Partition,
+) -> Vec<PartBlock<C>> {
+    let n = dom.num_vertices();
+    let mut g2l = vec![u32::MAX; n];
+    let mut elem_l = vec![u32::MAX; dom.num_elements()];
+    let mut blocks = Vec::with_capacity(partition.num_parts() as usize);
+    for p in 0..partition.num_parts() {
+        blocks.push(build_block(dom, partition, p, &mut g2l, &mut elem_l));
+    }
+    blocks
+}
+
+/// One plain local sweep: every candidate commits; arithmetic identical
+/// to the serial plain sweep on the gathered values.
+fn sweep_block_plain<const C: usize, P: DomainPoint>(
+    weighting: crate::config::Weighting,
+    block: &PartBlock<C>,
+    work: &mut PartScratch<P>,
+) {
+    for (si, &lv) in block.sweep_locals.iter().enumerate() {
+        let ns = &block.nbrs[block.nbr_offsets[si] as usize..block.nbr_offsets[si + 1] as usize];
+        if ns.is_empty() {
+            continue;
+        }
+        let pv = work.coords[lv as usize];
+        let Some(candidate) = candidate_for(weighting, pv, ns, &work.coords) else {
+            continue;
+        };
+        work.coords[lv as usize] = candidate;
+        work.committed.push(lv);
+    }
+}
+
+/// One smart local sweep: the serial hot path's incremental protocol on
+/// the local block — "before" from the local score table, candidate star
+/// scored once, scores reused as the table update on commit. The guard
+/// expressions mirror `kernel`'s smart sweep term for term, so commit
+/// decisions (hence coordinates) are bit-identical to the serial engine's.
+fn sweep_block_smart<const C: usize, D: SmoothDomain<C>>(
+    dom: &D,
+    weighting: crate::config::Weighting,
+    block: &PartBlock<C>,
+    work: &mut PartScratch<D::Point>,
+) {
+    for (si, &lv) in block.sweep_locals.iter().enumerate() {
+        let ns = &block.nbrs[block.nbr_offsets[si] as usize..block.nbr_offsets[si + 1] as usize];
+        if ns.is_empty() {
+            continue;
+        }
+        let pv = work.coords[lv as usize];
+        let Some(candidate) = candidate_for(weighting, pv, ns, &work.coords) else {
+            continue;
+        };
+        let ts = &block.vt[block.vt_offsets[si] as usize..block.vt_offsets[si + 1] as usize];
+        if ts.is_empty() {
+            work.coords[lv as usize] = candidate;
+            work.committed.push(lv);
+            continue;
+        }
+
+        work.star.clear();
+        let mut after_sum = 0.0;
+        let mut before_sum = 0.0;
+        let mut all_pos = true;
+        for &lt in ts {
+            let (q0, pos0) = work.scores[lt as usize];
+            before_sum += if pos0 { q0 } else { 0.0 };
+            let (q, pos) =
+                dom.score_with(&work.coords, block.elem_corners[lt as usize], lv, candidate);
+            work.star.push((q, pos));
+            if pos {
+                after_sum += q;
+            } else {
+                all_pos = false;
+            }
+        }
+        let len = ts.len() as f64;
+        let quality_ok = after_sum >= before_sum || after_sum / len >= before_sum / len;
+        let commit = quality_ok && (all_pos || ts.iter().any(|&lt| !work.scores[lt as usize].1));
+        if commit {
+            work.coords[lv as usize] = candidate;
+            for (k, &lt) in ts.iter().enumerate() {
+                work.scores[lt as usize] = work.star[k];
+                if !work.dirty_mark[lt as usize] {
+                    work.dirty_mark[lt as usize] = true;
+                    work.dirty.push(lt);
+                }
+            }
+            work.committed.push(lv);
+        }
+    }
+}
+
+/// The generic partitioned driver: part interiors in parallel (one
+/// cache-resident block per part), interface vertices by color class,
+/// serial write-back in part order. Race-free, bitwise-deterministic for
+/// any thread count, and exactly serial Gauss–Seidel under
+/// [`part_major_order`].
+pub fn smooth_partitioned_on<const C: usize, D: SmoothDomain<C>>(
+    dom: &D,
+    cfg: &DomainConfig,
+    blocks: &[PartBlock<C>],
+    interface_classes: &[Vec<u32>],
+    coords: &mut [D::Point],
+    pool: &rayon::ThreadPool,
+) -> SmoothReport {
+    assert_eq!(coords.len(), dom.num_vertices(), "engine was built for a different mesh");
+    let smart = cfg.smart;
+    let mut cache = DomainQualityCache::build(dom, coords);
+    let initial_quality = cache.quality_exact(dom);
+    let mut report = SmoothReport::starting(initial_quality);
+    let mut quality = initial_quality;
+    let mut works: Vec<PartScratch<D::Point>> =
+        blocks.iter().map(|b| PartScratch::new(b, smart)).collect();
+    let mut moved: Vec<u32> = Vec::new();
+    let mut star_ids: Vec<u32> = Vec::new();
+    let mut star_scores: Vec<(f64, bool)> = Vec::new();
+
+    for iter in 1..=cfg.max_iters {
+        moved.clear();
+
+        // Interior phase: every part sweeps its local block in parallel.
+        // Workers read the global coordinates and cache and write only
+        // their own scratch, so the phase is race-free and its outputs
+        // are independent of the thread schedule.
+        {
+            let shared: &[D::Point] = coords;
+            let cache_ref: &DomainQualityCache = &cache;
+            let first = iter == 1;
+            pool.install(|| {
+                works.par_iter_mut().enumerate().for_each(|(i, work)| {
+                    let block = &blocks[i];
+                    if first {
+                        work.gather(block, shared, cache_ref, smart);
+                    } else {
+                        work.refresh(block, shared, cache_ref, smart);
+                    }
+                    if smart {
+                        sweep_block_smart(dom, cfg.weighting, block, work);
+                    } else {
+                        sweep_block_plain(cfg.weighting, block, work);
+                    }
+                });
+            });
+        }
+
+        // Serial write-back in part order: scatter the committed
+        // coordinates and fold each part's element re-scores into the
+        // cache — deterministic for any thread count.
+        for (block, work) in blocks.iter().zip(works.iter_mut()) {
+            for &lv in &work.committed {
+                coords[block.owned[lv as usize] as usize] = work.coords[lv as usize];
+            }
+            if smart {
+                work.dirty.sort_unstable();
+                star_ids.clear();
+                star_scores.clear();
+                for &lt in &work.dirty {
+                    star_ids.push(block.elem_globals[lt as usize]);
+                    star_scores.push(work.scores[lt as usize]);
+                    work.dirty_mark[lt as usize] = false;
+                }
+                work.dirty.clear();
+                if !star_ids.is_empty() {
+                    cache.set_star(&star_ids, &star_scores);
+                }
+            } else {
+                moved.extend(work.committed.iter().map(|&lv| block.owned[lv as usize]));
+            }
+            work.committed.clear();
+        }
+
+        // Interface phase: the colored machinery on the global mesh —
+        // classes contain only interface vertices.
+        for class in interface_classes {
+            if smart {
+                colored_class_smart_on(dom, cfg.weighting, class, coords, &mut cache, pool);
+            } else {
+                colored_class_plain_on(dom, cfg.weighting, class, coords, &mut moved, pool);
+            }
+        }
+        if !moved.is_empty() {
+            cache.apply_moves(dom, &moved, coords);
+        }
+
+        let new_quality = cache.quality_running();
+        let improvement = new_quality - quality;
+        report.iterations.push(IterationStats { iter, quality: new_quality, improvement });
+        quality = new_quality;
+        if improvement < cfg.tol {
+            report.converged = true;
+            break;
+        }
+    }
+
+    let exact =
+        if report.iterations.is_empty() { initial_quality } else { cache.quality_exact(dom) };
+    if let Some(last) = report.iterations.last_mut() {
+        last.quality = exact;
+    }
+    report.final_quality = exact;
+    report
 }
 
 impl PartitionedEngine {
@@ -170,23 +431,8 @@ impl PartitionedEngine {
              use smooth_parallel for deterministic Jacobi"
         );
         let engine = SmoothEngine::new(mesh, params);
-        let interface_classes: Vec<Vec<u32>> = engine
-            .interior_color_classes()
-            .iter()
-            .map(|class| {
-                class.iter().copied().filter(|&v| partition.is_interface(v)).collect::<Vec<u32>>()
-            })
-            .filter(|class| !class.is_empty())
-            .collect();
-
-        let n = mesh.num_vertices();
-        let triangles: &[[u32; 3]] = engine.triangles();
-        let mut g2l = vec![u32::MAX; n];
-        let mut tri_l = vec![u32::MAX; triangles.len()];
-        let mut blocks = Vec::with_capacity(partition.num_parts() as usize);
-        for p in 0..partition.num_parts() {
-            blocks.push(build_block(&partition, &engine, triangles, p, &mut g2l, &mut tri_l));
-        }
+        let interface_classes = interface_classes(engine.interior_color_classes(), &partition);
+        let blocks = build_part_blocks(&engine.domain(), &partition);
         PartitionedEngine { engine, partition, blocks, interface_classes }
     }
 
@@ -224,10 +470,7 @@ impl PartitionedEngine {
     /// [`SmoothEngine::with_visit_order`] to reproduce the partitioned
     /// result bit for bit on the serial engine.
     pub fn part_major_visit_order(&self) -> Vec<u32> {
-        let mut order: Vec<u32> =
-            self.blocks.iter().flat_map(|b| b.sweep_globals.iter().copied()).collect();
-        order.extend(self.interface_classes.iter().flatten().copied());
-        order
+        part_major_order(&self.blocks, &self.interface_classes)
     }
 
     /// Partitioned in-place Gauss–Seidel smoothing: part interiors in
@@ -245,206 +488,29 @@ impl PartitionedEngine {
         // engine-cached persistent pool: workers are spawned on the first
         // run at this thread count and parked between phases thereafter
         let pool = self.engine.pool.get(num_threads);
-
-        let params = &self.engine.params;
-        let smart = params.smart;
-        let mut cache = QualityCache::build(mesh, &self.engine.adj, params.metric);
-        let initial_quality = cache.quality_exact(&self.engine.adj);
-        let mut report = SmoothReport::starting(initial_quality);
-        let mut quality = initial_quality;
-        let mut works: Vec<PartScratch> =
-            self.blocks.iter().map(|b| PartScratch::new(b, smart)).collect();
-        let mut moved: Vec<u32> = Vec::new();
-        let mut star_ids: Vec<u32> = Vec::new();
-        let mut star_scores: Vec<(f64, bool)> = Vec::new();
-
-        for iter in 1..=params.max_iters {
-            moved.clear();
-
-            // Interior phase: every part sweeps its local block in
-            // parallel. Workers read the global coordinates and cache and
-            // write only their own scratch, so the phase is race-free and
-            // its outputs are independent of the thread schedule.
-            {
-                let coords: &[Point2] = mesh.coords();
-                let cache_ref: &QualityCache = &cache;
-                let blocks: &[PartBlock] = &self.blocks;
-                let first = iter == 1;
-                pool.install(|| {
-                    works.par_iter_mut().enumerate().for_each(|(i, work)| {
-                        let block = &blocks[i];
-                        if first {
-                            work.gather(block, coords, cache_ref, smart);
-                        } else {
-                            work.refresh(block, coords, cache_ref, smart);
-                        }
-                        if smart {
-                            self.sweep_block_smart(block, work);
-                        } else {
-                            self.sweep_block_plain(block, work);
-                        }
-                    });
-                });
-            }
-
-            // Serial write-back in part order: scatter the committed
-            // coordinates and fold each part's triangle re-scores into
-            // the cache — deterministic for any thread count.
-            for (block, work) in self.blocks.iter().zip(works.iter_mut()) {
-                let coords = mesh.coords_mut();
-                for &lv in &work.committed {
-                    coords[block.owned[lv as usize] as usize] = work.coords[lv as usize];
-                }
-                if smart {
-                    work.dirty.sort_unstable();
-                    star_ids.clear();
-                    star_scores.clear();
-                    for &lt in &work.dirty {
-                        star_ids.push(block.tri_globals[lt as usize]);
-                        star_scores.push(work.scores[lt as usize]);
-                        work.dirty_mark[lt as usize] = false;
-                    }
-                    work.dirty.clear();
-                    if !star_ids.is_empty() {
-                        cache.set_star(&star_ids, &star_scores);
-                    }
-                } else {
-                    moved.extend(work.committed.iter().map(|&lv| block.owned[lv as usize]));
-                }
-                work.committed.clear();
-            }
-
-            // Interface phase: the existing colored machinery on the
-            // global mesh — classes contain only interface vertices.
-            for class in &self.interface_classes {
-                if smart {
-                    self.engine.colored_class_smart(class, mesh, &mut cache, &pool);
-                } else {
-                    self.engine.colored_class_plain(class, mesh, &mut moved, &pool);
-                }
-            }
-            if !moved.is_empty() {
-                cache.apply_moves(&moved, &self.engine.adj, mesh.coords(), &self.engine.triangles);
-            }
-
-            let new_quality = cache.quality_running();
-            let improvement = new_quality - quality;
-            report.iterations.push(IterationStats { iter, quality: new_quality, improvement });
-            quality = new_quality;
-            if improvement < params.tol {
-                report.converged = true;
-                break;
-            }
-        }
-
-        let exact = if report.iterations.is_empty() {
-            initial_quality
-        } else {
-            cache.quality_exact(&self.engine.adj)
-        };
-        if let Some(last) = report.iterations.last_mut() {
-            last.quality = exact;
-        }
-        report.final_quality = exact;
-        report
-    }
-
-    /// One plain local sweep: every candidate commits; arithmetic
-    /// identical to the serial plain sweep on the gathered values.
-    fn sweep_block_plain(&self, block: &PartBlock, work: &mut PartScratch) {
-        let weighting = self.engine.params.weighting;
-        for (si, &lv) in block.sweep_locals.iter().enumerate() {
-            let ns =
-                &block.nbrs[block.nbr_offsets[si] as usize..block.nbr_offsets[si + 1] as usize];
-            if ns.is_empty() {
-                continue;
-            }
-            let pv = work.coords[lv as usize];
-            let Some(candidate) = candidate_for(weighting, pv, ns, &work.coords) else {
-                continue;
-            };
-            work.coords[lv as usize] = candidate;
-            work.committed.push(lv);
-        }
-    }
-
-    /// One smart local sweep: the serial hot path's incremental protocol
-    /// on the local block — "before" from the local score table, candidate
-    /// star scored once, scores reused as the table update on commit. The
-    /// guard expressions mirror `kernel::sweep_gs_smart` term for term, so
-    /// commit decisions (hence coordinates) are bit-identical to the
-    /// serial engine's.
-    fn sweep_block_smart(&self, block: &PartBlock, work: &mut PartScratch) {
-        let metric = self.engine.params.metric;
-        let weighting = self.engine.params.weighting;
-        for (si, &lv) in block.sweep_locals.iter().enumerate() {
-            let ns =
-                &block.nbrs[block.nbr_offsets[si] as usize..block.nbr_offsets[si + 1] as usize];
-            if ns.is_empty() {
-                continue;
-            }
-            let pv = work.coords[lv as usize];
-            let Some(candidate) = candidate_for(weighting, pv, ns, &work.coords) else {
-                continue;
-            };
-            let ts = &block.vt[block.vt_offsets[si] as usize..block.vt_offsets[si + 1] as usize];
-            if ts.is_empty() {
-                work.coords[lv as usize] = candidate;
-                work.committed.push(lv);
-                continue;
-            }
-
-            work.star.clear();
-            let mut after_sum = 0.0;
-            let mut before_sum = 0.0;
-            let mut all_pos = true;
-            for &lt in ts {
-                let (q0, pos0) = work.scores[lt as usize];
-                before_sum += if pos0 { q0 } else { 0.0 };
-                let (q, pos) = QualityCache::score_with(
-                    metric,
-                    &work.coords,
-                    block.tri_corners[lt as usize],
-                    lv,
-                    candidate,
-                );
-                work.star.push((q, pos));
-                if pos {
-                    after_sum += q;
-                } else {
-                    all_pos = false;
-                }
-            }
-            let len = ts.len() as f64;
-            let quality_ok = after_sum >= before_sum || after_sum / len >= before_sum / len;
-            let commit =
-                quality_ok && (all_pos || ts.iter().any(|&lt| !work.scores[lt as usize].1));
-            if commit {
-                work.coords[lv as usize] = candidate;
-                for (k, &lt) in ts.iter().enumerate() {
-                    work.scores[lt as usize] = work.star[k];
-                    if !work.dirty_mark[lt as usize] {
-                        work.dirty_mark[lt as usize] = true;
-                        work.dirty.push(lt);
-                    }
-                }
-                work.committed.push(lv);
-            }
-        }
+        let dom = self.engine.domain();
+        smooth_partitioned_on(
+            &dom,
+            &DomainConfig::from(&self.engine.params),
+            &self.blocks,
+            &self.interface_classes,
+            mesh.coords_mut(),
+            &pool,
+        )
     }
 }
 
-/// Build one part's local topology. `g2l` and `tri_l` are `u32::MAX`-filled
-/// scratch maps of global→local ids, restored before returning.
-fn build_block(
+/// Build one part's local topology. `g2l` and `elem_l` are
+/// `u32::MAX`-filled scratch maps of global→local ids, restored before
+/// returning.
+fn build_block<const C: usize, D: SmoothDomain<C>>(
+    dom: &D,
     partition: &Partition,
-    engine: &SmoothEngine,
-    triangles: &[[u32; 3]],
     p: u32,
     g2l: &mut [u32],
-    tri_l: &mut [u32],
-) -> PartBlock {
-    let adj = engine.adjacency();
+    elem_l: &mut [u32],
+) -> PartBlock<C> {
+    let elements = dom.elements();
     let owned: Vec<u32> = partition.part(p).to_vec();
     for (i, &v) in owned.iter().enumerate() {
         g2l[v as usize] = i as u32;
@@ -453,25 +519,25 @@ fn build_block(
     let mut sweep_globals = Vec::new();
     let mut sweep_locals = Vec::new();
     for (i, &v) in owned.iter().enumerate() {
-        if !partition.is_interface(v) && engine.boundary().is_interior(v) {
+        if !partition.is_interface(v) && dom.is_interior(v) {
             sweep_globals.push(v);
             sweep_locals.push(i as u32);
         }
     }
 
-    // local triangle set: the sweep vertices' stars (corners are all
+    // local element set: the sweep vertices' stars (corners are all
     // owned — a part-interior vertex's ring is owned by construction)
-    let mut tri_globals: Vec<u32> =
-        sweep_globals.iter().flat_map(|&v| adj.triangles_of(v).iter().copied()).collect();
-    tri_globals.sort_unstable();
-    tri_globals.dedup();
-    for (i, &t) in tri_globals.iter().enumerate() {
-        tri_l[t as usize] = i as u32;
+    let mut elem_globals: Vec<u32> =
+        sweep_globals.iter().flat_map(|&v| dom.elements_of(v).iter().copied()).collect();
+    elem_globals.sort_unstable();
+    elem_globals.dedup();
+    for (i, &t) in elem_globals.iter().enumerate() {
+        elem_l[t as usize] = i as u32;
     }
-    let tri_corners: Vec<[u32; 3]> = tri_globals
+    let elem_corners: Vec<[u32; C]> = elem_globals
         .iter()
         .map(|&t| {
-            triangles[t as usize].map(|c| {
+            elements[t as usize].map(|c| {
                 debug_assert_ne!(
                     g2l[c as usize],
                     u32::MAX,
@@ -489,28 +555,28 @@ fn build_block(
     vt_offsets.push(0u32);
     let mut vt = Vec::new();
     for &v in &sweep_globals {
-        nbrs.extend(adj.neighbors(v).iter().map(|&w| g2l[w as usize]));
+        nbrs.extend(dom.neighbors(v).iter().map(|&w| g2l[w as usize]));
         nbr_offsets.push(nbrs.len() as u32);
-        vt.extend(adj.triangles_of(v).iter().map(|&t| tri_l[t as usize]));
+        vt.extend(dom.elements_of(v).iter().map(|&t| elem_l[t as usize]));
         vt_offsets.push(vt.len() as u32);
     }
 
-    let movable_iface = |v: u32| partition.is_interface(v) && engine.boundary().is_interior(v);
+    let movable_iface = |v: u32| partition.is_interface(v) && dom.is_interior(v);
     let iface_refresh: Vec<(u32, u32)> = owned
         .iter()
         .enumerate()
         .filter(|&(_, &v)| movable_iface(v))
         .map(|(i, &v)| (i as u32, v))
         .collect();
-    let frontier_tris: Vec<u32> = tri_globals
+    let frontier_elems: Vec<u32> = elem_globals
         .iter()
         .enumerate()
-        .filter(|&(_, &t)| triangles[t as usize].iter().any(|&c| movable_iface(c)))
+        .filter(|&(_, &t)| elements[t as usize].iter().any(|&c| movable_iface(c)))
         .map(|(i, _)| i as u32)
         .collect();
 
-    for &t in &tri_globals {
-        tri_l[t as usize] = u32::MAX;
+    for &t in &elem_globals {
+        elem_l[t as usize] = u32::MAX;
     }
     for &v in &owned {
         g2l[v as usize] = u32::MAX;
@@ -521,12 +587,12 @@ fn build_block(
         sweep_locals,
         nbr_offsets,
         nbrs,
-        tri_globals,
-        tri_corners,
+        elem_globals,
+        elem_corners,
         vt_offsets,
         vt,
         iface_refresh,
-        frontier_tris,
+        frontier_elems,
     }
 }
 

@@ -12,6 +12,9 @@
 //! The cache holds the single most recent thread count — engines are
 //! benchmarked at one count per configuration, and a changed count is a
 //! deliberate reconfiguration worth one rebuild.
+//!
+//! Public since the dimension-generic refactor: the 3D engines in
+//! `lms-mesh3d` cache their pools through the same type.
 
 use std::sync::{Arc, Mutex};
 
@@ -19,18 +22,18 @@ use std::sync::{Arc, Mutex};
 /// count. Cloning an engine clones the cache *empty* (pools are not
 /// shareable state worth copying), and the cache never participates in
 /// equality.
-pub(crate) struct PoolCache {
+pub struct PoolCache {
     slot: Mutex<Option<(usize, Arc<rayon::ThreadPool>)>>,
 }
 
 impl PoolCache {
-    pub(crate) fn new() -> Self {
+    pub fn new() -> Self {
         PoolCache { slot: Mutex::new(None) }
     }
 
     /// The cached pool for `num_threads`, building (and caching) it on the
     /// first request or when the count changed.
-    pub(crate) fn get(&self, num_threads: usize) -> Arc<rayon::ThreadPool> {
+    pub fn get(&self, num_threads: usize) -> Arc<rayon::ThreadPool> {
         assert!(num_threads >= 1, "need at least one thread");
         let mut slot = self.slot.lock().unwrap();
         if let Some((n, pool)) = &*slot {

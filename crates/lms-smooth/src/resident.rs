@@ -11,19 +11,19 @@
 //!
 //! This engine makes the blocks **resident for the whole run**:
 //!
-//! * each part gathers its owned + halo coordinates and its local triangle
+//! * each part gathers its owned + halo coordinates and its local element
 //!   scores **once** (the single full gather);
 //! * interiors sweep exactly as in PR-2 — serial ascending inside the
 //!   part, fully parallel across parts;
 //! * interface vertices are smoothed **inside their owning part**, in
 //!   global color order: within a color class no two vertices are adjacent
-//!   or share a triangle (even across parts), so each part commits its
+//!   or share an element (even across parts), so each part commits its
 //!   class members locally and the only cross-part dependency is the halo
 //!   refresh between color steps;
 //! * between color steps the engine routes **only the moved vertices'**
 //!   coordinates along the precomputed [`ExchangeSchedule`] — per-round
 //!   traffic is a moved-restricted slice of the static ghost pattern, and
-//!   receiving parts re-score just the local triangles the delivered halo
+//!   receiving parts re-score just the local elements the delivered halo
 //!   vertices touch;
 //! * the global mesh is written back in **one parallel disjoint scatter**
 //!   at the end (parts own disjoint vertex sets).
@@ -36,14 +36,21 @@
 //!
 //! The per-iteration quality statistic is maintained incrementally too:
 //! the global quality is the linear functional `Σ_t q_t·w_t / V` (see
-//! [`lms_mesh::QualityCache`]), each changed triangle is *stat-owned* by
-//! exactly one part (the part owning its smallest movable corner), and
-//! every part accumulates `w_t·Δq_t` over its own commits and halo
-//! re-scores. Part deltas fold into a Neumaier-compensated running sum in
-//! part order, so reports are bitwise-deterministic for any thread count;
-//! like PR-2's running sum it tracks the exact quality to a few ulps, so
-//! disable the tolerance (`tol < 0`) when exact sweep-count parity with
-//! another engine matters.
+//! [`crate::dcache::DomainQualityCache`]), each changed element is
+//! *stat-owned* by exactly one part (the part owning its smallest movable
+//! corner), and every part accumulates `w_t·Δq_t` over its own commits and
+//! halo re-scores. Part deltas fold into a Neumaier-compensated running
+//! sum in part order, so reports are bitwise-deterministic for any thread
+//! count; like PR-2's running sum it tracks the exact quality to a few
+//! ulps, so disable the tolerance (`tol < 0`) when exact sweep-count
+//! parity with another engine matters.
+//!
+//! Since PR 4 the whole protocol is generic over [`SmoothDomain`]:
+//! [`ResidentEngine`] instantiates it for the 2D [`TriMesh`],
+//! `lms-mesh3d`'s `ResidentEngine3` for tetrahedra — the same one-gather /
+//! moved-only-delta / one-scatter exchange whatever the dimension, which
+//! is exactly the shape the ROADMAP's distributed-memory backend will
+//! serialise onto a transport.
 //!
 //! Determinism and equivalence (property-tested in `tests/resident.rs`):
 //! coordinates are **bitwise-deterministic for any thread count** and
@@ -53,12 +60,13 @@
 //! decomposition.
 
 use crate::config::{SmoothParams, UpdateScheme};
+use crate::domain::{
+    domain_quality, domain_quality_scored, DomainConfig, DomainPoint, SmoothDomain,
+};
 use crate::engine::SmoothEngine;
 use crate::kernel::candidate_for;
 use crate::stats::{ExchangeVolume, IterationStats, SmoothReport};
-use lms_mesh::geometry::Point2;
-use lms_mesh::quality::mesh_quality;
-use lms_mesh::{Adjacency, QualityCache, TriMesh};
+use lms_mesh::{Adjacency, TriMesh};
 use lms_part::{partition_mesh, ExchangeSchedule, Partition, PartitionMethod};
 use rayon::prelude::*;
 
@@ -75,25 +83,26 @@ pub struct ResidentEngine {
     /// empty classes dropped. Same construction as the PR-2 engine, so
     /// both engines share one serial-equivalence order.
     interface_classes: Vec<Vec<u32>>,
-    /// Constant global triangle weights `w_t = Σ_{v ∈ t} 1/deg_t(v)` of
-    /// the quality functional.
-    tri_w: Vec<f64>,
-    blocks: Vec<ResidentBlock>,
+    blocks: Vec<ResidentBlock<3>>,
+    /// Constant global element weights `w_t` of the quality functional —
+    /// computed once at construction, shared with every run's statistic.
+    elem_w: Vec<f64>,
 }
 
-/// Immutable per-part topology of a resident block. Local vertex ids
-/// follow the [`Partition::local_of`] convention — owned ascending, then
-/// halo ascending — so exchange-schedule destinations index straight into
-/// the block's coordinate buffer.
+/// Immutable per-part topology of a resident block, generic in the
+/// element corner count `C`. Local vertex ids follow the
+/// [`Partition::local_of`] convention — owned ascending, then halo
+/// ascending — so exchange-schedule destinations index straight into the
+/// block's coordinate buffer.
 #[derive(Debug, Clone)]
-struct ResidentBlock {
+pub struct ResidentBlock<const C: usize> {
     /// Owned vertices, global ids ascending (the final scatter map).
     owned: Vec<u32>,
     /// Halo (ghost) vertices, global ids ascending.
     halo: Vec<u32>,
     num_owned: u32,
     /// Part-interior ∩ mesh-interior sweep vertices (owned locals,
-    /// ascending) with their local CSR neighbour / incident-triangle rows.
+    /// ascending) with their local CSR neighbour / incident-element rows.
     int_locals: Vec<u32>,
     int_nbr_offsets: Vec<u32>,
     int_nbrs: Vec<u32>,
@@ -108,52 +117,72 @@ struct ResidentBlock {
     ifc_nbrs: Vec<u32>,
     ifc_vt_offsets: Vec<u32>,
     ifc_vt: Vec<u32>,
-    /// Local triangle set — every triangle incident to a sweep vertex.
+    /// Local element set — every element incident to a sweep vertex.
     /// Global ids ascending; corners as local ids.
-    tri_globals: Vec<u32>,
-    tri_corners: Vec<[u32; 3]>,
-    /// Per local triangle: the global weight `w_t` when this part
-    /// stat-owns the triangle (it owns the smallest movable corner),
+    elem_globals: Vec<u32>,
+    elem_corners: Vec<[u32; C]>,
+    /// Per local element: the global weight `w_t` when this part
+    /// stat-owns the element (it owns the smallest movable corner),
     /// `0.0` otherwise — multiplying score deltas by this folds each
-    /// triangle's quality change into exactly one part's accumulator.
-    tri_weight: Vec<f64>,
-    /// Per halo local (index − `num_owned`): incident local triangles —
+    /// element's quality change into exactly one part's accumulator.
+    elem_weight: Vec<f64>,
+    /// Per halo local (index − `num_owned`): incident local elements —
     /// what a delivered halo coordinate forces us to re-score.
     halo_vt_offsets: Vec<u32>,
     halo_vt: Vec<u32>,
 }
 
+impl<const C: usize> ResidentBlock<C> {
+    /// The block's interior sweep vertices as global ids, ascending — its
+    /// slice of the part-major visit order.
+    pub fn interior_globals(&self) -> impl Iterator<Item = u32> + '_ {
+        self.int_locals.iter().map(|&lv| self.owned[lv as usize])
+    }
+}
+
+/// The serial visit order a resident sweep over `blocks` is exactly equal
+/// to — identical to [`crate::partitioned::part_major_order`] over the
+/// same decomposition.
+pub fn resident_part_major_order<const C: usize>(
+    blocks: &[ResidentBlock<C>],
+    interface_classes: &[Vec<u32>],
+) -> Vec<u32> {
+    let mut order: Vec<u32> = blocks.iter().flat_map(|b| b.interior_globals()).collect();
+    order.extend(interface_classes.iter().flatten().copied());
+    order
+}
+
 /// Per-run mutable state of one part: the resident block itself.
-struct ResidentScratch {
+struct ResidentScratch<P: DomainPoint> {
     /// Local coordinates: owned then halo.
-    coords: Vec<Point2>,
-    /// Local `(quality, positively_oriented)` per local triangle.
+    coords: Vec<P>,
+    /// Local `(quality, positively_oriented)` per local element.
     scores: Vec<(f64, bool)>,
-    /// This iteration's `Σ w_t·Δq_t` over stat-owned triangles.
+    /// This iteration's `Σ w_t·Δq_t` over stat-owned elements.
     delta: f64,
     /// Owned locals committed in the current interface color round — the
     /// moved-restriction of the exchange.
     round_moved: Vec<u32>,
-    /// Plain runs: local triangles awaiting the end-of-iteration re-score.
+    /// Plain runs: local elements awaiting the end-of-iteration re-score.
     iter_dirty: Vec<u32>,
     dirty_mark: Vec<bool>,
     /// Smart candidate-star scratch.
     star: Vec<(f64, bool)>,
     /// Pending halo deliveries `(dst local, coordinate)`.
-    inbox: Vec<(u32, Point2)>,
-    /// Smart runs: triangles to re-score right after an inbox application.
+    inbox: Vec<(u32, P)>,
+    /// Smart runs: elements to re-score right after an inbox application.
     apply_dirty: Vec<u32>,
 }
 
-impl ResidentScratch {
-    fn new(block: &ResidentBlock) -> Self {
+impl<P: DomainPoint> ResidentScratch<P> {
+    fn new<const C: usize>(block: &ResidentBlock<C>) -> Self {
         ResidentScratch {
-            coords: vec![Point2::ZERO; block.owned.len() + block.halo.len()],
-            scores: vec![(0.0, false); block.tri_globals.len()],
+            coords: vec![P::ZERO; block.owned.len() + block.halo.len()],
+            scores: vec![(0.0, false); block.elem_globals.len()],
             delta: 0.0,
             round_moved: Vec::new(),
             iter_dirty: Vec::new(),
-            dirty_mark: vec![false; block.tri_globals.len()],
+            dirty_mark: vec![false; block.elem_globals.len()],
             star: Vec::new(),
             inbox: Vec::new(),
             apply_dirty: Vec::new(),
@@ -161,18 +190,23 @@ impl ResidentScratch {
     }
 
     /// The one full gather: all owned + halo coordinates and every local
-    /// triangle's initial score.
-    fn gather(&mut self, block: &ResidentBlock, coords: &[Point2], scores: &[(f64, bool)]) {
+    /// element's initial score.
+    fn gather<const C: usize>(
+        &mut self,
+        block: &ResidentBlock<C>,
+        coords: &[P],
+        scores: &[(f64, bool)],
+    ) {
         for (slot, &v) in self.coords.iter_mut().zip(block.owned.iter().chain(&block.halo)) {
             *slot = coords[v as usize];
         }
-        for (slot, &t) in self.scores.iter_mut().zip(&block.tri_globals) {
+        for (slot, &t) in self.scores.iter_mut().zip(&block.elem_globals) {
             *slot = scores[t as usize];
         }
     }
 }
 
-/// Neumaier-compensated accumulator mirroring [`QualityCache`]'s running
+/// Neumaier-compensated accumulator mirroring the quality cache's running
 /// sum (same per-add expressions, so the initial fold is bit-equal to a
 /// freshly built cache's).
 #[derive(Default)]
@@ -202,9 +236,389 @@ impl Neumaier {
 /// Raw coordinate base pointer for the final disjoint scatter. Soundness:
 /// parts own disjoint global vertex sets (a partition invariant,
 /// property-tested in `lms-part`), so no slot is written by two parts.
-struct ScatterPtr(*mut Point2);
-unsafe impl Sync for ScatterPtr {}
-unsafe impl Send for ScatterPtr {}
+struct ScatterPtr<P>(*mut P);
+unsafe impl<P> Sync for ScatterPtr<P> {}
+unsafe impl<P> Send for ScatterPtr<P> {}
+
+/// Build every part's resident topology for a domain + decomposition +
+/// interface color classes. Also returns the constant global element
+/// weights `w_t` (the same table the per-block stat weights are sliced
+/// from), which [`smooth_resident_on`] folds the initial running sum
+/// with — computed here once instead of once per run.
+pub fn build_resident_blocks<const C: usize, D: SmoothDomain<C>>(
+    dom: &D,
+    partition: &Partition,
+    interface_classes: &[Vec<u32>],
+) -> (Vec<ResidentBlock<C>>, Vec<f64>) {
+    let n = dom.num_vertices();
+    let elements = dom.elements();
+    // constant global element weights `w_t = Σ_{v ∈ t} 1/deg_t(v)` of the
+    // quality functional
+    let elem_w: Vec<f64> = elements
+        .iter()
+        .map(|e| e.iter().map(|&v| 1.0 / dom.elements_of(v).len() as f64).sum())
+        .collect();
+    // stat owner of each element: the part owning its smallest
+    // mesh-interior (movable) corner; unchangeable elements have none
+    let stat_owner: Vec<u32> = elements
+        .iter()
+        .map(|e| {
+            e.iter()
+                .copied()
+                .filter(|&v| dom.is_interior(v))
+                .min()
+                .map_or(u32::MAX, |v| partition.part_of(v))
+        })
+        .collect();
+
+    let mut g2l = vec![u32::MAX; n];
+    let mut elem_l = vec![u32::MAX; elements.len()];
+    let mut blocks = Vec::with_capacity(partition.num_parts() as usize);
+    for p in 0..partition.num_parts() {
+        blocks.push(build_resident_block(
+            dom,
+            partition,
+            interface_classes,
+            &elem_w,
+            &stat_owner,
+            p,
+            &mut g2l,
+            &mut elem_l,
+        ));
+    }
+    (blocks, elem_w)
+}
+
+/// The generic resident driver: one full gather, local sweeps with
+/// halo-delta exchange between interface color steps, one parallel
+/// disjoint scatter. Race-free, bitwise-deterministic for any thread
+/// count, and exactly serial Gauss–Seidel under
+/// [`resident_part_major_order`].
+#[allow(clippy::too_many_arguments)]
+pub fn smooth_resident_on<const C: usize, D: SmoothDomain<C>>(
+    dom: &D,
+    cfg: &DomainConfig,
+    blocks: &[ResidentBlock<C>],
+    elem_w: &[f64],
+    interface_classes: &[Vec<u32>],
+    schedule: &ExchangeSchedule,
+    coords: &mut [D::Point],
+    pool: &rayon::ThreadPool,
+) -> SmoothReport {
+    assert_eq!(coords.len(), dom.num_vertices(), "engine was built for a different mesh");
+    let smart = cfg.smart;
+    let num_colors = interface_classes.len();
+    let k = blocks.len();
+
+    // initial scoring pass + quality: the same values a fresh quality
+    // cache would hold, folded in the same order — so the running sum
+    // starts bit-equal to the other engines'; the canonical initial
+    // quality is reduced from the same table (one scoring sweep, not two)
+    let init_scores: Vec<(f64, bool)> =
+        dom.elements().iter().map(|&e| dom.score(coords, e)).collect();
+    let mut qsum = Neumaier::default();
+    for (t, &(q, _)) in init_scores.iter().enumerate() {
+        qsum.add(q * elem_w[t]);
+    }
+    let initial_quality = domain_quality_scored(dom, &init_scores);
+    let mut report = SmoothReport::starting(initial_quality);
+    let mut volume = ExchangeVolume::default();
+    let mut quality = initial_quality;
+
+    if cfg.max_iters == 0 {
+        report.exchange = Some(volume);
+        return report;
+    }
+
+    let mut works: Vec<ResidentScratch<D::Point>> =
+        blocks.iter().map(ResidentScratch::new).collect();
+
+    // the one full gather: blocks become resident now
+    {
+        let shared: &[D::Point] = coords;
+        let scores: &[(f64, bool)] = &init_scores;
+        pool.install(|| {
+            works.par_iter_mut().enumerate().for_each(|(i, work)| {
+                work.gather(&blocks[i], shared, scores);
+            });
+        });
+        volume.full_gathers += 1;
+    }
+
+    for iter in 1..=cfg.max_iters {
+        // interior phase: fully local, nothing to exchange afterwards
+        // (an interior vertex is in no other part's halo)
+        pool.install(|| {
+            works.par_iter_mut().enumerate().for_each(|(i, work)| {
+                let block = &blocks[i];
+                let range = 0..block.int_locals.len();
+                if smart {
+                    sweep_range_smart(dom, cfg, block, work, SweepSpan::Interior, range, false);
+                } else {
+                    sweep_range_plain(cfg, block, work, SweepSpan::Interior, range, false);
+                }
+            });
+        });
+
+        // interface phase: global color order, halo deltas routed
+        // between color steps
+        for c in 0..num_colors {
+            pool.install(|| {
+                works.par_iter_mut().enumerate().for_each(|(i, work)| {
+                    let block = &blocks[i];
+                    apply_inbox(dom, block, work, smart);
+                    let range = block.ifc_color_offsets[c] as usize
+                        ..block.ifc_color_offsets[c + 1] as usize;
+                    if smart {
+                        sweep_range_smart(dom, cfg, block, work, SweepSpan::Interface, range, true);
+                    } else {
+                        sweep_range_plain(cfg, block, work, SweepSpan::Interface, range, true);
+                    }
+                });
+            });
+            // serial routing pass: O(moved · ghost-degree) pointer
+            // copies in deterministic part order
+            volume.exchange_rounds += 1;
+            for p in 0..k {
+                let moved = std::mem::take(&mut works[p].round_moved);
+                for &lv in &moved {
+                    for &(q, dst) in schedule.outgoing(p as u32, lv) {
+                        let coord = works[p].coords[lv as usize];
+                        works[q as usize].inbox.push((dst, coord));
+                        volume.halo_entries_sent += 1;
+                    }
+                }
+                let mut moved = moved;
+                moved.clear();
+                works[p].round_moved = moved;
+            }
+        }
+
+        // finalize: deliver the last color's deltas and (plain runs)
+        // re-score this iteration's dirty elements for the statistic
+        pool.install(|| {
+            works.par_iter_mut().enumerate().for_each(|(i, work)| {
+                let block = &blocks[i];
+                apply_inbox(dom, block, work, smart);
+                if !smart {
+                    finalize_plain(dom, block, work);
+                }
+            });
+        });
+
+        // fold part deltas in part order: deterministic for any thread
+        // count, same skip-zero rule as the cache's set_star
+        for work in works.iter_mut() {
+            if work.delta != 0.0 {
+                qsum.add(work.delta);
+            }
+            work.delta = 0.0;
+        }
+        let new_quality = qsum.value() / dom.num_vertices() as f64;
+        let improvement = new_quality - quality;
+        report.iterations.push(IterationStats { iter, quality: new_quality, improvement });
+        quality = new_quality;
+        if improvement < cfg.tol {
+            report.converged = true;
+            break;
+        }
+    }
+
+    // the one full scatter: parts own disjoint vertex sets, so the
+    // write-back is a race-free parallel scatter
+    {
+        let scatter = ScatterPtr(coords.as_mut_ptr());
+        let scatter = &scatter;
+        let works_ref: &[ResidentScratch<D::Point>] = &works;
+        pool.install(|| {
+            (0..blocks.len()).into_par_iter().for_each(|i| {
+                let block = &blocks[i];
+                let work = &works_ref[i];
+                for (j, &v) in block.owned.iter().enumerate() {
+                    // SAFETY: `v` is owned by part `i` alone; parts
+                    // partition the vertex set, so no two workers
+                    // write the same slot.
+                    unsafe { *scatter.0.add(v as usize) = work.coords[j] };
+                }
+            });
+        });
+        volume.full_scatters += 1;
+    }
+
+    let exact = domain_quality(dom, coords);
+    if let Some(last) = report.iterations.last_mut() {
+        last.quality = exact;
+    }
+    report.final_quality = exact;
+    report.exchange = Some(volume);
+    report
+}
+
+/// One smart local span sweep — arithmetic identical, expression by
+/// expression, to the serial hot path ([`crate::kernel`]) and to the PR-2
+/// block/colored sweeps, so commit decisions (hence coordinates) stay
+/// bit-identical. Score updates fold `w_t·Δq` into the part's stat delta
+/// as they land.
+fn sweep_range_smart<const C: usize, D: SmoothDomain<C>>(
+    dom: &D,
+    cfg: &DomainConfig,
+    block: &ResidentBlock<C>,
+    work: &mut ResidentScratch<D::Point>,
+    span: SweepSpan,
+    range: std::ops::Range<usize>,
+    record_moved: bool,
+) {
+    let weighting = cfg.weighting;
+    let (locals, nbr_offsets, nbrs, vt_offsets, vt) = span.arrays(block);
+    for si in range {
+        let lv = locals[si];
+        let ns = &nbrs[nbr_offsets[si] as usize..nbr_offsets[si + 1] as usize];
+        if ns.is_empty() {
+            continue;
+        }
+        let pv = work.coords[lv as usize];
+        let Some(candidate) = candidate_for(weighting, pv, ns, &work.coords) else {
+            continue;
+        };
+        let ts = &vt[vt_offsets[si] as usize..vt_offsets[si + 1] as usize];
+        if ts.is_empty() {
+            work.coords[lv as usize] = candidate;
+            if record_moved {
+                work.round_moved.push(lv);
+            }
+            continue;
+        }
+
+        work.star.clear();
+        let mut after_sum = 0.0;
+        let mut before_sum = 0.0;
+        let mut all_pos = true;
+        for &lt in ts {
+            let (q0, pos0) = work.scores[lt as usize];
+            before_sum += if pos0 { q0 } else { 0.0 };
+            let (q, pos) =
+                dom.score_with(&work.coords, block.elem_corners[lt as usize], lv, candidate);
+            work.star.push((q, pos));
+            if pos {
+                after_sum += q;
+            } else {
+                all_pos = false;
+            }
+        }
+        let len = ts.len() as f64;
+        let quality_ok = after_sum >= before_sum || after_sum / len >= before_sum / len;
+        let commit = quality_ok && (all_pos || ts.iter().any(|&lt| !work.scores[lt as usize].1));
+        if commit {
+            work.coords[lv as usize] = candidate;
+            for (si_t, &lt) in ts.iter().enumerate() {
+                let i = lt as usize;
+                let (q_new, pos_new) = work.star[si_t];
+                work.delta += block.elem_weight[i] * (q_new - work.scores[i].0);
+                work.scores[i] = (q_new, pos_new);
+            }
+            if record_moved {
+                work.round_moved.push(lv);
+            }
+        }
+    }
+}
+
+/// One plain local span sweep: every candidate commits; touched elements
+/// are queued for the end-of-iteration re-score (plain sweeps never
+/// evaluate scores inline).
+fn sweep_range_plain<const C: usize, P: DomainPoint>(
+    cfg: &DomainConfig,
+    block: &ResidentBlock<C>,
+    work: &mut ResidentScratch<P>,
+    span: SweepSpan,
+    range: std::ops::Range<usize>,
+    record_moved: bool,
+) {
+    let weighting = cfg.weighting;
+    let (locals, nbr_offsets, nbrs, vt_offsets, vt) = span.arrays(block);
+    for si in range {
+        let lv = locals[si];
+        let ns = &nbrs[nbr_offsets[si] as usize..nbr_offsets[si + 1] as usize];
+        if ns.is_empty() {
+            continue;
+        }
+        let pv = work.coords[lv as usize];
+        let Some(candidate) = candidate_for(weighting, pv, ns, &work.coords) else {
+            continue;
+        };
+        work.coords[lv as usize] = candidate;
+        for &lt in &vt[vt_offsets[si] as usize..vt_offsets[si + 1] as usize] {
+            if !work.dirty_mark[lt as usize] {
+                work.dirty_mark[lt as usize] = true;
+                work.iter_dirty.push(lt);
+            }
+        }
+        if record_moved {
+            work.round_moved.push(lv);
+        }
+    }
+}
+
+/// Deliver pending halo coordinates. Smart runs re-score the touched
+/// elements immediately (the next color step's guard reads them); plain
+/// runs only queue them for the iteration-end re-score.
+fn apply_inbox<const C: usize, D: SmoothDomain<C>>(
+    dom: &D,
+    block: &ResidentBlock<C>,
+    work: &mut ResidentScratch<D::Point>,
+    smart: bool,
+) {
+    if work.inbox.is_empty() {
+        return;
+    }
+    for idx in 0..work.inbox.len() {
+        let (dst, pos) = work.inbox[idx];
+        work.coords[dst as usize] = pos;
+        let h = (dst - block.num_owned) as usize;
+        let row = &block.halo_vt
+            [block.halo_vt_offsets[h] as usize..block.halo_vt_offsets[h + 1] as usize];
+        let queue = if smart { &mut work.apply_dirty } else { &mut work.iter_dirty };
+        for &lt in row {
+            if !work.dirty_mark[lt as usize] {
+                work.dirty_mark[lt as usize] = true;
+                queue.push(lt);
+            }
+        }
+    }
+    work.inbox.clear();
+    if smart {
+        work.apply_dirty.sort_unstable();
+        for idx in 0..work.apply_dirty.len() {
+            let lt = work.apply_dirty[idx];
+            let i = lt as usize;
+            let (q, pos) = dom.score(&work.coords, block.elem_corners[i]);
+            work.delta += block.elem_weight[i] * (q - work.scores[i].0);
+            work.scores[i] = (q, pos);
+            work.dirty_mark[i] = false;
+        }
+        work.apply_dirty.clear();
+    }
+}
+
+/// Plain runs' iteration end: re-score every element a commit or a halo
+/// delivery touched, in ascending local order, folding the score changes
+/// into the part's stat delta.
+fn finalize_plain<const C: usize, D: SmoothDomain<C>>(
+    dom: &D,
+    block: &ResidentBlock<C>,
+    work: &mut ResidentScratch<D::Point>,
+) {
+    work.iter_dirty.sort_unstable();
+    for idx in 0..work.iter_dirty.len() {
+        let lt = work.iter_dirty[idx];
+        let i = lt as usize;
+        let (q, pos) = dom.score(&work.coords, block.elem_corners[i]);
+        work.delta += block.elem_weight[i] * (q - work.scores[i].0);
+        work.scores[i] = (q, pos);
+        work.dirty_mark[i] = false;
+    }
+    work.iter_dirty.clear();
+}
 
 impl ResidentEngine {
     /// Build a resident engine for `mesh` under `params` and an existing
@@ -222,53 +636,12 @@ impl ResidentEngine {
              use smooth_parallel for deterministic Jacobi"
         );
         let engine = SmoothEngine::new(mesh, params);
-        let interface_classes: Vec<Vec<u32>> = engine
-            .interior_color_classes()
-            .iter()
-            .map(|class| {
-                class.iter().copied().filter(|&v| partition.is_interface(v)).collect::<Vec<u32>>()
-            })
-            .filter(|class| !class.is_empty())
-            .collect();
+        let interface_classes =
+            crate::partitioned::interface_classes(engine.interior_color_classes(), &partition);
         let schedule = ExchangeSchedule::build(&partition);
-
-        let n = mesh.num_vertices();
-        let triangles: &[[u32; 3]] = engine.triangles();
-        let adj = engine.adjacency();
-        let tri_w: Vec<f64> = triangles
-            .iter()
-            .map(|tri| tri.iter().map(|&v| 1.0 / adj.triangles_of(v).len() as f64).sum())
-            .collect();
-        // stat owner of each triangle: the part owning its smallest
-        // mesh-interior (movable) corner; unchangeable triangles have none
-        let stat_owner: Vec<u32> = triangles
-            .iter()
-            .map(|tri| {
-                tri.iter()
-                    .copied()
-                    .filter(|&v| engine.boundary().is_interior(v))
-                    .min()
-                    .map_or(u32::MAX, |v| partition.part_of(v))
-            })
-            .collect();
-
-        let mut g2l = vec![u32::MAX; n];
-        let mut tri_l = vec![u32::MAX; triangles.len()];
-        let mut blocks = Vec::with_capacity(partition.num_parts() as usize);
-        for p in 0..partition.num_parts() {
-            blocks.push(build_resident_block(
-                &partition,
-                &engine,
-                triangles,
-                &interface_classes,
-                &tri_w,
-                &stat_owner,
-                p,
-                &mut g2l,
-                &mut tri_l,
-            ));
-        }
-        ResidentEngine { engine, partition, schedule, interface_classes, tri_w, blocks }
+        let (blocks, elem_w) =
+            build_resident_blocks(&engine.domain(), &partition, &interface_classes);
+        ResidentEngine { engine, partition, schedule, interface_classes, blocks, elem_w }
     }
 
     /// Convenience: decompose `mesh` into `num_parts` with `method`, then
@@ -310,13 +683,7 @@ impl ResidentEngine {
     /// [`PartitionedEngine`](crate::PartitionedEngine)'s order over the
     /// same decomposition.
     pub fn part_major_visit_order(&self) -> Vec<u32> {
-        let mut order: Vec<u32> = self
-            .blocks
-            .iter()
-            .flat_map(|b| b.int_locals.iter().map(|&lv| b.owned[lv as usize]))
-            .collect();
-        order.extend(self.interface_classes.iter().flatten().copied());
-        order
+        resident_part_major_order(&self.blocks, &self.interface_classes)
     }
 
     /// Resident in-place Gauss–Seidel smoothing: one full gather, local
@@ -332,343 +699,17 @@ impl ResidentEngine {
             "engine was built for a different mesh"
         );
         let pool = self.engine.pool.get(num_threads);
-        let params = &self.engine.params;
-        let smart = params.smart;
-        let metric = params.metric;
-        let adj = &self.engine.adj;
-        let triangles: &[[u32; 3]] = &self.engine.triangles;
-        let num_colors = self.interface_classes.len();
-        let k = self.blocks.len();
-
-        // initial scoring pass + quality: the same values a fresh
-        // QualityCache would hold, folded in the same order — so the
-        // running sum starts bit-equal to the other engines'
-        let init_scores: Vec<(f64, bool)> =
-            triangles.iter().map(|&tri| QualityCache::score(metric, mesh.coords(), tri)).collect();
-        let mut qsum = Neumaier::default();
-        for (t, &(q, _)) in init_scores.iter().enumerate() {
-            qsum.add(q * self.tri_w[t]);
-        }
-        let initial_quality = mesh_quality(mesh, adj, metric);
-        let mut report = SmoothReport::starting(initial_quality);
-        let mut volume = ExchangeVolume::default();
-        let mut quality = initial_quality;
-
-        if params.max_iters == 0 {
-            report.exchange = Some(volume);
-            return report;
-        }
-
-        let mut works: Vec<ResidentScratch> =
-            self.blocks.iter().map(ResidentScratch::new).collect();
-
-        // the one full gather: blocks become resident now
-        {
-            let coords: &[Point2] = mesh.coords();
-            let scores: &[(f64, bool)] = &init_scores;
-            let blocks: &[ResidentBlock] = &self.blocks;
-            pool.install(|| {
-                works.par_iter_mut().enumerate().for_each(|(i, work)| {
-                    work.gather(&blocks[i], coords, scores);
-                });
-            });
-            volume.full_gathers += 1;
-        }
-
-        for iter in 1..=params.max_iters {
-            // interior phase: fully local, nothing to exchange afterwards
-            // (an interior vertex is in no other part's halo)
-            {
-                let blocks: &[ResidentBlock] = &self.blocks;
-                pool.install(|| {
-                    works.par_iter_mut().enumerate().for_each(|(i, work)| {
-                        let block = &blocks[i];
-                        let range = 0..block.int_locals.len();
-                        if smart {
-                            self.sweep_range_smart(block, work, SweepSpan::Interior, range, false);
-                        } else {
-                            self.sweep_range_plain(block, work, SweepSpan::Interior, range, false);
-                        }
-                    });
-                });
-            }
-
-            // interface phase: global color order, halo deltas routed
-            // between color steps
-            for c in 0..num_colors {
-                {
-                    let blocks: &[ResidentBlock] = &self.blocks;
-                    pool.install(|| {
-                        works.par_iter_mut().enumerate().for_each(|(i, work)| {
-                            let block = &blocks[i];
-                            self.apply_inbox(block, work, smart);
-                            let range = block.ifc_color_offsets[c] as usize
-                                ..block.ifc_color_offsets[c + 1] as usize;
-                            if smart {
-                                self.sweep_range_smart(
-                                    block,
-                                    work,
-                                    SweepSpan::Interface,
-                                    range,
-                                    true,
-                                );
-                            } else {
-                                self.sweep_range_plain(
-                                    block,
-                                    work,
-                                    SweepSpan::Interface,
-                                    range,
-                                    true,
-                                );
-                            }
-                        });
-                    });
-                }
-                // serial routing pass: O(moved · ghost-degree) pointer
-                // copies in deterministic part order
-                volume.exchange_rounds += 1;
-                for p in 0..k {
-                    let moved = std::mem::take(&mut works[p].round_moved);
-                    for &lv in &moved {
-                        for &(q, dst) in self.schedule.outgoing(p as u32, lv) {
-                            let coord = works[p].coords[lv as usize];
-                            works[q as usize].inbox.push((dst, coord));
-                            volume.halo_entries_sent += 1;
-                        }
-                    }
-                    let mut moved = moved;
-                    moved.clear();
-                    works[p].round_moved = moved;
-                }
-            }
-
-            // finalize: deliver the last color's deltas and (plain runs)
-            // re-score this iteration's dirty triangles for the statistic
-            {
-                let blocks: &[ResidentBlock] = &self.blocks;
-                pool.install(|| {
-                    works.par_iter_mut().enumerate().for_each(|(i, work)| {
-                        let block = &blocks[i];
-                        self.apply_inbox(block, work, smart);
-                        if !smart {
-                            self.finalize_plain(block, work);
-                        }
-                    });
-                });
-            }
-
-            // fold part deltas in part order: deterministic for any
-            // thread count, same skip-zero rule as QualityCache::set_star
-            for work in works.iter_mut() {
-                if work.delta != 0.0 {
-                    qsum.add(work.delta);
-                }
-                work.delta = 0.0;
-            }
-            let new_quality = qsum.value() / mesh.num_vertices() as f64;
-            let improvement = new_quality - quality;
-            report.iterations.push(IterationStats { iter, quality: new_quality, improvement });
-            quality = new_quality;
-            if improvement < params.tol {
-                report.converged = true;
-                break;
-            }
-        }
-
-        // the one full scatter: parts own disjoint vertex sets, so the
-        // write-back is a race-free parallel scatter
-        {
-            let scatter = ScatterPtr(mesh.coords_mut().as_mut_ptr());
-            let scatter = &scatter;
-            let blocks: &[ResidentBlock] = &self.blocks;
-            let works_ref: &[ResidentScratch] = &works;
-            pool.install(|| {
-                (0..blocks.len()).into_par_iter().for_each(|i| {
-                    let block = &blocks[i];
-                    let work = &works_ref[i];
-                    for (j, &v) in block.owned.iter().enumerate() {
-                        // SAFETY: `v` is owned by part `i` alone; parts
-                        // partition the vertex set, so no two workers
-                        // write the same slot.
-                        unsafe { *scatter.0.add(v as usize) = work.coords[j] };
-                    }
-                });
-            });
-            volume.full_scatters += 1;
-        }
-
-        let exact = mesh_quality(mesh, adj, metric);
-        if let Some(last) = report.iterations.last_mut() {
-            last.quality = exact;
-        }
-        report.final_quality = exact;
-        report.exchange = Some(volume);
-        report
-    }
-
-    /// One smart local span sweep — arithmetic identical, expression by
-    /// expression, to the serial hot path ([`crate::kernel`]) and to the
-    /// PR-2 block/colored sweeps, so commit decisions (hence coordinates)
-    /// stay bit-identical. Score updates fold `w_t·Δq` into the part's
-    /// stat delta as they land.
-    fn sweep_range_smart(
-        &self,
-        block: &ResidentBlock,
-        work: &mut ResidentScratch,
-        span: SweepSpan,
-        range: std::ops::Range<usize>,
-        record_moved: bool,
-    ) {
-        let metric = self.engine.params.metric;
-        let weighting = self.engine.params.weighting;
-        let (locals, nbr_offsets, nbrs, vt_offsets, vt) = span.arrays(block);
-        for si in range {
-            let lv = locals[si];
-            let ns = &nbrs[nbr_offsets[si] as usize..nbr_offsets[si + 1] as usize];
-            if ns.is_empty() {
-                continue;
-            }
-            let pv = work.coords[lv as usize];
-            let Some(candidate) = candidate_for(weighting, pv, ns, &work.coords) else {
-                continue;
-            };
-            let ts = &vt[vt_offsets[si] as usize..vt_offsets[si + 1] as usize];
-            if ts.is_empty() {
-                work.coords[lv as usize] = candidate;
-                if record_moved {
-                    work.round_moved.push(lv);
-                }
-                continue;
-            }
-
-            work.star.clear();
-            let mut after_sum = 0.0;
-            let mut before_sum = 0.0;
-            let mut all_pos = true;
-            for &lt in ts {
-                let (q0, pos0) = work.scores[lt as usize];
-                before_sum += if pos0 { q0 } else { 0.0 };
-                let (q, pos) = QualityCache::score_with(
-                    metric,
-                    &work.coords,
-                    block.tri_corners[lt as usize],
-                    lv,
-                    candidate,
-                );
-                work.star.push((q, pos));
-                if pos {
-                    after_sum += q;
-                } else {
-                    all_pos = false;
-                }
-            }
-            let len = ts.len() as f64;
-            let quality_ok = after_sum >= before_sum || after_sum / len >= before_sum / len;
-            let commit =
-                quality_ok && (all_pos || ts.iter().any(|&lt| !work.scores[lt as usize].1));
-            if commit {
-                work.coords[lv as usize] = candidate;
-                for (si_t, &lt) in ts.iter().enumerate() {
-                    let i = lt as usize;
-                    let (q_new, pos_new) = work.star[si_t];
-                    work.delta += block.tri_weight[i] * (q_new - work.scores[i].0);
-                    work.scores[i] = (q_new, pos_new);
-                }
-                if record_moved {
-                    work.round_moved.push(lv);
-                }
-            }
-        }
-    }
-
-    /// One plain local span sweep: every candidate commits; touched
-    /// triangles are queued for the end-of-iteration re-score (plain
-    /// sweeps never evaluate scores inline).
-    fn sweep_range_plain(
-        &self,
-        block: &ResidentBlock,
-        work: &mut ResidentScratch,
-        span: SweepSpan,
-        range: std::ops::Range<usize>,
-        record_moved: bool,
-    ) {
-        let weighting = self.engine.params.weighting;
-        let (locals, nbr_offsets, nbrs, vt_offsets, vt) = span.arrays(block);
-        for si in range {
-            let lv = locals[si];
-            let ns = &nbrs[nbr_offsets[si] as usize..nbr_offsets[si + 1] as usize];
-            if ns.is_empty() {
-                continue;
-            }
-            let pv = work.coords[lv as usize];
-            let Some(candidate) = candidate_for(weighting, pv, ns, &work.coords) else {
-                continue;
-            };
-            work.coords[lv as usize] = candidate;
-            for &lt in &vt[vt_offsets[si] as usize..vt_offsets[si + 1] as usize] {
-                if !work.dirty_mark[lt as usize] {
-                    work.dirty_mark[lt as usize] = true;
-                    work.iter_dirty.push(lt);
-                }
-            }
-            if record_moved {
-                work.round_moved.push(lv);
-            }
-        }
-    }
-
-    /// Deliver pending halo coordinates. Smart runs re-score the touched
-    /// triangles immediately (the next color step's guard reads them);
-    /// plain runs only queue them for the iteration-end re-score.
-    fn apply_inbox(&self, block: &ResidentBlock, work: &mut ResidentScratch, smart: bool) {
-        if work.inbox.is_empty() {
-            return;
-        }
-        let metric = self.engine.params.metric;
-        for idx in 0..work.inbox.len() {
-            let (dst, pos) = work.inbox[idx];
-            work.coords[dst as usize] = pos;
-            let h = (dst - block.num_owned) as usize;
-            let row = &block.halo_vt
-                [block.halo_vt_offsets[h] as usize..block.halo_vt_offsets[h + 1] as usize];
-            let queue = if smart { &mut work.apply_dirty } else { &mut work.iter_dirty };
-            for &lt in row {
-                if !work.dirty_mark[lt as usize] {
-                    work.dirty_mark[lt as usize] = true;
-                    queue.push(lt);
-                }
-            }
-        }
-        work.inbox.clear();
-        if smart {
-            work.apply_dirty.sort_unstable();
-            for idx in 0..work.apply_dirty.len() {
-                let lt = work.apply_dirty[idx];
-                let i = lt as usize;
-                let (q, pos) = QualityCache::score(metric, &work.coords, block.tri_corners[i]);
-                work.delta += block.tri_weight[i] * (q - work.scores[i].0);
-                work.scores[i] = (q, pos);
-                work.dirty_mark[i] = false;
-            }
-            work.apply_dirty.clear();
-        }
-    }
-
-    /// Plain runs' iteration end: re-score every triangle a commit or a
-    /// halo delivery touched, in ascending local order, folding the score
-    /// changes into the part's stat delta.
-    fn finalize_plain(&self, block: &ResidentBlock, work: &mut ResidentScratch) {
-        let metric = self.engine.params.metric;
-        work.iter_dirty.sort_unstable();
-        for idx in 0..work.iter_dirty.len() {
-            let lt = work.iter_dirty[idx];
-            let i = lt as usize;
-            let (q, pos) = QualityCache::score(metric, &work.coords, block.tri_corners[i]);
-            work.delta += block.tri_weight[i] * (q - work.scores[i].0);
-            work.scores[i] = (q, pos);
-            work.dirty_mark[i] = false;
-        }
-        work.iter_dirty.clear();
+        let dom = self.engine.domain();
+        smooth_resident_on(
+            &dom,
+            &DomainConfig::from(&self.engine.params),
+            &self.blocks,
+            &self.elem_w,
+            &self.interface_classes,
+            &self.schedule,
+            mesh.coords_mut(),
+            &pool,
+        )
     }
 }
 
@@ -681,7 +722,10 @@ enum SweepSpan {
 
 impl SweepSpan {
     #[allow(clippy::type_complexity)]
-    fn arrays(self, block: &ResidentBlock) -> (&[u32], &[u32], &[u32], &[u32], &[u32]) {
+    fn arrays<const C: usize>(
+        self,
+        block: &ResidentBlock<C>,
+    ) -> (&[u32], &[u32], &[u32], &[u32], &[u32]) {
         match self {
             SweepSpan::Interior => (
                 &block.int_locals,
@@ -701,22 +745,21 @@ impl SweepSpan {
     }
 }
 
-/// Build one part's resident topology. `g2l` and `tri_l` are
+/// Build one part's resident topology. `g2l` and `elem_l` are
 /// `u32::MAX`-filled scratch maps of global→local ids, restored before
 /// returning.
 #[allow(clippy::too_many_arguments)]
-fn build_resident_block(
+fn build_resident_block<const C: usize, D: SmoothDomain<C>>(
+    dom: &D,
     partition: &Partition,
-    engine: &SmoothEngine,
-    triangles: &[[u32; 3]],
     interface_classes: &[Vec<u32>],
-    tri_w: &[f64],
+    elem_w: &[f64],
     stat_owner: &[u32],
     p: u32,
     g2l: &mut [u32],
-    tri_l: &mut [u32],
-) -> ResidentBlock {
-    let adj = engine.adjacency();
+    elem_l: &mut [u32],
+) -> ResidentBlock<C> {
+    let elements = dom.elements();
     let owned: Vec<u32> = partition.part(p).to_vec();
     let halo: Vec<u32> = partition.halo(p).to_vec();
     let num_owned = owned.len() as u32;
@@ -731,7 +774,7 @@ fn build_resident_block(
     let mut int_locals = Vec::new();
     let mut int_globals = Vec::new();
     for (i, &v) in owned.iter().enumerate() {
-        if !partition.is_interface(v) && engine.boundary().is_interior(v) {
+        if !partition.is_interface(v) && dom.is_interior(v) {
             int_locals.push(i as u32);
             int_globals.push(v);
         }
@@ -750,35 +793,35 @@ fn build_resident_block(
         ifc_color_offsets.push(ifc_locals.len() as u32);
     }
 
-    // local triangle set: every triangle incident to a sweep vertex; all
+    // local element set: every element incident to a sweep vertex; all
     // corners land in owned ∪ halo (a corner is adjacent to the owned
     // star centre)
-    let mut tri_globals: Vec<u32> = int_globals
+    let mut elem_globals: Vec<u32> = int_globals
         .iter()
         .chain(&ifc_globals)
-        .flat_map(|&v| adj.triangles_of(v).iter().copied())
+        .flat_map(|&v| dom.elements_of(v).iter().copied())
         .collect();
-    tri_globals.sort_unstable();
-    tri_globals.dedup();
-    for (i, &t) in tri_globals.iter().enumerate() {
-        tri_l[t as usize] = i as u32;
+    elem_globals.sort_unstable();
+    elem_globals.dedup();
+    for (i, &t) in elem_globals.iter().enumerate() {
+        elem_l[t as usize] = i as u32;
     }
-    let tri_corners: Vec<[u32; 3]> = tri_globals
+    let elem_corners: Vec<[u32; C]> = elem_globals
         .iter()
         .map(|&t| {
-            triangles[t as usize].map(|c| {
+            elements[t as usize].map(|c| {
                 debug_assert_ne!(g2l[c as usize], u32::MAX, "sweep-star corner outside the block");
                 g2l[c as usize]
             })
         })
         .collect();
-    let tri_weight: Vec<f64> = tri_globals
+    let elem_weight: Vec<f64> = elem_globals
         .iter()
-        .map(|&t| if stat_owner[t as usize] == p { tri_w[t as usize] } else { 0.0 })
+        .map(|&t| if stat_owner[t as usize] == p { elem_w[t as usize] } else { 0.0 })
         .collect();
 
     // CSR rows for both sweep lists, in the global ascending neighbour /
-    // incident-triangle order the serial engine uses
+    // incident-element order the serial engine uses
     let build_csr = |globals: &[u32]| {
         let mut nbr_offsets = Vec::with_capacity(globals.len() + 1);
         nbr_offsets.push(0u32);
@@ -787,9 +830,9 @@ fn build_resident_block(
         vt_offsets.push(0u32);
         let mut vt = Vec::new();
         for &v in globals {
-            nbrs.extend(adj.neighbors(v).iter().map(|&w| g2l[w as usize]));
+            nbrs.extend(dom.neighbors(v).iter().map(|&w| g2l[w as usize]));
             nbr_offsets.push(nbrs.len() as u32);
-            vt.extend(adj.triangles_of(v).iter().map(|&t| tri_l[t as usize]));
+            vt.extend(dom.elements_of(v).iter().map(|&t| elem_l[t as usize]));
             vt_offsets.push(vt.len() as u32);
         }
         (nbr_offsets, nbrs, vt_offsets, vt)
@@ -797,10 +840,10 @@ fn build_resident_block(
     let (int_nbr_offsets, int_nbrs, int_vt_offsets, int_vt) = build_csr(&int_globals);
     let (ifc_nbr_offsets, ifc_nbrs, ifc_vt_offsets, ifc_vt) = build_csr(&ifc_globals);
 
-    // halo incidence: which local triangles a delivered halo coordinate
+    // halo incidence: which local elements a delivered halo coordinate
     // forces us to re-score
     let mut halo_counts = vec![0u32; halo.len()];
-    for corners in &tri_corners {
+    for corners in &elem_corners {
         for &c in corners {
             if c >= num_owned {
                 halo_counts[(c - num_owned) as usize] += 1;
@@ -814,7 +857,7 @@ fn build_resident_block(
     }
     let mut cursor: Vec<u32> = halo_vt_offsets[..halo.len()].to_vec();
     let mut halo_vt = vec![0u32; *halo_vt_offsets.last().unwrap() as usize];
-    for (lt, corners) in tri_corners.iter().enumerate() {
+    for (lt, corners) in elem_corners.iter().enumerate() {
         for &c in corners {
             if c >= num_owned {
                 let h = (c - num_owned) as usize;
@@ -824,8 +867,8 @@ fn build_resident_block(
         }
     }
 
-    for &t in &tri_globals {
-        tri_l[t as usize] = u32::MAX;
+    for &t in &elem_globals {
+        elem_l[t as usize] = u32::MAX;
     }
     for &v in owned.iter().chain(&halo) {
         g2l[v as usize] = u32::MAX;
@@ -845,9 +888,9 @@ fn build_resident_block(
         ifc_nbrs,
         ifc_vt_offsets,
         ifc_vt,
-        tri_globals,
-        tri_corners,
-        tri_weight,
+        elem_globals,
+        elem_corners,
+        elem_weight,
         halo_vt_offsets,
         halo_vt,
     }

@@ -18,35 +18,9 @@ pub fn weighted_candidate(
     pv: Point2,
     nbrs: impl Iterator<Item = Point2>,
 ) -> Option<Point2> {
-    match weighting {
-        Weighting::Uniform => {
-            let mut sum = Point2::ZERO;
-            let mut n = 0usize;
-            for p in nbrs {
-                sum += p;
-                n += 1;
-            }
-            (n > 0).then(|| sum / n as f64)
-        }
-        Weighting::InverseEdgeLength | Weighting::EdgeLength => {
-            let mut acc = Point2::ZERO;
-            let mut total = 0.0;
-            for p in nbrs {
-                let d = pv.dist(p);
-                let w = match weighting {
-                    Weighting::InverseEdgeLength => {
-                        // clamp so a (nearly) coincident neighbour does not
-                        // turn into an infinite weight
-                        1.0 / d.max(1e-12)
-                    }
-                    _ => d,
-                };
-                acc += p * w;
-                total += w;
-            }
-            (total > 0.0).then(|| acc / total)
-        }
-    }
+    // the dimension-generic core at D = 2: identical accumulation order
+    // and expressions, so every engine keeps its bit-identity guarantees
+    crate::domain::weighted_candidate_on(weighting, pv, nbrs)
 }
 
 #[cfg(test)]

@@ -29,7 +29,12 @@
 //!   future-work conjecture): untangling, constrained smoothing, edge
 //!   swapping, optimization-based smoothing, and composable pipelines.
 //! * [`mesh3d`] — the tetrahedral extension (§6): volumetric Laplacian
-//!   smoothing with the full ordering pipeline re-run in 3D.
+//!   smoothing with the full ordering pipeline re-run in 3D — since PR 4
+//!   a thin wrapper over the **dimension-generic smoothing domain**
+//!   (`smooth::domain`), including the 3D partitioned and resident
+//!   halo-exchange engines (`mesh3d::PartitionedEngine3`,
+//!   `mesh3d::ResidentEngine3`) over `partition_tet_mesh`
+//!   decompositions.
 //!
 //! ## Quickstart
 //!
@@ -55,12 +60,14 @@ pub use lms_viz as viz;
 
 /// Commonly used items, re-exported for `use lms::prelude::*`.
 pub mod prelude {
-    pub use lms_apps::{Pipeline, Stage};
+    pub use lms_apps::{Pipeline, Pipeline3, Stage, Stage3};
     pub use lms_cache::{
         hierarchy::CacheHierarchy, model::StackDistanceModel, reuse::ReuseDistanceAnalyzer,
     };
     pub use lms_mesh::{quality::QualityMetric, Point2, TriMesh};
-    pub use lms_mesh3d::{OrderingKind3, SmoothParams3, TetMesh};
+    pub use lms_mesh3d::{
+        OrderingKind3, PartitionedEngine3, ResidentEngine3, SmoothParams3, TetMesh,
+    };
     pub use lms_order::{OrderingKind, Permutation};
     pub use lms_part::{ExchangeSchedule, Partition, PartitionMethod, PartitionStats};
     pub use lms_smooth::{
