@@ -47,6 +47,13 @@ pub enum Stage {
     /// to [`Stage::PartitionedSmooth`] over the same decomposition and
     /// the faster of the two.
     ResidentSmooth(SmoothParams, PartitionSpec),
+    /// Laplacian smoothing on the multi-process distributed resident
+    /// engine ([`lms_dist::DistResidentEngine`]): one forked rank
+    /// process per part, halo deltas as wire frames over pipes.
+    /// `spec.threads` is ignored — parallelism is one OS process per
+    /// part. Gauss–Seidel parameters only; bit-identical to
+    /// [`Stage::ResidentSmooth`] over the same decomposition.
+    DistributedSmooth(SmoothParams, PartitionSpec),
     /// Constrained smoothing (boundary slides along the boundary).
     ConstrainedSmooth(SmoothParams, ConstrainedOptions),
     /// Edge swapping.
@@ -65,6 +72,7 @@ impl Stage {
             Stage::ParallelSmooth(..) => "parsmooth",
             Stage::PartitionedSmooth(..) => "partsmooth",
             Stage::ResidentSmooth(..) => "ressmooth",
+            Stage::DistributedSmooth(..) => "distsmooth",
             Stage::ConstrainedSmooth(..) => "constrained",
             Stage::Swap(_) => "swap",
             Stage::OptSmooth(_) => "optsmooth",
@@ -182,6 +190,16 @@ impl Pipeline {
             .then(Stage::ResidentSmooth(SmoothParams::paper().with_smart(true), spec))
     }
 
+    /// [`standard`](Self::standard) with the smoothing stage on the
+    /// multi-process distributed resident engine.
+    pub fn standard_distributed(ordering: OrderingKind, spec: PartitionSpec) -> Self {
+        Pipeline::new()
+            .then(Stage::Reorder(ordering))
+            .then(Stage::Untangle(UntangleOptions::default()))
+            .then(Stage::Swap(SwapOptions::default()))
+            .then(Stage::DistributedSmooth(SmoothParams::paper().with_smart(true), spec))
+    }
+
     /// Run the pipeline on `mesh` in place.
     pub fn run(&self, mesh: &mut TriMesh) -> PipelineReport {
         let q = |mesh: &TriMesh| {
@@ -219,6 +237,15 @@ impl Pipeline {
                     let engine =
                         ResidentEngine::by_method(mesh, params.clone(), spec.parts, spec.method);
                     engine.smooth(mesh, spec.threads).num_iterations()
+                }
+                Stage::DistributedSmooth(params, spec) => {
+                    let engine = lms_dist::DistResidentEngine::by_method(
+                        mesh,
+                        params.clone(),
+                        spec.parts,
+                        spec.method,
+                    );
+                    engine.smooth(mesh).num_iterations()
                 }
                 Stage::ConstrainedSmooth(params, opts) => {
                     constrained_smooth(mesh, params, opts).num_iterations()
@@ -365,6 +392,26 @@ mod tests {
                 .run(&mut res8);
         assert_eq!(res.coords(), res8.coords());
         assert_eq!(rr, rr8);
+    }
+
+    #[test]
+    fn distributed_smooth_stage_matches_resident_bitwise() {
+        let base = {
+            let mut m = generators::perturbed_grid(14, 14, 0.35, 9);
+            m.orient_ccw();
+            m
+        };
+        let spec = PartitionSpec { parts: 3, method: lms_part::PartitionMethod::Rcb, threads: 2 };
+        let mut dist = base.clone();
+        let rd = Pipeline::standard_distributed(OrderingKind::Rdr, spec).run(&mut dist);
+        assert_eq!(rd.stages.last().unwrap().stage, "distsmooth");
+        assert!(rd.final_quality > rd.initial_quality);
+        // the distributed stage is the resident stage over a process
+        // transport — same decomposition, bit-identical coordinates
+        let mut res = base.clone();
+        let rr = Pipeline::standard_resident(OrderingKind::Rdr, spec).run(&mut res);
+        assert_eq!(dist.coords(), res.coords());
+        assert_eq!(rd.final_quality, rr.final_quality);
     }
 
     #[test]

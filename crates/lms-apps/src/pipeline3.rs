@@ -42,6 +42,13 @@ pub enum Stage3 {
     /// scatter at the end. Gauss–Seidel parameters only; bit-identical to
     /// [`Stage3::PartitionedSmooth3`] over the same decomposition.
     ResidentSmooth3(SmoothParams3, PartitionSpec),
+    /// Laplacian smoothing on the multi-process distributed resident
+    /// engine ([`lms_dist::DistResidentEngine3`]): one forked rank
+    /// process per part, halo deltas as wire frames over pipes.
+    /// `spec.threads` is ignored — parallelism is one OS process per
+    /// part. Gauss–Seidel parameters only; bit-identical to
+    /// [`Stage3::ResidentSmooth3`] over the same decomposition.
+    DistributedSmooth3(SmoothParams3, PartitionSpec),
 }
 
 impl Stage3 {
@@ -53,6 +60,7 @@ impl Stage3 {
             Stage3::ParallelSmooth3(..) => "parsmooth3",
             Stage3::PartitionedSmooth3(..) => "partsmooth3",
             Stage3::ResidentSmooth3(..) => "ressmooth3",
+            Stage3::DistributedSmooth3(..) => "distsmooth3",
         }
     }
 }
@@ -103,6 +111,14 @@ impl Pipeline3 {
             .then(Stage3::ResidentSmooth3(SmoothParams3::paper().with_smart(true), spec))
     }
 
+    /// [`standard3`](Self::standard3) with the smoothing stage on the
+    /// multi-process distributed resident engine.
+    pub fn standard_distributed3(ordering: OrderingKind3, spec: PartitionSpec) -> Self {
+        Pipeline3::new()
+            .then(Stage3::Reorder3(ordering))
+            .then(Stage3::DistributedSmooth3(SmoothParams3::paper().with_smart(true), spec))
+    }
+
     /// Run the pipeline on `mesh` in place.
     pub fn run(&self, mesh: &mut TetMesh) -> PipelineReport {
         let q = |mesh: &TetMesh| {
@@ -143,6 +159,15 @@ impl Pipeline3 {
                     let engine =
                         ResidentEngine3::by_method(mesh, params.clone(), spec.parts, spec.method);
                     engine.smooth(mesh, spec.threads).num_iterations()
+                }
+                Stage3::DistributedSmooth3(params, spec) => {
+                    let engine = lms_dist::DistResidentEngine3::by_method(
+                        mesh,
+                        params.clone(),
+                        spec.parts,
+                        spec.method,
+                    );
+                    engine.smooth(mesh).num_iterations()
                 }
             };
             let after = q(mesh);
@@ -200,6 +225,20 @@ mod tests {
         .run(&mut res8);
         assert_eq!(res.coords(), res8.coords());
         assert_eq!(rr, rr8);
+    }
+
+    #[test]
+    fn distributed3_stage_matches_resident3_bitwise() {
+        let base = perturbed_tet_grid(6, 6, 6, 0.35, 8);
+        let spec = PartitionSpec { parts: 3, method: lms_part::PartitionMethod::Rcb, threads: 2 };
+        let mut dist = base.clone();
+        let rd = Pipeline3::standard_distributed3(OrderingKind3::Rdr, spec).run(&mut dist);
+        assert_eq!(rd.stages.last().unwrap().stage, "distsmooth3");
+        assert!(rd.final_quality > rd.initial_quality);
+        let mut res = base.clone();
+        let rr = Pipeline3::standard_resident3(OrderingKind3::Rdr, spec).run(&mut res);
+        assert_eq!(dist.coords(), res.coords());
+        assert_eq!(rd.final_quality, rr.final_quality);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Experiment runners — one per table/figure of the paper (see the
 //! per-experiment index in DESIGN.md §4).
 
+pub mod dist;
 pub mod extensions;
 pub mod figures;
 pub mod locality;
@@ -51,6 +52,7 @@ pub const ALL: &[&str] = &[
     "hotpath",
     "partition",
     "scaling",
+    "dist",
 ];
 
 /// Run one experiment by name; `None` for an unknown name.
@@ -77,6 +79,7 @@ pub fn run(name: &str, cfg: &ExpConfig) -> Option<String> {
         "hotpath" => performance::hotpath(cfg),
         "partition" => partition::partition(cfg),
         "scaling" => scaling::thread_scaling(cfg),
+        "dist" => dist::dist(cfg),
         "opt" => extensions::opt_bound(cfg),
         "apps" => extensions::apps(cfg),
         "zoo" => extensions::ordering_zoo(cfg),
@@ -123,6 +126,6 @@ mod tests {
             assert!(!name.is_empty());
             assert!(seen.insert(name), "duplicate experiment name {name}");
         }
-        assert_eq!(ALL.len(), 37);
+        assert_eq!(ALL.len(), 38);
     }
 }

@@ -1,0 +1,185 @@
+//! The distributed resident engines: drop-in twins of
+//! [`lms_smooth::ResidentEngine`] / [`lms_mesh3d::ResidentEngine3`] that
+//! run every part as a forked rank process instead of a pool worker.
+//!
+//! Construction is *shared with* the in-process engines — a
+//! [`DistResidentEngine`] wraps a [`ResidentEngine`] and reuses its
+//! blocks, schedule, color classes and stat weights verbatim — so the
+//! only difference between `engine.inner().smooth(mesh, t)` and
+//! `engine.smooth(mesh)` is the transport. That is exactly what the
+//! cross-transport oracle (`tests/oracle.rs`) pins: bit-identical
+//! coordinates *and* bit-identical reports, exchange accounting
+//! included.
+//!
+//! Rank processes are spawned per run and reaped before [`smooth`]
+//! returns (`full_gathers == 1 && full_scatters == 1` still holds: the
+//! block is gathered once, resident in its rank for the whole run, and
+//! scattered once).
+//!
+//! [`smooth`]: DistResidentEngine::smooth
+
+use crate::transport::ProcessTransport;
+use lms_mesh::{Point2, TriMesh};
+use lms_mesh3d::{Point3, ResidentEngine3, SmoothParams3, TetMesh};
+use lms_part::{Partition, PartitionMethod};
+use lms_smooth::domain::DomainConfig;
+use lms_smooth::transport::drive_resident;
+use lms_smooth::{ResidentEngine, SmoothParams, SmoothReport};
+
+/// Multi-process resident smoothing of triangle meshes: one rank process
+/// per part, wire frames over pipes, coordinates and reports
+/// bit-identical to [`ResidentEngine`] (hence to serial part-major
+/// Gauss–Seidel).
+#[derive(Debug, Clone)]
+pub struct DistResidentEngine {
+    inner: ResidentEngine,
+}
+
+impl DistResidentEngine {
+    /// Build the engine for `mesh` under `params` and an existing
+    /// decomposition (Gauss–Seidel parameters only).
+    pub fn new(mesh: &TriMesh, params: SmoothParams, partition: Partition) -> Self {
+        DistResidentEngine { inner: ResidentEngine::new(mesh, params, partition) }
+    }
+
+    /// Convenience: decompose `mesh` into `num_parts` with `method`, then
+    /// build the engine.
+    pub fn by_method(
+        mesh: &TriMesh,
+        params: SmoothParams,
+        num_parts: usize,
+        method: PartitionMethod,
+    ) -> Self {
+        DistResidentEngine { inner: ResidentEngine::by_method(mesh, params, num_parts, method) }
+    }
+
+    /// The wrapped in-process engine (shared blocks, schedule, classes) —
+    /// the bit-identity oracle to compare runs against.
+    pub fn inner(&self) -> &ResidentEngine {
+        &self.inner
+    }
+
+    /// Number of rank processes a run forks (= number of parts).
+    pub fn num_ranks(&self) -> usize {
+        self.inner.blocks().len()
+    }
+
+    /// Distributed resident Gauss–Seidel smoothing: fork one rank per
+    /// part, run the generic resident drive loop over the process
+    /// transport, reap the ranks. Bit-identical to
+    /// [`ResidentEngine::smooth`] for any thread count there.
+    pub fn smooth(&self, mesh: &mut TriMesh) -> SmoothReport {
+        assert_eq!(
+            mesh.num_vertices(),
+            self.inner.partition().len(),
+            "engine was built for a different mesh"
+        );
+        let dom = self.inner.engine().domain();
+        let cfg = DomainConfig::from(self.inner.engine().params());
+        let mut transport: ProcessTransport<'_, 3, Point2> = ProcessTransport::spawn(
+            &dom,
+            &cfg,
+            self.inner.blocks(),
+            self.inner.exchange_schedule(),
+        )
+        .expect("failed to fork rank worker processes");
+        let report = drive_resident(
+            &dom,
+            &cfg,
+            self.inner.elem_weights(),
+            self.inner.interface_classes().len(),
+            &mut transport,
+            mesh.coords_mut(),
+        );
+        transport.shutdown();
+        report
+    }
+}
+
+/// Multi-process resident smoothing of tetrahedral meshes — the 3D twin
+/// of [`DistResidentEngine`], wrapping [`ResidentEngine3`]. One wire
+/// serialisation covers both dimensions: only the handshake's coordinate
+/// dimension differs.
+#[derive(Debug, Clone)]
+pub struct DistResidentEngine3 {
+    inner: ResidentEngine3,
+}
+
+impl DistResidentEngine3 {
+    /// Build the engine for `mesh` under `params` and an existing
+    /// decomposition (Gauss–Seidel parameters only).
+    pub fn new(mesh: &TetMesh, params: SmoothParams3, partition: Partition) -> Self {
+        DistResidentEngine3 { inner: ResidentEngine3::new(mesh, params, partition) }
+    }
+
+    /// Convenience: decompose `mesh` into `num_parts` with `method`, then
+    /// build the engine.
+    pub fn by_method(
+        mesh: &TetMesh,
+        params: SmoothParams3,
+        num_parts: usize,
+        method: PartitionMethod,
+    ) -> Self {
+        DistResidentEngine3 { inner: ResidentEngine3::by_method(mesh, params, num_parts, method) }
+    }
+
+    /// The wrapped in-process engine (shared blocks, schedule, classes).
+    pub fn inner(&self) -> &ResidentEngine3 {
+        &self.inner
+    }
+
+    /// Number of rank processes a run forks (= number of parts).
+    pub fn num_ranks(&self) -> usize {
+        self.inner.blocks().len()
+    }
+
+    /// Distributed resident 3D Gauss–Seidel smoothing; bit-identical to
+    /// [`ResidentEngine3::smooth`].
+    pub fn smooth(&self, mesh: &mut TetMesh) -> SmoothReport {
+        assert_eq!(
+            mesh.num_vertices(),
+            self.inner.partition().len(),
+            "engine was built for a different mesh"
+        );
+        let dom = self.inner.engine().domain();
+        let cfg = self.inner.engine().params().domain_config();
+        let mut transport: ProcessTransport<'_, 4, Point3> = ProcessTransport::spawn(
+            &dom,
+            &cfg,
+            self.inner.blocks(),
+            self.inner.exchange_schedule(),
+        )
+        .expect("failed to fork rank worker processes");
+        let report = drive_resident(
+            &dom,
+            &cfg,
+            self.inner.elem_weights(),
+            self.inner.interface_classes().len(),
+            &mut transport,
+            mesh.coords_mut(),
+        );
+        transport.shutdown();
+        report
+    }
+}
+
+/// Convenience: decompose, build the distributed engine and run it in
+/// one call. Parameters are moved, never cloned.
+pub fn smooth_distributed(
+    mesh: &mut TriMesh,
+    params: SmoothParams,
+    num_parts: usize,
+    method: PartitionMethod,
+) -> SmoothReport {
+    DistResidentEngine::by_method(mesh, params, num_parts, method).smooth(mesh)
+}
+
+/// Convenience: the 3D twin of [`smooth_distributed`].
+pub fn smooth_distributed3(
+    mesh: &mut TetMesh,
+    params: SmoothParams3,
+    num_parts: usize,
+    method: PartitionMethod,
+) -> SmoothReport {
+    DistResidentEngine3::by_method(mesh, params, num_parts, method).smooth(mesh)
+}

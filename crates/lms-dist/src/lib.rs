@@ -1,0 +1,99 @@
+//! # lms-dist — distributed-memory resident smoothing
+//!
+//! The multi-process backend of the resident halo-exchange protocol:
+//! MPI-style **ranks as forked worker processes** over Unix pipes, each
+//! rank holding one part's [`lms_smooth::resident::ResidentBlock`] as its
+//! resident per-rank state, a coordinator driving the color-step schedule
+//! through the versioned [`lms_part::wire`] frame format.
+//!
+//! The layering (PR 5's transport refactor) is what makes this crate
+//! small:
+//!
+//! * `lms-part` owns the *communication pattern* — the
+//!   [`lms_part::ExchangeSchedule`] delivery lists, their rank-addressed
+//!   [`lms_part::MessagePlan`] coalescing, and the wire frames;
+//! * `lms-smooth` owns the *computation* — the per-rank
+//!   [`lms_smooth::ResidentRank`] kernel and the generic
+//!   [`lms_smooth::drive_resident`] loop over a
+//!   [`lms_smooth::ResidentTransport`];
+//! * this crate only *moves bytes*: [`ProcessTransport`] implements the
+//!   five transport operations as frames over pipes, and the
+//!   [`DistResidentEngine`] / [`DistResidentEngine3`] wrappers reuse the
+//!   in-process engines' construction wholesale.
+//!
+//! Because both transports run the same ranks, route the same coalesced
+//! per-pair batches in the same order and charge the same wire-length
+//! accounting, a multi-process run is **bit-identical** to the
+//! in-process resident engine — coordinates *and* reports — and hence to
+//! serial part-major Gauss–Seidel. The cross-transport oracle in
+//! `tests/oracle.rs` pins this across {2, 4, 8} parts × smart/plain ×
+//! 2D/3D.
+//!
+//! ```
+//! use lms_part::PartitionMethod;
+//! use lms_smooth::SmoothParams;
+//! let mut mesh = lms_mesh::generators::perturbed_grid(16, 16, 0.35, 1);
+//! let report = lms_dist::smooth_distributed(
+//!     &mut mesh,
+//!     SmoothParams::paper().with_max_iters(4),
+//!     2,
+//!     PartitionMethod::Rcb,
+//! );
+//! assert!(report.final_quality > report.initial_quality);
+//! let volume = report.exchange.unwrap();
+//! assert_eq!((volume.full_gathers, volume.full_scatters), (1, 1));
+//! ```
+
+pub mod engines;
+pub mod sys;
+pub mod transport;
+pub(crate) mod worker;
+
+pub use engines::{
+    smooth_distributed, smooth_distributed3, DistResidentEngine, DistResidentEngine3,
+};
+pub use transport::ProcessTransport;
+
+pub(crate) mod codec {
+    //! Flat `f64` ↔ point conversions of the wire coordinate payloads.
+    use lms_smooth::domain::DomainPoint;
+
+    pub(crate) fn points_to_flat<P: DomainPoint>(points: &[P]) -> Vec<f64> {
+        let mut flat = Vec::with_capacity(points.len() * P::DIM);
+        for &p in points {
+            p.push_components(&mut flat);
+        }
+        flat
+    }
+
+    pub(crate) fn flat_to_points<P: DomainPoint>(flat: &[f64]) -> Vec<P> {
+        assert_eq!(flat.len() % P::DIM, 0, "flat coordinate payload length");
+        flat.chunks_exact(P::DIM).map(P::from_components).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use lms_part::PartitionMethod;
+    use lms_smooth::SmoothParams;
+
+    /// The crate smoke test CI runs by name: a real multi-process run,
+    /// gated on the in-process engine bit for bit.
+    #[test]
+    fn smoke_two_rank_run_matches_in_process() {
+        let mesh = lms_mesh::generators::perturbed_grid(12, 12, 0.35, 5);
+        let params = SmoothParams::paper().with_smart(true).with_max_iters(4).with_tol(-1.0);
+        let engine = super::DistResidentEngine::by_method(&mesh, params, 2, PartitionMethod::Rcb);
+        assert_eq!(engine.num_ranks(), 2);
+        let mut dist = mesh.clone();
+        let dist_report = engine.smooth(&mut dist);
+        let mut local = mesh.clone();
+        let local_report = engine.inner().smooth(&mut local, 2);
+        assert_eq!(dist.coords(), local.coords());
+        assert_eq!(dist_report, local_report);
+        let volume = dist_report.exchange.unwrap();
+        assert_eq!(volume.full_gathers, 1);
+        assert_eq!(volume.full_scatters, 1);
+        assert!(volume.halo_entries_sent > 0);
+    }
+}

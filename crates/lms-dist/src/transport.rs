@@ -1,0 +1,265 @@
+//! The multi-process transport: MPI-style ranks as forked worker
+//! processes over Unix pipes, driven by the coordinator through the
+//! `lms_part::wire` frame protocol.
+//!
+//! [`ProcessTransport::spawn`] forks one process per part. Each child
+//! inherits the engine's immutable topology — its
+//! [`ResidentBlock`], the [`ExchangeSchedule`] and the domain view —
+//! copy-on-write at fork time, builds its [`ResidentRank`] and serves
+//! frames ([`crate::worker`]); only *run state* ever crosses the wire:
+//! one gather and one scatter of block coordinates, per-color-step
+//! coalesced halo-delta batches, and per-iteration stat reports.
+//!
+//! Delta routing is coordinator-mediated and deadlock-free by phasing:
+//! after broadcasting a `ColorStep` the coordinator first **drains**
+//! every rank's output up to its `RoundDone` marker (ranks block writing
+//! at worst until the coordinator reaches them — no cycle, the
+//! coordinator only reads), then **forwards** the buffered per-pair
+//! frames to their destinations (every rank is back in its read loop,
+//! stashing deltas as they arrive — again no cycle). Frames are
+//! forwarded in ascending source-part order, matching the in-process
+//! pull order, and the traffic counters are charged with the same
+//! `halo_frame_wire_len` formula — which is why the cross-transport
+//! oracle can demand *report* equality, not just coordinate equality.
+
+use crate::sys::{self, Fd};
+use crate::worker;
+use lms_part::wire::{halo_frame_wire_len, Frame, WIRE_VERSION};
+use lms_part::{ExchangeSchedule, MessagePlan};
+use lms_smooth::domain::{DomainConfig, DomainPoint, SmoothDomain};
+use lms_smooth::resident::{ResidentBlock, ResidentRank};
+use lms_smooth::{ExchangeVolume, ResidentTransport};
+use std::io::{BufReader, BufWriter, Write};
+
+/// One rank's coordinator-side endpoints.
+struct RankChannel {
+    pid: i32,
+    to_rank: BufWriter<Fd>,
+    from_rank: BufReader<Fd>,
+}
+
+/// The forked-process implementation of
+/// [`lms_smooth::ResidentTransport`]: one OS process per part, wire
+/// frames over two pipes per rank, coordinator-mediated delta
+/// forwarding. See the module docs for the phasing argument.
+pub struct ProcessTransport<'a, const C: usize, P: DomainPoint> {
+    blocks: &'a [ResidentBlock<C>],
+    ranks: Vec<RankChannel>,
+    /// Per-destination forward queue, drained every color step.
+    forward: Vec<Vec<Frame>>,
+    shut_down: bool,
+    _point: std::marker::PhantomData<fn() -> P>,
+}
+
+impl<'a, const C: usize, P: DomainPoint> ProcessTransport<'a, C, P> {
+    /// Fork one rank worker per part and complete the wire handshake.
+    ///
+    /// The domain, config, blocks and schedule are captured by the
+    /// children as copy-on-write images; the coordinator keeps only the
+    /// blocks (its gather/scatter maps) and the pipe endpoints.
+    pub fn spawn<D: SmoothDomain<C, Point = P>>(
+        dom: &D,
+        cfg: &DomainConfig,
+        blocks: &'a [ResidentBlock<C>],
+        schedule: &ExchangeSchedule,
+    ) -> std::io::Result<Self> {
+        let plan = MessagePlan::build(schedule);
+        let k = blocks.len();
+        // create every pipe pair up front so each child can shed all
+        // descriptors that are not its own two
+        let mut pipes = Vec::with_capacity(k);
+        for _ in 0..k {
+            let to_rank = sys::pipe()?; // (rank reads, coordinator writes)
+            let from_rank = sys::pipe()?; // (coordinator reads, rank writes)
+            pipes.push((to_rank.0, to_rank.1, from_rank.0, from_rank.1));
+        }
+        let mut pids = Vec::with_capacity(k);
+        for p in 0..k {
+            // SAFETY: the child touches no parent lock or thread — it
+            // builds its rank from the inherited image and enters the
+            // single-threaded worker loop, leaving only via `_exit`.
+            let pid = unsafe { sys::fork() }?;
+            if pid == 0 {
+                let own_input = pipes[p].0.raw();
+                let own_output = pipes[p].3.raw();
+                for (i, (r1, w1, r2, w2)) in pipes.iter().enumerate() {
+                    sys::close_raw(w1.raw());
+                    sys::close_raw(r2.raw());
+                    if i != p {
+                        sys::close_raw(r1.raw());
+                        sys::close_raw(w2.raw());
+                    }
+                }
+                let rank = ResidentRank::new(dom, cfg, p as u32, &blocks[p], schedule, &plan);
+                // never returns; the child's copies of `pipes` etc. are
+                // reclaimed by the kernel at `_exit`, so no double-close
+                worker::run_worker(rank, Fd::from_raw(own_input), Fd::from_raw(own_output));
+            }
+            pids.push(pid);
+        }
+        let mut ranks = Vec::with_capacity(k);
+        for (p, (child_input, to_rank, from_rank, child_output)) in pipes.into_iter().enumerate() {
+            drop(child_input);
+            drop(child_output);
+            let mut to_rank = BufWriter::new(to_rank);
+            Frame::Hello { version: WIRE_VERSION, dim: P::DIM as u8, rank: p as u32 }
+                .write_to(&mut to_rank)?;
+            to_rank.flush()?;
+            ranks.push(RankChannel { pid: pids[p], to_rank, from_rank: BufReader::new(from_rank) });
+        }
+        Ok(ProcessTransport {
+            blocks,
+            ranks,
+            forward: (0..k).map(|_| Vec::new()).collect(),
+            shut_down: false,
+            _point: std::marker::PhantomData,
+        })
+    }
+
+    /// Number of rank processes.
+    pub fn num_ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    fn send(&mut self, p: usize, frame: &Frame) {
+        frame
+            .write_to(&mut self.ranks[p].to_rank)
+            .unwrap_or_else(|e| panic!("rank {p} (pid {}) pipe closed: {e}", self.ranks[p].pid));
+    }
+
+    fn flush(&mut self, p: usize) {
+        self.ranks[p]
+            .to_rank
+            .flush()
+            .unwrap_or_else(|e| panic!("rank {p} (pid {}) pipe closed: {e}", self.ranks[p].pid));
+    }
+
+    fn recv(&mut self, p: usize) -> Frame {
+        Frame::read_from(&mut self.ranks[p].from_rank)
+            .unwrap_or_else(|e| panic!("rank {p} (pid {}) stream broke: {e}", self.ranks[p].pid))
+    }
+
+    fn broadcast(&mut self, frame: &Frame) {
+        for p in 0..self.ranks.len() {
+            self.send(p, frame);
+            self.flush(p);
+        }
+    }
+
+    /// Orderly teardown: ask every rank to exit, close every pipe end,
+    /// then reap. Called by `Drop` too, so a coordinator panic still
+    /// reaps its children — and closing the pipes before `waitpid`
+    /// guarantees the reap cannot hang: a rank blocked writing into an
+    /// undrained pipe (a coordinator unwind mid-round leaves one) gets
+    /// `EPIPE` once its read end is gone, a rank blocked reading gets
+    /// EOF, and both exit.
+    pub fn shutdown(&mut self) {
+        if self.shut_down {
+            return;
+        }
+        self.shut_down = true;
+        for p in 0..self.ranks.len() {
+            // best effort: a rank that already died must not abort the
+            // teardown of its siblings
+            let _ = Frame::Shutdown.write_to(&mut self.ranks[p].to_rank);
+            let _ = self.ranks[p].to_rank.flush();
+        }
+        let pids: Vec<i32> = self.ranks.iter().map(|c| c.pid).collect();
+        self.ranks.clear(); // drops both pipe ends of every rank
+        for pid in pids {
+            let _ = sys::wait_pid(pid);
+        }
+    }
+}
+
+impl<const C: usize, P: DomainPoint> Drop for ProcessTransport<'_, C, P> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl<const C: usize, P: DomainPoint> ResidentTransport<P> for ProcessTransport<'_, C, P> {
+    fn gather(&mut self, coords: &[P], scores: &[(f64, bool)]) {
+        for p in 0..self.ranks.len() {
+            let block = &self.blocks[p];
+            let mut flat = Vec::with_capacity((block.owned().len() + block.halo().len()) * P::DIM);
+            for &v in block.owned().iter().chain(block.halo()) {
+                coords[v as usize].push_components(&mut flat);
+            }
+            let block_scores: Vec<(f64, bool)> =
+                block.elem_globals().iter().map(|&t| scores[t as usize]).collect();
+            self.send(p, &Frame::Gather { coords: flat, scores: block_scores });
+            self.flush(p);
+        }
+    }
+
+    fn interior_phase(&mut self) {
+        self.broadcast(&Frame::Interior);
+    }
+
+    fn color_step(&mut self, color: usize, volume: &mut ExchangeVolume) {
+        self.broadcast(&Frame::ColorStep { color: color as u32 });
+        // drain phase: collect every rank's coalesced per-pair batches,
+        // in ascending source-part order
+        for p in 0..self.ranks.len() {
+            loop {
+                match self.recv(p) {
+                    Frame::HaloDelta { part: dst, slots, coords } => {
+                        volume.halo_messages_sent += 1;
+                        volume.halo_entries_sent += slots.len();
+                        volume.halo_bytes_sent += halo_frame_wire_len(P::DIM, slots.len());
+                        self.forward[dst as usize].push(Frame::HaloDelta {
+                            part: p as u32,
+                            slots,
+                            coords,
+                        });
+                    }
+                    Frame::RoundDone => break,
+                    f => panic!("rank {p} sent unexpected frame {f:?} during a color step"),
+                }
+            }
+        }
+        // forward phase: every rank is back in its read loop, so these
+        // writes drain promptly; FIFO order per pipe keeps them ahead of
+        // the next control frame
+        for q in 0..self.ranks.len() {
+            let mut frames = std::mem::take(&mut self.forward[q]);
+            if frames.is_empty() {
+                continue;
+            }
+            for frame in &frames {
+                self.send(q, frame);
+            }
+            self.flush(q);
+            frames.clear();
+            self.forward[q] = frames;
+        }
+    }
+
+    fn finish_iteration(&mut self, deltas: &mut Vec<f64>) {
+        self.broadcast(&Frame::FinishIteration);
+        for p in 0..self.ranks.len() {
+            match self.recv(p) {
+                Frame::Report { delta } => deltas.push(delta),
+                f => panic!("rank {p} sent unexpected frame {f:?} instead of a report"),
+            }
+        }
+    }
+
+    fn scatter(&mut self, coords: &mut [P]) {
+        self.broadcast(&Frame::ScatterRequest);
+        for p in 0..self.ranks.len() {
+            match self.recv(p) {
+                Frame::Scatter { coords: flat } => {
+                    let owned = self.blocks[p].owned();
+                    assert_eq!(flat.len(), owned.len() * P::DIM, "scatter payload length");
+                    for (j, &v) in owned.iter().enumerate() {
+                        coords[v as usize] =
+                            P::from_components(&flat[j * P::DIM..(j + 1) * P::DIM]);
+                    }
+                }
+                f => panic!("rank {p} sent unexpected frame {f:?} instead of a scatter"),
+            }
+        }
+    }
+}

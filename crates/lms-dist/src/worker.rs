@@ -1,0 +1,103 @@
+//! The rank worker: the frame-driven loop a forked rank process runs for
+//! its whole life.
+//!
+//! A worker owns exactly one [`ResidentRank`] — its part's resident block
+//! state, inherited copy-on-write from the coordinator image at fork
+//! time — and serves the coordinator's frames in pipe order: the FIFO
+//! pipe is the synchronisation, so a `ColorStep` can never overtake the
+//! previous round's forwarded `HaloDelta` frames. Every frame handler is
+//! one [`ResidentRank`] call; the sweep arithmetic is therefore the
+//! in-process engine's, expression for expression, which is what makes
+//! the cross-transport oracle hold bit for bit.
+
+use crate::codec::{flat_to_points, points_to_flat};
+use crate::sys::{exit_now, Fd};
+use lms_part::wire::{Frame, WireError, WIRE_VERSION};
+use lms_smooth::domain::{DomainPoint, SmoothDomain};
+use lms_smooth::resident::ResidentRank;
+use std::io::{BufReader, BufWriter, Write};
+
+/// Serve the coordinator until `Shutdown` (or a dead pipe), then leave
+/// the process via `_exit` — never by returning into the forked parent
+/// image. Exit codes: 0 clean shutdown, 101 panic, 102 stream error.
+pub(crate) fn run_worker<const C: usize, D: SmoothDomain<C>>(
+    mut rank: ResidentRank<'_, C, D>,
+    input: Fd,
+    output: Fd,
+) -> ! {
+    let outcome =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| serve(&mut rank, input, output)));
+    match outcome {
+        Ok(Ok(())) => exit_now(0),
+        Ok(Err(e)) => {
+            eprintln!("lms-dist rank worker: stream error: {e}");
+            exit_now(102);
+        }
+        Err(_) => {
+            eprintln!("lms-dist rank worker: panicked");
+            exit_now(101);
+        }
+    }
+}
+
+fn serve<const C: usize, D: SmoothDomain<C>>(
+    rank: &mut ResidentRank<'_, C, D>,
+    input: Fd,
+    output: Fd,
+) -> Result<(), WireError> {
+    let mut rd = BufReader::new(input);
+    let mut wr = BufWriter::new(output);
+
+    match Frame::read_from(&mut rd)? {
+        Frame::Hello { version, dim, rank: id } => {
+            assert_eq!(version, WIRE_VERSION, "wire version mismatch");
+            assert_eq!(dim as usize, <D::Point as DomainPoint>::DIM, "dimension mismatch");
+            assert_eq!(id, rank.part(), "rank id mismatch");
+        }
+        f => panic!("expected Hello handshake, got {f:?}"),
+    }
+
+    loop {
+        match Frame::read_from(&mut rd)? {
+            Frame::Gather { coords, scores } => {
+                let points = flat_to_points::<D::Point>(&coords);
+                rank.load_block(&points, &scores);
+            }
+            Frame::Interior => rank.sweep_interior(),
+            Frame::ColorStep { color } => {
+                rank.apply_pending();
+                rank.sweep_color(color as usize);
+                rank.route_moved();
+                for i in 0..rank.outbox().len() {
+                    let batch = &rank.outbox()[i];
+                    if batch.slots.is_empty() {
+                        continue;
+                    }
+                    Frame::HaloDelta {
+                        part: batch.dst,
+                        slots: batch.slots.clone(),
+                        coords: points_to_flat(&batch.coords),
+                    }
+                    .write_to(&mut wr)?;
+                }
+                Frame::RoundDone.write_to(&mut wr)?;
+                wr.flush()?;
+            }
+            Frame::HaloDelta { slots, coords, .. } => {
+                let points = flat_to_points::<D::Point>(&coords);
+                rank.stash_deltas(&slots, &points);
+            }
+            Frame::FinishIteration => {
+                rank.finalize_iteration();
+                Frame::Report { delta: rank.take_delta() }.write_to(&mut wr)?;
+                wr.flush()?;
+            }
+            Frame::ScatterRequest => {
+                Frame::Scatter { coords: points_to_flat(rank.owned_coords()) }.write_to(&mut wr)?;
+                wr.flush()?;
+            }
+            Frame::Shutdown => return Ok(()),
+            f => panic!("coordinator sent unexpected frame {f:?}"),
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! The cross-transport oracle: multi-process resident smoothing must be
+//! **bit-identical** to the in-process resident engine — coordinates and
+//! full reports (quality trajectories and exchange accounting included) —
+//! across part counts, commit rules and dimensions; and therefore, by the
+//! in-process suites of `lms-smooth`/`lms-mesh3d`, bit-identical to
+//! serial part-major Gauss–Seidel. The serial gate is re-asserted here
+//! directly in 2D so this suite stands on its own.
+
+use lms_dist::{DistResidentEngine, DistResidentEngine3};
+use lms_mesh3d::{ResidentEngine3, SmoothEngine3, SmoothParams3};
+use lms_part::PartitionMethod;
+use lms_smooth::{SmoothEngine, SmoothParams};
+
+#[test]
+fn dist_matches_in_process_2d_across_parts_and_modes() {
+    let mesh = lms_mesh::generators::perturbed_grid(20, 18, 0.35, 11);
+    for parts in [2usize, 4, 8] {
+        for smart in [true, false] {
+            let params = SmoothParams::paper().with_smart(smart).with_max_iters(3).with_tol(-1.0);
+            let engine = DistResidentEngine::by_method(&mesh, params, parts, PartitionMethod::Rcb);
+            assert_eq!(engine.num_ranks(), parts);
+
+            let mut dist = mesh.clone();
+            let dist_report = engine.smooth(&mut dist);
+            for threads in [1usize, 2, 4] {
+                let mut local = mesh.clone();
+                let local_report = engine.inner().smooth(&mut local, threads);
+                assert_eq!(
+                    dist.coords(),
+                    local.coords(),
+                    "coords diverged: {parts} parts, smart={smart}, {threads} threads"
+                );
+                assert_eq!(
+                    dist_report, local_report,
+                    "reports diverged: {parts} parts, smart={smart}, {threads} threads"
+                );
+            }
+
+            let volume = dist_report.exchange.expect("resident runs report exchange accounting");
+            assert_eq!(volume.full_gathers, 1, "{parts} parts, smart={smart}");
+            assert_eq!(volume.full_scatters, 1, "{parts} parts, smart={smart}");
+            assert!(volume.halo_entries_sent > 0, "multi-part runs must exchange halos");
+            assert!(volume.halo_messages_sent <= volume.halo_entries_sent);
+        }
+    }
+}
+
+#[test]
+fn dist_matches_serial_part_major_gauss_seidel_2d() {
+    let mesh = lms_mesh::generators::perturbed_grid(17, 15, 0.3, 4);
+    let params = SmoothParams::paper().with_smart(true).with_max_iters(4).with_tol(-1.0);
+    let engine = DistResidentEngine::by_method(&mesh, params.clone(), 4, PartitionMethod::Hilbert);
+    let mut dist = mesh.clone();
+    engine.smooth(&mut dist);
+    let serial =
+        SmoothEngine::new(&mesh, params).with_visit_order(engine.inner().part_major_visit_order());
+    let mut reference = mesh.clone();
+    serial.smooth(&mut reference);
+    assert_eq!(dist.coords(), reference.coords());
+}
+
+#[test]
+fn dist_matches_in_process_3d_across_parts_and_modes() {
+    let mesh = lms_mesh3d::generators::perturbed_tet_grid(7, 6, 7, 0.35, 9);
+    for parts in [2usize, 4, 8] {
+        for smart in [true, false] {
+            let params = SmoothParams3::paper().with_smart(smart).with_max_iters(2).with_tol(-1.0);
+            let engine = DistResidentEngine3::by_method(&mesh, params, parts, PartitionMethod::Rcb);
+            assert_eq!(engine.num_ranks(), parts);
+
+            let mut dist = mesh.clone();
+            let dist_report = engine.smooth(&mut dist);
+            let mut local = mesh.clone();
+            let local_report = engine.inner().smooth(&mut local, 2);
+            assert_eq!(
+                dist.coords(),
+                local.coords(),
+                "coords diverged: {parts} parts, smart={smart}"
+            );
+            assert_eq!(dist_report, local_report, "{parts} parts, smart={smart}");
+
+            let volume = dist_report.exchange.unwrap();
+            assert_eq!(volume.full_gathers, 1);
+            assert_eq!(volume.full_scatters, 1);
+        }
+    }
+}
+
+#[test]
+fn dist_matches_serial_part_major_gauss_seidel_3d() {
+    let mesh = lms_mesh3d::generators::perturbed_tet_grid(6, 6, 6, 0.3, 2);
+    let params = SmoothParams3::paper().with_smart(true).with_max_iters(3).with_tol(-1.0);
+    let engine = DistResidentEngine3::by_method(&mesh, params.clone(), 4, PartitionMethod::Rcb);
+    let mut dist = mesh.clone();
+    engine.smooth(&mut dist);
+    let mut reference = mesh.clone();
+    SmoothEngine3::new(&mesh, params)
+        .with_visit_order(engine.inner().part_major_visit_order())
+        .smooth(&mut reference);
+    assert_eq!(dist.coords(), reference.coords());
+}
+
+#[test]
+fn single_rank_run_works_and_exchanges_nothing() {
+    let mesh = lms_mesh::generators::perturbed_grid(10, 10, 0.3, 6);
+    let params = SmoothParams::paper().with_max_iters(3);
+    let engine = DistResidentEngine::by_method(&mesh, params, 1, PartitionMethod::Morton);
+    let mut work = mesh.clone();
+    let report = engine.smooth(&mut work);
+    assert!(report.final_quality > report.initial_quality);
+    let volume = report.exchange.unwrap();
+    assert_eq!(volume.halo_entries_sent, 0);
+    assert_eq!(volume.halo_messages_sent, 0);
+    assert_eq!(volume.halo_bytes_sent, 0);
+}
+
+#[test]
+fn engines_sharing_a_decomposition_agree_with_existing_engine_zoo() {
+    // the distributed engine joins the PR-2/PR-3 equivalence class: same
+    // decomposition ⇒ same coordinates as the partitioned engine too
+    let mesh = lms_mesh::generators::perturbed_grid(16, 16, 0.35, 7);
+    let params = SmoothParams::paper().with_smart(true).with_max_iters(3).with_tol(-1.0);
+    let spec = PartitionMethod::Rcb;
+    let dist_engine = DistResidentEngine::by_method(&mesh, params.clone(), 4, spec);
+    let part_engine = lms_smooth::PartitionedEngine::by_method(&mesh, params, 4, spec);
+    let mut a = mesh.clone();
+    dist_engine.smooth(&mut a);
+    let mut b = mesh.clone();
+    part_engine.smooth(&mut b, 2);
+    assert_eq!(a.coords(), b.coords());
+}
+
+#[test]
+fn dist_3d_engine_reuses_resident3_construction() {
+    let mesh = lms_mesh3d::generators::perturbed_tet_grid(6, 5, 6, 0.3, 3);
+    let params = SmoothParams3::paper().with_smart(true).with_max_iters(2).with_tol(-1.0);
+    let dist = DistResidentEngine3::by_method(&mesh, params.clone(), 3, PartitionMethod::Hilbert);
+    let solo = ResidentEngine3::by_method(&mesh, params, 3, PartitionMethod::Hilbert);
+    assert_eq!(dist.inner().part_major_visit_order(), solo.part_major_visit_order());
+}

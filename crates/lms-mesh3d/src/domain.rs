@@ -28,6 +28,19 @@ use lms_smooth::domain::{DomainPoint, SmoothDomain};
 
 impl DomainPoint for Point3 {
     const ZERO: Self = Point3::ZERO;
+    const DIM: usize = 3;
+
+    #[inline]
+    fn push_components(self, out: &mut Vec<f64>) {
+        out.push(self.x);
+        out.push(self.y);
+        out.push(self.z);
+    }
+
+    #[inline]
+    fn from_components(comps: &[f64]) -> Self {
+        Point3::new(comps[0], comps[1], comps[2])
+    }
 
     #[inline]
     fn padd(self, other: Self) -> Self {

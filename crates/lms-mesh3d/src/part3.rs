@@ -193,6 +193,18 @@ impl ResidentEngine3 {
         &self.interface_classes
     }
 
+    /// The per-part resident topologies — one block per part, the
+    /// per-rank state of a distributed backend.
+    pub fn blocks(&self) -> &[ResidentBlock<4>] {
+        &self.blocks
+    }
+
+    /// The constant global element weights `w_t` of the quality
+    /// functional.
+    pub fn elem_weights(&self) -> &[f64] {
+        &self.elem_w
+    }
+
     /// The serial visit order this engine's sweep is exactly equal to —
     /// identical to [`PartitionedEngine3`]'s over the same decomposition.
     pub fn part_major_visit_order(&self) -> Vec<u32> {

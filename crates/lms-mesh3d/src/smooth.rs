@@ -104,7 +104,7 @@ impl SmoothParams3 {
 
     /// The dimension-free parameter slice the generic engines consume
     /// (3D smoothing is always uniform-weighted — Equation (1)).
-    pub(crate) fn domain_config(&self) -> DomainConfig {
+    pub fn domain_config(&self) -> DomainConfig {
         DomainConfig {
             tol: self.tol,
             max_iters: self.max_iters,

@@ -120,6 +120,90 @@ impl ExchangeSchedule {
     }
 }
 
+/// The rank-addressed view of an [`ExchangeSchedule`]: for every sender
+/// part, the destination parts it actually delivers to (ascending, pairs
+/// with zero deliveries dropped) and the delivery-slot count of each
+/// (src → dst) pair.
+///
+/// This is the *message* pattern of a distributed run, where the
+/// schedule is the *entry* pattern: a transport coalesces all moved
+/// deltas of one pair within a color step into a single frame, so the
+/// plan bounds per-round message counts (`Σ_p neighbors(p).len()`) and
+/// sizes (`pair_entry_counts`) — the in-process engine batches its
+/// outboxes along the same plan, which keeps the
+/// `ExchangeVolume` message/byte accounting identical across transports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MessagePlan {
+    /// CSR offsets over parts into `nbrs` / `pair_entries`.
+    nbr_offsets: Vec<u32>,
+    /// Destination parts per sender, ascending, non-empty pairs only.
+    nbrs: Vec<u32>,
+    /// Delivery-slot count per (sender, destination) pair, aligned with
+    /// `nbrs` — the static upper bound of one coalesced frame.
+    pair_entries: Vec<u32>,
+}
+
+impl MessagePlan {
+    /// Extract the rank-addressed pair structure of `schedule`.
+    pub fn build(schedule: &ExchangeSchedule) -> Self {
+        let k = schedule.num_parts();
+        let mut nbr_offsets = Vec::with_capacity(k + 1);
+        nbr_offsets.push(0u32);
+        let mut nbrs = Vec::new();
+        let mut pair_entries = Vec::new();
+        let mut counts = vec![0u32; k];
+        for p in 0..k {
+            for &(q, _) in &schedule.targets[p] {
+                counts[q as usize] += 1;
+            }
+            for (q, count) in counts.iter_mut().enumerate() {
+                if *count > 0 {
+                    nbrs.push(q as u32);
+                    pair_entries.push(*count);
+                    *count = 0;
+                }
+            }
+            nbr_offsets.push(nbrs.len() as u32);
+        }
+        MessagePlan { nbr_offsets, nbrs, pair_entries }
+    }
+
+    /// Number of parts the plan was built for.
+    #[inline]
+    pub fn num_parts(&self) -> usize {
+        self.nbr_offsets.len() - 1
+    }
+
+    /// Destination parts sender `p` delivers to, ascending.
+    #[inline]
+    pub fn neighbors(&self, p: u32) -> &[u32] {
+        &self.nbrs[self.nbr_offsets[p as usize] as usize..self.nbr_offsets[p as usize + 1] as usize]
+    }
+
+    /// Delivery-slot counts aligned with [`neighbors`](Self::neighbors):
+    /// how many halo slots of that destination sender `p` owns — the
+    /// maximum entries one coalesced frame of the pair can carry.
+    #[inline]
+    pub fn pair_entry_counts(&self, p: u32) -> &[u32] {
+        &self.pair_entries
+            [self.nbr_offsets[p as usize] as usize..self.nbr_offsets[p as usize + 1] as usize]
+    }
+
+    /// Total directed (sender, destination) pairs with at least one
+    /// delivery slot — the per-round message-count ceiling.
+    #[inline]
+    pub fn num_pairs(&self) -> usize {
+        self.nbrs.len()
+    }
+
+    /// Total delivery slots across all pairs — equals
+    /// [`ExchangeSchedule::num_entries`].
+    #[inline]
+    pub fn num_entries(&self) -> usize {
+        self.pair_entries.iter().map(|&c| c as usize).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,5 +267,43 @@ mod tests {
     fn single_part_schedule_is_empty() {
         let (_, s) = setup(1, PartitionMethod::Morton);
         assert_eq!(s.num_entries(), 0);
+        assert_eq!(MessagePlan::build(&s).num_pairs(), 0);
+    }
+
+    #[test]
+    fn message_plan_matches_schedule_pairs() {
+        for (k, method) in
+            [(2, PartitionMethod::Rcb), (5, PartitionMethod::Hilbert), (8, PartitionMethod::Morton)]
+        {
+            let (p, s) = setup(k, method);
+            let plan = MessagePlan::build(&s);
+            assert_eq!(plan.num_parts(), k);
+            assert_eq!(plan.num_entries(), s.num_entries(), "k={k}");
+            // oracle: recount every (src, dst) pair straight from the
+            // per-vertex delivery lists
+            for src in 0..p.num_parts() {
+                let mut counts = vec![0u32; k];
+                for i in 0..p.part(src).len() {
+                    for &(q, _) in s.outgoing(src, i as u32) {
+                        counts[q as usize] += 1;
+                    }
+                }
+                let expect: Vec<(u32, u32)> = counts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(q, &c)| (q as u32, c))
+                    .collect();
+                let got: Vec<(u32, u32)> = plan
+                    .neighbors(src)
+                    .iter()
+                    .copied()
+                    .zip(plan.pair_entry_counts(src).iter().copied())
+                    .collect();
+                assert_eq!(got, expect, "part {src}");
+                assert!(plan.neighbors(src).windows(2).all(|w| w[0] < w[1]));
+                assert!(!plan.neighbors(src).contains(&src), "no self-sends");
+            }
+        }
     }
 }

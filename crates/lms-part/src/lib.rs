@@ -17,6 +17,10 @@
 //!   over the Hilbert / Morton orders.
 //! * [`PartitionStats`] — decomposition-quality metrics: edge cut, halo
 //!   ratio, part-size imbalance, interior/interface split.
+//! * [`ExchangeSchedule`] / [`MessagePlan`] / [`wire`] — the halo-exchange
+//!   communication layer: the per-vertex delivery pattern, its
+//!   rank-addressed (src part → dst part) message plan, and the versioned
+//!   binary wire format a multi-process transport carries it with.
 //!
 //! ```
 //! use lms_part::{partition_mesh, PartitionMethod};
@@ -32,8 +36,9 @@ pub mod exchange;
 pub mod methods;
 pub mod partition;
 pub mod stats;
+pub mod wire;
 
-pub use exchange::ExchangeSchedule;
+pub use exchange::{ExchangeSchedule, MessagePlan};
 pub use methods::{
     partition_coords, partition_mesh, sfc_chunk_assignment, vertex_area_weights, PartitionMethod,
 };

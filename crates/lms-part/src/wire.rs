@@ -1,0 +1,436 @@
+//! The versioned binary wire format of the distributed resident-smoothing
+//! backend — the serialisation of the halo-exchange protocol that
+//! [`crate::ExchangeSchedule`] defines and `lms_smooth::resident` drives.
+//!
+//! One frame type per message of the protocol:
+//!
+//! | frame | direction | payload |
+//! |---|---|---|
+//! | [`Frame::Hello`] | coordinator → rank | magic, version, coordinate dimension, rank id |
+//! | [`Frame::Gather`] | coordinator → rank | the rank's owned+halo coordinates and local element scores (the one full gather) |
+//! | [`Frame::Interior`] | coordinator → rank | run the interior sweep phase of the current iteration |
+//! | [`Frame::ColorStep`] | coordinator → rank | apply pending halo deltas, sweep one interface color class, emit moved deltas |
+//! | [`Frame::HaloDelta`] | both | one coalesced (source part → destination part) batch of moved-vertex coordinates |
+//! | [`Frame::RoundDone`] | rank → coordinator | end marker of a rank's delta output for one color step |
+//! | [`Frame::FinishIteration`] | coordinator → rank | apply the last round's deltas, re-score, report |
+//! | [`Frame::Report`] | rank → coordinator | the rank's per-iteration `Σ w_t·Δq_t` stat delta |
+//! | [`Frame::ScatterRequest`] | coordinator → rank | send your owned coordinates back (the one full scatter) |
+//! | [`Frame::Scatter`] | rank → coordinator | the rank's owned coordinates |
+//! | [`Frame::Shutdown`] | coordinator → rank | exit the worker loop |
+//!
+//! Encoding: every frame is `[u32 LE payload length][u8 tag][fields…]`,
+//! integers little-endian, booleans one byte, and **every `f64` as its
+//! exact IEEE-754 bit pattern** ([`f64::to_bits`], little-endian) — NaN
+//! payloads, negative zero and signalling bit patterns all round-trip
+//! bit-identically, which is what keeps multi-process smoothing
+//! bit-identical to the in-process engines (property-tested in
+//! `tests/props.rs`).
+//!
+//! Coordinates travel as flat component vectors (`dim` components per
+//! point, declared once in the [`Frame::Hello`] handshake); a
+//! [`Frame::HaloDelta`] carries the destination-local slot ids alongside,
+//! so a receiver writes straight into its resident block buffer.
+
+use std::io::{Read, Write};
+
+/// Magic number opening every [`Frame::Hello`] (`b"LMSW"`, little-endian).
+pub const WIRE_MAGIC: u32 = u32::from_le_bytes(*b"LMSW");
+
+/// Current wire-format version. Bump on any frame-layout change; a
+/// coordinator and a rank negotiate nothing — the rank refuses a
+/// mismatched [`Frame::Hello`].
+pub const WIRE_VERSION: u16 = 1;
+
+/// Hard cap on one frame's payload (64 MiB): a corrupted length prefix
+/// must not turn into an unbounded allocation.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// One message of the distributed resident-smoothing protocol. See the
+/// module docs for the frame table and encoding rules.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Connection handshake: wire magic + version, the coordinate
+    /// dimension of every coordinate payload on this connection, and the
+    /// receiving rank's id.
+    Hello { version: u16, dim: u8, rank: u32 },
+    /// The one full gather: the rank's owned+halo coordinates (flat,
+    /// `dim` components per point, owned then halo in block-local order)
+    /// and its local elements' `(quality, positively_oriented)` scores.
+    Gather { coords: Vec<f64>, scores: Vec<(f64, bool)> },
+    /// Run the interior sweep phase of the current iteration.
+    Interior,
+    /// Apply pending halo deltas, then sweep interface color class
+    /// `color` and emit the moved deltas.
+    ColorStep { color: u32 },
+    /// One coalesced halo-delta batch for a (source → destination) part
+    /// pair: destination-local slot ids and the matching coordinates
+    /// (flat, `dim` components per slot). `part` names the destination
+    /// when a rank emits the frame, the source when the coordinator
+    /// forwards it.
+    HaloDelta { part: u32, slots: Vec<u32>, coords: Vec<f64> },
+    /// End marker of a rank's delta output for one color step.
+    RoundDone,
+    /// Apply the last round's deltas, run the end-of-iteration re-score,
+    /// and send a [`Frame::Report`].
+    FinishIteration,
+    /// The rank's per-iteration quality-stat delta `Σ w_t·Δq_t`.
+    Report { delta: f64 },
+    /// Send your owned coordinates back.
+    ScatterRequest,
+    /// The one full scatter: the rank's owned coordinates (flat).
+    Scatter { coords: Vec<f64> },
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// Decode failure: the stream does not hold a well-formed frame.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying stream error (includes EOF mid-frame).
+    Io(std::io::Error),
+    /// Unknown frame tag.
+    BadTag(u8),
+    /// Payload shorter or longer than its fields demand.
+    BadLength,
+    /// Length prefix exceeds [`MAX_FRAME_LEN`].
+    TooLarge(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o error: {e}"),
+            WireError::BadTag(t) => write!(f, "unknown frame tag {t}"),
+            WireError::BadLength => write!(f, "frame payload length mismatch"),
+            WireError::TooLarge(n) => write!(f, "frame length {n} exceeds {MAX_FRAME_LEN}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+const TAG_HELLO: u8 = 0;
+const TAG_GATHER: u8 = 1;
+const TAG_INTERIOR: u8 = 2;
+const TAG_COLOR_STEP: u8 = 3;
+const TAG_HALO_DELTA: u8 = 4;
+const TAG_ROUND_DONE: u8 = 5;
+const TAG_FINISH_ITERATION: u8 = 6;
+const TAG_REPORT: u8 = 7;
+const TAG_SCATTER_REQUEST: u8 = 8;
+const TAG_SCATTER: u8 = 9;
+const TAG_SHUTDOWN: u8 = 10;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_f64s(out: &mut Vec<u8>, vs: &[f64]) {
+    put_u32(out, vs.len() as u32);
+    for &v in vs {
+        put_f64(out, v);
+    }
+}
+
+/// Cursor-style reader over a decoded payload.
+struct Payload<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Payload<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::BadLength)?;
+        if end > self.buf.len() {
+            return Err(WireError::BadLength);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(u64::from_le_bytes(self.take(8)?.try_into().unwrap())))
+    }
+
+    fn u32s(&mut self) -> Result<Vec<u32>, WireError> {
+        let n = self.u32()? as usize;
+        let raw = self.take(n.checked_mul(4).ok_or(WireError::BadLength)?)?;
+        Ok(raw.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect())
+    }
+
+    fn f64s(&mut self) -> Result<Vec<f64>, WireError> {
+        let n = self.u32()? as usize;
+        let raw = self.take(n.checked_mul(8).ok_or(WireError::BadLength)?)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().unwrap())))
+            .collect())
+    }
+
+    fn done(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::BadLength)
+        }
+    }
+}
+
+impl Frame {
+    /// Encode the frame's payload (tag + fields, no length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        match self {
+            Frame::Hello { version, dim, rank } => {
+                out.push(TAG_HELLO);
+                put_u32(&mut out, WIRE_MAGIC);
+                out.extend_from_slice(&version.to_le_bytes());
+                out.push(*dim);
+                put_u32(&mut out, *rank);
+            }
+            Frame::Gather { coords, scores } => {
+                out.push(TAG_GATHER);
+                put_f64s(&mut out, coords);
+                put_u32(&mut out, scores.len() as u32);
+                for &(q, pos) in scores {
+                    put_f64(&mut out, q);
+                    out.push(pos as u8);
+                }
+            }
+            Frame::Interior => out.push(TAG_INTERIOR),
+            Frame::ColorStep { color } => {
+                out.push(TAG_COLOR_STEP);
+                put_u32(&mut out, *color);
+            }
+            Frame::HaloDelta { part, slots, coords } => {
+                out.push(TAG_HALO_DELTA);
+                put_u32(&mut out, *part);
+                put_u32(&mut out, slots.len() as u32);
+                for &s in slots {
+                    put_u32(&mut out, s);
+                }
+                put_f64s(&mut out, coords);
+            }
+            Frame::RoundDone => out.push(TAG_ROUND_DONE),
+            Frame::FinishIteration => out.push(TAG_FINISH_ITERATION),
+            Frame::Report { delta } => {
+                out.push(TAG_REPORT);
+                put_f64(&mut out, *delta);
+            }
+            Frame::ScatterRequest => out.push(TAG_SCATTER_REQUEST),
+            Frame::Scatter { coords } => {
+                out.push(TAG_SCATTER);
+                put_f64s(&mut out, coords);
+            }
+            Frame::Shutdown => out.push(TAG_SHUTDOWN),
+        }
+        out
+    }
+
+    /// Decode one payload produced by [`encode`](Self::encode). A
+    /// [`Frame::Hello`] with the wrong magic decodes to
+    /// [`WireError::BadLength`]-class failure ([`WireError::BadTag`] is
+    /// reserved for unknown tags).
+    pub fn decode(payload: &[u8]) -> Result<Frame, WireError> {
+        let mut p = Payload { buf: payload, pos: 0 };
+        let frame = match p.u8()? {
+            TAG_HELLO => {
+                let magic = p.u32()?;
+                if magic != WIRE_MAGIC {
+                    return Err(WireError::BadLength);
+                }
+                Frame::Hello { version: p.u16()?, dim: p.u8()?, rank: p.u32()? }
+            }
+            TAG_GATHER => {
+                let coords = p.f64s()?;
+                let n = p.u32()? as usize;
+                let mut scores = Vec::with_capacity(n.min(MAX_FRAME_LEN / 9));
+                for _ in 0..n {
+                    let q = p.f64()?;
+                    let pos = match p.u8()? {
+                        0 => false,
+                        1 => true,
+                        _ => return Err(WireError::BadLength),
+                    };
+                    scores.push((q, pos));
+                }
+                Frame::Gather { coords, scores }
+            }
+            TAG_INTERIOR => Frame::Interior,
+            TAG_COLOR_STEP => Frame::ColorStep { color: p.u32()? },
+            TAG_HALO_DELTA => {
+                let part = p.u32()?;
+                let slots = p.u32s()?;
+                let coords = p.f64s()?;
+                Frame::HaloDelta { part, slots, coords }
+            }
+            TAG_ROUND_DONE => Frame::RoundDone,
+            TAG_FINISH_ITERATION => Frame::FinishIteration,
+            TAG_REPORT => Frame::Report { delta: p.f64()? },
+            TAG_SCATTER_REQUEST => Frame::ScatterRequest,
+            TAG_SCATTER => Frame::Scatter { coords: p.f64s()? },
+            TAG_SHUTDOWN => Frame::Shutdown,
+            t => return Err(WireError::BadTag(t)),
+        };
+        p.done()?;
+        Ok(frame)
+    }
+
+    /// Write the frame to a stream: `u32` LE payload length, then the
+    /// payload. Enforces [`MAX_FRAME_LEN`] on the send side too, so an
+    /// oversized gather/scatter (≈ 34 bytes per 2D vertex of one rank's
+    /// block) fails with a diagnosable error instead of the receiver
+    /// rejecting it and the sender dying on a broken pipe.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        let payload = self.encode();
+        if payload.len() > MAX_FRAME_LEN {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "frame payload of {} bytes exceeds the {MAX_FRAME_LEN}-byte wire limit \
+                     (rank block too large for one gather/scatter frame — use more parts)",
+                    payload.len()
+                ),
+            ));
+        }
+        w.write_all(&(payload.len() as u32).to_le_bytes())?;
+        w.write_all(&payload)
+    }
+
+    /// Read one length-prefixed frame from a stream.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Frame, WireError> {
+        let mut len = [0u8; 4];
+        r.read_exact(&mut len)?;
+        let len = u32::from_le_bytes(len) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::TooLarge(len));
+        }
+        let mut payload = vec![0u8; len];
+        r.read_exact(&mut payload)?;
+        Frame::decode(&payload)
+    }
+
+    /// Total bytes [`write_to`](Self::write_to) puts on the wire for this
+    /// frame (length prefix included).
+    pub fn wire_len(&self) -> usize {
+        4 + self.encode().len()
+    }
+}
+
+/// Bytes a coalesced [`Frame::HaloDelta`] of `entries` delivery slots at
+/// coordinate dimension `dim` occupies on the wire (length prefix
+/// included) — the formula both transports charge
+/// `ExchangeVolume::halo_bytes_sent` with, so in-process and
+/// multi-process runs report identical byte counts.
+pub const fn halo_frame_wire_len(dim: usize, entries: usize) -> usize {
+    // prefix + tag + part + slots(len + 4/entry) + coords(len + 8·dim/entry)
+    4 + 1 + 4 + 4 + 4 * entries + 4 + 8 * dim * entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let payload = frame.encode();
+        let back = Frame::decode(&payload).expect("decode");
+        // PartialEq on f64 payloads would call NaN != NaN; compare bits
+        // through the encoding instead
+        assert_eq!(payload, back.encode());
+        let mut stream = Vec::new();
+        frame.write_to(&mut stream).unwrap();
+        assert_eq!(stream.len(), frame.wire_len());
+        let back = Frame::read_from(&mut stream.as_slice()).expect("read_from");
+        assert_eq!(payload, back.encode());
+    }
+
+    #[test]
+    fn every_frame_type_roundtrips() {
+        roundtrip(Frame::Hello { version: WIRE_VERSION, dim: 3, rank: 7 });
+        roundtrip(Frame::Gather {
+            coords: vec![0.5, -1.25, f64::NAN, -0.0, f64::INFINITY],
+            scores: vec![(0.75, true), (f64::NAN, false), (-0.0, true)],
+        });
+        roundtrip(Frame::Interior);
+        roundtrip(Frame::ColorStep { color: u32::MAX });
+        roundtrip(Frame::HaloDelta {
+            part: 3,
+            slots: vec![0, 17, u32::MAX],
+            coords: vec![1.0, -0.0, f64::NEG_INFINITY, f64::MIN_POSITIVE, 2.5e-308, f64::NAN],
+        });
+        roundtrip(Frame::RoundDone);
+        roundtrip(Frame::FinishIteration);
+        roundtrip(Frame::Report { delta: -0.0 });
+        roundtrip(Frame::Report { delta: f64::NAN });
+        roundtrip(Frame::ScatterRequest);
+        roundtrip(Frame::Scatter { coords: vec![] });
+        roundtrip(Frame::Shutdown);
+    }
+
+    #[test]
+    fn nan_and_negative_zero_bits_survive() {
+        // a signalling-style NaN bit pattern must come back bit-identical
+        let weird = f64::from_bits(0x7ff0_0000_0000_0001);
+        let frame = Frame::Scatter { coords: vec![weird, -0.0] };
+        let Frame::Scatter { coords } = Frame::decode(&frame.encode()).unwrap() else {
+            panic!("wrong frame type");
+        };
+        assert_eq!(coords[0].to_bits(), weird.to_bits());
+        assert_eq!(coords[1].to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn halo_frame_len_formula_matches_encoding() {
+        for (dim, entries) in [(2usize, 0usize), (2, 1), (2, 9), (3, 4), (3, 117)] {
+            let frame = Frame::HaloDelta {
+                part: 1,
+                slots: vec![5; entries],
+                coords: vec![0.25; entries * dim],
+            };
+            assert_eq!(frame.wire_len(), halo_frame_wire_len(dim, entries), "{dim}D x{entries}");
+        }
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_are_rejected() {
+        let good = Frame::ColorStep { color: 9 }.encode();
+        assert!(matches!(Frame::decode(&good[..good.len() - 1]), Err(WireError::BadLength)));
+        let mut padded = good.clone();
+        padded.push(0);
+        assert!(matches!(Frame::decode(&padded), Err(WireError::BadLength)));
+        assert!(matches!(Frame::decode(&[200u8]), Err(WireError::BadTag(200))));
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        assert!(matches!(Frame::read_from(&mut stream.as_slice()), Err(WireError::TooLarge(_))));
+    }
+
+    #[test]
+    fn hello_rejects_bad_magic() {
+        let mut payload = Frame::Hello { version: WIRE_VERSION, dim: 2, rank: 0 }.encode();
+        payload[1] ^= 0xff;
+        assert!(Frame::decode(&payload).is_err());
+    }
+}

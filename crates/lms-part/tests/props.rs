@@ -11,7 +11,7 @@
 //!   — it covers exactly the 1-ring-of-interface closure.
 
 use lms_mesh::{Adjacency, TriMesh};
-use lms_part::{partition_mesh, ExchangeSchedule, Partition, PartitionMethod};
+use lms_part::{partition_mesh, ExchangeSchedule, MessagePlan, Partition, PartitionMethod};
 use proptest::prelude::*;
 
 fn arb_mesh() -> impl Strategy<Value = TriMesh> {
@@ -153,5 +153,94 @@ proptest! {
             .filter(|&&(a, b)| p.part_of(a) != p.part_of(b))
             .count();
         prop_assert_eq!(p.edge_cut(), direct);
+    }
+
+    /// The message plan is exactly the per-pair regrouping of the
+    /// schedule: union of pair entry counts = schedule entries, every
+    /// neighbour pair non-empty, destinations ascending without
+    /// self-sends.
+    #[test]
+    fn message_plan_regroups_the_schedule(
+        mesh in arb_mesh(), k in 1usize..9, method_ix in 0usize..4,
+    ) {
+        let (_, p) = build(&mesh, k, method_ix);
+        let s = ExchangeSchedule::build(&p);
+        let plan = MessagePlan::build(&s);
+        prop_assert_eq!(plan.num_parts() as u32, p.num_parts());
+        prop_assert_eq!(plan.num_entries(), s.num_entries());
+        let mut total = 0usize;
+        for src in 0..p.num_parts() {
+            let nbrs = plan.neighbors(src);
+            let counts = plan.pair_entry_counts(src);
+            prop_assert_eq!(nbrs.len(), counts.len());
+            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(!nbrs.contains(&src), "self-send in plan");
+            prop_assert!(counts.iter().all(|&c| c > 0), "empty pair kept");
+            total += counts.iter().map(|&c| c as usize).sum::<usize>();
+            // oracle per pair: recount from the delivery lists
+            for (&q, &count) in nbrs.iter().zip(counts) {
+                let direct: usize = (0..p.part(src).len())
+                    .map(|i| {
+                        s.outgoing(src, i as u32).iter().filter(|&&(d, _)| d == q).count()
+                    })
+                    .sum();
+                prop_assert_eq!(direct, count as usize, "pair {}->{}", src, q);
+            }
+        }
+        prop_assert_eq!(total, s.num_entries());
+    }
+}
+
+/// Random `f64` bit patterns — NaNs (quiet and signalling patterns),
+/// ±0, infinities, subnormals all included by construction.
+fn arb_bits(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(any::<u64>(), len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Wire-format roundtrip over arbitrary bit patterns: every frame
+    /// type carrying `f64` payloads survives encode→decode with the
+    /// exact bits, and stream framing (`write_to`/`read_from`) is
+    /// lossless for frame sequences.
+    #[test]
+    fn wire_frames_roundtrip_arbitrary_bit_patterns(
+        coord_bits in arb_bits(0..40),
+        score_bits in arb_bits(0..20),
+        slots in proptest::collection::vec(any::<u32>(), 0..20),
+        part in any::<u32>(),
+        color in any::<u32>(),
+        delta_bits in any::<u64>(),
+    ) {
+        use lms_part::wire::Frame;
+        let coords: Vec<f64> = coord_bits.iter().map(|&b| f64::from_bits(b)).collect();
+        let scores: Vec<(f64, bool)> =
+            score_bits.iter().map(|&b| (f64::from_bits(b), b % 2 == 0)).collect();
+        let frames = vec![
+            Frame::Gather { coords: coords.clone(), scores },
+            Frame::ColorStep { color },
+            Frame::HaloDelta {
+                part,
+                slots: slots.clone(),
+                coords: coords.iter().copied().cycle().take(slots.len() * 2).collect(),
+            },
+            Frame::Report { delta: f64::from_bits(delta_bits) },
+            Frame::Scatter { coords },
+            Frame::RoundDone,
+            Frame::Shutdown,
+        ];
+        let mut stream = Vec::new();
+        for frame in &frames {
+            frame.write_to(&mut stream).unwrap();
+        }
+        let mut cursor: &[u8] = &stream;
+        for frame in &frames {
+            let back = Frame::read_from(&mut cursor).expect("stream decode");
+            // NaN payloads make PartialEq useless; exact-bit equality is
+            // what the protocol guarantees, so compare re-encodings
+            prop_assert_eq!(frame.encode(), back.encode());
+        }
+        prop_assert!(cursor.is_empty(), "stream must be fully consumed");
     }
 }

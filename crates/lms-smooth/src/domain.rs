@@ -46,6 +46,17 @@ pub trait DomainPoint: Copy + Clone + Send + Sync + PartialEq + std::fmt::Debug 
     /// The additive identity (the origin).
     const ZERO: Self;
 
+    /// Number of `f64` components (2 for the plane, 3 for space) — the
+    /// `dim` a wire transport declares in its handshake.
+    const DIM: usize;
+
+    /// Append the components to a flat buffer (wire encoding order).
+    fn push_components(self, out: &mut Vec<f64>);
+
+    /// Rebuild the point from [`Self::DIM`] components — the exact bit
+    /// patterns pushed, so transported coordinates stay bit-identical.
+    fn from_components(comps: &[f64]) -> Self;
+
     /// Componentwise sum.
     fn padd(self, other: Self) -> Self;
 
@@ -61,6 +72,18 @@ pub trait DomainPoint: Copy + Clone + Send + Sync + PartialEq + std::fmt::Debug 
 
 impl DomainPoint for Point2 {
     const ZERO: Self = Point2::ZERO;
+    const DIM: usize = 2;
+
+    #[inline]
+    fn push_components(self, out: &mut Vec<f64>) {
+        out.push(self.x);
+        out.push(self.y);
+    }
+
+    #[inline]
+    fn from_components(comps: &[f64]) -> Self {
+        Point2::new(comps[0], comps[1])
+    }
 
     #[inline]
     fn padd(self, other: Self) -> Self {
@@ -88,6 +111,17 @@ impl DomainPoint for Point2 {
 /// without a mesh crate in sight.
 impl<const D: usize> DomainPoint for [f64; D] {
     const ZERO: Self = [0.0; D];
+    const DIM: usize = D;
+
+    #[inline]
+    fn push_components(self, out: &mut Vec<f64>) {
+        out.extend_from_slice(&self);
+    }
+
+    #[inline]
+    fn from_components(comps: &[f64]) -> Self {
+        std::array::from_fn(|i| comps[i])
+    }
 
     #[inline]
     fn padd(self, other: Self) -> Self {

@@ -50,6 +50,7 @@ pub mod pool;
 pub mod resident;
 pub mod stats;
 pub mod trace;
+pub mod transport;
 pub mod weighting;
 
 pub use colored::smooth_parallel_colored;
@@ -64,7 +65,8 @@ pub use greedy::greedy_visit_order;
 pub use parallel::{parallel_mesh_quality, smooth_parallel};
 pub use partitioned::{smooth_partitioned, PartitionedEngine};
 pub use pool::PoolCache;
-pub use resident::{smooth_resident, ResidentEngine};
+pub use resident::{smooth_resident, PairBatch, ResidentEngine, ResidentRank};
 pub use stats::{ExchangeVolume, IterationStats, SmoothReport};
 pub use trace::{AccessSink, CountSink, NullSink, VecSink};
+pub use transport::{drive_resident, InProcessTransport, ResidentTransport};
 pub use weighting::weighted_candidate;

@@ -20,18 +20,31 @@
 //!   or share an element (even across parts), so each part commits its
 //!   class members locally and the only cross-part dependency is the halo
 //!   refresh between color steps;
-//! * between color steps the engine routes **only the moved vertices'**
-//!   coordinates along the precomputed [`ExchangeSchedule`] — per-round
-//!   traffic is a moved-restricted slice of the static ghost pattern, and
+//! * between color steps only the **moved vertices'** coordinates travel,
+//!   coalesced into one message per (source part → destination part) pair
+//!   along the [`ExchangeSchedule`]'s [`lms_part::MessagePlan`];
 //!   receiving parts re-score just the local elements the delivered halo
 //!   vertices touch;
 //! * the global mesh is written back in **one parallel disjoint scatter**
 //!   at the end (parts own disjoint vertex sets).
 //!
+//! Since PR 5 the *protocol* lives in two layers. The per-part compute —
+//! local sweeps, delta application, per-pair outbox batching, the
+//! `Σ w_t·Δq_t` stat accumulation — is [`ResidentRank`], and the data
+//! movement between ranks is a [`crate::transport::ResidentTransport`]
+//! driven by the generic [`crate::transport::drive_resident`] loop.
+//! [`smooth_resident_on`] (and therefore this [`ResidentEngine`] and
+//! `lms-mesh3d`'s `ResidentEngine3`) runs the
+//! [`InProcessTransport`](crate::transport::InProcessTransport); the
+//! `lms-dist` crate runs the identical ranks as forked worker processes
+//! over Unix pipes, exchanging the same batches as
+//! [`lms_part::wire`] frames — property-tested bit-identical, coordinates
+//! *and* reports.
+//!
 //! Between the first gather and the final scatter the engine performs zero
 //! full-mesh gather/refresh/write-back passes — the
-//! [`ExchangeVolume`] counters in the report pin this
-//! (`full_gathers == 1 && full_scatters == 1`), property-tested in
+//! [`ExchangeVolume`](crate::ExchangeVolume) counters in the report pin
+//! this (`full_gathers == 1 && full_scatters == 1`), property-tested in
 //! `tests/resident.rs`.
 //!
 //! The per-iteration quality statistic is maintained incrementally too:
@@ -45,13 +58,6 @@
 //! ulps, so disable the tolerance (`tol < 0`) when exact sweep-count
 //! parity with another engine matters.
 //!
-//! Since PR 4 the whole protocol is generic over [`SmoothDomain`]:
-//! [`ResidentEngine`] instantiates it for the 2D [`TriMesh`],
-//! `lms-mesh3d`'s `ResidentEngine3` for tetrahedra — the same one-gather /
-//! moved-only-delta / one-scatter exchange whatever the dimension, which
-//! is exactly the shape the ROADMAP's distributed-memory backend will
-//! serialise onto a transport.
-//!
 //! Determinism and equivalence (property-tested in `tests/resident.rs`):
 //! coordinates are **bitwise-deterministic for any thread count** and
 //! **bit-identical** both to serial Gauss–Seidel under the part-major
@@ -59,16 +65,14 @@
 //! PR-2 [`PartitionedEngine`](crate::PartitionedEngine) over the same
 //! decomposition.
 
-use crate::config::{SmoothParams, UpdateScheme};
-use crate::domain::{
-    domain_quality, domain_quality_scored, DomainConfig, DomainPoint, SmoothDomain,
-};
+use crate::config::{SmoothParams, UpdateScheme, Weighting};
+use crate::domain::{DomainConfig, DomainPoint, SmoothDomain};
 use crate::engine::SmoothEngine;
 use crate::kernel::candidate_for;
-use crate::stats::{ExchangeVolume, IterationStats, SmoothReport};
+use crate::stats::SmoothReport;
+use crate::transport::{drive_resident, InProcessTransport};
 use lms_mesh::{Adjacency, TriMesh};
-use lms_part::{partition_mesh, ExchangeSchedule, Partition, PartitionMethod};
-use rayon::prelude::*;
+use lms_part::{partition_mesh, ExchangeSchedule, MessagePlan, Partition, PartitionMethod};
 
 /// Domain-decomposed Gauss–Seidel smoothing over blocks that stay
 /// resident for the whole run, with halo-delta exchange between interface
@@ -138,6 +142,28 @@ impl<const C: usize> ResidentBlock<C> {
     pub fn interior_globals(&self) -> impl Iterator<Item = u32> + '_ {
         self.int_locals.iter().map(|&lv| self.owned[lv as usize])
     }
+
+    /// Owned vertices, global ids ascending — the gather/scatter map a
+    /// coordinator slices global arrays with.
+    pub fn owned(&self) -> &[u32] {
+        &self.owned
+    }
+
+    /// Halo (ghost) vertices, global ids ascending.
+    pub fn halo(&self) -> &[u32] {
+        &self.halo
+    }
+
+    /// Number of owned vertices (halo locals start here).
+    pub fn num_owned(&self) -> usize {
+        self.num_owned as usize
+    }
+
+    /// Local element set as global element ids, ascending — the score
+    /// gather map.
+    pub fn elem_globals(&self) -> &[u32] {
+        &self.elem_globals
+    }
 }
 
 /// The serial visit order a resident sweep over `blocks` is exactly equal
@@ -152,10 +178,51 @@ pub fn resident_part_major_order<const C: usize>(
     order
 }
 
-/// Per-run mutable state of one part: the resident block itself.
-struct ResidentScratch<P: DomainPoint> {
+/// One coalesced (source part → destination part) delta batch: the
+/// destination-local slots and new coordinates of every moved source
+/// vertex the destination ghosts — the in-memory form of one
+/// `lms_part::wire::Frame::HaloDelta`.
+#[derive(Debug, Clone)]
+pub struct PairBatch<P> {
+    /// Destination part.
+    pub dst: u32,
+    /// Destination-local halo slot per entry.
+    pub slots: Vec<u32>,
+    /// New coordinate per entry, aligned with `slots`.
+    pub coords: Vec<P>,
+}
+
+impl<P> PairBatch<P> {
+    /// Empty the batch, keeping its capacity (buffers are round-reused).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.coords.clear();
+    }
+}
+
+/// One part's resident compute kernel: the block's mutable run state
+/// (local coordinates, local element scores, the `Σ w_t·Δq_t` stat
+/// accumulator) plus every local operation of the resident protocol —
+/// interior/color sweeps, pending-delta application, per-pair outbox
+/// batching. Transports differ only in how they move the batches:
+/// [`crate::transport::InProcessTransport`] holds all ranks in one
+/// process, `lms-dist` runs one `ResidentRank` per forked worker process.
+///
+/// The sweep arithmetic is identical, expression by expression, to the
+/// serial hot path ([`crate::kernel`]) and the PR-2 block/colored sweeps,
+/// so commit decisions (hence coordinates) stay bit-identical.
+pub struct ResidentRank<'a, const C: usize, D: SmoothDomain<C>> {
+    dom: &'a D,
+    smart: bool,
+    weighting: Weighting,
+    part: u32,
+    block: &'a ResidentBlock<C>,
+    schedule: &'a ExchangeSchedule,
+    /// Dense destination-part → outbox-batch index map (`u32::MAX` for
+    /// non-neighbours), built from the [`MessagePlan`].
+    batch_of: Vec<u32>,
     /// Local coordinates: owned then halo.
-    coords: Vec<P>,
+    coords: Vec<D::Point>,
     /// Local `(quality, positively_oriented)` per local element.
     scores: Vec<(f64, bool)>,
     /// This iteration's `Σ w_t·Δq_t` over stat-owned elements.
@@ -169,15 +236,48 @@ struct ResidentScratch<P: DomainPoint> {
     /// Smart candidate-star scratch.
     star: Vec<(f64, bool)>,
     /// Pending halo deliveries `(dst local, coordinate)`.
-    inbox: Vec<(u32, P)>,
+    inbox: Vec<(u32, D::Point)>,
     /// Smart runs: elements to re-score right after an inbox application.
     apply_dirty: Vec<u32>,
+    /// This round's published delta batches, one per plan neighbour.
+    outbox: Vec<PairBatch<D::Point>>,
 }
 
-impl<P: DomainPoint> ResidentScratch<P> {
-    fn new<const C: usize>(block: &ResidentBlock<C>) -> Self {
-        ResidentScratch {
-            coords: vec![P::ZERO; block.owned.len() + block.halo.len()],
+impl<'a, const C: usize, D: SmoothDomain<C>> ResidentRank<'a, C, D> {
+    /// Build the rank for `part` over its resident block, exchange
+    /// schedule and message plan.
+    pub fn new(
+        dom: &'a D,
+        cfg: &DomainConfig,
+        part: u32,
+        block: &'a ResidentBlock<C>,
+        schedule: &'a ExchangeSchedule,
+        plan: &MessagePlan,
+    ) -> Self {
+        let mut batch_of = vec![u32::MAX; plan.num_parts()];
+        let outbox: Vec<PairBatch<D::Point>> = plan
+            .neighbors(part)
+            .iter()
+            .zip(plan.pair_entry_counts(part))
+            .enumerate()
+            .map(|(i, (&q, &cap))| {
+                batch_of[q as usize] = i as u32;
+                PairBatch {
+                    dst: q,
+                    slots: Vec::with_capacity(cap as usize),
+                    coords: Vec::with_capacity(cap as usize),
+                }
+            })
+            .collect();
+        ResidentRank {
+            dom,
+            smart: cfg.smart,
+            weighting: cfg.weighting,
+            part,
+            block,
+            schedule,
+            batch_of,
+            coords: vec![D::Point::ZERO; block.owned.len() + block.halo.len()],
             scores: vec![(0.0, false); block.elem_globals.len()],
             delta: 0.0,
             round_moved: Vec::new(),
@@ -186,22 +286,295 @@ impl<P: DomainPoint> ResidentScratch<P> {
             star: Vec::new(),
             inbox: Vec::new(),
             apply_dirty: Vec::new(),
+            outbox,
         }
     }
 
-    /// The one full gather: all owned + halo coordinates and every local
-    /// element's initial score.
-    fn gather<const C: usize>(
-        &mut self,
-        block: &ResidentBlock<C>,
-        coords: &[P],
-        scores: &[(f64, bool)],
-    ) {
-        for (slot, &v) in self.coords.iter_mut().zip(block.owned.iter().chain(&block.halo)) {
+    /// The part this rank computes.
+    pub fn part(&self) -> u32 {
+        self.part
+    }
+
+    /// The one full gather from the global arrays: all owned + halo
+    /// coordinates and every local element's initial score.
+    pub fn load_global(&mut self, coords: &[D::Point], scores: &[(f64, bool)]) {
+        for (slot, &v) in
+            self.coords.iter_mut().zip(self.block.owned.iter().chain(&self.block.halo))
+        {
             *slot = coords[v as usize];
         }
-        for (slot, &t) in self.scores.iter_mut().zip(&block.elem_globals) {
+        for (slot, &t) in self.scores.iter_mut().zip(&self.block.elem_globals) {
             *slot = scores[t as usize];
+        }
+    }
+
+    /// The one full gather from an already-sliced block payload (a wire
+    /// [`lms_part::wire::Frame::Gather`]): coordinates owned-then-halo in
+    /// block-local order, scores in local element order.
+    pub fn load_block(&mut self, coords: &[D::Point], scores: &[(f64, bool)]) {
+        assert_eq!(coords.len(), self.coords.len(), "gather payload has wrong coordinate count");
+        assert_eq!(scores.len(), self.scores.len(), "gather payload has wrong score count");
+        self.coords.copy_from_slice(coords);
+        self.scores.copy_from_slice(scores);
+    }
+
+    /// Sweep the part-interior ∩ mesh-interior vertices (fully local:
+    /// an interior vertex is in no other part's halo).
+    pub fn sweep_interior(&mut self) {
+        let range = 0..self.block.int_locals.len();
+        if self.smart {
+            self.sweep_range_smart(SweepSpan::Interior, range, false);
+        } else {
+            self.sweep_range_plain(SweepSpan::Interior, range, false);
+        }
+    }
+
+    /// Sweep this part's slice of interface color class `c`, recording
+    /// the committed vertices for the round's exchange.
+    pub fn sweep_color(&mut self, c: usize) {
+        let range =
+            self.block.ifc_color_offsets[c] as usize..self.block.ifc_color_offsets[c + 1] as usize;
+        if self.smart {
+            self.sweep_range_smart(SweepSpan::Interface, range, true);
+        } else {
+            self.sweep_range_plain(SweepSpan::Interface, range, true);
+        }
+    }
+
+    /// Queue delivered halo coordinates (one incoming batch) without
+    /// applying them — application is deferred to [`apply_pending`]
+    /// so a round's deliveries act as one batch whatever transport
+    /// carried them.
+    ///
+    /// [`apply_pending`]: Self::apply_pending
+    pub fn stash_deltas(&mut self, slots: &[u32], coords: &[D::Point]) {
+        debug_assert_eq!(slots.len(), coords.len());
+        self.inbox.extend(slots.iter().copied().zip(coords.iter().copied()));
+    }
+
+    /// [`stash_deltas`](Self::stash_deltas) from every published outbox
+    /// addressed to this part, in ascending source-part order — the
+    /// in-process pull side of the exchange.
+    pub fn pull_from(&mut self, published: &[Vec<PairBatch<D::Point>>]) {
+        for src in published {
+            for batch in src {
+                if batch.dst == self.part && !batch.slots.is_empty() {
+                    self.stash_deltas(&batch.slots, &batch.coords);
+                }
+            }
+        }
+    }
+
+    /// Apply every pending halo delivery. Smart runs re-score the touched
+    /// elements immediately (the next color step's guard reads them);
+    /// plain runs only queue them for the iteration-end re-score.
+    pub fn apply_pending(&mut self) {
+        if self.inbox.is_empty() {
+            return;
+        }
+        for idx in 0..self.inbox.len() {
+            let (dst, pos) = self.inbox[idx];
+            self.coords[dst as usize] = pos;
+            let h = (dst - self.block.num_owned) as usize;
+            let row = &self.block.halo_vt[self.block.halo_vt_offsets[h] as usize
+                ..self.block.halo_vt_offsets[h + 1] as usize];
+            let queue = if self.smart { &mut self.apply_dirty } else { &mut self.iter_dirty };
+            for &lt in row {
+                if !self.dirty_mark[lt as usize] {
+                    self.dirty_mark[lt as usize] = true;
+                    queue.push(lt);
+                }
+            }
+        }
+        self.inbox.clear();
+        if self.smart {
+            self.apply_dirty.sort_unstable();
+            for idx in 0..self.apply_dirty.len() {
+                let lt = self.apply_dirty[idx];
+                let i = lt as usize;
+                let (q, pos) = self.dom.score(&self.coords, self.block.elem_corners[i]);
+                self.delta += self.block.elem_weight[i] * (q - self.scores[i].0);
+                self.scores[i] = (q, pos);
+                self.dirty_mark[i] = false;
+            }
+            self.apply_dirty.clear();
+        }
+    }
+
+    /// Coalesce the round's moved vertices into the per-destination
+    /// outbox batches (one prospective message per neighbouring part),
+    /// clearing the moved list.
+    pub fn route_moved(&mut self) {
+        for batch in &mut self.outbox {
+            batch.clear();
+        }
+        for idx in 0..self.round_moved.len() {
+            let lv = self.round_moved[idx];
+            for &(q, dst) in self.schedule.outgoing(self.part, lv) {
+                let batch = &mut self.outbox[self.batch_of[q as usize] as usize];
+                batch.slots.push(dst);
+                batch.coords.push(self.coords[lv as usize]);
+            }
+        }
+        self.round_moved.clear();
+    }
+
+    /// The round's published batches, aligned with the plan neighbours
+    /// (possibly empty — transports skip empty batches).
+    pub fn outbox(&self) -> &[PairBatch<D::Point>] {
+        &self.outbox
+    }
+
+    /// Swap the outbox buffer set with `other` (the double-buffer flip:
+    /// the freshly routed batches become the published set, the consumed
+    /// set becomes next round's scratch). `other` must be a buffer set
+    /// created by [`outbox_template`](Self::outbox_template).
+    pub fn swap_outbox(&mut self, other: &mut Vec<PairBatch<D::Point>>) {
+        debug_assert_eq!(self.outbox.len(), other.len());
+        std::mem::swap(&mut self.outbox, other);
+    }
+
+    /// A fresh buffer set shaped like this rank's outbox — the second
+    /// buffer of the double-buffered exchange.
+    pub fn outbox_template(&self) -> Vec<PairBatch<D::Point>> {
+        self.outbox
+            .iter()
+            .map(|b| PairBatch { dst: b.dst, slots: Vec::new(), coords: Vec::new() })
+            .collect()
+    }
+
+    /// Iteration end: plain runs re-score every element a commit or a
+    /// halo delivery touched, in ascending local order, folding the score
+    /// changes into the stat delta. (Smart runs re-score incrementally,
+    /// so this is a no-op for them.) Call after the final
+    /// [`apply_pending`](Self::apply_pending) of the iteration.
+    pub fn finalize_iteration(&mut self) {
+        self.apply_pending();
+        if self.smart {
+            return;
+        }
+        self.iter_dirty.sort_unstable();
+        for idx in 0..self.iter_dirty.len() {
+            let lt = self.iter_dirty[idx];
+            let i = lt as usize;
+            let (q, pos) = self.dom.score(&self.coords, self.block.elem_corners[i]);
+            self.delta += self.block.elem_weight[i] * (q - self.scores[i].0);
+            self.scores[i] = (q, pos);
+            self.dirty_mark[i] = false;
+        }
+        self.iter_dirty.clear();
+    }
+
+    /// Drain the iteration's `Σ w_t·Δq_t` stat delta.
+    pub fn take_delta(&mut self) -> f64 {
+        std::mem::take(&mut self.delta)
+    }
+
+    /// The owned slice of the local coordinates — the scatter payload.
+    pub fn owned_coords(&self) -> &[D::Point] {
+        &self.coords[..self.block.num_owned as usize]
+    }
+
+    /// One smart local span sweep — arithmetic identical, expression by
+    /// expression, to the serial hot path ([`crate::kernel`]) and to the
+    /// PR-2 block/colored sweeps, so commit decisions (hence coordinates)
+    /// stay bit-identical. Score updates fold `w_t·Δq` into the part's
+    /// stat delta as they land.
+    fn sweep_range_smart(
+        &mut self,
+        span: SweepSpan,
+        range: std::ops::Range<usize>,
+        record_moved: bool,
+    ) {
+        let (locals, nbr_offsets, nbrs, vt_offsets, vt) = span.arrays(self.block);
+        for si in range {
+            let lv = locals[si];
+            let ns = &nbrs[nbr_offsets[si] as usize..nbr_offsets[si + 1] as usize];
+            if ns.is_empty() {
+                continue;
+            }
+            let pv = self.coords[lv as usize];
+            let Some(candidate) = candidate_for(self.weighting, pv, ns, &self.coords) else {
+                continue;
+            };
+            let ts = &vt[vt_offsets[si] as usize..vt_offsets[si + 1] as usize];
+            if ts.is_empty() {
+                self.coords[lv as usize] = candidate;
+                if record_moved {
+                    self.round_moved.push(lv);
+                }
+                continue;
+            }
+
+            self.star.clear();
+            let mut after_sum = 0.0;
+            let mut before_sum = 0.0;
+            let mut all_pos = true;
+            for &lt in ts {
+                let (q0, pos0) = self.scores[lt as usize];
+                before_sum += if pos0 { q0 } else { 0.0 };
+                let (q, pos) = self.dom.score_with(
+                    &self.coords,
+                    self.block.elem_corners[lt as usize],
+                    lv,
+                    candidate,
+                );
+                self.star.push((q, pos));
+                if pos {
+                    after_sum += q;
+                } else {
+                    all_pos = false;
+                }
+            }
+            let len = ts.len() as f64;
+            let quality_ok = after_sum >= before_sum || after_sum / len >= before_sum / len;
+            let commit =
+                quality_ok && (all_pos || ts.iter().any(|&lt| !self.scores[lt as usize].1));
+            if commit {
+                self.coords[lv as usize] = candidate;
+                for (si_t, &lt) in ts.iter().enumerate() {
+                    let i = lt as usize;
+                    let (q_new, pos_new) = self.star[si_t];
+                    self.delta += self.block.elem_weight[i] * (q_new - self.scores[i].0);
+                    self.scores[i] = (q_new, pos_new);
+                }
+                if record_moved {
+                    self.round_moved.push(lv);
+                }
+            }
+        }
+    }
+
+    /// One plain local span sweep: every candidate commits; touched
+    /// elements are queued for the end-of-iteration re-score (plain
+    /// sweeps never evaluate scores inline).
+    fn sweep_range_plain(
+        &mut self,
+        span: SweepSpan,
+        range: std::ops::Range<usize>,
+        record_moved: bool,
+    ) {
+        let (locals, nbr_offsets, nbrs, vt_offsets, vt) = span.arrays(self.block);
+        for si in range {
+            let lv = locals[si];
+            let ns = &nbrs[nbr_offsets[si] as usize..nbr_offsets[si + 1] as usize];
+            if ns.is_empty() {
+                continue;
+            }
+            let pv = self.coords[lv as usize];
+            let Some(candidate) = candidate_for(self.weighting, pv, ns, &self.coords) else {
+                continue;
+            };
+            self.coords[lv as usize] = candidate;
+            for &lt in &vt[vt_offsets[si] as usize..vt_offsets[si + 1] as usize] {
+                if !self.dirty_mark[lt as usize] {
+                    self.dirty_mark[lt as usize] = true;
+                    self.iter_dirty.push(lt);
+                }
+            }
+            if record_moved {
+                self.round_moved.push(lv);
+            }
         }
     }
 }
@@ -210,14 +583,14 @@ impl<P: DomainPoint> ResidentScratch<P> {
 /// sum (same per-add expressions, so the initial fold is bit-equal to a
 /// freshly built cache's).
 #[derive(Default)]
-struct Neumaier {
+pub(crate) struct Neumaier {
     sum: f64,
     comp: f64,
 }
 
 impl Neumaier {
     #[inline]
-    fn add(&mut self, x: f64) {
+    pub(crate) fn add(&mut self, x: f64) {
         let t = self.sum + x;
         if self.sum.abs() >= x.abs() {
             self.comp += (self.sum - t) + x;
@@ -228,17 +601,10 @@ impl Neumaier {
     }
 
     #[inline]
-    fn value(&self) -> f64 {
+    pub(crate) fn value(&self) -> f64 {
         self.sum + self.comp
     }
 }
-
-/// Raw coordinate base pointer for the final disjoint scatter. Soundness:
-/// parts own disjoint global vertex sets (a partition invariant,
-/// property-tested in `lms-part`), so no slot is written by two parts.
-struct ScatterPtr<P>(*mut P);
-unsafe impl<P> Sync for ScatterPtr<P> {}
-unsafe impl<P> Send for ScatterPtr<P> {}
 
 /// Build every part's resident topology for a domain + decomposition +
 /// interface color classes. Also returns the constant global element
@@ -289,11 +655,14 @@ pub fn build_resident_blocks<const C: usize, D: SmoothDomain<C>>(
     (blocks, elem_w)
 }
 
-/// The generic resident driver: one full gather, local sweeps with
-/// halo-delta exchange between interface color steps, one parallel
-/// disjoint scatter. Race-free, bitwise-deterministic for any thread
-/// count, and exactly serial Gauss–Seidel under
-/// [`resident_part_major_order`].
+/// Resident smoothing on the in-process transport: one full gather, local
+/// sweeps with coalesced halo-delta exchange between interface color
+/// steps, one parallel disjoint scatter. Race-free,
+/// bitwise-deterministic for any thread count, and exactly serial
+/// Gauss–Seidel under [`resident_part_major_order`]. (This is
+/// [`crate::transport::drive_resident`] over an
+/// [`InProcessTransport`]; `lms-dist` drives the same loop over forked
+/// rank processes.)
 #[allow(clippy::too_many_arguments)]
 pub fn smooth_resident_on<const C: usize, D: SmoothDomain<C>>(
     dom: &D,
@@ -305,319 +674,8 @@ pub fn smooth_resident_on<const C: usize, D: SmoothDomain<C>>(
     coords: &mut [D::Point],
     pool: &rayon::ThreadPool,
 ) -> SmoothReport {
-    assert_eq!(coords.len(), dom.num_vertices(), "engine was built for a different mesh");
-    let smart = cfg.smart;
-    let num_colors = interface_classes.len();
-    let k = blocks.len();
-
-    // initial scoring pass + quality: the same values a fresh quality
-    // cache would hold, folded in the same order — so the running sum
-    // starts bit-equal to the other engines'; the canonical initial
-    // quality is reduced from the same table (one scoring sweep, not two)
-    let init_scores: Vec<(f64, bool)> =
-        dom.elements().iter().map(|&e| dom.score(coords, e)).collect();
-    let mut qsum = Neumaier::default();
-    for (t, &(q, _)) in init_scores.iter().enumerate() {
-        qsum.add(q * elem_w[t]);
-    }
-    let initial_quality = domain_quality_scored(dom, &init_scores);
-    let mut report = SmoothReport::starting(initial_quality);
-    let mut volume = ExchangeVolume::default();
-    let mut quality = initial_quality;
-
-    if cfg.max_iters == 0 {
-        report.exchange = Some(volume);
-        return report;
-    }
-
-    let mut works: Vec<ResidentScratch<D::Point>> =
-        blocks.iter().map(ResidentScratch::new).collect();
-
-    // the one full gather: blocks become resident now
-    {
-        let shared: &[D::Point] = coords;
-        let scores: &[(f64, bool)] = &init_scores;
-        pool.install(|| {
-            works.par_iter_mut().enumerate().for_each(|(i, work)| {
-                work.gather(&blocks[i], shared, scores);
-            });
-        });
-        volume.full_gathers += 1;
-    }
-
-    for iter in 1..=cfg.max_iters {
-        // interior phase: fully local, nothing to exchange afterwards
-        // (an interior vertex is in no other part's halo)
-        pool.install(|| {
-            works.par_iter_mut().enumerate().for_each(|(i, work)| {
-                let block = &blocks[i];
-                let range = 0..block.int_locals.len();
-                if smart {
-                    sweep_range_smart(dom, cfg, block, work, SweepSpan::Interior, range, false);
-                } else {
-                    sweep_range_plain(cfg, block, work, SweepSpan::Interior, range, false);
-                }
-            });
-        });
-
-        // interface phase: global color order, halo deltas routed
-        // between color steps
-        for c in 0..num_colors {
-            pool.install(|| {
-                works.par_iter_mut().enumerate().for_each(|(i, work)| {
-                    let block = &blocks[i];
-                    apply_inbox(dom, block, work, smart);
-                    let range = block.ifc_color_offsets[c] as usize
-                        ..block.ifc_color_offsets[c + 1] as usize;
-                    if smart {
-                        sweep_range_smart(dom, cfg, block, work, SweepSpan::Interface, range, true);
-                    } else {
-                        sweep_range_plain(cfg, block, work, SweepSpan::Interface, range, true);
-                    }
-                });
-            });
-            // serial routing pass: O(moved · ghost-degree) pointer
-            // copies in deterministic part order
-            volume.exchange_rounds += 1;
-            for p in 0..k {
-                let moved = std::mem::take(&mut works[p].round_moved);
-                for &lv in &moved {
-                    for &(q, dst) in schedule.outgoing(p as u32, lv) {
-                        let coord = works[p].coords[lv as usize];
-                        works[q as usize].inbox.push((dst, coord));
-                        volume.halo_entries_sent += 1;
-                    }
-                }
-                let mut moved = moved;
-                moved.clear();
-                works[p].round_moved = moved;
-            }
-        }
-
-        // finalize: deliver the last color's deltas and (plain runs)
-        // re-score this iteration's dirty elements for the statistic
-        pool.install(|| {
-            works.par_iter_mut().enumerate().for_each(|(i, work)| {
-                let block = &blocks[i];
-                apply_inbox(dom, block, work, smart);
-                if !smart {
-                    finalize_plain(dom, block, work);
-                }
-            });
-        });
-
-        // fold part deltas in part order: deterministic for any thread
-        // count, same skip-zero rule as the cache's set_star
-        for work in works.iter_mut() {
-            if work.delta != 0.0 {
-                qsum.add(work.delta);
-            }
-            work.delta = 0.0;
-        }
-        let new_quality = qsum.value() / dom.num_vertices() as f64;
-        let improvement = new_quality - quality;
-        report.iterations.push(IterationStats { iter, quality: new_quality, improvement });
-        quality = new_quality;
-        if improvement < cfg.tol {
-            report.converged = true;
-            break;
-        }
-    }
-
-    // the one full scatter: parts own disjoint vertex sets, so the
-    // write-back is a race-free parallel scatter
-    {
-        let scatter = ScatterPtr(coords.as_mut_ptr());
-        let scatter = &scatter;
-        let works_ref: &[ResidentScratch<D::Point>] = &works;
-        pool.install(|| {
-            (0..blocks.len()).into_par_iter().for_each(|i| {
-                let block = &blocks[i];
-                let work = &works_ref[i];
-                for (j, &v) in block.owned.iter().enumerate() {
-                    // SAFETY: `v` is owned by part `i` alone; parts
-                    // partition the vertex set, so no two workers
-                    // write the same slot.
-                    unsafe { *scatter.0.add(v as usize) = work.coords[j] };
-                }
-            });
-        });
-        volume.full_scatters += 1;
-    }
-
-    let exact = domain_quality(dom, coords);
-    if let Some(last) = report.iterations.last_mut() {
-        last.quality = exact;
-    }
-    report.final_quality = exact;
-    report.exchange = Some(volume);
-    report
-}
-
-/// One smart local span sweep — arithmetic identical, expression by
-/// expression, to the serial hot path ([`crate::kernel`]) and to the PR-2
-/// block/colored sweeps, so commit decisions (hence coordinates) stay
-/// bit-identical. Score updates fold `w_t·Δq` into the part's stat delta
-/// as they land.
-fn sweep_range_smart<const C: usize, D: SmoothDomain<C>>(
-    dom: &D,
-    cfg: &DomainConfig,
-    block: &ResidentBlock<C>,
-    work: &mut ResidentScratch<D::Point>,
-    span: SweepSpan,
-    range: std::ops::Range<usize>,
-    record_moved: bool,
-) {
-    let weighting = cfg.weighting;
-    let (locals, nbr_offsets, nbrs, vt_offsets, vt) = span.arrays(block);
-    for si in range {
-        let lv = locals[si];
-        let ns = &nbrs[nbr_offsets[si] as usize..nbr_offsets[si + 1] as usize];
-        if ns.is_empty() {
-            continue;
-        }
-        let pv = work.coords[lv as usize];
-        let Some(candidate) = candidate_for(weighting, pv, ns, &work.coords) else {
-            continue;
-        };
-        let ts = &vt[vt_offsets[si] as usize..vt_offsets[si + 1] as usize];
-        if ts.is_empty() {
-            work.coords[lv as usize] = candidate;
-            if record_moved {
-                work.round_moved.push(lv);
-            }
-            continue;
-        }
-
-        work.star.clear();
-        let mut after_sum = 0.0;
-        let mut before_sum = 0.0;
-        let mut all_pos = true;
-        for &lt in ts {
-            let (q0, pos0) = work.scores[lt as usize];
-            before_sum += if pos0 { q0 } else { 0.0 };
-            let (q, pos) =
-                dom.score_with(&work.coords, block.elem_corners[lt as usize], lv, candidate);
-            work.star.push((q, pos));
-            if pos {
-                after_sum += q;
-            } else {
-                all_pos = false;
-            }
-        }
-        let len = ts.len() as f64;
-        let quality_ok = after_sum >= before_sum || after_sum / len >= before_sum / len;
-        let commit = quality_ok && (all_pos || ts.iter().any(|&lt| !work.scores[lt as usize].1));
-        if commit {
-            work.coords[lv as usize] = candidate;
-            for (si_t, &lt) in ts.iter().enumerate() {
-                let i = lt as usize;
-                let (q_new, pos_new) = work.star[si_t];
-                work.delta += block.elem_weight[i] * (q_new - work.scores[i].0);
-                work.scores[i] = (q_new, pos_new);
-            }
-            if record_moved {
-                work.round_moved.push(lv);
-            }
-        }
-    }
-}
-
-/// One plain local span sweep: every candidate commits; touched elements
-/// are queued for the end-of-iteration re-score (plain sweeps never
-/// evaluate scores inline).
-fn sweep_range_plain<const C: usize, P: DomainPoint>(
-    cfg: &DomainConfig,
-    block: &ResidentBlock<C>,
-    work: &mut ResidentScratch<P>,
-    span: SweepSpan,
-    range: std::ops::Range<usize>,
-    record_moved: bool,
-) {
-    let weighting = cfg.weighting;
-    let (locals, nbr_offsets, nbrs, vt_offsets, vt) = span.arrays(block);
-    for si in range {
-        let lv = locals[si];
-        let ns = &nbrs[nbr_offsets[si] as usize..nbr_offsets[si + 1] as usize];
-        if ns.is_empty() {
-            continue;
-        }
-        let pv = work.coords[lv as usize];
-        let Some(candidate) = candidate_for(weighting, pv, ns, &work.coords) else {
-            continue;
-        };
-        work.coords[lv as usize] = candidate;
-        for &lt in &vt[vt_offsets[si] as usize..vt_offsets[si + 1] as usize] {
-            if !work.dirty_mark[lt as usize] {
-                work.dirty_mark[lt as usize] = true;
-                work.iter_dirty.push(lt);
-            }
-        }
-        if record_moved {
-            work.round_moved.push(lv);
-        }
-    }
-}
-
-/// Deliver pending halo coordinates. Smart runs re-score the touched
-/// elements immediately (the next color step's guard reads them); plain
-/// runs only queue them for the iteration-end re-score.
-fn apply_inbox<const C: usize, D: SmoothDomain<C>>(
-    dom: &D,
-    block: &ResidentBlock<C>,
-    work: &mut ResidentScratch<D::Point>,
-    smart: bool,
-) {
-    if work.inbox.is_empty() {
-        return;
-    }
-    for idx in 0..work.inbox.len() {
-        let (dst, pos) = work.inbox[idx];
-        work.coords[dst as usize] = pos;
-        let h = (dst - block.num_owned) as usize;
-        let row = &block.halo_vt
-            [block.halo_vt_offsets[h] as usize..block.halo_vt_offsets[h + 1] as usize];
-        let queue = if smart { &mut work.apply_dirty } else { &mut work.iter_dirty };
-        for &lt in row {
-            if !work.dirty_mark[lt as usize] {
-                work.dirty_mark[lt as usize] = true;
-                queue.push(lt);
-            }
-        }
-    }
-    work.inbox.clear();
-    if smart {
-        work.apply_dirty.sort_unstable();
-        for idx in 0..work.apply_dirty.len() {
-            let lt = work.apply_dirty[idx];
-            let i = lt as usize;
-            let (q, pos) = dom.score(&work.coords, block.elem_corners[i]);
-            work.delta += block.elem_weight[i] * (q - work.scores[i].0);
-            work.scores[i] = (q, pos);
-            work.dirty_mark[i] = false;
-        }
-        work.apply_dirty.clear();
-    }
-}
-
-/// Plain runs' iteration end: re-score every element a commit or a halo
-/// delivery touched, in ascending local order, folding the score changes
-/// into the part's stat delta.
-fn finalize_plain<const C: usize, D: SmoothDomain<C>>(
-    dom: &D,
-    block: &ResidentBlock<C>,
-    work: &mut ResidentScratch<D::Point>,
-) {
-    work.iter_dirty.sort_unstable();
-    for idx in 0..work.iter_dirty.len() {
-        let lt = work.iter_dirty[idx];
-        let i = lt as usize;
-        let (q, pos) = dom.score(&work.coords, block.elem_corners[i]);
-        work.delta += block.elem_weight[i] * (q - work.scores[i].0);
-        work.scores[i] = (q, pos);
-        work.dirty_mark[i] = false;
-    }
-    work.iter_dirty.clear();
+    let mut transport = InProcessTransport::new(dom, cfg, blocks, schedule, pool);
+    drive_resident(dom, cfg, elem_w, interface_classes.len(), &mut transport, coords)
 }
 
 impl ResidentEngine {
@@ -675,6 +733,18 @@ impl ResidentEngine {
     /// The global interface color classes the interface phase steps through.
     pub fn interface_classes(&self) -> &[Vec<u32>] {
         &self.interface_classes
+    }
+
+    /// The per-part resident topologies — one block per part, the
+    /// per-rank state of a distributed backend.
+    pub fn blocks(&self) -> &[ResidentBlock<3>] {
+        &self.blocks
+    }
+
+    /// The constant global element weights `w_t` of the quality
+    /// functional.
+    pub fn elem_weights(&self) -> &[f64] {
+        &self.elem_w
     }
 
     /// The serial visit order this engine's sweep is exactly equal to:
@@ -940,6 +1010,8 @@ mod tests {
         assert_eq!(volume.full_gathers, 1);
         assert_eq!(volume.full_scatters, 1);
         assert_eq!(volume.halo_entries_sent, 0, "one part has nothing to exchange");
+        assert_eq!(volume.halo_messages_sent, 0);
+        assert_eq!(volume.halo_bytes_sent, 0);
     }
 
     #[test]
@@ -959,6 +1031,34 @@ mod tests {
             "one exchange round per color step per iteration"
         );
         assert!(volume.halo_entries_sent > 0, "multi-part smoothing must exchange halos");
+    }
+
+    #[test]
+    fn coalesced_messages_respect_plan_and_entry_counts() {
+        let m = generators::perturbed_grid(18, 15, 0.35, 7);
+        let params = SmoothParams::paper().with_smart(true).with_max_iters(6).with_tol(-1.0);
+        let engine = ResidentEngine::by_method(&m, params, 6, PartitionMethod::Hilbert);
+        let plan = MessagePlan::build(engine.exchange_schedule());
+        let report = engine.smooth(&mut m.clone(), 2);
+        let volume = report.exchange.unwrap();
+        // a message carries ≥ 1 entry, and one round sends at most one
+        // message per directed neighbour pair
+        assert!(volume.halo_messages_sent >= 1);
+        assert!(volume.halo_messages_sent <= volume.halo_entries_sent);
+        assert!(
+            volume.halo_messages_sent <= volume.exchange_rounds * plan.num_pairs(),
+            "coalescing bound violated: {} messages over {} rounds x {} pairs",
+            volume.halo_messages_sent,
+            volume.exchange_rounds,
+            plan.num_pairs()
+        );
+        // byte accounting follows the wire formula: per message one frame
+        // header, per entry one slot id + one 2D coordinate
+        let overhead = lms_part::wire::halo_frame_wire_len(2, 0);
+        assert_eq!(
+            volume.halo_bytes_sent,
+            volume.halo_messages_sent * overhead + volume.halo_entries_sent * (4 + 16),
+        );
     }
 
     #[test]

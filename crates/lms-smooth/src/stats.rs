@@ -30,6 +30,17 @@ pub struct ExchangeVolume {
     /// Individual `(vertex, receiver)` coordinate deliveries routed across
     /// all rounds — the engine's entire inter-part communication volume.
     pub halo_entries_sent: usize,
+    /// Coalesced (source part → destination part) messages the deliveries
+    /// travelled in: all of a pair's moved deltas within one color step
+    /// share one message, so this is what a per-pair-frame transport
+    /// actually sends — bounded by `rounds × directed neighbour pairs`,
+    /// not by `halo_entries_sent`.
+    pub halo_messages_sent: usize,
+    /// Wire bytes of those messages under the `lms_part::wire` halo-delta
+    /// frame encoding. The in-process transport charges the same formula
+    /// (`halo_frame_wire_len`) without serialising, so in-process and
+    /// multi-process runs of one workload report identical byte counts.
+    pub halo_bytes_sent: usize,
 }
 
 /// Outcome of a full smoothing run.

@@ -1,0 +1,304 @@
+//! The transport abstraction of resident smoothing: one generic drive
+//! loop, pluggable data movement.
+//!
+//! PR 3's resident engine fused its control flow (iterate, fold part
+//! deltas, test convergence) with its data movement (gather blocks, route
+//! halo deltas between color steps, scatter owned coordinates back). This
+//! module splits them: [`drive_resident`] owns the control flow and the
+//! quality statistic, and everything that moves bytes sits behind
+//! [`ResidentTransport`] — five operations that are exactly the message
+//! kinds of the `lms_part::wire` protocol (gather / interior / color-step
+//! / finish / scatter).
+//!
+//! Two implementations exist:
+//!
+//! * [`InProcessTransport`] (here) — the shared-address-space engine the
+//!   PR 1–4 property suites pin: every part is a [`ResidentRank`] in one
+//!   process, phases run on the persistent worker pool, and "routing" is
+//!   a pull over the senders' outboxes. Bit-identical to the PR-3 driver
+//!   by construction.
+//! * `lms_dist::ProcessTransport` — every rank is a forked OS process
+//!   holding its block; the same operations become wire frames over Unix
+//!   pipes, with the coordinator forwarding the coalesced per-pair delta
+//!   batches between ranks.
+//!
+//! Both transports route moved deltas **coalesced per (source part →
+//! destination part) pair** along the [`lms_part::MessagePlan`] — one
+//! message per pair per color step instead of one per delivery slot —
+//! and charge [`ExchangeVolume`]'s message/entry/byte counters with the
+//! same `lms_part::wire::halo_frame_wire_len` formula, so the in-process
+//! and multi-process backends report identical exchange accounting (the
+//! cross-transport oracle in `lms-dist` asserts report equality).
+//!
+//! The in-process transport **double-buffers** its outboxes: each rank
+//! publishes color step `k`'s deltas into one buffer set while the
+//! receivers of step `k+1` still pull from the other, so the per-entry
+//! routing copies run inside the parallel phase (receiver-side pulls)
+//! and the serial seam between color steps shrinks to `O(parts)` buffer
+//! swaps — PR 3 routed every entry serially between steps.
+
+use crate::config::UpdateScheme;
+use crate::domain::{
+    domain_quality, domain_quality_scored, DomainConfig, DomainPoint, SmoothDomain,
+};
+use crate::resident::{Neumaier, PairBatch, ResidentBlock, ResidentRank};
+use crate::stats::{ExchangeVolume, IterationStats, SmoothReport};
+use lms_part::wire::halo_frame_wire_len;
+use lms_part::{ExchangeSchedule, MessagePlan};
+use rayon::prelude::*;
+
+/// The data-movement backend of a resident smoothing run. Operations are
+/// invoked by [`drive_resident`] in a fixed order: one [`gather`], then
+/// per iteration one [`interior_phase`], `num_colors` [`color_step`]s and
+/// one [`finish_iteration`], then one [`scatter`].
+///
+/// Contract for bit-identity across transports (property-tested by the
+/// `lms-dist` cross-transport oracle): every operation must act exactly
+/// like the corresponding [`ResidentRank`] calls on every part, deltas
+/// must be delivered batched per (source, destination) pair in ascending
+/// source-part order, and [`finish_iteration`] must report the per-part
+/// stat deltas in part order.
+///
+/// [`gather`]: Self::gather
+/// [`interior_phase`]: Self::interior_phase
+/// [`color_step`]: Self::color_step
+/// [`finish_iteration`]: Self::finish_iteration
+/// [`scatter`]: Self::scatter
+pub trait ResidentTransport<P: DomainPoint> {
+    /// The one full gather: load every rank's owned+halo coordinates and
+    /// local element scores from the global arrays.
+    fn gather(&mut self, coords: &[P], scores: &[(f64, bool)]);
+
+    /// Sweep every rank's part-interior vertices (nothing to exchange:
+    /// interior vertices are in no other part's halo).
+    fn interior_phase(&mut self);
+
+    /// One interface color step on every rank: deliver the previous
+    /// round's halo deltas, sweep color `color`, publish this round's
+    /// moved deltas. Adds the round's message/entry/byte traffic to
+    /// `volume`.
+    fn color_step(&mut self, color: usize, volume: &mut ExchangeVolume);
+
+    /// Iteration end: deliver the last round's deltas, run the plain
+    /// re-score where needed, and push every rank's `Σ w_t·Δq_t` stat
+    /// delta into `deltas` **in part order**.
+    fn finish_iteration(&mut self, deltas: &mut Vec<f64>);
+
+    /// The one full scatter: write every rank's owned coordinates back
+    /// into the global array (parts own disjoint vertex sets).
+    fn scatter(&mut self, coords: &mut [P]);
+}
+
+/// The generic resident drive loop over any [`ResidentTransport`]: one
+/// full gather, per iteration an interior phase plus one color step per
+/// interface color with halo-delta exchange in between, the part-ordered
+/// Neumaier fold of the quality statistic, one full scatter. The
+/// transport moves the bytes; this function owns iteration control,
+/// convergence and the [`ExchangeVolume`] phase counters — which is why
+/// `full_gathers == 1 && full_scatters == 1` holds for every backend.
+pub fn drive_resident<const C: usize, D: SmoothDomain<C>, T: ResidentTransport<D::Point>>(
+    dom: &D,
+    cfg: &DomainConfig,
+    elem_w: &[f64],
+    num_colors: usize,
+    transport: &mut T,
+    coords: &mut [D::Point],
+) -> SmoothReport {
+    assert_eq!(coords.len(), dom.num_vertices(), "engine was built for a different mesh");
+    assert_eq!(
+        cfg.update,
+        UpdateScheme::GaussSeidel,
+        "resident smoothing is an in-place (Gauss-Seidel) schedule"
+    );
+
+    // initial scoring pass + quality: the same values a fresh quality
+    // cache would hold, folded in the same order — so the running sum
+    // starts bit-equal to the other engines'; the canonical initial
+    // quality is reduced from the same table (one scoring sweep, not two)
+    let init_scores: Vec<(f64, bool)> =
+        dom.elements().iter().map(|&e| dom.score(coords, e)).collect();
+    let mut qsum = Neumaier::default();
+    for (t, &(q, _)) in init_scores.iter().enumerate() {
+        qsum.add(q * elem_w[t]);
+    }
+    let initial_quality = domain_quality_scored(dom, &init_scores);
+    let mut report = SmoothReport::starting(initial_quality);
+    let mut volume = ExchangeVolume::default();
+    let mut quality = initial_quality;
+
+    if cfg.max_iters == 0 {
+        report.exchange = Some(volume);
+        return report;
+    }
+
+    // the one full gather: blocks become resident now
+    transport.gather(coords, &init_scores);
+    volume.full_gathers += 1;
+
+    let mut deltas: Vec<f64> = Vec::new();
+    for iter in 1..=cfg.max_iters {
+        transport.interior_phase();
+        for c in 0..num_colors {
+            volume.exchange_rounds += 1;
+            transport.color_step(c, &mut volume);
+        }
+        deltas.clear();
+        transport.finish_iteration(&mut deltas);
+
+        // fold part deltas in part order: deterministic for any thread
+        // count (and any transport), same skip-zero rule as the cache's
+        // set_star
+        for &d in &deltas {
+            if d != 0.0 {
+                qsum.add(d);
+            }
+        }
+        let new_quality = qsum.value() / dom.num_vertices() as f64;
+        let improvement = new_quality - quality;
+        report.iterations.push(IterationStats { iter, quality: new_quality, improvement });
+        quality = new_quality;
+        if improvement < cfg.tol {
+            report.converged = true;
+            break;
+        }
+    }
+
+    // the one full scatter
+    transport.scatter(coords);
+    volume.full_scatters += 1;
+
+    let exact = domain_quality(dom, coords);
+    if let Some(last) = report.iterations.last_mut() {
+        last.quality = exact;
+    }
+    report.final_quality = exact;
+    report.exchange = Some(volume);
+    report
+}
+
+/// Raw coordinate base pointer for the final disjoint scatter. Soundness:
+/// parts own disjoint global vertex sets (a partition invariant,
+/// property-tested in `lms-part`), so no slot is written by two parts.
+struct ScatterPtr<P>(*mut P);
+unsafe impl<P> Sync for ScatterPtr<P> {}
+unsafe impl<P> Send for ScatterPtr<P> {}
+
+/// The shared-address-space transport: every part is a [`ResidentRank`]
+/// in this process, phases run on the persistent worker pool, and delta
+/// routing is a receiver-side pull over double-buffered sender outboxes
+/// (see the module docs). This is the PR-3 resident engine's behaviour,
+/// bit for bit — the unmodified PR 1–4 property suites pin it.
+pub struct InProcessTransport<'a, const C: usize, D: SmoothDomain<C>> {
+    ranks: Vec<ResidentRank<'a, C, D>>,
+    /// The published buffer set: `prev_out[p]` holds part `p`'s outbox
+    /// of the *previous* exchange round (the one receivers pull), while
+    /// each rank fills its in-rank buffer — swapped every round.
+    prev_out: Vec<Vec<PairBatch<D::Point>>>,
+    blocks: &'a [ResidentBlock<C>],
+    pool: &'a rayon::ThreadPool,
+}
+
+impl<'a, const C: usize, D: SmoothDomain<C>> InProcessTransport<'a, C, D> {
+    /// Build the transport: one rank per part plus the double-buffered
+    /// outboxes shaped by the schedule's [`MessagePlan`].
+    pub fn new(
+        dom: &'a D,
+        cfg: &DomainConfig,
+        blocks: &'a [ResidentBlock<C>],
+        schedule: &'a ExchangeSchedule,
+        pool: &'a rayon::ThreadPool,
+    ) -> Self {
+        let plan = MessagePlan::build(schedule);
+        let ranks: Vec<ResidentRank<'a, C, D>> = blocks
+            .iter()
+            .enumerate()
+            .map(|(p, block)| ResidentRank::new(dom, cfg, p as u32, block, schedule, &plan))
+            .collect();
+        let prev_out = ranks.iter().map(|r| r.outbox_template()).collect();
+        InProcessTransport { ranks, prev_out, blocks, pool }
+    }
+}
+
+impl<const C: usize, D: SmoothDomain<C>> ResidentTransport<D::Point>
+    for InProcessTransport<'_, C, D>
+{
+    fn gather(&mut self, coords: &[D::Point], scores: &[(f64, bool)]) {
+        let ranks = &mut self.ranks;
+        self.pool.install(|| {
+            ranks.par_iter_mut().for_each(|rank| rank.load_global(coords, scores));
+        });
+    }
+
+    fn interior_phase(&mut self) {
+        let ranks = &mut self.ranks;
+        self.pool.install(|| {
+            ranks.par_iter_mut().for_each(|rank| rank.sweep_interior());
+        });
+    }
+
+    fn color_step(&mut self, color: usize, volume: &mut ExchangeVolume) {
+        let ranks = &mut self.ranks;
+        let published: &[Vec<PairBatch<D::Point>>] = &self.prev_out;
+        // pull, apply, sweep and publish fully in parallel: the routing
+        // copies run receiver-side against the buffers published last
+        // round, overlapping with this round's sweeps across parts
+        self.pool.install(|| {
+            ranks.par_iter_mut().for_each(|rank| {
+                rank.pull_from(published);
+                rank.apply_pending();
+                rank.sweep_color(color);
+                rank.route_moved();
+            });
+        });
+        // serial seam: O(parts) buffer swaps + the deterministic traffic
+        // accounting (charged with the wire formula, so in-process and
+        // multi-process reports agree byte for byte)
+        for (p, rank) in self.ranks.iter_mut().enumerate() {
+            for batch in rank.outbox() {
+                if !batch.slots.is_empty() {
+                    volume.halo_messages_sent += 1;
+                    volume.halo_entries_sent += batch.slots.len();
+                    volume.halo_bytes_sent += halo_frame_wire_len(D::Point::DIM, batch.slots.len());
+                }
+            }
+            rank.swap_outbox(&mut self.prev_out[p]);
+        }
+    }
+
+    fn finish_iteration(&mut self, deltas: &mut Vec<f64>) {
+        let ranks = &mut self.ranks;
+        let published: &[Vec<PairBatch<D::Point>>] = &self.prev_out;
+        self.pool.install(|| {
+            ranks.par_iter_mut().for_each(|rank| {
+                rank.pull_from(published);
+                rank.finalize_iteration();
+            });
+        });
+        for (p, rank) in self.ranks.iter_mut().enumerate() {
+            deltas.push(rank.take_delta());
+            // the published buffers were consumed by this pull; drain
+            // them so the next iteration's first color step starts clean
+            for batch in &mut self.prev_out[p] {
+                batch.clear();
+            }
+        }
+    }
+
+    fn scatter(&mut self, coords: &mut [D::Point]) {
+        let scatter = ScatterPtr(coords.as_mut_ptr());
+        let scatter = &scatter;
+        let ranks: &[ResidentRank<'_, C, D>] = &self.ranks;
+        let blocks = self.blocks;
+        self.pool.install(|| {
+            (0..ranks.len()).into_par_iter().for_each(|i| {
+                let owned_coords = ranks[i].owned_coords();
+                for (j, &v) in blocks[i].owned().iter().enumerate() {
+                    // SAFETY: `v` is owned by part `i` alone; parts
+                    // partition the vertex set, so no two workers
+                    // write the same slot.
+                    unsafe { *scatter.0.add(v as usize) = owned_coords[j] };
+                }
+            });
+        });
+    }
+}

@@ -3,7 +3,7 @@
 //! Facade crate for the reproduction of *Locality-Aware Laplacian Mesh
 //! Smoothing* (Aupy, Park, Raghavan — ICPP 2016, arXiv:1606.00803).
 //!
-//! The workspace is organised as eight library crates, all re-exported here:
+//! The workspace is organised as nine library crates, all re-exported here:
 //!
 //! * [`mesh`] — 2D triangle-mesh substrate: containers, CSR adjacency,
 //!   boundary detection, quality metrics (plus the incremental
@@ -28,6 +28,10 @@
 //! * [`apps`] — mesh-improvement applications beyond smoothing (the §6
 //!   future-work conjecture): untangling, constrained smoothing, edge
 //!   swapping, optimization-based smoothing, and composable pipelines.
+//! * [`dist`] — the distributed-memory backend: MPI-style rank processes
+//!   (forked workers over Unix pipes) running the resident halo-exchange
+//!   protocol through `part`'s versioned wire format — bit-identical to
+//!   the in-process [`smooth::ResidentEngine`] in 2D and 3D.
 //! * [`mesh3d`] — the tetrahedral extension (§6): volumetric Laplacian
 //!   smoothing with the full ordering pipeline re-run in 3D — since PR 4
 //!   a thin wrapper over the **dimension-generic smoothing domain**
@@ -51,6 +55,7 @@
 
 pub use lms_apps as apps;
 pub use lms_cache as cache;
+pub use lms_dist as dist;
 pub use lms_mesh as mesh;
 pub use lms_mesh3d as mesh3d;
 pub use lms_order as order;
