@@ -11,25 +11,62 @@
 //! coordinates *and* bit-identical reports, exchange accounting
 //! included.
 //!
+//! Runs are **fault tolerant**: [`smooth_ft`] drives the process
+//! transport through `lms_smooth::drive_resident_ft`, so a rank that
+//! dies, stalls past the read timeout, or corrupts its stream is
+//! detected, respawned from the last iteration-boundary checkpoint, and
+//! the lost work replayed — with a final state bit-identical to a
+//! failure-free run (`tests/chaos.rs` pins this). When rank processes
+//! cannot be forked at all, [`smooth`] degrades gracefully to the
+//! in-process resident engine, which computes the same answer.
+//!
 //! Rank processes are spawned per run and reaped before [`smooth`]
 //! returns (`full_gathers == 1 && full_scatters == 1` still holds: the
 //! block is gathered once, resident in its rank for the whole run, and
 //! scattered once).
 //!
 //! [`smooth`]: DistResidentEngine::smooth
+//! [`smooth_ft`]: DistResidentEngine::smooth_ft
 
+use crate::error::DistError;
+use crate::fault::FaultPlan;
 use crate::transport::ProcessTransport;
-use lms_mesh::{Point2, TriMesh};
-use lms_mesh3d::{Point3, ResidentEngine3, SmoothParams3, TetMesh};
+use lms_mesh::TriMesh;
+use lms_mesh3d::{ResidentEngine3, SmoothParams3, TetMesh};
 use lms_part::{Partition, PartitionMethod};
 use lms_smooth::domain::DomainConfig;
-use lms_smooth::transport::drive_resident;
-use lms_smooth::{ResidentEngine, SmoothParams, SmoothReport};
+use lms_smooth::transport::drive_resident_ft;
+use lms_smooth::{FtPolicy, FtStats, ResidentEngine, SmoothParams, SmoothReport};
+
+/// Knobs of a fault-tolerant distributed run.
+#[derive(Debug, Clone)]
+pub struct FtOptions {
+    /// Checkpoint cadence and recovery budget of the drive loop.
+    pub policy: FtPolicy,
+    /// `poll(2)` bound on every coordinator read, in milliseconds: a rank
+    /// producing nothing for this long is diagnosed as stalled, killed
+    /// and respawned from the checkpoint. Negative disables the bound.
+    pub read_timeout_ms: i32,
+    /// Scripted fault injection — [`FaultPlan::none`] outside the chaos
+    /// suite.
+    pub faults: FaultPlan,
+}
+
+impl Default for FtOptions {
+    fn default() -> Self {
+        FtOptions {
+            policy: FtPolicy::default(),
+            // generous: a false stall positive costs a full recovery
+            read_timeout_ms: 30_000,
+            faults: FaultPlan::none(),
+        }
+    }
+}
 
 /// Multi-process resident smoothing of triangle meshes: one rank process
 /// per part, wire frames over pipes, coordinates and reports
 /// bit-identical to [`ResidentEngine`] (hence to serial part-major
-/// Gauss–Seidel).
+/// Gauss–Seidel) — including runs that detect and recover rank failures.
 #[derive(Debug, Clone)]
 pub struct DistResidentEngine {
     inner: ResidentEngine,
@@ -64,11 +101,19 @@ impl DistResidentEngine {
         self.inner.blocks().len()
     }
 
-    /// Distributed resident Gauss–Seidel smoothing: fork one rank per
-    /// part, run the generic resident drive loop over the process
-    /// transport, reap the ranks. Bit-identical to
-    /// [`ResidentEngine::smooth`] for any thread count there.
-    pub fn smooth(&self, mesh: &mut TriMesh) -> SmoothReport {
+    /// Fault-tolerant distributed run with explicit options: fork one
+    /// rank per part, drive the checkpoint/recovery loop over the process
+    /// transport, reap the ranks. On success the result is bit-identical
+    /// to [`ResidentEngine::smooth`] — whether or not ranks failed along
+    /// the way — and [`FtStats`] says what fault tolerance did. Errors
+    /// are typed: [`DistError::Spawn`] means no rank group could be
+    /// created (degrade to the in-process engine); anything else means
+    /// the recovery budget ran out.
+    pub fn smooth_ft(
+        &self,
+        mesh: &mut TriMesh,
+        options: &FtOptions,
+    ) -> Result<(SmoothReport, FtStats), DistError> {
         assert_eq!(
             mesh.num_vertices(),
             self.inner.partition().len(),
@@ -76,23 +121,60 @@ impl DistResidentEngine {
         );
         let dom = self.inner.engine().domain();
         let cfg = DomainConfig::from(self.inner.engine().params());
-        let mut transport: ProcessTransport<'_, 3, Point2> = ProcessTransport::spawn(
+        let mut transport = ProcessTransport::spawn(
             &dom,
             &cfg,
             self.inner.blocks(),
             self.inner.exchange_schedule(),
-        )
-        .expect("failed to fork rank worker processes");
-        let report = drive_resident(
+            options.read_timeout_ms,
+            options.faults.clone(),
+        )?;
+        let result = drive_resident_ft(
             &dom,
             &cfg,
             self.inner.elem_weights(),
             self.inner.interface_classes().len(),
             &mut transport,
             mesh.coords_mut(),
+            &options.policy,
         );
-        transport.shutdown();
-        report
+        match result {
+            Ok(ok) => {
+                transport.shutdown()?;
+                Ok(ok)
+            }
+            Err(e) => {
+                // teardown diagnostics must not shadow the run's failure
+                let _ = transport.shutdown();
+                Err(e)
+            }
+        }
+    }
+
+    /// Distributed resident Gauss–Seidel smoothing with the default
+    /// fault-tolerance options. When rank processes cannot be spawned at
+    /// all (fork/pipe refused), degrades gracefully to the in-process
+    /// resident engine — same answer, shared address space. Any other
+    /// failure (recovery budget exhausted, abnormal teardown) panics with
+    /// the typed diagnosis.
+    pub fn smooth(&self, mesh: &mut TriMesh) -> SmoothReport {
+        self.smooth_with(mesh, &FtOptions::default())
+    }
+
+    /// [`smooth`](Self::smooth) with explicit options (used by the chaos
+    /// suite to script faults through the degradation path).
+    pub fn smooth_with(&self, mesh: &mut TriMesh, options: &FtOptions) -> SmoothReport {
+        match self.smooth_ft(mesh, options) {
+            Ok((report, _)) => report,
+            Err(DistError::Spawn(e)) => {
+                eprintln!(
+                    "lms-dist: cannot spawn rank processes ({e}); \
+                     degrading to the in-process resident engine"
+                );
+                self.inner.smooth(mesh, self.num_ranks().max(1))
+            }
+            Err(e) => panic!("distributed smoothing failed beyond recovery: {e}"),
+        }
     }
 }
 
@@ -133,9 +215,13 @@ impl DistResidentEngine3 {
         self.inner.blocks().len()
     }
 
-    /// Distributed resident 3D Gauss–Seidel smoothing; bit-identical to
-    /// [`ResidentEngine3::smooth`].
-    pub fn smooth(&self, mesh: &mut TetMesh) -> SmoothReport {
+    /// Fault-tolerant distributed 3D run — the twin of
+    /// [`DistResidentEngine::smooth_ft`].
+    pub fn smooth_ft(
+        &self,
+        mesh: &mut TetMesh,
+        options: &FtOptions,
+    ) -> Result<(SmoothReport, FtStats), DistError> {
         assert_eq!(
             mesh.num_vertices(),
             self.inner.partition().len(),
@@ -143,23 +229,55 @@ impl DistResidentEngine3 {
         );
         let dom = self.inner.engine().domain();
         let cfg = self.inner.engine().params().domain_config();
-        let mut transport: ProcessTransport<'_, 4, Point3> = ProcessTransport::spawn(
+        let mut transport = ProcessTransport::spawn(
             &dom,
             &cfg,
             self.inner.blocks(),
             self.inner.exchange_schedule(),
-        )
-        .expect("failed to fork rank worker processes");
-        let report = drive_resident(
+            options.read_timeout_ms,
+            options.faults.clone(),
+        )?;
+        let result = drive_resident_ft(
             &dom,
             &cfg,
             self.inner.elem_weights(),
             self.inner.interface_classes().len(),
             &mut transport,
             mesh.coords_mut(),
+            &options.policy,
         );
-        transport.shutdown();
-        report
+        match result {
+            Ok(ok) => {
+                transport.shutdown()?;
+                Ok(ok)
+            }
+            Err(e) => {
+                let _ = transport.shutdown();
+                Err(e)
+            }
+        }
+    }
+
+    /// Distributed resident 3D Gauss–Seidel smoothing; bit-identical to
+    /// [`ResidentEngine3::smooth`], degrading to it when rank processes
+    /// cannot be spawned.
+    pub fn smooth(&self, mesh: &mut TetMesh) -> SmoothReport {
+        self.smooth_with(mesh, &FtOptions::default())
+    }
+
+    /// [`smooth`](Self::smooth) with explicit options.
+    pub fn smooth_with(&self, mesh: &mut TetMesh, options: &FtOptions) -> SmoothReport {
+        match self.smooth_ft(mesh, options) {
+            Ok((report, _)) => report,
+            Err(DistError::Spawn(e)) => {
+                eprintln!(
+                    "lms-dist: cannot spawn rank processes ({e}); \
+                     degrading to the in-process resident engine"
+                );
+                self.inner.smooth(mesh, self.num_ranks().max(1))
+            }
+            Err(e) => panic!("distributed smoothing failed beyond recovery: {e}"),
+        }
     }
 }
 

@@ -1,0 +1,222 @@
+//! Deterministic fault injection — the adversary of the chaos suite.
+//!
+//! A [`FaultPlan`] scripts failures against a distributed run: kill rank
+//! *p* right before a chosen protocol step, stall it past the
+//! coordinator's read timeout, or corrupt one byte of one of its outgoing
+//! frames (exercising the wire v2 checksum). Plans are plain data,
+//! threaded into each forked worker at spawn time, so a scripted run is
+//! exactly reproducible — which is what lets `tests/chaos.rs` assert
+//! that a recovered run is **bit-identical** to a failure-free one.
+//!
+//! Replacement ranks forked by recovery always get an empty (disarmed)
+//! plan: an injected fault fires at most once per scripted rank, never in
+//! an infinite kill-respawn-kill loop.
+//!
+//! Fault points count **worker-local** protocol steps: `iter` is the
+//! 1-based count of `Interior` frames the worker process has served (on
+//! the failure-free path this equals the global iteration number; during
+//! replay a surviving worker's count keeps increasing), and `color` is
+//! the color id carried by the `ColorStep` frame.
+
+/// A protocol step of a rank worker's life, addressable by a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// Before serving the `iter`-th `Interior` frame (1-based).
+    Interior { iter: u32 },
+    /// Before sweeping interface color `color` of local iteration `iter`.
+    Color { iter: u32, color: u32 },
+    /// Before the end-of-iteration re-score of local iteration `iter`.
+    Finish { iter: u32 },
+}
+
+/// One scripted failure of a rank worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerFault {
+    /// `_exit` with [`INJECTED_KILL_EXIT`] right before `point` — the
+    /// fail-stop regime.
+    KillBefore { point: FaultPoint },
+    /// Sleep `ms` milliseconds right before `point` — with `ms` beyond
+    /// the coordinator's read timeout, the livelock regime.
+    StallBefore { point: FaultPoint, ms: u64 },
+    /// XOR one byte of the worker's `frame`-th outgoing frame (0-based,
+    /// counting every frame it writes), at offset `byte` modulo the
+    /// frame's checksummed region — the silent-corruption regime the
+    /// wire v2 CRC32c detects.
+    CorruptOutFrame { frame: u64, byte: usize },
+}
+
+/// Exit code of a worker leaving via an injected [`WorkerFault::KillBefore`]
+/// (distinguishable from a clean exit, a panic (101) and a stream error
+/// (102) in the reaped wait status).
+pub const INJECTED_KILL_EXIT: i32 = 113;
+
+/// A scripted set of failures for one distributed run: `(rank, fault)`
+/// pairs plus an optional spawn veto. Empty plans (the default) make the
+/// fault machinery vanish from the hot path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Faults by target rank; one rank may carry several.
+    pub rank_faults: Vec<(u32, WorkerFault)>,
+    /// Veto spawning entirely — exercises the graceful degradation to
+    /// the in-process transport.
+    pub fail_spawn: bool,
+}
+
+impl FaultPlan {
+    /// The empty plan: no injected faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Kill `rank` right before `point`.
+    pub fn kill_at(rank: u32, point: FaultPoint) -> Self {
+        FaultPlan::none().with(rank, WorkerFault::KillBefore { point })
+    }
+
+    /// Stall `rank` for `ms` milliseconds right before `point`.
+    pub fn stall_at(rank: u32, point: FaultPoint, ms: u64) -> Self {
+        FaultPlan::none().with(rank, WorkerFault::StallBefore { point, ms })
+    }
+
+    /// Corrupt byte `byte` of `rank`'s `frame`-th outgoing frame.
+    pub fn corrupt(rank: u32, frame: u64, byte: usize) -> Self {
+        FaultPlan::none().with(rank, WorkerFault::CorruptOutFrame { frame, byte })
+    }
+
+    /// Veto spawning (graceful-degradation path).
+    pub fn no_spawn() -> Self {
+        FaultPlan { rank_faults: Vec::new(), fail_spawn: true }
+    }
+
+    /// Add one more scripted fault.
+    pub fn with(mut self, rank: u32, fault: WorkerFault) -> Self {
+        self.rank_faults.push((rank, fault));
+        self
+    }
+
+    /// No faults scripted at all?
+    pub fn is_empty(&self) -> bool {
+        self.rank_faults.is_empty() && !self.fail_spawn
+    }
+
+    /// Derive one scripted fault deterministically from `seed` — the
+    /// chaos suite's seed matrix. The same `(seed, num_ranks, max_iters,
+    /// num_colors)` always yields the same plan: an xorshift64* walk
+    /// picks a target rank, an iteration, and one of the four fault
+    /// shapes (kill before interior / color / finish, or corrupt a
+    /// frame byte).
+    pub fn from_seed(seed: u64, num_ranks: u32, max_iters: u32, num_colors: u32) -> Self {
+        assert!(num_ranks > 0 && max_iters > 0 && num_colors > 0);
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        let rank = (next() % num_ranks as u64) as u32;
+        let iter = 1 + (next() % max_iters as u64) as u32;
+        match next() % 4 {
+            0 => FaultPlan::kill_at(rank, FaultPoint::Interior { iter }),
+            1 => {
+                let color = (next() % num_colors as u64) as u32;
+                FaultPlan::kill_at(rank, FaultPoint::Color { iter, color })
+            }
+            2 => FaultPlan::kill_at(rank, FaultPoint::Finish { iter }),
+            _ => FaultPlan::corrupt(rank, next() % 16, (next() % 256) as usize),
+        }
+    }
+
+    /// Slice the plan down to what one worker process needs.
+    pub(crate) fn worker_faults(&self, rank: u32) -> WorkerFaults {
+        let mut wf = WorkerFaults::default();
+        for &(r, fault) in &self.rank_faults {
+            if r != rank {
+                continue;
+            }
+            match fault {
+                WorkerFault::KillBefore { point } => wf.kill.push(point),
+                WorkerFault::StallBefore { point, ms } => wf.stall.push((point, ms)),
+                WorkerFault::CorruptOutFrame { frame, byte } => wf.corrupt.push((frame, byte)),
+            }
+        }
+        wf
+    }
+}
+
+/// One worker's slice of a [`FaultPlan`], evaluated inside the forked
+/// rank process.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct WorkerFaults {
+    kill: Vec<FaultPoint>,
+    stall: Vec<(FaultPoint, u64)>,
+    corrupt: Vec<(u64, usize)>,
+}
+
+impl WorkerFaults {
+    /// Fire any fault scripted for `point`: an injected kill leaves the
+    /// process via `_exit(INJECTED_KILL_EXIT)`; a stall sleeps through
+    /// the coordinator's read timeout, then lets the worker continue.
+    pub(crate) fn hit(&self, point: FaultPoint) {
+        if self.kill.contains(&point) {
+            crate::sys::exit_now(INJECTED_KILL_EXIT);
+        }
+        for &(p, ms) in &self.stall {
+            if p == point {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+            }
+        }
+    }
+
+    /// The byte offset to corrupt in outgoing frame number `frame`, if
+    /// one is scripted.
+    pub(crate) fn corrupt_byte(&self, frame: u64) -> Option<usize> {
+        self.corrupt.iter().find(|&&(f, _)| f == frame).map(|&(_, b)| b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_in_range() {
+        for seed in 0..64u64 {
+            let a = FaultPlan::from_seed(seed, 4, 3, 5);
+            let b = FaultPlan::from_seed(seed, 4, 3, 5);
+            assert_eq!(a, b, "seed {seed} must be deterministic");
+            assert_eq!(a.rank_faults.len(), 1);
+            let (rank, fault) = a.rank_faults[0];
+            assert!(rank < 4);
+            match fault {
+                WorkerFault::KillBefore { point } | WorkerFault::StallBefore { point, .. } => {
+                    let (FaultPoint::Interior { iter }
+                    | FaultPoint::Color { iter, .. }
+                    | FaultPoint::Finish { iter }) = point;
+                    assert!((1..=3).contains(&iter));
+                    if let FaultPoint::Color { color, .. } = point {
+                        assert!(color < 5);
+                    }
+                }
+                WorkerFault::CorruptOutFrame { .. } => {}
+            }
+        }
+        // different seeds explore different faults
+        let distinct: std::collections::HashSet<String> =
+            (0..64u64).map(|s| format!("{:?}", FaultPlan::from_seed(s, 4, 3, 5))).collect();
+        assert!(distinct.len() > 16, "seed walk should spread over the fault space");
+    }
+
+    #[test]
+    fn worker_slicing_keeps_only_own_faults() {
+        let plan = FaultPlan::kill_at(1, FaultPoint::Interior { iter: 2 })
+            .with(2, WorkerFault::CorruptOutFrame { frame: 5, byte: 9 });
+        assert!(plan.worker_faults(0).kill.is_empty());
+        assert_eq!(plan.worker_faults(1).kill, vec![FaultPoint::Interior { iter: 2 }]);
+        assert_eq!(plan.worker_faults(2).corrupt_byte(5), Some(9));
+        assert_eq!(plan.worker_faults(2).corrupt_byte(4), None);
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::none().is_empty());
+        assert!(!FaultPlan::no_spawn().is_empty());
+    }
+}

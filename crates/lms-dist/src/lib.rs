@@ -29,6 +29,16 @@
 //! `tests/oracle.rs` pins this across {2, 4, 8} parts × smart/plain ×
 //! 2D/3D.
 //!
+//! Runs are **fault tolerant** (PR 6): every coordinator read is bounded
+//! by a `poll(2)` timeout, every frame carries a CRC32c (wire v2), dead
+//! ranks are reaped via `waitpid` — and a detected failure is recovered
+//! by respawning the rank from the last iteration-boundary checkpoint
+//! and replaying, with final coordinates and reports still bit-identical
+//! to a failure-free run. The deterministic fault-injection harness
+//! ([`FaultPlan`]) and the chaos suite (`tests/chaos.rs`) pin the whole
+//! failure model; when forking is impossible, [`DistResidentEngine`]
+//! degrades gracefully to the in-process engine.
+//!
 //! ```
 //! use lms_part::PartitionMethod;
 //! use lms_smooth::SmoothParams;
@@ -45,13 +55,17 @@
 //! ```
 
 pub mod engines;
+pub mod error;
+pub mod fault;
 pub mod sys;
 pub mod transport;
 pub(crate) mod worker;
 
 pub use engines::{
-    smooth_distributed, smooth_distributed3, DistResidentEngine, DistResidentEngine3,
+    smooth_distributed, smooth_distributed3, DistResidentEngine, DistResidentEngine3, FtOptions,
 };
+pub use error::DistError;
+pub use fault::{FaultPlan, FaultPoint, WorkerFault, INJECTED_KILL_EXIT};
 pub use transport::ProcessTransport;
 
 pub(crate) mod codec {

@@ -1,8 +1,9 @@
 //! Minimal POSIX process/pipe layer — just enough libc surface to fork
-//! rank worker processes and stream wire frames between them, declared
-//! directly against the C library `std` already links (the build
-//! container has no crates registry, so the `libc` crate is out of
-//! reach; these seven symbols are stable POSIX).
+//! rank worker processes, stream wire frames between them, and detect
+//! failed ranks (`poll(2)` read timeouts, `kill(2)`, non-blocking
+//! `waitpid`), declared directly against the C library `std` already
+//! links (the build container has no crates registry, so the `libc`
+//! crate is out of reach; these nine symbols are stable POSIX).
 //!
 //! Everything here is Linux-safe under a multithreaded parent: glibc
 //! registers `pthread_atfork` handlers that make `malloc` usable in the
@@ -16,6 +17,14 @@ use std::io::{self, Read, Write};
 mod ffi {
     use core::ffi::c_void;
 
+    /// `struct pollfd` from `poll(2)`.
+    #[repr(C)]
+    pub struct PollFd {
+        pub fd: i32,
+        pub events: i16,
+        pub revents: i16,
+    }
+
     extern "C" {
         pub fn fork() -> i32;
         pub fn pipe(fds: *mut i32) -> i32;
@@ -23,9 +32,16 @@ mod ffi {
         pub fn write(fd: i32, buf: *const c_void, count: usize) -> isize;
         pub fn close(fd: i32) -> i32;
         pub fn waitpid(pid: i32, status: *mut i32, options: i32) -> i32;
+        pub fn kill(pid: i32, sig: i32) -> i32;
+        // nfds_t is c_ulong on every Linux ABI this builds for
+        pub fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
         pub fn _exit(code: i32) -> !;
     }
 }
+
+const POLLIN: i16 = 0x001;
+const WNOHANG: i32 = 1;
+const SIGKILL: i32 = 9;
 
 /// An owned file descriptor: closed on drop, readable and writable
 /// through `std::io` traits (with EINTR retries), so `BufReader` /
@@ -136,6 +152,129 @@ pub fn wait_pid(pid: i32) -> io::Result<i32> {
     }
 }
 
+/// Non-blocking reap (`waitpid` + `WNOHANG`): `Some(status)` if `pid`
+/// has exited, `None` if it is still running.
+pub fn try_wait_pid(pid: i32) -> io::Result<Option<i32>> {
+    let mut status = 0i32;
+    loop {
+        let r = unsafe { ffi::waitpid(pid, &mut status, WNOHANG) };
+        if r == pid {
+            return Ok(Some(status));
+        }
+        if r == 0 {
+            return Ok(None);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// `SIGKILL` a process — the coordinator's way of putting a stalled or
+/// half-dead rank into a definite fail-stop state before respawning it.
+pub fn kill_pid(pid: i32) -> io::Result<()> {
+    if unsafe { ffi::kill(pid, SIGKILL) } != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// Wait up to `timeout_ms` for `fd` to become readable (`poll(2)`).
+/// Returns `true` when a read will not block (data, EOF, or error — the
+/// follow-up `read` disambiguates), `false` on timeout. A negative
+/// timeout blocks indefinitely (and then always returns `true`).
+pub fn wait_readable(fd: i32, timeout_ms: i32) -> io::Result<bool> {
+    let mut pfd = ffi::PollFd { fd, events: POLLIN, revents: 0 };
+    loop {
+        let r = unsafe { ffi::poll(&mut pfd, 1, timeout_ms) };
+        if r > 0 {
+            return Ok(true);
+        }
+        if r == 0 {
+            return Ok(false);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// Decoded `waitpid` status — `WIFEXITED`/`WEXITSTATUS`/`WTERMSIG`
+/// without libc macros.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitStatus(pub i32);
+
+impl WaitStatus {
+    /// The process left via `_exit`/`exit` (as opposed to a signal).
+    pub fn exited(&self) -> bool {
+        self.0 & 0x7f == 0
+    }
+
+    /// The exit code, when [`exited`](Self::exited).
+    pub fn exit_code(&self) -> i32 {
+        (self.0 >> 8) & 0xff
+    }
+
+    /// The terminating signal, when the process was killed by one.
+    pub fn signal(&self) -> Option<i32> {
+        if self.exited() {
+            None
+        } else {
+            Some(self.0 & 0x7f)
+        }
+    }
+
+    /// A clean `_exit(0)`.
+    pub fn clean(&self) -> bool {
+        self.exited() && self.exit_code() == 0
+    }
+}
+
+impl std::fmt::Display for WaitStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.signal() {
+            Some(sig) => write!(f, "killed by signal {sig}"),
+            None => write!(f, "exit code {}", self.exit_code()),
+        }
+    }
+}
+
+/// A pipe read end whose every `read` is bounded by a `poll(2)` timeout:
+/// the descriptor not becoming readable within `timeout_ms` surfaces as
+/// [`io::ErrorKind::TimedOut`] instead of blocking the coordinator
+/// forever on a stalled rank. A negative timeout disables the bound.
+#[derive(Debug)]
+pub struct TimeoutReader {
+    fd: Fd,
+    timeout_ms: i32,
+}
+
+impl TimeoutReader {
+    pub fn new(fd: Fd, timeout_ms: i32) -> Self {
+        TimeoutReader { fd, timeout_ms }
+    }
+
+    /// The raw descriptor number (for a forked child shedding inherited
+    /// copies via [`close_raw`]).
+    pub fn raw(&self) -> i32 {
+        self.fd.raw()
+    }
+}
+
+impl Read for TimeoutReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.timeout_ms >= 0 && !wait_readable(self.fd.raw(), self.timeout_ms)? {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("pipe not readable within {}ms", self.timeout_ms),
+            ));
+        }
+        self.fd.read(buf)
+    }
+}
+
 /// `_exit(2)`: terminate immediately — no unwinding, no `atexit`
 /// handlers, no flushing of inherited parent state. The only way a rank
 /// worker leaves.
@@ -174,5 +313,41 @@ mod tests {
         // WIFEXITED + WEXITSTATUS without libc macros
         assert_eq!(status & 0x7f, 0, "child must exit, not be signalled");
         assert_eq!((status >> 8) & 0xff, 7);
+        let decoded = WaitStatus(status);
+        assert!(decoded.exited() && !decoded.clean());
+        assert_eq!(decoded.exit_code(), 7);
+        assert_eq!(decoded.to_string(), "exit code 7");
+    }
+
+    #[test]
+    fn timeout_reader_bounds_reads_and_passes_data() {
+        let (r, mut w) = pipe().unwrap();
+        let mut r = TimeoutReader::new(r, 30);
+        // nothing written: the read must time out, not block
+        let mut buf = [0u8; 1];
+        let err = r.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        // written data still flows through
+        w.write_all(&[9]).unwrap();
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(buf[0], 9);
+        // EOF (writer dropped) counts as readable, not a timeout
+        drop(w);
+        assert_eq!(r.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn kill_and_try_wait_reap_a_looping_child() {
+        let pid = unsafe { fork() }.unwrap();
+        if pid == 0 {
+            loop {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        }
+        assert_eq!(try_wait_pid(pid).unwrap(), None, "child still running");
+        kill_pid(pid).unwrap();
+        let status = WaitStatus(wait_pid(pid).unwrap());
+        assert_eq!(status.signal(), Some(9));
+        assert!(status.to_string().contains("signal 9"));
     }
 }

@@ -1,6 +1,7 @@
 //! The multi-process transport: MPI-style ranks as forked worker
 //! processes over Unix pipes, driven by the coordinator through the
-//! `lms_part::wire` frame protocol.
+//! `lms_part::wire` frame protocol — with failure detection and
+//! checkpoint/restart recovery built in.
 //!
 //! [`ProcessTransport::spawn`] forks one process per part. Each child
 //! inherits the engine's immutable topology — its
@@ -21,99 +22,155 @@
 //! pull order, and the traffic counters are charged with the same
 //! `halo_frame_wire_len` formula — which is why the cross-transport
 //! oracle can demand *report* equality, not just coordinate equality.
+//!
+//! # Fault tolerance
+//!
+//! The transport implements [`FtResidentTransport`], the fallible,
+//! recoverable transport contract `drive_resident_ft` drives:
+//!
+//! * **Detection** — every coordinator read is bounded by a `poll(2)`
+//!   timeout ([`crate::sys::TimeoutReader`]); a failed read or write is
+//!   diagnosed against the rank's `waitpid` state into a typed
+//!   [`DistError`] (rank exited / rank stalled / corrupt stream — the
+//!   latter caught by the wire v2 per-frame CRC32c). The coordinator can
+//!   therefore never hang on a dead or wedged rank.
+//! * **Checkpoint** — at iteration boundaries the coordinator pulls every
+//!   rank's owned coordinates through an out-of-band scatter round into a
+//!   global snapshot. That snapshot is a *complete* rank state: at a
+//!   boundary a rank is exactly its coordinates plus element scores, and
+//!   the scores are bit-reproducible as `dom.score` of those coordinates
+//!   (the invariant `resident::ResidentRank` maintains), so checkpoints
+//!   carry no score traffic. Checkpoint traffic is deliberately not
+//!   charged to any [`ExchangeVolume`] — recovered and failure-free runs
+//!   must report identical exchange accounting.
+//! * **Recovery** — [`recover`](Self::recover) puts the group back at the
+//!   last checkpoint: kill + reap the failed rank, drain every survivor
+//!   to protocol quiescence (discarding its in-flight round), fork a
+//!   replacement (with a disarmed fault plan), and reload **all** ranks
+//!   from the snapshot with fresh `Gather` frames. The driver then
+//!   replays the lost iterations; replay is deterministic from the
+//!   checkpoint, so recovered runs are bit-identical to failure-free
+//!   ones (pinned by `tests/chaos.rs`).
 
-use crate::sys::{self, Fd};
+use crate::error::DistError;
+use crate::fault::FaultPlan;
+use crate::sys::{self, Fd, TimeoutReader, WaitStatus};
 use crate::worker;
-use lms_part::wire::{halo_frame_wire_len, Frame, WIRE_VERSION};
+use lms_part::wire::{halo_frame_wire_len, Frame, WireError, WIRE_VERSION};
 use lms_part::{ExchangeSchedule, MessagePlan};
 use lms_smooth::domain::{DomainConfig, DomainPoint, SmoothDomain};
 use lms_smooth::resident::{ResidentBlock, ResidentRank};
-use lms_smooth::{ExchangeVolume, ResidentTransport};
-use std::io::{BufReader, BufWriter, Write};
+use lms_smooth::{ExchangeVolume, FtResidentTransport};
+use std::io::{self, BufReader, BufWriter, Write};
+
+/// The reply the coordinator is owed on a rank's stream, if any —
+/// tracked per rank so recovery can drain a survivor to protocol
+/// quiescence before reloading it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pending {
+    None,
+    /// Halo-delta frames terminated by a `RoundDone`.
+    RoundDone,
+    /// One `Report`.
+    Report,
+    /// One `Scatter`.
+    Scatter,
+}
 
 /// One rank's coordinator-side endpoints.
 struct RankChannel {
     pid: i32,
     to_rank: BufWriter<Fd>,
-    from_rank: BufReader<Fd>,
+    from_rank: BufReader<TimeoutReader>,
+    /// Raw descriptor numbers of the two parent-side pipe ends, so a
+    /// child forked *later* (a recovery respawn) can shed its inherited
+    /// copies of them.
+    to_fd: i32,
+    from_fd: i32,
+    pending: Pending,
+    /// The child was already `waitpid`-reaped (its wait status consumed
+    /// during failure diagnosis) — don't reap twice, and never signal a
+    /// pid that may have been recycled.
+    reaped: bool,
 }
 
 /// The forked-process implementation of
-/// [`lms_smooth::ResidentTransport`]: one OS process per part, wire
+/// [`lms_smooth::FtResidentTransport`]: one OS process per part, wire
 /// frames over two pipes per rank, coordinator-mediated delta
-/// forwarding. See the module docs for the phasing argument.
-pub struct ProcessTransport<'a, const C: usize, P: DomainPoint> {
+/// forwarding, timeout-bounded reads and checkpoint/respawn recovery.
+/// See the module docs for the phasing and recovery arguments.
+pub struct ProcessTransport<'a, const C: usize, D: SmoothDomain<C>> {
+    dom: &'a D,
+    cfg: DomainConfig,
     blocks: &'a [ResidentBlock<C>],
+    schedule: &'a ExchangeSchedule,
+    plan: MessagePlan,
     ranks: Vec<RankChannel>,
     /// Per-destination forward queue, drained every color step.
     forward: Vec<Vec<Frame>>,
+    /// The recovery checkpoint: the full global coordinate array as of
+    /// the last successful iteration boundary (primed by `try_gather`).
+    ckpt: Vec<D::Point>,
+    faults: FaultPlan,
+    read_timeout_ms: i32,
     shut_down: bool,
-    _point: std::marker::PhantomData<fn() -> P>,
 }
 
-impl<'a, const C: usize, P: DomainPoint> ProcessTransport<'a, C, P> {
+impl<'a, const C: usize, D: SmoothDomain<C>> ProcessTransport<'a, C, D> {
     /// Fork one rank worker per part and complete the wire handshake.
     ///
     /// The domain, config, blocks and schedule are captured by the
-    /// children as copy-on-write images; the coordinator keeps only the
-    /// blocks (its gather/scatter maps) and the pipe endpoints.
-    pub fn spawn<D: SmoothDomain<C, Point = P>>(
-        dom: &D,
+    /// children as copy-on-write images (and kept by the coordinator for
+    /// recovery respawns). `read_timeout_ms` bounds every coordinator
+    /// read (negative disables the bound); `faults` is the
+    /// test-injection script (use [`FaultPlan::none`] for production).
+    /// On failure every already-forked child is killed and reaped before
+    /// the error returns.
+    pub fn spawn(
+        dom: &'a D,
         cfg: &DomainConfig,
         blocks: &'a [ResidentBlock<C>],
-        schedule: &ExchangeSchedule,
-    ) -> std::io::Result<Self> {
-        let plan = MessagePlan::build(schedule);
+        schedule: &'a ExchangeSchedule,
+        read_timeout_ms: i32,
+        faults: FaultPlan,
+    ) -> Result<Self, DistError> {
+        if faults.fail_spawn {
+            return Err(DistError::Spawn(io::Error::other("injected spawn failure")));
+        }
         let k = blocks.len();
-        // create every pipe pair up front so each child can shed all
-        // descriptors that are not its own two
-        let mut pipes = Vec::with_capacity(k);
-        for _ in 0..k {
-            let to_rank = sys::pipe()?; // (rank reads, coordinator writes)
-            let from_rank = sys::pipe()?; // (coordinator reads, rank writes)
-            pipes.push((to_rank.0, to_rank.1, from_rank.0, from_rank.1));
-        }
-        let mut pids = Vec::with_capacity(k);
-        for p in 0..k {
-            // SAFETY: the child touches no parent lock or thread — it
-            // builds its rank from the inherited image and enters the
-            // single-threaded worker loop, leaving only via `_exit`.
-            let pid = unsafe { sys::fork() }?;
-            if pid == 0 {
-                let own_input = pipes[p].0.raw();
-                let own_output = pipes[p].3.raw();
-                for (i, (r1, w1, r2, w2)) in pipes.iter().enumerate() {
-                    sys::close_raw(w1.raw());
-                    sys::close_raw(r2.raw());
-                    if i != p {
-                        sys::close_raw(r1.raw());
-                        sys::close_raw(w2.raw());
-                    }
-                }
-                let rank = ResidentRank::new(dom, cfg, p as u32, &blocks[p], schedule, &plan);
-                // never returns; the child's copies of `pipes` etc. are
-                // reclaimed by the kernel at `_exit`, so no double-close
-                worker::run_worker(rank, Fd::from_raw(own_input), Fd::from_raw(own_output));
-            }
-            pids.push(pid);
-        }
-        let mut ranks = Vec::with_capacity(k);
-        for (p, (child_input, to_rank, from_rank, child_output)) in pipes.into_iter().enumerate() {
-            drop(child_input);
-            drop(child_output);
-            let mut to_rank = BufWriter::new(to_rank);
-            Frame::Hello { version: WIRE_VERSION, dim: P::DIM as u8, rank: p as u32 }
-                .write_to(&mut to_rank)?;
-            to_rank.flush()?;
-            ranks.push(RankChannel { pid: pids[p], to_rank, from_rank: BufReader::new(from_rank) });
-        }
-        Ok(ProcessTransport {
+        let mut transport = ProcessTransport {
+            dom,
+            cfg: *cfg,
             blocks,
-            ranks,
+            schedule,
+            plan: MessagePlan::build(schedule),
+            ranks: Vec::with_capacity(k),
             forward: (0..k).map(|_| Vec::new()).collect(),
+            ckpt: Vec::new(),
+            faults,
+            read_timeout_ms,
             shut_down: false,
-            _point: std::marker::PhantomData,
-        })
+        };
+        for p in 0..k {
+            match transport.spawn_rank(p as u32, true) {
+                Ok(channel) => transport.ranks.push(channel),
+                Err(e) => {
+                    // reap the siblings forked so far; the caller falls
+                    // back to the in-process transport
+                    for channel in &transport.ranks {
+                        let _ = sys::kill_pid(channel.pid);
+                    }
+                    let pids: Vec<i32> = transport.ranks.iter().map(|c| c.pid).collect();
+                    transport.ranks.clear();
+                    for pid in pids {
+                        let _ = sys::wait_pid(pid);
+                    }
+                    transport.shut_down = true;
+                    return Err(e);
+                }
+            }
+        }
+        Ok(transport)
     }
 
     /// Number of rank processes.
@@ -121,41 +178,227 @@ impl<'a, const C: usize, P: DomainPoint> ProcessTransport<'a, C, P> {
         self.ranks.len()
     }
 
-    fn send(&mut self, p: usize, frame: &Frame) {
-        frame
-            .write_to(&mut self.ranks[p].to_rank)
-            .unwrap_or_else(|e| panic!("rank {p} (pid {}) pipe closed: {e}", self.ranks[p].pid));
+    /// Fork and handshake one rank worker. `armed` selects whether the
+    /// transport's fault script applies — initial spawns are armed,
+    /// recovery respawns are not (an injected fault fires at most once).
+    fn spawn_rank(&mut self, p: u32, armed: bool) -> Result<RankChannel, DistError> {
+        let (child_in, to_rank) = sys::pipe().map_err(DistError::Spawn)?;
+        let (from_rank, child_out) = sys::pipe().map_err(DistError::Spawn)?;
+        let worker_faults = if armed {
+            self.faults.worker_faults(p)
+        } else {
+            crate::fault::WorkerFaults::default()
+        };
+        // SAFETY: the child touches no parent lock or thread — it builds
+        // its rank from the inherited image and enters the
+        // single-threaded worker loop, leaving only via `_exit`.
+        let pid = unsafe { sys::fork() }.map_err(DistError::Spawn)?;
+        if pid == 0 {
+            // shed every coordinator-side descriptor inherited from the
+            // parent image: the live channels' ends plus the parent ends
+            // of this rank's own fresh pipes
+            for channel in &self.ranks {
+                sys::close_raw(channel.to_fd);
+                sys::close_raw(channel.from_fd);
+            }
+            sys::close_raw(to_rank.raw());
+            sys::close_raw(from_rank.raw());
+            let rank = ResidentRank::new(
+                self.dom,
+                &self.cfg,
+                p,
+                &self.blocks[p as usize],
+                self.schedule,
+                &self.plan,
+            );
+            // never returns; the child's copies of the parent's `Fd`
+            // values are reclaimed by the kernel at `_exit`
+            worker::run_worker(
+                rank,
+                Fd::from_raw(child_in.raw()),
+                Fd::from_raw(child_out.raw()),
+                worker_faults,
+            );
+        }
+        drop(child_in);
+        drop(child_out);
+        let to_fd = to_rank.raw();
+        let from_fd = from_rank.raw();
+        let mut to_rank = BufWriter::new(to_rank);
+        Frame::Hello { version: WIRE_VERSION, dim: <D::Point as DomainPoint>::DIM as u8, rank: p }
+            .write_to(&mut to_rank)
+            .map_err(DistError::Spawn)?;
+        to_rank.flush().map_err(DistError::Spawn)?;
+        Ok(RankChannel {
+            pid,
+            to_rank,
+            from_rank: BufReader::new(TimeoutReader::new(from_rank, self.read_timeout_ms)),
+            to_fd,
+            from_fd,
+            pending: Pending::None,
+            reaped: false,
+        })
     }
 
-    fn flush(&mut self, p: usize) {
-        self.ranks[p]
-            .to_rank
-            .flush()
-            .unwrap_or_else(|e| panic!("rank {p} (pid {}) pipe closed: {e}", self.ranks[p].pid));
-    }
-
-    fn recv(&mut self, p: usize) -> Frame {
-        Frame::read_from(&mut self.ranks[p].from_rank)
-            .unwrap_or_else(|e| panic!("rank {p} (pid {}) stream broke: {e}", self.ranks[p].pid))
-    }
-
-    fn broadcast(&mut self, frame: &Frame) {
-        for p in 0..self.ranks.len() {
-            self.send(p, frame);
-            self.flush(p);
+    /// Reap rank `p`, blocking: only called once its pipe reported
+    /// EOF/EPIPE, which the worker can cause solely by exiting — so the
+    /// wait terminates promptly (the child is mid-`_exit`, merely not yet
+    /// zombie when the pipe event raced ahead of the reapable state).
+    fn reap_dying(&mut self, p: usize) -> Option<WaitStatus> {
+        match sys::wait_pid(self.ranks[p].pid) {
+            Ok(status) => {
+                self.ranks[p].reaped = true;
+                Some(WaitStatus(status))
+            }
+            Err(_) => None,
         }
     }
 
-    /// Orderly teardown: ask every rank to exit, close every pipe end,
-    /// then reap. Called by `Drop` too, so a coordinator panic still
-    /// reaps its children — and closing the pipes before `waitpid`
-    /// guarantees the reap cannot hang: a rank blocked writing into an
-    /// undrained pipe (a coordinator unwind mid-round leaves one) gets
-    /// `EPIPE` once its read end is gone, a rank blocked reading gets
-    /// EOF, and both exit.
-    pub fn shutdown(&mut self) {
-        if self.shut_down {
+    /// Classify a failed read on rank `p`'s stream: a checksum or decode
+    /// failure is silent corruption; an i/o failure is disambiguated by
+    /// the child's `waitpid` state into "rank died" vs "rank stalled".
+    fn diagnose_read(&mut self, p: usize, e: WireError) -> DistError {
+        let rank = p as u32;
+        match e {
+            WireError::Io(io_err) => {
+                if io_err.kind() == io::ErrorKind::UnexpectedEof {
+                    if let Some(status) = self.reap_dying(p) {
+                        return DistError::RankExited { rank, status };
+                    }
+                }
+                match sys::try_wait_pid(self.ranks[p].pid) {
+                    Ok(Some(status)) => {
+                        self.ranks[p].reaped = true;
+                        DistError::RankExited { rank, status: WaitStatus(status) }
+                    }
+                    _ if io_err.kind() == io::ErrorKind::TimedOut => {
+                        DistError::RankStalled { rank, timeout_ms: self.read_timeout_ms }
+                    }
+                    _ => DistError::Wire { rank, error: WireError::Io(io_err) },
+                }
+            }
+            error => DistError::Wire { rank, error },
+        }
+    }
+
+    /// Classify a failed write to rank `p` (EPIPE etc. — almost always a
+    /// dead child).
+    fn diagnose_write(&mut self, p: usize, e: io::Error) -> DistError {
+        let rank = p as u32;
+        if e.kind() == io::ErrorKind::BrokenPipe {
+            if let Some(status) = self.reap_dying(p) {
+                return DistError::RankExited { rank, status };
+            }
+        }
+        match sys::try_wait_pid(self.ranks[p].pid) {
+            Ok(Some(status)) => {
+                self.ranks[p].reaped = true;
+                DistError::RankExited { rank, status: WaitStatus(status) }
+            }
+            _ => DistError::Wire { rank, error: WireError::Io(e) },
+        }
+    }
+
+    fn protocol_error(&self, p: usize, f: &Frame) -> DistError {
+        let mut frame = format!("{f:?}");
+        frame.truncate(96);
+        DistError::Protocol { rank: p as u32, frame }
+    }
+
+    fn send(&mut self, p: usize, frame: &Frame) -> Result<(), DistError> {
+        match frame.write_to(&mut self.ranks[p].to_rank) {
+            Ok(()) => Ok(()),
+            Err(e) => Err(self.diagnose_write(p, e)),
+        }
+    }
+
+    fn flush(&mut self, p: usize) -> Result<(), DistError> {
+        match self.ranks[p].to_rank.flush() {
+            Ok(()) => Ok(()),
+            Err(e) => Err(self.diagnose_write(p, e)),
+        }
+    }
+
+    fn recv(&mut self, p: usize) -> Result<Frame, DistError> {
+        Frame::read_from(&mut self.ranks[p].from_rank).map_err(|e| self.diagnose_read(p, e))
+    }
+
+    /// Send the per-block slices of a global `(coords, scores)` state to
+    /// every rank — the gather and the recovery reload are the same wire
+    /// traffic.
+    fn load_ranks(&mut self, coords: &[D::Point], scores: &[(f64, bool)]) -> Result<(), DistError> {
+        for p in 0..self.ranks.len() {
+            let block = &self.blocks[p];
+            let mut flat =
+                Vec::with_capacity((block.owned().len() + block.halo().len()) * D::Point::DIM);
+            for &v in block.owned().iter().chain(block.halo()) {
+                coords[v as usize].push_components(&mut flat);
+            }
+            let block_scores: Vec<(f64, bool)> =
+                block.elem_globals().iter().map(|&t| scores[t as usize]).collect();
+            self.send(p, &Frame::Gather { coords: flat, scores: block_scores })?;
+            self.flush(p)?;
+        }
+        Ok(())
+    }
+
+    /// Drain rank `p` to protocol quiescence: consume whatever reply it
+    /// still owes (discarding the abandoned round's data) so its stream
+    /// is frame-aligned again.
+    fn resync(&mut self, p: usize) -> Result<(), DistError> {
+        loop {
+            let expected = self.ranks[p].pending;
+            if expected == Pending::None {
+                return Ok(());
+            }
+            let frame = self.recv(p)?;
+            match (expected, frame) {
+                (Pending::RoundDone, Frame::HaloDelta { .. }) => continue,
+                (Pending::RoundDone, Frame::RoundDone)
+                | (Pending::Report, Frame::Report { .. })
+                | (Pending::Scatter, Frame::Scatter { .. }) => {
+                    self.ranks[p].pending = Pending::None;
+                }
+                (_, f) => return Err(self.protocol_error(p, &f)),
+            }
+        }
+    }
+
+    /// Kill and reap rank `p`'s process (no-ops if diagnosis already
+    /// consumed its wait status).
+    fn reap(&mut self, p: usize) {
+        if self.ranks[p].reaped {
             return;
+        }
+        let pid = self.ranks[p].pid;
+        let _ = sys::kill_pid(pid);
+        let _ = sys::wait_pid(pid);
+        self.ranks[p].reaped = true;
+    }
+
+    /// Reload every rank from the checkpoint: scores are recomputed from
+    /// the snapshot coordinates (bit-identical to what the ranks held at
+    /// the boundary — see the module docs), then shipped as fresh
+    /// `Gather` frames.
+    fn reload_all(&mut self) -> Result<(), DistError> {
+        let scores: Vec<(f64, bool)> =
+            self.dom.elements().iter().map(|&e| self.dom.score(&self.ckpt, e)).collect();
+        let coords = std::mem::take(&mut self.ckpt);
+        let result = self.load_ranks(&coords, &scores);
+        self.ckpt = coords;
+        result
+    }
+
+    /// Orderly teardown: ask every rank to exit, close every pipe end,
+    /// then reap each child — surfacing any nonzero exit status or
+    /// signal death as a [`DistError::Shutdown`]. Called (result
+    /// discarded) by `Drop` too, so a coordinator panic still reaps its
+    /// children. The reap cannot hang: closing the pipes gives blocked
+    /// ranks `EPIPE`/EOF, and a rank that still refuses to exit within
+    /// the grace window is `SIGKILL`ed.
+    pub fn shutdown(&mut self) -> Result<(), DistError> {
+        if self.shut_down {
+            return Ok(());
         }
         self.shut_down = true;
         for p in 0..self.ranks.len() {
@@ -164,58 +407,110 @@ impl<'a, const C: usize, P: DomainPoint> ProcessTransport<'a, C, P> {
             let _ = Frame::Shutdown.write_to(&mut self.ranks[p].to_rank);
             let _ = self.ranks[p].to_rank.flush();
         }
-        let pids: Vec<i32> = self.ranks.iter().map(|c| c.pid).collect();
-        self.ranks.clear(); // drops both pipe ends of every rank
-        for pid in pids {
-            let _ = sys::wait_pid(pid);
-        }
-    }
-}
-
-impl<const C: usize, P: DomainPoint> Drop for ProcessTransport<'_, C, P> {
-    fn drop(&mut self) {
-        self.shutdown();
-    }
-}
-
-impl<const C: usize, P: DomainPoint> ResidentTransport<P> for ProcessTransport<'_, C, P> {
-    fn gather(&mut self, coords: &[P], scores: &[(f64, bool)]) {
-        for p in 0..self.ranks.len() {
-            let block = &self.blocks[p];
-            let mut flat = Vec::with_capacity((block.owned().len() + block.halo().len()) * P::DIM);
-            for &v in block.owned().iter().chain(block.halo()) {
-                coords[v as usize].push_components(&mut flat);
+        let channels: Vec<RankChannel> = self.ranks.drain(..).collect();
+        let mut failures: Vec<(u32, WaitStatus)> = Vec::new();
+        for (p, channel) in channels.into_iter().enumerate() {
+            let pid = channel.pid;
+            let reaped = channel.reaped;
+            drop(channel); // closes both pipe ends: EOF/EPIPE unblocks the child
+            if reaped {
+                continue;
             }
-            let block_scores: Vec<(f64, bool)> =
-                block.elem_globals().iter().map(|&t| scores[t as usize]).collect();
-            self.send(p, &Frame::Gather { coords: flat, scores: block_scores });
-            self.flush(p);
+            let mut status = None;
+            for _ in 0..500 {
+                match sys::try_wait_pid(pid) {
+                    Ok(Some(s)) => {
+                        status = Some(s);
+                        break;
+                    }
+                    Ok(None) => std::thread::sleep(std::time::Duration::from_millis(2)),
+                    Err(_) => break,
+                }
+            }
+            let status = match status {
+                Some(s) => s,
+                None => {
+                    let _ = sys::kill_pid(pid);
+                    match sys::wait_pid(pid) {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    }
+                }
+            };
+            let status = WaitStatus(status);
+            if !status.clean() {
+                failures.push((p as u32, status));
+            }
+        }
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(DistError::Shutdown { failures })
         }
     }
+}
 
-    fn interior_phase(&mut self) {
-        self.broadcast(&Frame::Interior);
+impl<const C: usize, D: SmoothDomain<C>> Drop for ProcessTransport<'_, C, D> {
+    fn drop(&mut self) {
+        let _ = self.shutdown();
+    }
+}
+
+impl<const C: usize, D: SmoothDomain<C>> FtResidentTransport<D::Point>
+    for ProcessTransport<'_, C, D>
+{
+    type Error = DistError;
+
+    fn try_gather(&mut self, coords: &[D::Point], scores: &[(f64, bool)]) -> Result<(), DistError> {
+        // prime the checkpoint before any wire traffic, so a failure in
+        // iteration 1 (or in this very gather) recovers to the initial
+        // state
+        self.ckpt = coords.to_vec();
+        self.load_ranks(coords, scores)
     }
 
-    fn color_step(&mut self, color: usize, volume: &mut ExchangeVolume) {
-        self.broadcast(&Frame::ColorStep { color: color as u32 });
+    fn try_interior_phase(&mut self) -> Result<(), DistError> {
+        for p in 0..self.ranks.len() {
+            self.send(p, &Frame::Interior)?;
+            self.flush(p)?;
+        }
+        Ok(())
+    }
+
+    fn try_color_step(
+        &mut self,
+        color: usize,
+        volume: &mut ExchangeVolume,
+    ) -> Result<(), DistError> {
+        for p in 0..self.ranks.len() {
+            self.send(p, &Frame::ColorStep { color: color as u32 })?;
+            self.flush(p)?;
+            self.ranks[p].pending = Pending::RoundDone;
+        }
         // drain phase: collect every rank's coalesced per-pair batches,
         // in ascending source-part order
         for p in 0..self.ranks.len() {
             loop {
-                match self.recv(p) {
+                match self.recv(p)? {
                     Frame::HaloDelta { part: dst, slots, coords } => {
+                        if dst as usize >= self.ranks.len() {
+                            let f = Frame::HaloDelta { part: dst, slots, coords };
+                            return Err(self.protocol_error(p, &f));
+                        }
                         volume.halo_messages_sent += 1;
                         volume.halo_entries_sent += slots.len();
-                        volume.halo_bytes_sent += halo_frame_wire_len(P::DIM, slots.len());
+                        volume.halo_bytes_sent += halo_frame_wire_len(D::Point::DIM, slots.len());
                         self.forward[dst as usize].push(Frame::HaloDelta {
                             part: p as u32,
                             slots,
                             coords,
                         });
                     }
-                    Frame::RoundDone => break,
-                    f => panic!("rank {p} sent unexpected frame {f:?} during a color step"),
+                    Frame::RoundDone => {
+                        self.ranks[p].pending = Pending::None;
+                        break;
+                    }
+                    f => return Err(self.protocol_error(p, &f)),
                 }
             }
         }
@@ -228,38 +523,127 @@ impl<const C: usize, P: DomainPoint> ResidentTransport<P> for ProcessTransport<'
                 continue;
             }
             for frame in &frames {
-                self.send(q, frame);
+                self.send(q, frame)?;
             }
-            self.flush(q);
+            self.flush(q)?;
             frames.clear();
             self.forward[q] = frames;
         }
+        Ok(())
     }
 
-    fn finish_iteration(&mut self, deltas: &mut Vec<f64>) {
-        self.broadcast(&Frame::FinishIteration);
+    fn try_finish_iteration(&mut self, deltas: &mut Vec<f64>) -> Result<(), DistError> {
         for p in 0..self.ranks.len() {
-            match self.recv(p) {
-                Frame::Report { delta } => deltas.push(delta),
-                f => panic!("rank {p} sent unexpected frame {f:?} instead of a report"),
+            self.send(p, &Frame::FinishIteration)?;
+            self.flush(p)?;
+            self.ranks[p].pending = Pending::Report;
+        }
+        for p in 0..self.ranks.len() {
+            match self.recv(p)? {
+                Frame::Report { delta } => {
+                    self.ranks[p].pending = Pending::None;
+                    deltas.push(delta);
+                }
+                f => return Err(self.protocol_error(p, &f)),
             }
         }
+        Ok(())
     }
 
-    fn scatter(&mut self, coords: &mut [P]) {
-        self.broadcast(&Frame::ScatterRequest);
+    fn try_scatter(&mut self, coords: &mut [D::Point]) -> Result<(), DistError> {
         for p in 0..self.ranks.len() {
-            match self.recv(p) {
+            self.send(p, &Frame::ScatterRequest)?;
+            self.flush(p)?;
+            self.ranks[p].pending = Pending::Scatter;
+        }
+        for p in 0..self.ranks.len() {
+            match self.recv(p)? {
                 Frame::Scatter { coords: flat } => {
+                    self.ranks[p].pending = Pending::None;
                     let owned = self.blocks[p].owned();
-                    assert_eq!(flat.len(), owned.len() * P::DIM, "scatter payload length");
-                    for (j, &v) in owned.iter().enumerate() {
-                        coords[v as usize] =
-                            P::from_components(&flat[j * P::DIM..(j + 1) * P::DIM]);
+                    if flat.len() != owned.len() * D::Point::DIM {
+                        let f = Frame::Scatter { coords: flat };
+                        return Err(self.protocol_error(p, &f));
+                    }
+                    let points = crate::codec::flat_to_points::<D::Point>(&flat);
+                    for (&v, &point) in owned.iter().zip(&points) {
+                        coords[v as usize] = point;
                     }
                 }
-                f => panic!("rank {p} sent unexpected frame {f:?} instead of a scatter"),
+                f => return Err(self.protocol_error(p, &f)),
             }
         }
+        Ok(())
+    }
+
+    /// Pull every rank's owned coordinates through an out-of-band
+    /// scatter round into a scratch snapshot, atomically replacing the
+    /// checkpoint only once every rank has answered — a failure mid
+    /// checkpoint leaves the previous checkpoint valid.
+    fn take_checkpoint(&mut self) -> Result<(), DistError> {
+        let mut scratch = self.ckpt.clone();
+        for p in 0..self.ranks.len() {
+            self.send(p, &Frame::ScatterRequest)?;
+            self.flush(p)?;
+            self.ranks[p].pending = Pending::Scatter;
+        }
+        for p in 0..self.ranks.len() {
+            match self.recv(p)? {
+                Frame::Scatter { coords: flat } => {
+                    self.ranks[p].pending = Pending::None;
+                    let owned = self.blocks[p].owned();
+                    if flat.len() != owned.len() * D::Point::DIM {
+                        let f = Frame::Scatter { coords: flat };
+                        return Err(self.protocol_error(p, &f));
+                    }
+                    let points = crate::codec::flat_to_points::<D::Point>(&flat);
+                    for (&v, &point) in owned.iter().zip(&points) {
+                        scratch[v as usize] = point;
+                    }
+                }
+                f => return Err(self.protocol_error(p, &f)),
+            }
+        }
+        self.ckpt = scratch;
+        Ok(())
+    }
+
+    /// Put the group back at the last checkpoint after `failure`: kill +
+    /// reap the implicated rank, drain every survivor to quiescence
+    /// (survivors failing here join the failed set), respawn the failed
+    /// ranks with disarmed fault plans, drop stale forward queues, and
+    /// reload everyone from the snapshot. May itself fail (another rank
+    /// dying mid-recovery, or fork refusing) — the driver retries
+    /// against its recovery budget, and repeated reload failures
+    /// re-enter here with the newly implicated rank.
+    fn recover(&mut self, failure: &DistError) -> Result<(), DistError> {
+        assert!(!self.ckpt.is_empty(), "recover called before the initial gather");
+        let mut failed: Vec<u32> = match failure {
+            DistError::RankExited { rank, .. }
+            | DistError::RankStalled { rank, .. }
+            | DistError::Wire { rank, .. }
+            | DistError::Protocol { rank, .. } => vec![*rank],
+            DistError::Spawn(_) | DistError::Shutdown { .. } => Vec::new(),
+        };
+        for p in 0..self.ranks.len() {
+            if failed.contains(&(p as u32)) {
+                continue;
+            }
+            if self.resync(p).is_err() {
+                failed.push(p as u32);
+            }
+        }
+        for &p in &failed {
+            self.reap(p as usize);
+            let replacement = self.spawn_rank(p, false)?;
+            self.ranks[p as usize] = replacement;
+        }
+        for queue in &mut self.forward {
+            queue.clear();
+        }
+        for channel in &mut self.ranks {
+            channel.pending = Pending::None;
+        }
+        self.reload_all()
     }
 }

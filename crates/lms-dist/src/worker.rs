@@ -9,24 +9,34 @@
 //! one [`ResidentRank`] call; the sweep arithmetic is therefore the
 //! in-process engine's, expression for expression, which is what makes
 //! the cross-transport oracle hold bit for bit.
+//!
+//! The worker also hosts the test side of the fault-injection harness: a
+//! [`WorkerFaults`] script (usually empty) can kill or stall the process
+//! right before a chosen protocol step, or corrupt a byte of an outgoing
+//! frame — simulating fail-stop deaths, livelocks and silent wire
+//! corruption under the coordinator's detection machinery.
 
 use crate::codec::{flat_to_points, points_to_flat};
+use crate::fault::{FaultPoint, WorkerFaults};
 use crate::sys::{exit_now, Fd};
 use lms_part::wire::{Frame, WireError, WIRE_VERSION};
 use lms_smooth::domain::{DomainPoint, SmoothDomain};
 use lms_smooth::resident::ResidentRank;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufWriter, Write};
 
 /// Serve the coordinator until `Shutdown` (or a dead pipe), then leave
 /// the process via `_exit` — never by returning into the forked parent
-/// image. Exit codes: 0 clean shutdown, 101 panic, 102 stream error.
+/// image. Exit codes: 0 clean shutdown, 101 panic, 102 stream error,
+/// [`crate::fault::INJECTED_KILL_EXIT`] injected kill.
 pub(crate) fn run_worker<const C: usize, D: SmoothDomain<C>>(
     mut rank: ResidentRank<'_, C, D>,
     input: Fd,
     output: Fd,
+    faults: WorkerFaults,
 ) -> ! {
-    let outcome =
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| serve(&mut rank, input, output)));
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        serve(&mut rank, input, output, &faults)
+    }));
     match outcome {
         Ok(Ok(())) => exit_now(0),
         Ok(Err(e)) => {
@@ -40,13 +50,48 @@ pub(crate) fn run_worker<const C: usize, D: SmoothDomain<C>>(
     }
 }
 
+/// The worker's frame writer: counts outgoing frames and applies any
+/// scripted single-byte corruption by serialising the victim frame to a
+/// scratch buffer, flipping the byte, and writing the damaged image raw —
+/// the pipe carries exactly what a torn wire would.
+struct FrameWriter<'f, W: Write> {
+    inner: W,
+    faults: &'f WorkerFaults,
+    sent: u64,
+}
+
+impl<W: Write> FrameWriter<'_, W> {
+    fn put(&mut self, frame: &Frame) -> std::io::Result<()> {
+        let idx = self.sent;
+        self.sent += 1;
+        if let Some(byte) = self.faults.corrupt_byte(idx) {
+            let mut bytes = Vec::new();
+            frame.write_to(&mut bytes)?;
+            // target the checksum+payload region (offset ≥ 4): keeping
+            // the length prefix intact keeps the stream re-framable, so
+            // the coordinator diagnoses BadChecksum deterministically
+            // instead of a timeout
+            let i = 4 + byte % (bytes.len() - 4);
+            bytes[i] ^= 0x5a;
+            self.inner.write_all(&bytes)
+        } else {
+            frame.write_to(&mut self.inner)
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
 fn serve<const C: usize, D: SmoothDomain<C>>(
     rank: &mut ResidentRank<'_, C, D>,
     input: Fd,
     output: Fd,
+    faults: &WorkerFaults,
 ) -> Result<(), WireError> {
-    let mut rd = BufReader::new(input);
-    let mut wr = BufWriter::new(output);
+    let mut rd = std::io::BufReader::new(input);
+    let mut wr = FrameWriter { inner: BufWriter::new(output), faults, sent: 0 };
 
     match Frame::read_from(&mut rd)? {
         Frame::Hello { version, dim, rank: id } => {
@@ -57,14 +102,22 @@ fn serve<const C: usize, D: SmoothDomain<C>>(
         f => panic!("expected Hello handshake, got {f:?}"),
     }
 
+    // worker-local iteration counter: the number of Interior frames
+    // served so far — the `iter` coordinate of fault points
+    let mut iter: u32 = 0;
     loop {
         match Frame::read_from(&mut rd)? {
             Frame::Gather { coords, scores } => {
                 let points = flat_to_points::<D::Point>(&coords);
                 rank.load_block(&points, &scores);
             }
-            Frame::Interior => rank.sweep_interior(),
+            Frame::Interior => {
+                iter += 1;
+                faults.hit(FaultPoint::Interior { iter });
+                rank.sweep_interior();
+            }
             Frame::ColorStep { color } => {
+                faults.hit(FaultPoint::Color { iter, color });
                 rank.apply_pending();
                 rank.sweep_color(color as usize);
                 rank.route_moved();
@@ -73,14 +126,13 @@ fn serve<const C: usize, D: SmoothDomain<C>>(
                     if batch.slots.is_empty() {
                         continue;
                     }
-                    Frame::HaloDelta {
+                    wr.put(&Frame::HaloDelta {
                         part: batch.dst,
                         slots: batch.slots.clone(),
                         coords: points_to_flat(&batch.coords),
-                    }
-                    .write_to(&mut wr)?;
+                    })?;
                 }
-                Frame::RoundDone.write_to(&mut wr)?;
+                wr.put(&Frame::RoundDone)?;
                 wr.flush()?;
             }
             Frame::HaloDelta { slots, coords, .. } => {
@@ -88,12 +140,13 @@ fn serve<const C: usize, D: SmoothDomain<C>>(
                 rank.stash_deltas(&slots, &points);
             }
             Frame::FinishIteration => {
+                faults.hit(FaultPoint::Finish { iter });
                 rank.finalize_iteration();
-                Frame::Report { delta: rank.take_delta() }.write_to(&mut wr)?;
+                wr.put(&Frame::Report { delta: rank.take_delta() })?;
                 wr.flush()?;
             }
             Frame::ScatterRequest => {
-                Frame::Scatter { coords: points_to_flat(rank.owned_coords()) }.write_to(&mut wr)?;
+                wr.put(&Frame::Scatter { coords: points_to_flat(rank.owned_coords()) })?;
                 wr.flush()?;
             }
             Frame::Shutdown => return Ok(()),

@@ -18,13 +18,21 @@
 //! | [`Frame::Scatter`] | rank → coordinator | the rank's owned coordinates |
 //! | [`Frame::Shutdown`] | coordinator → rank | exit the worker loop |
 //!
-//! Encoding: every frame is `[u32 LE payload length][u8 tag][fields…]`,
-//! integers little-endian, booleans one byte, and **every `f64` as its
-//! exact IEEE-754 bit pattern** ([`f64::to_bits`], little-endian) — NaN
-//! payloads, negative zero and signalling bit patterns all round-trip
-//! bit-identically, which is what keeps multi-process smoothing
-//! bit-identical to the in-process engines (property-tested in
-//! `tests/props.rs`).
+//! Encoding (wire v2): every frame is `[u32 LE payload length][u32 LE
+//! CRC32c][u8 tag][fields…]`, integers little-endian, booleans one byte,
+//! and **every `f64` as its exact IEEE-754 bit pattern**
+//! ([`f64::to_bits`], little-endian) — NaN payloads, negative zero and
+//! signalling bit patterns all round-trip bit-identically, which is what
+//! keeps multi-process smoothing bit-identical to the in-process engines
+//! (property-tested in `tests/props.rs`).
+//!
+//! The checksum is CRC32c (Castagnoli) over the length prefix **and** the
+//! payload, so a torn, truncated, or silently corrupted frame — including
+//! one whose length prefix itself was corrupted — is rejected at decode
+//! with a typed [`WireError`] instead of desynchronising the stream or
+//! feeding garbage coordinates into a smoothing run. This is the
+//! detection half of the fail-stop + silent-error failure model the
+//! distributed backend recovers from.
 //!
 //! Coordinates travel as flat component vectors (`dim` components per
 //! point, declared once in the [`Frame::Hello`] handshake); a
@@ -37,13 +45,93 @@ use std::io::{Read, Write};
 pub const WIRE_MAGIC: u32 = u32::from_le_bytes(*b"LMSW");
 
 /// Current wire-format version. Bump on any frame-layout change; a
-/// coordinator and a rank negotiate nothing — the rank refuses a
-/// mismatched [`Frame::Hello`].
-pub const WIRE_VERSION: u16 = 1;
+/// coordinator and a rank negotiate nothing — decoding a mismatched
+/// [`Frame::Hello`] fails with [`WireError::Version`]. Version 2 added
+/// the per-frame CRC32c checksum.
+pub const WIRE_VERSION: u16 = 2;
 
 /// Hard cap on one frame's payload (64 MiB): a corrupted length prefix
 /// must not turn into an unbounded allocation.
 pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// CRC32c (Castagnoli) lookup table, built at compile time — the build
+/// container has no crates registry, so the checksum is implemented here
+/// rather than pulled in as a dependency.
+const fn crc32c_table() -> [u32; 256] {
+    // reflected Castagnoli polynomial
+    const POLY: u32 = 0x82f6_3b78;
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Slice-by-8 lookup tables: `CRC32C_TABLES[k][b]` advances byte `b`
+/// through `k` additional zero bytes, letting the fold consume 8 input
+/// bytes per step instead of 1 — frame payloads are multi-kilobyte
+/// coordinate blocks, so the byte-at-a-time loop would tax every
+/// gather/scatter/halo message measurably.
+const fn crc32c_tables() -> [[u32; 256]; 8] {
+    let base = crc32c_table();
+    let mut tables = [[0u32; 256]; 8];
+    tables[0] = base;
+    let mut k = 1;
+    while k < 8 {
+        let mut b = 0;
+        while b < 256 {
+            let prev = tables[k - 1][b];
+            tables[k][b] = base[(prev & 0xff) as usize] ^ (prev >> 8);
+            b += 1;
+        }
+        k += 1;
+    }
+    tables
+}
+
+static CRC32C_TABLES: [[u32; 256]; 8] = crc32c_tables();
+
+fn crc32c_fold(mut crc: u32, bytes: &[u8]) -> u32 {
+    let t = &CRC32C_TABLES;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
+        crc = t[7][(lo & 0xff) as usize]
+            ^ t[6][((lo >> 8) & 0xff) as usize]
+            ^ t[5][((lo >> 16) & 0xff) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][c[4] as usize]
+            ^ t[2][c[5] as usize]
+            ^ t[1][c[6] as usize]
+            ^ t[0][c[7] as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ t[0][((crc ^ b as u32) & 0xff) as usize];
+    }
+    crc
+}
+
+/// CRC32c (Castagnoli) of `bytes`, with the standard `!0` init and final
+/// inversion (`crc32c(b"123456789") == 0xe306_9283`).
+pub fn crc32c(bytes: &[u8]) -> u32 {
+    !crc32c_fold(!0, bytes)
+}
+
+/// The checksum [`Frame::write_to`] stamps on a frame: CRC32c over the
+/// little-endian length prefix followed by the payload. Covering the
+/// prefix means a corrupted length byte fails the checksum (or the
+/// [`MAX_FRAME_LEN`] cap) instead of silently re-framing the stream.
+fn frame_crc(len: u32, payload: &[u8]) -> u32 {
+    !crc32c_fold(crc32c_fold(!0, &len.to_le_bytes()), payload)
+}
 
 /// One message of the distributed resident-smoothing protocol. See the
 /// module docs for the frame table and encoding rules.
@@ -94,6 +182,12 @@ pub enum WireError {
     BadLength,
     /// Length prefix exceeds [`MAX_FRAME_LEN`].
     TooLarge(usize),
+    /// The frame's CRC32c does not match its contents: the frame was
+    /// torn, truncated, or silently corrupted in transit.
+    BadChecksum { expected: u32, got: u32 },
+    /// A [`Frame::Hello`] declared a wire version other than
+    /// [`WIRE_VERSION`] (e.g. a checksum-less v1 peer).
+    Version { got: u16 },
 }
 
 impl std::fmt::Display for WireError {
@@ -103,6 +197,14 @@ impl std::fmt::Display for WireError {
             WireError::BadTag(t) => write!(f, "unknown frame tag {t}"),
             WireError::BadLength => write!(f, "frame payload length mismatch"),
             WireError::TooLarge(n) => write!(f, "frame length {n} exceeds {MAX_FRAME_LEN}"),
+            WireError::BadChecksum { expected, got } => write!(
+                f,
+                "frame checksum mismatch (stamped {expected:#010x}, computed {got:#010x}): \
+                 frame torn or corrupted in transit"
+            ),
+            WireError::Version { got } => {
+                write!(f, "peer speaks wire version {got}, this build requires {WIRE_VERSION}")
+            }
         }
     }
 }
@@ -262,7 +364,11 @@ impl Frame {
                 if magic != WIRE_MAGIC {
                     return Err(WireError::BadLength);
                 }
-                Frame::Hello { version: p.u16()?, dim: p.u8()?, rank: p.u32()? }
+                let version = p.u16()?;
+                if version != WIRE_VERSION {
+                    return Err(WireError::Version { got: version });
+                }
+                Frame::Hello { version, dim: p.u8()?, rank: p.u32()? }
             }
             TAG_GATHER => {
                 let coords = p.f64s()?;
@@ -299,11 +405,12 @@ impl Frame {
         Ok(frame)
     }
 
-    /// Write the frame to a stream: `u32` LE payload length, then the
-    /// payload. Enforces [`MAX_FRAME_LEN`] on the send side too, so an
-    /// oversized gather/scatter (≈ 34 bytes per 2D vertex of one rank's
-    /// block) fails with a diagnosable error instead of the receiver
-    /// rejecting it and the sender dying on a broken pipe.
+    /// Write the frame to a stream: `u32` LE payload length, `u32` LE
+    /// CRC32c (over length prefix + payload), then the payload. Enforces
+    /// [`MAX_FRAME_LEN`] on the send side too, so an oversized
+    /// gather/scatter (≈ 38 bytes per 2D vertex of one rank's block)
+    /// fails with a diagnosable error instead of the receiver rejecting
+    /// it and the sender dying on a broken pipe.
     pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
         let payload = self.encode();
         if payload.len() > MAX_FRAME_LEN {
@@ -316,38 +423,47 @@ impl Frame {
                 ),
             ));
         }
-        w.write_all(&(payload.len() as u32).to_le_bytes())?;
+        let len = payload.len() as u32;
+        w.write_all(&len.to_le_bytes())?;
+        w.write_all(&frame_crc(len, &payload).to_le_bytes())?;
         w.write_all(&payload)
     }
 
-    /// Read one length-prefixed frame from a stream.
+    /// Read one checksummed, length-prefixed frame from a stream. Any
+    /// single-bit change to the bytes on the wire — length prefix
+    /// included — yields a [`WireError`] rather than a mis-decoded frame.
     pub fn read_from<R: Read>(r: &mut R) -> Result<Frame, WireError> {
-        let mut len = [0u8; 4];
-        r.read_exact(&mut len)?;
-        let len = u32::from_le_bytes(len) as usize;
-        if len > MAX_FRAME_LEN {
-            return Err(WireError::TooLarge(len));
+        let mut header = [0u8; 8];
+        r.read_exact(&mut header)?;
+        let len = u32::from_le_bytes(header[..4].try_into().unwrap());
+        let stamped = u32::from_le_bytes(header[4..].try_into().unwrap());
+        if len as usize > MAX_FRAME_LEN {
+            return Err(WireError::TooLarge(len as usize));
         }
-        let mut payload = vec![0u8; len];
+        let mut payload = vec![0u8; len as usize];
         r.read_exact(&mut payload)?;
+        let got = frame_crc(len, &payload);
+        if got != stamped {
+            return Err(WireError::BadChecksum { expected: stamped, got });
+        }
         Frame::decode(&payload)
     }
 
     /// Total bytes [`write_to`](Self::write_to) puts on the wire for this
-    /// frame (length prefix included).
+    /// frame (length prefix and checksum included).
     pub fn wire_len(&self) -> usize {
-        4 + self.encode().len()
+        8 + self.encode().len()
     }
 }
 
 /// Bytes a coalesced [`Frame::HaloDelta`] of `entries` delivery slots at
-/// coordinate dimension `dim` occupies on the wire (length prefix
-/// included) — the formula both transports charge
+/// coordinate dimension `dim` occupies on the wire (length prefix and
+/// checksum included) — the formula both transports charge
 /// `ExchangeVolume::halo_bytes_sent` with, so in-process and
 /// multi-process runs report identical byte counts.
 pub const fn halo_frame_wire_len(dim: usize, entries: usize) -> usize {
-    // prefix + tag + part + slots(len + 4/entry) + coords(len + 8·dim/entry)
-    4 + 1 + 4 + 4 + 4 * entries + 4 + 8 * dim * entries
+    // prefix + crc + tag + part + slots(len + 4/entry) + coords(len + 8·dim/entry)
+    4 + 4 + 1 + 4 + 4 + 4 * entries + 4 + 8 * dim * entries
 }
 
 #[cfg(test)]
@@ -424,6 +540,7 @@ mod tests {
         assert!(matches!(Frame::decode(&[200u8]), Err(WireError::BadTag(200))));
         let mut stream = Vec::new();
         stream.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        stream.extend_from_slice(&[0u8; 4]); // checksum slot
         assert!(matches!(Frame::read_from(&mut stream.as_slice()), Err(WireError::TooLarge(_))));
     }
 
@@ -432,5 +549,75 @@ mod tests {
         let mut payload = Frame::Hello { version: WIRE_VERSION, dim: 2, rank: 0 }.encode();
         payload[1] ^= 0xff;
         assert!(Frame::decode(&payload).is_err());
+    }
+
+    #[test]
+    fn crc32c_matches_reference_vector() {
+        // the canonical CRC32c check value (RFC 3720 appendix B.4 style)
+        assert_eq!(crc32c(b"123456789"), 0xe306_9283);
+        assert_eq!(crc32c(b""), 0);
+        assert_eq!(crc32c(&[0u8; 32]), 0x8a91_36aa);
+    }
+
+    #[test]
+    fn v1_hello_is_rejected_with_version_error() {
+        // a checksum-less v1 peer's Hello payload, framed in v2 style:
+        // the version field alone must reject it with a clear error
+        let payload = Frame::Hello { version: WIRE_VERSION, dim: 2, rank: 3 }.encode();
+        let mut v1 = payload.clone();
+        v1[5..7].copy_from_slice(&1u16.to_le_bytes()); // tag(1) + magic(4), then version
+        match Frame::decode(&v1) {
+            Err(WireError::Version { got: 1 }) => {}
+            other => panic!("expected Version {{ got: 1 }}, got {other:?}"),
+        }
+        // and the raw v1 *stream* framing ([len][payload], no checksum)
+        // cannot be mistaken for a valid v2 frame either
+        let mut v1_stream = Vec::new();
+        v1_stream.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        v1_stream.extend_from_slice(&payload);
+        assert!(Frame::read_from(&mut v1_stream.as_slice()).is_err());
+    }
+
+    #[test]
+    fn corrupted_frames_fail_the_checksum() {
+        let frame = Frame::HaloDelta { part: 2, slots: vec![1, 4], coords: vec![0.5; 4] };
+        let mut stream = Vec::new();
+        frame.write_to(&mut stream).unwrap();
+        // flip one payload byte: decode-level structure stays valid, so
+        // only the checksum catches it
+        let mut torn = stream.clone();
+        let last = torn.len() - 1;
+        torn[last] ^= 0x04;
+        match Frame::read_from(&mut torn.as_slice()) {
+            Err(WireError::BadChecksum { expected, got }) => assert_ne!(expected, got),
+            other => panic!("expected BadChecksum, got {other:?}"),
+        }
+        // flip one stamped-checksum byte
+        let mut bad_crc = stream.clone();
+        bad_crc[4] ^= 0x80;
+        assert!(matches!(
+            Frame::read_from(&mut bad_crc.as_slice()),
+            Err(WireError::BadChecksum { .. })
+        ));
+        // the pristine stream still reads back
+        assert_eq!(Frame::read_from(&mut stream.as_slice()).unwrap().encode(), frame.encode());
+    }
+
+    #[test]
+    fn wire_error_display_covers_every_variant() {
+        let cases: Vec<(WireError, &str)> = vec![
+            (WireError::Io(std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof")), "i/o"),
+            (WireError::BadTag(77), "77"),
+            (WireError::BadLength, "length mismatch"),
+            (WireError::TooLarge(MAX_FRAME_LEN + 1), "exceeds"),
+            (WireError::BadChecksum { expected: 0xdead_beef, got: 0x0bad_f00d }, "0xdeadbeef"),
+            (WireError::Version { got: 1 }, "wire version 1"),
+        ];
+        for (err, needle) in cases {
+            let shown = err.to_string();
+            assert!(shown.contains(needle), "{shown:?} should mention {needle:?}");
+            // std::error::Error plumbing stays intact
+            let _: &dyn std::error::Error = &err;
+        }
     }
 }

@@ -243,4 +243,51 @@ proptest! {
         }
         prop_assert!(cursor.is_empty(), "stream must be fully consumed");
     }
+
+    /// Corrupting ANY single byte of an encoded frame — length prefix,
+    /// checksum, or payload, any bit — is rejected by `read_from` with a
+    /// typed `WireError`: the CRC32c covers the length prefix and the
+    /// payload, so no single-byte corruption can yield a decoded frame.
+    #[test]
+    fn corrupting_any_single_byte_of_a_frame_is_rejected(
+        coord_bits in arb_bits(1..12),
+        slots in proptest::collection::vec(any::<u32>(), 1..8),
+        part in any::<u32>(),
+        mask in 1u8..=255,
+    ) {
+        use lms_part::wire::Frame;
+        let frames = vec![
+            Frame::HaloDelta {
+                part,
+                slots: slots.clone(),
+                coords: coord_bits
+                    .iter()
+                    .map(|&b| f64::from_bits(b))
+                    .cycle()
+                    .take(slots.len() * 2)
+                    .collect(),
+            },
+            Frame::Gather {
+                coords: coord_bits.iter().map(|&b| f64::from_bits(b)).collect(),
+                scores: coord_bits.iter().map(|&b| (f64::from_bits(b), b % 2 == 0)).collect(),
+            },
+            Frame::Hello { version: lms_part::wire::WIRE_VERSION, dim: 2, rank: part },
+            Frame::Report { delta: f64::from_bits(coord_bits[0]) },
+        ];
+        for frame in &frames {
+            let mut stream = Vec::new();
+            frame.write_to(&mut stream).unwrap();
+            // exhaustive over byte positions for this (frame, mask) pair
+            for i in 0..stream.len() {
+                let mut torn = stream.clone();
+                torn[i] ^= mask;
+                prop_assert!(
+                    Frame::read_from(&mut torn.as_slice()).is_err(),
+                    "flipping byte {} with mask {:#04x} must be rejected",
+                    i,
+                    mask
+                );
+            }
+        }
+    }
 }

@@ -68,5 +68,8 @@ pub use pool::PoolCache;
 pub use resident::{smooth_resident, PairBatch, ResidentEngine, ResidentRank};
 pub use stats::{ExchangeVolume, IterationStats, SmoothReport};
 pub use trace::{AccessSink, CountSink, NullSink, VecSink};
-pub use transport::{drive_resident, InProcessTransport, ResidentTransport};
+pub use transport::{
+    drive_resident, drive_resident_ft, FtPolicy, FtResidentTransport, FtStats, InProcessTransport,
+    ResidentTransport,
+};
 pub use weighting::weighted_candidate;

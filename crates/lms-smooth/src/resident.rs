@@ -298,6 +298,7 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ResidentRank<'a, C, D> {
     /// The one full gather from the global arrays: all owned + halo
     /// coordinates and every local element's initial score.
     pub fn load_global(&mut self, coords: &[D::Point], scores: &[(f64, bool)]) {
+        self.reset_transient();
         for (slot, &v) in
             self.coords.iter_mut().zip(self.block.owned.iter().chain(&self.block.halo))
         {
@@ -311,11 +312,35 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ResidentRank<'a, C, D> {
     /// The one full gather from an already-sliced block payload (a wire
     /// [`lms_part::wire::Frame::Gather`]): coordinates owned-then-halo in
     /// block-local order, scores in local element order.
+    ///
+    /// Loading fully defines the rank's run state: at an iteration
+    /// boundary a rank is exactly `(coords, scores)` plus empty transient
+    /// buffers, so a mid-iteration survivor re-loaded from a recovery
+    /// checkpoint returns bit-identically to that boundary.
     pub fn load_block(&mut self, coords: &[D::Point], scores: &[(f64, bool)]) {
         assert_eq!(coords.len(), self.coords.len(), "gather payload has wrong coordinate count");
         assert_eq!(scores.len(), self.scores.len(), "gather payload has wrong score count");
+        self.reset_transient();
         self.coords.copy_from_slice(coords);
         self.scores.copy_from_slice(scores);
+    }
+
+    /// Drop every in-flight buffer (pending deliveries, dirty queues, the
+    /// stat accumulator, unpulled outbox batches) so a load puts the rank
+    /// into a pristine iteration-boundary state — a no-op on the normal
+    /// path, where loads only ever happen before the first iteration.
+    fn reset_transient(&mut self) {
+        self.delta = 0.0;
+        self.round_moved.clear();
+        self.inbox.clear();
+        for &lt in self.iter_dirty.iter().chain(&self.apply_dirty) {
+            self.dirty_mark[lt as usize] = false;
+        }
+        self.iter_dirty.clear();
+        self.apply_dirty.clear();
+        for batch in &mut self.outbox {
+            batch.clear();
+        }
     }
 
     /// Sweep the part-interior ∩ mesh-interior vertices (fully local:
@@ -582,7 +607,7 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ResidentRank<'a, C, D> {
 /// Neumaier-compensated accumulator mirroring the quality cache's running
 /// sum (same per-add expressions, so the initial fold is bit-equal to a
 /// freshly built cache's).
-#[derive(Default)]
+#[derive(Default, Clone, Copy)]
 pub(crate) struct Neumaier {
     sum: f64,
     comp: f64,

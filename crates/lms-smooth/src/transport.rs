@@ -176,6 +176,272 @@ pub fn drive_resident<const C: usize, D: SmoothDomain<C>, T: ResidentTransport<D
     report
 }
 
+/// Recovery policy of [`drive_resident_ft`]: how often the transport is
+/// asked to checkpoint and how many recoveries a run may consume before
+/// giving up with the underlying error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FtPolicy {
+    /// Checkpoint every `n` iteration boundaries (values below 1 are
+    /// treated as 1). A checkpoint is always taken at the final boundary
+    /// so a scatter failure never replays smoothing work.
+    pub checkpoint_every: usize,
+    /// Recovery budget: the run fails with the last transport error once
+    /// more than this many recoveries would be needed.
+    pub max_recoveries: usize,
+}
+
+impl Default for FtPolicy {
+    fn default() -> Self {
+        FtPolicy { checkpoint_every: 1, max_recoveries: 8 }
+    }
+}
+
+/// What fault tolerance did during a [`drive_resident_ft`] run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FtStats {
+    /// One human-readable entry per recovery, in order: which phase
+    /// failed and the transport's diagnosis of the failure.
+    pub recoveries: Vec<String>,
+    /// Checkpoints taken (iteration boundaries, per
+    /// [`FtPolicy::checkpoint_every`], plus the final boundary).
+    pub checkpoints: usize,
+}
+
+/// A fallible, recoverable [`ResidentTransport`]: the same five data
+/// movements, each allowed to fail with a typed error, plus the two
+/// resilience operations [`drive_resident_ft`] needs — checkpoint and
+/// recover.
+///
+/// Contract, on top of the [`ResidentTransport`] bit-identity contract:
+///
+/// * after a successful [`try_gather`](Self::try_gather) the transport
+///   holds a checkpoint equivalent to the gathered state (so a failure
+///   in iteration 1 is recoverable without a separate checkpoint call);
+/// * [`take_checkpoint`](Self::take_checkpoint) is called only at
+///   iteration boundaries and must be atomic — on failure the previous
+///   checkpoint stays valid;
+/// * after a successful [`recover`](Self::recover) every rank holds
+///   exactly the state of the last checkpoint, bit for bit, and the
+///   transport is ready to re-run the iteration sequence from that
+///   boundary; recovery traffic must not be charged to any
+///   [`ExchangeVolume`] (recovered runs report byte counts identical to
+///   failure-free runs).
+pub trait FtResidentTransport<P: DomainPoint> {
+    /// The transport's failure diagnosis (dead rank, stalled rank,
+    /// corrupt frame, …).
+    type Error: std::fmt::Debug + std::fmt::Display;
+
+    /// Fallible [`ResidentTransport::gather`]; primes the checkpoint.
+    fn try_gather(&mut self, coords: &[P], scores: &[(f64, bool)]) -> Result<(), Self::Error>;
+
+    /// Fallible [`ResidentTransport::interior_phase`].
+    fn try_interior_phase(&mut self) -> Result<(), Self::Error>;
+
+    /// Fallible [`ResidentTransport::color_step`].
+    fn try_color_step(
+        &mut self,
+        color: usize,
+        volume: &mut ExchangeVolume,
+    ) -> Result<(), Self::Error>;
+
+    /// Fallible [`ResidentTransport::finish_iteration`].
+    fn try_finish_iteration(&mut self, deltas: &mut Vec<f64>) -> Result<(), Self::Error>;
+
+    /// Fallible [`ResidentTransport::scatter`].
+    fn try_scatter(&mut self, coords: &mut [P]) -> Result<(), Self::Error>;
+
+    /// Atomically capture every rank's iteration-boundary state as the
+    /// new recovery checkpoint.
+    fn take_checkpoint(&mut self) -> Result<(), Self::Error>;
+
+    /// Put every rank back into the last checkpoint's state after
+    /// `failure` — reap/replace dead ranks, resynchronise survivors,
+    /// reload state. May itself fail (e.g. another rank died during
+    /// recovery); the driver retries against its recovery budget.
+    fn recover(&mut self, failure: &Self::Error) -> Result<(), Self::Error>;
+}
+
+/// The fault-tolerant twin of [`drive_resident`]: identical control flow
+/// and arithmetic on the failure-free path (same transport-operation
+/// sequence, same part-ordered Neumaier fold, same convergence rule — a
+/// failure-free run returns a bit-identical [`SmoothReport`]), plus
+/// checkpoint/replay recovery around it.
+///
+/// At every checkpoint boundary the driver snapshots its own fold state
+/// (running quality sum, iteration list, exchange counters) next to the
+/// transport's rank checkpoint; when a transport operation fails it runs
+/// [`FtResidentTransport::recover`], rolls its fold state back to the
+/// snapshot, and replays the lost iterations. Replayed work is
+/// deterministic from the checkpoint state, so a recovered run's final
+/// coords and report are bit-identical to a failure-free run's.
+pub fn drive_resident_ft<const C: usize, D: SmoothDomain<C>, T: FtResidentTransport<D::Point>>(
+    dom: &D,
+    cfg: &DomainConfig,
+    elem_w: &[f64],
+    num_colors: usize,
+    transport: &mut T,
+    coords: &mut [D::Point],
+    policy: &FtPolicy,
+) -> Result<(SmoothReport, FtStats), T::Error> {
+    assert_eq!(coords.len(), dom.num_vertices(), "engine was built for a different mesh");
+    assert_eq!(
+        cfg.update,
+        UpdateScheme::GaussSeidel,
+        "resident smoothing is an in-place (Gauss-Seidel) schedule"
+    );
+
+    let init_scores: Vec<(f64, bool)> =
+        dom.elements().iter().map(|&e| dom.score(coords, e)).collect();
+    let mut qsum = Neumaier::default();
+    for (t, &(q, _)) in init_scores.iter().enumerate() {
+        qsum.add(q * elem_w[t]);
+    }
+    let initial_quality = domain_quality_scored(dom, &init_scores);
+    let mut report = SmoothReport::starting(initial_quality);
+    let mut volume = ExchangeVolume::default();
+    let mut quality = initial_quality;
+    let mut stats = FtStats::default();
+
+    if cfg.max_iters == 0 {
+        report.exchange = Some(volume);
+        return Ok((report, stats));
+    }
+
+    let mut recoveries_left = policy.max_recoveries;
+    // On failure: recover (retrying recovery itself against the budget),
+    // recording one diagnosis line per attempt. Falls through once the
+    // transport is back at the last checkpoint.
+    macro_rules! recover_from {
+        ($err:expr, $phase:expr) => {{
+            let mut err = $err;
+            loop {
+                if recoveries_left == 0 {
+                    return Err(err);
+                }
+                recoveries_left -= 1;
+                stats.recoveries.push(format!("{}: {}", $phase, err));
+                match transport.recover(&err) {
+                    Ok(()) => break,
+                    Err(next) => err = next,
+                }
+            }
+        }};
+    }
+
+    // The one full gather. A failure here is recovered like any other:
+    // `try_gather` primes the transport's checkpoint before moving data,
+    // so `recover` reloads every rank with exactly the gathered state.
+    if let Err(e) = transport.try_gather(coords, &init_scores) {
+        recover_from!(e, "gather");
+    }
+    volume.full_gathers += 1;
+
+    // the coordinator-side half of a checkpoint: everything the fold
+    // needs to replay from the matching rank checkpoint
+    struct Snap {
+        qsum: Neumaier,
+        quality: f64,
+        iters_kept: usize,
+        volume: ExchangeVolume,
+        next_iter: usize,
+        converged: bool,
+        done: bool,
+    }
+    let mut snap =
+        Snap { qsum, quality, iters_kept: 0, volume, next_iter: 1, converged: false, done: false };
+
+    fn attempt_iteration<P: DomainPoint, T: FtResidentTransport<P>>(
+        transport: &mut T,
+        num_colors: usize,
+        volume: &mut ExchangeVolume,
+        deltas: &mut Vec<f64>,
+    ) -> Result<(), T::Error> {
+        transport.try_interior_phase()?;
+        for c in 0..num_colors {
+            volume.exchange_rounds += 1;
+            transport.try_color_step(c, volume)?;
+        }
+        deltas.clear();
+        transport.try_finish_iteration(deltas)?;
+        Ok(())
+    }
+
+    let ckpt_every = policy.checkpoint_every.max(1);
+    let n = dom.num_vertices() as f64;
+    let mut deltas: Vec<f64> = Vec::new();
+    let mut iter = 1usize;
+    let mut converged = false;
+    let mut done = false;
+    loop {
+        if done {
+            // the one full scatter; on failure, recover back to the
+            // final-boundary checkpoint and retry the scatter alone
+            match transport.try_scatter(coords) {
+                Ok(()) => break,
+                Err(e) => recover_from!(e, "scatter"),
+            }
+            continue;
+        }
+        match attempt_iteration(transport, num_colors, &mut volume, &mut deltas) {
+            Ok(()) => {
+                for &d in &deltas {
+                    if d != 0.0 {
+                        qsum.add(d);
+                    }
+                }
+                let new_quality = qsum.value() / n;
+                let improvement = new_quality - quality;
+                report.iterations.push(IterationStats { iter, quality: new_quality, improvement });
+                quality = new_quality;
+                converged = improvement < cfg.tol;
+                done = converged || iter == cfg.max_iters;
+                let boundary_due = done || iter.is_multiple_of(ckpt_every);
+                iter += 1;
+                if boundary_due {
+                    match transport.take_checkpoint() {
+                        Ok(()) => {
+                            stats.checkpoints += 1;
+                            snap = Snap {
+                                qsum,
+                                quality,
+                                iters_kept: report.iterations.len(),
+                                volume,
+                                next_iter: iter,
+                                converged,
+                                done,
+                            };
+                            continue;
+                        }
+                        Err(e) => recover_from!(e, "checkpoint"),
+                    }
+                } else {
+                    continue;
+                }
+            }
+            Err(e) => recover_from!(e, format!("iteration {iter}")),
+        }
+        // recovered: rewind the fold to the snapshot matching the rank
+        // checkpoint the transport just restored, then replay
+        qsum = snap.qsum;
+        quality = snap.quality;
+        report.iterations.truncate(snap.iters_kept);
+        volume = snap.volume;
+        iter = snap.next_iter;
+        converged = snap.converged;
+        done = snap.done;
+    }
+
+    volume.full_scatters += 1;
+    let exact = domain_quality(dom, coords);
+    if let Some(last) = report.iterations.last_mut() {
+        last.quality = exact;
+    }
+    report.final_quality = exact;
+    report.converged = converged;
+    report.exchange = Some(volume);
+    Ok((report, stats))
+}
+
 /// Raw coordinate base pointer for the final disjoint scatter. Soundness:
 /// parts own disjoint global vertex sets (a partition invariant,
 /// property-tested in `lms-part`), so no slot is written by two parts.
@@ -285,6 +551,66 @@ impl<const C: usize, D: SmoothDomain<C>> ResidentTransport<D::Point>
     }
 
     fn scatter(&mut self, coords: &mut [D::Point]) {
+        self.scatter_impl(coords);
+    }
+}
+
+/// The in-process transport cannot fail: ranks share the coordinator's
+/// address space, so there is no process to die, no pipe to stall and no
+/// wire to corrupt. Checkpointing is a no-op (state is never lost) and
+/// `recover` is statically unreachable — [`drive_resident_ft`] over this
+/// transport compiles down to exactly [`drive_resident`]'s behaviour,
+/// which is what makes it the graceful-degradation fallback when rank
+/// processes cannot be spawned at all.
+impl<const C: usize, D: SmoothDomain<C>> FtResidentTransport<D::Point>
+    for InProcessTransport<'_, C, D>
+{
+    type Error = std::convert::Infallible;
+
+    fn try_gather(
+        &mut self,
+        coords: &[D::Point],
+        scores: &[(f64, bool)],
+    ) -> Result<(), Self::Error> {
+        self.gather(coords, scores);
+        Ok(())
+    }
+
+    fn try_interior_phase(&mut self) -> Result<(), Self::Error> {
+        self.interior_phase();
+        Ok(())
+    }
+
+    fn try_color_step(
+        &mut self,
+        color: usize,
+        volume: &mut ExchangeVolume,
+    ) -> Result<(), Self::Error> {
+        self.color_step(color, volume);
+        Ok(())
+    }
+
+    fn try_finish_iteration(&mut self, deltas: &mut Vec<f64>) -> Result<(), Self::Error> {
+        self.finish_iteration(deltas);
+        Ok(())
+    }
+
+    fn try_scatter(&mut self, coords: &mut [D::Point]) -> Result<(), Self::Error> {
+        self.scatter_impl(coords);
+        Ok(())
+    }
+
+    fn take_checkpoint(&mut self) -> Result<(), Self::Error> {
+        Ok(())
+    }
+
+    fn recover(&mut self, failure: &Self::Error) -> Result<(), Self::Error> {
+        match *failure {}
+    }
+}
+
+impl<const C: usize, D: SmoothDomain<C>> InProcessTransport<'_, C, D> {
+    fn scatter_impl(&mut self, coords: &mut [D::Point]) {
         let scatter = ScatterPtr(coords.as_mut_ptr());
         let scatter = &scatter;
         let ranks: &[ResidentRank<'_, C, D>] = &self.ranks;
