@@ -19,8 +19,10 @@
 //! workspace root.
 
 use criterion::{BenchmarkId, Criterion};
-use lms_part::PartitionMethod;
-use lms_smooth::{PartitionedEngine, SmoothEngine, SmoothParams};
+use lms_bench::experiments::partition::{graded_mesh, profiled_sweep_ns};
+use lms_mesh::Adjacency;
+use lms_part::{partition_mesh, repartition_measured, PartitionMethod};
+use lms_smooth::{PartitionedEngine, ResidentEngine, SmoothEngine, SmoothParams};
 
 fn grid_side() -> usize {
     std::env::var("LMS_BENCH_GRID").ok().and_then(|s| s.parse().ok()).unwrap_or(512)
@@ -76,7 +78,36 @@ fn bench_partition(c: &mut Criterion) -> lms_part::PartitionStats {
     stats
 }
 
-fn export_json(c: &Criterion, side: usize, stats: &lms_part::PartitionStats) {
+/// The measured-repartition loop on a time-skewed decomposition: profile
+/// per-part sweep times on an area-balanced split of an x³-graded grid
+/// (structurally count- and hence time-imbalanced), feed them back as
+/// weights via `repartition_measured`, profile again.
+struct Rebalance {
+    side: usize,
+    before_ns: Vec<u64>,
+    after_ns: Vec<u64>,
+}
+
+fn measure_rebalance() -> Rebalance {
+    let side = (grid_side() / 2).clamp(24, 256);
+    let mesh = graded_mesh(side);
+    let adj = Adjacency::build(&mesh);
+    let params = SmoothParams::paper().with_smart(true).with_max_iters(10).with_tol(-1.0);
+    let before_parts = partition_mesh(&mesh, &adj, PARTS, PartitionMethod::RcbWeighted);
+    let before_engine = ResidentEngine::new(&mesh, params.clone(), before_parts);
+    let before_ns = profiled_sweep_ns(&before_engine, &mesh, 3);
+    let after_parts = repartition_measured(&mesh, &adj, before_engine.partition(), &before_ns);
+    let after_engine = ResidentEngine::new(&mesh, params, after_parts);
+    let after_ns = profiled_sweep_ns(&after_engine, &mesh, 3);
+    Rebalance { side, before_ns, after_ns }
+}
+
+fn export_json(
+    c: &Criterion,
+    side: usize,
+    stats: &lms_part::PartitionStats,
+    rebalance: &Rebalance,
+) {
     let find = |needle: &str, min: bool| {
         c.summaries()
             .iter()
@@ -88,8 +119,22 @@ fn export_json(c: &Criterion, side: usize, stats: &lms_part::PartitionStats) {
     // the fastest-sample ratio is the noise-robust speedup estimate
     // (same reasoning as BENCH_smooth.json)
     let speedup = find("colored_2t", true) / find("partitioned_2t", true);
+    let ms_list = |ns: &[u64]| {
+        ns.iter().map(|&n| format!("{:.3}", n as f64 / 1e6)).collect::<Vec<_>>().join(", ")
+    };
+    let spread = |ns: &[u64]| {
+        (ns.iter().max().copied().unwrap_or(0) - ns.iter().min().copied().unwrap_or(0)) as f64 / 1e6
+    };
+    let (spread_before, spread_after) = (spread(&rebalance.before_ns), spread(&rebalance.after_ns));
+    let rebalance_json = format!(
+        "  \"measured_rebalance\": {{\n    \"workload\": \"x3-graded {0}x{0} grid, {PARTS} parts, area-balanced rcbw baseline (time-skewed by construction)\",\n    \"per_part_sweep_ms_before\": [{1}],\n    \"per_part_sweep_ms_after\": [{2}],\n    \"spread_ms_before\": {spread_before:.3},\n    \"spread_ms_after\": {spread_after:.3},\n    \"spread_narrowed\": {3},\n    \"note\": \"profiled warm-up sweep times (min of 3 runs) fed back as per-vertex weights into rcb_parts_weighted — the observability loop closed: measured cost drives the repartition\"\n  }},\n",
+        rebalance.side,
+        ms_list(&rebalance.before_ns),
+        ms_list(&rebalance.after_ns),
+        spread_after < spread_before,
+    );
     let json = format!(
-        "{{\n  \"benchmark\": \"partition\",\n  \"workload\": \"smart Gauss-Seidel, {side}x{side} perturbed grid (jitter 0.35, seed 42), 10 sweeps, {PARTS}-way rcb\",\n  \"median_ms\": {{\n    \"colored_1_thread\": {:.2},\n    \"colored_2_threads\": {:.2},\n    \"partitioned_1_thread\": {:.2},\n    \"partitioned_2_threads\": {:.2}\n  }},\n  \"min_ms\": {{\n    \"colored_2_threads\": {:.2},\n    \"partitioned_2_threads\": {:.2}\n  }},\n  \"partition\": {{\n    \"parts\": {PARTS},\n    \"method\": \"rcb\",\n    \"edge_cut\": {},\n    \"interface_vertices\": {},\n    \"interior_vertices\": {},\n    \"interior_interface_ratio\": {:.2},\n    \"halo_ratio\": {:.4},\n    \"imbalance\": {:.4}\n  }},\n  \"partitioned_speedup_vs_colored_2t\": {speedup:.3},\n  \"speedup_estimator\": \"min-vs-min (deterministic workload)\",\n  \"coords_bit_identical_to_serial_part_major\": true\n}}\n",
+        "{{\n  \"benchmark\": \"partition\",\n  \"workload\": \"smart Gauss-Seidel, {side}x{side} perturbed grid (jitter 0.35, seed 42), 10 sweeps, {PARTS}-way rcb\",\n  \"median_ms\": {{\n    \"colored_1_thread\": {:.2},\n    \"colored_2_threads\": {:.2},\n    \"partitioned_1_thread\": {:.2},\n    \"partitioned_2_threads\": {:.2}\n  }},\n  \"min_ms\": {{\n    \"colored_2_threads\": {:.2},\n    \"partitioned_2_threads\": {:.2}\n  }},\n  \"partition\": {{\n    \"parts\": {PARTS},\n    \"method\": \"rcb\",\n    \"edge_cut\": {},\n    \"interface_vertices\": {},\n    \"interior_vertices\": {},\n    \"interior_interface_ratio\": {:.2},\n    \"halo_ratio\": {:.4},\n    \"imbalance\": {:.4}\n  }},\n  \"partitioned_speedup_vs_colored_2t\": {speedup:.3},\n  \"speedup_estimator\": \"min-vs-min (deterministic workload)\",\n{rebalance_json}  \"coords_bit_identical_to_serial_part_major\": true\n}}\n",
         find("colored_1t", false),
         find("colored_2t", false),
         find("partitioned_1t", false),
@@ -118,5 +163,6 @@ fn export_json(c: &Criterion, side: usize, stats: &lms_part::PartitionStats) {
 fn main() {
     let mut criterion = Criterion::new();
     let stats = bench_partition(&mut criterion);
-    export_json(&criterion, grid_side(), &stats);
+    let rebalance = measure_rebalance();
+    export_json(&criterion, grid_side(), &stats, &rebalance);
 }

@@ -16,6 +16,9 @@
 //!   info3    <prefix>                 tetrahedral mesh statistics
 //!   order3   <prefix> --ordering <name> --out <prefix>
 //!   render3  <prefix> --out <file.svg>   render the boundary surface
+//!   trace-smoke <out.json> [--nx --ny --jitter --seed]
+//!            profiled resident run, export + validate a chrome trace
+//!   trace-validate <file.json>           check well-formedness + B/E balance
 //!
 //! mesh files: a `prefix` reads/writes Triangle `<prefix>.node` +
 //! `<prefix>.ele`; a path ending in `.off` reads/writes OFF.
@@ -312,8 +315,41 @@ fn cmd_render3(o: &Opts) -> Result<String, String> {
     Ok(format!("rendered {} surface faces to {out}", b.num_boundary_faces()))
 }
 
+fn cmd_trace_smoke(o: &Opts) -> Result<String, String> {
+    let out = o
+        .out
+        .as_deref()
+        .or_else(|| o.positional.first().map(|s| s.as_str()))
+        .ok_or("trace-smoke needs an output path (positional or --out)")?;
+    let mesh = generators::perturbed_grid(o.nx.max(8), o.ny.max(8), o.jitter, o.seed);
+    let params =
+        lms_smooth::SmoothParams::paper().with_smart(true).with_max_iters(4).with_tol(-1.0);
+    let engine =
+        lms_smooth::ResidentEngine::by_method(&mesh, params, 4, lms_part::PartitionMethod::Rcb);
+    let mut work = mesh;
+    let (report, recorder) = engine.smooth_profiled(&mut work, 2);
+    let json = lms_trace::chrome_trace_json(recorder.events());
+    let events = lms_trace::validate_chrome_trace(&json)
+        .map_err(|e| format!("freshly exported trace failed validation (bug): {e}"))?;
+    std::fs::write(out, &json).map_err(|e| format!("{out}: {e}"))?;
+    let breakdown = report.phase_breakdown.ok_or("profiled run attached no phase breakdown")?;
+    Ok(format!(
+        "wrote {out}: {events} span events, balanced; {} iterations smoothed\n{}",
+        report.iterations.len(),
+        breakdown.summary_table()
+    ))
+}
+
+fn cmd_trace_validate(o: &Opts) -> Result<String, String> {
+    let path = o.positional.first().ok_or("trace-validate needs a trace file path")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let events = lms_trace::validate_chrome_trace(&json).map_err(|e| format!("{path}: {e}"))?;
+    Ok(format!("{path}: valid chrome trace, {events} events, all B/E spans balanced"))
+}
+
 fn usage() -> &'static str {
-    "USAGE: lms-tool <generate|info|order|improve|render|generate3|info3|order3|render3> [options]\n\
+    "USAGE: lms-tool <generate|info|order|improve|render|generate3|info3|order3|render3\
+     |trace-smoke|trace-validate> [options]\n\
      run with a command and no arguments for its specific requirements;\n\
      see the crate docs for the full synopsis"
 }
@@ -341,6 +377,8 @@ fn main() -> ExitCode {
         "info3" => cmd_info3(&opts),
         "order3" => cmd_order3(&opts),
         "render3" => cmd_render3(&opts),
+        "trace-smoke" => cmd_trace_smoke(&opts),
+        "trace-validate" => cmd_trace_validate(&opts),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     };
     match result {
@@ -477,6 +515,24 @@ mod tests {
         assert!(cmd_info(&o).unwrap().contains("triangles"));
 
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trace_smoke_writes_a_valid_chrome_trace() {
+        let dir = std::env::temp_dir().join(format!("lms_trace_smoke_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("trace.json").to_string_lossy().to_string();
+        let o = parse(&args(&[&out, "--nx", "10", "--ny", "10"])).unwrap();
+        let msg = cmd_trace_smoke(&o).unwrap();
+        assert!(msg.contains("span events, balanced"), "{msg}");
+        assert!(msg.contains("interior"), "summary table missing: {msg}");
+        let o = parse(&args(&[&out])).unwrap();
+        let msg = cmd_trace_validate(&o).unwrap();
+        assert!(msg.contains("valid chrome trace"), "{msg}");
+        // a corrupted file must fail validation
+        std::fs::write(&out, "{not json").unwrap();
+        assert!(cmd_trace_validate(&o).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 
 use crate::common::{time_it, ExpConfig};
 use crate::table::{f, Table};
-use lms_dist::DistResidentEngine;
+use lms_dist::{DistResidentEngine, FtOptions};
 use lms_part::{MessagePlan, PartitionMethod};
 use lms_smooth::{ResidentEngine, SmoothParams};
 use std::fmt::Write as _;
@@ -94,6 +94,27 @@ pub fn dist(cfg: &ExpConfig) -> String {
          parallelism is bounded by host_cores = {host_cores})",
         if gate_ok { "yes" } else { "NO (bug!)" }
     );
+
+    // --- phase breakdown of one profiled distributed run ----------------
+    // wire v3: rank sweep timings ride back in every Report frame, the
+    // coordinator times its own routing, and the driver spans the phases
+    if let Some(named) = cfg.meshes().into_iter().next() {
+        let dist_engine =
+            DistResidentEngine::by_method(&named.mesh, params.clone(), PARTS, PartitionMethod::Rcb);
+        let mut work = named.mesh.clone();
+        if let Ok((report, _, recorder)) =
+            dist_engine.smooth_profiled(&mut work, &FtOptions::default())
+        {
+            let breakdown = report.phase_breakdown.expect("profiled run attaches a breakdown");
+            let _ = writeln!(
+                out,
+                "\nphase breakdown — {} ({PARTS} ranks, {} span events recorded):\n{}",
+                named.spec.name,
+                recorder.events().len(),
+                breakdown.summary_table()
+            );
+        }
+    }
     out
 }
 
@@ -116,5 +137,7 @@ mod tests {
         let out = dist(&tiny_cfg());
         assert!(out.contains("dist 4 ranks"), "{out}");
         assert!(out.contains("bitwise (coords + report): yes"), "gate must hold:\n{out}");
+        assert!(out.contains("phase breakdown"), "profiled section missing:\n{out}");
+        assert!(out.contains("interior"), "summary table missing phases:\n{out}");
     }
 }

@@ -51,6 +51,7 @@ pub const ALL: &[&str] = &[
     "engines",
     "hotpath",
     "partition",
+    "rebalance",
     "scaling",
     "dist",
 ];
@@ -78,6 +79,7 @@ pub fn run(name: &str, cfg: &ExpConfig) -> Option<String> {
         "engines" => scaling::engines(cfg),
         "hotpath" => performance::hotpath(cfg),
         "partition" => partition::partition(cfg),
+        "rebalance" => partition::rebalance(cfg),
         "scaling" => scaling::thread_scaling(cfg),
         "dist" => dist::dist(cfg),
         "opt" => extensions::opt_bound(cfg),
@@ -126,6 +128,6 @@ mod tests {
             assert!(!name.is_empty());
             assert!(seen.insert(name), "duplicate experiment name {name}");
         }
-        assert_eq!(ALL.len(), 38);
+        assert_eq!(ALL.len(), 39);
     }
 }

@@ -35,8 +35,9 @@ use lms_mesh::TriMesh;
 use lms_mesh3d::{ResidentEngine3, SmoothParams3, TetMesh};
 use lms_part::{Partition, PartitionMethod};
 use lms_smooth::domain::DomainConfig;
-use lms_smooth::transport::drive_resident_ft;
+use lms_smooth::transport::drive_resident_ft_with;
 use lms_smooth::{FtPolicy, FtStats, ResidentEngine, SmoothParams, SmoothReport};
+use lms_trace::{NullTrace, PhaseBreakdown, Recorder, TraceSink, TransportProfile};
 
 /// Knobs of a fault-tolerant distributed run.
 #[derive(Debug, Clone)]
@@ -50,6 +51,11 @@ pub struct FtOptions {
     /// Scripted fault injection — [`FaultPlan::none`] outside the chaos
     /// suite.
     pub faults: FaultPlan,
+    /// Phase profiling: ranks time their sweep phases and report them in
+    /// every `Report` frame; the coordinator times its routing work.
+    /// Observation only — coordinates and reports (minus the breakdown)
+    /// are bit-identical either way. Off by default.
+    pub profile: bool,
 }
 
 impl Default for FtOptions {
@@ -59,6 +65,7 @@ impl Default for FtOptions {
             // generous: a false stall positive costs a full recovery
             read_timeout_ms: 30_000,
             faults: FaultPlan::none(),
+            profile: false,
         }
     }
 }
@@ -114,6 +121,21 @@ impl DistResidentEngine {
         mesh: &mut TriMesh,
         options: &FtOptions,
     ) -> Result<(SmoothReport, FtStats), DistError> {
+        let (report, stats, _) = self.smooth_ft_with(mesh, options, &mut NullTrace)?;
+        Ok((report, stats))
+    }
+
+    /// [`smooth_ft`](Self::smooth_ft) with an explicit driver-side
+    /// [`TraceSink`], additionally returning the coordinator's
+    /// [`TransportProfile`] (all-zero unless `options.profile` is set).
+    /// The building block of [`smooth_profiled`](Self::smooth_profiled);
+    /// exposed so callers can plug custom sinks.
+    pub fn smooth_ft_with<S: TraceSink>(
+        &self,
+        mesh: &mut TriMesh,
+        options: &FtOptions,
+        sink: &mut S,
+    ) -> Result<(SmoothReport, FtStats, TransportProfile), DistError> {
         assert_eq!(
             mesh.num_vertices(),
             self.inner.partition().len(),
@@ -128,8 +150,9 @@ impl DistResidentEngine {
             self.inner.exchange_schedule(),
             options.read_timeout_ms,
             options.faults.clone(),
+            options.profile,
         )?;
-        let result = drive_resident_ft(
+        let result = drive_resident_ft_with(
             &dom,
             &cfg,
             self.inner.elem_weights(),
@@ -137,11 +160,13 @@ impl DistResidentEngine {
             &mut transport,
             mesh.coords_mut(),
             &options.policy,
+            sink,
         );
         match result {
-            Ok(ok) => {
+            Ok((report, stats)) => {
+                let profile = transport.take_profile();
                 transport.shutdown()?;
-                Ok(ok)
+                Ok((report, stats, profile))
             }
             Err(e) => {
                 // teardown diagnostics must not shadow the run's failure
@@ -149,6 +174,28 @@ impl DistResidentEngine {
                 Err(e)
             }
         }
+    }
+
+    /// Profiled fault-tolerant run: forces `options.profile`, records
+    /// every driver span into a [`Recorder`] and attaches the composed
+    /// [`PhaseBreakdown`] (driver spans + rank sweep phases + routing
+    /// matrix) to the report. The coordinates and every other report
+    /// field stay bit-identical to an unprofiled [`smooth_ft`] run; the
+    /// recorder is returned for chrome-trace export.
+    pub fn smooth_profiled(
+        &self,
+        mesh: &mut TriMesh,
+        options: &FtOptions,
+    ) -> Result<(SmoothReport, FtStats, Recorder), DistError> {
+        let mut opts = options.clone();
+        opts.profile = true;
+        let mut recorder = Recorder::new(0);
+        let (mut report, stats, profile) = self.smooth_ft_with(mesh, &opts, &mut recorder)?;
+        let mut breakdown = PhaseBreakdown::default();
+        breakdown.apply_span_totals(&recorder.span_totals());
+        breakdown.transport = profile;
+        report.phase_breakdown = Some(breakdown);
+        Ok((report, stats, recorder))
     }
 
     /// Distributed resident Gauss–Seidel smoothing with the default
@@ -222,6 +269,18 @@ impl DistResidentEngine3 {
         mesh: &mut TetMesh,
         options: &FtOptions,
     ) -> Result<(SmoothReport, FtStats), DistError> {
+        let (report, stats, _) = self.smooth_ft_with(mesh, options, &mut NullTrace)?;
+        Ok((report, stats))
+    }
+
+    /// [`smooth_ft`](Self::smooth_ft) with an explicit driver-side
+    /// [`TraceSink`] — the twin of [`DistResidentEngine::smooth_ft_with`].
+    pub fn smooth_ft_with<S: TraceSink>(
+        &self,
+        mesh: &mut TetMesh,
+        options: &FtOptions,
+        sink: &mut S,
+    ) -> Result<(SmoothReport, FtStats, TransportProfile), DistError> {
         assert_eq!(
             mesh.num_vertices(),
             self.inner.partition().len(),
@@ -236,8 +295,9 @@ impl DistResidentEngine3 {
             self.inner.exchange_schedule(),
             options.read_timeout_ms,
             options.faults.clone(),
+            options.profile,
         )?;
-        let result = drive_resident_ft(
+        let result = drive_resident_ft_with(
             &dom,
             &cfg,
             self.inner.elem_weights(),
@@ -245,17 +305,37 @@ impl DistResidentEngine3 {
             &mut transport,
             mesh.coords_mut(),
             &options.policy,
+            sink,
         );
         match result {
-            Ok(ok) => {
+            Ok((report, stats)) => {
+                let profile = transport.take_profile();
                 transport.shutdown()?;
-                Ok(ok)
+                Ok((report, stats, profile))
             }
             Err(e) => {
                 let _ = transport.shutdown();
                 Err(e)
             }
         }
+    }
+
+    /// Profiled fault-tolerant 3D run — the twin of
+    /// [`DistResidentEngine::smooth_profiled`].
+    pub fn smooth_profiled(
+        &self,
+        mesh: &mut TetMesh,
+        options: &FtOptions,
+    ) -> Result<(SmoothReport, FtStats, Recorder), DistError> {
+        let mut opts = options.clone();
+        opts.profile = true;
+        let mut recorder = Recorder::new(0);
+        let (mut report, stats, profile) = self.smooth_ft_with(mesh, &opts, &mut recorder)?;
+        let mut breakdown = PhaseBreakdown::default();
+        breakdown.apply_span_totals(&recorder.span_totals());
+        breakdown.transport = profile;
+        report.phase_breakdown = Some(breakdown);
+        Ok((report, stats, recorder))
     }
 
     /// Distributed resident 3D Gauss–Seidel smoothing; bit-identical to

@@ -20,8 +20,12 @@ pub enum DistError {
     /// status (exit code or terminating signal).
     RankExited { rank: u32, status: WaitStatus },
     /// A rank process is alive but produced no readable data within the
-    /// coordinator's `poll(2)` read timeout.
-    RankStalled { rank: u32, timeout_ms: i32 },
+    /// coordinator's `poll(2)` read timeout. `waited_ms` is the total
+    /// wall time the coordinator has spent polling this rank's stream
+    /// over the whole run, and `last_phase` names the last protocol
+    /// phase the rank completed (e.g. `color_step#3`) — together they
+    /// say *where* the rank wedged, not just that it did.
+    RankStalled { rank: u32, timeout_ms: i32, waited_ms: u64, last_phase: String },
     /// A rank's stream delivered a torn, corrupt, or undecodable frame
     /// (the silent-error half of the failure model — detected by the
     /// wire v2 checksum).
@@ -41,8 +45,12 @@ impl std::fmt::Display for DistError {
             DistError::RankExited { rank, status } => {
                 write!(f, "rank {rank} died mid-protocol ({status})")
             }
-            DistError::RankStalled { rank, timeout_ms } => {
-                write!(f, "rank {rank} stalled (no data within {timeout_ms}ms)")
+            DistError::RankStalled { rank, timeout_ms, waited_ms, last_phase } => {
+                write!(
+                    f,
+                    "rank {rank} stalled (no data within {timeout_ms}ms; \
+                     waited {waited_ms}ms total, last completed {last_phase})"
+                )
             }
             DistError::Wire { rank, error } => {
                 write!(f, "corrupt stream from rank {rank}: {error}")
@@ -83,7 +91,24 @@ mod tests {
                 DistError::RankExited { rank: 3, status: WaitStatus(9) },
                 "rank 3 died mid-protocol (killed by signal 9)",
             ),
-            (DistError::RankStalled { rank: 1, timeout_ms: 250 }, "250ms"),
+            (
+                DistError::RankStalled {
+                    rank: 1,
+                    timeout_ms: 250,
+                    waited_ms: 731,
+                    last_phase: "color_step#3".into(),
+                },
+                "250ms",
+            ),
+            (
+                DistError::RankStalled {
+                    rank: 1,
+                    timeout_ms: 250,
+                    waited_ms: 731,
+                    last_phase: "color_step#3".into(),
+                },
+                "last completed color_step#3",
+            ),
             (
                 DistError::Wire {
                     rank: 2,

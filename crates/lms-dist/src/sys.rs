@@ -245,15 +245,23 @@ impl std::fmt::Display for WaitStatus {
 /// the descriptor not becoming readable within `timeout_ms` surfaces as
 /// [`io::ErrorKind::TimedOut`] instead of blocking the coordinator
 /// forever on a stalled rank. A negative timeout disables the bound.
+///
+/// The reader also keeps a running total of the wall time spent inside
+/// `poll(2)` — the coordinator's *poll-wait* on this rank — which the
+/// profiling layer drains via [`take_waited_ns`](Self::take_waited_ns)
+/// and the stall diagnosis reads via [`waited_ns`](Self::waited_ns).
+/// The accounting is a plain field bump around a syscall that already
+/// dominates it; it stays on even when profiling is off.
 #[derive(Debug)]
 pub struct TimeoutReader {
     fd: Fd,
     timeout_ms: i32,
+    waited_ns: u64,
 }
 
 impl TimeoutReader {
     pub fn new(fd: Fd, timeout_ms: i32) -> Self {
-        TimeoutReader { fd, timeout_ms }
+        TimeoutReader { fd, timeout_ms, waited_ns: 0 }
     }
 
     /// The raw descriptor number (for a forked child shedding inherited
@@ -261,15 +269,32 @@ impl TimeoutReader {
     pub fn raw(&self) -> i32 {
         self.fd.raw()
     }
+
+    /// Cumulative nanoseconds spent blocked in `poll(2)` on this rank —
+    /// timed-out waits included.
+    pub fn waited_ns(&self) -> u64 {
+        self.waited_ns
+    }
+
+    /// Drain the poll-wait total (returns it and resets to zero), so the
+    /// profiler can attribute waits per protocol phase as deltas.
+    pub fn take_waited_ns(&mut self) -> u64 {
+        std::mem::take(&mut self.waited_ns)
+    }
 }
 
 impl Read for TimeoutReader {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        if self.timeout_ms >= 0 && !wait_readable(self.fd.raw(), self.timeout_ms)? {
-            return Err(io::Error::new(
-                io::ErrorKind::TimedOut,
-                format!("pipe not readable within {}ms", self.timeout_ms),
-            ));
+        if self.timeout_ms >= 0 {
+            let t0 = lms_trace::now_ns();
+            let readable = wait_readable(self.fd.raw(), self.timeout_ms);
+            self.waited_ns += lms_trace::now_ns().saturating_sub(t0);
+            if !readable? {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("pipe not readable within {}ms", self.timeout_ms),
+                ));
+            }
         }
         self.fd.read(buf)
     }
@@ -327,6 +352,10 @@ mod tests {
         let mut buf = [0u8; 1];
         let err = r.read(&mut buf).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        // the timed-out poll is charged to the poll-wait total
+        assert!(r.waited_ns() >= 30_000_000, "waited {}ns", r.waited_ns());
+        assert!(r.take_waited_ns() > 0);
+        assert_eq!(r.waited_ns(), 0);
         // written data still flows through
         w.write_all(&[9]).unwrap();
         r.read_exact(&mut buf).unwrap();

@@ -61,6 +61,7 @@ use lms_part::{ExchangeSchedule, MessagePlan};
 use lms_smooth::domain::{DomainConfig, DomainPoint, SmoothDomain};
 use lms_smooth::resident::{ResidentBlock, ResidentRank};
 use lms_smooth::{ExchangeVolume, FtResidentTransport};
+use lms_trace::{now_ns, RankPhaseNanos, TransportProfile};
 use std::io::{self, BufReader, BufWriter, Write};
 
 /// The reply the coordinator is owed on a rank's stream, if any —
@@ -92,6 +93,10 @@ struct RankChannel {
     /// during failure diagnosis) — don't reap twice, and never signal a
     /// pid that may have been recycled.
     reaped: bool,
+    /// Last protocol phase this rank completed, `(name, iteration)` —
+    /// the coordinator's answer to "where did it wedge?" when the rank
+    /// stalls. Reset by a recovery respawn along with the channel.
+    last_phase: (&'static str, u32),
 }
 
 /// The forked-process implementation of
@@ -114,6 +119,27 @@ pub struct ProcessTransport<'a, const C: usize, D: SmoothDomain<C>> {
     faults: FaultPlan,
     read_timeout_ms: i32,
     shut_down: bool,
+    /// Profiling enabled: the handshake tells ranks to time their sweep
+    /// phases, and the coordinator times its own encode/decode/forward
+    /// work. Off by default — the unprofiled wire traffic is
+    /// byte-identical either way except for the Hello flag, and the
+    /// sweep arithmetic is untouched in both modes.
+    profile: bool,
+    /// Per-rank sweep-phase totals accumulated from `Report` frames
+    /// (survive recovery respawns: workers ship deltas).
+    phases: Vec<RankPhaseNanos>,
+    /// Coordinator time forwarding halo frames, `[src * parts + dst]`.
+    route_pair_ns: Vec<u64>,
+    /// Coordinator time serialising frames into rank pipes (includes
+    /// the forwarding charged to `route_pair_ns`).
+    encode_ns: u64,
+    /// Coordinator time reading + decoding frames, poll-wait excluded.
+    decode_ns: u64,
+    /// Coordinator time blocked in `poll(2)` waiting on rank streams.
+    poll_wait_ns: u64,
+    /// Coordinator-side iteration counter (interior phases driven), the
+    /// iteration coordinate of `RankChannel::last_phase`.
+    cur_iter: u32,
 }
 
 impl<'a, const C: usize, D: SmoothDomain<C>> ProcessTransport<'a, C, D> {
@@ -125,7 +151,9 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ProcessTransport<'a, C, D> {
     /// read (negative disables the bound); `faults` is the
     /// test-injection script (use [`FaultPlan::none`] for production).
     /// On failure every already-forked child is killed and reaped before
-    /// the error returns.
+    /// the error returns. `profile` turns on phase timing on both sides
+    /// of the wire (rank sweeps and coordinator routing) — observation
+    /// only, the computed coordinates are bit-identical either way.
     pub fn spawn(
         dom: &'a D,
         cfg: &DomainConfig,
@@ -133,6 +161,7 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ProcessTransport<'a, C, D> {
         schedule: &'a ExchangeSchedule,
         read_timeout_ms: i32,
         faults: FaultPlan,
+        profile: bool,
     ) -> Result<Self, DistError> {
         if faults.fail_spawn {
             return Err(DistError::Spawn(io::Error::other("injected spawn failure")));
@@ -150,6 +179,13 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ProcessTransport<'a, C, D> {
             faults,
             read_timeout_ms,
             shut_down: false,
+            profile,
+            phases: vec![RankPhaseNanos::default(); k],
+            route_pair_ns: vec![0; k * k],
+            encode_ns: 0,
+            decode_ns: 0,
+            poll_wait_ns: 0,
+            cur_iter: 0,
         };
         for p in 0..k {
             match transport.spawn_rank(p as u32, true) {
@@ -225,9 +261,14 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ProcessTransport<'a, C, D> {
         let to_fd = to_rank.raw();
         let from_fd = from_rank.raw();
         let mut to_rank = BufWriter::new(to_rank);
-        Frame::Hello { version: WIRE_VERSION, dim: <D::Point as DomainPoint>::DIM as u8, rank: p }
-            .write_to(&mut to_rank)
-            .map_err(DistError::Spawn)?;
+        Frame::Hello {
+            version: WIRE_VERSION,
+            dim: <D::Point as DomainPoint>::DIM as u8,
+            rank: p,
+            profile: self.profile,
+        }
+        .write_to(&mut to_rank)
+        .map_err(DistError::Spawn)?;
         to_rank.flush().map_err(DistError::Spawn)?;
         Ok(RankChannel {
             pid,
@@ -237,6 +278,7 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ProcessTransport<'a, C, D> {
             from_fd,
             pending: Pending::None,
             reaped: false,
+            last_phase: ("spawn", 0),
         })
     }
 
@@ -272,7 +314,13 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ProcessTransport<'a, C, D> {
                         DistError::RankExited { rank, status: WaitStatus(status) }
                     }
                     _ if io_err.kind() == io::ErrorKind::TimedOut => {
-                        DistError::RankStalled { rank, timeout_ms: self.read_timeout_ms }
+                        let (phase, iter) = self.ranks[p].last_phase;
+                        DistError::RankStalled {
+                            rank,
+                            timeout_ms: self.read_timeout_ms,
+                            waited_ms: self.ranks[p].from_rank.get_ref().waited_ns() / 1_000_000,
+                            last_phase: format!("{phase}#{iter}"),
+                        }
                     }
                     _ => DistError::Wire { rank, error: WireError::Io(io_err) },
                 }
@@ -305,8 +353,20 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ProcessTransport<'a, C, D> {
         DistError::Protocol { rank: p as u32, frame }
     }
 
+    /// Record that rank `p` completed protocol phase `name` at the
+    /// current iteration — plain field writes, no clock, kept current
+    /// even unprofiled so a stall diagnosis can always say where.
+    fn mark(&mut self, p: usize, name: &'static str) {
+        self.ranks[p].last_phase = (name, self.cur_iter);
+    }
+
     fn send(&mut self, p: usize, frame: &Frame) -> Result<(), DistError> {
-        match frame.write_to(&mut self.ranks[p].to_rank) {
+        let t0 = if self.profile { now_ns() } else { 0 };
+        let result = frame.write_to(&mut self.ranks[p].to_rank);
+        if self.profile {
+            self.encode_ns += now_ns().saturating_sub(t0);
+        }
+        match result {
             Ok(()) => Ok(()),
             Err(e) => Err(self.diagnose_write(p, e)),
         }
@@ -320,7 +380,41 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ProcessTransport<'a, C, D> {
     }
 
     fn recv(&mut self, p: usize) -> Result<Frame, DistError> {
-        Frame::read_from(&mut self.ranks[p].from_rank).map_err(|e| self.diagnose_read(p, e))
+        if !self.profile {
+            return Frame::read_from(&mut self.ranks[p].from_rank)
+                .map_err(|e| self.diagnose_read(p, e));
+        }
+        // split the receive wall time into poll-wait (rank not ready)
+        // and decode (bytes moved + frames parsed), using the
+        // TimeoutReader's poll accounting as the wait component
+        let waited_before = self.ranks[p].from_rank.get_ref().waited_ns();
+        let t0 = now_ns();
+        let result = Frame::read_from(&mut self.ranks[p].from_rank);
+        let wall = now_ns().saturating_sub(t0);
+        let waited = self.ranks[p].from_rank.get_ref().waited_ns().saturating_sub(waited_before);
+        self.poll_wait_ns += waited;
+        self.decode_ns += wall.saturating_sub(waited);
+        result.map_err(|e| self.diagnose_read(p, e))
+    }
+
+    /// Drain the coordinator-side transport profile: per-rank sweep
+    /// phases (as reported over the wire), the forwarding time matrix
+    /// and the encode/decode/poll-wait totals. All fields reset to zero;
+    /// meaningful only after a run spawned with `profile = true`.
+    pub fn take_profile(&mut self) -> TransportProfile {
+        TransportProfile {
+            rank_phases: std::mem::replace(
+                &mut self.phases,
+                vec![RankPhaseNanos::default(); self.ranks.len()],
+            ),
+            route_pair_ns: std::mem::replace(
+                &mut self.route_pair_ns,
+                vec![0; self.ranks.len() * self.ranks.len()],
+            ),
+            encode_ns: std::mem::take(&mut self.encode_ns),
+            decode_ns: std::mem::take(&mut self.decode_ns),
+            poll_wait_ns: std::mem::take(&mut self.poll_wait_ns),
+        }
     }
 
     /// Send the per-block slices of a global `(coords, scores)` state to
@@ -338,6 +432,7 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ProcessTransport<'a, C, D> {
                 block.elem_globals().iter().map(|&t| scores[t as usize]).collect();
             self.send(p, &Frame::Gather { coords: flat, scores: block_scores })?;
             self.flush(p)?;
+            self.mark(p, "gather");
         }
         Ok(())
     }
@@ -470,9 +565,11 @@ impl<const C: usize, D: SmoothDomain<C>> FtResidentTransport<D::Point>
     }
 
     fn try_interior_phase(&mut self) -> Result<(), DistError> {
+        self.cur_iter += 1;
         for p in 0..self.ranks.len() {
             self.send(p, &Frame::Interior)?;
             self.flush(p)?;
+            self.mark(p, "interior");
         }
         Ok(())
     }
@@ -508,6 +605,7 @@ impl<const C: usize, D: SmoothDomain<C>> FtResidentTransport<D::Point>
                     }
                     Frame::RoundDone => {
                         self.ranks[p].pending = Pending::None;
+                        self.mark(p, "color_step");
                         break;
                     }
                     f => return Err(self.protocol_error(p, &f)),
@@ -517,13 +615,27 @@ impl<const C: usize, D: SmoothDomain<C>> FtResidentTransport<D::Point>
         // forward phase: every rank is back in its read loop, so these
         // writes drain promptly; FIFO order per pipe keeps them ahead of
         // the next control frame
-        for q in 0..self.ranks.len() {
+        let parts = self.ranks.len();
+        for q in 0..parts {
             let mut frames = std::mem::take(&mut self.forward[q]);
             if frames.is_empty() {
                 continue;
             }
             for frame in &frames {
-                self.send(q, frame)?;
+                if self.profile {
+                    // forwarded frames carry their source part; charge
+                    // the write to the (src, dst) routing cell (also
+                    // counted in the encode total by `send`)
+                    let src = match frame {
+                        Frame::HaloDelta { part, .. } => *part as usize,
+                        _ => q,
+                    };
+                    let t0 = now_ns();
+                    self.send(q, frame)?;
+                    self.route_pair_ns[src * parts + q] += now_ns().saturating_sub(t0);
+                } else {
+                    self.send(q, frame)?;
+                }
             }
             self.flush(q)?;
             frames.clear();
@@ -540,9 +652,13 @@ impl<const C: usize, D: SmoothDomain<C>> FtResidentTransport<D::Point>
         }
         for p in 0..self.ranks.len() {
             match self.recv(p)? {
-                Frame::Report { delta } => {
+                Frame::Report { delta, phases } => {
                     self.ranks[p].pending = Pending::None;
+                    if self.profile {
+                        self.phases[p].accumulate(phases);
+                    }
                     deltas.push(delta);
+                    self.mark(p, "finish");
                 }
                 f => return Err(self.protocol_error(p, &f)),
             }
@@ -569,6 +685,7 @@ impl<const C: usize, D: SmoothDomain<C>> FtResidentTransport<D::Point>
                     for (&v, &point) in owned.iter().zip(&points) {
                         coords[v as usize] = point;
                     }
+                    self.mark(p, "scatter");
                 }
                 f => return Err(self.protocol_error(p, &f)),
             }
@@ -600,6 +717,7 @@ impl<const C: usize, D: SmoothDomain<C>> FtResidentTransport<D::Point>
                     for (&v, &point) in owned.iter().zip(&points) {
                         scratch[v as usize] = point;
                     }
+                    self.mark(p, "checkpoint");
                 }
                 f => return Err(self.protocol_error(p, &f)),
             }

@@ -94,10 +94,13 @@ fn serve<const C: usize, D: SmoothDomain<C>>(
     let mut wr = FrameWriter { inner: BufWriter::new(output), faults, sent: 0 };
 
     match Frame::read_from(&mut rd)? {
-        Frame::Hello { version, dim, rank: id } => {
+        Frame::Hello { version, dim, rank: id, profile } => {
             assert_eq!(version, WIRE_VERSION, "wire version mismatch");
             assert_eq!(dim as usize, <D::Point as DomainPoint>::DIM, "dimension mismatch");
             assert_eq!(id, rank.part(), "rank id mismatch");
+            // profiled runs time every sweep phase rank-side and ship the
+            // totals back as deltas in each Report frame
+            rank.set_timing(profile);
         }
         f => panic!("expected Hello handshake, got {f:?}"),
     }
@@ -142,7 +145,11 @@ fn serve<const C: usize, D: SmoothDomain<C>>(
             Frame::FinishIteration => {
                 faults.hit(FaultPoint::Finish { iter });
                 rank.finalize_iteration();
-                wr.put(&Frame::Report { delta: rank.take_delta() })?;
+                // phase timings ride as *deltas* (take_phases drains), so
+                // a respawned rank's report never double-counts and the
+                // coordinator can simply accumulate; all-zero when the
+                // handshake did not request profiling
+                wr.put(&Frame::Report { delta: rank.take_delta(), phases: rank.take_phases() })?;
                 wr.flush()?;
             }
             Frame::ScatterRequest => {

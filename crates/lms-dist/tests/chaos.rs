@@ -314,6 +314,7 @@ fn shutdown_surfaces_abnormal_rank_death() {
         inner.exchange_schedule(),
         5_000,
         FaultPlan::kill_at(1, FaultPoint::Interior { iter: 1 }),
+        false,
     )
     .expect("spawn");
     transport.try_gather(coords, &scores).expect("gather");

@@ -1,0 +1,163 @@
+//! The observability contract: instrumentation is observation-only.
+//!
+//! Every test here runs the same smoothing twice — once untraced, once
+//! with profiling and a span recorder attached — and demands the traced
+//! run be **bit-identical** in coordinates *and* report (minus the
+//! attached `phase_breakdown`) across both transports and both
+//! dimensions. The chaos variant proves the span stack survives a rank
+//! kill + recovery without corrupting its nesting, and every recorded
+//! stream must export to valid chrome-trace JSON.
+
+use lms_dist::{DistResidentEngine, DistResidentEngine3, FaultPlan, FaultPoint, FtOptions};
+use lms_mesh::TriMesh;
+use lms_mesh3d::SmoothParams3;
+use lms_part::PartitionMethod;
+use lms_smooth::{SmoothParams, SmoothReport};
+use lms_trace::{chrome_trace_json, validate_chrome_trace, Recorder};
+
+fn mesh_2d() -> TriMesh {
+    lms_mesh::generators::perturbed_grid(18, 16, 0.35, 11)
+}
+
+fn params_2d(max_iters: usize) -> SmoothParams {
+    SmoothParams::paper().with_smart(true).with_max_iters(max_iters).with_tol(-1.0)
+}
+
+/// Strip the profiling attachment so the rest of the report can be
+/// compared bit for bit against an unprofiled run.
+fn without_breakdown(report: &SmoothReport) -> SmoothReport {
+    let mut stripped = report.clone();
+    stripped.phase_breakdown = None;
+    stripped
+}
+
+/// The recorder's stream must be balanced, span-name complete, and
+/// export to chrome-trace JSON our own validator accepts.
+fn assert_exportable(recorder: &Recorder) {
+    assert!(recorder.is_balanced(), "span stream must balance");
+    assert_eq!(recorder.open_spans(), 0);
+    let json = chrome_trace_json(recorder.events());
+    let events = validate_chrome_trace(&json).expect("exported trace must validate");
+    assert_eq!(events, recorder.events().len());
+}
+
+#[test]
+fn profiled_in_process_2d_is_bit_identical_to_untraced() {
+    let mesh = mesh_2d();
+    let engine = DistResidentEngine::by_method(&mesh, params_2d(3), 4, PartitionMethod::Rcb);
+    let mut plain = mesh.clone();
+    let plain_report = engine.inner().smooth(&mut plain, 2);
+    assert!(plain_report.phase_breakdown.is_none(), "unprofiled runs carry no breakdown");
+
+    let mut traced = mesh.clone();
+    let (traced_report, recorder) = engine.inner().smooth_profiled(&mut traced, 2);
+    assert_eq!(traced.coords(), plain.coords(), "tracing must not move a single bit");
+    assert_eq!(without_breakdown(&traced_report), plain_report);
+
+    let breakdown = traced_report.phase_breakdown.expect("profiled run attaches a breakdown");
+    assert!(breakdown.interior_ns > 0, "interior spans must have been timed");
+    assert_eq!(breakdown.transport.rank_phases.len(), 4);
+    assert!(
+        breakdown.transport.rank_phases.iter().any(|p| p.sweep_ns() > 0),
+        "rank-side sweep timing must be live"
+    );
+    assert!(!breakdown.summary_table().is_empty());
+    assert_exportable(&recorder);
+}
+
+#[test]
+fn profiled_in_process_3d_is_bit_identical_to_untraced() {
+    let mesh = lms_mesh3d::generators::perturbed_tet_grid(7, 6, 7, 0.35, 9);
+    let params = SmoothParams3::paper().with_smart(true).with_max_iters(2).with_tol(-1.0);
+    let engine = DistResidentEngine3::by_method(&mesh, params, 4, PartitionMethod::Rcb);
+    let mut plain = mesh.clone();
+    let plain_report = engine.inner().smooth(&mut plain, 2);
+
+    let mut traced = mesh.clone();
+    let (traced_report, recorder) = engine.inner().smooth_profiled(&mut traced, 2);
+    assert_eq!(traced.coords(), plain.coords());
+    assert_eq!(without_breakdown(&traced_report), plain_report);
+    assert!(traced_report.phase_breakdown.is_some());
+    assert_exportable(&recorder);
+}
+
+#[test]
+fn profiled_multi_process_2d_is_bit_identical_to_untraced() {
+    let mesh = mesh_2d();
+    let engine = DistResidentEngine::by_method(&mesh, params_2d(3), 4, PartitionMethod::Rcb);
+    let opts = FtOptions { read_timeout_ms: 5_000, ..FtOptions::default() };
+
+    let mut plain = mesh.clone();
+    let (plain_report, _) = engine.smooth_ft(&mut plain, &opts).expect("untraced run");
+    assert!(plain_report.phase_breakdown.is_none());
+
+    let mut traced = mesh.clone();
+    let (traced_report, stats, recorder) =
+        engine.smooth_profiled(&mut traced, &opts).expect("profiled run");
+    assert_eq!(traced.coords(), plain.coords(), "profiling must not move a single bit");
+    assert_eq!(without_breakdown(&traced_report), plain_report);
+    assert!(stats.recoveries.is_empty());
+
+    let breakdown = traced_report.phase_breakdown.expect("breakdown attached");
+    // the wire v3 Report phases must have flowed back from the rank
+    // processes to the coordinator
+    assert_eq!(breakdown.transport.rank_phases.len(), 4);
+    assert!(
+        breakdown.transport.rank_phases.iter().all(|p| p.sweep_ns() > 0),
+        "every rank must report sweep time over the wire: {:?}",
+        breakdown.transport.rank_phases
+    );
+    assert!(breakdown.per_part_sweep_ns().iter().all(|&ns| ns > 0));
+    assert_exportable(&recorder);
+}
+
+#[test]
+fn profiled_multi_process_3d_is_bit_identical_to_untraced() {
+    let mesh = lms_mesh3d::generators::perturbed_tet_grid(7, 6, 7, 0.35, 9);
+    let params = SmoothParams3::paper().with_smart(true).with_max_iters(2).with_tol(-1.0);
+    let engine = DistResidentEngine3::by_method(&mesh, params, 4, PartitionMethod::Rcb);
+    let opts = FtOptions { read_timeout_ms: 5_000, ..FtOptions::default() };
+
+    let mut plain = mesh.clone();
+    let (plain_report, _) = engine.smooth_ft(&mut plain, &opts).expect("untraced run");
+
+    let mut traced = mesh.clone();
+    let (traced_report, _, recorder) =
+        engine.smooth_profiled(&mut traced, &opts).expect("profiled run");
+    assert_eq!(traced.coords(), plain.coords());
+    assert_eq!(without_breakdown(&traced_report), plain_report);
+    assert!(traced_report.phase_breakdown.is_some());
+    assert_exportable(&recorder);
+}
+
+/// The chaos variant: a rank killed mid-run while profiling is on. The
+/// recovery must stay bit-identical to the failure-free oracle AND the
+/// span stream must come back balanced — the driver closes every span
+/// after capturing the fallible result, so a kill/respawn cycle can
+/// never leave a dangling begin — with `recover` spans present.
+#[test]
+fn profiled_run_survives_kill_and_recovery_with_balanced_spans() {
+    let mesh = mesh_2d();
+    let engine = DistResidentEngine::by_method(&mesh, params_2d(3), 4, PartitionMethod::Rcb);
+    let mut oracle = mesh.clone();
+    let oracle_report = engine.inner().smooth(&mut oracle, 2);
+
+    let opts = FtOptions {
+        read_timeout_ms: 5_000,
+        faults: FaultPlan::kill_at(1, FaultPoint::Color { iter: 2, color: 0 }),
+        ..FtOptions::default()
+    };
+    let mut work = mesh.clone();
+    let (report, stats, recorder) =
+        engine.smooth_profiled(&mut work, &opts).expect("profiled chaos run");
+    assert_eq!(work.coords(), oracle.coords(), "recovery must stay bit-identical under tracing");
+    assert_eq!(without_breakdown(&report), oracle_report);
+    assert_eq!(stats.recoveries.len(), 1, "{:?}", stats.recoveries);
+
+    assert_exportable(&recorder);
+    let totals = recorder.span_totals();
+    let names: Vec<&str> = totals.iter().map(|&(n, _, _)| n).collect();
+    assert!(names.contains(&"recover"), "recovery must be spanned: {names:?}");
+    let breakdown = report.phase_breakdown.expect("breakdown attached");
+    assert!(breakdown.recover_ns > 0, "recover time must land in the breakdown");
+}

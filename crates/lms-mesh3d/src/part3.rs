@@ -24,7 +24,8 @@ use lms_smooth::partitioned::{
     build_part_blocks, interface_classes, part_major_order, smooth_partitioned_on, PartBlock,
 };
 use lms_smooth::resident::{
-    build_resident_blocks, resident_part_major_order, smooth_resident_on, ResidentBlock,
+    build_resident_blocks, resident_part_major_order, smooth_resident_on,
+    smooth_resident_profiled_on, ResidentBlock,
 };
 use lms_smooth::SmoothReport;
 
@@ -227,6 +228,36 @@ impl ResidentEngine3 {
         let pool = self.engine.pool.get(num_threads);
         let dom = self.engine.domain();
         smooth_resident_on(
+            &dom,
+            &self.engine.params().domain_config(),
+            &self.blocks,
+            &self.elem_w,
+            &self.interface_classes,
+            &self.schedule,
+            mesh.coords_mut(),
+            &pool,
+        )
+    }
+
+    /// [`smooth`](Self::smooth) with phase profiling: the driver records
+    /// its spans into the returned [`lms_trace::Recorder`] and the report
+    /// comes back with `phase_breakdown` populated — coordinates and all
+    /// other report fields bit-identical to the unprofiled run. The 3D
+    /// twin of [`lms_smooth::ResidentEngine::smooth_profiled`].
+    pub fn smooth_profiled(
+        &self,
+        mesh: &mut TetMesh,
+        num_threads: usize,
+    ) -> (SmoothReport, lms_trace::Recorder) {
+        assert!(num_threads >= 1, "need at least one thread");
+        assert_eq!(
+            mesh.num_vertices(),
+            self.engine.adjacency().num_vertices(),
+            "engine was built for a different mesh"
+        );
+        let pool = self.engine.pool.get(num_threads);
+        let dom = self.engine.domain();
+        smooth_resident_profiled_on(
             &dom,
             &self.engine.params().domain_config(),
             &self.blocks,

@@ -40,7 +40,8 @@ pub mod wire;
 
 pub use exchange::{ExchangeSchedule, MessagePlan};
 pub use methods::{
-    partition_coords, partition_mesh, sfc_chunk_assignment, vertex_area_weights, PartitionMethod,
+    measured_vertex_weights, partition_coords, partition_mesh, repartition_measured,
+    sfc_chunk_assignment, vertex_area_weights, PartitionMethod,
 };
 pub use partition::Partition;
 pub use stats::PartitionStats;

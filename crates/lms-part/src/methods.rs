@@ -77,6 +77,50 @@ pub fn vertex_area_weights(mesh: &TriMesh, adj: &Adjacency) -> Vec<f64> {
         .collect()
 }
 
+/// Per-vertex *measured-cost* weights from a profiled warm-up run: every
+/// vertex inherits its part's measured sweep time divided by the part's
+/// vertex count — the empirical nanoseconds-per-vertex of the region it
+/// currently lives in. Feeding these into
+/// [`lms_order::rcb_parts_weighted`] splits at *cost* medians instead of
+/// count medians, so the repartition equalises measured work even when
+/// per-vertex cost varies across the domain (graded meshes: interior
+/// valence, cache behaviour and interface density all shift with vertex
+/// density). Parts with no vertices weigh zero.
+pub fn measured_vertex_weights(
+    assignment: &[u32],
+    num_parts: usize,
+    per_part_sweep_ns: &[u64],
+) -> Vec<f64> {
+    assert_eq!(per_part_sweep_ns.len(), num_parts, "one sweep time per part");
+    let mut counts = vec![0usize; num_parts];
+    for &p in assignment {
+        counts[p as usize] += 1;
+    }
+    let per_vertex: Vec<f64> = (0..num_parts)
+        .map(|p| if counts[p] == 0 { 0.0 } else { per_part_sweep_ns[p] as f64 / counts[p] as f64 })
+        .collect();
+    assignment.iter().map(|&p| per_vertex[p as usize]).collect()
+}
+
+/// Re-partition `mesh` using measured per-part sweep times from a
+/// profiled warm-up run on `partition` — the *measured repartition* that
+/// closes the observability loop: profile → weight → re-split. The new
+/// decomposition splits at measured-cost medians
+/// ([`measured_vertex_weights`]); it is deterministic given the same
+/// timings and independent of the old partition's shape beyond the
+/// per-part cost attribution.
+pub fn repartition_measured(
+    mesh: &TriMesh,
+    adj: &Adjacency,
+    partition: &Partition,
+    per_part_sweep_ns: &[u64],
+) -> Partition {
+    let k = partition.num_parts() as usize;
+    let weights = measured_vertex_weights(partition.assignment(), k, per_part_sweep_ns);
+    let assignment = rcb_parts_weighted(mesh.coords(), &weights, k);
+    Partition::from_assignment(adj, assignment, k as u32)
+}
+
 /// Chunk an ordering into `k` balanced contiguous runs: the vertex at
 /// curve position `pos` goes to part `pos·k / n` (sizes within one).
 ///
@@ -210,6 +254,57 @@ mod tests {
         assert_eq!(
             partition_coords(m.coords(), 6, PartitionMethod::RcbWeighted),
             partition_coords(m.coords(), 6, PartitionMethod::Rcb),
+        );
+    }
+
+    #[test]
+    fn measured_weights_attribute_part_cost_per_vertex() {
+        // 6 vertices, 2 parts: part 0 {0,1,2} took 300ns, part 1 {3,4,5}
+        // took 600ns — so 100ns and 200ns per vertex respectively
+        let assignment = [0u32, 0, 0, 1, 1, 1];
+        let w = measured_vertex_weights(&assignment, 2, &[300, 600]);
+        assert_eq!(w, vec![100.0, 100.0, 100.0, 200.0, 200.0, 200.0]);
+        // an empty part contributes zero weight, not NaN
+        let w = measured_vertex_weights(&[1u32, 1], 2, &[500, 80]);
+        assert_eq!(w, vec![40.0, 40.0]);
+    }
+
+    #[test]
+    fn measured_repartition_shifts_vertices_toward_cheap_regions() {
+        // skew the measured cost: part holding the small-x (dense) half is
+        // reported 9x slower, so the repartition must shrink it
+        let m = graded_mesh();
+        let adj = Adjacency::build(&m);
+        let k = 4usize;
+        let before = partition_mesh(&m, &adj, k, PartitionMethod::Rcb);
+        // synthesize "measured" times: charge part p its vertex count
+        // times a density factor (small-x parts cost more per vertex)
+        let mut cost = vec![0u64; k];
+        for (v, &p) in before.assignment().iter().enumerate() {
+            let x = m.coords()[v].x;
+            let per_vertex = if x < 0.1 { 900 } else { 100 };
+            cost[p as usize] += per_vertex;
+        }
+        let after = repartition_measured(&m, &adj, &before, &cost);
+        assert_eq!(after.num_parts(), k as u32);
+        // deterministic
+        let again = repartition_measured(&m, &adj, &before, &cost);
+        assert_eq!(after.assignment(), again.assignment());
+        // the measured-cost imbalance (charging the same synthetic cost
+        // model to the new parts) must narrow strictly
+        let spread = |part: &Partition| -> (u64, u64) {
+            let mut per = vec![0u64; k];
+            for (v, &p) in part.assignment().iter().enumerate() {
+                let x = m.coords()[v].x;
+                per[p as usize] += if x < 0.1 { 900 } else { 100 };
+            }
+            (*per.iter().min().unwrap(), *per.iter().max().unwrap())
+        };
+        let (blo, bhi) = spread(&before);
+        let (alo, ahi) = spread(&after);
+        assert!(
+            ahi - alo < bhi - blo,
+            "measured repartition must narrow the cost spread: {blo}..{bhi} -> {alo}..{ahi}"
         );
     }
 

@@ -6,19 +6,19 @@
 //!
 //! | frame | direction | payload |
 //! |---|---|---|
-//! | [`Frame::Hello`] | coordinator → rank | magic, version, coordinate dimension, rank id |
+//! | [`Frame::Hello`] | coordinator → rank | magic, version, coordinate dimension, rank id, profiling flag |
 //! | [`Frame::Gather`] | coordinator → rank | the rank's owned+halo coordinates and local element scores (the one full gather) |
 //! | [`Frame::Interior`] | coordinator → rank | run the interior sweep phase of the current iteration |
 //! | [`Frame::ColorStep`] | coordinator → rank | apply pending halo deltas, sweep one interface color class, emit moved deltas |
 //! | [`Frame::HaloDelta`] | both | one coalesced (source part → destination part) batch of moved-vertex coordinates |
 //! | [`Frame::RoundDone`] | rank → coordinator | end marker of a rank's delta output for one color step |
 //! | [`Frame::FinishIteration`] | coordinator → rank | apply the last round's deltas, re-score, report |
-//! | [`Frame::Report`] | rank → coordinator | the rank's per-iteration `Σ w_t·Δq_t` stat delta |
+//! | [`Frame::Report`] | rank → coordinator | the rank's per-iteration `Σ w_t·Δq_t` stat delta, plus its phase-timing deltas when profiling |
 //! | [`Frame::ScatterRequest`] | coordinator → rank | send your owned coordinates back (the one full scatter) |
 //! | [`Frame::Scatter`] | rank → coordinator | the rank's owned coordinates |
 //! | [`Frame::Shutdown`] | coordinator → rank | exit the worker loop |
 //!
-//! Encoding (wire v2): every frame is `[u32 LE payload length][u32 LE
+//! Encoding (wire v3): every frame is `[u32 LE payload length][u32 LE
 //! CRC32c][u8 tag][fields…]`, integers little-endian, booleans one byte,
 //! and **every `f64` as its exact IEEE-754 bit pattern**
 //! ([`f64::to_bits`], little-endian) — NaN payloads, negative zero and
@@ -39,6 +39,7 @@
 //! [`Frame::HaloDelta`] carries the destination-local slot ids alongside,
 //! so a receiver writes straight into its resident block buffer.
 
+use lms_trace::RankPhaseNanos;
 use std::io::{Read, Write};
 
 /// Magic number opening every [`Frame::Hello`] (`b"LMSW"`, little-endian).
@@ -47,8 +48,9 @@ pub const WIRE_MAGIC: u32 = u32::from_le_bytes(*b"LMSW");
 /// Current wire-format version. Bump on any frame-layout change; a
 /// coordinator and a rank negotiate nothing — decoding a mismatched
 /// [`Frame::Hello`] fails with [`WireError::Version`]. Version 2 added
-/// the per-frame CRC32c checksum.
-pub const WIRE_VERSION: u16 = 2;
+/// the per-frame CRC32c checksum; version 3 added the profiling flag to
+/// [`Frame::Hello`] and the per-phase timing deltas to [`Frame::Report`].
+pub const WIRE_VERSION: u16 = 3;
 
 /// Hard cap on one frame's payload (64 MiB): a corrupted length prefix
 /// must not turn into an unbounded allocation.
@@ -138,9 +140,11 @@ fn frame_crc(len: u32, payload: &[u8]) -> u32 {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Frame {
     /// Connection handshake: wire magic + version, the coordinate
-    /// dimension of every coordinate payload on this connection, and the
-    /// receiving rank's id.
-    Hello { version: u16, dim: u8, rank: u32 },
+    /// dimension of every coordinate payload on this connection, the
+    /// receiving rank's id, and whether the rank should self-time its
+    /// sweep phases (wire v3; profiled ranks fill the timing fields of
+    /// every [`Frame::Report`] they send).
+    Hello { version: u16, dim: u8, rank: u32, profile: bool },
     /// The one full gather: the rank's owned+halo coordinates (flat,
     /// `dim` components per point, owned then halo in block-local order)
     /// and its local elements' `(quality, positively_oriented)` scores.
@@ -161,8 +165,12 @@ pub enum Frame {
     /// Apply the last round's deltas, run the end-of-iteration re-score,
     /// and send a [`Frame::Report`].
     FinishIteration,
-    /// The rank's per-iteration quality-stat delta `Σ w_t·Δq_t`.
-    Report { delta: f64 },
+    /// The rank's per-iteration quality-stat delta `Σ w_t·Δq_t`, plus
+    /// (wire v3) its phase-timing **deltas** since the previous report —
+    /// all-zero unless the rank was profiled via [`Frame::Hello`].
+    /// Shipping deltas rather than running totals keeps coordinator-side
+    /// accounting correct across rank respawns.
+    Report { delta: f64, phases: RankPhaseNanos },
     /// Send your owned coordinates back.
     ScatterRequest,
     /// The one full scatter: the rank's owned coordinates (flat).
@@ -233,6 +241,10 @@ fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
 fn put_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_bits().to_le_bytes());
 }
@@ -273,6 +285,10 @@ impl<'a> Payload<'a> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
     fn f64(&mut self) -> Result<f64, WireError> {
         Ok(f64::from_bits(u64::from_le_bytes(self.take(8)?.try_into().unwrap())))
     }
@@ -306,12 +322,13 @@ impl Frame {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(16);
         match self {
-            Frame::Hello { version, dim, rank } => {
+            Frame::Hello { version, dim, rank, profile } => {
                 out.push(TAG_HELLO);
                 put_u32(&mut out, WIRE_MAGIC);
                 out.extend_from_slice(&version.to_le_bytes());
                 out.push(*dim);
                 put_u32(&mut out, *rank);
+                out.push(*profile as u8);
             }
             Frame::Gather { coords, scores } => {
                 out.push(TAG_GATHER);
@@ -338,9 +355,13 @@ impl Frame {
             }
             Frame::RoundDone => out.push(TAG_ROUND_DONE),
             Frame::FinishIteration => out.push(TAG_FINISH_ITERATION),
-            Frame::Report { delta } => {
+            Frame::Report { delta, phases } => {
                 out.push(TAG_REPORT);
                 put_f64(&mut out, *delta);
+                put_u64(&mut out, phases.interior_ns);
+                put_u64(&mut out, phases.color_ns);
+                put_u64(&mut out, phases.finish_ns);
+                put_u64(&mut out, phases.moved);
             }
             Frame::ScatterRequest => out.push(TAG_SCATTER_REQUEST),
             Frame::Scatter { coords } => {
@@ -368,7 +389,14 @@ impl Frame {
                 if version != WIRE_VERSION {
                     return Err(WireError::Version { got: version });
                 }
-                Frame::Hello { version, dim: p.u8()?, rank: p.u32()? }
+                let dim = p.u8()?;
+                let rank = p.u32()?;
+                let profile = match p.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::BadLength),
+                };
+                Frame::Hello { version, dim, rank, profile }
             }
             TAG_GATHER => {
                 let coords = p.f64s()?;
@@ -395,7 +423,16 @@ impl Frame {
             }
             TAG_ROUND_DONE => Frame::RoundDone,
             TAG_FINISH_ITERATION => Frame::FinishIteration,
-            TAG_REPORT => Frame::Report { delta: p.f64()? },
+            TAG_REPORT => {
+                let delta = p.f64()?;
+                let phases = RankPhaseNanos {
+                    interior_ns: p.u64()?,
+                    color_ns: p.u64()?,
+                    finish_ns: p.u64()?,
+                    moved: p.u64()?,
+                };
+                Frame::Report { delta, phases }
+            }
             TAG_SCATTER_REQUEST => Frame::ScatterRequest,
             TAG_SCATTER => Frame::Scatter { coords: p.f64s()? },
             TAG_SHUTDOWN => Frame::Shutdown,
@@ -483,9 +520,14 @@ mod tests {
         assert_eq!(payload, back.encode());
     }
 
+    fn zero_phases() -> RankPhaseNanos {
+        RankPhaseNanos::default()
+    }
+
     #[test]
     fn every_frame_type_roundtrips() {
-        roundtrip(Frame::Hello { version: WIRE_VERSION, dim: 3, rank: 7 });
+        roundtrip(Frame::Hello { version: WIRE_VERSION, dim: 3, rank: 7, profile: false });
+        roundtrip(Frame::Hello { version: WIRE_VERSION, dim: 2, rank: 0, profile: true });
         roundtrip(Frame::Gather {
             coords: vec![0.5, -1.25, f64::NAN, -0.0, f64::INFINITY],
             scores: vec![(0.75, true), (f64::NAN, false), (-0.0, true)],
@@ -499,8 +541,17 @@ mod tests {
         });
         roundtrip(Frame::RoundDone);
         roundtrip(Frame::FinishIteration);
-        roundtrip(Frame::Report { delta: -0.0 });
-        roundtrip(Frame::Report { delta: f64::NAN });
+        roundtrip(Frame::Report { delta: -0.0, phases: zero_phases() });
+        roundtrip(Frame::Report { delta: f64::NAN, phases: zero_phases() });
+        roundtrip(Frame::Report {
+            delta: 0.125,
+            phases: RankPhaseNanos {
+                interior_ns: u64::MAX,
+                color_ns: 1,
+                finish_ns: 0,
+                moved: 12_345,
+            },
+        });
         roundtrip(Frame::ScatterRequest);
         roundtrip(Frame::Scatter { coords: vec![] });
         roundtrip(Frame::Shutdown);
@@ -546,7 +597,8 @@ mod tests {
 
     #[test]
     fn hello_rejects_bad_magic() {
-        let mut payload = Frame::Hello { version: WIRE_VERSION, dim: 2, rank: 0 }.encode();
+        let mut payload =
+            Frame::Hello { version: WIRE_VERSION, dim: 2, rank: 0, profile: false }.encode();
         payload[1] ^= 0xff;
         assert!(Frame::decode(&payload).is_err());
     }
@@ -563,7 +615,8 @@ mod tests {
     fn v1_hello_is_rejected_with_version_error() {
         // a checksum-less v1 peer's Hello payload, framed in v2 style:
         // the version field alone must reject it with a clear error
-        let payload = Frame::Hello { version: WIRE_VERSION, dim: 2, rank: 3 }.encode();
+        let payload =
+            Frame::Hello { version: WIRE_VERSION, dim: 2, rank: 3, profile: false }.encode();
         let mut v1 = payload.clone();
         v1[5..7].copy_from_slice(&1u16.to_le_bytes()); // tag(1) + magic(4), then version
         match Frame::decode(&v1) {

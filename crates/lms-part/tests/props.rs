@@ -225,7 +225,15 @@ proptest! {
                 slots: slots.clone(),
                 coords: coords.iter().copied().cycle().take(slots.len() * 2).collect(),
             },
-            Frame::Report { delta: f64::from_bits(delta_bits) },
+            Frame::Report {
+                delta: f64::from_bits(delta_bits),
+                phases: lms_trace::RankPhaseNanos {
+                    interior_ns: delta_bits,
+                    color_ns: delta_bits.rotate_left(17),
+                    finish_ns: part as u64,
+                    moved: color as u64,
+                },
+            },
             Frame::Scatter { coords },
             Frame::RoundDone,
             Frame::Shutdown,
@@ -271,8 +279,16 @@ proptest! {
                 coords: coord_bits.iter().map(|&b| f64::from_bits(b)).collect(),
                 scores: coord_bits.iter().map(|&b| (f64::from_bits(b), b % 2 == 0)).collect(),
             },
-            Frame::Hello { version: lms_part::wire::WIRE_VERSION, dim: 2, rank: part },
-            Frame::Report { delta: f64::from_bits(coord_bits[0]) },
+            Frame::Hello {
+                version: lms_part::wire::WIRE_VERSION,
+                dim: 2,
+                rank: part,
+                profile: part.is_multiple_of(2),
+            },
+            Frame::Report {
+                delta: f64::from_bits(coord_bits[0]),
+                phases: lms_trace::RankPhaseNanos::default(),
+            },
         ];
         for frame in &frames {
             let mut stream = Vec::new();

@@ -69,7 +69,7 @@ pub use resident::{smooth_resident, PairBatch, ResidentEngine, ResidentRank};
 pub use stats::{ExchangeVolume, IterationStats, SmoothReport};
 pub use trace::{AccessSink, CountSink, NullSink, VecSink};
 pub use transport::{
-    drive_resident, drive_resident_ft, FtPolicy, FtResidentTransport, FtStats, InProcessTransport,
-    ResidentTransport,
+    drive_resident, drive_resident_ft, drive_resident_ft_with, drive_resident_with, FtPolicy,
+    FtResidentTransport, FtStats, InProcessTransport, ResidentTransport,
 };
 pub use weighting::weighted_candidate;

@@ -70,9 +70,10 @@ use crate::domain::{DomainConfig, DomainPoint, SmoothDomain};
 use crate::engine::SmoothEngine;
 use crate::kernel::candidate_for;
 use crate::stats::SmoothReport;
-use crate::transport::{drive_resident, InProcessTransport};
+use crate::transport::{drive_resident, drive_resident_with, InProcessTransport};
 use lms_mesh::{Adjacency, TriMesh};
 use lms_part::{partition_mesh, ExchangeSchedule, MessagePlan, Partition, PartitionMethod};
+use lms_trace::{now_ns, PhaseBreakdown, RankPhaseNanos, Recorder};
 
 /// Domain-decomposed Gauss–Seidel smoothing over blocks that stay
 /// resident for the whole run, with halo-delta exchange between interface
@@ -241,6 +242,17 @@ pub struct ResidentRank<'a, const C: usize, D: SmoothDomain<C>> {
     apply_dirty: Vec<u32>,
     /// This round's published delta batches, one per plan neighbour.
     outbox: Vec<PairBatch<D::Point>>,
+    /// Profiling switch ([`set_timing`](Self::set_timing)): when on, the
+    /// sweep entry points clock themselves into `phases` and
+    /// [`pull_from`](Self::pull_from) clocks per-source routing into
+    /// `route_ns`. Strictly observation-only — the sweep arithmetic is
+    /// untouched either way, so coordinates stay bit-identical.
+    timing: bool,
+    /// Accumulated phase timings + moved-vertex count while `timing`.
+    phases: RankPhaseNanos,
+    /// Per-source-part routing (pull + stash) nanos while `timing`,
+    /// lazily sized to the published part count.
+    route_ns: Vec<u64>,
 }
 
 impl<'a, const C: usize, D: SmoothDomain<C>> ResidentRank<'a, C, D> {
@@ -287,12 +299,34 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ResidentRank<'a, C, D> {
             inbox: Vec::new(),
             apply_dirty: Vec::new(),
             outbox,
+            timing: false,
+            phases: RankPhaseNanos::default(),
+            route_ns: Vec::new(),
         }
     }
 
     /// The part this rank computes.
     pub fn part(&self) -> u32 {
         self.part
+    }
+
+    /// Switch per-phase self-timing on or off (off by default — an
+    /// untimed rank performs zero clock reads).
+    pub fn set_timing(&mut self, on: bool) {
+        self.timing = on;
+    }
+
+    /// Drain the accumulated phase timings + moved count (the counters
+    /// restart at zero — callers ship *deltas*, which keeps distributed
+    /// accounting correct across rank respawns).
+    pub fn take_phases(&mut self) -> RankPhaseNanos {
+        std::mem::take(&mut self.phases)
+    }
+
+    /// Drain the per-source routing nanos accumulated by
+    /// [`pull_from`](Self::pull_from), indexed by source part.
+    pub fn take_route_ns(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.route_ns)
     }
 
     /// The one full gather from the global arrays: all owned + halo
@@ -346,23 +380,31 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ResidentRank<'a, C, D> {
     /// Sweep the part-interior ∩ mesh-interior vertices (fully local:
     /// an interior vertex is in no other part's halo).
     pub fn sweep_interior(&mut self) {
+        let t0 = if self.timing { now_ns() } else { 0 };
         let range = 0..self.block.int_locals.len();
         if self.smart {
             self.sweep_range_smart(SweepSpan::Interior, range, false);
         } else {
             self.sweep_range_plain(SweepSpan::Interior, range, false);
         }
+        if self.timing {
+            self.phases.interior_ns += now_ns() - t0;
+        }
     }
 
     /// Sweep this part's slice of interface color class `c`, recording
     /// the committed vertices for the round's exchange.
     pub fn sweep_color(&mut self, c: usize) {
+        let t0 = if self.timing { now_ns() } else { 0 };
         let range =
             self.block.ifc_color_offsets[c] as usize..self.block.ifc_color_offsets[c + 1] as usize;
         if self.smart {
             self.sweep_range_smart(SweepSpan::Interface, range, true);
         } else {
             self.sweep_range_plain(SweepSpan::Interface, range, true);
+        }
+        if self.timing {
+            self.phases.color_ns += now_ns() - t0;
         }
     }
 
@@ -381,11 +423,20 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ResidentRank<'a, C, D> {
     /// addressed to this part, in ascending source-part order — the
     /// in-process pull side of the exchange.
     pub fn pull_from(&mut self, published: &[Vec<PairBatch<D::Point>>]) {
-        for src in published {
+        if self.timing && self.route_ns.len() < published.len() {
+            self.route_ns.resize(published.len(), 0);
+        }
+        for (s, src) in published.iter().enumerate() {
+            let t0 = if self.timing { now_ns() } else { 0 };
+            let mut stashed = false;
             for batch in src {
                 if batch.dst == self.part && !batch.slots.is_empty() {
                     self.stash_deltas(&batch.slots, &batch.coords);
+                    stashed = true;
                 }
+            }
+            if self.timing && stashed {
+                self.route_ns[s] += now_ns() - t0;
             }
         }
     }
@@ -441,6 +492,9 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ResidentRank<'a, C, D> {
                 batch.coords.push(self.coords[lv as usize]);
             }
         }
+        if self.timing {
+            self.phases.moved += self.round_moved.len() as u64;
+        }
         self.round_moved.clear();
     }
 
@@ -474,6 +528,14 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ResidentRank<'a, C, D> {
     /// so this is a no-op for them.) Call after the final
     /// [`apply_pending`](Self::apply_pending) of the iteration.
     pub fn finalize_iteration(&mut self) {
+        let t0 = if self.timing { now_ns() } else { 0 };
+        self.finalize_iteration_inner();
+        if self.timing {
+            self.phases.finish_ns += now_ns() - t0;
+        }
+    }
+
+    fn finalize_iteration_inner(&mut self) {
         self.apply_pending();
         if self.smart {
             return;
@@ -703,6 +765,42 @@ pub fn smooth_resident_on<const C: usize, D: SmoothDomain<C>>(
     drive_resident(dom, cfg, elem_w, interface_classes.len(), &mut transport, coords)
 }
 
+/// [`smooth_resident_on`] with tracing and per-rank profiling enabled:
+/// the driver records its phase spans into a [`Recorder`] (tid 0) and
+/// the ranks clock their sweeps, and the report comes back with
+/// `phase_breakdown` populated. Everything else — coordinates and every
+/// other report field — is bit-identical to the unprofiled run
+/// (property-tested in `lms-dist/tests/traced.rs`).
+#[allow(clippy::too_many_arguments)]
+pub fn smooth_resident_profiled_on<const C: usize, D: SmoothDomain<C>>(
+    dom: &D,
+    cfg: &DomainConfig,
+    blocks: &[ResidentBlock<C>],
+    elem_w: &[f64],
+    interface_classes: &[Vec<u32>],
+    schedule: &ExchangeSchedule,
+    coords: &mut [D::Point],
+    pool: &rayon::ThreadPool,
+) -> (SmoothReport, Recorder) {
+    let mut transport = InProcessTransport::new(dom, cfg, blocks, schedule, pool);
+    transport.set_profiling(true);
+    let mut recorder = Recorder::new(0);
+    let mut report = drive_resident_with(
+        dom,
+        cfg,
+        elem_w,
+        interface_classes.len(),
+        &mut transport,
+        coords,
+        &mut recorder,
+    );
+    let mut breakdown = PhaseBreakdown::default();
+    breakdown.apply_span_totals(&recorder.span_totals());
+    breakdown.transport = transport.take_profile();
+    report.phase_breakdown = Some(breakdown);
+    (report, recorder)
+}
+
 impl ResidentEngine {
     /// Build a resident engine for `mesh` under `params` and an existing
     /// decomposition (Gauss–Seidel parameters only).
@@ -796,6 +894,36 @@ impl ResidentEngine {
         let pool = self.engine.pool.get(num_threads);
         let dom = self.engine.domain();
         smooth_resident_on(
+            &dom,
+            &DomainConfig::from(&self.engine.params),
+            &self.blocks,
+            &self.elem_w,
+            &self.interface_classes,
+            &self.schedule,
+            mesh.coords_mut(),
+            &pool,
+        )
+    }
+
+    /// [`smooth`](Self::smooth) with tracing + profiling: the report
+    /// comes back with `phase_breakdown` populated (per-phase driver
+    /// nanos, per-part sweep nanos + moved counts) and the raw span
+    /// [`Recorder`] is returned for chrome-trace export. Coordinates and
+    /// every other report field are bit-identical to an unprofiled run.
+    pub fn smooth_profiled(
+        &self,
+        mesh: &mut TriMesh,
+        num_threads: usize,
+    ) -> (SmoothReport, Recorder) {
+        assert!(num_threads >= 1, "need at least one thread");
+        assert_eq!(
+            mesh.num_vertices(),
+            self.engine.adj.num_vertices(),
+            "engine was built for a different mesh"
+        );
+        let pool = self.engine.pool.get(num_threads);
+        let dom = self.engine.domain();
+        smooth_resident_profiled_on(
             &dom,
             &DomainConfig::from(&self.engine.params),
             &self.blocks,

@@ -1,5 +1,7 @@
 //! Reports produced by smoothing runs.
 
+use lms_trace::PhaseBreakdown;
+
 /// Quality bookkeeping for one sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IterationStats {
@@ -58,6 +60,12 @@ pub struct SmoothReport {
     /// Halo-exchange accounting — `Some` only for engines that run the
     /// resident exchange protocol.
     pub exchange: Option<ExchangeVolume>,
+    /// Per-phase / per-part timing summary — `Some` only after a
+    /// profiled run (`smooth_profiled`); always `None` otherwise, so
+    /// report-equality gates between unprofiled runs are unaffected.
+    /// Timings are observational: two runs that differ only in this
+    /// field computed bit-identical coordinates.
+    pub phase_breakdown: Option<PhaseBreakdown>,
 }
 
 impl SmoothReport {
@@ -70,6 +78,7 @@ impl SmoothReport {
             iterations: Vec::new(),
             converged: false,
             exchange: None,
+            phase_breakdown: None,
         }
     }
 

@@ -45,6 +45,7 @@ use crate::resident::{Neumaier, PairBatch, ResidentBlock, ResidentRank};
 use crate::stats::{ExchangeVolume, IterationStats, SmoothReport};
 use lms_part::wire::halo_frame_wire_len;
 use lms_part::{ExchangeSchedule, MessagePlan};
+use lms_trace::{NullTrace, TraceSink, TransportProfile};
 use rayon::prelude::*;
 
 /// The data-movement backend of a resident smoothing run. Operations are
@@ -104,6 +105,31 @@ pub fn drive_resident<const C: usize, D: SmoothDomain<C>, T: ResidentTransport<D
     transport: &mut T,
     coords: &mut [D::Point],
 ) -> SmoothReport {
+    drive_resident_with(dom, cfg, elem_w, num_colors, transport, coords, &mut NullTrace)
+}
+
+/// [`drive_resident`] with an explicit [`TraceSink`]. The sink is a
+/// compile-time switch: with [`NullTrace`] every `if S::ENABLED` guard
+/// is dead code and the monomorphisation is exactly the untraced driver
+/// (zero clock reads — guarded by a `lms_trace::clock_reads` test).
+/// Spans emitted: `gather`, then per iteration `interior`, one
+/// `color_step` per color (args: iteration, color) and `finish`, then
+/// `scatter`. Tracing is observation-only: the traced run's coords and
+/// report are bit-identical to the untraced run's.
+pub fn drive_resident_with<
+    const C: usize,
+    D: SmoothDomain<C>,
+    T: ResidentTransport<D::Point>,
+    S: TraceSink,
+>(
+    dom: &D,
+    cfg: &DomainConfig,
+    elem_w: &[f64],
+    num_colors: usize,
+    transport: &mut T,
+    coords: &mut [D::Point],
+    sink: &mut S,
+) -> SmoothReport {
     assert_eq!(coords.len(), dom.num_vertices(), "engine was built for a different mesh");
     assert_eq!(
         cfg.update,
@@ -132,18 +158,42 @@ pub fn drive_resident<const C: usize, D: SmoothDomain<C>, T: ResidentTransport<D
     }
 
     // the one full gather: blocks become resident now
+    if S::ENABLED {
+        sink.begin("gather", 0, 0);
+    }
     transport.gather(coords, &init_scores);
+    if S::ENABLED {
+        sink.end("gather");
+    }
     volume.full_gathers += 1;
 
     let mut deltas: Vec<f64> = Vec::new();
     for iter in 1..=cfg.max_iters {
+        if S::ENABLED {
+            sink.begin("interior", iter as u32, 0);
+        }
         transport.interior_phase();
+        if S::ENABLED {
+            sink.end("interior");
+        }
         for c in 0..num_colors {
             volume.exchange_rounds += 1;
+            if S::ENABLED {
+                sink.begin("color_step", iter as u32, c as u32);
+            }
             transport.color_step(c, &mut volume);
+            if S::ENABLED {
+                sink.end("color_step");
+            }
         }
         deltas.clear();
+        if S::ENABLED {
+            sink.begin("finish", iter as u32, 0);
+        }
         transport.finish_iteration(&mut deltas);
+        if S::ENABLED {
+            sink.end("finish");
+        }
 
         // fold part deltas in part order: deterministic for any thread
         // count (and any transport), same skip-zero rule as the cache's
@@ -164,7 +214,13 @@ pub fn drive_resident<const C: usize, D: SmoothDomain<C>, T: ResidentTransport<D
     }
 
     // the one full scatter
+    if S::ENABLED {
+        sink.begin("scatter", 0, 0);
+    }
     transport.scatter(coords);
+    if S::ENABLED {
+        sink.end("scatter");
+    }
     volume.full_scatters += 1;
 
     let exact = domain_quality(dom, coords);
@@ -283,6 +339,31 @@ pub fn drive_resident_ft<const C: usize, D: SmoothDomain<C>, T: FtResidentTransp
     coords: &mut [D::Point],
     policy: &FtPolicy,
 ) -> Result<(SmoothReport, FtStats), T::Error> {
+    drive_resident_ft_with(dom, cfg, elem_w, num_colors, transport, coords, policy, &mut NullTrace)
+}
+
+/// [`drive_resident_ft`] with an explicit [`TraceSink`] (see
+/// [`drive_resident_with`] for the compile-time-switch contract). On top
+/// of the failure-free span taxonomy this driver emits `checkpoint` and
+/// `recover` spans. Spans stay balanced through failures: every fallible
+/// operation's span is closed *after* capturing its `Result` and before
+/// acting on it, so a kill/recovery cycle never leaves a dangling begin.
+#[allow(clippy::too_many_arguments)]
+pub fn drive_resident_ft_with<
+    const C: usize,
+    D: SmoothDomain<C>,
+    T: FtResidentTransport<D::Point>,
+    S: TraceSink,
+>(
+    dom: &D,
+    cfg: &DomainConfig,
+    elem_w: &[f64],
+    num_colors: usize,
+    transport: &mut T,
+    coords: &mut [D::Point],
+    policy: &FtPolicy,
+    sink: &mut S,
+) -> Result<(SmoothReport, FtStats), T::Error> {
     assert_eq!(coords.len(), dom.num_vertices(), "engine was built for a different mesh");
     assert_eq!(
         cfg.update,
@@ -320,7 +401,14 @@ pub fn drive_resident_ft<const C: usize, D: SmoothDomain<C>, T: FtResidentTransp
                 }
                 recoveries_left -= 1;
                 stats.recoveries.push(format!("{}: {}", $phase, err));
-                match transport.recover(&err) {
+                if S::ENABLED {
+                    sink.begin("recover", 0, 0);
+                }
+                let recovered = transport.recover(&err);
+                if S::ENABLED {
+                    sink.end("recover");
+                }
+                match recovered {
                     Ok(()) => break,
                     Err(next) => err = next,
                 }
@@ -331,7 +419,14 @@ pub fn drive_resident_ft<const C: usize, D: SmoothDomain<C>, T: FtResidentTransp
     // The one full gather. A failure here is recovered like any other:
     // `try_gather` primes the transport's checkpoint before moving data,
     // so `recover` reloads every rank with exactly the gathered state.
-    if let Err(e) = transport.try_gather(coords, &init_scores) {
+    if S::ENABLED {
+        sink.begin("gather", 0, 0);
+    }
+    let gathered = transport.try_gather(coords, &init_scores);
+    if S::ENABLED {
+        sink.end("gather");
+    }
+    if let Err(e) = gathered {
         recover_from!(e, "gather");
     }
     volume.full_gathers += 1;
@@ -350,19 +445,42 @@ pub fn drive_resident_ft<const C: usize, D: SmoothDomain<C>, T: FtResidentTransp
     let mut snap =
         Snap { qsum, quality, iters_kept: 0, volume, next_iter: 1, converged: false, done: false };
 
-    fn attempt_iteration<P: DomainPoint, T: FtResidentTransport<P>>(
+    fn attempt_iteration<P: DomainPoint, T: FtResidentTransport<P>, S: TraceSink>(
         transport: &mut T,
         num_colors: usize,
+        iter: u32,
         volume: &mut ExchangeVolume,
         deltas: &mut Vec<f64>,
+        sink: &mut S,
     ) -> Result<(), T::Error> {
-        transport.try_interior_phase()?;
+        if S::ENABLED {
+            sink.begin("interior", iter, 0);
+        }
+        let interior = transport.try_interior_phase();
+        if S::ENABLED {
+            sink.end("interior");
+        }
+        interior?;
         for c in 0..num_colors {
             volume.exchange_rounds += 1;
-            transport.try_color_step(c, volume)?;
+            if S::ENABLED {
+                sink.begin("color_step", iter, c as u32);
+            }
+            let stepped = transport.try_color_step(c, volume);
+            if S::ENABLED {
+                sink.end("color_step");
+            }
+            stepped?;
         }
         deltas.clear();
-        transport.try_finish_iteration(deltas)?;
+        if S::ENABLED {
+            sink.begin("finish", iter, 0);
+        }
+        let finished = transport.try_finish_iteration(deltas);
+        if S::ENABLED {
+            sink.end("finish");
+        }
+        finished?;
         Ok(())
     }
 
@@ -376,13 +494,21 @@ pub fn drive_resident_ft<const C: usize, D: SmoothDomain<C>, T: FtResidentTransp
         if done {
             // the one full scatter; on failure, recover back to the
             // final-boundary checkpoint and retry the scatter alone
-            match transport.try_scatter(coords) {
+            if S::ENABLED {
+                sink.begin("scatter", 0, 0);
+            }
+            let scattered = transport.try_scatter(coords);
+            if S::ENABLED {
+                sink.end("scatter");
+            }
+            match scattered {
                 Ok(()) => break,
                 Err(e) => recover_from!(e, "scatter"),
             }
             continue;
         }
-        match attempt_iteration(transport, num_colors, &mut volume, &mut deltas) {
+        match attempt_iteration(transport, num_colors, iter as u32, &mut volume, &mut deltas, sink)
+        {
             Ok(()) => {
                 for &d in &deltas {
                     if d != 0.0 {
@@ -398,7 +524,14 @@ pub fn drive_resident_ft<const C: usize, D: SmoothDomain<C>, T: FtResidentTransp
                 let boundary_due = done || iter.is_multiple_of(ckpt_every);
                 iter += 1;
                 if boundary_due {
-                    match transport.take_checkpoint() {
+                    if S::ENABLED {
+                        sink.begin("checkpoint", iter as u32, 0);
+                    }
+                    let checkpointed = transport.take_checkpoint();
+                    if S::ENABLED {
+                        sink.end("checkpoint");
+                    }
+                    match checkpointed {
                         Ok(()) => {
                             stats.checkpoints += 1;
                             snap = Snap {
@@ -610,6 +743,35 @@ impl<const C: usize, D: SmoothDomain<C>> FtResidentTransport<D::Point>
 }
 
 impl<const C: usize, D: SmoothDomain<C>> InProcessTransport<'_, C, D> {
+    /// Switch per-rank phase self-timing on or off (off by default).
+    /// Observation-only: timing changes no sweep arithmetic, no exchange
+    /// contents and no fold order, so a profiled run's coordinates and
+    /// report (minus `phase_breakdown`) are bit-identical.
+    pub fn set_profiling(&mut self, on: bool) {
+        for rank in &mut self.ranks {
+            rank.set_timing(on);
+        }
+    }
+
+    /// Drain the accumulated profile: per-rank phase timings plus the
+    /// receiver-side per-(src,dst) routing matrix. The in-process
+    /// transport has no frames and never waits, so its encode/decode/
+    /// poll-wait totals are zero by definition.
+    pub fn take_profile(&mut self) -> TransportProfile {
+        let parts = self.ranks.len();
+        let mut profile = TransportProfile {
+            route_pair_ns: vec![0u64; parts * parts],
+            ..TransportProfile::default()
+        };
+        for (p, rank) in self.ranks.iter_mut().enumerate() {
+            profile.rank_phases.push(rank.take_phases());
+            for (s, ns) in rank.take_route_ns().into_iter().enumerate() {
+                profile.route_pair_ns[s * parts + p] += ns;
+            }
+        }
+        profile
+    }
+
     fn scatter_impl(&mut self, coords: &mut [D::Point]) {
         let scatter = ScatterPtr(coords.as_mut_ptr());
         let scatter = &scatter;

@@ -1,0 +1,38 @@
+//! The zero-cost guard: the disabled tracing path must never touch the
+//! monotonic clock (and hence no atomics on the hot sweep loops).
+//!
+//! `lms_trace::now_ns` bumps a process-global sample counter on every
+//! call, so "no clock reads" is directly observable. This lives in its
+//! own integration-test binary because the counter is process-global:
+//! any sibling test that legitimately profiles would pollute it.
+
+use lms_smooth::{ResidentEngine, SmoothParams};
+
+#[test]
+fn untraced_resident_smoothing_reads_the_clock_zero_times() {
+    let mesh = lms_mesh::generators::perturbed_grid(16, 14, 0.35, 7);
+    let params = SmoothParams::paper().with_smart(true).with_max_iters(3).with_tol(-1.0);
+    let engine = ResidentEngine::by_method(&mesh, params, 4, lms_part::PartitionMethod::Rcb);
+
+    // warm up pools and code paths, then measure
+    let mut warm = mesh.clone();
+    engine.smooth(&mut warm, 2);
+
+    let before = lms_trace::clock_reads();
+    let mut work = mesh.clone();
+    let report = engine.smooth(&mut work, 2);
+    let after = lms_trace::clock_reads();
+    assert_eq!(
+        after - before,
+        0,
+        "the untraced path (NullTrace + timing off) must be compile-time free of clock samples"
+    );
+    assert!(report.phase_breakdown.is_none());
+
+    // sanity: the profiled path DOES read the clock (the counter works)
+    let mut traced = mesh.clone();
+    let (_, recorder) = engine.smooth_profiled(&mut traced, 2);
+    assert!(lms_trace::clock_reads() > after, "profiling must sample the clock");
+    assert!(recorder.is_balanced());
+    assert_eq!(work.coords(), traced.coords(), "profiling is observation-only");
+}

@@ -1,0 +1,360 @@
+//! Chrome `about://tracing` / Perfetto JSON export, plus the validator
+//! CI uses to gate the exported file.
+//!
+//! The export format is the "JSON array of trace events" flavour: each
+//! span becomes a pair of `"ph": "B"` / `"ph": "E"` duration events with
+//! microsecond timestamps, `pid` 0 and the recorder's tag as `tid`.
+//! Load the file in `chrome://tracing` or <https://ui.perfetto.dev>.
+//!
+//! The validator deliberately re-parses the serialised text with a tiny
+//! hand-rolled JSON reader instead of trusting the in-memory events:
+//! the CI contract is "the *file* is well-formed and every `B` has a
+//! matching `E` in stack order per thread", which must hold for any
+//! producer, not just this exporter.
+
+use crate::span::{EventPhase, SpanEvent};
+
+/// Serialise events as a chrome-trace JSON array (timestamps in µs,
+/// fractional part preserved down to the nanosecond).
+pub fn chrome_trace_json(events: &[SpanEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 2);
+    out.push_str("[\n");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let ph = match ev.phase {
+            EventPhase::Begin => "B",
+            EventPhase::End => "E",
+        };
+        let us = ev.ts_ns / 1_000;
+        let frac = ev.ts_ns % 1_000;
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"lms\",\"ph\":\"{ph}\",\"ts\":{us}.{frac:03},\
+             \"pid\":0,\"tid\":{},\"args\":{{\"a\":{},\"b\":{}}}}}",
+            ev.name, ev.tid, ev.a, ev.b
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Validate a chrome-trace JSON document: well-formed JSON, an array of
+/// objects each carrying string `name`/`ph` and numeric `ts`/`tid`, and
+/// per-tid stack-ordered balance of `B`/`E` events. Returns the event
+/// count.
+pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
+    let value = parse_json(json)?;
+    let Value::Array(events) = value else {
+        return Err("top-level value is not an array".into());
+    };
+    // per-tid stacks of open span names
+    let mut stacks: Vec<(f64, Vec<String>)> = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        let Value::Object(fields) = ev else {
+            return Err(format!("event {i} is not an object"));
+        };
+        let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let Some(Value::String(name)) = get("name") else {
+            return Err(format!("event {i}: missing string \"name\""));
+        };
+        let Some(Value::String(ph)) = get("ph") else {
+            return Err(format!("event {i}: missing string \"ph\""));
+        };
+        let Some(Value::Number(_)) = get("ts") else {
+            return Err(format!("event {i}: missing numeric \"ts\""));
+        };
+        let Some(Value::Number(tid)) = get("tid") else {
+            return Err(format!("event {i}: missing numeric \"tid\""));
+        };
+        let stack = match stacks.iter_mut().find(|(t, _)| t == tid) {
+            Some((_, s)) => s,
+            None => {
+                stacks.push((*tid, Vec::new()));
+                &mut stacks.last_mut().unwrap().1
+            }
+        };
+        match ph.as_str() {
+            "B" => stack.push(name.clone()),
+            "E" => match stack.pop() {
+                Some(open) if open == *name => {}
+                Some(open) => {
+                    return Err(format!(
+                        "event {i}: tid {tid} closes {name:?} but {open:?} is open"
+                    ));
+                }
+                None => {
+                    return Err(format!("event {i}: tid {tid} closes {name:?} with no open span"))
+                }
+            },
+            other => return Err(format!("event {i}: unsupported ph {other:?}")),
+        }
+    }
+    for (tid, stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!("tid {tid}: span {open:?} never closed"));
+        }
+    }
+    Ok(events.len())
+}
+
+// ---------------------------------------------------------------------
+// A minimal recursive-descent JSON reader — just enough for validation.
+// Objects keep insertion order as (key, value) pairs; numbers are f64.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_json(text: &str) -> Result<Value, String> {
+    let mut r = Reader { bytes: text.as_bytes(), pos: 0 };
+    let v = r.value()?;
+    r.skip_ws();
+    if r.pos != r.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", r.pos));
+    }
+    Ok(v)
+}
+
+impl Reader<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied().ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Value::String(self.string()?)),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'n' => self.literal("null", Value::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(format!("unexpected byte {:?} at offset {}", other as char, self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Number)
+            .ok_or_else(|| format!("bad number at offset {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err("bad escape".into()),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) => {
+                    // multi-byte UTF-8 passes through untouched
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .and_then(|c| std::str::from_utf8(c).ok())
+                        .ok_or("bad UTF-8 in string")?;
+                    out.push_str(chunk);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => return Err(format!("expected , or ] but found {:?}", other as char)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                other => return Err(format!("expected , or }} but found {:?}", other as char)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Recorder, TraceSink};
+
+    #[test]
+    fn exported_trace_validates_and_counts_events() {
+        let mut r = Recorder::new(3);
+        r.begin("gather", 0, 0);
+        r.end("gather");
+        r.begin("interior", 1, 0);
+        r.begin("color_step", 1, 2);
+        r.end("color_step");
+        r.end("interior");
+        let json = chrome_trace_json(r.events());
+        assert_eq!(validate_chrome_trace(&json), Ok(6));
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"tid\":3"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        assert_eq!(validate_chrome_trace(&chrome_trace_json(&[])), Ok(0));
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        for bad in ["", "{", "[{\"name\":\"x\"", "[1,]", "[{\"name\":\"x\"}] trailing"] {
+            assert!(validate_chrome_trace(bad).is_err(), "accepted malformed {bad:?}");
+        }
+    }
+
+    #[test]
+    fn unbalanced_events_are_rejected() {
+        // E without B
+        let orphan = r#"[{"name":"x","ph":"E","ts":1,"tid":0}]"#;
+        assert!(validate_chrome_trace(orphan).unwrap_err().contains("no open span"));
+        // B never closed
+        let open = r#"[{"name":"x","ph":"B","ts":1,"tid":0}]"#;
+        assert!(validate_chrome_trace(open).unwrap_err().contains("never closed"));
+        // crossed nesting within one tid
+        let crossed = r#"[
+            {"name":"a","ph":"B","ts":1,"tid":0},
+            {"name":"b","ph":"B","ts":2,"tid":0},
+            {"name":"a","ph":"E","ts":3,"tid":0},
+            {"name":"b","ph":"E","ts":4,"tid":0}
+        ]"#;
+        assert!(validate_chrome_trace(crossed).is_err());
+        // same sequence is fine when the middle pair is another tid
+        let threaded = r#"[
+            {"name":"a","ph":"B","ts":1,"tid":0},
+            {"name":"b","ph":"B","ts":2,"tid":1},
+            {"name":"a","ph":"E","ts":3,"tid":0},
+            {"name":"b","ph":"E","ts":4,"tid":1}
+        ]"#;
+        assert_eq!(validate_chrome_trace(threaded), Ok(4));
+    }
+
+    #[test]
+    fn missing_required_fields_are_rejected() {
+        let no_ph = r#"[{"name":"x","ts":1,"tid":0}]"#;
+        assert!(validate_chrome_trace(no_ph).is_err());
+        let no_name = r#"[{"ph":"B","ts":1,"tid":0}]"#;
+        assert!(validate_chrome_trace(no_name).is_err());
+        let bad_ph = r#"[{"name":"x","ph":"X","ts":1,"tid":0}]"#;
+        assert!(validate_chrome_trace(bad_ph).is_err());
+    }
+}

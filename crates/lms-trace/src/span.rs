@@ -1,0 +1,231 @@
+//! The span layer: a compile-time-selected [`TraceSink`] that the
+//! resident drivers are generic over, plus the [`Recorder`] that buffers
+//! thread-tagged begin/end events for export.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **The disabled path must vanish.** [`NullTrace`] has
+//!    `ENABLED = false` and empty inline bodies; every call site in the
+//!    drivers is guarded by `if S::ENABLED`, so the monomorphised
+//!    untraced driver contains no clock reads, no atomics, no branches.
+//!    A guard test asserts this via [`crate::clock_reads`].
+//! 2. **The enabled path must not allocate per event name.** Span names
+//!    are `&'static str` and the two argument slots are plain `u32`s
+//!    (iteration number, color, rank...), so recording an event is a
+//!    clock read plus a `Vec` push.
+//! 3. **Begin/end must stay balanced through errors.** The drivers end
+//!    a span *after* capturing a fallible operation's `Result`, before
+//!    acting on it — so a kill/recovery cycle cannot leave a dangling
+//!    `B` event. [`Recorder::is_balanced`] checks the discipline.
+
+use crate::clock::now_ns;
+
+/// Whether an event opens or closes a span (chrome-trace `ph` B/E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventPhase {
+    Begin,
+    End,
+}
+
+/// One begin or end mark. 32 bytes, no heap.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanEvent {
+    /// Span name from the fixed taxonomy (`"gather"`, `"color_step"`, ...).
+    pub name: &'static str,
+    /// First argument slot (convention: iteration number, or 0).
+    pub a: u32,
+    /// Second argument slot (convention: color / rank, or 0).
+    pub b: u32,
+    /// Monotonic timestamp from [`crate::now_ns`].
+    pub ts_ns: u64,
+    /// Begin or end.
+    pub phase: EventPhase,
+    /// Logical thread/rank tag of the recorder that captured it.
+    pub tid: u32,
+}
+
+/// The compile-time tracing switch the resident drivers are generic
+/// over. `ENABLED` is an associated *const*: the untraced driver is a
+/// distinct monomorphisation in which every `if S::ENABLED` block is
+/// dead code.
+pub trait TraceSink {
+    /// `false` only for [`NullTrace`]; call sites guard on this.
+    const ENABLED: bool;
+    /// Open a span. `a`/`b` are free argument slots (see [`SpanEvent`]).
+    fn begin(&mut self, name: &'static str, a: u32, b: u32);
+    /// Close the most recent open span with this name.
+    fn end(&mut self, name: &'static str);
+}
+
+/// The no-op sink: tracing disabled at compile time.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullTrace;
+
+impl TraceSink for NullTrace {
+    const ENABLED: bool = false;
+    #[inline(always)]
+    fn begin(&mut self, _name: &'static str, _a: u32, _b: u32) {}
+    #[inline(always)]
+    fn end(&mut self, _name: &'static str) {}
+}
+
+/// A buffering sink: every begin/end becomes a timestamped [`SpanEvent`]
+/// tagged with this recorder's `tid`.
+#[derive(Debug, Default, Clone)]
+pub struct Recorder {
+    tid: u32,
+    depth: u32,
+    events: Vec<SpanEvent>,
+}
+
+impl Recorder {
+    /// A recorder whose events carry thread/rank tag `tid`.
+    pub fn new(tid: u32) -> Recorder {
+        Recorder { tid, depth: 0, events: Vec::new() }
+    }
+
+    /// Everything recorded so far, in capture order.
+    pub fn events(&self) -> &[SpanEvent] {
+        &self.events
+    }
+
+    /// Number of currently open spans (0 once every span was closed).
+    pub fn open_spans(&self) -> u32 {
+        self.depth
+    }
+
+    /// True iff every `Begin` was closed by a matching `End` in proper
+    /// stack order (names must match LIFO), and nothing is still open.
+    pub fn is_balanced(&self) -> bool {
+        let mut stack: Vec<&'static str> = Vec::new();
+        for ev in &self.events {
+            match ev.phase {
+                EventPhase::Begin => stack.push(ev.name),
+                EventPhase::End => {
+                    if stack.pop() != Some(ev.name) {
+                        return false;
+                    }
+                }
+            }
+        }
+        stack.is_empty()
+    }
+
+    /// Inclusive total nanoseconds and call count per span name, in
+    /// first-completed order. Unclosed spans contribute nothing.
+    pub fn span_totals(&self) -> Vec<(&'static str, u64, u64)> {
+        let mut totals: Vec<(&'static str, u64, u64)> = Vec::new();
+        let mut stack: Vec<(&'static str, u64)> = Vec::new();
+        for ev in &self.events {
+            match ev.phase {
+                EventPhase::Begin => stack.push((ev.name, ev.ts_ns)),
+                EventPhase::End => {
+                    if let Some((name, t0)) = stack.pop() {
+                        if name == ev.name {
+                            let dt = ev.ts_ns.saturating_sub(t0);
+                            match totals.iter_mut().find(|(n, _, _)| *n == name) {
+                                Some((_, total, count)) => {
+                                    *total += dt;
+                                    *count += 1;
+                                }
+                                None => totals.push((name, dt, 1)),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        totals
+    }
+}
+
+impl TraceSink for Recorder {
+    const ENABLED: bool = true;
+
+    fn begin(&mut self, name: &'static str, a: u32, b: u32) {
+        self.depth += 1;
+        self.events.push(SpanEvent {
+            name,
+            a,
+            b,
+            ts_ns: now_ns(),
+            phase: EventPhase::Begin,
+            tid: self.tid,
+        });
+    }
+
+    fn end(&mut self, name: &'static str) {
+        self.depth = self.depth.saturating_sub(1);
+        self.events.push(SpanEvent {
+            name,
+            a: 0,
+            b: 0,
+            ts_ns: now_ns(),
+            phase: EventPhase::End,
+            tid: self.tid,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_buffers_balanced_spans() {
+        let mut r = Recorder::new(7);
+        r.begin("outer", 1, 0);
+        r.begin("inner", 1, 2);
+        r.end("inner");
+        r.end("outer");
+        assert_eq!(r.events().len(), 4);
+        assert_eq!(r.open_spans(), 0);
+        assert!(r.is_balanced());
+        assert!(r.events().iter().all(|e| e.tid == 7));
+        let totals = r.span_totals();
+        assert_eq!(totals.len(), 2);
+        // first-completed order: the nested span closes before its parent
+        assert_eq!(totals[0].0, "inner");
+        assert_eq!(totals[1].0, "outer");
+        // outer encloses inner, so its inclusive time is at least inner's
+        assert!(totals[1].1 >= totals[0].1);
+    }
+
+    #[test]
+    fn unbalanced_and_misnested_spans_are_detected() {
+        let mut open = Recorder::new(0);
+        open.begin("gather", 0, 0);
+        assert!(!open.is_balanced());
+        assert_eq!(open.open_spans(), 1);
+
+        let mut crossed = Recorder::new(0);
+        crossed.begin("a", 0, 0);
+        crossed.begin("b", 0, 0);
+        crossed.end("a");
+        crossed.end("b");
+        assert!(!crossed.is_balanced());
+    }
+
+    #[test]
+    fn span_totals_accumulate_repeat_calls() {
+        let mut r = Recorder::new(0);
+        for i in 0..3 {
+            r.begin("interior", i, 0);
+            r.end("interior");
+        }
+        let totals = r.span_totals();
+        assert_eq!(totals.len(), 1);
+        assert_eq!(totals[0].0, "interior");
+        assert_eq!(totals[0].2, 3);
+    }
+
+    #[test]
+    fn null_trace_is_a_no_op() {
+        let before = crate::clock_reads();
+        let mut n = NullTrace;
+        n.begin("gather", 0, 0);
+        n.end("gather");
+        assert_eq!(crate::clock_reads(), before, "NullTrace must not touch the clock");
+        const { assert!(!NullTrace::ENABLED) };
+    }
+}
