@@ -49,10 +49,12 @@ pub enum Stage {
     ResidentSmooth(SmoothParams, PartitionSpec),
     /// Laplacian smoothing on the multi-process distributed resident
     /// engine ([`lms_dist::DistResidentEngine`]): one forked rank
-    /// process per part, halo deltas as wire frames over pipes.
-    /// `spec.threads` is ignored — parallelism is one OS process per
-    /// part. Gauss–Seidel parameters only; bit-identical to
-    /// [`Stage::ResidentSmooth`] over the same decomposition.
+    /// process per part, halo deltas as wire frames over the substrate
+    /// named by `spec.transport` (pipes, Unix or TCP stream sockets, or
+    /// the Auto degradation ladder). `spec.threads` is ignored —
+    /// parallelism is one OS process per part. Gauss–Seidel parameters
+    /// only; bit-identical to [`Stage::ResidentSmooth`] over the same
+    /// decomposition on every substrate.
     DistributedSmooth(SmoothParams, PartitionSpec),
     /// Constrained smoothing (boundary slides along the boundary).
     ConstrainedSmooth(SmoothParams, ConstrainedOptions),
@@ -89,11 +91,21 @@ pub struct PartitionSpec {
     pub method: PartitionMethod,
     /// Worker threads (the result is identical for any count).
     pub threads: usize,
+    /// Rank substrate for [`Stage::DistributedSmooth`]: pipes, Unix or
+    /// TCP sockets, or the [`lms_dist::TransportMode::Auto`] degradation
+    /// ladder. Ignored by the in-process stages. The smoothed coords are
+    /// identical on every substrate.
+    pub transport: lms_dist::TransportMode,
 }
 
 impl Default for PartitionSpec {
     fn default() -> Self {
-        PartitionSpec { parts: 4, method: PartitionMethod::Rcb, threads: 2 }
+        PartitionSpec {
+            parts: 4,
+            method: PartitionMethod::Rcb,
+            threads: 2,
+            transport: lms_dist::TransportMode::Pipes,
+        }
     }
 }
 
@@ -245,7 +257,11 @@ impl Pipeline {
                         spec.parts,
                         spec.method,
                     );
-                    engine.smooth(mesh).num_iterations()
+                    let opts = lms_dist::FtOptions {
+                        mode: spec.transport,
+                        ..lms_dist::FtOptions::default()
+                    };
+                    engine.smooth_with(mesh, &opts).num_iterations()
                 }
                 Stage::ConstrainedSmooth(params, opts) => {
                     constrained_smooth(mesh, params, opts).num_iterations()
@@ -353,7 +369,12 @@ mod tests {
         };
         let mut serial = base.clone();
         let rs = Pipeline::standard(OrderingKind::Rdr).run(&mut serial);
-        let spec = PartitionSpec { parts: 4, method: lms_part::PartitionMethod::Rcb, threads: 3 };
+        let spec = PartitionSpec {
+            parts: 4,
+            method: lms_part::PartitionMethod::Rcb,
+            threads: 3,
+            ..PartitionSpec::default()
+        };
         let mut par = base.clone();
         let rp = Pipeline::standard_partitioned(OrderingKind::Rdr, spec).run(&mut par);
         assert_eq!(rp.stages.last().unwrap().stage, "partsmooth");
@@ -375,7 +396,12 @@ mod tests {
             m.orient_ccw();
             m
         };
-        let spec = PartitionSpec { parts: 4, method: lms_part::PartitionMethod::Rcb, threads: 2 };
+        let spec = PartitionSpec {
+            parts: 4,
+            method: lms_part::PartitionMethod::Rcb,
+            threads: 2,
+            ..PartitionSpec::default()
+        };
         let mut res = base.clone();
         let rr = Pipeline::standard_resident(OrderingKind::Rdr, spec).run(&mut res);
         assert_eq!(rr.stages.last().unwrap().stage, "ressmooth");
@@ -401,7 +427,12 @@ mod tests {
             m.orient_ccw();
             m
         };
-        let spec = PartitionSpec { parts: 3, method: lms_part::PartitionMethod::Rcb, threads: 2 };
+        let spec = PartitionSpec {
+            parts: 3,
+            method: lms_part::PartitionMethod::Rcb,
+            threads: 2,
+            ..PartitionSpec::default()
+        };
         let mut dist = base.clone();
         let rd = Pipeline::standard_distributed(OrderingKind::Rdr, spec).run(&mut dist);
         assert_eq!(rd.stages.last().unwrap().stage, "distsmooth");
@@ -412,6 +443,19 @@ mod tests {
         let rr = Pipeline::standard_resident(OrderingKind::Rdr, spec).run(&mut res);
         assert_eq!(dist.coords(), res.coords());
         assert_eq!(rd.final_quality, rr.final_quality);
+        // and substrate-invariant: the same stage over stream sockets
+        // lands on the same bits as over pipes
+        for transport in [lms_dist::TransportMode::UnixSocket, lms_dist::TransportMode::TcpLoopback]
+        {
+            let mut sock = base.clone();
+            let rs = Pipeline::standard_distributed(
+                OrderingKind::Rdr,
+                PartitionSpec { transport, ..spec },
+            )
+            .run(&mut sock);
+            assert_eq!(dist.coords(), sock.coords(), "substrate {transport:?} diverged");
+            assert_eq!(rd.final_quality, rs.final_quality);
+        }
     }
 
     #[test]

@@ -44,10 +44,12 @@ pub enum Stage3 {
     ResidentSmooth3(SmoothParams3, PartitionSpec),
     /// Laplacian smoothing on the multi-process distributed resident
     /// engine ([`lms_dist::DistResidentEngine3`]): one forked rank
-    /// process per part, halo deltas as wire frames over pipes.
-    /// `spec.threads` is ignored — parallelism is one OS process per
-    /// part. Gauss–Seidel parameters only; bit-identical to
-    /// [`Stage3::ResidentSmooth3`] over the same decomposition.
+    /// process per part, halo deltas as wire frames over the substrate
+    /// named by `spec.transport` (pipes, Unix or TCP stream sockets, or
+    /// the Auto degradation ladder). `spec.threads` is ignored —
+    /// parallelism is one OS process per part. Gauss–Seidel parameters
+    /// only; bit-identical to [`Stage3::ResidentSmooth3`] over the same
+    /// decomposition on every substrate.
     DistributedSmooth3(SmoothParams3, PartitionSpec),
 }
 
@@ -167,7 +169,11 @@ impl Pipeline3 {
                         spec.parts,
                         spec.method,
                     );
-                    engine.smooth(mesh).num_iterations()
+                    let opts = lms_dist::FtOptions {
+                        mode: spec.transport,
+                        ..lms_dist::FtOptions::default()
+                    };
+                    engine.smooth_with(mesh, &opts).num_iterations()
                 }
             };
             let after = q(mesh);
@@ -197,7 +203,12 @@ mod tests {
     #[test]
     fn standard_resident3_improves_quality() {
         let mut m = perturbed_tet_grid(8, 8, 8, 0.4, 3);
-        let spec = PartitionSpec { parts: 4, method: lms_part::PartitionMethod::Rcb, threads: 2 };
+        let spec = PartitionSpec {
+            parts: 4,
+            method: lms_part::PartitionMethod::Rcb,
+            threads: 2,
+            ..PartitionSpec::default()
+        };
         let report = Pipeline3::standard_resident3(OrderingKind3::Rdr, spec).run(&mut m);
         assert_eq!(report.stages.len(), 2);
         assert_eq!(report.stages[0].stage, "reorder3");
@@ -208,7 +219,12 @@ mod tests {
     #[test]
     fn resident3_stage_matches_partitioned3_bitwise() {
         let base = perturbed_tet_grid(7, 7, 6, 0.35, 5);
-        let spec = PartitionSpec { parts: 4, method: lms_part::PartitionMethod::Rcb, threads: 2 };
+        let spec = PartitionSpec {
+            parts: 4,
+            method: lms_part::PartitionMethod::Rcb,
+            threads: 2,
+            ..PartitionSpec::default()
+        };
         let mut res = base.clone();
         let rr = Pipeline3::standard_resident3(OrderingKind3::Hilbert, spec).run(&mut res);
         let mut part = base.clone();
@@ -230,7 +246,12 @@ mod tests {
     #[test]
     fn distributed3_stage_matches_resident3_bitwise() {
         let base = perturbed_tet_grid(6, 6, 6, 0.35, 8);
-        let spec = PartitionSpec { parts: 3, method: lms_part::PartitionMethod::Rcb, threads: 2 };
+        let spec = PartitionSpec {
+            parts: 3,
+            method: lms_part::PartitionMethod::Rcb,
+            threads: 2,
+            ..PartitionSpec::default()
+        };
         let mut dist = base.clone();
         let rd = Pipeline3::standard_distributed3(OrderingKind3::Rdr, spec).run(&mut dist);
         assert_eq!(rd.stages.last().unwrap().stage, "distsmooth3");

@@ -20,7 +20,7 @@
 //! written to `BENCH_dist.json` at the workspace root.
 
 use criterion::{BenchmarkId, Criterion};
-use lms_dist::{DistResidentEngine, FtOptions};
+use lms_dist::{DistResidentEngine, FtOptions, TransportMode};
 use lms_part::PartitionMethod;
 use lms_smooth::{FtPolicy, ResidentEngine, SmoothParams};
 
@@ -46,6 +46,12 @@ fn bench_dist(c: &mut Criterion) -> (lms_smooth::ExchangeVolume, lms_trace::Phas
     let local_report = resident.smooth(&mut b, 2);
     assert_eq!(a.coords(), b.coords(), "distributed run diverged from in-process resident");
     assert_eq!(dist_report, local_report, "reports diverged (exchange accounting included)");
+    // and the socket rung must agree too before its timings mean anything
+    let tcp = FtOptions { mode: TransportMode::TcpLoopback, ..FtOptions::default() };
+    let mut t = mesh.clone();
+    let tcp_report = dist.smooth_with(&mut t, &tcp);
+    assert_eq!(t.coords(), b.coords(), "tcp-loopback run diverged from in-process resident");
+    assert_eq!(tcp_report, local_report, "tcp-loopback report diverged");
     let volume = dist_report.exchange.expect("resident runs report exchange accounting");
     assert_eq!(volume.full_gathers, 1, "rank blocks must gather exactly once");
     assert_eq!(volume.full_scatters, 1, "one disjoint write-back at the end");
@@ -95,6 +101,15 @@ fn bench_dist(c: &mut Criterion) -> (lms_smooth::ExchangeVolume, lms_trace::Phas
         bch.iter(|| {
             let mut work = m.clone();
             dist.smooth_with(&mut work, &min_ckpt)
+        })
+    });
+    // the same run over TCP loopback (PR 8's socket transport): identical
+    // frames and results, but every byte now crosses the kernel's TCP
+    // stack — the single-host measurement of the multi-node deployment tax
+    group.bench_with_input(BenchmarkId::new("dist_8ranks_tcp", side), &mesh, |bch, m| {
+        bch.iter(|| {
+            let mut work = m.clone();
+            dist.smooth_with(&mut work, &tcp)
         })
     });
     group.finish();
@@ -151,17 +166,19 @@ fn export_json(
         ms(t.poll_wait_ns),
     );
     let json = format!(
-        "{{\n  \"benchmark\": \"dist\",\n  \"workload\": \"smart Gauss-Seidel, {side}x{side} perturbed grid (jitter 0.35, seed 42), 10 sweeps, {PARTS}-way rcb\",\n  \"host_cores\": {host_cores},\n  \"median_ms\": {{\n    \"resident_1_threads\": {:.2},\n    \"resident_2_threads\": {:.2},\n    \"resident_4_threads\": {:.2},\n    \"dist_{PARTS}_ranks\": {:.2},\n    \"dist_{PARTS}_ranks_min_checkpoints\": {:.2}\n  }},\n  \"min_ms\": {{\n    \"resident_1_threads\": {:.2},\n    \"resident_2_threads\": {:.2},\n    \"resident_4_threads\": {:.2},\n    \"dist_{PARTS}_ranks\": {:.2},\n    \"dist_{PARTS}_ranks_min_checkpoints\": {:.2}\n  }},\n  \"dist_speedup_vs_resident_1t\": {dist_vs_res1},\n  \"speedup_estimator\": \"min-vs-min (deterministic workload)\",\n  \"note\": \"dist times include forking {PARTS} rank processes per run plus the full fault-tolerance machinery: per-frame CRC32c checksums (since wire v2) and, in the default configuration, one checkpoint scatter round per iteration. The min_checkpoints variant checkpoints only the mandatory final boundary, isolating the checksum cost — its gap to the seed-era numbers is the negligible checksum overhead, while the default-vs-min_checkpoints gap is the price of per-iteration recovery points. Rank parallelism is bounded by host_cores; on a 1-core host the distributed run adds pure fork+pipe overhead over resident_1t\",\n  \"exchange_volume_per_10_sweeps\": {{\n    \"full_gathers\": {},\n    \"full_scatters\": {},\n    \"exchange_rounds\": {},\n    \"halo_entries_sent\": {},\n    \"halo_messages_sent\": {},\n    \"halo_bytes_sent\": {},\n    \"entries_per_message\": {:.1}\n  }},\n{phase_json}  \"coords_and_report_bit_identical_to_in_process\": true\n}}\n",
+        "{{\n  \"benchmark\": \"dist\",\n  \"workload\": \"smart Gauss-Seidel, {side}x{side} perturbed grid (jitter 0.35, seed 42), 10 sweeps, {PARTS}-way rcb\",\n  \"host_cores\": {host_cores},\n  \"median_ms\": {{\n    \"resident_1_threads\": {:.2},\n    \"resident_2_threads\": {:.2},\n    \"resident_4_threads\": {:.2},\n    \"dist_{PARTS}_ranks\": {:.2},\n    \"dist_{PARTS}_ranks_min_checkpoints\": {:.2},\n    \"dist_{PARTS}_ranks_tcp_loopback\": {:.2}\n  }},\n  \"min_ms\": {{\n    \"resident_1_threads\": {:.2},\n    \"resident_2_threads\": {:.2},\n    \"resident_4_threads\": {:.2},\n    \"dist_{PARTS}_ranks\": {:.2},\n    \"dist_{PARTS}_ranks_min_checkpoints\": {:.2},\n    \"dist_{PARTS}_ranks_tcp_loopback\": {:.2}\n  }},\n  \"dist_speedup_vs_resident_1t\": {dist_vs_res1},\n  \"speedup_estimator\": \"min-vs-min (deterministic workload)\",\n  \"note\": \"dist times include forking {PARTS} rank processes per run plus the full fault-tolerance machinery: per-frame CRC32c checksums (since wire v2) and, in the default configuration, one checkpoint scatter round per iteration. The min_checkpoints variant checkpoints only the mandatory final boundary, isolating the checksum cost — its gap to the seed-era numbers is the negligible checksum overhead, while the default-vs-min_checkpoints gap is the price of per-iteration recovery points. Rank parallelism is bounded by host_cores; on a 1-core host the distributed run adds pure fork+pipe overhead over resident_1t. The tcp_loopback variant runs the identical frames over the socket transport (forked workers dialling 127.0.0.1) — its gap to the pipe run is the kernel TCP tax, the single-host proxy for multi-node deployment\",\n  \"exchange_volume_per_10_sweeps\": {{\n    \"full_gathers\": {},\n    \"full_scatters\": {},\n    \"exchange_rounds\": {},\n    \"halo_entries_sent\": {},\n    \"halo_messages_sent\": {},\n    \"halo_bytes_sent\": {},\n    \"entries_per_message\": {:.1}\n  }},\n{phase_json}  \"coords_and_report_bit_identical_to_in_process\": true\n}}\n",
         find("resident_1t", false),
         find("resident_2t", false),
         find("resident_4t", false),
         find("dist_8ranks/", false),
         find("dist_8ranks_minckpt", false),
+        find("dist_8ranks_tcp", false),
         find("resident_1t", true),
         find("resident_2t", true),
         find("resident_4t", true),
         find("dist_8ranks/", true),
         find("dist_8ranks_minckpt", true),
+        find("dist_8ranks_tcp", true),
         volume.full_gathers,
         volume.full_scatters,
         volume.exchange_rounds,

@@ -19,6 +19,14 @@
 //!   trace-smoke <out.json> [--nx --ny --jitter --seed]
 //!            profiled resident run, export + validate a chrome trace
 //!   trace-validate <file.json>           check well-formedness + B/E balance
+//!   dist-worker --connect <tcp:host:port|unix:/path> --rank <r>
+//!            [--nx --ny --jitter --seed --parts k --method m --plain
+//!             --iters n --tol f]
+//!            serve one standalone smoothing rank: rebuild the engine
+//!            from the shared workload parameters (MPI input-deck
+//!            style), dial the coordinator with supervised retry/backoff
+//!            and serve wire frames until Shutdown — the multi-node
+//!            deployment shape of `lms-dist`'s socket transport
 //!
 //! mesh files: a `prefix` reads/writes Triangle `<prefix>.node` +
 //! `<prefix>.ele`; a path ending in `.off` reads/writes OFF.
@@ -52,6 +60,13 @@ struct Opts {
     nz: usize,
     tangle: Option<usize>,
     out: Option<String>,
+    connect: Option<String>,
+    rank: Option<u32>,
+    parts: usize,
+    method: lms_part::PartitionMethod,
+    plain: bool,
+    iters: usize,
+    tol: f64,
 }
 
 fn parse(args: &[String]) -> Result<Opts, String> {
@@ -67,6 +82,13 @@ fn parse(args: &[String]) -> Result<Opts, String> {
         nz: 12,
         tangle: None,
         out: None,
+        connect: None,
+        rank: None,
+        parts: 4,
+        method: lms_part::PartitionMethod::Rcb,
+        plain: false,
+        iters: 4,
+        tol: -1.0,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -96,6 +118,23 @@ fn parse(args: &[String]) -> Result<Opts, String> {
                 }
             }
             "--out" => o.out = Some(val("--out")?.clone()),
+            "--connect" => o.connect = Some(val("--connect")?.clone()),
+            "--rank" => {
+                o.rank = Some(val("--rank")?.parse().map_err(|e| format!("bad --rank: {e}"))?)
+            }
+            "--parts" => {
+                o.parts = val("--parts")?.parse().map_err(|e| format!("bad --parts: {e}"))?
+            }
+            "--method" => {
+                let name = val("--method")?;
+                o.method = lms_part::PartitionMethod::parse(name)
+                    .ok_or_else(|| format!("unknown partition method {name:?}"))?;
+            }
+            "--plain" => o.plain = true,
+            "--iters" => {
+                o.iters = val("--iters")?.parse().map_err(|e| format!("bad --iters: {e}"))?
+            }
+            "--tol" => o.tol = val("--tol")?.parse().map_err(|e| format!("bad --tol: {e}"))?,
             other if !other.starts_with('-') => o.positional.push(other.to_string()),
             other => return Err(format!("unknown option {other:?}")),
         }
@@ -340,6 +379,31 @@ fn cmd_trace_smoke(o: &Opts) -> Result<String, String> {
     ))
 }
 
+/// Serve one standalone smoothing rank over a stream socket. The worker
+/// rebuilds the whole engine — mesh, decomposition, blocks, schedule —
+/// from the same generation parameters the coordinator used (MPI
+/// input-deck style), so only run state (coordinates, scores, halo
+/// deltas) ever crosses the wire, and the coordinator's cross-transport
+/// oracle still holds bit for bit.
+fn cmd_dist_worker(o: &Opts) -> Result<String, String> {
+    let addr =
+        o.connect.as_deref().ok_or("dist-worker needs --connect <tcp:host:port|unix:/path>")?;
+    let spec = lms_dist::SocketSpec::parse(addr)?;
+    let rank = o.rank.ok_or("dist-worker needs --rank <r>")?;
+    if rank as usize >= o.parts {
+        return Err(format!("--rank {rank} out of range for --parts {}", o.parts));
+    }
+    let mesh = generators::perturbed_grid(o.nx, o.ny, o.jitter, o.seed);
+    let params = lms_smooth::SmoothParams::paper()
+        .with_smart(!o.plain)
+        .with_max_iters(o.iters)
+        .with_tol(o.tol);
+    let engine = lms_smooth::ResidentEngine::by_method(&mesh, params, o.parts, o.method);
+    lms_dist::serve_standalone_tri(&engine, rank, &spec, &lms_dist::Supervisor::default())
+        .map_err(|e| format!("rank {rank} serving {spec}: {e}"))?;
+    Ok(format!("rank {rank}/{} served {spec} to clean shutdown", o.parts))
+}
+
 fn cmd_trace_validate(o: &Opts) -> Result<String, String> {
     let path = o.positional.first().ok_or("trace-validate needs a trace file path")?;
     let json = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -349,7 +413,7 @@ fn cmd_trace_validate(o: &Opts) -> Result<String, String> {
 
 fn usage() -> &'static str {
     "USAGE: lms-tool <generate|info|order|improve|render|generate3|info3|order3|render3\
-     |trace-smoke|trace-validate> [options]\n\
+     |trace-smoke|trace-validate|dist-worker> [options]\n\
      run with a command and no arguments for its specific requirements;\n\
      see the crate docs for the full synopsis"
 }
@@ -379,6 +443,7 @@ fn main() -> ExitCode {
         "render3" => cmd_render3(&opts),
         "trace-smoke" => cmd_trace_smoke(&opts),
         "trace-validate" => cmd_trace_validate(&opts),
+        "dist-worker" => cmd_dist_worker(&opts),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     };
     match result {
@@ -451,6 +516,7 @@ mod tests {
             ordering3: OrderingKind3::Rdr,
             tangle: None,
             out: Some(out.to_string_lossy().into_owned()),
+            ..parse(&[]).unwrap()
         };
         let msg = cmd_generate3(&o).unwrap();
         assert!(msg.contains("vertices"));

@@ -1,0 +1,88 @@
+//! End-to-end multi-node shape: real `lms-tool dist-worker` processes —
+//! separate executables, no fork-inherited state whatsoever — dial a
+//! coordinator over a stream socket, rebuild the engine from the shared
+//! workload parameters, and serve a fault-tolerant smoothing run that
+//! must land bit-identical to the in-process engine.
+
+use lms_dist::{DistResidentEngine, FtOptions, Listener, SocketSpec};
+use lms_mesh::TriMesh;
+use lms_part::PartitionMethod;
+use lms_smooth::SmoothParams;
+use std::process::{Child, Command};
+
+const NX: usize = 14;
+const NY: usize = 12;
+const JITTER: f64 = 0.3;
+const SEED: u64 = 7;
+const PARTS: usize = 3;
+const ITERS: usize = 3;
+
+/// The shared workload both sides derive everything from — the "input
+/// deck". The worker side is `lms-tool dist-worker` with the same
+/// numbers on its command line.
+fn coordinator_engine() -> (TriMesh, DistResidentEngine) {
+    let mesh = lms_mesh::generators::perturbed_grid(NX, NY, JITTER, SEED);
+    let params = SmoothParams::paper().with_smart(true).with_max_iters(ITERS).with_tol(-1.0);
+    let engine = DistResidentEngine::by_method(&mesh, params, PARTS, PartitionMethod::Rcb);
+    (mesh, engine)
+}
+
+fn spawn_worker(addr: &str, rank: usize) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_lms-tool"))
+        .args([
+            "dist-worker",
+            "--connect",
+            addr,
+            "--rank",
+            &rank.to_string(),
+            "--nx",
+            &NX.to_string(),
+            "--ny",
+            &NY.to_string(),
+            "--jitter",
+            &JITTER.to_string(),
+            "--seed",
+            &SEED.to_string(),
+            "--parts",
+            &PARTS.to_string(),
+            "--method",
+            "rcb",
+            "--iters",
+            &ITERS.to_string(),
+        ])
+        .spawn()
+        .expect("spawn lms-tool dist-worker")
+}
+
+fn run_external(spec: &SocketSpec) {
+    let (mesh, engine) = coordinator_engine();
+    let listener = Listener::bind(spec).expect("bind coordinator listener");
+    let addr = listener.target().to_string();
+    let children: Vec<Child> = (0..PARTS).map(|r| spawn_worker(&addr, r)).collect();
+
+    let mut work = mesh.clone();
+    let (report, stats) = engine
+        .smooth_ft_external(&mut work, listener, &FtOptions::default())
+        .unwrap_or_else(|e| panic!("external run over {addr}: {e}"));
+    assert!(stats.recoveries.is_empty(), "clean external run: {:?}", stats.recoveries);
+
+    let mut local = mesh.clone();
+    let local_report = engine.inner().smooth(&mut local, 2);
+    assert_eq!(work.coords(), local.coords(), "external workers diverged over {addr}");
+    assert_eq!(report, local_report, "external report diverged over {addr}");
+
+    for mut child in children {
+        let status = child.wait().expect("wait worker");
+        assert!(status.success(), "worker must exit cleanly after Shutdown: {status:?}");
+    }
+}
+
+#[test]
+fn external_workers_over_tcp_loopback_are_bit_identical() {
+    run_external(&SocketSpec::tcp_loopback());
+}
+
+#[test]
+fn external_workers_over_unix_socket_are_bit_identical() {
+    run_external(&SocketSpec::temp_unix());
+}

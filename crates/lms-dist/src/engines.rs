@@ -30,14 +30,58 @@
 
 use crate::error::DistError;
 use crate::fault::FaultPlan;
+use crate::socket::{Listener, SocketSpec, SocketTransport, Supervisor};
 use crate::transport::ProcessTransport;
 use lms_mesh::TriMesh;
 use lms_mesh3d::{ResidentEngine3, SmoothParams3, TetMesh};
-use lms_part::{Partition, PartitionMethod};
-use lms_smooth::domain::DomainConfig;
+use lms_part::{ExchangeSchedule, Partition, PartitionMethod};
+use lms_smooth::domain::{DomainConfig, SmoothDomain};
+use lms_smooth::resident::ResidentBlock;
 use lms_smooth::transport::drive_resident_ft_with;
 use lms_smooth::{FtPolicy, FtStats, ResidentEngine, SmoothParams, SmoothReport};
 use lms_trace::{NullTrace, PhaseBreakdown, Recorder, TraceSink, TransportProfile};
+use std::io;
+
+/// Which byte-stream substrate a distributed run uses — the rungs of the
+/// graceful-degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportMode {
+    /// Probe the ladder top-down at engine construction: TCP loopback →
+    /// Unix socket → fork/pipes → in-process. Each rung that cannot be
+    /// established (bind/connect/accept/fork failure) degrades to the
+    /// next; the last rung degrades to the in-process engine via
+    /// [`DistError::Spawn`].
+    Auto,
+    /// Forked workers dialling back over TCP loopback — the single-host
+    /// stand-in for the multi-node deployment shape.
+    TcpLoopback,
+    /// Forked workers over a Unix-domain socket under the temp dir.
+    UnixSocket,
+    /// Forked workers over anonymous pipes (the PR 5/6 backend).
+    Pipes,
+    /// No rank processes at all: [`smooth_ft`] fails with
+    /// [`DistError::Spawn`] and [`smooth`] computes in-process — the
+    /// ladder's floor, always available.
+    ///
+    /// [`smooth_ft`]: DistResidentEngine::smooth_ft
+    /// [`smooth`]: DistResidentEngine::smooth
+    InProcess,
+}
+
+impl TransportMode {
+    /// The rung sequence this mode tries, top first.
+    pub fn ladder(self) -> Vec<TransportMode> {
+        match self {
+            TransportMode::Auto => vec![
+                TransportMode::TcpLoopback,
+                TransportMode::UnixSocket,
+                TransportMode::Pipes,
+                TransportMode::InProcess,
+            ],
+            mode => vec![mode],
+        }
+    }
+}
 
 /// Knobs of a fault-tolerant distributed run.
 #[derive(Debug, Clone)]
@@ -56,6 +100,13 @@ pub struct FtOptions {
     /// Observation only — coordinates and reports (minus the breakdown)
     /// are bit-identical either way. Off by default.
     pub profile: bool,
+    /// Byte-stream substrate (and degradation ladder) of the run.
+    /// Defaults to [`TransportMode::Pipes`] — the established single-host
+    /// backend; pick [`TransportMode::Auto`] to probe sockets first.
+    pub mode: TransportMode,
+    /// Connection supervision knobs of the socket rungs (retry/backoff
+    /// and accept bounds); ignored by the pipe rung.
+    pub supervisor: Supervisor,
 }
 
 impl Default for FtOptions {
@@ -66,8 +117,89 @@ impl Default for FtOptions {
             read_timeout_ms: 30_000,
             faults: FaultPlan::none(),
             profile: false,
+            mode: TransportMode::Pipes,
+            supervisor: Supervisor::default(),
         }
     }
+}
+
+/// Establish the transport for one rung of the ladder.
+fn spawn_mode_transport<'a, const C: usize, D: SmoothDomain<C>>(
+    mode: TransportMode,
+    dom: &'a D,
+    cfg: &DomainConfig,
+    blocks: &'a [ResidentBlock<C>],
+    schedule: &'a ExchangeSchedule,
+    options: &FtOptions,
+) -> Result<ProcessTransport<'a, C, D>, DistError> {
+    let socket_spec = match mode {
+        TransportMode::Auto => unreachable!("Auto resolves to a concrete rung via ladder()"),
+        TransportMode::InProcess => {
+            // the ladder's floor: signal "no rank processes" so smooth()
+            // degrades to the in-process engine
+            return Err(DistError::Spawn(io::Error::other(
+                "in-process rung of the degradation ladder",
+            )));
+        }
+        TransportMode::Pipes => {
+            return ProcessTransport::spawn(
+                dom,
+                cfg,
+                blocks,
+                schedule,
+                options.read_timeout_ms,
+                options.faults.clone(),
+                options.profile,
+            );
+        }
+        TransportMode::TcpLoopback => SocketSpec::tcp_loopback(),
+        TransportMode::UnixSocket => SocketSpec::temp_unix(),
+    };
+    SocketTransport::spawn_forked(
+        &socket_spec,
+        dom,
+        cfg,
+        blocks,
+        schedule,
+        options.read_timeout_ms,
+        options.faults.clone(),
+        options.profile,
+        &options.supervisor,
+    )
+    .map(SocketTransport::into_inner)
+}
+
+/// Walk the mode ladder until a rung comes up. A rung failing to
+/// *establish* (spawn veto, bind/accept failure, refused connect)
+/// degrades to the next; the last rung's failure — and any error that is
+/// not an establishment failure — propagates.
+fn spawn_laddered<'a, const C: usize, D: SmoothDomain<C>>(
+    dom: &'a D,
+    cfg: &DomainConfig,
+    blocks: &'a [ResidentBlock<C>],
+    schedule: &'a ExchangeSchedule,
+    options: &FtOptions,
+) -> Result<ProcessTransport<'a, C, D>, DistError> {
+    let modes = options.mode.ladder();
+    for (i, &mode) in modes.iter().enumerate() {
+        match spawn_mode_transport(mode, dom, cfg, blocks, schedule, options) {
+            Ok(transport) => return Ok(transport),
+            Err(e) => {
+                let establishment =
+                    matches!(e, DistError::Spawn(_) | DistError::ConnRefused { .. });
+                if establishment && i + 1 < modes.len() {
+                    eprintln!(
+                        "lms-dist: {mode:?} transport unavailable ({e}); \
+                         degrading to {:?}",
+                        modes[i + 1]
+                    );
+                    continue;
+                }
+                return Err(e);
+            }
+        }
+    }
+    unreachable!("ladder() never returns an empty rung list")
 }
 
 /// Multi-process resident smoothing of triangle meshes: one rank process
@@ -143,14 +275,12 @@ impl DistResidentEngine {
         );
         let dom = self.inner.engine().domain();
         let cfg = DomainConfig::from(self.inner.engine().params());
-        let mut transport = ProcessTransport::spawn(
+        let mut transport = spawn_laddered(
             &dom,
             &cfg,
             self.inner.blocks(),
             self.inner.exchange_schedule(),
-            options.read_timeout_ms,
-            options.faults.clone(),
-            options.profile,
+            options,
         )?;
         let result = drive_resident_ft_with(
             &dom,
@@ -213,14 +343,67 @@ impl DistResidentEngine {
     pub fn smooth_with(&self, mesh: &mut TriMesh, options: &FtOptions) -> SmoothReport {
         match self.smooth_ft(mesh, options) {
             Ok((report, _)) => report,
-            Err(DistError::Spawn(e)) => {
+            Err(e @ (DistError::Spawn(_) | DistError::ConnRefused { .. })) => {
                 eprintln!(
-                    "lms-dist: cannot spawn rank processes ({e}); \
+                    "lms-dist: cannot establish a rank group ({e}); \
                      degrading to the in-process resident engine"
                 );
                 self.inner.smooth(mesh, self.num_ranks().max(1))
             }
             Err(e) => panic!("distributed smoothing failed beyond recovery: {e}"),
+        }
+    }
+
+    /// Serve a run over **external standalone workers**: accept one
+    /// connection per part on `listener` (each worker identifies itself
+    /// by rank — launch them with `lms-tool dist-worker --connect <addr>
+    /// --rank <p>` anywhere the address is reachable), then drive the
+    /// same fault-tolerant loop as [`smooth_ft`](Self::smooth_ft).
+    /// Workers rebuild the engine from the shared problem parameters, so
+    /// only run state crosses the wire.
+    pub fn smooth_ft_external(
+        &self,
+        mesh: &mut TriMesh,
+        listener: Listener,
+        options: &FtOptions,
+    ) -> Result<(SmoothReport, FtStats), DistError> {
+        assert_eq!(
+            mesh.num_vertices(),
+            self.inner.partition().len(),
+            "engine was built for a different mesh"
+        );
+        let dom = self.inner.engine().domain();
+        let cfg = DomainConfig::from(self.inner.engine().params());
+        let mut transport = SocketTransport::listen(
+            listener,
+            &dom,
+            &cfg,
+            self.inner.blocks(),
+            self.inner.exchange_schedule(),
+            options.read_timeout_ms,
+            options.profile,
+            &options.supervisor,
+        )?
+        .into_inner();
+        let result = drive_resident_ft_with(
+            &dom,
+            &cfg,
+            self.inner.elem_weights(),
+            self.inner.interface_classes().len(),
+            &mut transport,
+            mesh.coords_mut(),
+            &options.policy,
+            &mut NullTrace,
+        );
+        match result {
+            Ok((report, stats)) => {
+                transport.shutdown()?;
+                Ok((report, stats))
+            }
+            Err(e) => {
+                let _ = transport.shutdown();
+                Err(e)
+            }
         }
     }
 }
@@ -288,14 +471,12 @@ impl DistResidentEngine3 {
         );
         let dom = self.inner.engine().domain();
         let cfg = self.inner.engine().params().domain_config();
-        let mut transport = ProcessTransport::spawn(
+        let mut transport = spawn_laddered(
             &dom,
             &cfg,
             self.inner.blocks(),
             self.inner.exchange_schedule(),
-            options.read_timeout_ms,
-            options.faults.clone(),
-            options.profile,
+            options,
         )?;
         let result = drive_resident_ft_with(
             &dom,
@@ -349,9 +530,9 @@ impl DistResidentEngine3 {
     pub fn smooth_with(&self, mesh: &mut TetMesh, options: &FtOptions) -> SmoothReport {
         match self.smooth_ft(mesh, options) {
             Ok((report, _)) => report,
-            Err(DistError::Spawn(e)) => {
+            Err(e @ (DistError::Spawn(_) | DistError::ConnRefused { .. })) => {
                 eprintln!(
-                    "lms-dist: cannot spawn rank processes ({e}); \
+                    "lms-dist: cannot establish a rank group ({e}); \
                      degrading to the in-process resident engine"
                 );
                 self.inner.smooth(mesh, self.num_ranks().max(1))

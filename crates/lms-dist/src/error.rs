@@ -30,6 +30,19 @@ pub enum DistError {
     /// (the silent-error half of the failure model — detected by the
     /// wire v2 checksum).
     Wire { rank: u32, error: WireError },
+    /// The rank's connection is gone but its process is not known to be
+    /// dead: the peer closed its stream (socket EOF / reset) while
+    /// `waitpid` still reports it alive, or the rank is an external
+    /// standalone worker with no pid to reap at all. Recoverable like
+    /// [`RankExited`](Self::RankExited) — kill what can be killed,
+    /// reconnect-and-reload from the checkpoint.
+    ConnLost { rank: u32, detail: String },
+    /// A rank never joined the group: connecting to (or accepting on)
+    /// `addr` failed even after the supervisor's bounded
+    /// exponential-backoff retries. At spawn time the caller degrades
+    /// down the transport ladder; during recovery the driver retries
+    /// against its budget.
+    ConnRefused { addr: String, attempts: u32, detail: String },
     /// A rank sent a well-formed frame that violates the protocol state
     /// machine (e.g. a `Report` where a `RoundDone` was due).
     Protocol { rank: u32, frame: String },
@@ -54,6 +67,12 @@ impl std::fmt::Display for DistError {
             }
             DistError::Wire { rank, error } => {
                 write!(f, "corrupt stream from rank {rank}: {error}")
+            }
+            DistError::ConnLost { rank, detail } => {
+                write!(f, "lost connection to rank {rank} ({detail})")
+            }
+            DistError::ConnRefused { addr, attempts, detail } => {
+                write!(f, "rank connection at {addr} refused after {attempts} attempt(s): {detail}")
             }
             DistError::Protocol { rank, frame } => {
                 write!(f, "rank {rank} broke protocol: unexpected {frame}")
@@ -117,6 +136,33 @@ mod tests {
                 "corrupt stream from rank 2",
             ),
             (DistError::Protocol { rank: 0, frame: "Shutdown".into() }, "unexpected Shutdown"),
+            (
+                DistError::ConnLost {
+                    rank: 2,
+                    detail: "peer closed the stream (process still alive)".into(),
+                },
+                "lost connection to rank 2",
+            ),
+            (
+                DistError::ConnLost { rank: 2, detail: "process still alive".into() },
+                "process still alive",
+            ),
+            (
+                DistError::ConnRefused {
+                    addr: "tcp:127.0.0.1:9".into(),
+                    attempts: 12,
+                    detail: "Connection refused (os error 111)".into(),
+                },
+                "refused after 12 attempt(s)",
+            ),
+            (
+                DistError::ConnRefused {
+                    addr: "unix:/tmp/x.sock".into(),
+                    attempts: 1,
+                    detail: "no worker connected within 300ms".into(),
+                },
+                "unix:/tmp/x.sock",
+            ),
             (
                 DistError::Shutdown { failures: vec![(1, WaitStatus(0x0b00))] },
                 "[rank 1: exit code 11]",

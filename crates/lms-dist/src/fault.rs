@@ -43,12 +43,34 @@ pub enum WorkerFault {
     /// frame's checksummed region — the silent-corruption regime the
     /// wire v2 CRC32c detects.
     CorruptOutFrame { frame: u64, byte: usize },
+    /// Close both stream ends right before `point` and stay alive — the
+    /// network-partition regime: the coordinator sees EOF on a rank that
+    /// `waitpid` still reports running, and must diagnose
+    /// `DistError::ConnLost` (never block reaping a process that has not
+    /// exited).
+    DropConnBefore { point: FaultPoint },
+    /// Write every outgoing frame one byte per `write(2)`, flushing
+    /// between bytes — the maximally fragmented stream a slow or
+    /// misbehaving network can deliver. A correct coordinator reassembles
+    /// it invisibly: no recovery, bit-identical run.
+    ShortWrite,
+    /// Sleep `per_frame_ms` before each outgoing frame — the slow-peer
+    /// regime. Below the coordinator's read timeout this must be
+    /// invisible (no recovery, bit-identical); beyond it, it is the
+    /// stall regime by another name.
+    SlowPeer { per_frame_ms: u64 },
 }
 
 /// Exit code of a worker leaving via an injected [`WorkerFault::KillBefore`]
 /// (distinguishable from a clean exit, a panic (101) and a stream error
 /// (102) in the reaped wait status).
 pub const INJECTED_KILL_EXIT: i32 = 113;
+
+/// Exit code of a socket worker scripted to refuse connecting
+/// ([`FaultPlan::refuse_connect`]): it leaves before ever dialling the
+/// coordinator, whose `accept` then times out into
+/// `DistError::ConnRefused`.
+pub const REFUSED_CONNECT_EXIT: i32 = 115;
 
 /// A scripted set of failures for one distributed run: `(rank, fault)`
 /// pairs plus an optional spawn veto. Empty plans (the default) make the
@@ -60,6 +82,19 @@ pub struct FaultPlan {
     /// Veto spawning entirely — exercises the graceful degradation to
     /// the in-process transport.
     pub fail_spawn: bool,
+    /// Veto the TCP transport rung (probe and spawn) — exercises the
+    /// degradation ladder's TCP → Unix-socket step.
+    pub fail_tcp: bool,
+    /// Veto the Unix-socket transport rung — with [`fail_tcp`] set too,
+    /// the ladder lands on fork/pipes.
+    ///
+    /// [`fail_tcp`]: Self::fail_tcp
+    pub fail_unix: bool,
+    /// Socket ranks that exit instead of dialling the coordinator
+    /// (`_exit(REFUSED_CONNECT_EXIT)` before the first connect attempt):
+    /// the refused-connect regime, surfacing as `DistError::ConnRefused`
+    /// when the coordinator's accept times out.
+    pub refuse_connect: Vec<u32>,
 }
 
 impl FaultPlan {
@@ -85,7 +120,38 @@ impl FaultPlan {
 
     /// Veto spawning (graceful-degradation path).
     pub fn no_spawn() -> Self {
-        FaultPlan { rank_faults: Vec::new(), fail_spawn: true }
+        FaultPlan { fail_spawn: true, ..FaultPlan::default() }
+    }
+
+    /// Veto the TCP rung (degradation-ladder path).
+    pub fn no_tcp() -> Self {
+        FaultPlan { fail_tcp: true, ..FaultPlan::default() }
+    }
+
+    /// Veto the Unix-socket rung (degradation-ladder path).
+    pub fn no_unix() -> Self {
+        FaultPlan { fail_unix: true, ..FaultPlan::default() }
+    }
+
+    /// Drop `rank`'s connection (close the stream, stay alive) right
+    /// before `point`.
+    pub fn drop_conn_at(rank: u32, point: FaultPoint) -> Self {
+        FaultPlan::none().with(rank, WorkerFault::DropConnBefore { point })
+    }
+
+    /// Make `rank` write every frame one byte per syscall.
+    pub fn short_write(rank: u32) -> Self {
+        FaultPlan::none().with(rank, WorkerFault::ShortWrite)
+    }
+
+    /// Delay each of `rank`'s outgoing frames by `per_frame_ms`.
+    pub fn slow_peer(rank: u32, per_frame_ms: u64) -> Self {
+        FaultPlan::none().with(rank, WorkerFault::SlowPeer { per_frame_ms })
+    }
+
+    /// Make `rank` refuse to connect at all (socket transports only).
+    pub fn refuse(rank: u32) -> Self {
+        FaultPlan { refuse_connect: vec![rank], ..FaultPlan::default() }
     }
 
     /// Add one more scripted fault.
@@ -96,15 +162,19 @@ impl FaultPlan {
 
     /// No faults scripted at all?
     pub fn is_empty(&self) -> bool {
-        self.rank_faults.is_empty() && !self.fail_spawn
+        self.rank_faults.is_empty()
+            && !self.fail_spawn
+            && !self.fail_tcp
+            && !self.fail_unix
+            && self.refuse_connect.is_empty()
     }
 
     /// Derive one scripted fault deterministically from `seed` — the
     /// chaos suite's seed matrix. The same `(seed, num_ranks, max_iters,
     /// num_colors)` always yields the same plan: an xorshift64* walk
-    /// picks a target rank, an iteration, and one of the four fault
-    /// shapes (kill before interior / color / finish, or corrupt a
-    /// frame byte).
+    /// picks a target rank, an iteration, and one of the five fault
+    /// shapes (kill before interior / color / finish, drop the
+    /// connection before a color step, or corrupt a frame byte).
     pub fn from_seed(seed: u64, num_ranks: u32, max_iters: u32, num_colors: u32) -> Self {
         assert!(num_ranks > 0 && max_iters > 0 && num_colors > 0);
         let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
@@ -116,13 +186,17 @@ impl FaultPlan {
         };
         let rank = (next() % num_ranks as u64) as u32;
         let iter = 1 + (next() % max_iters as u64) as u32;
-        match next() % 4 {
+        match next() % 5 {
             0 => FaultPlan::kill_at(rank, FaultPoint::Interior { iter }),
             1 => {
                 let color = (next() % num_colors as u64) as u32;
                 FaultPlan::kill_at(rank, FaultPoint::Color { iter, color })
             }
             2 => FaultPlan::kill_at(rank, FaultPoint::Finish { iter }),
+            3 => {
+                let color = (next() % num_colors as u64) as u32;
+                FaultPlan::drop_conn_at(rank, FaultPoint::Color { iter, color })
+            }
             _ => FaultPlan::corrupt(rank, next() % 16, (next() % 256) as usize),
         }
     }
@@ -138,8 +212,12 @@ impl FaultPlan {
                 WorkerFault::KillBefore { point } => wf.kill.push(point),
                 WorkerFault::StallBefore { point, ms } => wf.stall.push((point, ms)),
                 WorkerFault::CorruptOutFrame { frame, byte } => wf.corrupt.push((frame, byte)),
+                WorkerFault::DropConnBefore { point } => wf.drop_conn.push(point),
+                WorkerFault::ShortWrite => wf.short_write = true,
+                WorkerFault::SlowPeer { per_frame_ms } => wf.slow_frame_ms = per_frame_ms,
             }
         }
+        wf.refuse_connect = self.refuse_connect.contains(&rank);
         wf
     }
 }
@@ -151,6 +229,10 @@ pub(crate) struct WorkerFaults {
     kill: Vec<FaultPoint>,
     stall: Vec<(FaultPoint, u64)>,
     corrupt: Vec<(u64, usize)>,
+    drop_conn: Vec<FaultPoint>,
+    pub(crate) short_write: bool,
+    pub(crate) slow_frame_ms: u64,
+    pub(crate) refuse_connect: bool,
 }
 
 impl WorkerFaults {
@@ -166,6 +248,12 @@ impl WorkerFaults {
                 std::thread::sleep(std::time::Duration::from_millis(ms));
             }
         }
+    }
+
+    /// A connection drop is scripted for `point` (the serve loop closes
+    /// its streams and idles instead of exiting).
+    pub(crate) fn hit_drop(&self, point: FaultPoint) -> bool {
+        self.drop_conn.contains(&point)
     }
 
     /// The byte offset to corrupt in outgoing frame number `frame`, if
@@ -189,7 +277,9 @@ mod tests {
             let (rank, fault) = a.rank_faults[0];
             assert!(rank < 4);
             match fault {
-                WorkerFault::KillBefore { point } | WorkerFault::StallBefore { point, .. } => {
+                WorkerFault::KillBefore { point }
+                | WorkerFault::StallBefore { point, .. }
+                | WorkerFault::DropConnBefore { point } => {
                     let (FaultPoint::Interior { iter }
                     | FaultPoint::Color { iter, .. }
                     | FaultPoint::Finish { iter }) = point;
@@ -198,7 +288,9 @@ mod tests {
                         assert!(color < 5);
                     }
                 }
-                WorkerFault::CorruptOutFrame { .. } => {}
+                WorkerFault::CorruptOutFrame { .. }
+                | WorkerFault::ShortWrite
+                | WorkerFault::SlowPeer { .. } => {}
             }
         }
         // different seeds explore different faults
@@ -218,5 +310,25 @@ mod tests {
         assert!(!plan.is_empty());
         assert!(FaultPlan::none().is_empty());
         assert!(!FaultPlan::no_spawn().is_empty());
+        assert!(!FaultPlan::no_tcp().is_empty());
+        assert!(!FaultPlan::no_unix().is_empty());
+        assert!(!FaultPlan::refuse(1).is_empty());
+    }
+
+    #[test]
+    fn network_fault_slices_reach_the_right_worker() {
+        let plan = FaultPlan::drop_conn_at(0, FaultPoint::Color { iter: 1, color: 2 })
+            .with(1, WorkerFault::ShortWrite)
+            .with(2, WorkerFault::SlowPeer { per_frame_ms: 7 });
+        assert!(plan.worker_faults(0).hit_drop(FaultPoint::Color { iter: 1, color: 2 }));
+        assert!(!plan.worker_faults(0).hit_drop(FaultPoint::Color { iter: 1, color: 3 }));
+        assert!(!plan.worker_faults(1).hit_drop(FaultPoint::Color { iter: 1, color: 2 }));
+        assert!(plan.worker_faults(1).short_write);
+        assert!(!plan.worker_faults(0).short_write);
+        assert_eq!(plan.worker_faults(2).slow_frame_ms, 7);
+        assert_eq!(plan.worker_faults(1).slow_frame_ms, 0);
+        let refusing = FaultPlan::refuse(3);
+        assert!(refusing.worker_faults(3).refuse_connect);
+        assert!(!refusing.worker_faults(2).refuse_connect);
     }
 }

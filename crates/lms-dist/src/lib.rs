@@ -57,15 +57,20 @@
 pub mod engines;
 pub mod error;
 pub mod fault;
+pub mod socket;
 pub mod sys;
 pub mod transport;
 pub(crate) mod worker;
 
 pub use engines::{
     smooth_distributed, smooth_distributed3, DistResidentEngine, DistResidentEngine3, FtOptions,
+    TransportMode,
 };
 pub use error::DistError;
-pub use fault::{FaultPlan, FaultPoint, WorkerFault, INJECTED_KILL_EXIT};
+pub use fault::{FaultPlan, FaultPoint, WorkerFault, INJECTED_KILL_EXIT, REFUSED_CONNECT_EXIT};
+pub use socket::{
+    serve_standalone_tet, serve_standalone_tri, Listener, SocketSpec, SocketTransport, Supervisor,
+};
 pub use transport::ProcessTransport;
 
 pub(crate) mod codec {

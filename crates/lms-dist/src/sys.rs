@@ -1,9 +1,10 @@
-//! Minimal POSIX process/pipe layer — just enough libc surface to fork
-//! rank worker processes, stream wire frames between them, and detect
-//! failed ranks (`poll(2)` read timeouts, `kill(2)`, non-blocking
-//! `waitpid`), declared directly against the C library `std` already
-//! links (the build container has no crates registry, so the `libc`
-//! crate is out of reach; these nine symbols are stable POSIX).
+//! Minimal POSIX process/pipe/stream layer — just enough libc surface to
+//! fork rank worker processes, stream wire frames between them (over
+//! pipes or sockets), and detect failed ranks (`poll(2)` read timeouts,
+//! `kill(2)`, non-blocking `waitpid`), declared directly against the C
+//! library `std` already links (the build container has no crates
+//! registry, so the `libc` crate is out of reach; these eleven symbols
+//! are stable POSIX).
 //!
 //! Everything here is Linux-safe under a multithreaded parent: glibc
 //! registers `pthread_atfork` handlers that make `malloc` usable in the
@@ -36,12 +37,18 @@ mod ffi {
         // nfds_t is c_ulong on every Linux ABI this builds for
         pub fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
         pub fn _exit(code: i32) -> !;
+        pub fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+        pub fn getpid() -> i32;
     }
 }
 
 const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
 const WNOHANG: i32 = 1;
 const SIGKILL: i32 = 9;
+const F_GETFL: i32 = 3;
+const F_SETFL: i32 = 4;
+const O_NONBLOCK: i32 = 0o4000;
 
 /// An owned file descriptor: closed on drop, readable and writable
 /// through `std::io` traits (with EINTR retries), so `BufReader` /
@@ -71,6 +78,12 @@ impl Drop for Fd {
 }
 
 impl Read for Fd {
+    /// `read(2)` with the stream retry loop: `EINTR` retries
+    /// immediately, `EAGAIN`/`EWOULDBLOCK` (a descriptor someone left in
+    /// non-blocking mode — sockets from a polled `accept`) parks in
+    /// `poll(2)` until readable and retries. Short reads are surfaced as
+    /// usual (`read_exact`/`BufReader` above this layer reassemble
+    /// fragmented frames).
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
         loop {
             let n = unsafe { ffi::read(self.0, buf.as_mut_ptr().cast(), buf.len()) };
@@ -78,14 +91,23 @@ impl Read for Fd {
                 return Ok(n as usize);
             }
             let err = io::Error::last_os_error();
-            if err.kind() != io::ErrorKind::Interrupted {
-                return Err(err);
+            match err.kind() {
+                io::ErrorKind::Interrupted => {}
+                io::ErrorKind::WouldBlock => {
+                    wait_readable(self.0, 100)?;
+                }
+                _ => return Err(err),
             }
         }
     }
 }
 
 impl Write for Fd {
+    /// `write(2)` with the same retry loop as [`Read`]: `EINTR` retries,
+    /// `EAGAIN` parks in `poll(2)` until writable. Partial writes are
+    /// returned as-is — `write_all` (used by every frame serialiser)
+    /// loops over them, which is what makes the framing layer
+    /// short-write-safe on sockets.
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
         loop {
             let n = unsafe { ffi::write(self.0, buf.as_ptr().cast(), buf.len()) };
@@ -93,8 +115,12 @@ impl Write for Fd {
                 return Ok(n as usize);
             }
             let err = io::Error::last_os_error();
-            if err.kind() != io::ErrorKind::Interrupted {
-                return Err(err);
+            match err.kind() {
+                io::ErrorKind::Interrupted => {}
+                io::ErrorKind::WouldBlock => {
+                    wait_writable(self.0, 100)?;
+                }
+                _ => return Err(err),
             }
         }
     }
@@ -201,6 +227,48 @@ pub fn wait_readable(fd: i32, timeout_ms: i32) -> io::Result<bool> {
     }
 }
 
+/// Wait up to `timeout_ms` for `fd` to accept a write (`poll(2)` with
+/// `POLLOUT`). Returns `true` when a write will not block, `false` on
+/// timeout; negative timeout blocks indefinitely.
+pub fn wait_writable(fd: i32, timeout_ms: i32) -> io::Result<bool> {
+    let mut pfd = ffi::PollFd { fd, events: POLLOUT, revents: 0 };
+    loop {
+        let r = unsafe { ffi::poll(&mut pfd, 1, timeout_ms) };
+        if r > 0 {
+            return Ok(true);
+        }
+        if r == 0 {
+            return Ok(false);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// Switch `O_NONBLOCK` on a raw descriptor. The supervisor keeps
+/// listeners non-blocking (a connection aborted between `poll` and
+/// `accept` must not wedge the coordinator), and the stream retry loops
+/// in [`Fd`] make accepted descriptors safe either way.
+pub fn set_nonblocking(fd: i32, on: bool) -> io::Result<()> {
+    let flags = unsafe { ffi::fcntl(fd, F_GETFL, 0) };
+    if flags < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    let flags = if on { flags | O_NONBLOCK } else { flags & !O_NONBLOCK };
+    if unsafe { ffi::fcntl(fd, F_SETFL, flags) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// The calling process id (names Unix socket paths uniquely per
+/// coordinator).
+pub fn getpid() -> i32 {
+    unsafe { ffi::getpid() }
+}
+
 /// Decoded `waitpid` status — `WIFEXITED`/`WEXITSTATUS`/`WTERMSIG`
 /// without libc macros.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -280,6 +348,13 @@ impl TimeoutReader {
     /// profiler can attribute waits per protocol phase as deltas.
     pub fn take_waited_ns(&mut self) -> u64 {
         std::mem::take(&mut self.waited_ns)
+    }
+
+    /// Unwrap the descriptor (the supervisor reads a handshake frame
+    /// under an accept timeout, then re-wraps the stream under the run's
+    /// read timeout).
+    pub fn into_inner(self) -> Fd {
+        self.fd
     }
 }
 
@@ -363,6 +438,44 @@ mod tests {
         // EOF (writer dropped) counts as readable, not a timeout
         drop(w);
         assert_eq!(r.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn nonblocking_read_parks_and_retries_instead_of_failing() {
+        let (r, mut w) = pipe().unwrap();
+        set_nonblocking(r.raw(), true).unwrap();
+        let mut r = r;
+        let writer = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            w.write_all(b"eagain").unwrap();
+        });
+        // an empty non-blocking pipe raises EAGAIN; the Fd retry loop
+        // must park in poll(2) and deliver the late bytes
+        let mut buf = [0u8; 6];
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"eagain");
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn nonblocking_write_parks_and_retries_until_drained() {
+        let (mut r, w) = pipe().unwrap();
+        set_nonblocking(w.raw(), true).unwrap();
+        let mut w = w;
+        let payload = vec![0x5au8; 1 << 20]; // far beyond the pipe buffer
+        let reader = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            r.read_to_end(&mut got).unwrap();
+            got
+        });
+        // write_all over the non-blocking end hits EAGAIN once the pipe
+        // buffer fills; the retry loop must wait for the reader and push
+        // every byte through
+        w.write_all(&payload).unwrap();
+        drop(w);
+        let got = reader.join().unwrap();
+        assert_eq!(got.len(), payload.len());
+        assert!(got.iter().all(|&b| b == 0x5a));
     }
 
     #[test]

@@ -53,7 +53,8 @@
 //!   ones (pinned by `tests/chaos.rs`).
 
 use crate::error::DistError;
-use crate::fault::FaultPlan;
+use crate::fault::{FaultPlan, WorkerFaults};
+use crate::socket::{Listener, SocketSpec, Supervisor};
 use crate::sys::{self, Fd, TimeoutReader, WaitStatus};
 use crate::worker;
 use lms_part::wire::{halo_frame_wire_len, Frame, WireError, WIRE_VERSION};
@@ -63,6 +64,27 @@ use lms_smooth::resident::{ResidentBlock, ResidentRank};
 use lms_smooth::{ExchangeVolume, FtResidentTransport};
 use lms_trace::{now_ns, RankPhaseNanos, TransportProfile};
 use std::io::{self, BufReader, BufWriter, Write};
+
+/// The byte-stream substrate a rank group runs over. The coordinator
+/// core above it (framing, detection, checkpoints, recovery) is
+/// identical either way — only connection establishment differs.
+pub(crate) enum Link {
+    /// Forked children over two anonymous pipes each (the PR 5/6
+    /// backend).
+    Pipes,
+    /// Stream sockets: workers dial the listener and identify themselves
+    /// by rank with their first `Hello` frame.
+    Socket {
+        listener: Listener,
+        supervisor: Supervisor,
+        /// Workers are external standalone processes (possibly on other
+        /// hosts) launched by the caller — never forked, never reaped.
+        external: bool,
+        /// Connections accepted while waiting for a different rank,
+        /// keyed by the rank id their identifying `Hello` carried.
+        parked: Vec<(u32, (Fd, Fd))>,
+    },
+}
 
 /// The reply the coordinator is owed on a rank's stream, if any —
 /// tracked per rank so recovery can drain a survivor to protocol
@@ -80,10 +102,13 @@ enum Pending {
 
 /// One rank's coordinator-side endpoints.
 struct RankChannel {
-    pid: i32,
+    /// The worker's process id — `None` for an external standalone
+    /// worker the coordinator never forked (nothing to signal or reap;
+    /// its only failure evidence is the stream itself).
+    pid: Option<i32>,
     to_rank: BufWriter<Fd>,
     from_rank: BufReader<TimeoutReader>,
-    /// Raw descriptor numbers of the two parent-side pipe ends, so a
+    /// Raw descriptor numbers of the two parent-side stream ends, so a
     /// child forked *later* (a recovery respawn) can shed its inherited
     /// copies of them.
     to_fd: i32,
@@ -110,6 +135,7 @@ pub struct ProcessTransport<'a, const C: usize, D: SmoothDomain<C>> {
     blocks: &'a [ResidentBlock<C>],
     schedule: &'a ExchangeSchedule,
     plan: MessagePlan,
+    link: Link,
     ranks: Vec<RankChannel>,
     /// Per-destination forward queue, drained every color step.
     forward: Vec<Vec<Frame>>,
@@ -163,6 +189,31 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ProcessTransport<'a, C, D> {
         faults: FaultPlan,
         profile: bool,
     ) -> Result<Self, DistError> {
+        Self::spawn_linked(
+            dom,
+            cfg,
+            blocks,
+            schedule,
+            read_timeout_ms,
+            faults,
+            profile,
+            Link::Pipes,
+        )
+    }
+
+    /// [`spawn`](Self::spawn) generalised over the byte-stream substrate
+    /// — the shared constructor `SocketTransport` builds on.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn spawn_linked(
+        dom: &'a D,
+        cfg: &DomainConfig,
+        blocks: &'a [ResidentBlock<C>],
+        schedule: &'a ExchangeSchedule,
+        read_timeout_ms: i32,
+        faults: FaultPlan,
+        profile: bool,
+        link: Link,
+    ) -> Result<Self, DistError> {
         if faults.fail_spawn {
             return Err(DistError::Spawn(io::Error::other("injected spawn failure")));
         }
@@ -173,6 +224,7 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ProcessTransport<'a, C, D> {
             blocks,
             schedule,
             plan: MessagePlan::build(schedule),
+            link,
             ranks: Vec::with_capacity(k),
             forward: (0..k).map(|_| Vec::new()).collect(),
             ckpt: Vec::new(),
@@ -192,11 +244,13 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ProcessTransport<'a, C, D> {
                 Ok(channel) => transport.ranks.push(channel),
                 Err(e) => {
                     // reap the siblings forked so far; the caller falls
-                    // back to the in-process transport
+                    // back down the transport ladder
                     for channel in &transport.ranks {
-                        let _ = sys::kill_pid(channel.pid);
+                        if let Some(pid) = channel.pid {
+                            let _ = sys::kill_pid(pid);
+                        }
                     }
-                    let pids: Vec<i32> = transport.ranks.iter().map(|c| c.pid).collect();
+                    let pids: Vec<i32> = transport.ranks.iter().filter_map(|c| c.pid).collect();
                     transport.ranks.clear();
                     for pid in pids {
                         let _ = sys::wait_pid(pid);
@@ -214,17 +268,39 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ProcessTransport<'a, C, D> {
         self.ranks.len()
     }
 
-    /// Fork and handshake one rank worker. `armed` selects whether the
+    /// The socket address the rank group is served on, when the link is
+    /// a socket.
+    pub(crate) fn socket_addr(&self) -> Option<&SocketSpec> {
+        match &self.link {
+            Link::Socket { listener, .. } => Some(listener.target()),
+            Link::Pipes => None,
+        }
+    }
+
+    /// Establish one rank worker's channel. `armed` selects whether the
     /// transport's fault script applies — initial spawns are armed,
     /// recovery respawns are not (an injected fault fires at most once).
     fn spawn_rank(&mut self, p: u32, armed: bool) -> Result<RankChannel, DistError> {
+        let worker_faults =
+            if armed { self.faults.worker_faults(p) } else { WorkerFaults::default() };
+        match &self.link {
+            Link::Pipes => self.spawn_rank_pipes(p, worker_faults),
+            Link::Socket { external: false, .. } => self.spawn_rank_socket(p, worker_faults),
+            Link::Socket { external: true, .. } => {
+                let (from_rank, to_rank) = self.accept_rank(p)?;
+                self.finish_channel(None, from_rank, to_rank, p)
+            }
+        }
+    }
+
+    /// Fork and handshake one rank worker over a fresh pipe pair.
+    fn spawn_rank_pipes(
+        &mut self,
+        p: u32,
+        worker_faults: WorkerFaults,
+    ) -> Result<RankChannel, DistError> {
         let (child_in, to_rank) = sys::pipe().map_err(DistError::Spawn)?;
         let (from_rank, child_out) = sys::pipe().map_err(DistError::Spawn)?;
-        let worker_faults = if armed {
-            self.faults.worker_faults(p)
-        } else {
-            crate::fault::WorkerFaults::default()
-        };
         // SAFETY: the child touches no parent lock or thread — it builds
         // its rank from the inherited image and enters the
         // single-threaded worker loop, leaving only via `_exit`.
@@ -258,6 +334,149 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ProcessTransport<'a, C, D> {
         }
         drop(child_in);
         drop(child_out);
+        self.finish_channel(Some(pid), from_rank, to_rank, p)
+    }
+
+    /// Fork one rank worker that dials the listener back (supervised
+    /// retry/backoff), then accept and bind its stream by rank id.
+    fn spawn_rank_socket(
+        &mut self,
+        p: u32,
+        worker_faults: WorkerFaults,
+    ) -> Result<RankChannel, DistError> {
+        let (target, policy, listener_fd, parked_fds) = match &self.link {
+            Link::Socket { listener, supervisor, parked, .. } => (
+                listener.target().clone(),
+                supervisor.retry_policy(p),
+                listener.raw_fd(),
+                parked.iter().flat_map(|(_, (r, w))| [r.raw(), w.raw()]).collect::<Vec<i32>>(),
+            ),
+            Link::Pipes => unreachable!("socket spawn on a pipe link"),
+        };
+        // SAFETY: as in `spawn_rank_pipes` — single-threaded child,
+        // leaves only via `_exit`.
+        let pid = unsafe { sys::fork() }.map_err(DistError::Spawn)?;
+        if pid == 0 {
+            // shed every coordinator-side descriptor: live channel
+            // streams, the listener, and any parked connections
+            for channel in &self.ranks {
+                sys::close_raw(channel.to_fd);
+                sys::close_raw(channel.from_fd);
+            }
+            sys::close_raw(listener_fd);
+            for fd in parked_fds {
+                sys::close_raw(fd);
+            }
+            if worker_faults.refuse_connect {
+                // the refused-connect regime: leave before ever dialling,
+                // so the coordinator's accept times out into ConnRefused
+                sys::exit_now(crate::fault::REFUSED_CONNECT_EXIT);
+            }
+            let (input, mut output) = match crate::socket::connect_with_retry(&target, &policy) {
+                Ok(fds) => fds,
+                Err(e) => {
+                    eprintln!("lms-dist rank worker: cannot dial coordinator at {target}: {e}");
+                    sys::exit_now(102);
+                }
+            };
+            // identifying Hello: binds this stream to rank `p` whatever
+            // order the concurrently-forked workers get accepted in
+            let hello = Frame::Hello {
+                version: WIRE_VERSION,
+                dim: <D::Point as DomainPoint>::DIM as u8,
+                rank: p,
+                profile: false,
+            };
+            if hello.write_to(&mut output).is_err() {
+                sys::exit_now(102);
+            }
+            let rank = ResidentRank::new(
+                self.dom,
+                &self.cfg,
+                p,
+                &self.blocks[p as usize],
+                self.schedule,
+                &self.plan,
+            );
+            worker::run_worker(rank, input, output, worker_faults);
+        }
+        match self.accept_rank(p) {
+            Ok((from_rank, to_rank)) => self.finish_channel(Some(pid), from_rank, to_rank, p),
+            Err(e) => {
+                // the forked worker may still be dialling or parked in
+                // its backoff loop: put it into a definite state
+                let _ = sys::kill_pid(pid);
+                let _ = sys::wait_pid(pid);
+                Err(e)
+            }
+        }
+    }
+
+    /// Accept connections until rank `want`'s stream turns up, parking
+    /// any other rank's connection for its own `spawn_rank` call. Every
+    /// wait is bounded by the supervisor's accept timeout; expiry means
+    /// the rank never dialled — [`DistError::ConnRefused`].
+    fn accept_rank(&mut self, want: u32) -> Result<(Fd, Fd), DistError> {
+        let Link::Socket { listener, supervisor, parked, .. } = &mut self.link else {
+            unreachable!("accept on a pipe link")
+        };
+        if let Some(i) = parked.iter().position(|&(r, _)| r == want) {
+            return Ok(parked.swap_remove(i).1);
+        }
+        let accept_ms = supervisor.accept_timeout_ms;
+        loop {
+            let (rfd, wfd) = match listener.accept_stream(accept_ms) {
+                Ok(fds) => fds,
+                Err(e) => {
+                    return Err(DistError::ConnRefused {
+                        addr: listener.target().to_string(),
+                        attempts: supervisor.connect_attempts,
+                        detail: e.to_string(),
+                    })
+                }
+            };
+            // the identifying Hello is read under the accept timeout on
+            // the *raw* stream: buffered reading could overshoot the
+            // frame and lose bytes when the reader is unwrapped below
+            let mut reader = TimeoutReader::new(rfd, accept_ms.min(i32::MAX as u64) as i32);
+            match Frame::read_from(&mut reader) {
+                Ok(Frame::Hello { version, dim, rank: id, .. }) => {
+                    if version != WIRE_VERSION || dim as usize != <D::Point as DomainPoint>::DIM {
+                        return Err(DistError::Spawn(io::Error::other(format!(
+                            "worker handshake mismatch: wire v{version}, dim {dim}"
+                        ))));
+                    }
+                    if id == want {
+                        return Ok((reader.into_inner(), wfd));
+                    }
+                    parked.push((id, (reader.into_inner(), wfd)));
+                }
+                Ok(f) => {
+                    return Err(DistError::Spawn(io::Error::other(format!(
+                        "expected identifying Hello, got {f:?}"
+                    ))))
+                }
+                Err(e) => {
+                    return Err(DistError::ConnRefused {
+                        addr: listener.target().to_string(),
+                        attempts: supervisor.connect_attempts,
+                        detail: format!("worker connected but did not identify: {e}"),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Wrap an established stream pair into a [`RankChannel`] and send
+    /// the coordinator's handshake `Hello` — the tail shared by all
+    /// three link flavours.
+    fn finish_channel(
+        &mut self,
+        pid: Option<i32>,
+        from_rank: Fd,
+        to_rank: Fd,
+        p: u32,
+    ) -> Result<RankChannel, DistError> {
         let to_fd = to_rank.raw();
         let from_fd = from_rank.raw();
         let mut to_rank = BufWriter::new(to_rank);
@@ -282,38 +501,77 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ProcessTransport<'a, C, D> {
         })
     }
 
-    /// Reap rank `p`, blocking: only called once its pipe reported
-    /// EOF/EPIPE, which the worker can cause solely by exiting — so the
-    /// wait terminates promptly (the child is mid-`_exit`, merely not yet
-    /// zombie when the pipe event raced ahead of the reapable state).
+    /// Bounded reap of rank `p` after its stream reported EOF/EPIPE: a
+    /// worker that died is reapable within the grace loop (it is
+    /// mid-`_exit`, merely not yet zombie when the stream event raced
+    /// ahead of the reapable state). `None` means the process is *not*
+    /// exiting — it closed its stream while alive (a dropped connection),
+    /// or it is an external worker with no pid at all — which is exactly
+    /// the [`DistError::ConnLost`] regime; never block `waitpid` on it.
     fn reap_dying(&mut self, p: usize) -> Option<WaitStatus> {
-        match sys::wait_pid(self.ranks[p].pid) {
-            Ok(status) => {
+        let pid = self.ranks[p].pid?;
+        for _ in 0..250 {
+            match sys::try_wait_pid(pid) {
+                Ok(Some(status)) => {
+                    self.ranks[p].reaped = true;
+                    return Some(WaitStatus(status));
+                }
+                Ok(None) => std::thread::sleep(std::time::Duration::from_millis(2)),
+                Err(_) => return None,
+            }
+        }
+        None
+    }
+
+    /// One non-blocking reap attempt (`None` when the process is still
+    /// running, already reaped, or external).
+    fn try_reap(&mut self, p: usize) -> Option<WaitStatus> {
+        let pid = self.ranks[p].pid?;
+        match sys::try_wait_pid(pid) {
+            Ok(Some(status)) => {
                 self.ranks[p].reaped = true;
                 Some(WaitStatus(status))
             }
-            Err(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The [`DistError::ConnLost`] detail string: says whether the
+    /// stream's peer is a forked child `waitpid` still reports alive (a
+    /// dropped connection / network partition) or an external worker the
+    /// coordinator has no pid for.
+    fn conn_lost_detail(&self, p: usize, io_err: &io::Error) -> String {
+        match self.ranks[p].pid {
+            Some(_) => format!("peer closed the stream ({io_err}; process still alive)"),
+            None => format!("external worker stream closed ({io_err}; no pid to reap)"),
         }
     }
 
     /// Classify a failed read on rank `p`'s stream: a checksum or decode
     /// failure is silent corruption; an i/o failure is disambiguated by
-    /// the child's `waitpid` state into "rank died" vs "rank stalled".
+    /// the child's `waitpid` state into "rank died" vs "connection lost"
+    /// vs "rank stalled".
     fn diagnose_read(&mut self, p: usize, e: WireError) -> DistError {
         let rank = p as u32;
         match e {
             WireError::Io(io_err) => {
-                if io_err.kind() == io::ErrorKind::UnexpectedEof {
+                let disconnected = matches!(
+                    io_err.kind(),
+                    io::ErrorKind::UnexpectedEof
+                        | io::ErrorKind::ConnectionReset
+                        | io::ErrorKind::BrokenPipe
+                );
+                if disconnected {
                     if let Some(status) = self.reap_dying(p) {
                         return DistError::RankExited { rank, status };
                     }
+                    // the stream is gone but the process is not: a socket
+                    // closed mid-protocol (or an external worker hung up)
+                    return DistError::ConnLost { rank, detail: self.conn_lost_detail(p, &io_err) };
                 }
-                match sys::try_wait_pid(self.ranks[p].pid) {
-                    Ok(Some(status)) => {
-                        self.ranks[p].reaped = true;
-                        DistError::RankExited { rank, status: WaitStatus(status) }
-                    }
-                    _ if io_err.kind() == io::ErrorKind::TimedOut => {
+                match self.try_reap(p) {
+                    Some(status) => DistError::RankExited { rank, status },
+                    None if io_err.kind() == io::ErrorKind::TimedOut => {
                         let (phase, iter) = self.ranks[p].last_phase;
                         DistError::RankStalled {
                             rank,
@@ -322,28 +580,26 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ProcessTransport<'a, C, D> {
                             last_phase: format!("{phase}#{iter}"),
                         }
                     }
-                    _ => DistError::Wire { rank, error: WireError::Io(io_err) },
+                    None => DistError::Wire { rank, error: WireError::Io(io_err) },
                 }
             }
             error => DistError::Wire { rank, error },
         }
     }
 
-    /// Classify a failed write to rank `p` (EPIPE etc. — almost always a
-    /// dead child).
+    /// Classify a failed write to rank `p` (EPIPE / ECONNRESET — a dead
+    /// child or a dropped connection).
     fn diagnose_write(&mut self, p: usize, e: io::Error) -> DistError {
         let rank = p as u32;
-        if e.kind() == io::ErrorKind::BrokenPipe {
+        if matches!(e.kind(), io::ErrorKind::BrokenPipe | io::ErrorKind::ConnectionReset) {
             if let Some(status) = self.reap_dying(p) {
                 return DistError::RankExited { rank, status };
             }
+            return DistError::ConnLost { rank, detail: self.conn_lost_detail(p, &e) };
         }
-        match sys::try_wait_pid(self.ranks[p].pid) {
-            Ok(Some(status)) => {
-                self.ranks[p].reaped = true;
-                DistError::RankExited { rank, status: WaitStatus(status) }
-            }
-            _ => DistError::Wire { rank, error: WireError::Io(e) },
+        match self.try_reap(p) {
+            Some(status) => DistError::RankExited { rank, status },
+            None => DistError::Wire { rank, error: WireError::Io(e) },
         }
     }
 
@@ -460,14 +716,16 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ProcessTransport<'a, C, D> {
     }
 
     /// Kill and reap rank `p`'s process (no-ops if diagnosis already
-    /// consumed its wait status).
+    /// consumed its wait status, or for an external worker with no pid —
+    /// its only teardown is the channel drop closing the stream).
     fn reap(&mut self, p: usize) {
         if self.ranks[p].reaped {
             return;
         }
-        let pid = self.ranks[p].pid;
-        let _ = sys::kill_pid(pid);
-        let _ = sys::wait_pid(pid);
+        if let Some(pid) = self.ranks[p].pid {
+            let _ = sys::kill_pid(pid);
+            let _ = sys::wait_pid(pid);
+        }
         self.ranks[p].reaped = true;
     }
 
@@ -507,7 +765,10 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ProcessTransport<'a, C, D> {
         for (p, channel) in channels.into_iter().enumerate() {
             let pid = channel.pid;
             let reaped = channel.reaped;
-            drop(channel); // closes both pipe ends: EOF/EPIPE unblocks the child
+            drop(channel); // closes both stream ends: EOF/EPIPE unblocks the child
+                           // external workers have no pid: the stream close (after the
+                           // Shutdown frame above) is their whole teardown
+            let Some(pid) = pid else { continue };
             if reaped {
                 continue;
             }
@@ -740,8 +1001,14 @@ impl<const C: usize, D: SmoothDomain<C>> FtResidentTransport<D::Point>
             DistError::RankExited { rank, .. }
             | DistError::RankStalled { rank, .. }
             | DistError::Wire { rank, .. }
+            | DistError::ConnLost { rank, .. }
             | DistError::Protocol { rank, .. } => vec![*rank],
-            DistError::Spawn(_) | DistError::Shutdown { .. } => Vec::new(),
+            // a respawn that never (re)connected names no rank — but its
+            // stale dead channel fails resync below and re-implicates
+            // itself, so repeated recovery attempts converge
+            DistError::Spawn(_) | DistError::ConnRefused { .. } | DistError::Shutdown { .. } => {
+                Vec::new()
+            }
         };
         for p in 0..self.ranks.len() {
             if failed.contains(&(p as u32)) {

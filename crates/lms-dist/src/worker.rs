@@ -1,59 +1,91 @@
-//! The rank worker: the frame-driven loop a forked rank process runs for
-//! its whole life.
+//! The rank worker: the frame-driven loop a rank process runs for its
+//! whole life.
 //!
 //! A worker owns exactly one [`ResidentRank`] — its part's resident block
 //! state, inherited copy-on-write from the coordinator image at fork
-//! time — and serves the coordinator's frames in pipe order: the FIFO
-//! pipe is the synchronisation, so a `ColorStep` can never overtake the
-//! previous round's forwarded `HaloDelta` frames. Every frame handler is
-//! one [`ResidentRank`] call; the sweep arithmetic is therefore the
+//! time, or rebuilt deterministically from the shared problem parameters
+//! when running standalone over a socket. It serves the coordinator's
+//! frames in stream order: the FIFO byte stream (pipe or socket) is the
+//! synchronisation, so a `ColorStep` can never overtake the previous
+//! round's forwarded `HaloDelta` frames. Every frame handler is one
+//! [`ResidentRank`] call; the sweep arithmetic is therefore the
 //! in-process engine's, expression for expression, which is what makes
 //! the cross-transport oracle hold bit for bit.
 //!
 //! The worker also hosts the test side of the fault-injection harness: a
 //! [`WorkerFaults`] script (usually empty) can kill or stall the process
-//! right before a chosen protocol step, or corrupt a byte of an outgoing
-//! frame — simulating fail-stop deaths, livelocks and silent wire
-//! corruption under the coordinator's detection machinery.
+//! right before a chosen protocol step, corrupt a byte of an outgoing
+//! frame, drop the connection while staying alive, fragment every write
+//! down to single bytes, or delay each outgoing frame — simulating
+//! fail-stop deaths, livelocks, silent wire corruption, and the network
+//! partitions only a socket transport can see.
 
 use crate::codec::{flat_to_points, points_to_flat};
 use crate::fault::{FaultPoint, WorkerFaults};
-use crate::sys::{exit_now, Fd};
 use lms_part::wire::{Frame, WireError, WIRE_VERSION};
 use lms_smooth::domain::{DomainPoint, SmoothDomain};
 use lms_smooth::resident::ResidentRank;
-use std::io::{BufWriter, Write};
+use std::io::{Read, Write};
 
-/// Serve the coordinator until `Shutdown` (or a dead pipe), then leave
+/// How a serve loop ended short of a stream error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ServeOutcome {
+    /// The coordinator sent `Shutdown`: exit cleanly.
+    Shutdown,
+    /// A scripted [`WorkerFault::DropConnBefore`] fired: the caller must
+    /// close both stream ends and **stay alive**, so the coordinator
+    /// diagnoses `ConnLost` rather than `RankExited`.
+    ///
+    /// [`WorkerFault::DropConnBefore`]: crate::fault::WorkerFault::DropConnBefore
+    DropConn,
+}
+
+/// Serve the coordinator until `Shutdown` (or a dead stream), then leave
 /// the process via `_exit` — never by returning into the forked parent
 /// image. Exit codes: 0 clean shutdown, 101 panic, 102 stream error,
-/// [`crate::fault::INJECTED_KILL_EXIT`] injected kill.
-pub(crate) fn run_worker<const C: usize, D: SmoothDomain<C>>(
+/// [`crate::fault::INJECTED_KILL_EXIT`] injected kill. A scripted
+/// connection drop closes the streams and idles the process instead of
+/// exiting — the coordinator's recovery kills it.
+pub(crate) fn run_worker<const C: usize, D, R, W>(
     mut rank: ResidentRank<'_, C, D>,
-    input: Fd,
-    output: Fd,
+    input: R,
+    output: W,
     faults: WorkerFaults,
-) -> ! {
+) -> !
+where
+    D: SmoothDomain<C>,
+    R: Read,
+    W: Write,
+{
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         serve(&mut rank, input, output, &faults)
     }));
     match outcome {
-        Ok(Ok(())) => exit_now(0),
+        Ok(Ok(ServeOutcome::Shutdown)) => crate::sys::exit_now(0),
+        Ok(Ok(ServeOutcome::DropConn)) => {
+            // streams dropped when serve returned; park until recovery
+            // reaps us, so waitpid keeps reporting this process alive
+            std::thread::sleep(std::time::Duration::from_secs(120));
+            crate::sys::exit_now(0);
+        }
         Ok(Err(e)) => {
             eprintln!("lms-dist rank worker: stream error: {e}");
-            exit_now(102);
+            crate::sys::exit_now(102);
         }
         Err(_) => {
             eprintln!("lms-dist rank worker: panicked");
-            exit_now(101);
+            crate::sys::exit_now(101);
         }
     }
 }
 
-/// The worker's frame writer: counts outgoing frames and applies any
-/// scripted single-byte corruption by serialising the victim frame to a
-/// scratch buffer, flipping the byte, and writing the damaged image raw —
-/// the pipe carries exactly what a torn wire would.
+/// The worker's frame writer: counts outgoing frames and applies the
+/// scripted wire-level faults. Single-byte corruption serialises the
+/// victim frame to a scratch buffer, flips the byte, and writes the
+/// damaged image raw — the stream carries exactly what a torn wire
+/// would. Short-write mode pushes every frame one byte per flush — the
+/// maximally fragmented stream — and slow-peer mode sleeps before each
+/// frame.
 struct FrameWriter<'f, W: Write> {
     inner: W,
     faults: &'f WorkerFaults,
@@ -62,6 +94,9 @@ struct FrameWriter<'f, W: Write> {
 
 impl<W: Write> FrameWriter<'_, W> {
     fn put(&mut self, frame: &Frame) -> std::io::Result<()> {
+        if self.faults.slow_frame_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(self.faults.slow_frame_ms));
+        }
         let idx = self.sent;
         self.sent += 1;
         if let Some(byte) = self.faults.corrupt_byte(idx) {
@@ -73,9 +108,27 @@ impl<W: Write> FrameWriter<'_, W> {
             // instead of a timeout
             let i = 4 + byte % (bytes.len() - 4);
             bytes[i] ^= 0x5a;
-            self.inner.write_all(&bytes)
+            self.write_bytes(&bytes)
+        } else if self.faults.short_write {
+            let mut bytes = Vec::new();
+            frame.write_to(&mut bytes)?;
+            self.write_bytes(&bytes)
         } else {
             frame.write_to(&mut self.inner)
+        }
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        if self.faults.short_write {
+            // one byte per syscall: flush between bytes so any buffering
+            // below cannot coalesce them back together
+            for b in bytes {
+                self.inner.write_all(std::slice::from_ref(b))?;
+                self.inner.flush()?;
+            }
+            Ok(())
+        } else {
+            self.inner.write_all(bytes)
         }
     }
 
@@ -84,14 +137,19 @@ impl<W: Write> FrameWriter<'_, W> {
     }
 }
 
-fn serve<const C: usize, D: SmoothDomain<C>>(
+pub(crate) fn serve<const C: usize, D, R, W>(
     rank: &mut ResidentRank<'_, C, D>,
-    input: Fd,
-    output: Fd,
+    input: R,
+    output: W,
     faults: &WorkerFaults,
-) -> Result<(), WireError> {
+) -> Result<ServeOutcome, WireError>
+where
+    D: SmoothDomain<C>,
+    R: Read,
+    W: Write,
+{
     let mut rd = std::io::BufReader::new(input);
-    let mut wr = FrameWriter { inner: BufWriter::new(output), faults, sent: 0 };
+    let mut wr = FrameWriter { inner: std::io::BufWriter::new(output), faults, sent: 0 };
 
     match Frame::read_from(&mut rd)? {
         Frame::Hello { version, dim, rank: id, profile } => {
@@ -108,7 +166,7 @@ fn serve<const C: usize, D: SmoothDomain<C>>(
     // worker-local iteration counter: the number of Interior frames
     // served so far — the `iter` coordinate of fault points
     let mut iter: u32 = 0;
-    loop {
+    let outcome = loop {
         match Frame::read_from(&mut rd)? {
             Frame::Gather { coords, scores } => {
                 let points = flat_to_points::<D::Point>(&coords);
@@ -116,10 +174,16 @@ fn serve<const C: usize, D: SmoothDomain<C>>(
             }
             Frame::Interior => {
                 iter += 1;
+                if faults.hit_drop(FaultPoint::Interior { iter }) {
+                    break ServeOutcome::DropConn;
+                }
                 faults.hit(FaultPoint::Interior { iter });
                 rank.sweep_interior();
             }
             Frame::ColorStep { color } => {
+                if faults.hit_drop(FaultPoint::Color { iter, color }) {
+                    break ServeOutcome::DropConn;
+                }
                 faults.hit(FaultPoint::Color { iter, color });
                 rank.apply_pending();
                 rank.sweep_color(color as usize);
@@ -143,6 +207,9 @@ fn serve<const C: usize, D: SmoothDomain<C>>(
                 rank.stash_deltas(&slots, &points);
             }
             Frame::FinishIteration => {
+                if faults.hit_drop(FaultPoint::Finish { iter }) {
+                    break ServeOutcome::DropConn;
+                }
                 faults.hit(FaultPoint::Finish { iter });
                 rank.finalize_iteration();
                 // phase timings ride as *deltas* (take_phases drains), so
@@ -156,8 +223,10 @@ fn serve<const C: usize, D: SmoothDomain<C>>(
                 wr.put(&Frame::Scatter { coords: points_to_flat(rank.owned_coords()) })?;
                 wr.flush()?;
             }
-            Frame::Shutdown => return Ok(()),
+            Frame::Shutdown => break ServeOutcome::Shutdown,
             f => panic!("coordinator sent unexpected frame {f:?}"),
         }
-    }
+    };
+    // rd/wr drop here, closing both stream ends before the caller parks
+    Ok(outcome)
 }

@@ -12,7 +12,7 @@
 
 use lms_dist::{
     DistError, DistResidentEngine, DistResidentEngine3, FaultPlan, FaultPoint, FtOptions,
-    ProcessTransport, INJECTED_KILL_EXIT,
+    ProcessTransport, Supervisor, TransportMode, INJECTED_KILL_EXIT,
 };
 use lms_mesh::TriMesh;
 use lms_mesh3d::SmoothParams3;
@@ -291,6 +291,277 @@ fn seeded_fault_matrix_is_bit_identical_to_the_oracle() {
             .unwrap_or_else(|e| panic!("seed {seed} ({plan:?}): {e}"));
         assert_eq!(work.coords(), oracle.coords(), "seed {seed} ({plan:?})");
         assert_eq!(report, oracle_report, "seed {seed} ({plan:?})");
+        assert!(stats.recoveries.len() <= 1, "seed {seed}: {:?}", stats.recoveries);
+    }
+}
+
+// ---------------------------------------------------------------------
+// PR 8: the network-fault chaos matrix. Every cell below runs a scripted
+// network failure over a chosen substrate and gates the result
+// bit-identical (coords AND report) to the failure-free oracle.
+// ---------------------------------------------------------------------
+
+const ALL_MODES: [TransportMode; 3] =
+    [TransportMode::Pipes, TransportMode::UnixSocket, TransportMode::TcpLoopback];
+
+fn options_over(mode: TransportMode, faults: FaultPlan) -> FtOptions {
+    FtOptions { mode, ..options(faults) }
+}
+
+/// The cross-transport fault matrix: {pipes, unix socket, tcp loopback}
+/// × {kill, dropped connection, stall, corrupted wire byte}, every cell
+/// detected, recovered, and bit-identical to the oracle. The dropped
+/// connection is the network-native failure only PR 8 can script: the
+/// worker closes its streams but **stays alive**, so the diagnosis must
+/// be `ConnLost`, not a reaped exit.
+#[test]
+fn network_fault_matrix_2d_recovers_bit_identical() {
+    let mesh = mesh_2d();
+    let engine = DistResidentEngine::by_method(&mesh, params_2d(3), 4, PartitionMethod::Rcb);
+    let (oracle, oracle_report) = oracle_2d(&engine, &mesh);
+    let cells: [(FaultPlan, &str); 4] = [
+        (FaultPlan::kill_at(1, FaultPoint::Color { iter: 2, color: 0 }), "exit code"),
+        (FaultPlan::drop_conn_at(2, FaultPoint::Interior { iter: 2 }), "lost connection"),
+        (FaultPlan::stall_at(1, FaultPoint::Color { iter: 2, color: 0 }, 30_000), "stalled"),
+        (FaultPlan::corrupt(1, 3, 200), "corrupt stream"),
+    ];
+    for mode in ALL_MODES {
+        for (plan, diagnosis) in &cells {
+            let opts = FtOptions { read_timeout_ms: 1_000, ..options_over(mode, plan.clone()) };
+            let mut work = mesh.clone();
+            let (report, stats) = engine
+                .smooth_ft(&mut work, &opts)
+                .unwrap_or_else(|e| panic!("{mode:?} × {plan:?}: {e}"));
+            assert_eq!(work.coords(), oracle.coords(), "coords: {mode:?} × {plan:?}");
+            assert_eq!(report, oracle_report, "report: {mode:?} × {plan:?}");
+            assert!(!stats.recoveries.is_empty(), "{mode:?} × {plan:?} must recover");
+            assert!(
+                stats.recoveries.iter().any(|r| r.contains(diagnosis)),
+                "{mode:?} × {plan:?}: diagnosis should mention {diagnosis:?}, \
+                 got {:?}",
+                stats.recoveries
+            );
+        }
+    }
+}
+
+/// The 3D slice of the matrix: one kill and one dropped connection per
+/// socket family — the handshake, recovery reload, and coalesced halo
+/// routing are all dimension-generic, so a thin slice pins the rest.
+#[test]
+fn network_fault_matrix_3d_recovers_bit_identical() {
+    let mesh = lms_mesh3d::generators::perturbed_tet_grid(7, 6, 7, 0.35, 9);
+    let params = SmoothParams3::paper().with_smart(true).with_max_iters(2).with_tol(-1.0);
+    let engine = DistResidentEngine3::by_method(&mesh, params, 4, PartitionMethod::Rcb);
+    let mut oracle = mesh.clone();
+    let oracle_report = engine.inner().smooth(&mut oracle, 2);
+    for mode in [TransportMode::UnixSocket, TransportMode::TcpLoopback] {
+        for plan in [
+            FaultPlan::kill_at(0, FaultPoint::Color { iter: 1, color: 0 }),
+            FaultPlan::drop_conn_at(3, FaultPoint::Finish { iter: 1 }),
+        ] {
+            let mut work = mesh.clone();
+            let (report, stats) = engine
+                .smooth_ft(&mut work, &options_over(mode, plan.clone()))
+                .unwrap_or_else(|e| panic!("3D {mode:?} × {plan:?}: {e}"));
+            assert_eq!(work.coords(), oracle.coords(), "3D coords: {mode:?} × {plan:?}");
+            assert_eq!(report, oracle_report, "3D report: {mode:?} × {plan:?}");
+            assert_eq!(stats.recoveries.len(), 1, "3D {mode:?} × {plan:?}");
+        }
+    }
+}
+
+/// Maximal stream fragmentation — every worker frame delivered one byte
+/// per syscall — must be **invisible**: the framing layer reassembles,
+/// nothing is diagnosed, and the run is bit-identical with zero
+/// recoveries. This is the network face of the satellite-2 short-write
+/// hardening.
+#[test]
+fn short_writes_are_reassembled_invisibly_on_every_transport() {
+    let mesh = mesh_2d();
+    let engine = DistResidentEngine::by_method(&mesh, params_2d(3), 4, PartitionMethod::Rcb);
+    let (oracle, oracle_report) = oracle_2d(&engine, &mesh);
+    for mode in ALL_MODES {
+        let mut work = mesh.clone();
+        let (report, stats) = engine
+            .smooth_ft(&mut work, &options_over(mode, FaultPlan::short_write(1)))
+            .unwrap_or_else(|e| panic!("short-write over {mode:?}: {e}"));
+        assert_eq!(work.coords(), oracle.coords(), "short-write coords over {mode:?}");
+        assert_eq!(report, oracle_report, "short-write report over {mode:?}");
+        assert!(stats.recoveries.is_empty(), "short writes must not trip recovery: {mode:?}");
+    }
+}
+
+/// A peer that is merely *slow* — pausing before each frame but staying
+/// under the read timeout — must not be mistaken for a stalled rank.
+#[test]
+fn slow_peer_below_the_timeout_is_not_diagnosed() {
+    let mesh = mesh_2d();
+    let engine = DistResidentEngine::by_method(&mesh, params_2d(2), 2, PartitionMethod::Rcb);
+    let (oracle, oracle_report) = oracle_2d(&engine, &mesh);
+    for mode in [TransportMode::UnixSocket, TransportMode::TcpLoopback] {
+        let mut work = mesh.clone();
+        let (report, stats) = engine
+            .smooth_ft(&mut work, &options_over(mode, FaultPlan::slow_peer(1, 5)))
+            .unwrap_or_else(|e| panic!("slow peer over {mode:?}: {e}"));
+        assert_eq!(work.coords(), oracle.coords(), "slow-peer coords over {mode:?}");
+        assert_eq!(report, oracle_report, "slow-peer report over {mode:?}");
+        assert!(stats.recoveries.is_empty(), "a slow peer is not a fault: {mode:?}");
+    }
+}
+
+/// A worker that never dials back surfaces as the typed
+/// [`DistError::ConnRefused`] once the accept bound expires — and the
+/// graceful path still computes the oracle answer in-process.
+#[test]
+fn refused_connection_surfaces_typed_error_and_degrades() {
+    let mesh = mesh_2d();
+    let engine = DistResidentEngine::by_method(&mesh, params_2d(3), 4, PartitionMethod::Rcb);
+    let (oracle, oracle_report) = oracle_2d(&engine, &mesh);
+    let opts = FtOptions {
+        supervisor: Supervisor { accept_timeout_ms: 400, ..Supervisor::default() },
+        ..options_over(TransportMode::TcpLoopback, FaultPlan::refuse(1))
+    };
+    let mut work = mesh.clone();
+    let err = engine.smooth_ft(&mut work, &opts).unwrap_err();
+    match &err {
+        DistError::ConnRefused { attempts, .. } => assert!(*attempts >= 1),
+        other => panic!("expected ConnRefused, got {other}"),
+    }
+    let mut degraded = mesh.clone();
+    let report = engine.smooth_with(&mut degraded, &opts);
+    assert_eq!(degraded.coords(), oracle.coords());
+    assert_eq!(report, oracle_report);
+}
+
+/// The graceful-degradation ladder, rung by rung: vetoing TCP lands on
+/// the Unix socket, vetoing both socket families lands on pipes, a
+/// refused dial walks the socket rungs down to pipes (which has no
+/// connection to refuse), and vetoing everything degrades to the
+/// in-process engine — bit-identical at every rung.
+#[test]
+fn auto_mode_walks_the_degradation_ladder() {
+    let mesh = mesh_2d();
+    let engine = DistResidentEngine::by_method(&mesh, params_2d(3), 4, PartitionMethod::Rcb);
+    let (oracle, oracle_report) = oracle_2d(&engine, &mesh);
+    assert_eq!(
+        TransportMode::Auto.ladder(),
+        vec![
+            TransportMode::TcpLoopback,
+            TransportMode::UnixSocket,
+            TransportMode::Pipes,
+            TransportMode::InProcess
+        ]
+    );
+
+    let fast_accept = Supervisor { accept_timeout_ms: 300, ..Supervisor::default() };
+    let rungs: [FaultPlan; 3] = [
+        FaultPlan::no_tcp(),
+        FaultPlan { fail_unix: true, ..FaultPlan::no_tcp() },
+        // refuse_connect fires on both socket rungs (the worker exits
+        // before dialling); pipes has no dial to refuse, so the ladder
+        // lands there
+        FaultPlan::refuse(2),
+    ];
+    for plan in rungs {
+        let opts = FtOptions {
+            supervisor: fast_accept.clone(),
+            ..options_over(TransportMode::Auto, plan.clone())
+        };
+        let mut work = mesh.clone();
+        let (report, stats) = engine
+            .smooth_ft(&mut work, &opts)
+            .unwrap_or_else(|e| panic!("ladder with {plan:?}: {e}"));
+        assert_eq!(work.coords(), oracle.coords(), "ladder coords with {plan:?}");
+        assert_eq!(report, oracle_report, "ladder report with {plan:?}");
+        assert!(stats.recoveries.is_empty(), "descent is not a recovery: {plan:?}");
+    }
+
+    // every rank-group rung vetoed: the typed error is surfaced, and the
+    // graceful path computes in-process
+    let all_vetoed = FaultPlan { fail_unix: true, fail_spawn: true, ..FaultPlan::no_tcp() };
+    let opts = options_over(TransportMode::Auto, all_vetoed);
+    let mut work = mesh.clone();
+    let err = engine.smooth_ft(&mut work, &opts).unwrap_err();
+    assert!(matches!(err, DistError::Spawn(_)), "got {err}");
+    let mut degraded = mesh.clone();
+    let report = engine.smooth_with(&mut degraded, &opts);
+    assert_eq!(degraded.coords(), oracle.coords());
+    assert_eq!(report, oracle_report);
+}
+
+/// Satellite 6: the diagnosis channel distinguishes a connection lost to
+/// a **still-alive** peer (`ConnLost`, from a scripted drop) from wire
+/// corruption (`corrupt stream`) — same socket, same EOF-adjacent
+/// symptoms, different typed causes.
+#[test]
+fn diagnosis_distinguishes_conn_lost_from_wire_corruption() {
+    let mesh = mesh_2d();
+    let engine = DistResidentEngine::by_method(&mesh, params_2d(3), 4, PartitionMethod::Rcb);
+    let (oracle, _) = oracle_2d(&engine, &mesh);
+
+    let mut dropped = mesh.clone();
+    let (_, drop_stats) = engine
+        .smooth_ft(
+            &mut dropped,
+            &options_over(
+                TransportMode::UnixSocket,
+                FaultPlan::drop_conn_at(1, FaultPoint::Color { iter: 2, color: 0 }),
+            ),
+        )
+        .expect("dropped connection must be recoverable");
+    assert_eq!(dropped.coords(), oracle.coords());
+    assert_eq!(drop_stats.recoveries.len(), 1);
+    assert!(
+        drop_stats.recoveries[0].contains("lost connection to rank 1"),
+        "drop diagnosis: {:?}",
+        drop_stats.recoveries[0]
+    );
+    assert!(
+        !drop_stats.recoveries[0].contains("corrupt"),
+        "a dropped connection is not corruption: {:?}",
+        drop_stats.recoveries[0]
+    );
+
+    let mut corrupted = mesh.clone();
+    let (_, corrupt_stats) = engine
+        .smooth_ft(
+            &mut corrupted,
+            &options_over(TransportMode::UnixSocket, FaultPlan::corrupt(1, 2, 77)),
+        )
+        .expect("corruption must be recoverable");
+    assert_eq!(corrupted.coords(), oracle.coords());
+    assert_eq!(corrupt_stats.recoveries.len(), 1);
+    assert!(
+        corrupt_stats.recoveries[0].contains("corrupt stream"),
+        "corruption diagnosis: {:?}",
+        corrupt_stats.recoveries[0]
+    );
+    assert!(
+        !corrupt_stats.recoveries[0].contains("lost connection"),
+        "corruption is not a lost connection: {:?}",
+        corrupt_stats.recoveries[0]
+    );
+}
+
+/// The seeded CI matrix over sockets: the same property the pipe-backend
+/// seeds pin, with the seed space now including dropped connections.
+#[test]
+fn seeded_fault_matrix_over_sockets_is_bit_identical() {
+    let mesh = mesh_2d();
+    let engine = DistResidentEngine::by_method(&mesh, params_2d(3), 4, PartitionMethod::Rcb);
+    let num_colors = engine.inner().interface_classes().len() as u32;
+    let (oracle, oracle_report) = oracle_2d(&engine, &mesh);
+    for (seed, mode) in
+        (1..=6u64).zip([TransportMode::UnixSocket, TransportMode::TcpLoopback].into_iter().cycle())
+    {
+        let plan = FaultPlan::from_seed(seed, 4, 3, num_colors);
+        let mut work = mesh.clone();
+        let (report, stats) = engine
+            .smooth_ft(&mut work, &options_over(mode, plan.clone()))
+            .unwrap_or_else(|e| panic!("seed {seed} over {mode:?} ({plan:?}): {e}"));
+        assert_eq!(work.coords(), oracle.coords(), "seed {seed} over {mode:?}");
+        assert_eq!(report, oracle_report, "seed {seed} over {mode:?}");
         assert!(stats.recoveries.len() <= 1, "seed {seed}: {:?}", stats.recoveries);
     }
 }

@@ -6,7 +6,7 @@
 //! serial part-major Gauss–Seidel. The serial gate is re-asserted here
 //! directly in 2D so this suite stands on its own.
 
-use lms_dist::{DistResidentEngine, DistResidentEngine3};
+use lms_dist::{DistResidentEngine, DistResidentEngine3, FtOptions, TransportMode};
 use lms_mesh3d::{ResidentEngine3, SmoothEngine3, SmoothParams3};
 use lms_part::PartitionMethod;
 use lms_smooth::{SmoothEngine, SmoothParams};
@@ -128,6 +128,85 @@ fn engines_sharing_a_decomposition_agree_with_existing_engine_zoo() {
     let mut b = mesh.clone();
     part_engine.smooth(&mut b, 2);
     assert_eq!(a.coords(), b.coords());
+}
+
+/// The PR-8 socket rungs join the bit-identity class: forked workers
+/// dialling back over a Unix-domain socket or TCP loopback compute the
+/// same coordinates *and* the same report — exchange accounting included,
+/// because `halo_frame_wire_len` charges every transport identically —
+/// as the in-process resident engine.
+#[test]
+fn socket_transports_match_in_process_2d() {
+    let mesh = lms_mesh::generators::perturbed_grid(18, 16, 0.35, 11);
+    for mode in [TransportMode::UnixSocket, TransportMode::TcpLoopback] {
+        for parts in [2usize, 4] {
+            for smart in [true, false] {
+                let params =
+                    SmoothParams::paper().with_smart(smart).with_max_iters(3).with_tol(-1.0);
+                let engine =
+                    DistResidentEngine::by_method(&mesh, params, parts, PartitionMethod::Rcb);
+                let opts = FtOptions { mode, ..FtOptions::default() };
+                let mut dist = mesh.clone();
+                let (dist_report, stats) = engine
+                    .smooth_ft(&mut dist, &opts)
+                    .unwrap_or_else(|e| panic!("{mode:?}, {parts} parts, smart={smart}: {e}"));
+                assert!(stats.recoveries.is_empty(), "{mode:?}: clean run must not recover");
+                let mut local = mesh.clone();
+                let local_report = engine.inner().smooth(&mut local, 2);
+                assert_eq!(
+                    dist.coords(),
+                    local.coords(),
+                    "coords diverged over {mode:?}: {parts} parts, smart={smart}"
+                );
+                assert_eq!(
+                    dist_report, local_report,
+                    "reports diverged over {mode:?}: {parts} parts, smart={smart}"
+                );
+            }
+        }
+    }
+}
+
+/// 3D over sockets: one representative cell per family keeps the suite
+/// fast while pinning that the handshake's dimension plumb-through works
+/// end to end.
+#[test]
+fn socket_transports_match_in_process_3d() {
+    let mesh = lms_mesh3d::generators::perturbed_tet_grid(7, 6, 7, 0.35, 9);
+    for mode in [TransportMode::UnixSocket, TransportMode::TcpLoopback] {
+        let params = SmoothParams3::paper().with_smart(true).with_max_iters(2).with_tol(-1.0);
+        let engine = DistResidentEngine3::by_method(&mesh, params, 4, PartitionMethod::Rcb);
+        let opts = FtOptions { mode, ..FtOptions::default() };
+        let mut dist = mesh.clone();
+        let (dist_report, _) =
+            engine.smooth_ft(&mut dist, &opts).unwrap_or_else(|e| panic!("{mode:?}: {e}"));
+        let mut local = mesh.clone();
+        let local_report = engine.inner().smooth(&mut local, 2);
+        assert_eq!(dist.coords(), local.coords(), "3D coords diverged over {mode:?}");
+        assert_eq!(dist_report, local_report, "3D report diverged over {mode:?}");
+    }
+}
+
+/// All three multi-process substrates agree with each other byte for
+/// byte on the same run — the transport is invisible to the result.
+#[test]
+fn pipes_unix_and_tcp_agree_with_each_other() {
+    let mesh = lms_mesh::generators::perturbed_grid(16, 14, 0.3, 7);
+    let params = SmoothParams::paper().with_smart(true).with_max_iters(3).with_tol(-1.0);
+    let engine = DistResidentEngine::by_method(&mesh, params, 4, PartitionMethod::Hilbert);
+    let mut runs = Vec::new();
+    for mode in [TransportMode::Pipes, TransportMode::UnixSocket, TransportMode::TcpLoopback] {
+        let mut work = mesh.clone();
+        let (report, _) = engine
+            .smooth_ft(&mut work, &FtOptions { mode, ..FtOptions::default() })
+            .unwrap_or_else(|e| panic!("{mode:?}: {e}"));
+        runs.push((mode, work, report));
+    }
+    let (_, ref_mesh, ref_report) = &runs[0];
+    for (mode, work, report) in &runs[1..] {
+        assert_eq!(work.coords(), ref_mesh.coords(), "{mode:?} vs Pipes coords");
+        assert_eq!(report, ref_report, "{mode:?} vs Pipes report");
+    }
 }
 
 #[test]

@@ -197,6 +197,28 @@ fn arb_bits(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u64>> {
     proptest::collection::vec(any::<u64>(), len)
 }
 
+/// A reader that fragments its byte stream: each `read` call hands out
+/// at most the next cap from a cycling list — the socket-stream reality
+/// (and the scripted short-write fault) where `read(2)` returns
+/// whatever happens to have arrived, one byte included.
+struct Dribble<'a> {
+    data: &'a [u8],
+    pos: usize,
+    caps: Vec<usize>,
+    turn: usize,
+}
+
+impl std::io::Read for Dribble<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let cap = self.caps[self.turn % self.caps.len()];
+        self.turn += 1;
+        let n = buf.len().min(cap).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -250,6 +272,86 @@ proptest! {
             prop_assert_eq!(frame.encode(), back.encode());
         }
         prop_assert!(cursor.is_empty(), "stream must be fully consumed");
+    }
+
+    /// Stream fragmentation is invisible to frame decode: reading the
+    /// same encoded stream through a reader that dribbles out arbitrary
+    /// small chunks per syscall — down to one byte at a time, the
+    /// worst case a TCP stream (or a scripted short-write fault) can
+    /// present — yields exactly the frames a whole-buffer decode does.
+    #[test]
+    fn frames_decode_identically_through_any_fragmentation(
+        coord_bits in arb_bits(0..24),
+        slots in proptest::collection::vec(any::<u32>(), 0..12),
+        part in any::<u32>(),
+        color in any::<u32>(),
+        chunks in proptest::collection::vec(1usize..7, 1..6),
+    ) {
+        use lms_part::wire::Frame;
+        let coords: Vec<f64> = coord_bits.iter().map(|&b| f64::from_bits(b)).collect();
+        let frames = vec![
+            Frame::Gather {
+                coords: coords.clone(),
+                scores: coord_bits.iter().map(|&b| (f64::from_bits(b), b % 3 == 0)).collect(),
+            },
+            Frame::ColorStep { color },
+            Frame::HaloDelta {
+                part,
+                slots: slots.clone(),
+                coords: coords.iter().copied().cycle().take(slots.len() * 2).collect(),
+            },
+            Frame::RoundDone,
+            Frame::Shutdown,
+        ];
+        let mut stream = Vec::new();
+        for frame in &frames {
+            frame.write_to(&mut stream).unwrap();
+        }
+        // arbitrary split points (cycling chunk caps), then the
+        // maximally fragmented stream: one byte per read
+        for caps in [chunks.clone(), vec![1]] {
+            let mut rd = Dribble { data: &stream, pos: 0, caps: caps.clone(), turn: 0 };
+            for frame in &frames {
+                let back = Frame::read_from(&mut rd).expect("fragmented decode");
+                prop_assert_eq!(frame.encode(), back.encode(), "caps {:?}", caps);
+            }
+            prop_assert_eq!(rd.pos, stream.len(), "stream fully consumed");
+        }
+    }
+
+    /// Truncating an encoded frame at ANY point — mid length prefix,
+    /// mid checksum, mid payload — makes `read_from` return a typed
+    /// error (never a panic, never a bogus frame), whether the bytes
+    /// arrive whole or dribbled.
+    #[test]
+    fn truncated_streams_are_rejected_never_panic(
+        coord_bits in arb_bits(1..8),
+        part in any::<u32>(),
+    ) {
+        use lms_part::wire::Frame;
+        let frame = Frame::HaloDelta {
+            part,
+            slots: (0..coord_bits.len() as u32 / 2).collect(),
+            coords: coord_bits.iter().map(|&b| f64::from_bits(b)).collect(),
+        };
+        let mut stream = Vec::new();
+        frame.write_to(&mut stream).unwrap();
+        // exhaustive over cut points for this payload
+        for cut in 0..stream.len() {
+            let torn = &stream[..cut];
+            prop_assert!(
+                Frame::read_from(&mut &torn[..]).is_err(),
+                "cut at {} of {} must be rejected",
+                cut,
+                stream.len()
+            );
+            let mut rd = Dribble { data: torn, pos: 0, caps: vec![1], turn: 0 };
+            prop_assert!(
+                Frame::read_from(&mut rd).is_err(),
+                "dribbled cut at {} must be rejected",
+                cut
+            );
+        }
     }
 
     /// Corrupting ANY single byte of an encoded frame — length prefix,

@@ -47,6 +47,7 @@ pub mod kernel;
 pub mod parallel;
 pub mod partitioned;
 pub mod pool;
+pub mod rebalance;
 pub mod resident;
 pub mod stats;
 pub mod trace;
@@ -65,6 +66,7 @@ pub use greedy::greedy_visit_order;
 pub use parallel::{parallel_mesh_quality, smooth_parallel};
 pub use partitioned::{smooth_partitioned, PartitionedEngine};
 pub use pool::PoolCache;
+pub use rebalance::{sweep_spread, AutoRebalanceEngine, RebalancePolicy};
 pub use resident::{smooth_resident, PairBatch, ResidentEngine, ResidentRank};
 pub use stats::{ExchangeVolume, IterationStats, SmoothReport};
 pub use trace::{AccessSink, CountSink, NullSink, VecSink};

@@ -10,7 +10,7 @@
 //! kinds of the `lms_part::wire` protocol (gather / interior / color-step
 //! / finish / scatter).
 //!
-//! Two implementations exist:
+//! Three transport families exist:
 //!
 //! * [`InProcessTransport`] (here) — the shared-address-space engine the
 //!   PR 1–4 property suites pin: every part is a [`ResidentRank`] in one
@@ -21,6 +21,11 @@
 //!   holding its block; the same operations become wire frames over Unix
 //!   pipes, with the coordinator forwarding the coalesced per-pair delta
 //!   batches between ranks.
+//! * `lms_dist::SocketTransport` (PR 8) — the same frames over stream
+//!   *sockets* (Unix-domain or TCP): ranks dial the coordinator under a
+//!   supervised retry/backoff policy and may live outside the
+//!   coordinator's process tree entirely (`lms-tool dist-worker`), which
+//!   is the single-host stand-in for a true multi-node deployment.
 //!
 //! Both transports route moved deltas **coalesced per (source part →
 //! destination part) pair** along the [`lms_part::MessagePlan`] — one
