@@ -1,0 +1,47 @@
+//! Bulk scoring microbench: every element of a 512x512 perturbed grid
+//! scored through one lane-batched `score_batch` call vs one per-element
+//! `score_soa` call, interleaved min-of-50 on identical SoA inputs.
+//! The same measurement feeds the `bulk_scoring` block of
+//! `BENCH_smooth.json`; this standalone binary exists for quick hand
+//! runs while tuning the kernel.
+
+use lms_mesh::quality::QualityMetric;
+use lms_mesh::{generators, Adjacency, Boundary};
+use lms_smooth::domain::{SmoothDomain, TriDomain};
+use lms_smooth::{SoaCoords, SoaLike};
+use std::time::Instant;
+
+fn main() {
+    let m = generators::perturbed_grid(512, 512, 0.35, 42);
+    let adj = Adjacency::build(&m);
+    let boundary = Boundary::detect(&m);
+    let dom = TriDomain::new(&adj, &boundary, m.triangles(), QualityMetric::EdgeLengthRatio);
+    let mut soa = SoaCoords::<2>::with_len(m.num_vertices());
+    soa.gather_from(m.coords());
+    let rows: Vec<[u32; 3]> = dom.elements().to_vec();
+    let mut out = vec![(0.0, false); rows.len()];
+    let reps = 50;
+
+    let mut best_b = u128::MAX;
+    let mut best_s = u128::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        dom.score_batch(&soa, &rows, &mut out);
+        best_b = best_b.min(t.elapsed().as_nanos());
+        std::hint::black_box(&out);
+        let t = Instant::now();
+        for (slot, &row) in out.iter_mut().zip(&rows) {
+            *slot = dom.score_soa(&soa, row);
+        }
+        best_s = best_s.min(t.elapsed().as_nanos());
+        std::hint::black_box(&out);
+    }
+    let n = rows.len() as f64;
+    println!("elements: {}", rows.len());
+    println!(
+        "batched: {:.2} ns/elem   scalar(score_soa): {:.2} ns/elem   speedup {:.3}",
+        best_b as f64 / n,
+        best_s as f64 / n,
+        best_s as f64 / best_b as f64
+    );
+}

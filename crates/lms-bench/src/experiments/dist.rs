@@ -105,6 +105,8 @@ pub fn dist(cfg: &ExpConfig) -> String {
         if let Ok((report, _, recorder)) =
             dist_engine.smooth_profiled(&mut work, &FtOptions::default())
         {
+            let moved = report.moved_vertices_per_sec();
+            let scored = report.scored_elements_per_sec();
             let breakdown = report.phase_breakdown.expect("profiled run attaches a breakdown");
             let _ = writeln!(
                 out,
@@ -112,6 +114,16 @@ pub fn dist(cfg: &ExpConfig) -> String {
                 named.spec.name,
                 recorder.events().len(),
                 breakdown.summary_table()
+            );
+            // scored-elements/sec is rank-local and not shipped over wire
+            // v3, so the process transport reports only the moved rate
+            let _ = writeln!(
+                out,
+                "throughput — {:.2}k moved vertices/s, scored elements/s: {}",
+                moved.unwrap_or(f64::NAN) / 1e3,
+                scored
+                    .map(|s| format!("{:.2}M", s / 1e6))
+                    .unwrap_or_else(|| "n/a (not shipped over the wire)".into()),
             );
         }
     }
@@ -139,5 +151,6 @@ mod tests {
         assert!(out.contains("bitwise (coords + report): yes"), "gate must hold:\n{out}");
         assert!(out.contains("phase breakdown"), "profiled section missing:\n{out}");
         assert!(out.contains("interior"), "summary table missing phases:\n{out}");
+        assert!(out.contains("moved vertices/s"), "throughput line missing:\n{out}");
     }
 }

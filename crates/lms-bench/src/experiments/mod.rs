@@ -50,6 +50,8 @@ pub const ALL: &[&str] = &[
     "scaling3d",
     "engines",
     "hotpath",
+    "hotpath_soa",
+    "kernel_soa",
     "partition",
     "rebalance",
     "scaling",
@@ -78,6 +80,8 @@ pub fn run(name: &str, cfg: &ExpConfig) -> Option<String> {
         "real-scaling" => scaling::real_scaling(cfg),
         "engines" => scaling::engines(cfg),
         "hotpath" => performance::hotpath(cfg),
+        "hotpath_soa" => performance::hotpath_soa(cfg),
+        "kernel_soa" => performance::kernel_soa(cfg),
         "partition" => partition::partition(cfg),
         "rebalance" => partition::rebalance(cfg),
         "scaling" => scaling::thread_scaling(cfg),
@@ -128,6 +132,6 @@ mod tests {
             assert!(!name.is_empty());
             assert!(seen.insert(name), "duplicate experiment name {name}");
         }
-        assert_eq!(ALL.len(), 39);
+        assert_eq!(ALL.len(), 41);
     }
 }

@@ -322,6 +322,21 @@ pub fn thread_scaling(cfg: &ExpConfig) -> String {
          (speedups above the host core count ({host_cores}) cannot exceed 1)",
         if gate_ok { "yes" } else { "NO (bug!)" }
     );
+    // one-line comparable throughput counters from a profiled resident
+    // run: sweep nanos come from PhaseBreakdown, scored elements from
+    // the SoA kernel's rank-local counter
+    if let Some(named) = meshes.first() {
+        let resident =
+            ResidentEngine::by_method(&named.mesh, params.clone(), 8, PartitionMethod::Rcb);
+        let (report, _) = resident.smooth_profiled(&mut named.mesh.clone(), 1);
+        let _ = writeln!(
+            out,
+            "throughput ({}, 1 thread) — {:.2}k moved vertices/s, {:.2}M scored elements/s",
+            named.spec.name,
+            report.moved_vertices_per_sec().unwrap_or(f64::NAN) / 1e3,
+            report.scored_elements_per_sec().unwrap_or(f64::NAN) / 1e6,
+        );
+    }
     out
 }
 
@@ -379,5 +394,7 @@ mod tests {
         let out = thread_scaling(&tiny_cfg());
         assert!(out.contains("resident (ms)"));
         assert!(out.contains("bitwise: yes"), "serial-equivalence gate must hold:\n{out}");
+        assert!(out.contains("moved vertices/s"), "throughput line missing:\n{out}");
+        assert!(out.contains("scored elements/s"), "throughput line missing:\n{out}");
     }
 }

@@ -670,6 +670,9 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ProcessTransport<'a, C, D> {
             encode_ns: std::mem::take(&mut self.encode_ns),
             decode_ns: std::mem::take(&mut self.decode_ns),
             poll_wait_ns: std::mem::take(&mut self.poll_wait_ns),
+            // remote ranks do not ship the scored-elements counter over
+            // the wire (RankPhaseNanos is frozen at wire v3)
+            scored_elements: 0,
         }
     }
 

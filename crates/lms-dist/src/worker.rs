@@ -220,7 +220,9 @@ where
                 wr.flush()?;
             }
             Frame::ScatterRequest => {
-                wr.put(&Frame::Scatter { coords: points_to_flat(rank.owned_coords()) })?;
+                let mut owned: Vec<D::Point> = Vec::new();
+                rank.owned_coords_into(&mut owned);
+                wr.put(&Frame::Scatter { coords: points_to_flat(&owned) })?;
                 wr.flush()?;
             }
             Frame::Shutdown => break ServeOutcome::Shutdown,

@@ -37,12 +37,7 @@ impl QualityMetric {
                 let d0 = a.dist_sq(b);
                 let d1 = b.dist_sq(c);
                 let d2 = c.dist_sq(a);
-                let max_sq = d0.max(d1).max(d2);
-                if max_sq <= 0.0 {
-                    return 0.0;
-                }
-                let min_sq = d0.min(d1).min(d2);
-                min_sq.sqrt() / max_sq.sqrt()
+                edge_length_ratio_from_sq(d0, d1, d2)
             }
             QualityMetric::MinAngle => {
                 let [a0, a1, a2] = angles(a, b, c);
@@ -73,6 +68,25 @@ impl QualityMetric {
             QualityMetric::MinAngle => "minangle",
             QualityMetric::RadiusRatio => "radius",
         }
+    }
+}
+
+/// The edge-length-ratio core on precomputed **squared** edge lengths —
+/// the one expression both the scalar metric and `lms-smooth`'s
+/// lane-batched SoA scoring run, so the two stay bit-identical by
+/// construction. The degenerate case is a select (not an early return):
+/// for `max_sq > 0` the ratio is the value either form computes, and for
+/// `max_sq <= 0` (or NaN inputs) both yield the same result, while the
+/// branch-free shape lets the batched caller vectorize lane-wise.
+#[inline(always)]
+pub fn edge_length_ratio_from_sq(d0: f64, d1: f64, d2: f64) -> f64 {
+    let max_sq = d0.max(d1).max(d2);
+    let min_sq = d0.min(d1).min(d2);
+    let ratio = min_sq.sqrt() / max_sq.sqrt();
+    if max_sq <= 0.0 {
+        0.0
+    } else {
+        ratio
     }
 }
 

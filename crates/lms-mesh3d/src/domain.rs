@@ -18,13 +18,14 @@
 
 use crate::adjacency::Adjacency3;
 use crate::boundary::Boundary3;
-use crate::geometry::{signed_volume, Point3};
+use crate::geometry::{edge_lengths, signed_volume, Point3};
 use crate::mesh::TetMesh;
-use crate::quality::TetQualityMetric;
+use crate::quality::{edge_length_ratio_from_lengths, TetQualityMetric};
 use crate::sfc::{hilbert3_ordering, morton3_ordering};
 use lms_order::{rcb_parts_nd, rcb_parts_weighted_nd};
 use lms_part::{sfc_chunk_assignment, Partition, PartitionMethod};
 use lms_smooth::domain::{DomainPoint, SmoothDomain};
+use lms_smooth::soa::{SoaCoords, LANES};
 
 impl DomainPoint for Point3 {
     const ZERO: Self = Point3::ZERO;
@@ -40,6 +41,15 @@ impl DomainPoint for Point3 {
     #[inline]
     fn from_components(comps: &[f64]) -> Self {
         Point3::new(comps[0], comps[1], comps[2])
+    }
+
+    #[inline]
+    fn component(self, d: usize) -> f64 {
+        match d {
+            0 => self.x,
+            1 => self.y,
+            _ => self.z,
+        }
     }
 
     #[inline]
@@ -88,6 +98,7 @@ impl<'a> TetDomain<'a> {
 
 impl SmoothDomain<4> for TetDomain<'_> {
     type Point = Point3;
+    type Soa = SoaCoords<3>;
 
     #[inline]
     fn num_vertices(&self) -> usize {
@@ -125,6 +136,56 @@ impl SmoothDomain<4> for TetDomain<'_> {
             self.metric.tet_quality(p[0], p[1], p[2], p[3]),
             signed_volume(p[0], p[1], p[2], p[3]) > 0.0,
         )
+    }
+
+    fn score_batch(&self, coords: &SoaCoords<3>, rows: &[[u32; 4]], out: &mut [(f64, bool)]) {
+        debug_assert_eq!(rows.len(), out.len());
+        match self.metric {
+            TetQualityMetric::EdgeLengthRatio => tet_elr_batch(coords, rows, out),
+            // ablation metrics: per-lane scalar sequence, metric dispatch
+            // hoisted out of the element loop
+            _ => {
+                let (xs, ys, zs) = (coords.axis(0), coords.axis(1), coords.axis(2));
+                let at = |i: u32| Point3::new(xs[i as usize], ys[i as usize], zs[i as usize]);
+                for (slot, &[ia, ib, ic, id]) in out.iter_mut().zip(rows) {
+                    *slot = self.score_points([at(ia), at(ib), at(ic), at(id)]);
+                }
+            }
+        }
+    }
+}
+
+/// Lane-batched tetrahedral edge-length-ratio scoring over SoA columns:
+/// fixed [`LANES`]-wide blocks with a scalar tail, each lane running the
+/// exact scalar sequence of `TetQualityMetric::tet_quality` (via the
+/// shared [`edge_length_ratio_from_lengths`] core) plus the
+/// `signed_volume > 0` orientation test — bit-identical to the
+/// per-element path by construction.
+fn tet_elr_batch(coords: &SoaCoords<3>, rows: &[[u32; 4]], out: &mut [(f64, bool)]) {
+    #[inline(always)]
+    fn lane(xs: &[f64], ys: &[f64], zs: &[f64], [ia, ib, ic, id]: [u32; 4]) -> (f64, bool) {
+        let a = Point3::new(xs[ia as usize], ys[ia as usize], zs[ia as usize]);
+        let b = Point3::new(xs[ib as usize], ys[ib as usize], zs[ib as usize]);
+        let c = Point3::new(xs[ic as usize], ys[ic as usize], zs[ic as usize]);
+        let d = Point3::new(xs[id as usize], ys[id as usize], zs[id as usize]);
+        (edge_length_ratio_from_lengths(edge_lengths(a, b, c, d)), signed_volume(a, b, c, d) > 0.0)
+    }
+    let (xs, ys, zs) = (coords.axis(0), coords.axis(1), coords.axis(2));
+    let main = rows.len() - rows.len() % LANES;
+    let (rows_main, rows_tail) = rows.split_at(main);
+    let (out_main, out_tail) = out.split_at_mut(main);
+    for (block, slots) in rows_main.chunks_exact(LANES).zip(out_main.chunks_exact_mut(LANES)) {
+        let mut q = [0.0f64; LANES];
+        let mut pos = [false; LANES];
+        for l in 0..LANES {
+            (q[l], pos[l]) = lane(xs, ys, zs, block[l]);
+        }
+        for l in 0..LANES {
+            slots[l] = (q[l], pos[l]);
+        }
+    }
+    for (slot, &row) in out_tail.iter_mut().zip(rows_tail) {
+        *slot = lane(xs, ys, zs, row);
     }
 }
 

@@ -26,14 +26,7 @@ impl TetQualityMetric {
     pub fn tet_quality(self, a: Point3, b: Point3, c: Point3, d: Point3) -> f64 {
         match self {
             TetQualityMetric::EdgeLengthRatio => {
-                let ls = edge_lengths(a, b, c, d);
-                let min = ls.iter().fold(f64::INFINITY, |m, &l| m.min(l));
-                let max = ls.iter().fold(0.0f64, |m, &l| m.max(l));
-                if max <= 0.0 || !min.is_finite() {
-                    0.0
-                } else {
-                    min / max
-                }
+                edge_length_ratio_from_lengths(edge_lengths(a, b, c, d))
             }
             TetQualityMetric::RadiusRatio => {
                 let r = inradius(a, b, c, d);
@@ -61,6 +54,24 @@ impl TetQualityMetric {
             TetQualityMetric::RadiusRatio => "radius-ratio",
             TetQualityMetric::MeanRatio => "mean-ratio",
         }
+    }
+}
+
+/// The tetrahedral edge-length-ratio core on precomputed edge lengths —
+/// the one expression both the scalar metric and `lms-smooth`'s
+/// lane-batched SoA scoring run (fold orders fixed: `min` seeded with
+/// `+∞`, `max` seeded with `0`), so the two stay bit-identical by
+/// construction. The degenerate case is a select, keeping the expression
+/// lane-vectorizable.
+#[inline(always)]
+pub fn edge_length_ratio_from_lengths(ls: [f64; 6]) -> f64 {
+    let min = ls.iter().fold(f64::INFINITY, |m, &l| m.min(l));
+    let max = ls.iter().fold(0.0f64, |m, &l| m.max(l));
+    let ratio = min / max;
+    if max <= 0.0 || !min.is_finite() {
+        0.0
+    } else {
+        ratio
     }
 }
 

@@ -52,6 +52,9 @@ pub struct SmoothParams3 {
     /// Smart commit: reject moves that lower the local mean quality or
     /// invert a currently valid vertex star.
     pub smart: bool,
+    /// Force the pre-SoA per-element scalar scoring path (bench/oracle
+    /// baseline; bit-identical to the default lane-batched scoring).
+    pub scalar_scoring: bool,
 }
 
 impl SmoothParams3 {
@@ -64,6 +67,7 @@ impl SmoothParams3 {
             max_iters: 200,
             update: UpdateScheme3::GaussSeidel,
             smart: false,
+            scalar_scoring: false,
         }
     }
 
@@ -97,6 +101,12 @@ impl SmoothParams3 {
         self
     }
 
+    /// Toggle the scalar-scoring baseline path.
+    pub fn with_scalar_scoring(mut self, scalar_scoring: bool) -> Self {
+        self.scalar_scoring = scalar_scoring;
+        self
+    }
+
     /// Build a [`SmoothEngine3`] for `mesh` and run it.
     pub fn smooth(&self, mesh: &mut TetMesh) -> SmoothReport {
         SmoothEngine3::new(mesh, self.clone()).smooth(mesh)
@@ -114,6 +124,7 @@ impl SmoothParams3 {
             },
             smart: self.smart,
             weighting: Weighting::Uniform,
+            scalar_scoring: self.scalar_scoring,
         }
     }
 }

@@ -1,0 +1,93 @@
+//! 3D half of the SoA bit-identity gate: `score_batch` on `TetDomain`
+//! equals the per-element scalar `score` bit for bit for every
+//! `TetQualityMetric`, and full 3D resident runs with the default
+//! lane-batched kernel match the forced pre-SoA scalar path
+//! (`SmoothParams3::with_scalar_scoring(true)`) exactly — coordinates and
+//! reports — across threads and part counts.
+
+use lms_mesh3d::{
+    Adjacency3, Boundary3, ResidentEngine3, SmoothEngine3, SmoothParams3, TetDomain, TetMesh,
+    TetQualityMetric,
+};
+use lms_part::PartitionMethod;
+use lms_smooth::domain::SmoothDomain;
+use lms_smooth::{SoaCoords, SoaLike};
+use proptest::prelude::*;
+
+const METRICS: [TetQualityMetric; 3] =
+    [TetQualityMetric::EdgeLengthRatio, TetQualityMetric::RadiusRatio, TetQualityMetric::MeanRatio];
+
+fn batch_equals_scalar_on(mesh: &TetMesh, metric: TetQualityMetric) {
+    let adj = Adjacency3::build(mesh);
+    let boundary = Boundary3::detect(mesh);
+    let dom = TetDomain::new(&adj, &boundary, mesh.tets(), metric);
+    let mut soa = SoaCoords::<3>::with_len(mesh.num_vertices());
+    soa.gather_from(mesh.coords());
+    let rows: Vec<[u32; 4]> = dom.elements().to_vec();
+    let mut out = vec![(0.0, false); rows.len()];
+    dom.score_batch(&soa, &rows, &mut out);
+    for (i, &row) in rows.iter().enumerate() {
+        let (q, pos) = dom.score(mesh.coords(), row);
+        assert_eq!(q.to_bits(), out[i].0.to_bits(), "metric {metric:?}, element {i}");
+        assert_eq!(pos, out[i].1, "metric {metric:?}, element {i}");
+        let (qs, ps) = dom.score_soa(&soa, row);
+        assert_eq!(q.to_bits(), qs.to_bits());
+        assert_eq!(pos, ps);
+    }
+}
+
+#[test]
+fn score_batch_matches_scalar_for_every_tet_metric() {
+    // ragged sizes: tet counts exercise every 4-lane tail length
+    for (nx, ny, nz, seed) in [(4, 5, 4, 1), (6, 4, 5, 5), (5, 5, 5, 9)] {
+        let mesh = lms_mesh3d::generators::perturbed_tet_grid(nx, ny, nz, 0.3, seed);
+        for metric in METRICS {
+            batch_equals_scalar_on(&mesh, metric);
+        }
+    }
+}
+
+fn arb_mesh() -> impl Strategy<Value = TetMesh> {
+    (4usize..7, 4usize..7, 4usize..7, 0u64..1000).prop_map(|(nx, ny, nz, seed)| {
+        lms_mesh3d::generators::perturbed_tet_grid(nx, ny, nz, 0.3, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// 3D resident runs: lane-batched scoring == forced scalar scoring,
+    /// bit for bit, across threads {1, 2, 4} × parts {2, 4, 8} ×
+    /// smart/plain.
+    #[test]
+    fn resident3_batched_equals_scalar_oracle(
+        mesh in arb_mesh(), smart in any::<bool>(),
+        k_ix in 0usize..3, threads_ix in 0usize..3,
+    ) {
+        let parts = [2usize, 4, 8][k_ix];
+        let threads = [1usize, 2, 4][threads_ix];
+        let params = SmoothParams3::paper().with_smart(smart).with_max_iters(2).with_tol(-1.0);
+        let batched = ResidentEngine3::by_method(&mesh, params.clone(), parts, PartitionMethod::Rcb);
+        let scalar = ResidentEngine3::by_method(
+            &mesh, params.with_scalar_scoring(true), parts, PartitionMethod::Rcb,
+        );
+        let mut a = mesh.clone();
+        let ra = batched.smooth(&mut a, threads);
+        let mut b = mesh.clone();
+        let rb = scalar.smooth(&mut b, threads);
+        prop_assert_eq!(a.coords(), b.coords());
+        prop_assert_eq!(ra, rb);
+    }
+
+    /// The serial 3D engine under the same toggle.
+    #[test]
+    fn serial3_batched_equals_scalar(mesh in arb_mesh(), smart in any::<bool>()) {
+        let params = SmoothParams3::paper().with_smart(smart).with_max_iters(2).with_tol(-1.0);
+        let mut a = mesh.clone();
+        let ra = SmoothEngine3::new(&mesh, params.clone()).smooth(&mut a);
+        let mut b = mesh.clone();
+        let rb = SmoothEngine3::new(&mesh, params.with_scalar_scoring(true)).smooth(&mut b);
+        prop_assert_eq!(a.coords(), b.coords());
+        prop_assert_eq!(ra, rb);
+    }
+}

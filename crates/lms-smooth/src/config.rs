@@ -83,6 +83,11 @@ pub struct SmoothParams {
     pub smart: bool,
     /// Neighbour weighting of the position update (paper: uniform).
     pub weighting: Weighting,
+    /// Force the pre-SoA per-element scalar scoring path in every engine.
+    /// Bit-identical to the default lane-batched scoring — the toggle
+    /// exists purely as the before/after baseline of the SoA benches and
+    /// the equivalence property suites.
+    pub scalar_scoring: bool,
 }
 
 impl SmoothParams {
@@ -97,6 +102,7 @@ impl SmoothParams {
             update: UpdateScheme::GaussSeidel,
             smart: false,
             weighting: Weighting::Uniform,
+            scalar_scoring: false,
         }
     }
 
@@ -139,6 +145,12 @@ impl SmoothParams {
     /// Builder-style weighting override.
     pub fn with_weighting(mut self, weighting: Weighting) -> Self {
         self.weighting = weighting;
+        self
+    }
+
+    /// Builder-style scalar-scoring override (bench/oracle baseline).
+    pub fn with_scalar_scoring(mut self, scalar_scoring: bool) -> Self {
+        self.scalar_scoring = scalar_scoring;
         self
     }
 }

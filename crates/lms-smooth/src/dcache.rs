@@ -13,6 +13,7 @@
 //! refactored engines' reports pinned to their PR-1..3 behaviour.
 
 use crate::domain::SmoothDomain;
+use crate::soa::score_elements_batched;
 
 /// Cached per-element qualities with an incrementally-maintained global
 /// quality, generic over the smoothing domain. Scoring runs through the
@@ -35,6 +36,8 @@ pub struct DomainQualityCache {
     dirty_stamp: Vec<u32>,
     dirty: Vec<u32>,
     epoch: u32,
+    /// Reusable output buffer of the batched re-score paths.
+    score_scratch: Vec<(f64, bool)>,
 }
 
 impl DomainQualityCache {
@@ -60,6 +63,7 @@ impl DomainQualityCache {
             dirty_stamp: vec![0; nt],
             dirty: Vec::new(),
             epoch: 1,
+            score_scratch: Vec::new(),
         };
         cache.rescore_all(dom, coords);
         cache
@@ -127,8 +131,12 @@ impl DomainQualityCache {
         }
     }
 
-    /// Re-score **every** element sequentially and rebuild the running sum
-    /// from scratch (same accumulation order as [`build`](Self::build)).
+    /// Re-score **every** element and rebuild the running sum from
+    /// scratch (same accumulation order as [`build`](Self::build)).
+    /// Scoring runs through the lane-batched SoA kernel
+    /// ([`score_elements_batched`]); the fold over the results keeps the
+    /// sequential element order, so the rebuilt sum is bit-identical to
+    /// the scalar loop it replaces.
     pub fn rescore_all<const C: usize, D: SmoothDomain<C>>(
         &mut self,
         dom: &D,
@@ -137,12 +145,14 @@ impl DomainQualityCache {
         assert_eq!(dom.num_elements(), self.elem_q.len(), "element count changed");
         self.sum = 0.0;
         self.comp = 0.0;
-        for (i, &e) in dom.elements().iter().enumerate() {
-            let (q, pos) = dom.score(coords, e);
+        score_elements_batched(dom, coords, dom.elements(), &mut self.score_scratch);
+        let scored = std::mem::take(&mut self.score_scratch);
+        for (i, &(q, pos)) in scored.iter().enumerate() {
             self.elem_q[i] = q;
             self.elem_g[i] = if pos { q } else { 0.0 };
             self.add(q * self.elem_w[i]);
         }
+        self.score_scratch = scored;
     }
 
     /// Fold a sweep's committed moves into the cache: sparse move sets
@@ -181,8 +191,10 @@ impl DomainQualityCache {
         !self.dirty.is_empty()
     }
 
-    /// Re-score every queued element once, in ascending element order,
-    /// folding the deltas into the running sum.
+    /// Re-score every queued element once, in ascending element order
+    /// (through the lane-batched SoA kernel; the delta fold keeps the
+    /// ascending order, so the running sum stays bit-identical to the
+    /// scalar flush), folding the deltas into the running sum.
     pub fn flush_dirty<const C: usize, D: SmoothDomain<C>>(
         &mut self,
         dom: &D,
@@ -190,8 +202,10 @@ impl DomainQualityCache {
     ) {
         self.dirty.sort_unstable();
         let mut dirty = std::mem::take(&mut self.dirty);
-        for &t in &dirty {
-            let (q, pos) = dom.score(coords, dom.elements()[t as usize]);
+        let rows: Vec<[u32; C]> = dirty.iter().map(|&t| dom.elements()[t as usize]).collect();
+        score_elements_batched(dom, coords, &rows, &mut self.score_scratch);
+        let scored = std::mem::take(&mut self.score_scratch);
+        for (&t, &(q, pos)) in dirty.iter().zip(&scored) {
             debug_assert!(
                 q > 0.0 || !pos,
                 "metric invariant violated: positive orientation with zero quality"
@@ -205,6 +219,7 @@ impl DomainQualityCache {
             self.elem_q[i] = q;
             self.elem_g[i] = if pos { q } else { 0.0 };
         }
+        self.score_scratch = scored;
         dirty.clear();
         self.dirty = dirty;
         self.epoch = self.epoch.wrapping_add(1);

@@ -29,10 +29,11 @@
 //! `Sync`, so the parallel engines share them across workers.
 
 use crate::config::{SmoothParams, UpdateScheme, Weighting};
+use crate::soa::{SoaCoords, SoaLike, LANES};
 use crate::stats::{IterationStats, SmoothReport};
 use crate::trace::AccessSink;
 use lms_mesh::geometry::signed_area;
-use lms_mesh::quality::QualityMetric;
+use lms_mesh::quality::{edge_length_ratio_from_sq, QualityMetric};
 use lms_mesh::{Adjacency, Boundary, Point2};
 
 /// A coordinate usable by the generic smoothing kernels: componentwise
@@ -56,6 +57,10 @@ pub trait DomainPoint: Copy + Clone + Send + Sync + PartialEq + std::fmt::Debug 
     /// Rebuild the point from [`Self::DIM`] components — the exact bit
     /// patterns pushed, so transported coordinates stay bit-identical.
     fn from_components(comps: &[f64]) -> Self;
+
+    /// Component `d` (`0 ≤ d <` [`Self::DIM`]) — the per-axis read the
+    /// SoA gather/scatter paths are built on, exact bit copy.
+    fn component(self, d: usize) -> f64;
 
     /// Componentwise sum.
     fn padd(self, other: Self) -> Self;
@@ -83,6 +88,14 @@ impl DomainPoint for Point2 {
     #[inline]
     fn from_components(comps: &[f64]) -> Self {
         Point2::new(comps[0], comps[1])
+    }
+
+    #[inline]
+    fn component(self, d: usize) -> f64 {
+        match d {
+            0 => self.x,
+            _ => self.y,
+        }
     }
 
     #[inline]
@@ -124,6 +137,11 @@ impl<const D: usize> DomainPoint for [f64; D] {
     }
 
     #[inline]
+    fn component(self, d: usize) -> f64 {
+        self[d]
+    }
+
+    #[inline]
     fn padd(self, other: Self) -> Self {
         std::array::from_fn(|i| self[i] + other[i])
     }
@@ -161,6 +179,12 @@ impl<const D: usize> DomainPoint for [f64; D] {
 pub trait SmoothDomain<const C: usize>: Sync {
     /// Coordinate type of the domain.
     type Point: DomainPoint;
+
+    /// Structure-of-arrays coordinate store of the domain (a
+    /// [`SoaCoords`] of the right dimension) — what the resident and
+    /// partitioned sweep scratches hold internally, and what
+    /// [`score_batch`](Self::score_batch) consumes.
+    type Soa: SoaLike<Self::Point>;
 
     /// Number of vertices.
     fn num_vertices(&self) -> usize;
@@ -209,6 +233,27 @@ pub trait SmoothDomain<const C: usize>: Sync {
     ) -> (f64, bool) {
         self.score_points(corners.map(|c| if c == v { pos_v } else { coords[c as usize] }))
     }
+
+    /// [`score`](Self::score) against a structure-of-arrays store —
+    /// per-element scalar form, bit-identical to the point-slice path.
+    #[inline]
+    fn score_soa(&self, coords: &Self::Soa, corners: [u32; C]) -> (f64, bool) {
+        self.score_points(corners.map(|c| coords.get(c as usize)))
+    }
+
+    /// Batched element scoring: score `rows[i]` (corner slot ids into
+    /// `coords`) into `out[i]`. Implementations process fixed-width
+    /// [`LANES`]-wide chunks where every lane runs the **identical**
+    /// scalar operation sequence on its own element, so the results are
+    /// bit-identical to calling [`score_soa`](Self::score_soa) per row —
+    /// the default does exactly that, and the property suites pin the
+    /// overrides against it.
+    fn score_batch(&self, coords: &Self::Soa, rows: &[[u32; C]], out: &mut [(f64, bool)]) {
+        debug_assert_eq!(rows.len(), out.len());
+        for (slot, &row) in out.iter_mut().zip(rows) {
+            *slot = self.score_soa(coords, row);
+        }
+    }
 }
 
 /// The 2D triangle-mesh domain view: borrowed adjacency + boundary +
@@ -235,6 +280,7 @@ impl<'a> TriDomain<'a> {
 
 impl SmoothDomain<3> for TriDomain<'_> {
     type Point = Point2;
+    type Soa = SoaCoords<2>;
 
     #[inline]
     fn num_vertices(&self) -> usize {
@@ -270,6 +316,221 @@ impl SmoothDomain<3> for TriDomain<'_> {
     fn score_points(&self, p: [Point2; 3]) -> (f64, bool) {
         (self.metric.triangle_quality(p[0], p[1], p[2]), signed_area(p[0], p[1], p[2]) > 0.0)
     }
+
+    #[inline]
+    fn score_batch(&self, coords: &SoaCoords<2>, rows: &[[u32; 3]], out: &mut [(f64, bool)]) {
+        debug_assert_eq!(rows.len(), out.len());
+        match self.metric {
+            QualityMetric::EdgeLengthRatio => tri_elr_batch(coords, rows, out),
+            // the ablation metrics stay on the per-lane scalar sequence
+            // with the metric dispatch hoisted out of the element loop
+            _ => {
+                let xs = coords.axis(0);
+                let ys = coords.axis(1);
+                for (slot, &[ia, ib, ic]) in out.iter_mut().zip(rows) {
+                    let a = Point2::new(xs[ia as usize], ys[ia as usize]);
+                    let b = Point2::new(xs[ib as usize], ys[ib as usize]);
+                    let c = Point2::new(xs[ic as usize], ys[ic as usize]);
+                    *slot = self.score_points([a, b, c]);
+                }
+            }
+        }
+    }
+}
+
+/// Lane-batched edge-length-ratio scoring over SoA columns: fixed
+/// [`LANES`]-wide blocks, scalar tail.
+///
+/// The block body is split into two phases on purpose. The *gather*
+/// phase does the indexed loads (inherently scalar — the corner ids are
+/// data-dependent) into per-corner lane columns; the *arithmetic* phase
+/// is pure element-wise math over those fixed-size columns — no loads,
+/// no branches, no cross-lane flow — which the auto-vectorizer turns
+/// into packed 2×f64 ops, while the square-root/divide phase (the
+/// expensive instructions of this metric, which LLVM declines to
+/// vectorize on its own) goes through the explicit-SIMD
+/// [`crate::soa::sqrt_div_lanes`]. Interleaving the loads with the math
+/// in one per-lane helper (the previous shape) defeats SLP vectorization
+/// and measures at scalar parity; the split form is where the SoA layout
+/// actually pays.
+///
+/// Every lane still runs the exact scalar sequence of
+/// `QualityMetric::triangle_quality` — `dist_sq` expression order, the
+/// shared [`edge_length_ratio_from_sq`] core (`max`/`min` on squared
+/// lengths, two square roots, degenerate select), and the
+/// `signed_area > 0` orientation test with its `0.5 *` factor kept (the
+/// factor can flip the sign test for subnormal areas, so dropping it
+/// would not be bit-identical). Packed IEEE sqrt/divide/multiply round
+/// exactly like their scalar forms, so results are bit-identical to the
+/// per-element path by construction.
+#[inline]
+fn tri_elr_batch(coords: &SoaCoords<2>, rows: &[[u32; 3]], out: &mut [(f64, bool)]) {
+    let xs = coords.axis(0);
+    let ys = coords.axis(1);
+    let main = rows.len() - rows.len() % LANES;
+    let (rows_main, rows_tail) = rows.split_at(main);
+    let (out_main, out_tail) = out.split_at_mut(main);
+    // One runtime-cached feature test per *call*, and one non-inlinable
+    // `#[target_feature]` call covering the whole main loop: dispatching
+    // per 4-lane block instead costs a call + `vzeroupper` + AVX↔SSE
+    // transition every 4 elements, which measures slower than scalar.
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx") {
+        // SAFETY: AVX support verified above (cached runtime check).
+        unsafe { tri_elr_main_avx(xs, ys, rows_main, out_main) };
+        for (slot, &row) in out_tail.iter_mut().zip(rows_tail) {
+            *slot = tri_elr_lane(xs, ys, row);
+        }
+        return;
+    }
+    for (block, slots) in rows_main.chunks_exact(LANES).zip(out_main.chunks_exact_mut(LANES)) {
+        // gather: corner coordinates into per-corner lane columns
+        let mut ax = [0.0f64; LANES];
+        let mut ay = [0.0f64; LANES];
+        let mut bx = [0.0f64; LANES];
+        let mut by = [0.0f64; LANES];
+        let mut cx = [0.0f64; LANES];
+        let mut cy = [0.0f64; LANES];
+        for l in 0..LANES {
+            let [ia, ib, ic] = block[l];
+            ax[l] = xs[ia as usize];
+            ay[l] = ys[ia as usize];
+            bx[l] = xs[ib as usize];
+            by[l] = ys[ib as usize];
+            cx[l] = xs[ic as usize];
+            cy[l] = ys[ic as usize];
+        }
+        // arithmetic: element-wise over the lane columns (vectorizable)
+        let mut min_sq = [0.0f64; LANES];
+        let mut max_sq = [0.0f64; LANES];
+        let mut area2 = [0.0f64; LANES];
+        for l in 0..LANES {
+            let e0x = ax[l] - bx[l];
+            let e0y = ay[l] - by[l];
+            let d0 = e0x * e0x + e0y * e0y;
+            let e1x = bx[l] - cx[l];
+            let e1y = by[l] - cy[l];
+            let d1 = e1x * e1x + e1y * e1y;
+            let e2x = cx[l] - ax[l];
+            let e2y = cy[l] - ay[l];
+            let d2 = e2x * e2x + e2y * e2y;
+            max_sq[l] = d0.max(d1).max(d2);
+            min_sq[l] = d0.min(d1).min(d2);
+            area2[l] = (bx[l] - ax[l]) * (cy[l] - ay[l]) - (by[l] - ay[l]) * (cx[l] - ax[l]);
+        }
+        let mut q = [0.0f64; LANES];
+        crate::soa::sqrt_div_lanes(&min_sq, &max_sq, &mut q);
+        for l in 0..LANES {
+            slots[l] = (if max_sq[l] <= 0.0 { 0.0 } else { q[l] }, 0.5 * area2[l] > 0.0);
+        }
+    }
+    for (slot, &row) in out_tail.iter_mut().zip(rows_tail) {
+        *slot = tri_elr_lane(xs, ys, row);
+    }
+}
+
+/// The whole-blocks part of [`tri_elr_batch`] in explicit AVX — the same
+/// value sequence as the portable block body, spelled out in 256-bit ops
+/// because LLVM auto-vectorizes neither the square roots nor the
+/// `maxnum`/`minnum` chains at the SSE2 baseline. `rows.len()` must be a
+/// multiple of [`LANES`] (the caller splits the tail off first).
+///
+/// Bit-identity notes (each packed op is matched to its scalar twin):
+/// - `sub`/`mul`/`add`/`sqrt`/`div` are IEEE correctly rounded in both
+///   scalar and packed form — identical bits, subnormals included, and
+///   Rust emits no FMA contraction to differ from.
+/// - `f64::max`/`f64::min` are IEEE `maxNum`/`minNum`, but `maxpd` picks
+///   the *second* operand when either input is NaN, so the raw packed
+///   op is followed by a blend that restores the first operand when the
+///   second is NaN. The ±0 ambiguity is moot: squared edge lengths are
+///   sums of products of identical factors, which are never `-0.0`.
+/// - The degenerate select and the orientation test use ordered-quiet
+///   compares (`_CMP_LE_OQ`/`_CMP_GT_OQ`), which are false on NaN —
+///   exactly how `max_sq <= 0.0` and `0.5 * area2 > 0.0` behave.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+#[inline]
+unsafe fn tri_elr_main_avx(xs: &[f64], ys: &[f64], rows: &[[u32; 3]], out: &mut [(f64, bool)]) {
+    use core::arch::x86_64::*;
+    const { assert!(LANES == 4, "one 256-bit register holds exactly one block") };
+    debug_assert_eq!(rows.len() % LANES, 0);
+    debug_assert_eq!(rows.len(), out.len());
+    // maxNum/minNum: packed max/min, then restore `a` where `b` is NaN
+    // (cmp-unord on `b` with itself) to match `f64::max`/`f64::min`.
+    #[inline(always)]
+    unsafe fn maxnum(a: __m256d, b: __m256d) -> __m256d {
+        _mm256_blendv_pd(_mm256_max_pd(a, b), a, _mm256_cmp_pd::<_CMP_UNORD_Q>(b, b))
+    }
+    #[inline(always)]
+    unsafe fn minnum(a: __m256d, b: __m256d) -> __m256d {
+        _mm256_blendv_pd(_mm256_min_pd(a, b), a, _mm256_cmp_pd::<_CMP_UNORD_Q>(b, b))
+    }
+    let zero = _mm256_setzero_pd();
+    let half = _mm256_set1_pd(0.5);
+    for (block, slots) in rows.chunks_exact(LANES).zip(out.chunks_exact_mut(LANES)) {
+        // gather: corner coordinates into per-corner lane columns
+        let mut axs = [0.0f64; LANES];
+        let mut ays = [0.0f64; LANES];
+        let mut bxs = [0.0f64; LANES];
+        let mut bys = [0.0f64; LANES];
+        let mut cxs = [0.0f64; LANES];
+        let mut cys = [0.0f64; LANES];
+        for l in 0..LANES {
+            let [ia, ib, ic] = block[l];
+            axs[l] = xs[ia as usize];
+            ays[l] = ys[ia as usize];
+            bxs[l] = xs[ib as usize];
+            bys[l] = ys[ib as usize];
+            cxs[l] = xs[ic as usize];
+            cys[l] = ys[ic as usize];
+        }
+        let ax = _mm256_loadu_pd(axs.as_ptr());
+        let ay = _mm256_loadu_pd(ays.as_ptr());
+        let bx = _mm256_loadu_pd(bxs.as_ptr());
+        let by = _mm256_loadu_pd(bys.as_ptr());
+        let cx = _mm256_loadu_pd(cxs.as_ptr());
+        let cy = _mm256_loadu_pd(cys.as_ptr());
+        // d0 = (ax-bx)^2 + (ay-by)^2, d1, d2: `dist_sq` expression order
+        let e0x = _mm256_sub_pd(ax, bx);
+        let e0y = _mm256_sub_pd(ay, by);
+        let d0 = _mm256_add_pd(_mm256_mul_pd(e0x, e0x), _mm256_mul_pd(e0y, e0y));
+        let e1x = _mm256_sub_pd(bx, cx);
+        let e1y = _mm256_sub_pd(by, cy);
+        let d1 = _mm256_add_pd(_mm256_mul_pd(e1x, e1x), _mm256_mul_pd(e1y, e1y));
+        let e2x = _mm256_sub_pd(cx, ax);
+        let e2y = _mm256_sub_pd(cy, ay);
+        let d2 = _mm256_add_pd(_mm256_mul_pd(e2x, e2x), _mm256_mul_pd(e2y, e2y));
+        let max_sq = maxnum(maxnum(d0, d1), d2);
+        let min_sq = minnum(minnum(d0, d1), d2);
+        // area2 = (bx-ax)*(cy-ay) - (by-ay)*(cx-ax): `orient2d` sequence
+        let area2 = _mm256_sub_pd(
+            _mm256_mul_pd(_mm256_sub_pd(bx, ax), _mm256_sub_pd(cy, ay)),
+            _mm256_mul_pd(_mm256_sub_pd(by, ay), _mm256_sub_pd(cx, ax)),
+        );
+        let q = _mm256_div_pd(_mm256_sqrt_pd(min_sq), _mm256_sqrt_pd(max_sq));
+        let degenerate = _mm256_cmp_pd::<_CMP_LE_OQ>(max_sq, zero);
+        let score = _mm256_blendv_pd(q, zero, degenerate);
+        let half_area = _mm256_mul_pd(area2, half);
+        let pos_mask = _mm256_movemask_pd(_mm256_cmp_pd::<_CMP_GT_OQ>(half_area, zero));
+        let mut s = [0.0f64; LANES];
+        _mm256_storeu_pd(s.as_mut_ptr(), score);
+        for (l, slot) in slots.iter_mut().enumerate() {
+            *slot = (s[l], pos_mask & (1 << l) != 0);
+        }
+    }
+}
+
+/// One scalar lane of [`tri_elr_batch`] — the tail path, and the shape
+/// every vector lane reproduces bit for bit.
+#[inline(always)]
+fn tri_elr_lane(xs: &[f64], ys: &[f64], [ia, ib, ic]: [u32; 3]) -> (f64, bool) {
+    let a = Point2::new(xs[ia as usize], ys[ia as usize]);
+    let b = Point2::new(xs[ib as usize], ys[ib as usize]);
+    let c = Point2::new(xs[ic as usize], ys[ic as usize]);
+    let d0 = a.dist_sq(b);
+    let d1 = b.dist_sq(c);
+    let d2 = c.dist_sq(a);
+    (edge_length_ratio_from_sq(d0, d1, d2), signed_area(a, b, c) > 0.0)
 }
 
 /// The dimension-free slice of a smoothing parameter set — what the
@@ -286,6 +547,9 @@ pub struct DomainConfig {
     pub smart: bool,
     /// Neighbour weighting of the Laplacian update.
     pub weighting: Weighting,
+    /// Force the pre-SoA per-element scalar scoring path (bench/oracle
+    /// baseline; bit-identical to the default lane-batched scoring).
+    pub scalar_scoring: bool,
 }
 
 impl From<&SmoothParams> for DomainConfig {
@@ -296,6 +560,7 @@ impl From<&SmoothParams> for DomainConfig {
             update: p.update,
             smart: p.smart,
             weighting: p.weighting,
+            scalar_scoring: p.scalar_scoring,
         }
     }
 }

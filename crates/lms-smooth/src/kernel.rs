@@ -43,6 +43,7 @@ use crate::config::{UpdateScheme, Weighting};
 use crate::dcache::DomainQualityCache;
 use crate::domain::{weighted_candidate_on, DomainConfig, DomainPoint, SmoothDomain, SELF_CORNER};
 use crate::engine::SmoothEngine;
+use crate::soa::{SoaLike, LANES};
 use crate::stats::{IterationStats, SmoothReport};
 use lms_mesh::TriMesh;
 
@@ -54,21 +55,43 @@ type ElemScore = (f64, bool);
 /// to heap scratch (mean degree of a triangulation is ~6).
 const STACK_STAR: usize = 16;
 
-/// Reusable per-sweep scratch for the smart sweeps.
-struct SmartScratch<P: DomainPoint> {
-    ring_stack: [P; STACK_STAR],
-    ring_spill: Vec<P>,
+/// Reusable per-sweep scratch for the smart sweeps. Every per-vertex
+/// temporary of the hot loop lives here, so a warm sweep performs
+/// **zero** allocations — pinned by the scratch audit in `tests/soa.rs`
+/// via [`crate::soa::scratch_grow_count`].
+///
+/// The batched path additionally carries the run-wide SoA mirror of the
+/// coordinates plus the precomputed lane-padded star-row CSR (see
+/// [`SerialKernel::run`]); both are built once per run, before the first
+/// sweep, so the sweeps themselves stay allocation-free.
+struct SmartScratch<const C: usize, D: SmoothDomain<C>> {
+    ring_stack: [D::Point; STACK_STAR],
+    ring_spill: Vec<D::Point>,
     score_stack: [ElemScore; STACK_STAR],
     score_spill: Vec<ElemScore>,
+    /// Full-mesh SoA mirror of the working coordinates (batched path
+    /// only): kept bit-in-sync with the AoS store across commits, the
+    /// scoring and candidate gathers read it in plane-major order.
+    soa: D::Soa,
+    /// Lane-padded corner rows of every visit vertex's star, in visit
+    /// order (batched path only). Pad rows are `[0; C]` — scored, never
+    /// read — so whole stars ride the packed kernel.
+    star_rows: Vec<[u32; C]>,
+    /// `star_rows` span of visit position `si`:
+    /// `star_offsets[si]..star_offsets[si + 1]`.
+    star_offsets: Vec<u32>,
 }
 
-impl<P: DomainPoint> SmartScratch<P> {
+impl<const C: usize, D: SmoothDomain<C>> SmartScratch<C, D> {
     fn new() -> Self {
         SmartScratch {
-            ring_stack: [P::ZERO; STACK_STAR],
+            ring_stack: [D::Point::ZERO; STACK_STAR],
             ring_spill: Vec::new(),
             score_stack: [(0.0, false); STACK_STAR],
             score_spill: Vec::new(),
+            soa: D::Soa::with_len(0),
+            star_rows: Vec::new(),
+            star_offsets: Vec::new(),
         }
     }
 }
@@ -154,6 +177,26 @@ struct StarEval {
     after_all_pos: bool,
 }
 
+/// Fold the batched scores of vertex star `ts` (in `out[..ts.len()]`)
+/// together with the cached "before" qualities into a [`StarEval`] —
+/// the same per-element accumulation order as the closure-based scalar
+/// path, so the commit decision is bit-identical.
+#[inline(always)]
+fn fold_star_scores(cache: &DomainQualityCache, ts: &[u32], out: &[ElemScore]) -> StarEval {
+    let mut after_sum = 0.0;
+    let mut before_sum = 0.0;
+    let mut all_pos = true;
+    for (&t, &(q, pos)) in ts.iter().zip(out.iter()) {
+        before_sum += cache.guarded_quality(t);
+        if pos {
+            after_sum += q;
+        } else {
+            all_pos = false;
+        }
+    }
+    StarEval { after_sum, before_sum, after_all_pos: all_pos }
+}
+
 /// The Laplacian candidate gathered through a CSR neighbour slice.
 ///
 /// The uniform (paper) weighting is specialised — one fused
@@ -180,6 +223,29 @@ pub(crate) fn candidate_for<P: DomainPoint>(
     }
 }
 
+/// [`candidate_for`] reading a structure-of-arrays store instead of a
+/// point slice — identical accumulation order and expressions (the SoA
+/// `get` is an exact per-component bit copy), so candidates stay
+/// bit-equal to the point-slice path on the same coordinates.
+#[inline]
+pub(crate) fn candidate_for_soa<P: DomainPoint, S: SoaLike<P>>(
+    weighting: Weighting,
+    pv: P,
+    ns: &[u32],
+    coords: &S,
+) -> Option<P> {
+    match weighting {
+        Weighting::Uniform => {
+            let mut sum = P::ZERO;
+            for &w in ns {
+                sum = sum.padd(coords.get(w as usize));
+            }
+            (!ns.is_empty()).then(|| sum.pdiv(ns.len() as f64))
+        }
+        _ => weighted_candidate_on(weighting, pv, ns.iter().map(|&w| coords.get(w as usize))),
+    }
+}
+
 /// The serial incremental sweeps bound to one domain view: the generic
 /// body behind [`SmoothEngine::smooth`] (and any other domain's serial
 /// hot path). Construction is free — all state is borrowed.
@@ -192,6 +258,12 @@ pub struct SerialKernel<'a, const C: usize, D: SmoothDomain<C>> {
     pub visit: &'a [u32],
     /// Optional precomputed star layout (see [`crate::domain`]).
     pub star: Option<&'a [[u8; C]]>,
+    /// Force the pre-SoA per-element scalar scoring path. The default
+    /// (`false`) routes smart star evaluation through the lane-batched
+    /// [`SmoothDomain::score_batch`]; both paths are bit-identical, so
+    /// this toggle exists purely as the before/after baseline of the
+    /// `kernel_soa` benches and the property suites.
+    pub scalar_scoring: bool,
 }
 
 impl<const C: usize, D: SmoothDomain<C>> SerialKernel<'_, C, D> {
@@ -207,6 +279,28 @@ impl<const C: usize, D: SmoothDomain<C>> SerialKernel<'_, C, D> {
         let mut prev: Vec<D::Point> = Vec::new();
         let mut scratch = SmartScratch::new();
         let mut moved: Vec<u32> = Vec::new();
+
+        // Batched smart scoring works the way the resident engine does:
+        // a full SoA mirror of the coordinates plus a lane-padded star-row
+        // CSR precomputed over the (static) topology, so the sweeps never
+        // stage rings or rebuild corner rows per vertex. Built once here —
+        // ~one star traversal — and amortised over every sweep.
+        if cfg.smart && !self.scalar_scoring && self.star.is_some() {
+            <D::Soa as SoaLike<D::Point>>::gather_from(&mut scratch.soa, coords);
+            let elems = self.dom.elements();
+            scratch.star_offsets.reserve(self.visit.len() + 1);
+            scratch.star_offsets.push(0);
+            for &v in self.visit {
+                let ts = self.dom.elements_of(v);
+                for &t in ts {
+                    scratch.star_rows.push(elems[t as usize]);
+                }
+                let pad = ts.len().next_multiple_of(LANES) - ts.len();
+                let padded = scratch.star_rows.len() + pad;
+                scratch.star_rows.resize(padded, [0; C]);
+                scratch.star_offsets.push(scratch.star_rows.len() as u32);
+            }
+        }
 
         for iter in 1..=cfg.max_iters {
             moved.clear();
@@ -224,6 +318,14 @@ impl<const C: usize, D: SmoothDomain<C>> SerialKernel<'_, C, D> {
                     prev.clear();
                     prev.extend_from_slice(coords);
                     self.sweep_jacobi_smart(&prev, coords, &cache, &mut moved, &mut scratch);
+                    // the SoA mirror tracked `prev` through the sweep
+                    // (double-buffered reads); fold the committed moves in
+                    // so it mirrors the new coordinates again
+                    if !scratch.star_offsets.is_empty() {
+                        for &v in &moved {
+                            scratch.soa.set(v as usize, coords[v as usize]);
+                        }
+                    }
                 }
             }
             if !moved.is_empty() {
@@ -279,11 +381,110 @@ impl<const C: usize, D: SmoothDomain<C>> SerialKernel<'_, C, D> {
         &self,
         coords: &mut [D::Point],
         cache: &mut DomainQualityCache,
-        scratch: &mut SmartScratch<D::Point>,
+        scratch: &mut SmartScratch<C, D>,
+    ) {
+        // Function multiversioning (see `resident::sweep_range_smart`):
+        // one AVX-enabled copy of the sweep body so the lane-batched
+        // scoring chain inlines with no per-vertex call / `vzeroupper`
+        // cost; the scalar-scoring baseline keeps the plain copy — it
+        // stands in for the pre-SoA kernel in before/after benches.
+        #[cfg(target_arch = "x86_64")]
+        if !self.scalar_scoring && std::arch::is_x86_feature_detected!("avx") {
+            // SAFETY: AVX support verified above (cached runtime check).
+            unsafe { self.sweep_gs_smart_avx(coords, cache, scratch) };
+            return;
+        }
+        self.sweep_gs_smart_body(coords, cache, scratch);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx")]
+    unsafe fn sweep_gs_smart_avx(
+        &self,
+        coords: &mut [D::Point],
+        cache: &mut DomainQualityCache,
+        scratch: &mut SmartScratch<C, D>,
+    ) {
+        self.sweep_gs_smart_body(coords, cache, scratch);
+    }
+
+    /// The batched loop: candidate gathered from the SoA mirror, the
+    /// candidate *staged* into the mirror (slot `v`), the whole star
+    /// scored through one [`SmoothDomain::score_batch`] on the
+    /// precomputed lane-padded rows, and the stage committed or reverted
+    /// with the decision. Every corner read carries the exact source
+    /// bits and the fold keeps the per-element order, so the outcome is
+    /// bit-identical to the scalar loop — property-tested in
+    /// `tests/soa.rs`.
+    #[inline(always)]
+    fn sweep_gs_smart_batched(
+        &self,
+        coords: &mut [D::Point],
+        cache: &mut DomainQualityCache,
+        scratch: &mut SmartScratch<C, D>,
     ) {
         let weighting = self.cfg.weighting;
+        let SmartScratch { score_stack, score_spill, soa, star_rows, star_offsets, .. } = scratch;
+        for (si, &v) in self.visit.iter().enumerate() {
+            let ns = self.dom.neighbors(v);
+            if ns.is_empty() {
+                continue;
+            }
+            let pv = coords[v as usize];
+            let Some(candidate) = candidate_for_soa(weighting, pv, ns, soa) else {
+                continue;
+            };
+
+            let ts = self.dom.elements_of(v);
+            if ts.is_empty() {
+                // star-less vertex: both local qualities are 0 and the
+                // validity rule is vacuous — the reference path commits
+                coords[v as usize] = candidate;
+                soa.set(v as usize, candidate);
+                continue;
+            }
+
+            let rows = &star_rows[star_offsets[si] as usize..star_offsets[si + 1] as usize];
+            let kp = rows.len();
+            let out: &mut [ElemScore] = if kp <= STACK_STAR {
+                &mut score_stack[..kp]
+            } else {
+                score_spill.clear();
+                score_spill.resize(kp, (0.0, false));
+                score_spill
+            };
+            soa.set(v as usize, candidate);
+            self.dom.score_batch(soa, rows, out);
+            let StarEval { after_sum, before_sum, after_all_pos } =
+                fold_star_scores(cache, ts, out);
+
+            let len = ts.len() as f64;
+            let quality_ok = after_sum >= before_sum || after_sum / len >= before_sum / len;
+            let commit =
+                quality_ok && (after_all_pos || ts.iter().any(|&t| !cache.elem_is_positive(t)));
+            if commit {
+                coords[v as usize] = candidate;
+                cache.set_star(ts, &out[..ts.len()]);
+            } else {
+                soa.set(v as usize, pv);
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn sweep_gs_smart_body(
+        &self,
+        coords: &mut [D::Point],
+        cache: &mut DomainQualityCache,
+        scratch: &mut SmartScratch<C, D>,
+    ) {
+        if !self.scalar_scoring && !scratch.star_offsets.is_empty() {
+            self.sweep_gs_smart_batched(coords, cache, scratch);
+            return;
+        }
+        let weighting = self.cfg.weighting;
         let star = self.star;
-        let SmartScratch { ring_stack, ring_spill, score_stack, score_spill } = scratch;
+        let SmartScratch { ring_stack, ring_spill, score_stack, score_spill, .. } = scratch;
         for &v in self.visit {
             let ns = self.dom.neighbors(v);
             if ns.is_empty() {
@@ -369,7 +570,7 @@ impl<const C: usize, D: SmoothDomain<C>> SerialKernel<'_, C, D> {
                 quality_ok && (after_all_pos || ts.iter().any(|&t| !cache.elem_is_positive(t)));
             if commit {
                 coords[v as usize] = candidate;
-                cache.set_star(ts, out);
+                cache.set_star(ts, &out[..ts.len()]);
             }
         }
     }
@@ -401,11 +602,113 @@ impl<const C: usize, D: SmoothDomain<C>> SerialKernel<'_, C, D> {
         next: &mut [D::Point],
         cache: &DomainQualityCache,
         moved: &mut Vec<u32>,
-        scratch: &mut SmartScratch<D::Point>,
+        scratch: &mut SmartScratch<C, D>,
+    ) {
+        // multiversioned like `sweep_gs_smart` — same reasoning
+        #[cfg(target_arch = "x86_64")]
+        if !self.scalar_scoring && std::arch::is_x86_feature_detected!("avx") {
+            // SAFETY: AVX support verified above (cached runtime check).
+            unsafe { self.sweep_jacobi_smart_avx(prev, next, cache, moved, scratch) };
+            return;
+        }
+        self.sweep_jacobi_smart_body(prev, next, cache, moved, scratch);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx")]
+    unsafe fn sweep_jacobi_smart_avx(
+        &self,
+        prev: &[D::Point],
+        next: &mut [D::Point],
+        cache: &DomainQualityCache,
+        moved: &mut Vec<u32>,
+        scratch: &mut SmartScratch<C, D>,
+    ) {
+        self.sweep_jacobi_smart_body(prev, next, cache, moved, scratch);
+    }
+
+    /// The batched double-buffered loop: like
+    /// [`sweep_gs_smart_batched`](Self::sweep_gs_smart_batched), except
+    /// the SoA mirror tracks `prev` — the candidate stage is *always*
+    /// reverted after scoring (later vertices must read the previous
+    /// sweep's positions) and commits land in `next` only; the caller
+    /// folds the moves into the mirror after the sweep.
+    #[inline(always)]
+    fn sweep_jacobi_smart_batched(
+        &self,
+        prev: &[D::Point],
+        next: &mut [D::Point],
+        cache: &DomainQualityCache,
+        moved: &mut Vec<u32>,
+        scratch: &mut SmartScratch<C, D>,
     ) {
         let weighting = self.cfg.weighting;
+        let SmartScratch { score_stack, score_spill, soa, star_rows, star_offsets, .. } = scratch;
+        for (si, &v) in self.visit.iter().enumerate() {
+            let ns = self.dom.neighbors(v);
+            if ns.is_empty() {
+                continue;
+            }
+            let pv = prev[v as usize];
+            let Some(candidate) = candidate_for_soa(weighting, pv, ns, soa) else {
+                continue;
+            };
+
+            let ts = self.dom.elements_of(v);
+            if ts.is_empty() {
+                next[v as usize] = candidate;
+                // no elements to rescore — `apply_moves` is a no-op for a
+                // star-less vertex — but the post-sweep mirror sync needs
+                // to see the move
+                moved.push(v);
+                continue;
+            }
+
+            // scores are provisional (an element can gain several moved
+            // corners this sweep — the post-sweep update re-scores), so
+            // the scratch output is discarded after the commit test
+            let rows = &star_rows[star_offsets[si] as usize..star_offsets[si + 1] as usize];
+            let kp = rows.len();
+            let out: &mut [ElemScore] = if kp <= STACK_STAR {
+                &mut score_stack[..kp]
+            } else {
+                score_spill.clear();
+                score_spill.resize(kp, (0.0, false));
+                score_spill
+            };
+            soa.set(v as usize, candidate);
+            self.dom.score_batch(soa, rows, out);
+            soa.set(v as usize, pv);
+            let StarEval { after_sum, before_sum, after_all_pos } =
+                fold_star_scores(cache, ts, out);
+
+            let len = ts.len() as f64;
+            let quality_ok = after_sum >= before_sum || after_sum / len >= before_sum / len;
+            let commit =
+                quality_ok && (after_all_pos || ts.iter().any(|&t| !cache.elem_is_positive(t)));
+            if commit {
+                next[v as usize] = candidate;
+                moved.push(v);
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn sweep_jacobi_smart_body(
+        &self,
+        prev: &[D::Point],
+        next: &mut [D::Point],
+        cache: &DomainQualityCache,
+        moved: &mut Vec<u32>,
+        scratch: &mut SmartScratch<C, D>,
+    ) {
+        if !self.scalar_scoring && !scratch.star_offsets.is_empty() {
+            self.sweep_jacobi_smart_batched(prev, next, cache, moved, scratch);
+            return;
+        }
+        let weighting = self.cfg.weighting;
         let star = self.star;
-        let SmartScratch { ring_stack, ring_spill, score_stack, score_spill } = scratch;
+        let SmartScratch { ring_stack, ring_spill, score_stack, score_spill, .. } = scratch;
         for &v in self.visit {
             let ns = self.dom.neighbors(v);
             if ns.is_empty() {
@@ -502,6 +805,28 @@ impl SmoothEngine {
             cfg: DomainConfig::from(&self.params),
             visit: &self.visit,
             star: self.star.as_deref(),
+            scalar_scoring: self.params.scalar_scoring,
+        };
+        kernel.run(mesh.coords_mut())
+    }
+
+    /// [`smooth`](Self::smooth) with the pre-SoA per-element scalar
+    /// scoring path forced. Bit-identical to the default lane-batched
+    /// run — kept as the before/after baseline of the `kernel_soa`
+    /// benches and the SoA property suites.
+    pub fn smooth_scalar_scoring(&self, mesh: &mut TriMesh) -> SmoothReport {
+        assert_eq!(
+            mesh.num_vertices(),
+            self.adj.num_vertices(),
+            "engine was built for a different mesh"
+        );
+        let dom = self.domain();
+        let kernel = SerialKernel {
+            dom: &dom,
+            cfg: DomainConfig::from(&self.params),
+            visit: &self.visit,
+            star: self.star.as_deref(),
+            scalar_scoring: true,
         };
         kernel.run(mesh.coords_mut())
     }

@@ -49,6 +49,7 @@ pub mod partitioned;
 pub mod pool;
 pub mod rebalance;
 pub mod resident;
+pub mod soa;
 pub mod stats;
 pub mod trace;
 pub mod transport;
@@ -68,6 +69,7 @@ pub use partitioned::{smooth_partitioned, PartitionedEngine};
 pub use pool::PoolCache;
 pub use rebalance::{sweep_spread, AutoRebalanceEngine, RebalancePolicy};
 pub use resident::{smooth_resident, PairBatch, ResidentEngine, ResidentRank};
+pub use soa::{score_elements_batched, scratch_grow_count, SoaCoords, SoaLike, SoaScores, LANES};
 pub use stats::{ExchangeVolume, IterationStats, SmoothReport};
 pub use trace::{AccessSink, CountSink, NullSink, VecSink};
 pub use transport::{

@@ -45,9 +45,10 @@
 use crate::colored::{colored_class_plain_on, colored_class_smart_on};
 use crate::config::{SmoothParams, UpdateScheme};
 use crate::dcache::DomainQualityCache;
-use crate::domain::{DomainConfig, DomainPoint, SmoothDomain};
+use crate::domain::{DomainConfig, SmoothDomain};
 use crate::engine::SmoothEngine;
-use crate::kernel::candidate_for;
+use crate::kernel::candidate_for_soa;
+use crate::soa::{note_scratch_grow, resize_tracked, SoaLike, SoaScores, LANES};
 use crate::stats::{IterationStats, SmoothReport};
 use lms_mesh::{Adjacency, TriMesh};
 use lms_part::{partition_mesh, Partition, PartitionMethod};
@@ -139,49 +140,55 @@ pub fn part_major_order<const C: usize>(
     order
 }
 
-/// Per-run mutable state of one part: the cache-resident block.
-struct PartScratch<P: DomainPoint> {
-    /// Local copies of the owned vertices' coordinates.
-    coords: Vec<P>,
+/// Per-run mutable state of one part: the cache-resident block, held in
+/// the domain's structure-of-arrays layout so the smart sweep can score
+/// candidate stars through the lane-batched [`SmoothDomain::score_batch`]
+/// kernel.
+struct PartScratch<const C: usize, D: SmoothDomain<C>> {
+    /// Local copies of the owned vertices' coordinates (SoA).
+    coords: D::Soa,
     /// Local `(quality, positively_oriented)` per local element (smart
     /// runs only), mirroring the global [`DomainQualityCache`] entries.
-    scores: Vec<(f64, bool)>,
+    scores: SoaScores,
     /// Local owned indices committed this iteration (scatter list).
     committed: Vec<u32>,
     /// Local elements re-scored this iteration (cache write-back list).
     dirty: Vec<u32>,
     dirty_mark: Vec<bool>,
-    /// Candidate-star scratch.
+    /// Candidate-star scratch, grown once to the largest star.
     star: Vec<(f64, bool)>,
+    /// Corner-row staging for the batched star score.
+    rows: Vec<[u32; C]>,
 }
 
-impl<P: DomainPoint> PartScratch<P> {
-    fn new<const C: usize>(block: &PartBlock<C>, smart: bool) -> Self {
+impl<const C: usize, D: SmoothDomain<C>> PartScratch<C, D> {
+    fn new(block: &PartBlock<C>, smart: bool) -> Self {
         PartScratch {
-            coords: vec![P::ZERO; block.owned.len()],
-            scores: if smart { vec![(0.0, false); block.elem_globals.len()] } else { Vec::new() },
+            coords: D::Soa::with_len(block.owned.len()),
+            scores: SoaScores::with_len(if smart { block.elem_globals.len() } else { 0 }),
             committed: Vec::new(),
             dirty: Vec::new(),
             dirty_mark: if smart { vec![false; block.elem_globals.len()] } else { Vec::new() },
             star: Vec::new(),
+            rows: Vec::new(),
         }
     }
 
     /// First-iteration gather: all owned coordinates, and (smart) the
     /// current cache state of every local element.
-    fn gather<const C: usize>(
+    fn gather(
         &mut self,
         block: &PartBlock<C>,
-        coords: &[P],
+        coords: &[D::Point],
         cache: &DomainQualityCache,
         smart: bool,
     ) {
-        for (slot, &v) in self.coords.iter_mut().zip(&block.owned) {
-            *slot = coords[v as usize];
+        for (i, &v) in block.owned.iter().enumerate() {
+            self.coords.set(i, coords[v as usize]);
         }
         if smart {
-            for (slot, &t) in self.scores.iter_mut().zip(&block.elem_globals) {
-                *slot = (cache.elem_quality(t), cache.elem_is_positive(t));
+            for (i, &t) in block.elem_globals.iter().enumerate() {
+                self.scores.set(i, (cache.elem_quality(t), cache.elem_is_positive(t)));
             }
         }
     }
@@ -189,20 +196,20 @@ impl<P: DomainPoint> PartScratch<P> {
     /// Steady-state refresh: only what the interface phase could have
     /// changed — owned interface coordinates and frontier-element scores
     /// (everything else is maintained locally by this part alone).
-    fn refresh<const C: usize>(
+    fn refresh(
         &mut self,
         block: &PartBlock<C>,
-        coords: &[P],
+        coords: &[D::Point],
         cache: &DomainQualityCache,
         smart: bool,
     ) {
         for &(lv, gv) in &block.iface_refresh {
-            self.coords[lv as usize] = coords[gv as usize];
+            self.coords.set(lv as usize, coords[gv as usize]);
         }
         if smart {
             for &lt in &block.frontier_elems {
                 let t = block.elem_globals[lt as usize];
-                self.scores[lt as usize] = (cache.elem_quality(t), cache.elem_is_positive(t));
+                self.scores.set(lt as usize, (cache.elem_quality(t), cache.elem_is_positive(t)));
             }
         }
     }
@@ -225,21 +232,21 @@ pub fn build_part_blocks<const C: usize, D: SmoothDomain<C>>(
 
 /// One plain local sweep: every candidate commits; arithmetic identical
 /// to the serial plain sweep on the gathered values.
-fn sweep_block_plain<const C: usize, P: DomainPoint>(
+fn sweep_block_plain<const C: usize, D: SmoothDomain<C>>(
     weighting: crate::config::Weighting,
     block: &PartBlock<C>,
-    work: &mut PartScratch<P>,
+    work: &mut PartScratch<C, D>,
 ) {
     for (si, &lv) in block.sweep_locals.iter().enumerate() {
         let ns = &block.nbrs[block.nbr_offsets[si] as usize..block.nbr_offsets[si + 1] as usize];
         if ns.is_empty() {
             continue;
         }
-        let pv = work.coords[lv as usize];
-        let Some(candidate) = candidate_for(weighting, pv, ns, &work.coords) else {
+        let pv: D::Point = work.coords.get(lv as usize);
+        let Some(candidate) = candidate_for_soa(weighting, pv, ns, &work.coords) else {
             continue;
         };
-        work.coords[lv as usize] = candidate;
+        work.coords.set(lv as usize, candidate);
         work.committed.push(lv);
     }
 }
@@ -249,38 +256,95 @@ fn sweep_block_plain<const C: usize, P: DomainPoint>(
 /// scored once, scores reused as the table update on commit. The guard
 /// expressions mirror `kernel`'s smart sweep term for term, so commit
 /// decisions (hence coordinates) are bit-identical to the serial engine's.
+///
+/// The candidate is *staged* into the SoA store before scoring: the star
+/// rows then read the new position through ordinary corner loads, which
+/// is exactly the substitution `score_with` used to perform — every
+/// element sees the same inputs, so the scores (and the commit decision)
+/// are bit-identical. On reject the previous position is restored.
 fn sweep_block_smart<const C: usize, D: SmoothDomain<C>>(
     dom: &D,
     weighting: crate::config::Weighting,
+    scalar: bool,
     block: &PartBlock<C>,
-    work: &mut PartScratch<D::Point>,
+    work: &mut PartScratch<C, D>,
+) {
+    // multiversioned like `resident::sweep_range_smart` — same reasoning
+    #[cfg(target_arch = "x86_64")]
+    if !scalar && std::arch::is_x86_feature_detected!("avx") {
+        // SAFETY: AVX support verified above (cached runtime check).
+        unsafe { sweep_block_smart_avx(dom, weighting, scalar, block, work) };
+        return;
+    }
+    sweep_block_smart_body(dom, weighting, scalar, block, work);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn sweep_block_smart_avx<const C: usize, D: SmoothDomain<C>>(
+    dom: &D,
+    weighting: crate::config::Weighting,
+    scalar: bool,
+    block: &PartBlock<C>,
+    work: &mut PartScratch<C, D>,
+) {
+    sweep_block_smart_body(dom, weighting, scalar, block, work);
+}
+
+#[inline(always)]
+fn sweep_block_smart_body<const C: usize, D: SmoothDomain<C>>(
+    dom: &D,
+    weighting: crate::config::Weighting,
+    scalar: bool,
+    block: &PartBlock<C>,
+    work: &mut PartScratch<C, D>,
 ) {
     for (si, &lv) in block.sweep_locals.iter().enumerate() {
         let ns = &block.nbrs[block.nbr_offsets[si] as usize..block.nbr_offsets[si + 1] as usize];
         if ns.is_empty() {
             continue;
         }
-        let pv = work.coords[lv as usize];
-        let Some(candidate) = candidate_for(weighting, pv, ns, &work.coords) else {
+        let pv: D::Point = work.coords.get(lv as usize);
+        let Some(candidate) = candidate_for_soa(weighting, pv, ns, &work.coords) else {
             continue;
         };
         let ts = &block.vt[block.vt_offsets[si] as usize..block.vt_offsets[si + 1] as usize];
         if ts.is_empty() {
-            work.coords[lv as usize] = candidate;
+            work.coords.set(lv as usize, candidate);
             work.committed.push(lv);
             continue;
         }
 
-        work.star.clear();
+        work.coords.set(lv as usize, candidate);
+        let k = ts.len();
+        // pad the batch to a whole number of lanes: every real element
+        // rides the packed path, the pad rows (slot-0 corners) are scored
+        // into slots the fold below never reads
+        let kp = k.next_multiple_of(LANES);
+        if work.star.len() < kp {
+            resize_tracked(&mut work.star, kp);
+        }
+        if scalar {
+            for (slot, &lt) in work.star.iter_mut().zip(ts) {
+                *slot = dom.score_soa(&work.coords, block.elem_corners[lt as usize]);
+            }
+        } else {
+            if kp > work.rows.capacity() {
+                note_scratch_grow();
+            }
+            work.rows.clear();
+            work.rows.extend(ts.iter().map(|&lt| block.elem_corners[lt as usize]));
+            work.rows.resize(kp, [0; C]);
+            dom.score_batch(&work.coords, &work.rows, &mut work.star[..kp]);
+        }
+
         let mut after_sum = 0.0;
         let mut before_sum = 0.0;
         let mut all_pos = true;
-        for &lt in ts {
-            let (q0, pos0) = work.scores[lt as usize];
+        for (i, &lt) in ts.iter().enumerate() {
+            let (q0, pos0) = work.scores.get(lt as usize);
             before_sum += if pos0 { q0 } else { 0.0 };
-            let (q, pos) =
-                dom.score_with(&work.coords, block.elem_corners[lt as usize], lv, candidate);
-            work.star.push((q, pos));
+            let (q, pos) = work.star[i];
             if pos {
                 after_sum += q;
             } else {
@@ -289,17 +353,18 @@ fn sweep_block_smart<const C: usize, D: SmoothDomain<C>>(
         }
         let len = ts.len() as f64;
         let quality_ok = after_sum >= before_sum || after_sum / len >= before_sum / len;
-        let commit = quality_ok && (all_pos || ts.iter().any(|&lt| !work.scores[lt as usize].1));
+        let commit = quality_ok && (all_pos || ts.iter().any(|&lt| !work.scores.pos(lt as usize)));
         if commit {
-            work.coords[lv as usize] = candidate;
-            for (k, &lt) in ts.iter().enumerate() {
-                work.scores[lt as usize] = work.star[k];
+            for (i, &lt) in ts.iter().enumerate() {
+                work.scores.set(lt as usize, work.star[i]);
                 if !work.dirty_mark[lt as usize] {
                     work.dirty_mark[lt as usize] = true;
                     work.dirty.push(lt);
                 }
             }
             work.committed.push(lv);
+        } else {
+            work.coords.set(lv as usize, pv);
         }
     }
 }
@@ -323,8 +388,8 @@ pub fn smooth_partitioned_on<const C: usize, D: SmoothDomain<C>>(
     let initial_quality = cache.quality_exact(dom);
     let mut report = SmoothReport::starting(initial_quality);
     let mut quality = initial_quality;
-    let mut works: Vec<PartScratch<D::Point>> =
-        blocks.iter().map(|b| PartScratch::new(b, smart)).collect();
+    let mut works: Vec<PartScratch<C, D>> =
+        blocks.iter().map(|b| PartScratch::<C, D>::new(b, smart)).collect();
     let mut moved: Vec<u32> = Vec::new();
     let mut star_ids: Vec<u32> = Vec::new();
     let mut star_scores: Vec<(f64, bool)> = Vec::new();
@@ -340,6 +405,7 @@ pub fn smooth_partitioned_on<const C: usize, D: SmoothDomain<C>>(
             let shared: &[D::Point] = coords;
             let cache_ref: &DomainQualityCache = &cache;
             let first = iter == 1;
+            let scalar = cfg.scalar_scoring;
             pool.install(|| {
                 works.par_iter_mut().enumerate().for_each(|(i, work)| {
                     let block = &blocks[i];
@@ -349,7 +415,7 @@ pub fn smooth_partitioned_on<const C: usize, D: SmoothDomain<C>>(
                         work.refresh(block, shared, cache_ref, smart);
                     }
                     if smart {
-                        sweep_block_smart(dom, cfg.weighting, block, work);
+                        sweep_block_smart(dom, cfg.weighting, scalar, block, work);
                     } else {
                         sweep_block_plain(cfg.weighting, block, work);
                     }
@@ -362,7 +428,7 @@ pub fn smooth_partitioned_on<const C: usize, D: SmoothDomain<C>>(
         // cache — deterministic for any thread count.
         for (block, work) in blocks.iter().zip(works.iter_mut()) {
             for &lv in &work.committed {
-                coords[block.owned[lv as usize] as usize] = work.coords[lv as usize];
+                coords[block.owned[lv as usize] as usize] = work.coords.get(lv as usize);
             }
             if smart {
                 work.dirty.sort_unstable();
@@ -370,7 +436,7 @@ pub fn smooth_partitioned_on<const C: usize, D: SmoothDomain<C>>(
                 star_scores.clear();
                 for &lt in &work.dirty {
                     star_ids.push(block.elem_globals[lt as usize]);
-                    star_scores.push(work.scores[lt as usize]);
+                    star_scores.push(work.scores.get(lt as usize));
                     work.dirty_mark[lt as usize] = false;
                 }
                 work.dirty.clear();

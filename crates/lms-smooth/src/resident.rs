@@ -66,9 +66,10 @@
 //! decomposition.
 
 use crate::config::{SmoothParams, UpdateScheme, Weighting};
-use crate::domain::{DomainConfig, DomainPoint, SmoothDomain};
+use crate::domain::{DomainConfig, SmoothDomain};
 use crate::engine::SmoothEngine;
-use crate::kernel::candidate_for;
+use crate::kernel::candidate_for_soa;
+use crate::soa::{note_scratch_grow, resize_tracked, SoaLike, SoaScores, LANES};
 use crate::stats::SmoothReport;
 use crate::transport::{drive_resident, drive_resident_with, InProcessTransport};
 use lms_mesh::{Adjacency, TriMesh};
@@ -222,10 +223,13 @@ pub struct ResidentRank<'a, const C: usize, D: SmoothDomain<C>> {
     /// Dense destination-part → outbox-batch index map (`u32::MAX` for
     /// non-neighbours), built from the [`MessagePlan`].
     batch_of: Vec<u32>,
-    /// Local coordinates: owned then halo.
-    coords: Vec<D::Point>,
-    /// Local `(quality, positively_oriented)` per local element.
-    scores: Vec<(f64, bool)>,
+    /// Local coordinates: owned then halo, in the per-axis SoA layout the
+    /// lane-batched scoring kernels stream. Points cross this boundary
+    /// only through [`SoaLike::get`]/[`SoaLike::set`] (exact bit copies).
+    coords: D::Soa,
+    /// Local `(quality, positively_oriented)` per local element, split
+    /// into SoA columns.
+    scores: SoaScores,
     /// This iteration's `Σ w_t·Δq_t` over stat-owned elements.
     delta: f64,
     /// Owned locals committed in the current interface color round — the
@@ -234,8 +238,27 @@ pub struct ResidentRank<'a, const C: usize, D: SmoothDomain<C>> {
     /// Plain runs: local elements awaiting the end-of-iteration re-score.
     iter_dirty: Vec<u32>,
     dirty_mark: Vec<bool>,
-    /// Smart candidate-star scratch.
+    /// Candidate-star / re-score output scratch, reused across vertices.
     star: Vec<(f64, bool)>,
+    /// Corner-row scratch fed to `score_batch`, reused across vertices.
+    rows: Vec<[u32; C]>,
+    /// Lane-padded corner rows per interior-span vertex, precomputed at
+    /// construction: the star topology is static across sweeps, so the
+    /// smart batched sweep indexes straight into this CSR instead of
+    /// rebuilding (and re-padding) the row list per vertex per sweep.
+    /// Pad rows are `[0; C]` (slot 0 is always a valid element); their
+    /// scores land in pad slots of `star` that no fold ever reads.
+    int_star_rows: Vec<[u32; C]>,
+    int_star_offsets: Vec<u32>,
+    /// Interface-span twin of `int_star_rows`/`int_star_offsets`.
+    ifc_star_rows: Vec<[u32; C]>,
+    ifc_star_offsets: Vec<u32>,
+    /// Bench/oracle baseline: force per-element scalar scoring
+    /// ([`DomainConfig::scalar_scoring`]); bit-identical either way.
+    scalar_scoring: bool,
+    /// Elements scored by this rank's sweeps and re-scores (throughput
+    /// counter; drained by [`take_scored`](Self::take_scored)).
+    scored: u64,
     /// Pending halo deliveries `(dst local, coordinate)`.
     inbox: Vec<(u32, D::Point)>,
     /// Smart runs: elements to re-score right after an inbox application.
@@ -281,6 +304,26 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ResidentRank<'a, C, D> {
                 }
             })
             .collect();
+        // the smart batched sweep scores through precomputed padded rows;
+        // plain or scalar-scoring configurations never read them
+        let (mut int_star_rows, mut int_star_offsets) = (Vec::new(), Vec::new());
+        let (mut ifc_star_rows, mut ifc_star_offsets) = (Vec::new(), Vec::new());
+        if cfg.smart && !cfg.scalar_scoring {
+            build_padded_star_rows(
+                block,
+                &block.int_vt_offsets,
+                &block.int_vt,
+                &mut int_star_rows,
+                &mut int_star_offsets,
+            );
+            build_padded_star_rows(
+                block,
+                &block.ifc_vt_offsets,
+                &block.ifc_vt,
+                &mut ifc_star_rows,
+                &mut ifc_star_offsets,
+            );
+        }
         ResidentRank {
             dom,
             smart: cfg.smart,
@@ -289,13 +332,20 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ResidentRank<'a, C, D> {
             block,
             schedule,
             batch_of,
-            coords: vec![D::Point::ZERO; block.owned.len() + block.halo.len()],
-            scores: vec![(0.0, false); block.elem_globals.len()],
+            coords: D::Soa::with_len(block.owned.len() + block.halo.len()),
+            scores: SoaScores::with_len(block.elem_globals.len()),
             delta: 0.0,
             round_moved: Vec::new(),
             iter_dirty: Vec::new(),
             dirty_mark: vec![false; block.elem_globals.len()],
             star: Vec::new(),
+            rows: Vec::new(),
+            int_star_rows,
+            int_star_offsets,
+            ifc_star_rows,
+            ifc_star_offsets,
+            scalar_scoring: cfg.scalar_scoring,
+            scored: 0,
             inbox: Vec::new(),
             apply_dirty: Vec::new(),
             outbox,
@@ -333,13 +383,11 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ResidentRank<'a, C, D> {
     /// coordinates and every local element's initial score.
     pub fn load_global(&mut self, coords: &[D::Point], scores: &[(f64, bool)]) {
         self.reset_transient();
-        for (slot, &v) in
-            self.coords.iter_mut().zip(self.block.owned.iter().chain(&self.block.halo))
-        {
-            *slot = coords[v as usize];
+        for (i, &v) in self.block.owned.iter().chain(&self.block.halo).enumerate() {
+            self.coords.set(i, coords[v as usize]);
         }
-        for (slot, &t) in self.scores.iter_mut().zip(&self.block.elem_globals) {
-            *slot = scores[t as usize];
+        for (i, &t) in self.block.elem_globals.iter().enumerate() {
+            self.scores.set(i, scores[t as usize]);
         }
     }
 
@@ -355,8 +403,8 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ResidentRank<'a, C, D> {
         assert_eq!(coords.len(), self.coords.len(), "gather payload has wrong coordinate count");
         assert_eq!(scores.len(), self.scores.len(), "gather payload has wrong score count");
         self.reset_transient();
-        self.coords.copy_from_slice(coords);
-        self.scores.copy_from_slice(scores);
+        self.coords.gather_from(coords);
+        self.scores.gather_from(scores);
     }
 
     /// Drop every in-flight buffer (pending deliveries, dirty queues, the
@@ -450,7 +498,7 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ResidentRank<'a, C, D> {
         }
         for idx in 0..self.inbox.len() {
             let (dst, pos) = self.inbox[idx];
-            self.coords[dst as usize] = pos;
+            self.coords.set(dst as usize, pos);
             let h = (dst - self.block.num_owned) as usize;
             let row = &self.block.halo_vt[self.block.halo_vt_offsets[h] as usize
                 ..self.block.halo_vt_offsets[h + 1] as usize];
@@ -464,16 +512,48 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ResidentRank<'a, C, D> {
         }
         self.inbox.clear();
         if self.smart {
-            self.apply_dirty.sort_unstable();
-            for idx in 0..self.apply_dirty.len() {
-                let lt = self.apply_dirty[idx];
-                let i = lt as usize;
-                let (q, pos) = self.dom.score(&self.coords, self.block.elem_corners[i]);
-                self.delta += self.block.elem_weight[i] * (q - self.scores[i].0);
-                self.scores[i] = (q, pos);
-                self.dirty_mark[i] = false;
+            let mut queue = std::mem::take(&mut self.apply_dirty);
+            queue.sort_unstable();
+            self.rescore_elements(&queue);
+            queue.clear();
+            self.apply_dirty = queue;
+        }
+    }
+
+    /// Re-score the local elements in `queue` (ascending), folding the
+    /// weighted quality deltas into the stat accumulator in queue order
+    /// and clearing the dirty marks — the shared tail of the smart
+    /// post-delivery re-score and the plain end-of-iteration re-score.
+    /// Scoring goes through the lane-batched [`SmoothDomain::score_batch`]
+    /// unless the scalar baseline is forced; both paths are bit-identical
+    /// per element and the delta fold order is unchanged.
+    fn rescore_elements(&mut self, queue: &[u32]) {
+        if queue.is_empty() {
+            return;
+        }
+        let block = self.block;
+        let k = queue.len();
+        if self.star.len() < k {
+            resize_tracked(&mut self.star, k);
+        }
+        if self.scalar_scoring {
+            for (slot, &lt) in self.star.iter_mut().zip(queue) {
+                *slot = self.dom.score_soa(&self.coords, block.elem_corners[lt as usize]);
             }
-            self.apply_dirty.clear();
+        } else {
+            if k > self.rows.capacity() {
+                note_scratch_grow();
+            }
+            self.rows.clear();
+            self.rows.extend(queue.iter().map(|&lt| block.elem_corners[lt as usize]));
+            self.dom.score_batch(&self.coords, &self.rows, &mut self.star[..k]);
+        }
+        self.scored += k as u64;
+        for (&lt, &(q, pos)) in queue.iter().zip(&self.star) {
+            let i = lt as usize;
+            self.delta += block.elem_weight[i] * (q - self.scores.q(i));
+            self.scores.set(i, (q, pos));
+            self.dirty_mark[i] = false;
         }
     }
 
@@ -489,7 +569,7 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ResidentRank<'a, C, D> {
             for &(q, dst) in self.schedule.outgoing(self.part, lv) {
                 let batch = &mut self.outbox[self.batch_of[q as usize] as usize];
                 batch.slots.push(dst);
-                batch.coords.push(self.coords[lv as usize]);
+                batch.coords.push(self.coords.get(lv as usize));
             }
         }
         if self.timing {
@@ -514,11 +594,17 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ResidentRank<'a, C, D> {
     }
 
     /// A fresh buffer set shaped like this rank's outbox — the second
-    /// buffer of the double-buffered exchange.
+    /// buffer of the double-buffered exchange. Batches are allocated at
+    /// the plan's pair-entry capacity up front, so steady-state rounds
+    /// recycle both buffer sets without reallocating.
     pub fn outbox_template(&self) -> Vec<PairBatch<D::Point>> {
         self.outbox
             .iter()
-            .map(|b| PairBatch { dst: b.dst, slots: Vec::new(), coords: Vec::new() })
+            .map(|b| PairBatch {
+                dst: b.dst,
+                slots: Vec::with_capacity(b.slots.capacity()),
+                coords: Vec::with_capacity(b.coords.capacity()),
+            })
             .collect()
     }
 
@@ -540,16 +626,11 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ResidentRank<'a, C, D> {
         if self.smart {
             return;
         }
-        self.iter_dirty.sort_unstable();
-        for idx in 0..self.iter_dirty.len() {
-            let lt = self.iter_dirty[idx];
-            let i = lt as usize;
-            let (q, pos) = self.dom.score(&self.coords, self.block.elem_corners[i]);
-            self.delta += self.block.elem_weight[i] * (q - self.scores[i].0);
-            self.scores[i] = (q, pos);
-            self.dirty_mark[i] = false;
-        }
-        self.iter_dirty.clear();
+        let mut queue = std::mem::take(&mut self.iter_dirty);
+        queue.sort_unstable();
+        self.rescore_elements(&queue);
+        queue.clear();
+        self.iter_dirty = queue;
     }
 
     /// Drain the iteration's `Σ w_t·Δq_t` stat delta.
@@ -557,9 +638,29 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ResidentRank<'a, C, D> {
         std::mem::take(&mut self.delta)
     }
 
-    /// The owned slice of the local coordinates — the scatter payload.
-    pub fn owned_coords(&self) -> &[D::Point] {
-        &self.coords[..self.block.num_owned as usize]
+    /// Drain the count of elements this rank scored (sweep stars plus
+    /// dirty re-scores) — the scored-elements throughput counter.
+    pub fn take_scored(&mut self) -> u64 {
+        std::mem::take(&mut self.scored)
+    }
+
+    /// One owned vertex's current coordinate (slot `j < num_owned`) —
+    /// the per-vertex scatter read (the SoA store has no point slice to
+    /// borrow).
+    #[inline]
+    pub fn owned_coord(&self, j: usize) -> D::Point {
+        debug_assert!(j < self.block.num_owned as usize);
+        self.coords.get(j)
+    }
+
+    /// Copy the owned coordinates into `out` — the bulk scatter payload
+    /// at the transport boundary.
+    pub fn owned_coords_into(&self, out: &mut Vec<D::Point>) {
+        out.clear();
+        out.reserve(self.block.num_owned as usize);
+        for j in 0..self.block.num_owned as usize {
+            out.push(self.coords.get(j));
+        }
     }
 
     /// One smart local span sweep — arithmetic identical, expression by
@@ -567,67 +668,136 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ResidentRank<'a, C, D> {
     /// PR-2 block/colored sweeps, so commit decisions (hence coordinates)
     /// stay bit-identical. Score updates fold `w_t·Δq` into the part's
     /// stat delta as they land.
+    ///
+    /// The candidate star is scored **in place**: the candidate is staged
+    /// into the SoA store, the incident elements run through the
+    /// lane-batched [`SmoothDomain::score_batch`] on their ordinary corner
+    /// rows, and the old position is restored if the guard rejects. Every
+    /// element sees exactly the values the old substituting `score_with`
+    /// fed it, so the guard sums — hence commits — are bit-identical.
     fn sweep_range_smart(
         &mut self,
         span: SweepSpan,
         range: std::ops::Range<usize>,
         record_moved: bool,
     ) {
-        let (locals, nbr_offsets, nbrs, vt_offsets, vt) = span.arrays(self.block);
+        // Function multiversioning: compile the whole sweep body a second
+        // time with AVX enabled and dispatch once per span sweep. Inside
+        // the AVX copy the per-vertex `score_batch` → `tri_elr_main_avx`
+        // chain inlines completely (a `#[target_feature]` function can
+        // inline into a caller that already has the feature), so the hot
+        // loop pays no call / `vzeroupper` / SSE↔AVX-transition cost per
+        // vertex. The body is `#[inline(always)]` and identical in both
+        // copies — VEX encoding changes no IEEE semantics, and LLVM does
+        // not reassociate float math without fast-math flags, so the two
+        // versions are bit-identical. The scalar-scoring baseline stays
+        // on the plain copy on purpose: it stands in for the pre-SoA
+        // kernel in before/after benches, so it keeps the compilation
+        // environment that kernel had.
+        #[cfg(target_arch = "x86_64")]
+        if !self.scalar_scoring && std::arch::is_x86_feature_detected!("avx") {
+            // SAFETY: AVX support verified above (cached runtime check).
+            unsafe { self.sweep_range_smart_avx(span, range, record_moved) };
+            return;
+        }
+        self.sweep_range_smart_body(span, range, record_moved);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx")]
+    unsafe fn sweep_range_smart_avx(
+        &mut self,
+        span: SweepSpan,
+        range: std::ops::Range<usize>,
+        record_moved: bool,
+    ) {
+        self.sweep_range_smart_body(span, range, record_moved);
+    }
+
+    #[inline(always)]
+    fn sweep_range_smart_body(
+        &mut self,
+        span: SweepSpan,
+        range: std::ops::Range<usize>,
+        record_moved: bool,
+    ) {
+        let block = self.block;
+        let (locals, nbr_offsets, nbrs, vt_offsets, vt) = span.arrays(block);
+        let (star_rows, star_offsets) = match span {
+            SweepSpan::Interior => (&self.int_star_rows, &self.int_star_offsets),
+            SweepSpan::Interface => (&self.ifc_star_rows, &self.ifc_star_offsets),
+        };
+        let weighting = self.weighting;
+        let scalar = self.scalar_scoring;
         for si in range {
             let lv = locals[si];
             let ns = &nbrs[nbr_offsets[si] as usize..nbr_offsets[si + 1] as usize];
             if ns.is_empty() {
                 continue;
             }
-            let pv = self.coords[lv as usize];
-            let Some(candidate) = candidate_for(self.weighting, pv, ns, &self.coords) else {
+            let pv: D::Point = self.coords.get(lv as usize);
+            let Some(candidate) = candidate_for_soa(weighting, pv, ns, &self.coords) else {
                 continue;
             };
             let ts = &vt[vt_offsets[si] as usize..vt_offsets[si + 1] as usize];
             if ts.is_empty() {
-                self.coords[lv as usize] = candidate;
+                self.coords.set(lv as usize, candidate);
                 if record_moved {
                     self.round_moved.push(lv);
                 }
                 continue;
             }
 
-            self.star.clear();
+            // stage the candidate; rolled back below if the guard rejects
+            self.coords.set(lv as usize, candidate);
+            let k = ts.len();
+            if scalar {
+                if self.star.len() < k {
+                    resize_tracked(&mut self.star, k);
+                }
+                for (slot, &lt) in self.star.iter_mut().zip(ts) {
+                    *slot = self.dom.score_soa(&self.coords, block.elem_corners[lt as usize]);
+                }
+            } else {
+                // precomputed lane-padded rows: every real element rides
+                // the packed path; pad outputs land past index `k` in
+                // `star` and are never read — the fold below walks `ts`
+                let rows = &star_rows[star_offsets[si] as usize..star_offsets[si + 1] as usize];
+                let kp = rows.len();
+                if self.star.len() < kp {
+                    resize_tracked(&mut self.star, kp);
+                }
+                self.dom.score_batch(&self.coords, rows, &mut self.star[..kp]);
+            }
+            self.scored += k as u64;
+
             let mut after_sum = 0.0;
             let mut before_sum = 0.0;
             let mut all_pos = true;
-            for &lt in ts {
-                let (q0, pos0) = self.scores[lt as usize];
+            for (&lt, &(q, pos)) in ts.iter().zip(&self.star) {
+                let (q0, pos0) = self.scores.get(lt as usize);
                 before_sum += if pos0 { q0 } else { 0.0 };
-                let (q, pos) = self.dom.score_with(
-                    &self.coords,
-                    self.block.elem_corners[lt as usize],
-                    lv,
-                    candidate,
-                );
-                self.star.push((q, pos));
                 if pos {
                     after_sum += q;
                 } else {
                     all_pos = false;
                 }
             }
-            let len = ts.len() as f64;
+            let len = k as f64;
             let quality_ok = after_sum >= before_sum || after_sum / len >= before_sum / len;
             let commit =
-                quality_ok && (all_pos || ts.iter().any(|&lt| !self.scores[lt as usize].1));
+                quality_ok && (all_pos || ts.iter().any(|&lt| !self.scores.pos(lt as usize)));
             if commit {
-                self.coords[lv as usize] = candidate;
-                for (si_t, &lt) in ts.iter().enumerate() {
+                for (&lt, &(q_new, pos_new)) in ts.iter().zip(&self.star) {
                     let i = lt as usize;
-                    let (q_new, pos_new) = self.star[si_t];
-                    self.delta += self.block.elem_weight[i] * (q_new - self.scores[i].0);
-                    self.scores[i] = (q_new, pos_new);
+                    self.delta += block.elem_weight[i] * (q_new - self.scores.q(i));
+                    self.scores.set(i, (q_new, pos_new));
                 }
                 if record_moved {
                     self.round_moved.push(lv);
                 }
+            } else {
+                self.coords.set(lv as usize, pv);
             }
         }
     }
@@ -641,18 +811,20 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ResidentRank<'a, C, D> {
         range: std::ops::Range<usize>,
         record_moved: bool,
     ) {
-        let (locals, nbr_offsets, nbrs, vt_offsets, vt) = span.arrays(self.block);
+        let block = self.block;
+        let (locals, nbr_offsets, nbrs, vt_offsets, vt) = span.arrays(block);
+        let weighting = self.weighting;
         for si in range {
             let lv = locals[si];
             let ns = &nbrs[nbr_offsets[si] as usize..nbr_offsets[si + 1] as usize];
             if ns.is_empty() {
                 continue;
             }
-            let pv = self.coords[lv as usize];
-            let Some(candidate) = candidate_for(self.weighting, pv, ns, &self.coords) else {
+            let pv: D::Point = self.coords.get(lv as usize);
+            let Some(candidate) = candidate_for_soa(weighting, pv, ns, &self.coords) else {
                 continue;
             };
-            self.coords[lv as usize] = candidate;
+            self.coords.set(lv as usize, candidate);
             for &lt in &vt[vt_offsets[si] as usize..vt_offsets[si + 1] as usize] {
                 if !self.dirty_mark[lt as usize] {
                     self.dirty_mark[lt as usize] = true;
@@ -933,6 +1105,30 @@ impl ResidentEngine {
             mesh.coords_mut(),
             &pool,
         )
+    }
+}
+
+/// Build the lane-padded corner-row CSR of one sweep span: for each span
+/// vertex, its incident elements' corner rows padded with `[0; C]` up to
+/// a whole number of [`LANES`]-wide blocks. Row 0 of pad entries indexes
+/// local vertex 0 — always present — so pad lanes score a valid (if
+/// meaningless) element whose output is simply never read.
+fn build_padded_star_rows<const C: usize>(
+    block: &ResidentBlock<C>,
+    vt_offsets: &[u32],
+    vt: &[u32],
+    rows: &mut Vec<[u32; C]>,
+    offsets: &mut Vec<u32>,
+) {
+    offsets.reserve(vt_offsets.len());
+    offsets.push(0);
+    for w in vt_offsets.windows(2) {
+        let ts = &vt[w[0] as usize..w[1] as usize];
+        for &lt in ts {
+            rows.push(block.elem_corners[lt as usize]);
+        }
+        rows.resize(rows.len() + ts.len().next_multiple_of(LANES) - ts.len(), [0; C]);
+        offsets.push(rows.len() as u32);
     }
 }
 

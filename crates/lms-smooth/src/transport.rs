@@ -146,8 +146,7 @@ pub fn drive_resident_with<
     // cache would hold, folded in the same order — so the running sum
     // starts bit-equal to the other engines'; the canonical initial
     // quality is reduced from the same table (one scoring sweep, not two)
-    let init_scores: Vec<(f64, bool)> =
-        dom.elements().iter().map(|&e| dom.score(coords, e)).collect();
+    let init_scores = initial_scores(dom, cfg, coords);
     let mut qsum = Neumaier::default();
     for (t, &(q, _)) in init_scores.iter().enumerate() {
         qsum.add(q * elem_w[t]);
@@ -376,8 +375,7 @@ pub fn drive_resident_ft_with<
         "resident smoothing is an in-place (Gauss-Seidel) schedule"
     );
 
-    let init_scores: Vec<(f64, bool)> =
-        dom.elements().iter().map(|&e| dom.score(coords, e)).collect();
+    let init_scores = initial_scores(dom, cfg, coords);
     let mut qsum = Neumaier::default();
     for (t, &(q, _)) in init_scores.iter().enumerate() {
         qsum.add(q * elem_w[t]);
@@ -580,6 +578,25 @@ pub fn drive_resident_ft_with<
     Ok((report, stats))
 }
 
+/// The drivers' initial full scoring pass: every element scored on the
+/// global coordinates, in element order. Runs the lane-batched SoA
+/// kernel unless the scalar baseline is forced — both produce identical
+/// bits per element, so either way the table matches a fresh quality
+/// cache exactly.
+fn initial_scores<const C: usize, D: SmoothDomain<C>>(
+    dom: &D,
+    cfg: &DomainConfig,
+    coords: &[D::Point],
+) -> Vec<(f64, bool)> {
+    if cfg.scalar_scoring {
+        dom.elements().iter().map(|&e| dom.score(coords, e)).collect()
+    } else {
+        let mut out = Vec::new();
+        crate::soa::score_elements_batched(dom, coords, dom.elements(), &mut out);
+        out
+    }
+}
+
 /// Raw coordinate base pointer for the final disjoint scatter. Soundness:
 /// parts own disjoint global vertex sets (a partition invariant,
 /// property-tested in `lms-part`), so no slot is written by two parts.
@@ -770,6 +787,7 @@ impl<const C: usize, D: SmoothDomain<C>> InProcessTransport<'_, C, D> {
         };
         for (p, rank) in self.ranks.iter_mut().enumerate() {
             profile.rank_phases.push(rank.take_phases());
+            profile.scored_elements += rank.take_scored();
             for (s, ns) in rank.take_route_ns().into_iter().enumerate() {
                 profile.route_pair_ns[s * parts + p] += ns;
             }
@@ -784,12 +802,11 @@ impl<const C: usize, D: SmoothDomain<C>> InProcessTransport<'_, C, D> {
         let blocks = self.blocks;
         self.pool.install(|| {
             (0..ranks.len()).into_par_iter().for_each(|i| {
-                let owned_coords = ranks[i].owned_coords();
                 for (j, &v) in blocks[i].owned().iter().enumerate() {
                     // SAFETY: `v` is owned by part `i` alone; parts
                     // partition the vertex set, so no two workers
                     // write the same slot.
-                    unsafe { *scatter.0.add(v as usize) = owned_coords[j] };
+                    unsafe { *scatter.0.add(v as usize) = ranks[i].owned_coord(j) };
                 }
             });
         });

@@ -1,0 +1,83 @@
+//! The sweep scratch-reuse audit: hot-loop buffers grow on first use and
+//! never again, so the process-global [`lms_smooth::scratch_grow_count`]
+//! must not scale with the number of sweeps. We measure the growth of a
+//! short run and a much longer run over identical engine configurations —
+//! the deltas must be equal: every reallocation happens during setup /
+//! first-sweep warm-up, zero in steady state.
+//!
+//! This lives in its own integration-test file on purpose: the counter is
+//! process-global, so it must not race with unrelated tests. Keep the
+//! file to this single test function.
+
+use lms_part::PartitionMethod;
+use lms_smooth::{scratch_grow_count, ResidentEngine, SmoothEngine, SmoothParams};
+
+fn growth_of(run: impl FnOnce()) -> u64 {
+    let before = scratch_grow_count();
+    run();
+    scratch_grow_count() - before
+}
+
+#[test]
+fn steady_state_sweeps_do_not_reallocate() {
+    let mesh = lms_mesh::generators::perturbed_grid(40, 40, 0.35, 42);
+    let base = SmoothParams::paper().with_smart(true).with_tol(-1.0);
+
+    // serial engine: growth of a 12-sweep run == growth of a 3-sweep run
+    let short = growth_of(|| {
+        SmoothEngine::new(&mesh, base.clone().with_max_iters(3)).smooth(&mut mesh.clone());
+    });
+    let long = growth_of(|| {
+        SmoothEngine::new(&mesh, base.clone().with_max_iters(12)).smooth(&mut mesh.clone());
+    });
+    assert_eq!(
+        short, long,
+        "serial kernel scratch grew with sweep count: {short} grows in 3 sweeps \
+         vs {long} in 12 — steady-state sweeps must not reallocate"
+    );
+
+    // resident engine (the partitioned sweep scratch): same invariant,
+    // smart and plain
+    for smart in [true, false] {
+        let params = base.clone().with_smart(smart);
+        let short = growth_of(|| {
+            let e = ResidentEngine::by_method(
+                &mesh,
+                params.clone().with_max_iters(3),
+                4,
+                PartitionMethod::Rcb,
+            );
+            e.smooth(&mut mesh.clone(), 2);
+        });
+        let long = growth_of(|| {
+            let e = ResidentEngine::by_method(
+                &mesh,
+                params.clone().with_max_iters(12),
+                4,
+                PartitionMethod::Rcb,
+            );
+            e.smooth(&mut mesh.clone(), 2);
+        });
+        assert_eq!(
+            short, long,
+            "resident sweep scratch grew with sweep count (smart={smart}): \
+             {short} grows in 3 sweeps vs {long} in 12"
+        );
+    }
+
+    // repeat runs on one engine: no growth at all after the first run
+    let engine =
+        ResidentEngine::by_method(&mesh, base.clone().with_max_iters(3), 4, PartitionMethod::Rcb);
+    engine.smooth(&mut mesh.clone(), 2); // warm-up pays all growth
+    let first = growth_of(|| {
+        engine.smooth(&mut mesh.clone(), 2);
+    });
+    let second = growth_of(|| {
+        engine.smooth(&mut mesh.clone(), 2);
+    });
+    assert_eq!(
+        first, second,
+        "repeat smooths on a warmed engine must reallocate identically \
+         (expected a fixed per-run setup cost, got {first} then {second})"
+    );
+}

@@ -63,6 +63,11 @@ pub struct TransportProfile {
     /// Coordinator time blocked in `poll(2)` waiting for rank data
     /// (0 in-process).
     pub poll_wait_ns: u64,
+    /// Elements scored by the ranks' sweep stars and dirty re-scores —
+    /// the denominator-side of the scored-elements/sec throughput
+    /// counter. Zero when the transport cannot observe it (remote ranks
+    /// do not ship this counter over the wire).
+    pub scored_elements: u64,
 }
 
 /// Per-phase timing summary of one smoothing run: driver span totals
