@@ -30,7 +30,15 @@ fn grid_side() -> usize {
 
 const PARTS: usize = 8;
 
-fn bench_dist(c: &mut Criterion) -> (lms_smooth::ExchangeVolume, lms_trace::PhaseBreakdown) {
+/// Everything the profiled (non-criterion) runs measured: the exchange
+/// accounting plus one phase breakdown per drain mode.
+struct Profiles {
+    volume: lms_smooth::ExchangeVolume,
+    overlap_on: lms_trace::PhaseBreakdown,
+    overlap_off: lms_trace::PhaseBreakdown,
+}
+
+fn bench_dist(c: &mut Criterion) -> Profiles {
     let side = grid_side();
     let mesh = lms_mesh::generators::perturbed_grid(side, side, 0.35, 42);
     // fixed 10 sweeps: tol disabled so both engines do identical work
@@ -56,18 +64,22 @@ fn bench_dist(c: &mut Criterion) -> (lms_smooth::ExchangeVolume, lms_trace::Phas
     assert_eq!(volume.full_gathers, 1, "rank blocks must gather exactly once");
     assert_eq!(volume.full_scatters, 1, "one disjoint write-back at the end");
 
-    // one profiled (wire v3) run, outside the criterion timing loops:
-    // rank sweep timings come back in the Report frames, the coordinator
-    // times its own encode/decode/poll-wait — this is what lets the JSON
-    // separate fork/pipe overhead from compute
-    let breakdown = {
+    // one profiled (wire v4) run per drain mode, outside the criterion
+    // timing loops: rank sweep timings come back in the Report frames,
+    // the coordinator times its own encode/decode/poll-wait — this is
+    // what lets the JSON separate fork/pipe overhead from compute, and
+    // the on/off pair is what proves the overlap multiplexer's poll-wait
+    // cut is hiding (idle/hidden split) rather than shifted cost
+    let profiled = |overlap: bool| {
         let mut work = mesh.clone();
         let (report, _, _) = dist
-            .smooth_profiled(&mut work, &FtOptions::default())
+            .smooth_profiled(&mut work, &FtOptions { overlap, ..FtOptions::default() })
             .expect("profiled distributed run");
         assert_eq!(work.coords(), b.coords(), "profiling must be observation-only");
         report.phase_breakdown.expect("profiled run attaches a breakdown")
     };
+    let breakdown_on = profiled(true);
+    let breakdown_off = profiled(false);
 
     let mut group = c.benchmark_group("dist");
     group.sample_size(10);
@@ -103,6 +115,19 @@ fn bench_dist(c: &mut Criterion) -> (lms_smooth::ExchangeVolume, lms_trace::Phas
             dist.smooth_with(&mut work, &min_ckpt)
         })
     });
+    // the serialized drain loop the overlap multiplexer replaced, kept
+    // as FtOptions { overlap: false }: its gap to the default run is
+    // the wall-clock value of compute/communication overlap (small on a
+    // saturated host, where ranks timeshare the cores the coordinator
+    // would hide behind — the honest headline is the poll-wait split in
+    // the profiled breakdown, not this wall-clock delta)
+    let no_overlap = FtOptions { overlap: false, ..FtOptions::default() };
+    group.bench_with_input(BenchmarkId::new("dist_8ranks_overlap_off", side), &mesh, |bch, m| {
+        bch.iter(|| {
+            let mut work = m.clone();
+            dist.smooth_with(&mut work, &no_overlap)
+        })
+    });
     // the same run over TCP loopback (PR 8's socket transport): identical
     // frames and results, but every byte now crosses the kernel's TCP
     // stack — the single-host measurement of the multi-node deployment tax
@@ -113,15 +138,12 @@ fn bench_dist(c: &mut Criterion) -> (lms_smooth::ExchangeVolume, lms_trace::Phas
         })
     });
     group.finish();
-    (volume, breakdown)
+    Profiles { volume, overlap_on: breakdown_on, overlap_off: breakdown_off }
 }
 
-fn export_json(
-    c: &Criterion,
-    side: usize,
-    volume: &lms_smooth::ExchangeVolume,
-    breakdown: &lms_trace::PhaseBreakdown,
-) {
+fn export_json(c: &Criterion, side: usize, profiles: &Profiles) {
+    let volume = &profiles.volume;
+    let breakdown = &profiles.overlap_on;
     let find = |needle: &str, min: bool| {
         c.summaries()
             .iter()
@@ -152,9 +174,11 @@ fn export_json(
         .collect::<Vec<_>>()
         .join(", ");
     let compute_ms: f64 = t.rank_phases.iter().map(|r| ms(r.sweep_ns())).sum();
-    let pipe_ms = ms(t.encode_ns + t.decode_ns + t.poll_wait_ns);
+    let pipe_ms = ms(t.encode_ns + t.decode_ns + t.poll_wait_ns + t.hidden_wait_ns);
+    let off = &profiles.overlap_off.transport;
+    let poll_cut = ms(off.poll_wait_ns) / ms(t.poll_wait_ns).max(1e-9);
     let phase_json = format!(
-        "  \"phase_breakdown_ms\": {{\n    \"driver\": {{ \"gather\": {:.2}, \"interior\": {:.2}, \"color_step\": {:.2}, \"finish\": {:.2}, \"scatter\": {:.2}, \"checkpoint\": {:.2} }},\n    \"coordinator\": {{ \"frame_encode\": {:.2}, \"frame_decode\": {:.2}, \"poll_wait\": {:.2} }},\n    \"rank_sweep_compute\": [{sweeps}],\n    \"rank_sweep_compute_total\": {compute_ms:.2},\n    \"pipe_overhead_total\": {pipe_ms:.2},\n    \"note\": \"one profiled run (wire v3), not criterion-timed. rank_sweep_compute is measured inside each forked rank (interior + color + finish ns from the Report frames) — the actual compute. pipe_overhead_total = coordinator frame encode + decode + poll(2) wait: the fork/pipe transport tax. Driver spans include time blocked on ranks, so they overlap both\"\n  }},\n",
+        "  \"phase_breakdown_ms\": {{\n    \"driver\": {{ \"gather\": {:.2}, \"interior\": {:.2}, \"color_step\": {:.2}, \"finish\": {:.2}, \"scatter\": {:.2}, \"checkpoint\": {:.2} }},\n    \"coordinator\": {{ \"frame_encode\": {:.2}, \"frame_decode\": {:.2}, \"poll_wait\": {:.2}, \"hidden_wait\": {:.2} }},\n    \"rank_sweep_compute\": [{sweeps}],\n    \"rank_sweep_compute_total\": {compute_ms:.2},\n    \"pipe_overhead_total\": {pipe_ms:.2},\n    \"note\": \"one profiled run (wire v4) with the overlap multiplexer on, not criterion-timed. rank_sweep_compute is measured inside each forked rank (interior + color + finish ns from the Report frames) — the actual compute. pipe_overhead_total = coordinator frame encode + decode + total poll(2) time: the fork/pipe transport tax. poll_wait is the genuinely-idle-at-a-dependence share; hidden_wait is poll time overlapped with released rank work — a color round issued ahead of the one being drained, or a deferred checkpoint round whose sparse replies are still outstanding. Driver spans include time blocked on ranks, so they overlap both\"\n  }},\n  \"overlap\": {{\n    \"poll_wait_ms_overlap_on\": {:.2},\n    \"hidden_wait_ms_overlap_on\": {:.2},\n    \"poll_wait_ms_overlap_off\": {:.2},\n    \"hidden_wait_ms_overlap_off\": {:.2},\n    \"idle_poll_wait_reduction\": {poll_cut:.2},\n    \"note\": \"idle_poll_wait_reduction = serialized poll_wait / overlap idle poll_wait, from one profiled run each. The serialized loop charges ALL its waiting as idle; the multiplexer reclassifies wait that overlaps released rank compute as hidden_wait, so on+hidden vs off shows the reduction is hiding, not shifted cost. The remainder is idle at a true dependence (initial gather, the first iteration's first round, report collection, the final scatter). The serialized loop's biggest idle block — the per-iteration checkpoint collection barrier — is gone outright: overlap mode defers each boundary's sparse ScatterDelta replies into the next iteration's drains (wire v4), so they arrive under waits the coordinator was paying anyway\"\n  }},\n",
         ms(breakdown.gather_ns),
         ms(breakdown.interior_ns),
         ms(breakdown.color_step_ns),
@@ -164,21 +188,28 @@ fn export_json(
         ms(t.encode_ns),
         ms(t.decode_ns),
         ms(t.poll_wait_ns),
+        ms(t.hidden_wait_ns),
+        ms(t.poll_wait_ns),
+        ms(t.hidden_wait_ns),
+        ms(off.poll_wait_ns),
+        ms(off.hidden_wait_ns),
     );
     let json = format!(
-        "{{\n  \"benchmark\": \"dist\",\n  \"workload\": \"smart Gauss-Seidel, {side}x{side} perturbed grid (jitter 0.35, seed 42), 10 sweeps, {PARTS}-way rcb\",\n  \"host_cores\": {host_cores},\n  \"median_ms\": {{\n    \"resident_1_threads\": {:.2},\n    \"resident_2_threads\": {:.2},\n    \"resident_4_threads\": {:.2},\n    \"dist_{PARTS}_ranks\": {:.2},\n    \"dist_{PARTS}_ranks_min_checkpoints\": {:.2},\n    \"dist_{PARTS}_ranks_tcp_loopback\": {:.2}\n  }},\n  \"min_ms\": {{\n    \"resident_1_threads\": {:.2},\n    \"resident_2_threads\": {:.2},\n    \"resident_4_threads\": {:.2},\n    \"dist_{PARTS}_ranks\": {:.2},\n    \"dist_{PARTS}_ranks_min_checkpoints\": {:.2},\n    \"dist_{PARTS}_ranks_tcp_loopback\": {:.2}\n  }},\n  \"dist_speedup_vs_resident_1t\": {dist_vs_res1},\n  \"speedup_estimator\": \"min-vs-min (deterministic workload)\",\n  \"note\": \"dist times include forking {PARTS} rank processes per run plus the full fault-tolerance machinery: per-frame CRC32c checksums (since wire v2) and, in the default configuration, one checkpoint scatter round per iteration. The min_checkpoints variant checkpoints only the mandatory final boundary, isolating the checksum cost — its gap to the seed-era numbers is the negligible checksum overhead, while the default-vs-min_checkpoints gap is the price of per-iteration recovery points. Rank parallelism is bounded by host_cores; on a 1-core host the distributed run adds pure fork+pipe overhead over resident_1t. The tcp_loopback variant runs the identical frames over the socket transport (forked workers dialling 127.0.0.1) — its gap to the pipe run is the kernel TCP tax, the single-host proxy for multi-node deployment\",\n  \"exchange_volume_per_10_sweeps\": {{\n    \"full_gathers\": {},\n    \"full_scatters\": {},\n    \"exchange_rounds\": {},\n    \"halo_entries_sent\": {},\n    \"halo_messages_sent\": {},\n    \"halo_bytes_sent\": {},\n    \"entries_per_message\": {:.1}\n  }},\n{phase_json}  \"coords_and_report_bit_identical_to_in_process\": true\n}}\n",
+        "{{\n  \"benchmark\": \"dist\",\n  \"workload\": \"smart Gauss-Seidel, {side}x{side} perturbed grid (jitter 0.35, seed 42), 10 sweeps, {PARTS}-way rcb\",\n  \"host_cores\": {host_cores},\n  \"median_ms\": {{\n    \"resident_1_threads\": {:.2},\n    \"resident_2_threads\": {:.2},\n    \"resident_4_threads\": {:.2},\n    \"dist_{PARTS}_ranks\": {:.2},\n    \"dist_{PARTS}_ranks_min_checkpoints\": {:.2},\n    \"dist_{PARTS}_ranks_tcp_loopback\": {:.2},\n    \"dist_{PARTS}_ranks_overlap_off\": {:.2}\n  }},\n  \"min_ms\": {{\n    \"resident_1_threads\": {:.2},\n    \"resident_2_threads\": {:.2},\n    \"resident_4_threads\": {:.2},\n    \"dist_{PARTS}_ranks\": {:.2},\n    \"dist_{PARTS}_ranks_min_checkpoints\": {:.2},\n    \"dist_{PARTS}_ranks_tcp_loopback\": {:.2},\n    \"dist_{PARTS}_ranks_overlap_off\": {:.2}\n  }},\n  \"dist_speedup_vs_resident_1t\": {dist_vs_res1},\n  \"speedup_estimator\": \"min-vs-min (deterministic workload)\",\n  \"note\": \"dist times include forking {PARTS} rank processes per run plus the full fault-tolerance machinery: per-frame CRC32c checksums (since wire v2) and, in the default configuration, one checkpoint round per iteration — sparse and pipelined under overlap (wire v4 ScatterDelta frames collected during the next iteration's drains), a full scatter barrier with overlap off. The min_checkpoints variant checkpoints only the mandatory final boundary, isolating the checksum cost — its gap to the seed-era numbers is the negligible checksum overhead, while the default-vs-min_checkpoints gap is the price of per-iteration recovery points. Rank parallelism is bounded by host_cores; on a 1-core host the distributed run adds pure fork+pipe overhead over resident_1t. The tcp_loopback variant runs the identical frames over the socket transport (forked workers dialling 127.0.0.1) — its gap to the pipe run is the kernel TCP tax, the single-host proxy for multi-node deployment. The overlap_off variant runs the serialized drain loop the overlap multiplexer replaced (same frames, no eager forwarding/release) — see the overlap object for the poll-wait split that is the honest measure of what overlap buys\",\n  \"exchange_volume_per_10_sweeps\": {{\n    \"full_gathers\": {},\n    \"full_scatters\": {},\n    \"exchange_rounds\": {},\n    \"halo_entries_sent\": {},\n    \"halo_messages_sent\": {},\n    \"halo_bytes_sent\": {},\n    \"entries_per_message\": {:.1}\n  }},\n{phase_json}  \"coords_and_report_bit_identical_to_in_process\": true\n}}\n",
         find("resident_1t", false),
         find("resident_2t", false),
         find("resident_4t", false),
         find("dist_8ranks/", false),
         find("dist_8ranks_minckpt", false),
         find("dist_8ranks_tcp", false),
+        find("dist_8ranks_overlap_off", false),
         find("resident_1t", true),
         find("resident_2t", true),
         find("resident_4t", true),
         find("dist_8ranks/", true),
         find("dist_8ranks_minckpt", true),
         find("dist_8ranks_tcp", true),
+        find("dist_8ranks_overlap_off", true),
         volume.full_gathers,
         volume.full_scatters,
         volume.exchange_rounds,
@@ -196,6 +227,6 @@ fn export_json(
 
 fn main() {
     let mut criterion = Criterion::new();
-    let (volume, breakdown) = bench_dist(&mut criterion);
-    export_json(&criterion, grid_side(), &volume, &breakdown);
+    let profiles = bench_dist(&mut criterion);
+    export_json(&criterion, grid_side(), &profiles);
 }

@@ -107,6 +107,13 @@ pub struct FtOptions {
     /// Connection supervision knobs of the socket rungs (retry/backoff
     /// and accept bounds); ignored by the pipe rung.
     pub supervisor: Supervisor,
+    /// Event-driven coordinator with compute/communication overlap: one
+    /// `poll(2)` multiplexed over every rank stream, eager delta
+    /// forwarding, and eager round release (see the `transport` module
+    /// docs). On by default; turning it off restores the serialized
+    /// drain/forward loop — the overlap oracle — with bit-identical
+    /// coordinates and reports either way.
+    pub overlap: bool,
 }
 
 impl Default for FtOptions {
@@ -119,6 +126,7 @@ impl Default for FtOptions {
             profile: false,
             mode: TransportMode::Pipes,
             supervisor: Supervisor::default(),
+            overlap: true,
         }
     }
 }
@@ -150,6 +158,7 @@ fn spawn_mode_transport<'a, const C: usize, D: SmoothDomain<C>>(
                 options.read_timeout_ms,
                 options.faults.clone(),
                 options.profile,
+                options.overlap,
             );
         }
         TransportMode::TcpLoopback => SocketSpec::tcp_loopback(),
@@ -164,6 +173,7 @@ fn spawn_mode_transport<'a, const C: usize, D: SmoothDomain<C>>(
         options.read_timeout_ms,
         options.faults.clone(),
         options.profile,
+        options.overlap,
         &options.supervisor,
     )
     .map(SocketTransport::into_inner)
@@ -321,6 +331,7 @@ impl DistResidentEngine {
         opts.profile = true;
         let mut recorder = Recorder::new(0);
         let (mut report, stats, profile) = self.smooth_ft_with(mesh, &opts, &mut recorder)?;
+        record_overlap_span(&mut recorder, &profile);
         let mut breakdown = PhaseBreakdown::default();
         breakdown.apply_span_totals(&recorder.span_totals());
         breakdown.transport = profile;
@@ -382,6 +393,7 @@ impl DistResidentEngine {
             self.inner.exchange_schedule(),
             options.read_timeout_ms,
             options.profile,
+            options.overlap,
             &options.supervisor,
         )?
         .into_inner();
@@ -512,6 +524,7 @@ impl DistResidentEngine3 {
         opts.profile = true;
         let mut recorder = Recorder::new(0);
         let (mut report, stats, profile) = self.smooth_ft_with(mesh, &opts, &mut recorder)?;
+        record_overlap_span(&mut recorder, &profile);
         let mut breakdown = PhaseBreakdown::default();
         breakdown.apply_span_totals(&recorder.span_totals());
         breakdown.transport = profile;
@@ -539,6 +552,19 @@ impl DistResidentEngine3 {
             }
             Err(e) => panic!("distributed smoothing failed beyond recovery: {e}"),
         }
+    }
+}
+
+/// Materialise the coordinator's accumulated hidden-wait total as one
+/// `"overlap"` chrome-trace span, anchored so it *ends* at export time.
+/// The overlap multiplexer can only account hidden wait as a counter
+/// (the hidden windows interleave with forwarding work inside one
+/// drain call), so the timeline gets a single span whose duration is
+/// the honest total rather than per-window marks.
+fn record_overlap_span(recorder: &mut Recorder, profile: &TransportProfile) {
+    if profile.hidden_wait_ns > 0 {
+        let t1 = lms_trace::now_ns();
+        recorder.record_span("overlap", 0, 0, t1.saturating_sub(profile.hidden_wait_ns), t1);
     }
 }
 

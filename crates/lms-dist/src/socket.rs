@@ -336,6 +336,7 @@ impl<'a, const C: usize, D: SmoothDomain<C>> SocketTransport<'a, C, D> {
         read_timeout_ms: i32,
         faults: FaultPlan,
         profile: bool,
+        overlap: bool,
         supervisor: &Supervisor,
     ) -> Result<Self, DistError> {
         check_rung_veto(spec, &faults)?;
@@ -354,6 +355,7 @@ impl<'a, const C: usize, D: SmoothDomain<C>> SocketTransport<'a, C, D> {
             read_timeout_ms,
             faults,
             profile,
+            overlap,
             link,
         )
         .map(|inner| SocketTransport { inner })
@@ -373,6 +375,7 @@ impl<'a, const C: usize, D: SmoothDomain<C>> SocketTransport<'a, C, D> {
         schedule: &'a ExchangeSchedule,
         read_timeout_ms: i32,
         profile: bool,
+        overlap: bool,
         supervisor: &Supervisor,
     ) -> Result<Self, DistError> {
         let link = Link::Socket {
@@ -389,6 +392,7 @@ impl<'a, const C: usize, D: SmoothDomain<C>> SocketTransport<'a, C, D> {
             read_timeout_ms,
             FaultPlan::none(),
             profile,
+            overlap,
             link,
         )
         .map(|inner| SocketTransport { inner })
@@ -463,8 +467,12 @@ impl<const C: usize, D: SmoothDomain<C>> FtResidentTransport<D::Point>
         self.inner.try_color_step(color, volume)
     }
 
-    fn try_finish_iteration(&mut self, deltas: &mut Vec<f64>) -> Result<(), DistError> {
-        self.inner.try_finish_iteration(deltas)
+    fn try_finish_iteration(
+        &mut self,
+        deltas: &mut Vec<f64>,
+        volume: &mut ExchangeVolume,
+    ) -> Result<(), DistError> {
+        self.inner.try_finish_iteration(deltas, volume)
     }
 
     fn try_scatter(&mut self, coords: &mut [D::Point]) -> Result<(), DistError> {
@@ -473,6 +481,10 @@ impl<const C: usize, D: SmoothDomain<C>> FtResidentTransport<D::Point>
 
     fn take_checkpoint(&mut self) -> Result<(), DistError> {
         self.inner.take_checkpoint()
+    }
+
+    fn deferred_checkpoints(&self) -> bool {
+        self.inner.deferred_checkpoints()
     }
 
     fn recover(&mut self, failure: &DistError) -> Result<(), DistError> {

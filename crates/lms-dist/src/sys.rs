@@ -247,6 +247,126 @@ pub fn wait_writable(fd: i32, timeout_ms: i32) -> io::Result<bool> {
     }
 }
 
+/// One `poll(2)` over many descriptors at once — the multiplexer under
+/// the overlap coordinator: instead of draining ranks one at a time
+/// through per-rank bounded reads, the coordinator parks in a single
+/// poll over *every* undrained rank fd and services whichever became
+/// readable. Fills `ready[i] = true` when `fds[i]` will not block on
+/// read (data, EOF, or error — the follow-up read disambiguates) and
+/// returns how many are ready (`0` = timed out). Entries with a negative
+/// fd are skipped (`poll(2)` ignores them natively), which is how
+/// already-drained ranks drop out of the wait without reshuffling the
+/// array. `EINTR` retries; a negative timeout blocks indefinitely.
+pub fn poll_readables(fds: &[i32], timeout_ms: i32, ready: &mut Vec<bool>) -> io::Result<usize> {
+    ready.clear();
+    ready.resize(fds.len(), false);
+    let mut pfds: Vec<ffi::PollFd> =
+        fds.iter().map(|&fd| ffi::PollFd { fd, events: POLLIN, revents: 0 }).collect();
+    loop {
+        let r = unsafe { ffi::poll(pfds.as_mut_ptr(), pfds.len() as u64, timeout_ms) };
+        if r >= 0 {
+            let mut n = 0;
+            for (slot, pfd) in ready.iter_mut().zip(&pfds) {
+                if pfd.revents != 0 {
+                    *slot = true;
+                    n += 1;
+                }
+            }
+            return Ok(n);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// One `poll(2)` over read *and* write interest at once — the overlap
+/// coordinator's full event loop: it parks over every rank fd it still
+/// expects frames from (`reads`) and every rank out-queue with bytes
+/// left to push (`writes`) in a single syscall, so an eager forward to a
+/// slow destination never blocks draining a fast source. Fills
+/// `ready_read[i]` / `ready_write[j]` and returns the total number of
+/// ready entries (`0` = timed out). Negative fds are skipped natively by
+/// `poll(2)`; `EINTR` retries; a negative timeout blocks indefinitely.
+pub fn poll_duplex(
+    reads: &[i32],
+    writes: &[i32],
+    timeout_ms: i32,
+    ready_read: &mut Vec<bool>,
+    ready_write: &mut Vec<bool>,
+) -> io::Result<usize> {
+    ready_read.clear();
+    ready_read.resize(reads.len(), false);
+    ready_write.clear();
+    ready_write.resize(writes.len(), false);
+    let mut pfds: Vec<ffi::PollFd> = reads
+        .iter()
+        .map(|&fd| ffi::PollFd { fd, events: POLLIN, revents: 0 })
+        .chain(writes.iter().map(|&fd| ffi::PollFd { fd, events: POLLOUT, revents: 0 }))
+        .collect();
+    loop {
+        let r = unsafe { ffi::poll(pfds.as_mut_ptr(), pfds.len() as u64, timeout_ms) };
+        if r >= 0 {
+            let mut n = 0;
+            for (i, pfd) in pfds.iter().enumerate() {
+                if pfd.revents != 0 {
+                    if i < reads.len() {
+                        ready_read[i] = true;
+                    } else {
+                        ready_write[i - reads.len()] = true;
+                    }
+                    n += 1;
+                }
+            }
+            return Ok(n);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// One non-blocking `read(2)` attempt on a readiness-polled descriptor:
+/// `Ok(None)` when the read would block (readiness was stale — another
+/// poll round will retry), `Ok(Some(0))` at EOF, `Ok(Some(n))` for
+/// bytes. `EINTR` retries; every other error surfaces for the stream
+/// diagnosis. The descriptor must be in `O_NONBLOCK` mode for the
+/// `None` arm to ever fire — on a blocking fd this is just `read(2)`.
+pub fn read_ready(fd: i32, buf: &mut [u8]) -> io::Result<Option<usize>> {
+    loop {
+        let n = unsafe { ffi::read(fd, buf.as_mut_ptr().cast(), buf.len()) };
+        if n >= 0 {
+            return Ok(Some(n as usize));
+        }
+        let err = io::Error::last_os_error();
+        match err.kind() {
+            io::ErrorKind::Interrupted => {}
+            io::ErrorKind::WouldBlock => return Ok(None),
+            _ => return Err(err),
+        }
+    }
+}
+
+/// One non-blocking `write(2)` attempt: `Ok(0)` when the descriptor's
+/// buffer is full (`EAGAIN` — the caller re-arms `POLLOUT` and retries
+/// next poll round), otherwise the bytes accepted. `EINTR` retries.
+pub fn write_ready(fd: i32, buf: &[u8]) -> io::Result<usize> {
+    loop {
+        let n = unsafe { ffi::write(fd, buf.as_ptr().cast(), buf.len()) };
+        if n >= 0 {
+            return Ok(n as usize);
+        }
+        let err = io::Error::last_os_error();
+        match err.kind() {
+            io::ErrorKind::Interrupted => {}
+            io::ErrorKind::WouldBlock => return Ok(0),
+            _ => return Err(err),
+        }
+    }
+}
+
 /// Switch `O_NONBLOCK` on a raw descriptor. The supervisor keeps
 /// listeners non-blocking (a connection aborted between `poll` and
 /// `accept` must not wedge the coordinator), and the stream retry loops
@@ -320,16 +440,26 @@ impl std::fmt::Display for WaitStatus {
 /// and the stall diagnosis reads via [`waited_ns`](Self::waited_ns).
 /// The accounting is a plain field bump around a syscall that already
 /// dominates it; it stays on even when profiling is off.
+///
+/// Waits are split into two classes: **idle** — the run is blocked at a
+/// dependence with no useful work anywhere — and **hidden** — at least
+/// one rank has already been released into work ahead of the round being
+/// drained, so the wait overlaps live compute. The serialized loop only
+/// ever charges the idle class; the overlap multiplexer classifies each
+/// poll and charges via [`charge_wait_ns`](Self::charge_wait_ns). The
+/// stall diagnosis reads the combined total — a stalled rank is stalled
+/// regardless of what the coordinator overlapped meanwhile.
 #[derive(Debug)]
 pub struct TimeoutReader {
     fd: Fd,
     timeout_ms: i32,
     waited_ns: u64,
+    hidden_waited_ns: u64,
 }
 
 impl TimeoutReader {
     pub fn new(fd: Fd, timeout_ms: i32) -> Self {
-        TimeoutReader { fd, timeout_ms, waited_ns: 0 }
+        TimeoutReader { fd, timeout_ms, waited_ns: 0, hidden_waited_ns: 0 }
     }
 
     /// The raw descriptor number (for a forked child shedding inherited
@@ -338,16 +468,44 @@ impl TimeoutReader {
         self.fd.raw()
     }
 
-    /// Cumulative nanoseconds spent blocked in `poll(2)` on this rank —
-    /// timed-out waits included.
+    /// Cumulative nanoseconds spent **idle** in `poll(2)` on this rank —
+    /// timed-out waits included, overlap-hidden waits excluded.
     pub fn waited_ns(&self) -> u64 {
         self.waited_ns
     }
 
-    /// Drain the poll-wait total (returns it and resets to zero), so the
-    /// profiler can attribute waits per protocol phase as deltas.
+    /// Cumulative nanoseconds of poll-wait on this rank that overlapped
+    /// released compute (the multiplexer's hidden class).
+    pub fn hidden_waited_ns(&self) -> u64 {
+        self.hidden_waited_ns
+    }
+
+    /// Idle + hidden wait — what a stall diagnosis reports: the full
+    /// wall time the coordinator spent waiting on this rank.
+    pub fn total_waited_ns(&self) -> u64 {
+        self.waited_ns + self.hidden_waited_ns
+    }
+
+    /// Drain the idle poll-wait total (returns it and resets to zero), so
+    /// the profiler can attribute waits per protocol phase as deltas.
     pub fn take_waited_ns(&mut self) -> u64 {
         std::mem::take(&mut self.waited_ns)
+    }
+
+    /// Drain the hidden poll-wait total.
+    pub fn take_hidden_waited_ns(&mut self) -> u64 {
+        std::mem::take(&mut self.hidden_waited_ns)
+    }
+
+    /// Charge an externally-timed wait (the overlap multiplexer polls
+    /// many fds in one syscall and attributes the elapsed time to every
+    /// rank it was still waiting on, classified idle or hidden).
+    pub fn charge_wait_ns(&mut self, ns: u64, hidden: bool) {
+        if hidden {
+            self.hidden_waited_ns += ns;
+        } else {
+            self.waited_ns += ns;
+        }
     }
 
     /// Unwrap the descriptor (the supervisor reads a handshake frame
@@ -476,6 +634,97 @@ mod tests {
         let got = reader.join().unwrap();
         assert_eq!(got.len(), payload.len());
         assert!(got.iter().all(|&b| b == 0x5a));
+    }
+
+    #[test]
+    fn poll_readables_reports_only_ready_fds_and_skips_negative() {
+        let (r1, mut w1) = pipe().unwrap();
+        let (r2, _w2) = pipe().unwrap();
+        w1.write_all(&[1]).unwrap();
+        let mut ready = Vec::new();
+        // r1 has data, r2 is empty, -1 is a skipped slot
+        let n = poll_readables(&[r1.raw(), r2.raw(), -1], 50, &mut ready).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(ready, vec![true, false, false]);
+        // nothing readable anywhere: timeout, zero ready
+        let mut drain = [0u8; 1];
+        let mut r1 = r1;
+        r1.read_exact(&mut drain).unwrap();
+        let n = poll_readables(&[r1.raw(), r2.raw()], 20, &mut ready).unwrap();
+        assert_eq!(n, 0);
+        assert!(ready.iter().all(|&b| !b));
+        // EOF counts as readable (the follow-up read disambiguates)
+        drop(w1);
+        let n = poll_readables(&[r1.raw()], 50, &mut ready).unwrap();
+        assert_eq!((n, ready[0]), (1, true));
+    }
+
+    #[test]
+    fn poll_duplex_reports_read_and_write_interest() {
+        let (r1, mut w1) = pipe().unwrap();
+        let (r2, w2) = pipe().unwrap();
+        w1.write_all(&[7]).unwrap();
+        let (mut rr, mut rw) = (Vec::new(), Vec::new());
+        // r1 has data; w2's pipe buffer is empty so it accepts writes;
+        // r2 is empty; a negative read slot is skipped
+        let n = poll_duplex(&[r1.raw(), r2.raw(), -1], &[w2.raw()], 50, &mut rr, &mut rw).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(rr, vec![true, false, false]);
+        assert_eq!(rw, vec![true]);
+        // fill w2's pipe buffer: POLLOUT must drop away and the poll
+        // falls through to a pure timeout once r1 is drained
+        set_nonblocking(w2.raw(), true).unwrap();
+        let chunk = [0u8; 4096];
+        while write_ready(w2.raw(), &chunk).unwrap() > 0 {}
+        let mut drain = [0u8; 1];
+        let mut r1 = r1;
+        r1.read_exact(&mut drain).unwrap();
+        let n = poll_duplex(&[r1.raw()], &[w2.raw()], 20, &mut rr, &mut rw).unwrap();
+        assert_eq!(n, 0);
+        assert!(!rr[0] && !rw[0]);
+        drop(r2); // unread full pipe: w2 now raises POLLERR = ready
+        let n = poll_duplex(&[], &[w2.raw()], 50, &mut rr, &mut rw).unwrap();
+        assert_eq!((n, rw[0]), (1, true));
+    }
+
+    #[test]
+    fn read_ready_and_write_ready_surface_wouldblock_as_values() {
+        let (r, w) = pipe().unwrap();
+        set_nonblocking(r.raw(), true).unwrap();
+        set_nonblocking(w.raw(), true).unwrap();
+        let mut buf = [0u8; 8];
+        // empty pipe: a non-blocking read yields None, not an error
+        assert_eq!(read_ready(r.raw(), &mut buf).unwrap(), None);
+        assert_eq!(write_ready(w.raw(), b"abc").unwrap(), 3);
+        assert_eq!(read_ready(r.raw(), &mut buf).unwrap(), Some(3));
+        assert_eq!(&buf[..3], b"abc");
+        // full pipe: write_ready returns 0 instead of blocking
+        let chunk = [0u8; 4096];
+        while write_ready(w.raw(), &chunk).unwrap() > 0 {}
+        assert_eq!(write_ready(w.raw(), &chunk).unwrap(), 0);
+        // EOF after the writer drops reads as Some(0)
+        drop(w);
+        while read_ready(r.raw(), &mut buf).unwrap().unwrap_or(1) > 0 {}
+    }
+
+    #[test]
+    fn timeout_reader_splits_idle_from_hidden_wait() {
+        let (r, _w) = pipe().unwrap();
+        let mut r = TimeoutReader::new(r, 10);
+        let mut buf = [0u8; 1];
+        // a plain bounded read charges the idle class
+        assert_eq!(r.read(&mut buf).unwrap_err().kind(), io::ErrorKind::TimedOut);
+        assert!(r.waited_ns() > 0);
+        assert_eq!(r.hidden_waited_ns(), 0);
+        // externally-charged waits land in the chosen class
+        r.charge_wait_ns(500, true);
+        r.charge_wait_ns(300, false);
+        assert_eq!(r.hidden_waited_ns(), 500);
+        assert_eq!(r.total_waited_ns(), r.waited_ns() + 500);
+        assert_eq!(r.take_hidden_waited_ns(), 500);
+        assert_eq!(r.hidden_waited_ns(), 0);
+        assert!(r.take_waited_ns() >= 300);
+        assert_eq!(r.total_waited_ns(), 0);
     }
 
     #[test]

@@ -23,6 +23,36 @@
 //! `halo_frame_wire_len` formula — which is why the cross-transport
 //! oracle can demand *report* equality, not just coordinate equality.
 //!
+//! # Overlap mode
+//!
+//! With `overlap` on (the default through `FtOptions`), the serialized
+//! drain/forward barrier above is replaced by an event-driven
+//! multiplexer: one `poll(2)` over every rank fd at once (read *and*
+//! write interest), per-rank [`Reassembly`] buffers decoding frames out
+//! of whatever byte prefixes arrived, and **eager** routing — a halo
+//! batch goes onto its destination's non-blocking out-queue the moment
+//! it decodes, and a rank receives its next `ColorStep` the moment its
+//! last in-neighbour finishes the current round, so it sweeps color
+//! `k+1` while slower ranks are still being drained for color `k`.
+//! Three invariants keep this bit-identical to the serialized loop:
+//!
+//! * **Slot disjointness** — each halo slot is written by exactly one
+//!   source part, so per-destination arrival-order forwarding equals
+//!   ascending-source forwarding.
+//! * **FIFO round framing** — a round-`k` delta enters a destination's
+//!   pipe after its `ColorStep{k}` and before its `ColorStep{k+1}`
+//!   (frames for a not-yet-released destination are stashed), so the
+//!   worker's stash-then-apply-at-control-frame discipline sees exactly
+//!   the serialized delivery.
+//! * **Flush-deferred bookkeeping** — a control frame makes its rank
+//!   owe a reply only when its bytes fully leave the out-queue, so
+//!   recovery resync drains precisely what workers could have received,
+//!   even with frames in flight at failure time.
+//!
+//! Writes during a drain never block (out-queues + `POLLOUT`), which
+//! breaks the coordinator-blocked-on-full-pipe / worker-blocked-on-
+//! outbox deadlock cycle eager forwarding would otherwise risk.
+//!
 //! # Fault tolerance
 //!
 //! The transport implements [`FtResidentTransport`], the fallible,
@@ -57,7 +87,7 @@ use crate::fault::{FaultPlan, WorkerFaults};
 use crate::socket::{Listener, SocketSpec, Supervisor};
 use crate::sys::{self, Fd, TimeoutReader, WaitStatus};
 use crate::worker;
-use lms_part::wire::{halo_frame_wire_len, Frame, WireError, WIRE_VERSION};
+use lms_part::wire::{halo_frame_wire_len, Frame, Reassembly, WireError, WIRE_VERSION};
 use lms_part::{ExchangeSchedule, MessagePlan};
 use lms_smooth::domain::{DomainConfig, DomainPoint, SmoothDomain};
 use lms_smooth::resident::{ResidentBlock, ResidentRank};
@@ -92,12 +122,139 @@ pub(crate) enum Link {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Pending {
     None,
-    /// Halo-delta frames terminated by a `RoundDone`.
-    RoundDone,
     /// One `Report`.
     Report,
-    /// One `Scatter`.
+    /// One `Scatter` or `ScatterDelta`.
     Scatter,
+}
+
+/// An outstanding deferred checkpoint round (overlap mode): the
+/// boundary state being assembled from sparse `ScatterDelta` replies
+/// that arrive interleaved with the next iteration's frames. The
+/// assembled `scratch` is **not** the live checkpoint until a commit
+/// point (the next `take_checkpoint` or the final scatter) swaps it in
+/// — an `Ok` return is the commit, so the transport's recovery state
+/// and the driver's fold snapshot always advance together.
+struct CkptPending<P> {
+    /// The previous committed checkpoint plus every stashed reply so
+    /// far; complete when `missing == 0`.
+    scratch: Vec<P>,
+    /// Ranks whose reply has not arrived yet (indexed by rank).
+    awaiting: Vec<bool>,
+    /// Count of `true` entries in `awaiting`.
+    missing: usize,
+    /// A sweep ran after the round was requested: the assembled state
+    /// is a *past* boundary, not the ranks' live coordinates.
+    swept: bool,
+}
+
+/// A finished deferred checkpoint round, ready for the caller to
+/// commit: the assembled boundary coordinates plus the `swept` flag
+/// (see [`CkptPending`]); `None` when no round was outstanding.
+type FinishedCkpt<P> = Option<(Vec<P>, bool)>;
+
+/// Control frames whose protocol effect is deferred until their bytes
+/// fully leave an [`OutQueue`]: a `ColorStep` makes the rank owe a
+/// `RoundDone`, a `FinishIteration` makes it owe a `Report` — but only
+/// once the rank could actually have received the frame, so recovery
+/// resync never waits for a reply to a control frame that was still
+/// sitting (whole or torn) in the coordinator's out-queue at failure
+/// time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ctrl {
+    Round,
+    Finish,
+}
+
+/// What a drain call releases ranks into once their inbound dependence
+/// is satisfied: the next color round, or the iteration finish.
+#[derive(Debug, Clone, Copy)]
+enum Release {
+    Color(u32),
+    Finish,
+}
+
+/// A per-rank non-blocking byte out-queue: encoded frames append to
+/// `buf`, `poll(2)` `POLLOUT` readiness drains `buf[sent..]` via
+/// `write_ready`, and the one control frame a drain call may queue is
+/// tracked by its end offset so its bookkeeping fires exactly when the
+/// last of its bytes is accepted by the kernel. Queueing instead of
+/// blocking is what makes eager forwarding deadlock-free: the
+/// coordinator never blocks writing to a mid-sweep rank whose pipe is
+/// full while that rank blocks writing its own outbox.
+#[derive(Debug, Default)]
+struct OutQueue {
+    buf: Vec<u8>,
+    sent: usize,
+    /// `(end_offset, kind)` of the queued control frame, if any.
+    ctrl: Option<(usize, Ctrl)>,
+}
+
+impl OutQueue {
+    fn is_empty(&self) -> bool {
+        self.sent == self.buf.len()
+    }
+
+    fn clear(&mut self) {
+        self.buf.clear();
+        self.sent = 0;
+        self.ctrl = None;
+    }
+}
+
+/// The overlap multiplexer's coordinator-side state (built
+/// unconditionally, driven only when `overlap` is on). In overlap mode
+/// every read goes through `reasm` — never through the channel's
+/// `BufReader`, which would strand bytes invisible to the reassembly
+/// buffers — and every drain-phase write goes through `outq`.
+struct Overlap {
+    /// Per-rank incremental frame decoder over the non-blocking stream.
+    reasm: Vec<Reassembly>,
+    /// `RoundDone`s decoded per rank this iteration: rank `p` has
+    /// completed color rounds `0..done_rounds[p]`.
+    done_rounds: Vec<u32>,
+    /// `ColorStep`s issued this iteration (reset by the interior phase).
+    rounds_issued: u32,
+    /// Per-destination byte out-queues.
+    outq: Vec<OutQueue>,
+    /// Frames for a destination not yet released into the round that
+    /// must precede them in its pipe — flushed into the out-queue right
+    /// behind the destination's control frame when it is released.
+    stash: Vec<Vec<Frame>>,
+    /// Inverted [`MessagePlan`]: `in_srcs[q]` = ranks that send to `q`,
+    /// the set whose round completion gates `q`'s release.
+    in_srcs: Vec<Vec<u32>>,
+    /// Read scratch for `read_ready`.
+    scratch: Vec<u8>,
+    // poll_duplex argument/result scratch
+    read_fds: Vec<i32>,
+    write_fds: Vec<i32>,
+    ready_r: Vec<bool>,
+    ready_w: Vec<bool>,
+}
+
+impl Overlap {
+    fn new(plan: &MessagePlan, k: usize) -> Self {
+        let mut in_srcs: Vec<Vec<u32>> = vec![Vec::new(); k];
+        for s in 0..k {
+            for &d in plan.neighbors(s as u32) {
+                in_srcs[d as usize].push(s as u32);
+            }
+        }
+        Overlap {
+            reasm: (0..k).map(|_| Reassembly::new()).collect(),
+            done_rounds: vec![0; k],
+            rounds_issued: 0,
+            outq: (0..k).map(|_| OutQueue::default()).collect(),
+            stash: vec![Vec::new(); k],
+            in_srcs,
+            scratch: vec![0u8; 64 * 1024],
+            read_fds: Vec::new(),
+            write_fds: Vec::new(),
+            ready_r: Vec::new(),
+            ready_w: Vec::new(),
+        }
+    }
 }
 
 /// One rank's coordinator-side endpoints.
@@ -114,6 +271,12 @@ struct RankChannel {
     to_fd: i32,
     from_fd: i32,
     pending: Pending,
+    /// `RoundDone`s this rank still owes the coordinator — incremented
+    /// when a `ColorStep` reaches it (at flush, see [`Ctrl`]),
+    /// decremented per decoded `RoundDone`. Both the serialized loop and
+    /// the overlap multiplexer keep it current, so recovery resync is
+    /// one shared drain whatever mode the failure struck in.
+    owed_rounds: u32,
     /// The child was already `waitpid`-reaped (its wait status consumed
     /// during failure diagnosis) — don't reap twice, and never signal a
     /// pid that may have been recycled.
@@ -140,8 +303,11 @@ pub struct ProcessTransport<'a, const C: usize, D: SmoothDomain<C>> {
     /// Per-destination forward queue, drained every color step.
     forward: Vec<Vec<Frame>>,
     /// The recovery checkpoint: the full global coordinate array as of
-    /// the last successful iteration boundary (primed by `try_gather`).
+    /// the last *committed* iteration boundary (primed by `try_gather`).
     ckpt: Vec<D::Point>,
+    /// The deferred sparse checkpoint round still collecting, if any
+    /// (overlap mode only; see [`CkptPending`]).
+    ckpt_pending: Option<CkptPending<D::Point>>,
     faults: FaultPlan,
     read_timeout_ms: i32,
     shut_down: bool,
@@ -161,11 +327,27 @@ pub struct ProcessTransport<'a, const C: usize, D: SmoothDomain<C>> {
     encode_ns: u64,
     /// Coordinator time reading + decoding frames, poll-wait excluded.
     decode_ns: u64,
-    /// Coordinator time blocked in `poll(2)` waiting on rank streams.
+    /// Coordinator time blocked in `poll(2)` waiting on rank streams
+    /// with no released compute to hide behind (genuinely idle).
     poll_wait_ns: u64,
+    /// Coordinator poll-wait that overlapped released rank compute —
+    /// time the serialized loop would also have burned, here hidden
+    /// behind sweeps already running ahead of the drain.
+    hidden_wait_ns: u64,
     /// Coordinator-side iteration counter (interior phases driven), the
     /// iteration coordinate of `RankChannel::last_phase`.
     cur_iter: u32,
+    /// Event-driven overlap mode: multiplexed drains, eager forwarding,
+    /// eager release. Off = the PR 5/6 serialized loop, kept verbatim as
+    /// the oracle.
+    overlap: bool,
+    /// Overlap multiplexer state (idle when `overlap` is off).
+    ov: Overlap,
+    /// The checkpoint still equals every rank's live resident state (no
+    /// sweep ran since it was taken), so an overlap-mode scatter can be
+    /// served straight from `ckpt` with zero wire traffic instead of
+    /// double-walking the mesh with a second scatter round.
+    ckpt_fresh: bool,
 }
 
 impl<'a, const C: usize, D: SmoothDomain<C>> ProcessTransport<'a, C, D> {
@@ -180,6 +362,10 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ProcessTransport<'a, C, D> {
     /// the error returns. `profile` turns on phase timing on both sides
     /// of the wire (rank sweeps and coordinator routing) — observation
     /// only, the computed coordinates are bit-identical either way.
+    /// `overlap` selects the event-driven multiplexed coordinator (see
+    /// the module docs); off keeps the serialized drain/forward loop as
+    /// the oracle — coordinates and reports are bit-identical in both.
+    #[allow(clippy::too_many_arguments)]
     pub fn spawn(
         dom: &'a D,
         cfg: &DomainConfig,
@@ -188,6 +374,7 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ProcessTransport<'a, C, D> {
         read_timeout_ms: i32,
         faults: FaultPlan,
         profile: bool,
+        overlap: bool,
     ) -> Result<Self, DistError> {
         Self::spawn_linked(
             dom,
@@ -197,6 +384,7 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ProcessTransport<'a, C, D> {
             read_timeout_ms,
             faults,
             profile,
+            overlap,
             Link::Pipes,
         )
     }
@@ -212,22 +400,26 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ProcessTransport<'a, C, D> {
         read_timeout_ms: i32,
         faults: FaultPlan,
         profile: bool,
+        overlap: bool,
         link: Link,
     ) -> Result<Self, DistError> {
         if faults.fail_spawn {
             return Err(DistError::Spawn(io::Error::other("injected spawn failure")));
         }
         let k = blocks.len();
+        let plan = MessagePlan::build(schedule);
+        let ov = Overlap::new(&plan, k);
         let mut transport = ProcessTransport {
             dom,
             cfg: *cfg,
             blocks,
             schedule,
-            plan: MessagePlan::build(schedule),
+            plan,
             link,
             ranks: Vec::with_capacity(k),
             forward: (0..k).map(|_| Vec::new()).collect(),
             ckpt: Vec::new(),
+            ckpt_pending: None,
             faults,
             read_timeout_ms,
             shut_down: false,
@@ -237,7 +429,11 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ProcessTransport<'a, C, D> {
             encode_ns: 0,
             decode_ns: 0,
             poll_wait_ns: 0,
+            hidden_wait_ns: 0,
             cur_iter: 0,
+            overlap,
+            ov,
+            ckpt_fresh: false,
         };
         for p in 0..k {
             match transport.spawn_rank(p as u32, true) {
@@ -489,6 +685,15 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ProcessTransport<'a, C, D> {
         .write_to(&mut to_rank)
         .map_err(DistError::Spawn)?;
         to_rank.flush().map_err(DistError::Spawn)?;
+        if self.overlap {
+            // the multiplexer needs both directions non-blocking: reads
+            // go through `read_ready` + reassembly, drain-phase writes
+            // through the out-queues. The blocking broadcast phases keep
+            // working unchanged — `Fd`'s stream impls park in `poll(2)`
+            // on EAGAIN.
+            sys::set_nonblocking(from_fd, true).map_err(DistError::Spawn)?;
+            sys::set_nonblocking(to_fd, true).map_err(DistError::Spawn)?;
+        }
         Ok(RankChannel {
             pid,
             to_rank,
@@ -496,6 +701,7 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ProcessTransport<'a, C, D> {
             to_fd,
             from_fd,
             pending: Pending::None,
+            owed_rounds: 0,
             reaped: false,
             last_phase: ("spawn", 0),
         })
@@ -576,7 +782,11 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ProcessTransport<'a, C, D> {
                         DistError::RankStalled {
                             rank,
                             timeout_ms: self.read_timeout_ms,
-                            waited_ms: self.ranks[p].from_rank.get_ref().waited_ns() / 1_000_000,
+                            // idle + hidden: a stalled rank is stalled
+                            // regardless of what the coordinator
+                            // overlapped meanwhile
+                            waited_ms: self.ranks[p].from_rank.get_ref().total_waited_ns()
+                                / 1_000_000,
                             last_phase: format!("{phase}#{iter}"),
                         }
                     }
@@ -670,6 +880,7 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ProcessTransport<'a, C, D> {
             encode_ns: std::mem::take(&mut self.encode_ns),
             decode_ns: std::mem::take(&mut self.decode_ns),
             poll_wait_ns: std::mem::take(&mut self.poll_wait_ns),
+            hidden_wait_ns: std::mem::take(&mut self.hidden_wait_ns),
             // remote ranks do not ship the scored-elements counter over
             // the wire (RankPhaseNanos is frozen at wire v3)
             scored_elements: 0,
@@ -696,26 +907,649 @@ impl<'a, const C: usize, D: SmoothDomain<C>> ProcessTransport<'a, C, D> {
         Ok(())
     }
 
-    /// Drain rank `p` to protocol quiescence: consume whatever reply it
-    /// still owes (discarding the abandoned round's data) so its stream
-    /// is frame-aligned again.
+    /// Drain rank `p` to protocol quiescence: consume every `RoundDone`
+    /// it still owes (discarding the abandoned rounds' halo data), then
+    /// whatever reply is pending, so its stream is frame-aligned again.
+    /// Shared by both modes — `owed_rounds` can be up to 2 when an
+    /// overlap drain failed mid-call with a rank already released ahead.
     fn resync(&mut self, p: usize) -> Result<(), DistError> {
+        // A survivor's stream may hold three kinds of in-flight frames:
+        // the abandoned iteration's halo deltas and round markers, and —
+        // ahead of them in the rank's FIFO stream — the sparse reply of
+        // a deferred checkpoint round. All must leave the stream before
+        // reload, or a stale reply would poison the next deferred round.
+        while self.ranks[p].owed_rounds > 0 || self.ckpt_awaiting(p) {
+            match self.resync_recv(p)? {
+                Frame::HaloDelta { .. } => continue,
+                Frame::ScatterDelta { .. } if self.ckpt_awaiting(p) => {
+                    // drained and discarded: recovery abandons the
+                    // whole outstanding round
+                    let pc = self.ckpt_pending.as_mut().expect("awaiting implies pending");
+                    pc.awaiting[p] = false;
+                    pc.missing -= 1;
+                }
+                Frame::RoundDone if self.ranks[p].owed_rounds > 0 => self.ranks[p].owed_rounds -= 1,
+                f => return Err(self.protocol_error(p, &f)),
+            }
+        }
         loop {
             let expected = self.ranks[p].pending;
             if expected == Pending::None {
                 return Ok(());
             }
-            let frame = self.recv(p)?;
+            let frame = self.resync_recv(p)?;
             match (expected, frame) {
-                (Pending::RoundDone, Frame::HaloDelta { .. }) => continue,
-                (Pending::RoundDone, Frame::RoundDone)
-                | (Pending::Report, Frame::Report { .. })
-                | (Pending::Scatter, Frame::Scatter { .. }) => {
+                (Pending::Report, Frame::Report { .. })
+                | (Pending::Scatter, Frame::Scatter { .. })
+                | (Pending::Scatter, Frame::ScatterDelta { .. }) => {
                     self.ranks[p].pending = Pending::None;
                 }
                 (_, f) => return Err(self.protocol_error(p, &f)),
             }
         }
+    }
+
+    /// The resync read path: through the reassembly buffer in overlap
+    /// mode (which may hold bytes already pulled off the stream when the
+    /// failure struck), through the `BufReader` otherwise.
+    fn resync_recv(&mut self, p: usize) -> Result<Frame, DistError> {
+        if self.overlap {
+            self.ov_recv(p)
+        } else {
+            self.recv(p)
+        }
+    }
+
+    /// Blocking-bounded single-rank receive through the overlap
+    /// reassembly path: decode from the buffer, pulling more bytes off
+    /// the non-blocking fd under the read timeout as needed. The overlap
+    /// mode's replacement for [`recv`](Self::recv) at quiescent protocol
+    /// points (report/scatter/checkpoint collection, resync) — the
+    /// channel `BufReader` is *never* used in overlap mode, so no bytes
+    /// can be stranded outside the reassembly buffer.
+    fn ov_recv(&mut self, p: usize) -> Result<Frame, DistError> {
+        loop {
+            let t0 = if self.profile { now_ns() } else { 0 };
+            let decoded = self.ov.reasm[p].next_frame();
+            if self.profile {
+                self.decode_ns += now_ns().saturating_sub(t0);
+            }
+            match decoded {
+                Ok(Some(frame)) => return Ok(frame),
+                Ok(None) => {}
+                Err(e) => return Err(self.diagnose_read(p, e)),
+            }
+            let fd = self.ranks[p].from_fd;
+            let w0 = now_ns();
+            let readable = sys::wait_readable(fd, self.read_timeout_ms);
+            let waited = now_ns().saturating_sub(w0);
+            self.ranks[p].from_rank.get_mut().charge_wait_ns(waited, false);
+            if self.profile {
+                self.poll_wait_ns += waited;
+            }
+            match readable {
+                Ok(true) => {}
+                Ok(false) => {
+                    let e = io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!("pipe not readable within {}ms", self.read_timeout_ms),
+                    );
+                    return Err(self.diagnose_read(p, WireError::Io(e)));
+                }
+                Err(e) => return Err(self.diagnose_read(p, WireError::Io(e))),
+            }
+            self.ov_fill(p)?;
+        }
+    }
+
+    /// Pull whatever bytes rank `p`'s stream holds into its reassembly
+    /// buffer (one non-blocking read). EOF surfaces through the stream
+    /// diagnosis; a stale readiness (`WouldBlock`) is a no-op.
+    fn ov_fill(&mut self, p: usize) -> Result<(), DistError> {
+        let fd = self.ranks[p].from_fd;
+        let mut scratch = std::mem::take(&mut self.ov.scratch);
+        let result = sys::read_ready(fd, &mut scratch);
+        let outcome = match result {
+            Ok(Some(0)) => {
+                let e = io::Error::new(io::ErrorKind::UnexpectedEof, "rank stream closed");
+                Err(self.diagnose_read(p, WireError::Io(e)))
+            }
+            Ok(Some(n)) => {
+                let t0 = if self.profile { now_ns() } else { 0 };
+                self.ov.reasm[p].extend(&scratch[..n]);
+                if self.profile {
+                    self.decode_ns += now_ns().saturating_sub(t0);
+                }
+                Ok(())
+            }
+            Ok(None) => Ok(()),
+            Err(e) => Err(self.diagnose_read(p, WireError::Io(e))),
+        };
+        self.ov.scratch = scratch;
+        outcome
+    }
+
+    /// Encode `frame` onto rank `q`'s out-queue (drain-phase writes never
+    /// touch the blocking `BufWriter`). When `src` is given the encode
+    /// time is also charged to the `(src, q)` routing cell.
+    fn ov_queue(&mut self, q: usize, frame: &Frame, src: Option<usize>) {
+        let parts = self.ranks.len();
+        let t0 = if self.profile { now_ns() } else { 0 };
+        frame.write_to(&mut self.ov.outq[q].buf).expect("Vec<u8> writes are infallible");
+        if self.profile {
+            let dt = now_ns().saturating_sub(t0);
+            self.encode_ns += dt;
+            if let Some(s) = src {
+                self.route_pair_ns[s * parts + q] += dt;
+            }
+        }
+    }
+
+    /// Queue a control frame on rank `q`'s out-queue, recording its end
+    /// offset so [`ov_flush`](Self::ov_flush) can fire its bookkeeping
+    /// when the bytes fully leave, then move `q`'s stashed next-round
+    /// frames in right behind it (FIFO order in the byte queue is what
+    /// keeps the worker applying each round's deltas at the right
+    /// control frame).
+    fn ov_queue_ctrl(&mut self, q: usize, frame: &Frame, kind: Ctrl) {
+        debug_assert!(self.ov.outq[q].ctrl.is_none(), "one control frame per drain call");
+        self.ov_queue(q, frame, None);
+        self.ov.outq[q].ctrl = Some((self.ov.outq[q].buf.len(), kind));
+        let stashed = std::mem::take(&mut self.ov.stash[q]);
+        for f in &stashed {
+            let src = match f {
+                Frame::HaloDelta { part, .. } => Some(*part as usize),
+                _ => None,
+            };
+            self.ov_queue(q, f, src);
+        }
+    }
+
+    /// Push rank `q`'s queued bytes (non-blocking) as far as the kernel
+    /// accepts, firing the control frame's deferred bookkeeping when its
+    /// offset is crossed. Returns whether the queue drained fully.
+    fn ov_flush(&mut self, q: usize) -> Result<bool, DistError> {
+        loop {
+            let (sent, len) = (self.ov.outq[q].sent, self.ov.outq[q].buf.len());
+            if sent == len {
+                if len > 0 {
+                    self.ov.outq[q].buf.clear();
+                    self.ov.outq[q].sent = 0;
+                }
+                debug_assert!(self.ov.outq[q].ctrl.is_none());
+                return Ok(true);
+            }
+            let fd = self.ranks[q].to_fd;
+            let n = match sys::write_ready(fd, &self.ov.outq[q].buf[sent..]) {
+                Ok(n) => n,
+                Err(e) => return Err(self.diagnose_write(q, e)),
+            };
+            if n == 0 {
+                return Ok(false); // kernel buffer full: re-arm POLLOUT
+            }
+            self.ov.outq[q].sent += n;
+            if let Some((end, kind)) = self.ov.outq[q].ctrl {
+                if self.ov.outq[q].sent >= end {
+                    self.ov.outq[q].ctrl = None;
+                    match kind {
+                        Ctrl::Round => self.ranks[q].owed_rounds += 1,
+                        Ctrl::Finish => self.ranks[q].pending = Pending::Report,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Release rank `q` into the next protocol step — its inbound
+    /// dependence (every in-neighbour done with the round being drained)
+    /// is satisfied, so the control frame can be queued and an immediate
+    /// flush attempted. From here `q`'s pipe delivers: remaining drained
+    /// round deltas were queued before the control frame, next-round
+    /// deltas (stash + eager appends) after it.
+    fn ov_release(&mut self, q: usize, release: Release) -> Result<(), DistError> {
+        match release {
+            Release::Color(color) => {
+                self.ov_queue_ctrl(q, &Frame::ColorStep { color }, Ctrl::Round)
+            }
+            Release::Finish => self.ov_queue_ctrl(q, &Frame::FinishIteration, Ctrl::Finish),
+        }
+        self.ov_flush(q)?;
+        Ok(())
+    }
+
+    /// The event-driven drain at the heart of the overlap coordinator:
+    /// wait (one `poll(2)` over every active rank fd, read *and* write
+    /// interest at once) until every rank has completed the round being
+    /// drained (`target = rounds_issued`: all `done_rounds` reach it),
+    /// every rank has been released into `release`, every out-queue has
+    /// drained, and — for a finish drain — every rank's `Report` is in.
+    ///
+    /// Eagerness lives here: a `HaloDelta` is routed to its destination
+    /// out-queue the moment it decodes; a rank is released the moment
+    /// its last in-neighbour finishes the drained round, so it sweeps
+    /// the next round while slower ranks are still being drained. The
+    /// per-destination disjointness of halo slots (each slot written by
+    /// exactly one source part) is what makes arrival-order forwarding
+    /// bit-identical to the serialized ascending-source order.
+    fn ov_drain(
+        &mut self,
+        release: Release,
+        volume: &mut ExchangeVolume,
+        mut reports: Option<&mut Vec<Option<f64>>>,
+    ) -> Result<(), DistError> {
+        let k = self.ranks.len();
+        let target = self.ov.rounds_issued;
+        let dim = D::Point::DIM;
+        // inbound dependence: how many of q's in-neighbours still owe
+        // the drained round
+        let mut need: Vec<u32> = (0..k)
+            .map(|q| {
+                self.ov.in_srcs[q]
+                    .iter()
+                    .filter(|&&s| self.ov.done_rounds[s as usize] < target)
+                    .count() as u32
+            })
+            .collect();
+        let mut released = vec![false; k];
+        for q in 0..k {
+            if need[q] == 0 {
+                released[q] = true;
+                self.ov_release(q, release)?;
+            }
+        }
+        loop {
+            // exit: drained round complete everywhere, everyone
+            // released, all queued bytes on the wire, reports (finish
+            // drain) all in
+            let drained = (0..k).all(|p| self.ov.done_rounds[p] >= target);
+            let flushed = (0..k).all(|q| self.ov.outq[q].is_empty());
+            let reported = match &reports {
+                Some(r) => r.iter().all(|d| d.is_some()),
+                None => true,
+            };
+            if drained && flushed && reported && released.iter().all(|&r| r) {
+                return Ok(());
+            }
+            // poll: read interest on every rank still owing frames,
+            // write interest on every non-empty out-queue
+            self.ov.read_fds.clear();
+            self.ov.write_fds.clear();
+            for p in 0..k {
+                let owes_round = self.ov.done_rounds[p] < target || self.ranks[p].owed_rounds > 0;
+                let owes_report = matches!(&reports, Some(r) if r[p].is_none());
+                self.ov.read_fds.push(if owes_round || owes_report {
+                    self.ranks[p].from_fd
+                } else {
+                    -1
+                });
+                self.ov.write_fds.push(if self.ov.outq[p].is_empty() {
+                    -1
+                } else {
+                    self.ranks[p].to_fd
+                });
+            }
+            let mut ready_r = std::mem::take(&mut self.ov.ready_r);
+            let mut ready_w = std::mem::take(&mut self.ov.ready_w);
+            let t0 = now_ns();
+            let polled = sys::poll_duplex(
+                &self.ov.read_fds,
+                &self.ov.write_fds,
+                self.read_timeout_ms,
+                &mut ready_r,
+                &mut ready_w,
+            );
+            let waited = now_ns().saturating_sub(t0);
+            // hidden iff some released work is in flight while a rank
+            // still owes the drain — that wait overlaps live rank work
+            // the serialized loop would sit idle for. Released work is
+            // either a color round issued ahead of the drain target or
+            // a deferred checkpoint round whose sparse replies are
+            // still outstanding (the serialized loop pays that
+            // collection as a dedicated barrier; here the ranks
+            // diff-scan and reply under the very waits being charged)
+            let owing_any = (0..k).any(|p| self.ov.done_rounds[p] < target);
+            let ckpt_outstanding = self.ckpt_pending.as_ref().is_some_and(|pc| pc.missing > 0);
+            let hidden = (released.iter().any(|&r| r) || ckpt_outstanding) && owing_any;
+            for p in 0..k {
+                if self.ov.read_fds[p] >= 0 {
+                    self.ranks[p].from_rank.get_mut().charge_wait_ns(waited, hidden);
+                }
+            }
+            if self.profile {
+                if hidden {
+                    self.hidden_wait_ns += waited;
+                } else {
+                    self.poll_wait_ns += waited;
+                }
+            }
+            self.ov.ready_r = ready_r;
+            self.ov.ready_w = ready_w;
+            let polled = match polled {
+                Ok(n) => n,
+                Err(e) => return Err(DistError::Spawn(e)),
+            };
+            if polled == 0 {
+                // full timeout with zero readiness anywhere: implicate
+                // the lowest-index rank still owing the drained round
+                let stalled = (0..k)
+                    .find(|&p| {
+                        self.ov.done_rounds[p] < target
+                            || matches!(&reports, Some(r) if r[p].is_none())
+                    })
+                    .unwrap_or(0);
+                let e = io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("no rank readable within {}ms", self.read_timeout_ms),
+                );
+                return Err(self.diagnose_read(stalled, WireError::Io(e)));
+            }
+            // reads first (their bytes predate our queued writes), then
+            // decode every complete frame each stream yielded
+            for p in 0..k {
+                if !self.ov.ready_r[p] || self.ov.read_fds[p] < 0 {
+                    continue;
+                }
+                self.ov_fill(p)?;
+                loop {
+                    let t0 = if self.profile { now_ns() } else { 0 };
+                    let decoded = self.ov.reasm[p].next_frame();
+                    if self.profile {
+                        self.decode_ns += now_ns().saturating_sub(t0);
+                    }
+                    let frame = match decoded {
+                        Ok(Some(f)) => f,
+                        Ok(None) => break,
+                        Err(e) => return Err(self.diagnose_read(p, e)),
+                    };
+                    match frame {
+                        Frame::HaloDelta { part: dst, slots, coords } => {
+                            if dst as usize >= k {
+                                let f = Frame::HaloDelta { part: dst, slots, coords };
+                                return Err(self.protocol_error(p, &f));
+                            }
+                            volume.halo_messages_sent += 1;
+                            volume.halo_entries_sent += slots.len();
+                            volume.halo_bytes_sent += halo_frame_wire_len(dim, slots.len());
+                            let fwd = Frame::HaloDelta { part: p as u32, slots, coords };
+                            let dst = dst as usize;
+                            if self.ov.done_rounds[p] >= target && !released[dst] {
+                                // a next-round delta for a rank whose
+                                // release control frame is not yet
+                                // queued: hold it back so FIFO order
+                                // stays control-frame-first
+                                self.ov.stash[dst].push(fwd);
+                            } else {
+                                self.ov_queue(dst, &fwd, Some(p));
+                            }
+                        }
+                        Frame::RoundDone => {
+                            if self.ranks[p].owed_rounds == 0 {
+                                return Err(self.protocol_error(p, &Frame::RoundDone));
+                            }
+                            self.ranks[p].owed_rounds -= 1;
+                            self.ov.done_rounds[p] += 1;
+                            self.mark(p, "color_step");
+                            if self.ov.done_rounds[p] == target {
+                                // p's round completion may satisfy its
+                                // out-neighbours' inbound dependence
+                                for i in 0..self.plan.neighbors(p as u32).len() {
+                                    let q = self.plan.neighbors(p as u32)[i] as usize;
+                                    need[q] -= 1;
+                                    if need[q] == 0 && !released[q] {
+                                        released[q] = true;
+                                        self.ov_release(q, release)?;
+                                    }
+                                }
+                            }
+                        }
+                        Frame::Report { delta, phases } => {
+                            let Some(r) = reports.as_deref_mut() else {
+                                return Err(
+                                    self.protocol_error(p, &Frame::Report { delta, phases })
+                                );
+                            };
+                            if self.ranks[p].pending != Pending::Report || r[p].is_some() {
+                                return Err(
+                                    self.protocol_error(p, &Frame::Report { delta, phases })
+                                );
+                            }
+                            self.ranks[p].pending = Pending::None;
+                            if self.profile {
+                                self.phases[p].accumulate(phases);
+                            }
+                            r[p] = Some(delta);
+                            self.mark(p, "finish");
+                        }
+                        Frame::ScatterDelta { slots, coords } => {
+                            // a deferred checkpoint reply riding ahead
+                            // of the iteration's frames (rank FIFO puts
+                            // it first): stash it now, commit later
+                            self.ov_stash_ckpt_delta(p, slots, coords)?;
+                        }
+                        f => return Err(self.protocol_error(p, &f)),
+                    }
+                }
+            }
+            // writes: drain whichever out-queues the kernel will take
+            for q in 0..k {
+                if self.ov.ready_w[q] && self.ov.write_fds[q] >= 0 {
+                    self.ov_flush(q)?;
+                }
+            }
+        }
+    }
+
+    /// Multiplexed collection of one full `Scatter` reply per rank (the
+    /// requests are already broadcast and flushed). Replies land in rank
+    /// slots, so arrival order is invisible to the caller. The sparse
+    /// checkpoint round never comes through here — its `ScatterDelta`
+    /// replies are stashed by [`ov_stash_ckpt_delta`] wherever they
+    /// surface.
+    ///
+    /// [`ov_stash_ckpt_delta`]: Self::ov_stash_ckpt_delta
+    fn ov_collect_scatters(
+        &mut self,
+        phase: &'static str,
+    ) -> Result<Vec<Vec<D::Point>>, DistError> {
+        let k = self.ranks.len();
+        let mut got: Vec<Option<Vec<D::Point>>> = (0..k).map(|_| None).collect();
+        while got.iter().any(|g| g.is_none()) {
+            self.ov.read_fds.clear();
+            for (p, g) in got.iter().enumerate() {
+                self.ov.read_fds.push(if g.is_none() { self.ranks[p].from_fd } else { -1 });
+            }
+            // decode whatever is already buffered before polling
+            let mut progressed = false;
+            #[allow(clippy::needless_range_loop)] // got[p] is written mid-body
+            for p in 0..k {
+                if got[p].is_some() {
+                    continue;
+                }
+                match self.ov.reasm[p].next_frame() {
+                    Ok(Some(Frame::Scatter { coords: flat })) => {
+                        let owned = self.blocks[p].owned();
+                        if flat.len() != owned.len() * D::Point::DIM {
+                            let f = Frame::Scatter { coords: flat };
+                            return Err(self.protocol_error(p, &f));
+                        }
+                        self.ranks[p].pending = Pending::None;
+                        got[p] = Some(crate::codec::flat_to_points::<D::Point>(&flat));
+                        self.mark(p, phase);
+                        progressed = true;
+                    }
+                    Ok(Some(f)) => return Err(self.protocol_error(p, &f)),
+                    Ok(None) => {}
+                    Err(e) => return Err(self.diagnose_read(p, e)),
+                }
+            }
+            if progressed {
+                continue;
+            }
+            let mut ready_r = std::mem::take(&mut self.ov.ready_r);
+            let mut ready_w = std::mem::take(&mut self.ov.ready_w);
+            let t0 = now_ns();
+            let polled = sys::poll_duplex(
+                &self.ov.read_fds,
+                &[],
+                self.read_timeout_ms,
+                &mut ready_r,
+                &mut ready_w,
+            );
+            let waited = now_ns().saturating_sub(t0);
+            for p in 0..k {
+                if self.ov.read_fds[p] >= 0 {
+                    self.ranks[p].from_rank.get_mut().charge_wait_ns(waited, false);
+                }
+            }
+            if self.profile {
+                self.poll_wait_ns += waited;
+            }
+            self.ov.ready_r = ready_r;
+            self.ov.ready_w = ready_w;
+            let polled = match polled {
+                Ok(n) => n,
+                Err(e) => return Err(DistError::Spawn(e)),
+            };
+            if polled == 0 {
+                let stalled = (0..k).find(|&p| got[p].is_none()).unwrap_or(0);
+                let e = io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("no rank readable within {}ms", self.read_timeout_ms),
+                );
+                return Err(self.diagnose_read(stalled, WireError::Io(e)));
+            }
+            for p in 0..k {
+                if self.ov.ready_r[p] && self.ov.read_fds[p] >= 0 {
+                    self.ov_fill(p)?;
+                }
+            }
+        }
+        Ok(got.into_iter().map(|g| g.unwrap()).collect())
+    }
+
+    /// Whether rank `p` still owes the deferred checkpoint round its
+    /// `ScatterDelta` reply.
+    fn ckpt_awaiting(&self, p: usize) -> bool {
+        self.ckpt_pending.as_ref().is_some_and(|pc| pc.awaiting[p])
+    }
+
+    /// Fold one `ScatterDelta` reply into the outstanding deferred
+    /// checkpoint round. Rank owned sets are disjoint and each rank
+    /// answers once per round, so arrival order is invisible in the
+    /// assembled state.
+    fn ov_stash_ckpt_delta(
+        &mut self,
+        p: usize,
+        slots: Vec<u32>,
+        coords: Vec<f64>,
+    ) -> Result<(), DistError> {
+        let blocks = self.blocks;
+        let owned = blocks[p].owned();
+        let shape_ok = coords.len() == slots.len() * D::Point::DIM
+            && slots.iter().all(|&s| (s as usize) < owned.len());
+        if !shape_ok || !self.ckpt_awaiting(p) {
+            let f = Frame::ScatterDelta { slots, coords };
+            return Err(self.protocol_error(p, &f));
+        }
+        let points = crate::codec::flat_to_points::<D::Point>(&coords);
+        let pc = self.ckpt_pending.as_mut().expect("awaiting implies a pending round");
+        for (&s, &point) in slots.iter().zip(&points) {
+            pc.scratch[owned[s as usize] as usize] = point;
+        }
+        pc.awaiting[p] = false;
+        pc.missing -= 1;
+        self.mark(p, "checkpoint");
+        Ok(())
+    }
+
+    /// Finish the outstanding deferred checkpoint round, if any: drain
+    /// whatever `ScatterDelta` replies have not been stashed yet. Rank
+    /// FIFO order puts each reply *before* the following iteration's
+    /// frames, so by the next boundary the replies were normally
+    /// consumed inside the iteration's drains and this returns without
+    /// polling. Returns the assembled boundary state plus whether a
+    /// sweep ran since the round was requested; the **caller** commits
+    /// it into `ckpt` — at an `Ok`-return point only, keeping the
+    /// committed checkpoint paired with the driver's fold snapshot.
+    fn ov_complete_ckpt(&mut self) -> Result<FinishedCkpt<D::Point>, DistError> {
+        if self.ckpt_pending.is_none() {
+            return Ok(None);
+        }
+        let k = self.ranks.len();
+        while self.ckpt_pending.as_ref().expect("checked above").missing > 0 {
+            // decode whatever is already buffered before polling
+            let mut progressed = false;
+            for p in 0..k {
+                if !self.ckpt_awaiting(p) {
+                    continue;
+                }
+                let t0 = if self.profile { now_ns() } else { 0 };
+                let decoded = self.ov.reasm[p].next_frame();
+                if self.profile {
+                    self.decode_ns += now_ns().saturating_sub(t0);
+                }
+                match decoded {
+                    Ok(Some(Frame::ScatterDelta { slots, coords })) => {
+                        self.ov_stash_ckpt_delta(p, slots, coords)?;
+                        progressed = true;
+                    }
+                    Ok(Some(f)) => return Err(self.protocol_error(p, &f)),
+                    Ok(None) => {}
+                    Err(e) => return Err(self.diagnose_read(p, e)),
+                }
+            }
+            if progressed {
+                continue;
+            }
+            self.ov.read_fds.clear();
+            for p in 0..k {
+                self.ov.read_fds.push(if self.ckpt_awaiting(p) {
+                    self.ranks[p].from_fd
+                } else {
+                    -1
+                });
+            }
+            let mut ready_r = std::mem::take(&mut self.ov.ready_r);
+            let mut ready_w = std::mem::take(&mut self.ov.ready_w);
+            let t0 = now_ns();
+            let polled = sys::poll_duplex(
+                &self.ov.read_fds,
+                &[],
+                self.read_timeout_ms,
+                &mut ready_r,
+                &mut ready_w,
+            );
+            let waited = now_ns().saturating_sub(t0);
+            for p in 0..k {
+                if self.ov.read_fds[p] >= 0 {
+                    self.ranks[p].from_rank.get_mut().charge_wait_ns(waited, false);
+                }
+            }
+            if self.profile {
+                self.poll_wait_ns += waited;
+            }
+            self.ov.ready_r = ready_r;
+            self.ov.ready_w = ready_w;
+            let polled = match polled {
+                Ok(n) => n,
+                Err(e) => return Err(DistError::Spawn(e)),
+            };
+            if polled == 0 {
+                let stalled = (0..k).find(|&p| self.ckpt_awaiting(p)).unwrap_or(0);
+                let e = io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("no rank readable within {}ms", self.read_timeout_ms),
+                );
+                return Err(self.diagnose_read(stalled, WireError::Io(e)));
+            }
+            for p in 0..k {
+                if self.ov.ready_r[p] && self.ov.read_fds[p] >= 0 {
+                    self.ov_fill(p)?;
+                }
+            }
+        }
+        let pc = self.ckpt_pending.take().expect("checked above");
+        Ok(Some((pc.scratch, pc.swept)))
     }
 
     /// Kill and reap rank `p`'s process (no-ops if diagnosis already
@@ -825,11 +1659,24 @@ impl<const C: usize, D: SmoothDomain<C>> FtResidentTransport<D::Point>
         // iteration 1 (or in this very gather) recovers to the initial
         // state
         self.ckpt = coords.to_vec();
+        self.ckpt_fresh = true;
         self.load_ranks(coords, scores)
     }
 
     fn try_interior_phase(&mut self) -> Result<(), DistError> {
         self.cur_iter += 1;
+        self.ckpt_fresh = false;
+        if let Some(pc) = self.ckpt_pending.as_mut() {
+            // the outstanding round's data is now a *past* boundary
+            pc.swept = true;
+        }
+        if self.overlap {
+            // per-iteration round bookkeeping restarts here; the
+            // previous iteration left everything quiesced (finish drain
+            // exits with all queues empty and all reports in)
+            self.ov.rounds_issued = 0;
+            self.ov.done_rounds.iter_mut().for_each(|r| *r = 0);
+        }
         for p in 0..self.ranks.len() {
             self.send(p, &Frame::Interior)?;
             self.flush(p)?;
@@ -843,10 +1690,28 @@ impl<const C: usize, D: SmoothDomain<C>> FtResidentTransport<D::Point>
         color: usize,
         volume: &mut ExchangeVolume,
     ) -> Result<(), DistError> {
+        if self.overlap {
+            if self.ov.rounds_issued == 0 {
+                // the iteration's first round: everyone is quiesced in
+                // its read loop, so a plain blocking broadcast releases
+                // the whole group at once — the drain of this round
+                // happens inside the *next* color step (or the finish),
+                // overlapped with the sweeps it releases
+                for p in 0..self.ranks.len() {
+                    self.send(p, &Frame::ColorStep { color: color as u32 })?;
+                    self.flush(p)?;
+                    self.ranks[p].owed_rounds += 1;
+                }
+            } else {
+                self.ov_drain(Release::Color(color as u32), volume, None)?;
+            }
+            self.ov.rounds_issued += 1;
+            return Ok(());
+        }
         for p in 0..self.ranks.len() {
             self.send(p, &Frame::ColorStep { color: color as u32 })?;
             self.flush(p)?;
-            self.ranks[p].pending = Pending::RoundDone;
+            self.ranks[p].owed_rounds += 1;
         }
         // drain phase: collect every rank's coalesced per-pair batches,
         // in ascending source-part order
@@ -868,7 +1733,7 @@ impl<const C: usize, D: SmoothDomain<C>> FtResidentTransport<D::Point>
                         });
                     }
                     Frame::RoundDone => {
-                        self.ranks[p].pending = Pending::None;
+                        self.ranks[p].owed_rounds -= 1;
                         self.mark(p, "color_step");
                         break;
                     }
@@ -908,29 +1773,89 @@ impl<const C: usize, D: SmoothDomain<C>> FtResidentTransport<D::Point>
         Ok(())
     }
 
-    fn try_finish_iteration(&mut self, deltas: &mut Vec<f64>) -> Result<(), DistError> {
+    fn try_finish_iteration(
+        &mut self,
+        deltas: &mut Vec<f64>,
+        volume: &mut ExchangeVolume,
+    ) -> Result<(), DistError> {
+        if self.overlap && self.ov.rounds_issued > 0 {
+            // drain the last color round and release each rank into its
+            // finish the moment its in-neighbours are done; the drain
+            // also collects the reports as they arrive, but the deltas
+            // are appended in rank order below — the driver folds them
+            // in order, and float folds are order-sensitive
+            let k = self.ranks.len();
+            let mut got: Vec<Option<f64>> = vec![None; k];
+            self.ov_drain(Release::Finish, volume, Some(&mut got))?;
+            for d in got {
+                deltas.push(d.expect("finish drain exits only with every report in"));
+            }
+            return Ok(());
+        }
         for p in 0..self.ranks.len() {
             self.send(p, &Frame::FinishIteration)?;
             self.flush(p)?;
             self.ranks[p].pending = Pending::Report;
         }
         for p in 0..self.ranks.len() {
-            match self.recv(p)? {
-                Frame::Report { delta, phases } => {
-                    self.ranks[p].pending = Pending::None;
-                    if self.profile {
-                        self.phases[p].accumulate(phases);
+            loop {
+                let frame = if self.overlap { self.ov_recv(p)? } else { self.recv(p)? };
+                match frame {
+                    Frame::Report { delta, phases } => {
+                        self.ranks[p].pending = Pending::None;
+                        if self.profile {
+                            self.phases[p].accumulate(phases);
+                        }
+                        deltas.push(delta);
+                        self.mark(p, "finish");
+                        break;
                     }
-                    deltas.push(delta);
-                    self.mark(p, "finish");
+                    Frame::ScatterDelta { slots, coords } if self.overlap => {
+                        // a deferred checkpoint reply rides ahead of
+                        // the report in the rank's FIFO stream
+                        self.ov_stash_ckpt_delta(p, slots, coords)?;
+                    }
+                    f => return Err(self.protocol_error(p, &f)),
                 }
-                f => return Err(self.protocol_error(p, &f)),
             }
         }
         Ok(())
     }
 
     fn try_scatter(&mut self, coords: &mut [D::Point]) -> Result<(), DistError> {
+        if self.overlap {
+            if let Some((scratch, swept)) = self.ov_complete_ckpt()? {
+                // the round the driver requested at the `done` boundary
+                // right before this scatter: no sweep has run since, so
+                // the assembled state *is* every rank's live owned
+                // state — commit it and serve the scatter from it
+                self.ckpt = scratch;
+                self.ckpt_fresh = !swept;
+            }
+            if self.ckpt_fresh {
+                // owned sets partition the vertices and unsmoothed
+                // slots never left their gathered values: the committed
+                // checkpoint answers the scatter with zero wire traffic
+                // instead of double-walking the mesh
+                coords.copy_from_slice(&self.ckpt);
+                return Ok(());
+            }
+            // safety net (recovery paths reload-and-mark-fresh, so
+            // this full wire round is normally unreachable in overlap
+            // mode)
+            for p in 0..self.ranks.len() {
+                self.send(p, &Frame::ScatterRequest)?;
+                self.flush(p)?;
+                self.ranks[p].pending = Pending::Scatter;
+            }
+            let replies = self.ov_collect_scatters("scatter")?;
+            for (p, points) in replies.iter().enumerate() {
+                for (&v, &point) in self.blocks[p].owned().iter().zip(points) {
+                    coords[v as usize] = point;
+                }
+            }
+            return Ok(());
+        }
         for p in 0..self.ranks.len() {
             self.send(p, &Frame::ScatterRequest)?;
             self.flush(p)?;
@@ -957,11 +1882,61 @@ impl<const C: usize, D: SmoothDomain<C>> FtResidentTransport<D::Point>
         Ok(())
     }
 
-    /// Pull every rank's owned coordinates through an out-of-band
-    /// scatter round into a scratch snapshot, atomically replacing the
-    /// checkpoint only once every rank has answered — a failure mid
-    /// checkpoint leaves the previous checkpoint valid.
+    /// Refresh the checkpoint through an out-of-band scatter round into
+    /// a scratch snapshot, atomically replacing the checkpoint only once
+    /// every rank has answered — a failure mid checkpoint leaves the
+    /// previous checkpoint valid. The serialized path pulls every rank's
+    /// full owned block; the overlap path runs the **sparse** round
+    /// (`ScatterDeltaRequest` → changed slots only) collected through
+    /// the multiplexer (arrival order — rank slots are disjoint) and
+    /// marks the refreshed checkpoint fresh, which is what lets a
+    /// `done`-boundary scatter skip its own wire round entirely.
     fn take_checkpoint(&mut self) -> Result<(), DistError> {
+        if self.overlap {
+            // Deferred sparse checkpoint round. Each rank diffs its
+            // owned block against the state the coordinator last saw
+            // (its Gather load or previous ScatterDelta reply) and
+            // ships only the changed slots — between boundaries that is
+            // the moved set, a few percent of the block — and the
+            // replies are consumed inside the *next* iteration's drains
+            // instead of at a synchronous barrier here. Three-step
+            // dance: (1) finish the previous boundary's round (rank
+            // FIFO means its replies normally arrived long ago — zero
+            // wait), (2) broadcast this boundary's request, (3) commit
+            // the finished round. The commit rides the `Ok` return, so
+            // `ckpt` and the driver's fold snapshot advance in
+            // lock-step; any failure leaves `ckpt` at the state the
+            // driver's snapshot describes. The price — recovery can
+            // replay up to one extra checkpoint interval — is the FT
+            // policy trade that buys hiding the collection wait.
+            let ready = self.ov_complete_ckpt()?;
+            let base = match &ready {
+                Some((scratch, _)) => scratch.clone(),
+                None => self.ckpt.clone(),
+            };
+            let k = self.ranks.len();
+            self.ckpt_pending = Some(CkptPending {
+                scratch: base,
+                awaiting: vec![false; k],
+                missing: 0,
+                swept: false,
+            });
+            for p in 0..k {
+                self.send(p, &Frame::ScatterDeltaRequest)?;
+                self.flush(p)?;
+                // marked awaiting only once the request is actually
+                // out: a broadcast that dies midway leaves resync
+                // draining exactly the ranks that owe a reply
+                let pc = self.ckpt_pending.as_mut().expect("set above");
+                pc.awaiting[p] = true;
+                pc.missing += 1;
+            }
+            if let Some((scratch, swept)) = ready {
+                self.ckpt = scratch;
+                self.ckpt_fresh = !swept;
+            }
+            return Ok(());
+        }
         let mut scratch = self.ckpt.clone();
         for p in 0..self.ranks.len() {
             self.send(p, &Frame::ScatterRequest)?;
@@ -998,6 +1973,10 @@ impl<const C: usize, D: SmoothDomain<C>> FtResidentTransport<D::Point>
     /// dying mid-recovery, or fork refusing) — the driver retries
     /// against its recovery budget, and repeated reload failures
     /// re-enter here with the newly implicated rank.
+    fn deferred_checkpoints(&self) -> bool {
+        self.overlap
+    }
+
     fn recover(&mut self, failure: &DistError) -> Result<(), DistError> {
         assert!(!self.ckpt.is_empty(), "recover called before the initial gather");
         let mut failed: Vec<u32> = match failure {
@@ -1013,6 +1992,28 @@ impl<const C: usize, D: SmoothDomain<C>> FtResidentTransport<D::Point>
                 Vec::new()
             }
         };
+        if self.overlap {
+            // push each survivor's queued bytes out (bounded) before
+            // draining it: an out-queue abandoned mid-frame would leave
+            // a torn frame on the stream, and the survivor would die on
+            // the CRC at its next read. A rank that will not take its
+            // bytes within the grace window is left to fail resync and
+            // join the failed set.
+            for q in 0..self.ranks.len() {
+                if failed.contains(&(q as u32)) || self.ov.outq[q].is_empty() {
+                    continue;
+                }
+                for _ in 0..50 {
+                    match self.ov_flush(q) {
+                        Ok(true) => break,
+                        Ok(false) => {
+                            let _ = sys::wait_writable(self.ranks[q].to_fd, 10);
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }
+        }
         for p in 0..self.ranks.len() {
             if failed.contains(&(p as u32)) {
                 continue;
@@ -1021,17 +2022,36 @@ impl<const C: usize, D: SmoothDomain<C>> FtResidentTransport<D::Point>
                 failed.push(p as u32);
             }
         }
+        // the outstanding deferred round dies with the iteration it was
+        // hiding behind: survivors' replies were drained by resync,
+        // failed ranks' replies died with their connections, and the
+        // reload below resets every rank's sparse baseline via Gather
+        self.ckpt_pending = None;
         for &p in &failed {
             self.reap(p as usize);
             let replacement = self.spawn_rank(p, false)?;
             self.ranks[p as usize] = replacement;
+            self.ov.reasm[p as usize].clear();
         }
         for queue in &mut self.forward {
             queue.clear();
         }
+        // drop every in-flight artefact of the abandoned iteration: the
+        // driver replays from the checkpoint through a fresh interior
+        // phase, which restarts the round bookkeeping
+        for q in 0..self.ranks.len() {
+            self.ov.outq[q].clear();
+            self.ov.stash[q].clear();
+        }
+        self.ov.rounds_issued = 0;
+        self.ov.done_rounds.iter_mut().for_each(|r| *r = 0);
         for channel in &mut self.ranks {
             channel.pending = Pending::None;
+            channel.owed_rounds = 0;
         }
-        self.reload_all()
+        self.reload_all()?;
+        // the reload *is* the checkpoint state on every rank
+        self.ckpt_fresh = true;
+        Ok(())
     }
 }

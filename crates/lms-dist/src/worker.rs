@@ -166,11 +166,20 @@ where
     // worker-local iteration counter: the number of Interior frames
     // served so far — the `iter` coordinate of fault points
     let mut iter: u32 = 0;
+    // sparse-checkpoint baseline: the owned coordinates as the
+    // coordinator last saw them — reset by every Gather load, advanced
+    // by every ScatterDelta reply. Kept as flat bits so the diff is the
+    // same bitwise comparison the cross-transport oracle demands.
+    let mut ckpt_base: Vec<f64> = Vec::new();
+    let mut owned: Vec<D::Point> = Vec::new();
     let outcome = loop {
         match Frame::read_from(&mut rd)? {
             Frame::Gather { coords, scores } => {
                 let points = flat_to_points::<D::Point>(&coords);
                 rank.load_block(&points, &scores);
+                owned.clear();
+                rank.owned_coords_into(&mut owned);
+                ckpt_base = points_to_flat(&owned);
             }
             Frame::Interior => {
                 iter += 1;
@@ -220,9 +229,29 @@ where
                 wr.flush()?;
             }
             Frame::ScatterRequest => {
-                let mut owned: Vec<D::Point> = Vec::new();
+                owned.clear();
                 rank.owned_coords_into(&mut owned);
                 wr.put(&Frame::Scatter { coords: points_to_flat(&owned) })?;
+                wr.flush()?;
+            }
+            Frame::ScatterDeltaRequest => {
+                owned.clear();
+                rank.owned_coords_into(&mut owned);
+                let flat = points_to_flat(&owned);
+                let dim = <D::Point as DomainPoint>::DIM;
+                assert_eq!(flat.len(), ckpt_base.len(), "sparse scatter before any gather");
+                let mut slots: Vec<u32> = Vec::new();
+                let mut coords: Vec<f64> = Vec::new();
+                for s in 0..owned.len() {
+                    let cur = &flat[s * dim..(s + 1) * dim];
+                    let base = &mut ckpt_base[s * dim..(s + 1) * dim];
+                    if cur.iter().zip(base.iter()).any(|(a, b)| a.to_bits() != b.to_bits()) {
+                        slots.push(s as u32);
+                        coords.extend_from_slice(cur);
+                        base.copy_from_slice(cur);
+                    }
+                }
+                wr.put(&Frame::ScatterDelta { slots, coords })?;
                 wr.flush()?;
             }
             Frame::Shutdown => break ServeOutcome::Shutdown,

@@ -258,10 +258,27 @@ fn checkpoint_cadence_follows_the_policy() {
     assert_eq!(stats.checkpoints, 2);
     assert!(stats.recoveries.is_empty());
 
-    // a failure in iteration 4 replays from the iteration-2 checkpoint
-    // and still lands bit-identical, re-checkpointing only the final
-    // boundary
+    // a failure in iteration 4: the overlap transport defers checkpoint
+    // commits by one boundary, so the iteration-2 round (issued but not
+    // yet committed when the kill lands) is abandoned and the replay
+    // restarts from the initial gather, re-checkpointing boundary 2 on
+    // the way — one extra checkpoint, still bit-identical
     let opts = FtOptions {
+        policy: FtPolicy { checkpoint_every: 2, ..FtPolicy::default() },
+        ..options(FaultPlan::kill_at(3, FaultPoint::Interior { iter: 4 }))
+    };
+    let mut work = mesh.clone();
+    let (report, stats) = engine.smooth_ft(&mut work, &opts).unwrap();
+    assert_eq!(work.coords(), oracle.coords());
+    assert_eq!(report, oracle_report);
+    assert_eq!(stats.recoveries.len(), 1);
+    assert_eq!(stats.checkpoints, 3);
+
+    // the serialized loop commits at the boundary itself: the same
+    // fault replays from the iteration-2 checkpoint and re-checkpoints
+    // only the final boundary
+    let opts = FtOptions {
+        overlap: false,
         policy: FtPolicy { checkpoint_every: 2, ..FtPolicy::default() },
         ..options(FaultPlan::kill_at(3, FaultPoint::Interior { iter: 4 }))
     };
@@ -566,6 +583,99 @@ fn seeded_fault_matrix_over_sockets_is_bit_identical() {
     }
 }
 
+// ---------------------------------------------------------------------
+// PR 10: mid-overlap chaos. `FtOptions::default()` already runs the
+// overlap multiplexer, so every cell above exercises it implicitly; the
+// cells below pin the hard case explicitly — the fault fires while a
+// color round's frames are still in flight (the victim was released
+// into color c while the coordinator is still draining round c-1, so
+// the kill/drop/stall/corruption lands mid-drain, with partial frames
+// in the reassembly buffers and queued forwards unflushed) — and the
+// serialized `overlap=off` loop recovers the same bytes from the same
+// script.
+// ---------------------------------------------------------------------
+
+fn options_overlap(mode: TransportMode, overlap: bool, faults: FaultPlan) -> FtOptions {
+    FtOptions { overlap, read_timeout_ms: 1_000, ..options_over(mode, faults) }
+}
+
+/// {pipes, unix, tcp} × {kill, drop-conn, stall, corrupt} injected at a
+/// mid-round color boundary of iteration 2, each cell run under both
+/// the overlap multiplexer and the serialized oracle loop: detected,
+/// recovered, bit-identical (coords AND report) to the in-process
+/// oracle either way.
+#[test]
+fn overlap_mid_round_fault_matrix_2d_recovers_bit_identical() {
+    let mesh = mesh_2d();
+    let engine = DistResidentEngine::by_method(&mesh, params_2d(3), 4, PartitionMethod::Rcb);
+    let num_colors = engine.inner().interface_classes().len() as u32;
+    let (oracle, oracle_report) = oracle_2d(&engine, &mesh);
+    // color ≥ 1 of a mid iteration: the ColorStep for this color is what
+    // drains the previous round, so the fault fires with that round's
+    // frames in flight
+    let mid = FaultPoint::Color { iter: 2, color: (num_colors / 2).max(1) };
+    let cells: [(FaultPlan, &str); 4] = [
+        (FaultPlan::kill_at(2, mid), "exit code"),
+        (FaultPlan::drop_conn_at(1, mid), "lost connection"),
+        (FaultPlan::stall_at(3, mid, 30_000), "stalled"),
+        (FaultPlan::corrupt(2, 2, 140), "corrupt stream"),
+    ];
+    for mode in ALL_MODES {
+        for (plan, diagnosis) in &cells {
+            for overlap in [true, false] {
+                let opts = options_overlap(mode, overlap, plan.clone());
+                let mut work = mesh.clone();
+                let (report, stats) = engine
+                    .smooth_ft(&mut work, &opts)
+                    .unwrap_or_else(|e| panic!("{mode:?} × {plan:?}, overlap={overlap}: {e}"));
+                assert_eq!(
+                    work.coords(),
+                    oracle.coords(),
+                    "coords: {mode:?} × {plan:?}, overlap={overlap}"
+                );
+                assert_eq!(report, oracle_report, "report: {mode:?} × {plan:?}, overlap={overlap}");
+                assert!(
+                    !stats.recoveries.is_empty(),
+                    "{mode:?} × {plan:?}, overlap={overlap} must recover"
+                );
+                assert!(
+                    stats.recoveries.iter().any(|r| r.contains(diagnosis)),
+                    "{mode:?} × {plan:?}, overlap={overlap}: diagnosis should mention \
+                     {diagnosis:?}, got {:?}",
+                    stats.recoveries
+                );
+            }
+        }
+    }
+}
+
+/// The 3D slice of the mid-overlap matrix: a kill and a dropped
+/// connection per substrate, injected at a mid-round color boundary
+/// with the multiplexer explicitly on. Stall and corruption handling
+/// are dimension-generic and pinned by the 2D matrix above.
+#[test]
+fn overlap_mid_round_faults_3d_recover_bit_identical() {
+    let mesh = lms_mesh3d::generators::perturbed_tet_grid(7, 6, 7, 0.35, 9);
+    let params = SmoothParams3::paper().with_smart(true).with_max_iters(2).with_tol(-1.0);
+    let engine = DistResidentEngine3::by_method(&mesh, params, 4, PartitionMethod::Rcb);
+    let num_colors = engine.inner().interface_classes().len() as u32;
+    let mut oracle = mesh.clone();
+    let oracle_report = engine.inner().smooth(&mut oracle, 2);
+    let mid = FaultPoint::Color { iter: 2, color: (num_colors / 2).max(1) };
+    for mode in ALL_MODES {
+        for plan in [FaultPlan::kill_at(0, mid), FaultPlan::drop_conn_at(3, mid)] {
+            let opts = options_overlap(mode, true, plan.clone());
+            let mut work = mesh.clone();
+            let (report, stats) = engine
+                .smooth_ft(&mut work, &opts)
+                .unwrap_or_else(|e| panic!("3D {mode:?} × {plan:?}: {e}"));
+            assert_eq!(work.coords(), oracle.coords(), "3D coords: {mode:?} × {plan:?}");
+            assert_eq!(report, oracle_report, "3D report: {mode:?} × {plan:?}");
+            assert_eq!(stats.recoveries.len(), 1, "3D {mode:?} × {plan:?}");
+        }
+    }
+}
+
 /// The shutdown satellite: teardown reaps every child and surfaces an
 /// abnormal death (here an injected `_exit(113)`) as a typed, diagnosable
 /// error instead of swallowing it.
@@ -586,6 +696,7 @@ fn shutdown_surfaces_abnormal_rank_death() {
         5_000,
         FaultPlan::kill_at(1, FaultPoint::Interior { iter: 1 }),
         false,
+        true,
     )
     .expect("spawn");
     transport.try_gather(coords, &scores).expect("gather");

@@ -16,6 +16,8 @@
 //! | [`Frame::Report`] | rank → coordinator | the rank's per-iteration `Σ w_t·Δq_t` stat delta, plus its phase-timing deltas when profiling |
 //! | [`Frame::ScatterRequest`] | coordinator → rank | send your owned coordinates back (the one full scatter) |
 //! | [`Frame::Scatter`] | rank → coordinator | the rank's owned coordinates |
+//! | [`Frame::ScatterDeltaRequest`] | coordinator → rank | send only the owned coordinates changed since your sparse baseline |
+//! | [`Frame::ScatterDelta`] | rank → coordinator | changed owned-local slot ids and their coordinates |
 //! | [`Frame::Shutdown`] | coordinator → rank | exit the worker loop |
 //!
 //! Encoding (wire v3): every frame is `[u32 LE payload length][u32 LE
@@ -49,8 +51,10 @@ pub const WIRE_MAGIC: u32 = u32::from_le_bytes(*b"LMSW");
 /// coordinator and a rank negotiate nothing — decoding a mismatched
 /// [`Frame::Hello`] fails with [`WireError::Version`]. Version 2 added
 /// the per-frame CRC32c checksum; version 3 added the profiling flag to
-/// [`Frame::Hello`] and the per-phase timing deltas to [`Frame::Report`].
-pub const WIRE_VERSION: u16 = 3;
+/// [`Frame::Hello`] and the per-phase timing deltas to [`Frame::Report`];
+/// version 4 added the sparse checkpoint round
+/// ([`Frame::ScatterDeltaRequest`] / [`Frame::ScatterDelta`]).
+pub const WIRE_VERSION: u16 = 4;
 
 /// Hard cap on one frame's payload (64 MiB): a corrupted length prefix
 /// must not turn into an unbounded allocation.
@@ -175,6 +179,18 @@ pub enum Frame {
     ScatterRequest,
     /// The one full scatter: the rank's owned coordinates (flat).
     Scatter { coords: Vec<f64> },
+    /// Send back only the owned coordinates whose bits changed since the
+    /// rank's sparse baseline — the state last shipped to the
+    /// coordinator, i.e. the last [`Frame::Gather`] load or the last
+    /// [`Frame::ScatterDelta`] reply, whichever came later. The overlap
+    /// coordinator's per-iteration checkpoint round: between boundaries
+    /// only the vertices a sweep actually moved differ, so the reply
+    /// collapses from the whole owned block to the moved set.
+    ScatterDeltaRequest,
+    /// The sparse scatter: owned-local slot ids whose coordinates
+    /// changed since the sparse baseline, and those coordinates (flat,
+    /// `dim` components per slot).
+    ScatterDelta { slots: Vec<u32>, coords: Vec<f64> },
     /// Exit the worker loop.
     Shutdown,
 }
@@ -236,6 +252,8 @@ const TAG_REPORT: u8 = 7;
 const TAG_SCATTER_REQUEST: u8 = 8;
 const TAG_SCATTER: u8 = 9;
 const TAG_SHUTDOWN: u8 = 10;
+const TAG_SCATTER_DELTA_REQUEST: u8 = 11;
+const TAG_SCATTER_DELTA: u8 = 12;
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -368,6 +386,15 @@ impl Frame {
                 out.push(TAG_SCATTER);
                 put_f64s(&mut out, coords);
             }
+            Frame::ScatterDeltaRequest => out.push(TAG_SCATTER_DELTA_REQUEST),
+            Frame::ScatterDelta { slots, coords } => {
+                out.push(TAG_SCATTER_DELTA);
+                put_u32(&mut out, slots.len() as u32);
+                for &s in slots {
+                    put_u32(&mut out, s);
+                }
+                put_f64s(&mut out, coords);
+            }
             Frame::Shutdown => out.push(TAG_SHUTDOWN),
         }
         out
@@ -435,6 +462,12 @@ impl Frame {
             }
             TAG_SCATTER_REQUEST => Frame::ScatterRequest,
             TAG_SCATTER => Frame::Scatter { coords: p.f64s()? },
+            TAG_SCATTER_DELTA_REQUEST => Frame::ScatterDeltaRequest,
+            TAG_SCATTER_DELTA => {
+                let slots = p.u32s()?;
+                let coords = p.f64s()?;
+                Frame::ScatterDelta { slots, coords }
+            }
             TAG_SHUTDOWN => Frame::Shutdown,
             t => return Err(WireError::BadTag(t)),
         };
@@ -503,6 +536,90 @@ pub const fn halo_frame_wire_len(dim: usize, entries: usize) -> usize {
     4 + 4 + 1 + 4 + 4 + 4 * entries + 4 + 8 * dim * entries
 }
 
+/// Incremental frame reassembly over a non-blocking byte stream.
+///
+/// [`Frame::read_from`] blocks until a whole frame has arrived — fine for
+/// one stream, useless for a coordinator multiplexing many rank fds with
+/// one `poll(2)`: a readable fd may hold *any* prefix of a frame (TCP
+/// segments, short pipe writes, a scripted one-byte-per-syscall fault).
+/// `Reassembly` accepts whatever bytes arrived via [`extend`] and hands
+/// back complete frames via [`next_frame`], applying exactly the same
+/// validation ladder as `read_from` — [`MAX_FRAME_LEN`] before the
+/// payload is buffered, CRC32c over length prefix + payload, then
+/// [`Frame::decode`] — so fragmentation and interleaving are invisible:
+/// any chunking of the same byte stream yields the same frame sequence
+/// (property-tested in `tests/props.rs`).
+///
+/// [`extend`]: Self::extend
+/// [`next_frame`]: Self::next_frame
+#[derive(Debug, Default)]
+pub struct Reassembly {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by emitted frames. Compacted when
+    /// it crosses half the buffer, so the amortised cost stays linear.
+    consumed: usize,
+}
+
+impl Reassembly {
+    /// An empty reassembly buffer.
+    pub fn new() -> Self {
+        Reassembly::default()
+    }
+
+    /// Append freshly-read bytes (any amount, including a partial frame).
+    pub fn extend(&mut self, bytes: &[u8]) {
+        if self.consumed > 0 && self.consumed >= self.buf.len() / 2 {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Decode the next complete frame, or `Ok(None)` if the buffered
+    /// bytes end mid-frame. A corrupted frame (bad checksum, oversized
+    /// length prefix, malformed payload) is a hard error: the stream is
+    /// desynchronised and the caller must tear the connection down, just
+    /// as after a [`Frame::read_from`] failure.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        let avail = &self.buf[self.consumed..];
+        if avail.len() < 8 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().unwrap());
+        let stamped = u32::from_le_bytes(avail[4..8].try_into().unwrap());
+        if len as usize > MAX_FRAME_LEN {
+            return Err(WireError::TooLarge(len as usize));
+        }
+        if avail.len() < 8 + len as usize {
+            return Ok(None);
+        }
+        let payload = &avail[8..8 + len as usize];
+        let got = frame_crc(len, payload);
+        if got != stamped {
+            return Err(WireError::BadChecksum { expected: stamped, got });
+        }
+        let frame = Frame::decode(payload)?;
+        self.consumed += 8 + len as usize;
+        Ok(Some(frame))
+    }
+
+    /// No bytes buffered at all — the stream is at a frame boundary.
+    pub fn is_empty(&self) -> bool {
+        self.buf.len() == self.consumed
+    }
+
+    /// Bytes buffered but not yet emitted as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+
+    /// Discard everything buffered (recovery tears down mid-frame state).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.consumed = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -554,6 +671,12 @@ mod tests {
         });
         roundtrip(Frame::ScatterRequest);
         roundtrip(Frame::Scatter { coords: vec![] });
+        roundtrip(Frame::ScatterDeltaRequest);
+        roundtrip(Frame::ScatterDelta { slots: vec![], coords: vec![] });
+        roundtrip(Frame::ScatterDelta {
+            slots: vec![2, 40, u32::MAX],
+            coords: vec![-0.0, f64::NAN, 3.5, f64::MIN_POSITIVE, -1.0, 0.0],
+        });
         roundtrip(Frame::Shutdown);
     }
 
@@ -654,6 +777,75 @@ mod tests {
         ));
         // the pristine stream still reads back
         assert_eq!(Frame::read_from(&mut stream.as_slice()).unwrap().encode(), frame.encode());
+    }
+
+    #[test]
+    fn reassembly_decodes_any_chunking_identically_to_read_from() {
+        let frames = vec![
+            Frame::Gather { coords: vec![0.5, f64::NAN, -0.0], scores: vec![(1.5, true)] },
+            Frame::ColorStep { color: 3 },
+            Frame::HaloDelta { part: 1, slots: vec![2, 9], coords: vec![0.25; 4] },
+            Frame::RoundDone,
+            Frame::Report { delta: -2.5, phases: RankPhaseNanos::default() },
+        ];
+        let mut stream = Vec::new();
+        for f in &frames {
+            f.write_to(&mut stream).unwrap();
+        }
+        for chunk in [1usize, 3, 7, stream.len()] {
+            let mut asm = Reassembly::new();
+            let mut decoded = Vec::new();
+            for piece in stream.chunks(chunk) {
+                asm.extend(piece);
+                while let Some(f) = asm.next_frame().expect("clean stream") {
+                    decoded.push(f.encode());
+                }
+            }
+            assert!(asm.is_empty(), "chunk {chunk}: all bytes consumed");
+            assert_eq!(asm.buffered(), 0);
+            let expect: Vec<Vec<u8>> = frames.iter().map(|f| f.encode()).collect();
+            assert_eq!(decoded, expect, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn reassembly_waits_mid_frame_without_error() {
+        let frame = Frame::HaloDelta { part: 0, slots: vec![1], coords: vec![0.5, 1.5] };
+        let mut stream = Vec::new();
+        frame.write_to(&mut stream).unwrap();
+        let mut asm = Reassembly::new();
+        // every strict prefix is "not yet", never an error
+        for cut in 0..stream.len() {
+            asm.clear();
+            asm.extend(&stream[..cut]);
+            assert!(asm.next_frame().expect("prefix is not an error").is_none(), "cut {cut}");
+            assert_eq!(asm.buffered(), cut);
+        }
+        asm.clear();
+        assert!(asm.is_empty());
+        asm.extend(&stream);
+        assert_eq!(asm.next_frame().unwrap().unwrap().encode(), frame.encode());
+    }
+
+    #[test]
+    fn reassembly_rejects_corruption_like_read_from() {
+        let frame = Frame::HaloDelta { part: 2, slots: vec![1, 4], coords: vec![0.5; 4] };
+        let mut stream = Vec::new();
+        frame.write_to(&mut stream).unwrap();
+        // payload corruption → BadChecksum
+        let mut torn = stream.clone();
+        let last = torn.len() - 1;
+        torn[last] ^= 0x04;
+        let mut asm = Reassembly::new();
+        asm.extend(&torn);
+        assert!(matches!(asm.next_frame(), Err(WireError::BadChecksum { .. })));
+        // oversized length prefix → TooLarge before the payload buffers
+        let mut asm = Reassembly::new();
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        huge.extend_from_slice(&[0u8; 4]);
+        asm.extend(&huge);
+        assert!(matches!(asm.next_frame(), Err(WireError::TooLarge(_))));
     }
 
     #[test]

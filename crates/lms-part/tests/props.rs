@@ -354,6 +354,93 @@ proptest! {
         }
     }
 
+    /// The overlap multiplexer's arrival model: several ranks' streams
+    /// dribble into per-rank [`Reassembly`] buffers in an arbitrary
+    /// global interleaving, partial frames included — exactly what one
+    /// `poll(2)` pass over all rank fds produces. Whatever the
+    /// interleaving and chunk sizes, every stream decodes to exactly
+    /// the frames a sequential whole-buffer decode yields, in order,
+    /// with no frame lost, duplicated, misrouted across streams, or
+    /// left stalled in a buffer once all bytes have arrived.
+    #[test]
+    fn interleaved_multiplexed_arrival_decodes_like_sequential(
+        coord_bits in arb_bits(0..16),
+        parts_frames in proptest::collection::vec(1usize..6, 2..5),
+        chunk_caps in proptest::collection::vec(1usize..23, 1..8),
+        order_seed in any::<u64>(),
+    ) {
+        use lms_part::wire::{Frame, Reassembly};
+        let nstreams = parts_frames.len();
+        // per-stream frame sequences with distinguishable payloads
+        let streams: Vec<Vec<Frame>> = parts_frames
+            .iter()
+            .enumerate()
+            .map(|(s, &n)| {
+                (0..n)
+                    .map(|i| {
+                        let slots: Vec<u32> = (0..(i as u32 % 5)).collect();
+                        Frame::HaloDelta {
+                            part: (s * 100 + i) as u32,
+                            coords: coord_bits
+                                .iter()
+                                .map(|&b| f64::from_bits(b))
+                                .cycle()
+                                .take(slots.len() * 2)
+                                .collect(),
+                            slots,
+                        }
+                    })
+                    .chain(std::iter::once(Frame::RoundDone))
+                    .collect()
+            })
+            .collect();
+        let encoded: Vec<Vec<u8>> = streams
+            .iter()
+            .map(|fs| {
+                let mut buf = Vec::new();
+                for f in fs {
+                    f.write_to(&mut buf).unwrap();
+                }
+                buf
+            })
+            .collect();
+        // interleave: a cheap LCG picks which stream dribbles its next
+        // chunk; chunk sizes cycle through the cap list so cuts land
+        // mid length-prefix, mid checksum, mid payload
+        let mut pos = vec![0usize; nstreams];
+        let mut reasm: Vec<Reassembly> = (0..nstreams).map(|_| Reassembly::new()).collect();
+        let mut decoded: Vec<Vec<Frame>> = vec![Vec::new(); nstreams];
+        let mut rng = order_seed | 1;
+        let mut turn = 0usize;
+        while (0..nstreams).any(|s| pos[s] < encoded[s].len()) {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pick = (rng >> 33) as usize % nstreams;
+            let s = (0..nstreams)
+                .map(|d| (pick + d) % nstreams)
+                .find(|&s| pos[s] < encoded[s].len())
+                .unwrap();
+            let cap = chunk_caps[turn % chunk_caps.len()];
+            turn += 1;
+            let n = cap.min(encoded[s].len() - pos[s]);
+            reasm[s].extend(&encoded[s][pos[s]..pos[s] + n]);
+            pos[s] += n;
+            // drain every stream's complete frames after each chunk —
+            // the multiplexer decodes eagerly, mid-arrival
+            for q in 0..nstreams {
+                while let Some(f) = reasm[q].next_frame().expect("interleaved decode") {
+                    decoded[q].push(f);
+                }
+            }
+        }
+        for s in 0..nstreams {
+            prop_assert!(reasm[s].is_empty(), "stream {} stalled {} bytes", s, reasm[s].buffered());
+            prop_assert_eq!(decoded[s].len(), streams[s].len(), "stream {} frame count", s);
+            for (a, b) in streams[s].iter().zip(&decoded[s]) {
+                prop_assert_eq!(a.encode(), b.encode(), "stream {} frame mismatch", s);
+            }
+        }
+    }
+
     /// Corrupting ANY single byte of an encoded frame — length prefix,
     /// checksum, or payload, any bit — is rejected by `read_from` with a
     /// typed `WireError`: the CRC32c covers the length prefix and the

@@ -87,8 +87,12 @@ pub trait ResidentTransport<P: DomainPoint> {
 
     /// Iteration end: deliver the last round's deltas, run the plain
     /// re-score where needed, and push every rank's `Σ w_t·Δq_t` stat
-    /// delta into `deltas` **in part order**.
-    fn finish_iteration(&mut self, deltas: &mut Vec<f64>);
+    /// delta into `deltas` **in part order**. A transport that overlaps
+    /// color steps may still be draining the last round's halo traffic
+    /// here — `volume` lets it charge that traffic in the phase where it
+    /// actually lands, so totals agree across transports at every
+    /// iteration boundary.
+    fn finish_iteration(&mut self, deltas: &mut Vec<f64>, volume: &mut ExchangeVolume);
 
     /// The one full scatter: write every rank's owned coordinates back
     /// into the global array (parts own disjoint vertex sets).
@@ -194,7 +198,7 @@ pub fn drive_resident_with<
         if S::ENABLED {
             sink.begin("finish", iter as u32, 0);
         }
-        transport.finish_iteration(&mut deltas);
+        transport.finish_iteration(&mut deltas, &mut volume);
         if S::ENABLED {
             sink.end("finish");
         }
@@ -305,7 +309,11 @@ pub trait FtResidentTransport<P: DomainPoint> {
     ) -> Result<(), Self::Error>;
 
     /// Fallible [`ResidentTransport::finish_iteration`].
-    fn try_finish_iteration(&mut self, deltas: &mut Vec<f64>) -> Result<(), Self::Error>;
+    fn try_finish_iteration(
+        &mut self,
+        deltas: &mut Vec<f64>,
+        volume: &mut ExchangeVolume,
+    ) -> Result<(), Self::Error>;
 
     /// Fallible [`ResidentTransport::scatter`].
     fn try_scatter(&mut self, coords: &mut [P]) -> Result<(), Self::Error>;
@@ -313,6 +321,20 @@ pub trait FtResidentTransport<P: DomainPoint> {
     /// Atomically capture every rank's iteration-boundary state as the
     /// new recovery checkpoint.
     fn take_checkpoint(&mut self) -> Result<(), Self::Error>;
+
+    /// Whether [`take_checkpoint`](Self::take_checkpoint) defers its
+    /// collection: an `Ok` return then means this boundary's round was
+    /// *issued* and the **previous** boundary's round committed, so the
+    /// recovery state the transport holds is one checkpoint behind the
+    /// call just made. The driver mirrors the discipline with a
+    /// one-slot pending snapshot queue, keeping its fold snapshot
+    /// paired with whatever the transport would actually reload. A
+    /// deferring transport trades up to one extra checkpoint interval
+    /// of replay after a failure for hiding the collection wait behind
+    /// the next iteration's compute.
+    fn deferred_checkpoints(&self) -> bool {
+        false
+    }
 
     /// Put every rank back into the last checkpoint's state after
     /// `failure` — reap/replace dead ranks, resynchronise survivors,
@@ -447,6 +469,12 @@ pub fn drive_resident_ft_with<
     }
     let mut snap =
         Snap { qsum, quality, iters_kept: 0, volume, next_iter: 1, converged: false, done: false };
+    // A deferring transport (see `deferred_checkpoints`) commits each
+    // checkpoint round one boundary late: its `Ok` promotes the
+    // *previous* boundary's snapshot into `snap` and parks this
+    // boundary's in the one-slot queue. For an immediate transport the
+    // queue is never used and `snap` advances directly.
+    let mut pending_snap: Option<Snap> = None;
 
     fn attempt_iteration<P: DomainPoint, T: FtResidentTransport<P>, S: TraceSink>(
         transport: &mut T,
@@ -479,7 +507,7 @@ pub fn drive_resident_ft_with<
         if S::ENABLED {
             sink.begin("finish", iter, 0);
         }
-        let finished = transport.try_finish_iteration(deltas);
+        let finished = transport.try_finish_iteration(deltas, volume);
         if S::ENABLED {
             sink.end("finish");
         }
@@ -495,8 +523,12 @@ pub fn drive_resident_ft_with<
     let mut done = false;
     loop {
         if done {
-            // the one full scatter; on failure, recover back to the
-            // final-boundary checkpoint and retry the scatter alone
+            // the one full scatter; on failure, recover and fall into
+            // the rewind below — with a deferring transport the
+            // restored checkpoint may predate the `done` boundary, so
+            // the lost iterations replay before the scatter is retried
+            // (for an immediate transport the snapshot IS the `done`
+            // boundary and the rewind is a no-op retry)
             if S::ENABLED {
                 sink.begin("scatter", 0, 0);
             }
@@ -508,56 +540,77 @@ pub fn drive_resident_ft_with<
                 Ok(()) => break,
                 Err(e) => recover_from!(e, "scatter"),
             }
-            continue;
-        }
-        match attempt_iteration(transport, num_colors, iter as u32, &mut volume, &mut deltas, sink)
-        {
-            Ok(()) => {
-                for &d in &deltas {
-                    if d != 0.0 {
-                        qsum.add(d);
-                    }
-                }
-                let new_quality = qsum.value() / n;
-                let improvement = new_quality - quality;
-                report.iterations.push(IterationStats { iter, quality: new_quality, improvement });
-                quality = new_quality;
-                converged = improvement < cfg.tol;
-                done = converged || iter == cfg.max_iters;
-                let boundary_due = done || iter.is_multiple_of(ckpt_every);
-                iter += 1;
-                if boundary_due {
-                    if S::ENABLED {
-                        sink.begin("checkpoint", iter as u32, 0);
-                    }
-                    let checkpointed = transport.take_checkpoint();
-                    if S::ENABLED {
-                        sink.end("checkpoint");
-                    }
-                    match checkpointed {
-                        Ok(()) => {
-                            stats.checkpoints += 1;
-                            snap = Snap {
-                                qsum,
-                                quality,
-                                iters_kept: report.iterations.len(),
-                                volume,
-                                next_iter: iter,
-                                converged,
-                                done,
-                            };
-                            continue;
+        } else {
+            match attempt_iteration(
+                transport,
+                num_colors,
+                iter as u32,
+                &mut volume,
+                &mut deltas,
+                sink,
+            ) {
+                Ok(()) => {
+                    for &d in &deltas {
+                        if d != 0.0 {
+                            qsum.add(d);
                         }
-                        Err(e) => recover_from!(e, "checkpoint"),
                     }
-                } else {
-                    continue;
+                    let new_quality = qsum.value() / n;
+                    let improvement = new_quality - quality;
+                    report.iterations.push(IterationStats {
+                        iter,
+                        quality: new_quality,
+                        improvement,
+                    });
+                    quality = new_quality;
+                    converged = improvement < cfg.tol;
+                    done = converged || iter == cfg.max_iters;
+                    let boundary_due = done || iter.is_multiple_of(ckpt_every);
+                    iter += 1;
+                    if boundary_due {
+                        if S::ENABLED {
+                            sink.begin("checkpoint", iter as u32, 0);
+                        }
+                        let checkpointed = transport.take_checkpoint();
+                        if S::ENABLED {
+                            sink.end("checkpoint");
+                        }
+                        match checkpointed {
+                            Ok(()) => {
+                                stats.checkpoints += 1;
+                                let new_snap = Snap {
+                                    qsum,
+                                    quality,
+                                    iters_kept: report.iterations.len(),
+                                    volume,
+                                    next_iter: iter,
+                                    converged,
+                                    done,
+                                };
+                                if transport.deferred_checkpoints() {
+                                    if let Some(committed) = pending_snap.take() {
+                                        snap = committed;
+                                    }
+                                    pending_snap = Some(new_snap);
+                                } else {
+                                    snap = new_snap;
+                                }
+                                continue;
+                            }
+                            Err(e) => recover_from!(e, "checkpoint"),
+                        }
+                    } else {
+                        continue;
+                    }
                 }
+                Err(e) => recover_from!(e, format!("iteration {iter}")),
             }
-            Err(e) => recover_from!(e, format!("iteration {iter}")),
         }
         // recovered: rewind the fold to the snapshot matching the rank
-        // checkpoint the transport just restored, then replay
+        // checkpoint the transport just restored, then replay. A round
+        // still pending at the failure was abandoned with it — its
+        // snapshot must never be promoted.
+        pending_snap = None;
         qsum = snap.qsum;
         quality = snap.quality;
         report.iterations.truncate(snap.iters_kept);
@@ -686,7 +739,9 @@ impl<const C: usize, D: SmoothDomain<C>> ResidentTransport<D::Point>
         }
     }
 
-    fn finish_iteration(&mut self, deltas: &mut Vec<f64>) {
+    // the in-process transport charges every round's traffic at publish
+    // time inside `color_step`, so nothing is left to charge here
+    fn finish_iteration(&mut self, deltas: &mut Vec<f64>, _volume: &mut ExchangeVolume) {
         let ranks = &mut self.ranks;
         let published: &[Vec<PairBatch<D::Point>>] = &self.prev_out;
         self.pool.install(|| {
@@ -745,8 +800,12 @@ impl<const C: usize, D: SmoothDomain<C>> FtResidentTransport<D::Point>
         Ok(())
     }
 
-    fn try_finish_iteration(&mut self, deltas: &mut Vec<f64>) -> Result<(), Self::Error> {
-        self.finish_iteration(deltas);
+    fn try_finish_iteration(
+        &mut self,
+        deltas: &mut Vec<f64>,
+        volume: &mut ExchangeVolume,
+    ) -> Result<(), Self::Error> {
+        self.finish_iteration(deltas, volume);
         Ok(())
     }
 

@@ -60,9 +60,18 @@ pub struct TransportProfile {
     pub encode_ns: u64,
     /// Coordinator time decoding frames off pipes (0 in-process).
     pub decode_ns: u64,
-    /// Coordinator time blocked in `poll(2)` waiting for rank data
-    /// (0 in-process).
+    /// Coordinator time blocked in `poll(2)` waiting for rank data with
+    /// no released compute anywhere to hide behind — genuinely idle at
+    /// a dependence (0 in-process).
     pub poll_wait_ns: u64,
+    /// Coordinator poll-wait that overlapped rank compute already
+    /// released ahead of the round being drained (the overlap
+    /// multiplexer's hidden class; 0 in-process and in serialized
+    /// mode). `poll_wait_ns + hidden_wait_ns` is the coordinator's
+    /// total wall time in `poll(2)` — the split is what proves a
+    /// poll-wait reduction came from hiding, not from shifting the
+    /// wait elsewhere.
+    pub hidden_wait_ns: u64,
     /// Elements scored by the ranks' sweep stars and dirty re-scores —
     /// the denominator-side of the scored-elements/sec throughput
     /// counter. Zero when the transport cannot observe it (remote ranks
@@ -157,12 +166,18 @@ impl PhaseBreakdown {
             ));
         }
         let t = &self.transport;
-        if t.encode_ns + t.decode_ns + t.poll_wait_ns > 0 {
+        if t.encode_ns + t.decode_ns + t.poll_wait_ns + t.hidden_wait_ns > 0 {
             out.push_str(&format!(
                 "transport    encode {:.3}ms  decode {:.3}ms  poll-wait {:.3}ms\n",
                 t.encode_ns as f64 / 1e6,
                 t.decode_ns as f64 / 1e6,
                 t.poll_wait_ns as f64 / 1e6
+            ));
+        }
+        if t.hidden_wait_ns > 0 {
+            out.push_str(&format!(
+                "overlap      hidden-wait {:.3}ms (poll-wait above is idle-at-dependence only)\n",
+                t.hidden_wait_ns as f64 / 1e6
             ));
         }
         if !t.rank_phases.is_empty() {
@@ -234,6 +249,10 @@ mod tests {
         assert!(table.contains("poll-wait"));
         assert!(table.contains("42"));
         assert!(!table.contains("recover"), "zero-valued optional phases stay hidden");
+        assert!(!table.contains("hidden-wait"), "no overlap row without hidden wait");
+        b.transport.hidden_wait_ns = 750_000;
+        let table = b.summary_table();
+        assert!(table.contains("hidden-wait"), "overlap split surfaces when nonzero");
     }
 
     #[test]

@@ -111,6 +111,32 @@ impl Recorder {
         stack.is_empty()
     }
 
+    /// Append a complete span with explicit timestamps — a balanced
+    /// `Begin`/`End` pair for a duration measured *outside* the
+    /// recorder (the overlap coordinator accumulates its hidden-wait
+    /// time as a counter, then materialises it as one span so the
+    /// chrome-trace export shows the hidden window on the timeline).
+    /// Keeps [`is_balanced`](Self::is_balanced) and
+    /// [`span_totals`](Self::span_totals) honest by construction.
+    pub fn record_span(&mut self, name: &'static str, a: u32, b: u32, t0_ns: u64, t1_ns: u64) {
+        self.events.push(SpanEvent {
+            name,
+            a,
+            b,
+            ts_ns: t0_ns,
+            phase: EventPhase::Begin,
+            tid: self.tid,
+        });
+        self.events.push(SpanEvent {
+            name,
+            a: 0,
+            b: 0,
+            ts_ns: t1_ns.max(t0_ns),
+            phase: EventPhase::End,
+            tid: self.tid,
+        });
+    }
+
     /// Inclusive total nanoseconds and call count per span name, in
     /// first-completed order. Unclosed spans contribute nothing.
     pub fn span_totals(&self) -> Vec<(&'static str, u64, u64)> {
